@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the ablatable design choices: blocked vs
+//! unblocked LU, trim vs no-trim analysis, stepwise vs one-shot OLS.
+//! (The *quality* side of these ablations is reported by the
+//! `ablations` binary; these measure their costs.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hpceval_kernels::hpl::lu;
+use hpceval_power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval_power::meter::Wt210;
+use hpceval_regression::matrix::Matrix;
+use hpceval_regression::ols;
+use hpceval_regression::stepwise::forward_stepwise;
+
+fn bench_blocked_vs_unblocked_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lu_blocking");
+    let n = 160;
+    let a = lu::Matrix::random(n, 3);
+    for (name, nb) in [("unblocked", 1usize), ("nb32", 32)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || a.clone(),
+                |m| black_box(lu::factor(m, nb, 1).expect("nonsingular")),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_trim_vs_no_trim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_trim");
+    let mut m = Wt210::new(5).with_noise(2.0);
+    let trace = m.record(0.0, 1800.0, |_| 400.0);
+    let win = ProgramWindow { start_s: 0.0, end_s: 1801.0 };
+    g.bench_function("trim10", |b| {
+        let a = TraceAnalysis::new(trace.clone());
+        b.iter(|| black_box(a.analyze(win)))
+    });
+    g.bench_function("no_trim", |b| {
+        let a = TraceAnalysis::new(trace.clone()).with_trim(0.0);
+        b.iter(|| black_box(a.analyze(win)))
+    });
+    g.finish();
+}
+
+fn bench_stepwise_vs_ols(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_selection");
+    let n = 2000;
+    let mut s = 9u64;
+    let mut rnd = || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    let mut data = Vec::new();
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let row: Vec<f64> = (0..6).map(|_| rnd()).collect();
+        y.push(row.iter().sum::<f64>() + 0.1 * rnd());
+        data.extend(row);
+    }
+    let x = Matrix::from_rows(n, 6, data);
+    g.bench_function("full_ols", |b| {
+        b.iter(|| black_box(ols::fit(&x, &y, &[0, 1, 2, 3, 4, 5]).expect("fits")))
+    });
+    g.bench_function("forward_stepwise", |b| {
+        b.iter(|| black_box(forward_stepwise(&x, &y, 1e-4).expect("fits")))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blocked_vs_unblocked_lu,
+    bench_trim_vs_no_trim,
+    bench_stepwise_vs_ols
+);
+criterion_main!(benches);

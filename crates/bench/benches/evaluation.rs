@@ -1,0 +1,40 @@
+//! Criterion benchmarks of the end-to-end evaluation pipelines: the
+//! five-state evaluation per server and the motivation power study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpceval_core::evaluation::Evaluator;
+use hpceval_core::motivation::power_study;
+use hpceval_core::rankings::{green500_score, specpower_score};
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn bench_five_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("five_state_evaluation");
+    for spec in presets::all_servers() {
+        g.bench_function(spec.name.clone(), |b| {
+            b.iter(|| black_box(Evaluator::new(spec.clone()).run()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_power_study(c: &mut Criterion) {
+    c.bench_function("power_study_xeon_e5462_classC", |b| {
+        b.iter(|| black_box(power_study(&presets::xeon_e5462(), Class::C)))
+    });
+}
+
+fn bench_comparison_scores(c: &mut Criterion) {
+    let spec = presets::xeon_4870();
+    c.bench_function("green500_score_xeon_4870", |b| {
+        b.iter(|| black_box(green500_score(&spec)))
+    });
+    c.bench_function("specpower_score_xeon_4870", |b| {
+        b.iter(|| black_box(specpower_score(&spec)))
+    });
+}
+
+criterion_group!(benches, bench_five_state, bench_power_study, bench_comparison_scores);
+criterion_main!(benches);

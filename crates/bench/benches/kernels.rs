@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the real kernel implementations.
+//!
+//! These measure the *Rust implementations themselves* (not the
+//! simulated servers): EP pair generation, the blocked LU factorization,
+//! DGEMM, STREAM, IS ranking, the 3-D FFT, CG and the GUPS update loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpceval_kernels::fft::{fft_in_place, C64, Direction};
+use hpceval_kernels::hpcc::dgemm::{dgemm, BLOCK};
+use hpceval_kernels::hpcc::random_access;
+use hpceval_kernels::hpcc::stream;
+use hpceval_kernels::hpl::lu;
+use hpceval_kernels::npb::cg::{cg_solve, SparseMatrix};
+use hpceval_kernels::npb::ep;
+use hpceval_kernels::npb::is;
+use hpceval_kernels::rng::NpbRng;
+
+fn bench_ep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ep");
+    let m = 16u32;
+    g.throughput(Throughput::Elements(1 << m));
+    for threads in [1usize, 4] {
+        g.bench_function(format!("pairs_2^{m}_t{threads}"), |b| {
+            b.iter(|| black_box(ep::run(m, threads)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpl_lu");
+    let n = 192;
+    let a = lu::Matrix::random(n, 7);
+    for nb in [1usize, 32] {
+        g.bench_function(format!("factor_n{n}_nb{nb}"), |b| {
+            b.iter_batched(
+                || a.clone(),
+                |m| black_box(lu::factor(m, nb, 2).expect("nonsingular")),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_dgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dgemm");
+    let n = 256;
+    let mut rng = NpbRng::new(3);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+    let b2: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+    g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    g.bench_function(format!("blocked_n{n}_b{BLOCK}"), |bch| {
+        bch.iter_batched(
+            || vec![0.0; n * n],
+            |mut cm| {
+                dgemm(n, 1.0, &a, &b2, 0.0, &mut cm);
+                black_box(cm)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    let n = 1 << 18;
+    g.throughput(Throughput::Bytes(80 * n as u64));
+    g.bench_function("cycle_256k", |b| b.iter(|| black_box(stream::run(n, 1))));
+    g.finish();
+}
+
+fn bench_is(c: &mut Criterion) {
+    let mut g = c.benchmark_group("is");
+    let keys = is::generate_keys(1 << 16, 1 << 11, 5);
+    g.throughput(Throughput::Elements(1 << 16));
+    g.bench_function("rank_64k_keys", |b| {
+        b.iter(|| black_box(is::rank_keys(&keys, 1 << 11)))
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    let n = 1 << 14;
+    let mut rng = NpbRng::new(9);
+    let data: Vec<C64> = (0..n).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("forward_16k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut v| {
+                fft_in_place(&mut v, Direction::Forward);
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cg");
+    let a = SparseMatrix::npb_like(2000, 7, 13);
+    let x = vec![1.0; 2000];
+    g.bench_function("solve_25_iters_n2000", |b| b.iter(|| black_box(cg_solve(&a, &x))));
+    g.finish();
+}
+
+fn bench_gups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomaccess");
+    g.throughput(Throughput::Elements(4 << 14));
+    g.bench_function("updates_2^16_table_2^14", |b| {
+        b.iter(|| black_box(random_access::run(14, 4 << 14, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ep,
+    bench_lu,
+    bench_dgemm,
+    bench_stream,
+    bench_is,
+    bench_fft,
+    bench_cg,
+    bench_gups
+);
+criterion_main!(benches);

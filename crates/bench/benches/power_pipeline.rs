@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the measurement pipeline: WT210 sampling,
+//! CSV round trips, merge and the trim-10 % analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpceval_power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval_power::meter::{PowerTrace, Wt210};
+
+fn bench_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meter");
+    g.throughput(Throughput::Elements(3600));
+    g.bench_function("record_1h_at_1hz", |b| {
+        b.iter(|| {
+            let mut m = Wt210::new(1).with_noise(2.0);
+            black_box(m.record(0.0, 3600.0, |t| 200.0 + (t * 0.01).sin()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let mut m = Wt210::new(2).with_noise(1.0);
+    let trace = m.record(0.0, 3600.0, |_| 250.0);
+    let csv = trace.to_csv();
+    c.bench_function("csv_round_trip_3600", |b| {
+        b.iter(|| {
+            let parsed = PowerTrace::from_csv(black_box(&csv)).expect("valid csv");
+            black_box(parsed.to_csv())
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut m = Wt210::new(3).with_noise(2.0);
+    let traces: Vec<PowerTrace> =
+        (0..4).map(|k| m.record(k as f64 * 1000.0, 900.0, |_| 300.0)).collect();
+    c.bench_function("merge_window_trim_average", |b| {
+        b.iter(|| {
+            let merged = PowerTrace::merge(black_box(traces.clone()));
+            let a = TraceAnalysis::new(merged);
+            black_box(a.analyze(ProgramWindow { start_s: 1000.0, end_s: 1900.0 }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_record, bench_csv, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the regression machinery: QR least squares,
+//! OLS with diagnostics, and the full forward-stepwise procedure at the
+//! paper's training-set scale (~6000 × 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hpceval_regression::matrix::Matrix;
+use hpceval_regression::ols;
+use hpceval_regression::stepwise::forward_stepwise;
+
+fn synthetic(n: usize, k: usize) -> (Matrix, Vec<f64>) {
+    let mut s = 42u64;
+    let mut rnd = || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    let mut data = Vec::with_capacity(n * k);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..k).map(|_| rnd() * 2.0).collect();
+        let target: f64 =
+            row.iter().enumerate().map(|(i, v)| v * (i as f64 + 0.5)).sum::<f64>() + 0.3 * rnd();
+        data.extend(row);
+        y.push(target);
+    }
+    (Matrix::from_rows(n, k, data), y)
+}
+
+fn bench_least_squares(c: &mut Criterion) {
+    let (x, y) = synthetic(6000, 6);
+    c.bench_function("qr_least_squares_6000x7", |b| {
+        let design = x.with_intercept();
+        b.iter(|| black_box(design.least_squares(&y).expect("full rank")))
+    });
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let (x, y) = synthetic(6000, 6);
+    c.bench_function("ols_fit_with_diagnostics", |b| {
+        b.iter(|| black_box(ols::fit(&x, &y, &[0, 1, 2, 3, 4, 5]).expect("full rank")))
+    });
+}
+
+fn bench_stepwise(c: &mut Criterion) {
+    let (x, y) = synthetic(6000, 6);
+    c.bench_function("forward_stepwise_6000x6", |b| {
+        b.iter(|| black_box(forward_stepwise(&x, &y, 1e-4).expect("fits")))
+    });
+}
+
+criterion_group!(benches, bench_least_squares, bench_ols, bench_stepwise);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the simulation substrate: the cache
+//! hierarchy, PMU synthesis and full measurement sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpceval_core::session::run_session;
+use hpceval_kernels::npb::{ep::Ep, Class};
+use hpceval_kernels::streams::{generate, AccessPattern};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::cache::{CacheHierarchy, CacheSim, ReplacementPolicy};
+use hpceval_machine::pmu::PmuRates;
+use hpceval_machine::presets;
+use hpceval_machine::roofline::PerfModel;
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_policy");
+    let stream = generate(AccessPattern::DenseBlocked, 64 << 20, 3);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    for (name, policy) in [
+        ("lru", ReplacementPolicy::Lru),
+        ("fifo", ReplacementPolicy::Fifo),
+        ("random", ReplacementPolicy::Random),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let spec = presets::xeon_e5462();
+                let mut sim = CacheSim::new(&spec.l1d).with_policy(policy);
+                for &a in &stream {
+                    sim.access(a);
+                }
+                black_box(sim.hit_ratio())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_hierarchy");
+    let stream = generate(AccessPattern::Random, 128 << 20, 5);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("xeon_4870_three_levels", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::for_server(&presets::xeon_4870());
+            black_box(h.profile_stream(stream.iter().copied()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pmu_synthesis(c: &mut Criterion) {
+    let spec = presets::xeon_4870();
+    let sig = Ep::new(Class::C).signature();
+    let est = PerfModel::new(spec.clone()).execute(&sig, 16);
+    c.bench_function("pmu_synthesize", |b| {
+        b.iter(|| black_box(PmuRates::synthesize(&spec, &sig, &est)))
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    let spec = presets::xeon_e5462();
+    let schedule = vec![
+        ("ep.C.1".to_string(), Ep::new(Class::C).signature(), 1),
+        ("ep.C.4".to_string(), Ep::new(Class::C).signature(), 4),
+    ];
+    c.bench_function("session_record_and_analyze", |b| {
+        b.iter(|| {
+            let s = run_session(&spec, &schedule, 9, 0.0);
+            black_box(s.analyze())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_policies,
+    bench_hierarchy,
+    bench_pmu_synthesis,
+    bench_session
+);
+criterion_main!(benches);

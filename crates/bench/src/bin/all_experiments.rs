@@ -1,0 +1,133 @@
+//! Runs every reproduced experiment and prints a paper-vs-measured
+//! summary — the data source for EXPERIMENTS.md.
+
+use hpceval_bench::heading;
+use hpceval_core::evaluation::Evaluator;
+use hpceval_core::motivation::{power_study, table2_sweep};
+use hpceval_core::npb_analysis::ep_profile;
+use hpceval_core::rankings::compare;
+use hpceval_core::regression_experiment::run_experiment;
+use hpceval_core::ssj_experiment::ssj_usage_study;
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn row(id: &str, what: &str, paper: &str, measured: String) {
+    println!("{id:<6} {what:<52} {paper:>22} {measured:>22}");
+}
+
+fn main() {
+    heading("EXPERIMENTS", "paper value vs measured value for every artifact");
+    println!("{:<6} {:<52} {:>22} {:>22}", "ID", "Quantity", "Paper", "Measured");
+
+    let e5462 = presets::xeon_e5462();
+    let opteron = presets::opteron_8347();
+    let x4870 = presets::xeon_4870();
+
+    // F1/F2 — SSJ usage.
+    let ssj = ssj_usage_study(&e5462, 1);
+    let max_mem = ssj.iter().map(|l| l.memory_pct).fold(f64::MIN, f64::max);
+    let mean50 = {
+        let l = ssj.iter().find(|l| l.label == "50%").expect("50% level exists");
+        l.cpu_pct_per_core.iter().sum::<f64>() / l.cpu_pct_per_core.len() as f64
+    };
+    row("F1", "SSJ max memory utilization, Xeon-E5462 (%)", "< 14", format!("{max_mem:.1}"));
+    row("F2", "SSJ mean core CPU at 50% load (%)", "~50", format!("{mean50:.1}"));
+
+    // F3/F4 — power studies.
+    let s3 = power_study(&e5462, Class::C);
+    row(
+        "F3",
+        "Xeon-E5462 power range: ep.C.1 .. HPL.4 (W)",
+        "145.5 .. 235.3",
+        format!(
+            "{:.1} .. {:.1}",
+            s3.find("ep", 1).expect("ep.C.1 runs").power_w,
+            s3.find("hpl", 4).expect("HPL.4 runs").power_w
+        ),
+    );
+    let s4 = power_study(&opteron, Class::C);
+    row(
+        "F4",
+        "Opteron-8347 power range: ep.C.1 .. HPL.16 (W)",
+        "392.7 .. 535.6",
+        format!(
+            "{:.1} .. {:.1}",
+            s4.find("ep", 1).expect("ep.C.1 runs").power_w,
+            s4.find("hpl", 16).expect("HPL.16 runs").power_w
+        ),
+    );
+
+    // T2 — normalized power extremes.
+    let t2 = table2_sweep(&x4870, Class::C);
+    let norm = x4870.psu_total_w();
+    let hpl1 = t2.iter().find(|b| b.label == "HPL.1").expect("HPL.1").power_w / norm;
+    let hpl40 = t2.iter().find(|b| b.label == "HPL.40").expect("HPL.40").power_w / norm;
+    row("T2", "Xeon-4870 normalized HPL power, p=1 .. p=40", "0.45 .. 0.74",
+        format!("{hpl1:.2} .. {hpl40:.2}"));
+
+    // F10/F11 — EP profile.
+    let prof = ep_profile(&e5462, &[1, 2, 4]);
+    row("F10", "EP power 1 -> 4 cores, Xeon-E5462 (W)", "145.5 -> 174.0",
+        format!("{:.1} -> {:.1}", prof[0].power_w, prof[2].power_w));
+    row("F11", "EP energy 1 -> 4 cores, Xeon-E5462 (kJ)", "~35 -> ~15",
+        format!("{:.1} -> {:.1}", prof[0].energy_kj, prof[2].energy_kj));
+
+    // T4/T5/T6 — evaluation scores.
+    for (id, spec, paper) in [
+        ("T4", e5462.clone(), "0.0639 (printed 0.639)"),
+        ("T5", opteron.clone(), "0.0251"),
+        ("T6", x4870.clone(), "0.0975"),
+    ] {
+        let t = Evaluator::new(spec).run();
+        row(
+            id,
+            &format!("five-state mean PPW, {}", t.server),
+            paper,
+            format!("{:.4}", t.final_score()),
+        );
+    }
+
+    // R1 — rankings.
+    let cmp = compare(&presets::all_servers());
+    row("R1", "Green500 ranking", "4870 > E5462 > 8347",
+        cmp.ranking_green500().join(" > ").replace("Xeon-", "").replace("Opteron-", ""));
+    row("R1", "SPECpower ranking", "E5462 > 4870 > 8347",
+        cmp.ranking_specpower().join(" > ").replace("Xeon-", "").replace("Opteron-", ""));
+    for s in &cmp.scores {
+        row(
+            "R1",
+            &format!("SPECpower score, {}", s.server),
+            match s.server.as_str() {
+                "Xeon-E5462" => "247",
+                "Opteron-8347" => "22.2",
+                _ => "139",
+            },
+            format!("{:.1}", s.specpower_ops_per_w),
+        );
+        row(
+            "R1",
+            &format!("Green500 PPW, {}", s.server),
+            match s.server.as_str() {
+                "Xeon-E5462" => "0.158",
+                "Opteron-8347" => "0.0618",
+                _ => "0.307",
+            },
+            format!("{:.3}", s.green500_ppw),
+        );
+    }
+
+    // T7/T8/F12/F13 — regression.
+    let exp = run_experiment(&x4870, 42).expect("training succeeds");
+    row("T7", "training R², HPCC on Xeon-4870", "0.9403",
+        format!("{:.4}", exp.model.summary().r_square));
+    row("T7", "training observations", "6056", format!("{}", exp.observations));
+    let b = exp.model.coefficients();
+    row("T8", "dominant coefficient", "b2 (instructions)",
+        if b[1].abs() >= b.iter().map(|v| v.abs()).fold(f64::MIN, f64::max) - 1e-12 {
+            "b2 (instructions)".to_string()
+        } else {
+            "NOT b2".to_string()
+        });
+    row("F12", "validation R², NPB-B", "0.634", format!("{:.4}", exp.npb_b.r2));
+    row("F13", "validation R², NPB-C", "0.543", format!("{:.4}", exp.npb_c.r2));
+}

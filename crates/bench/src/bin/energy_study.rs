@@ -1,0 +1,34 @@
+//! Extension study: energy-to-solution and EDP across the whole NPB
+//! suite — the paper's Fig 11 argument generalized beyond EP.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::energy_analysis::energy_study;
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Energy study", "energy-to-solution and EDP, NPB class C");
+    for spec in presets::all_servers() {
+        let profiles = energy_study(&spec, Class::C);
+        if json_requested() {
+            println!("{}", serde_json::to_string_pretty(&profiles).expect("serializable"));
+            continue;
+        }
+        println!("\n--- {} ---", spec.name);
+        println!(
+            "{:<10} {:>14} {:>16} {:>18}",
+            "Program", "minE config", "minE energy(kJ)", "parallel saving"
+        );
+        for prof in &profiles {
+            let best = prof.min_energy();
+            let saving = prof
+                .parallel_energy_saving()
+                .map_or("n/a".to_string(), |s| format!("{:.0} %", s * 100.0));
+            println!(
+                "{:<10} {:>14} {:>16.1} {:>18}",
+                prof.program, best.label, best.energy_kj, saving
+            );
+        }
+    }
+    println!("\npaper Fig 11: parallelism reduces both time and total energy");
+}

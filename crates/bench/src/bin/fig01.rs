@@ -1,0 +1,19 @@
+//! Regenerates **Fig 1** — memory usage test for SPECpower_ssj2008 on
+//! server Xeon-E5462: flat, below 14 % at every workload size.
+
+use hpceval_bench::{bar_chart, heading, json_requested};
+use hpceval_core::ssj_experiment::ssj_usage_study;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 1", "Memory usage for SPECpower_ssj2008 on Xeon-E5462");
+    let study = ssj_usage_study(&presets::xeon_e5462(), 0x00f1_6001);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(String, f64)> =
+        study.iter().map(|l| (l.label.clone(), l.memory_pct)).collect();
+    print!("{}", bar_chart(&rows, 0.0, 20.0, 40, "%"));
+    println!("\npaper: memory utilization stays below 14 % at every level");
+}

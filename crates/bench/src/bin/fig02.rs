@@ -1,0 +1,29 @@
+//! Regenerates **Fig 2** — per-core CPU usage for SPECpower_ssj2008 on
+//! server Xeon-E5462: utilization tracks the workload level downward.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::ssj_experiment::ssj_usage_study;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 2", "CPU usage for SPECpower_ssj2008 on Xeon-E5462");
+    let study = ssj_usage_study(&presets::xeon_e5462(), 0x00f1_6002);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
+        return;
+    }
+    print!("{:<8}", "Level");
+    let cores = study[0].cpu_pct_per_core.len();
+    for c in 0..cores {
+        print!(" {:>8}", format!("Core {}", c + 1));
+    }
+    println!();
+    for level in &study {
+        print!("{:<8}", level.label);
+        for u in &level.cpu_pct_per_core {
+            print!(" {u:>7.1}%");
+        }
+        println!();
+    }
+    println!("\npaper: CPU usage declines with the workload, unlike HPC codes");
+}

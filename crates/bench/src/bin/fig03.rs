@@ -1,0 +1,20 @@
+//! Regenerates **Fig 3** — power test on server Xeon-E5462: SPECpower,
+//! HPL and the NPB (class C) at 4, 2 and 1 processes.
+
+use hpceval_bench::{bar_chart, heading, json_requested};
+use hpceval_core::motivation::power_study;
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 3", "Power test on server Xeon-E5462 (class C, p = 4/2/1)");
+    let study = power_study(&presets::xeon_e5462(), Class::C);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(String, f64)> =
+        study.bars.iter().map(|b| (b.label.clone(), b.power_w)).collect();
+    print!("{}", bar_chart(&rows, 130.0, 245.0, 46, "W"));
+    println!("\npaper range: ~140 W (ep.C.1) to ~235 W (HPL.4); EP floors, HPL tops");
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Fig 4** — power test on server Opteron-8347:
+//! SPECpower, HPL and the NPB (class C) at 16, 8, 4, 2 and 1 processes.
+
+use hpceval_bench::{bar_chart, heading, json_requested};
+use hpceval_core::motivation::power_study;
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 4", "Power test on server Opteron-8347 (class C, p = 16/8/4/2/1)");
+    let study = power_study(&presets::opteron_8347(), Class::C);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(String, f64)> =
+        study.bars.iter().map(|b| (b.label.clone(), b.power_w)).collect();
+    print!("{}", bar_chart(&rows, 300.0, 560.0, 46, "W"));
+    println!("\npaper range: ~310 W idle to ~535 W (HPL.16); HPL grows fastest, EP slowest");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Fig 5** — HPL `Ns` (problem size / memory usage)
+//! influence on power, server Xeon-E5462, at 1/2/4 cores.
+
+use hpceval_bench::{heading, json_requested, series_table};
+use hpceval_core::hpl_analysis::ns_sweep;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 5", "Ns influence on server Xeon-E5462");
+    let pts = ns_sweep(&presets::xeon_e5462(), &[1, 2, 4]);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(f64, String, f64)> =
+        pts.iter().map(|p| (p.x, p.series.clone(), p.power_w)).collect();
+    print!("{}", series_table(&rows, "mem %"));
+    println!("\npaper: cores decide power; memory usage influences it only slightly");
+}

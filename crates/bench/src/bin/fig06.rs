@@ -1,0 +1,19 @@
+//! Regenerates **Fig 6** — HPL `NBs` (block size) influence on power,
+//! server Xeon-E5462, at 1/2/3/4 cores: non-intersecting flat curves.
+
+use hpceval_bench::{heading, json_requested, series_table};
+use hpceval_core::hpl_analysis::nb_sweep;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 6", "NBs influence on server Xeon-E5462 (N = 30000)");
+    let pts = nb_sweep(&presets::xeon_e5462(), 30_000, &[1, 2, 3, 4]);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(f64, String, f64)> =
+        pts.iter().map(|p| (p.x, p.series.clone(), p.power_w)).collect();
+    print!("{}", series_table(&rows, "NB"));
+    println!("\npaper: curves for different core counts do not intersect");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Fig 7** — P×Q process-grid influence on power, server
+//! Xeon-E5462, N = 30000, NB ∈ {50..400}, grids 1×4 / 2×2 / 4×1.
+
+use hpceval_bench::{heading, json_requested, series_table};
+use hpceval_core::hpl_analysis::grid_sweep;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 7", "P and Q influences on server Xeon-E5462 (N = 30000)");
+    let pts = grid_sweep(&presets::xeon_e5462(), 30_000);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+        return;
+    }
+    let rows: Vec<(f64, String, f64)> =
+        pts.iter().map(|p| (p.x, p.series.clone(), p.power_w)).collect();
+    print!("{}", series_table(&rows, "NB"));
+    println!("\npaper: majority of values within 230-245 W; NB = 50 sits ~10 W lower");
+}

@@ -1,0 +1,38 @@
+//! Regenerates **Fig 8** — NPB memory usage for classes A/B/C on server
+//! Xeon-E5462 at 1/2/4 processes.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::npb_analysis::scale_study;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 8", "Memory usage for A/B/C scales on server Xeon-E5462");
+    let cells = scale_study(&presets::xeon_e5462());
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable"));
+        return;
+    }
+    println!("{:<14} {:>12} {:>12} {:>12}   (MB; * = cannot run)", "Workload", "A", "B", "C");
+    for p in [1u32, 2, 4] {
+        for prog in ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"] {
+            let cell = |class: char| {
+                cells
+                    .iter()
+                    .find(|c| c.program == prog && c.class == class && c.processes == p)
+                    .expect("matrix is complete")
+            };
+            let fmt = |class: char| {
+                let c = cell(class);
+                format!("{:.0}{}", c.memory_mb, if c.ran { "" } else { "*" })
+            };
+            println!(
+                "{:<14} {:>12} {:>12} {:>12}",
+                format!("{prog}.A/B/C.{p}"),
+                fmt('A'),
+                fmt('B'),
+                fmt('C')
+            );
+        }
+    }
+    println!("\npaper: footprint decided by the class; FT grows fastest, EP is negligible");
+}

@@ -1,0 +1,39 @@
+//! Regenerates **Fig 9** — NPB power for classes A/B/C on server
+//! Xeon-E5462 at 1/2/4 processes.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::npb_analysis::scale_study;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 9", "Power usage for A/B/C scales on server Xeon-E5462");
+    let cells = scale_study(&presets::xeon_e5462());
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable"));
+        return;
+    }
+    println!("{:<14} {:>10} {:>10} {:>10}   (W; - = cannot run)", "Workload", "A", "B", "C");
+    for p in [1u32, 2, 4] {
+        for prog in ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"] {
+            let fmt = |class: char| {
+                let c = cells
+                    .iter()
+                    .find(|c| c.program == prog && c.class == class && c.processes == p)
+                    .expect("matrix is complete");
+                if c.ran {
+                    format!("{:.1}", c.power_w)
+                } else {
+                    "-".to_string()
+                }
+            };
+            println!(
+                "{:<14} {:>10} {:>10} {:>10}",
+                format!("{prog}.A/B/C.{p}"),
+                fmt('A'),
+                fmt('B'),
+                fmt('C')
+            );
+        }
+    }
+    println!("\npaper: power follows the core count, not the class; EP floors every group");
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Figs 10 and 11** — EP.C power, PPW and energy profile
+//! over core counts on server Xeon-E5462.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::npb_analysis::ep_profile;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Fig 10/11", "Power profiling and energy analysis for EP (Xeon-E5462)");
+    let prof = ep_profile(&presets::xeon_e5462(), &[1, 2, 4]);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&prof).expect("serializable"));
+        return;
+    }
+    println!(
+        "{:>6} {:>10} {:>14} {:>10} {:>11}",
+        "Cores", "Power(W)", "PPW(MFLOPS/W)", "Time(s)", "Energy(kJ)"
+    );
+    for p in &prof {
+        println!(
+            "{:>6} {:>10.2} {:>14.3} {:>10.1} {:>11.2}",
+            p.cores, p.power_w, p.ppw_mflops_per_w, p.time_s, p.energy_kj
+        );
+    }
+    println!("\npaper: power and PPW rise with cores while energy falls (~35 kJ -> ~15 kJ)");
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Figs 12 and 13** — regression validation on NPB class B
+//! (measured vs predicted normalized power, and their difference), plus
+//! the class B and C validation R² values.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::regression_experiment::run_experiment;
+use hpceval_machine::presets;
+
+fn main() {
+    let exp = run_experiment(&presets::xeon_4870(), 42).expect("training succeeds");
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&exp).expect("serializable"));
+        return;
+    }
+    heading("Fig 12", "Regression results — programs from NPB B on Xeon-4870");
+    println!("{:<10} {:>10} {:>12} {:>12}", "Program", "Measured", "Regression", "Difference");
+    for p in &exp.npb_b.points {
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>12.3}",
+            p.label,
+            p.measured,
+            p.predicted,
+            p.difference()
+        );
+    }
+    println!();
+    heading("Fig 13", "Difference between measured and regression values");
+    println!("largest |difference| configurations:");
+    let mut worst: Vec<_> = exp.npb_b.points.iter().collect();
+    worst.sort_by(|a, b| b.difference().abs().total_cmp(&a.difference().abs()));
+    for p in worst.iter().take(8) {
+        println!("  {:<10} {:>8.3}", p.label, p.difference());
+    }
+    println!();
+    println!(
+        "validation R²: NPB-B {:.4} (paper 0.634), NPB-C {:.4} (paper 0.543)",
+        exp.npb_b.r2, exp.npb_c.r2
+    );
+    println!("training: R² {:.4} over {} observations", exp.model.summary().r_square,
+        exp.observations);
+    println!("\npaper §VI-C: EP and SP fit worst — their communication/scalar power is");
+    println!("invisible to the six PMU indicators.");
+}

@@ -1,0 +1,24 @@
+//! Extension study: Green500 measurement-quality levels (refs \[14\]/\[20\]
+//! of the paper) — how the measurement window changes the reported PPW.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::green500_levels::level_study;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Levels", "Green500 L1/L2/L3 measurement windows vs reported PPW");
+    for spec in presets::all_servers() {
+        let scores = level_study(&spec, 0x1e7e1);
+        if json_requested() {
+            println!("{}", serde_json::to_string_pretty(&scores).expect("serializable"));
+            continue;
+        }
+        println!("\n--- {} ---", spec.name);
+        println!("{:<24} {:>12} {:>10}", "Level", "Power(W)", "PPW");
+        for s in &scores {
+            println!("{:<24} {:>12.1} {:>10.4}", format!("{:?}", s.level), s.power_w, s.ppw);
+        }
+    }
+    println!("\nfinding: short early windows (L1) catch HPL's hot phase and report");
+    println!("lower PPW than full-run (L3) measurement — Subramaniam & Feng's point.");
+}

@@ -1,0 +1,42 @@
+//! Extension study: measurement stability of short runs (the paper's
+//! §V-B1 LU.A.2 warning, quantified).
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::stability::{repetitions_needed, stability_study};
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Stability", "sample counts and standard errors per configuration");
+    let spec = presets::xeon_e5462();
+    let noise = 1.2;
+    let reports = stability_study(&spec, &[Class::W, Class::A, Class::B, Class::C]);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("serializable"));
+        return;
+    }
+    println!(
+        "{:<12} {:>11} {:>9} {:>10} {:>8} {:>7}",
+        "Config", "Duration(s)", "Samples", "SE(W)", "Stable", "Reps"
+    );
+    for r in &reports {
+        let reps = repetitions_needed(r, noise, 0.5);
+        println!(
+            "{:<12} {:>11.1} {:>9} {:>10.3} {:>8} {:>7}",
+            r.label,
+            r.duration_s,
+            r.effective_samples,
+            r.power_std_error_w,
+            if r.is_stable() { "yes" } else { "NO" },
+            if reps == u32::MAX { "inf".to_string() } else { reps.to_string() }
+        );
+    }
+    let unstable = reports.iter().filter(|r| !r.is_stable()).count();
+    let unstable_c = reports.iter().filter(|r| !r.is_stable() && r.label.contains(".C.")).count();
+    println!(
+        "\n{unstable} of {} configurations are unstable at 1 Hz ({unstable_c} of them in \
+         class C),",
+        reports.len()
+    );
+    println!("concentrated in the small classes — why the method standardizes on ep.C (§V-C2).");
+}

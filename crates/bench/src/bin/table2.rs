@@ -1,0 +1,46 @@
+//! Regenerates **Table II** — power test on server Xeon-4870, normalized
+//! by the aggregate PSU rating, for process counts 1..40.
+
+use std::collections::BTreeMap;
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::motivation::table2_sweep;
+use hpceval_kernels::npb::Class;
+use hpceval_machine::presets;
+
+fn main() {
+    heading("Table II", "Normalized power on server Xeon-4870 (class C)");
+    let spec = presets::xeon_4870();
+    let bars = table2_sweep(&spec, Class::C);
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&bars).expect("serializable"));
+        return;
+    }
+    let norm = spec.psu_total_w();
+    let progs = ["hpl", "bt", "ep", "ft", "is", "lu", "mg", "sp"];
+    // (process -> program -> normalized power)
+    let mut rows: BTreeMap<u32, BTreeMap<&str, f64>> = BTreeMap::new();
+    for b in &bars {
+        for &p in &progs {
+            if b.program == p {
+                rows.entry(b.processes).or_default().insert(p, b.power_w / norm);
+            }
+        }
+    }
+    print!("{:>8}", "Process");
+    for p in progs {
+        print!(" {:>6}", p.to_uppercase());
+    }
+    println!();
+    for (proc_count, cells) in rows {
+        print!("{proc_count:>8}");
+        for p in progs {
+            match cells.get(p) {
+                Some(v) => print!(" {v:>6.2}"),
+                None => print!(" {:>6}", ""),
+            }
+        }
+        println!();
+    }
+    println!("\npaper: HPL 0.45 (p=1) -> 0.74 (p=40); only EP populates every row");
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Tables IV, V and VI** — the five-state PPW evaluation
+//! on all three servers.
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::evaluation::Evaluator;
+use hpceval_machine::presets;
+
+fn main() {
+    let tables: Vec<_> = presets::all_servers()
+        .into_iter()
+        .map(|spec| Evaluator::new(spec).run())
+        .collect();
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&tables).expect("serializable"));
+        return;
+    }
+    for (artifact, table) in ["Table IV", "Table V", "Table VI"].iter().zip(&tables) {
+        heading(artifact, &format!("PPW on server {}", table.server));
+        print!("{}", table.render());
+        println!("PPW sum (the quantity the paper's Table IV prints): {:.4}\n", table.ppw_sum());
+    }
+    println!("paper bottom rows: Xeon-E5462 0.639 (sum), Opteron-8347 0.0251 (mean),");
+    println!("Xeon-4870 0.0975 (mean) — see EXPERIMENTS.md R1 for the inconsistency.");
+}

@@ -1,0 +1,37 @@
+//! Extension study: future memory technology (paper §V-C1's argument
+//! for keeping memory utilization as an evaluation indicator).
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_core::whatif::memory_technology_sweep;
+use hpceval_machine::presets;
+
+fn main() {
+    heading(
+        "What-if",
+        "Mh/Mf discrimination as memory power becomes usage-proportional",
+    );
+    let sweep = [0.0, 4.0, 15.0, 30.0, 60.0, 120.0];
+    for spec in presets::all_servers() {
+        let pts = memory_technology_sweep(&spec, &sweep);
+        if json_requested() {
+            println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
+            continue;
+        }
+        println!("\n--- {} (full-core HPL) ---", spec.name);
+        println!(
+            "{:>16} {:>12} {:>12} {:>16}",
+            "footprint W/100%", "Mh power", "Mf power", "PPW separation"
+        );
+        for p in &pts {
+            println!(
+                "{:>16.0} {:>12.1} {:>12.1} {:>15.1}%",
+                p.footprint_w,
+                p.mh_power_w,
+                p.mf_power_w,
+                p.ppw_separation * 100.0
+            );
+        }
+    }
+    println!("\npaper §V-C1: today's DDR2 barely separates the memory states; the");
+    println!("method keeps them so future usage-proportional memory is rewarded.");
+}

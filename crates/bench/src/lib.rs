@@ -1,0 +1,88 @@
+//! Shared output helpers for the table/figure regenerator binaries.
+//!
+//! Every binary under `src/bin/` regenerates one artifact of the paper
+//! (see DESIGN.md §4) and prints it in two forms: a human-readable text
+//! table/chart, and optionally machine-readable JSON (pass `--json`).
+
+use std::fmt::Write as _;
+
+/// True if the process arguments request JSON output.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Print a section heading in the style of the paper's artifact labels.
+pub fn heading(artifact: &str, caption: &str) {
+    println!("== {artifact} — {caption} ==");
+}
+
+/// Render a horizontal ASCII bar chart: rows of `(label, value)` scaled
+/// into `width` columns between `lo` and `hi`.
+pub fn bar_chart(rows: &[(String, f64)], lo: f64, hi: f64, width: usize, unit: &str) -> String {
+    let mut out = String::new();
+    let span = (hi - lo).max(1e-12);
+    for (label, v) in rows {
+        let frac = ((v - lo) / span).clamp(0.0, 1.0);
+        let bars = (frac * width as f64).round() as usize;
+        let _ = writeln!(out, "{label:<18} {:>9.2} {unit} |{}", v, "#".repeat(bars));
+    }
+    out
+}
+
+/// Render `(x, series, value)` sweep points as one aligned table with one
+/// column per series.
+pub fn series_table(points: &[(f64, String, f64)], x_name: &str) -> String {
+    let mut xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let mut series: Vec<String> = points.iter().map(|p| p.1.clone()).collect();
+    series.sort();
+    series.dedup();
+
+    let mut out = format!("{x_name:>10}");
+    for s in &series {
+        let _ = write!(out, " {s:>14}");
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x:>10.1}");
+        for s in &series {
+            match points.iter().find(|p| p.0 == x && &p.1 == s) {
+                Some(p) => {
+                    let _ = write!(out, " {:>14.2}", p.2);
+                }
+                None => {
+                    let _ = write!(out, " {:>14}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let rows = vec![("a".to_string(), 0.0), ("b".to_string(), 10.0)];
+        let s = bar_chart(&rows, 0.0, 10.0, 10, "W");
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].ends_with('|'));
+        assert!(lines[1].ends_with("##########"));
+    }
+
+    #[test]
+    fn series_table_fills_missing_cells() {
+        let pts = vec![
+            (1.0, "x".to_string(), 5.0),
+            (2.0, "x".to_string(), 6.0),
+            (1.0, "y".to_string(), 7.0),
+        ];
+        let t = series_table(&pts, "p");
+        assert!(t.contains('-'), "missing (2, y) must render as a dash");
+        assert!(t.lines().count() == 3);
+    }
+}

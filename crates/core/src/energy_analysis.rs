@@ -1,0 +1,161 @@
+//! Energy-to-solution analysis — the paper's Fig 11 argument ("improving
+//! the parallelism can not only improve the computing performance, but
+//! also reduce energy consumption") generalized from EP to the whole
+//! suite.
+//!
+//! For every program and every runnable process count this computes the
+//! energy (Eq. 2) and the energy-delay product, and identifies the
+//! minimum-energy configuration. The paper's claim holds when the
+//! power growth from extra cores is outpaced by the runtime shrink —
+//! true for compute-dominated programs, weaker for bandwidth-saturated
+//! ones, which is exactly what the analysis shows.
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::npb::{Class, Program};
+use hpceval_machine::spec::ServerSpec;
+use hpceval_power::analysis::energy_kj;
+
+use crate::server::SimulatedServer;
+
+/// Energy profile of one (program, process count) configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPoint {
+    /// Configuration label, e.g. "lu.C.8".
+    pub label: String,
+    /// Process count.
+    pub processes: u32,
+    /// Execution time, s.
+    pub time_s: f64,
+    /// Mean power, W.
+    pub power_w: f64,
+    /// Energy to solution, kJ.
+    pub energy_kj: f64,
+    /// Energy-delay product, kJ·s.
+    pub edp: f64,
+}
+
+/// Energy profile of one program across its runnable process counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramEnergyProfile {
+    /// Program id.
+    pub program: String,
+    /// Points in ascending process count.
+    pub points: Vec<EnergyPoint>,
+}
+
+impl ProgramEnergyProfile {
+    /// The minimum-energy configuration.
+    pub fn min_energy(&self) -> &EnergyPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_kj.total_cmp(&b.energy_kj))
+            .expect("profiles contain at least one point")
+    }
+
+    /// The minimum-EDP configuration.
+    pub fn min_edp(&self) -> &EnergyPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.edp.total_cmp(&b.edp))
+            .expect("profiles contain at least one point")
+    }
+
+    /// Energy saving of the best parallel configuration relative to the
+    /// serial one (0.4 = 40 % less energy than p=1).
+    pub fn parallel_energy_saving(&self) -> Option<f64> {
+        let serial = self.points.iter().find(|p| p.processes == 1)?;
+        let best = self.min_energy();
+        Some(1.0 - best.energy_kj / serial.energy_kj)
+    }
+}
+
+/// Run the energy analysis for every NPB program at `class` on `spec`.
+pub fn energy_study(spec: &ServerSpec, class: Class) -> Vec<ProgramEnergyProfile> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    Program::ALL
+        .iter()
+        .map(|&prog| {
+            let bench = prog.benchmark(class);
+            let sig = bench.signature();
+            let mut points = Vec::new();
+            for p in bench.constraint().allowed_up_to(spec.total_cores()) {
+                if !srv.can_run(&sig, p) {
+                    continue;
+                }
+                let m = srv.measure(&sig, p);
+                points.push(EnergyPoint {
+                    label: format!("{}.{}.{}", prog.id(), class.letter(), p),
+                    processes: p,
+                    time_s: m.time_s,
+                    power_w: m.power_w,
+                    energy_kj: energy_kj(m.power_w, m.time_s),
+                    edp: energy_kj(m.power_w, m.time_s) * m.time_s,
+                });
+            }
+            ProgramEnergyProfile { program: prog.id().to_string(), points }
+        })
+        .filter(|p| !p.points.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn parallelism_saves_energy_for_every_program() {
+        // Fig 11's argument, suite-wide on the Xeon-E5462.
+        let profiles = energy_study(&presets::xeon_e5462(), Class::C);
+        assert!(!profiles.is_empty());
+        for prof in &profiles {
+            if prof.points.iter().all(|p| p.processes == 1) {
+                continue; // cg.C only runs serially on 8 GiB
+            }
+            // ft.C starts at 4 processes on this machine: no serial
+            // reference to compare against.
+            let Some(saving) = prof.parallel_energy_saving() else { continue };
+            assert!(
+                saving > 0.2,
+                "{}: best parallel config saves only {:.0} %",
+                prof.program,
+                saving * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn ep_energy_matches_fig11_scale() {
+        let profiles = energy_study(&presets::xeon_e5462(), Class::C);
+        let ep = profiles.iter().find(|p| p.program == "ep").expect("EP runs");
+        let serial = ep.points.iter().find(|p| p.processes == 1).expect("p=1");
+        assert!((serial.energy_kj - 35.0).abs() < 8.0, "EP.1 energy {}", serial.energy_kj);
+        // Monotone decrease over 1 -> 2 -> 4.
+        let e: Vec<f64> = ep.points.iter().take(3).map(|p| p.energy_kj).collect();
+        assert!(e[0] > e[1] && e[1] > e[2], "{e:?}");
+    }
+
+    #[test]
+    fn min_energy_prefers_full_parallelism_for_compute_bound_programs() {
+        let profiles = energy_study(&presets::xeon_4870(), Class::C);
+        let bt = profiles.iter().find(|p| p.program == "bt").expect("BT runs");
+        assert_eq!(bt.min_energy().processes, 36, "BT best at the largest square");
+    }
+
+    #[test]
+    fn edp_never_prefers_fewer_processes_than_energy() {
+        // EDP weights time harder, so its optimum is at least as
+        // parallel as the energy optimum.
+        let profiles = energy_study(&presets::opteron_8347(), Class::B);
+        for prof in &profiles {
+            assert!(
+                prof.min_edp().processes >= prof.min_energy().processes,
+                "{}: EDP at {} < energy at {}",
+                prof.program,
+                prof.min_edp().processes,
+                prof.min_energy().processes
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The five-state HPL+EP power evaluation method (paper §V-C).
+//!
+//! Test method (Table III): measure Idle, then NPB-EP class C at 1, half
+//! and full cores, then HPL at ~50 % memory ("Mh") and 90–100 % memory
+//! ("Mf") each at 1, half and full cores — ten rows per server. Each
+//! row's PPW is its GFLOPS over its trimmed-average watts, and the
+//! system score is the arithmetic average of the PPWs.
+//!
+//! Note on the paper's bottom rows: Table IV prints the PPW *sum*
+//! (0.639) while Tables V/VI print the *mean* (0.0251, 0.0975). The
+//! methodology text (§V-C2 step 6) specifies the arithmetic average, so
+//! [`PpwTable::final_score`] is the mean; [`PpwTable::ppw_sum`] exposes
+//! the sum for comparison with the paper's printed Table IV. The
+//! rankings module discusses the consequence.
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::hpl::HplConfig;
+use hpceval_kernels::npb::{ep::Ep, Class};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::spec::ServerSpec;
+
+use crate::server::{Measurement, SimulatedServer};
+
+/// Memory fraction of the "Mh" (half-memory) HPL state.
+pub const MH_FRACTION: f64 = 0.50;
+/// Memory fraction of the "Mf" (full-memory) HPL state (the paper:
+/// "90 % – 100 %").
+pub const MF_FRACTION: f64 = 0.92;
+
+/// One row of a Table IV/V/VI style PPW table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpwRow {
+    /// Row label, e.g. "ep.C.4" or "HPL P4 Mf".
+    pub program: String,
+    /// Performance, GFLOPS.
+    pub gflops: f64,
+    /// Power, watts.
+    pub power_w: f64,
+    /// PPW, GFLOPS/W.
+    pub ppw: f64,
+}
+
+/// The full evaluation result for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpwTable {
+    /// Server name.
+    pub server: String,
+    /// The ten rows in the paper's order.
+    pub rows: Vec<PpwRow>,
+}
+
+impl PpwTable {
+    /// Mean performance over all rows (the paper's "Average" line).
+    pub fn avg_gflops(&self) -> f64 {
+        self.rows.iter().map(|r| r.gflops).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean power over all rows.
+    pub fn avg_power_w(&self) -> f64 {
+        self.rows.iter().map(|r| r.power_w).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// The methodology's system score: arithmetic mean of the PPWs
+    /// (§V-C2 step 6).
+    pub fn final_score(&self) -> f64 {
+        self.rows.iter().map(|r| r.ppw).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Sum of PPWs — the quantity the paper's Table IV actually prints
+    /// as its bottom row (10× the mean).
+    pub fn ppw_sum(&self) -> f64 {
+        self.rows.iter().map(|r| r.ppw).sum()
+    }
+
+    /// Render as an aligned text table shaped like the paper's
+    /// Tables IV–VI.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "PPW on server {}\n{:<14} {:>12} {:>12} {:>14}\n",
+            self.server, "Program", "Perf(GFLOPS)", "Power(Watt)", "PPW(GFLOPS/W)"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>12.4} {:>12.4} {:>14.4}\n",
+                r.program, r.gflops, r.power_w, r.ppw
+            ));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>12.4} {:>12.4}\n",
+            "Average",
+            self.avg_gflops(),
+            self.avg_power_w()
+        ));
+        out.push_str(&format!("{:<14} {:>40.4}\n", "mean(PPW)", self.final_score()));
+        out
+    }
+}
+
+/// Runs the five-state evaluation on one server.
+#[derive(Debug)]
+pub struct Evaluator {
+    server: SimulatedServer,
+}
+
+impl Evaluator {
+    /// Evaluator for `spec`.
+    pub fn new(spec: ServerSpec) -> Self {
+        Self { server: SimulatedServer::new(spec) }
+    }
+
+    /// Evaluator over an existing simulated server (custom seed or
+    /// placement).
+    pub fn over(server: SimulatedServer) -> Self {
+        Self { server }
+    }
+
+    /// The EP process counts of the method: 1, half, full — deduplicated
+    /// so machines with fewer than 4 cores do not triple-count a state.
+    pub fn core_states(total: u32) -> Vec<u32> {
+        let mut states = vec![1, (total / 2).max(1), total.max(1)];
+        states.dedup();
+        states
+    }
+
+    /// Run the complete ten-row evaluation.
+    pub fn run(mut self) -> PpwTable {
+        let spec = self.server.spec().clone();
+        let total = spec.total_cores();
+        let mut rows = Vec::with_capacity(10);
+
+        // (1) Idle.
+        let idle = self.server.measure_idle();
+        rows.push(to_row("Idle", &idle));
+
+        // (2) EP.C at 1 / half / full cores.
+        let ep = Ep::new(Class::C);
+        for p in Self::core_states(total) {
+            let m = self.server.measure(&ep.signature(), p);
+            rows.push(to_row(&format!("ep.C.{p}"), &m));
+        }
+
+        // (3) HPL at half then full memory, 1 / half / full cores each.
+        for (tag, frac) in [("Mh", MH_FRACTION), ("Mf", MF_FRACTION)] {
+            for p in Self::core_states(total) {
+                let cfg = HplConfig::for_memory_fraction(&spec, frac, p);
+                let m = self.server.measure(&cfg.signature(), p);
+                rows.push(to_row(&format!("HPL P{p} {tag}"), &m));
+            }
+        }
+
+        PpwTable { server: spec.name.clone(), rows }
+    }
+}
+
+fn to_row(label: &str, m: &Measurement) -> PpwRow {
+    PpwRow { program: label.to_string(), gflops: m.gflops, power_w: m.power_w, ppw: m.ppw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn table_has_ten_rows_in_paper_order() {
+        let t = Evaluator::new(presets::xeon_e5462()).run();
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(t.rows[0].program, "Idle");
+        assert_eq!(t.rows[1].program, "ep.C.1");
+        assert_eq!(t.rows[3].program, "ep.C.4");
+        assert_eq!(t.rows[4].program, "HPL P1 Mh");
+        assert_eq!(t.rows[9].program, "HPL P4 Mf");
+    }
+
+    #[test]
+    fn xeon_e5462_reproduces_table_iv_shape() {
+        let t = Evaluator::new(presets::xeon_e5462()).run();
+        // Idle ~134 W, zero PPW.
+        assert!((t.rows[0].power_w - 134.37).abs() < 3.0);
+        assert_eq!(t.rows[0].ppw, 0.0);
+        // ep.C.4 ~174 W, ~0.124 GFLOPS.
+        let ep4 = &t.rows[3];
+        assert!((ep4.power_w - 174.0).abs() < 8.0, "ep.C.4 power {}", ep4.power_w);
+        assert!((ep4.gflops - 0.1237).abs() < 0.01, "ep.C.4 perf {}", ep4.gflops);
+        // HPL P4 Mf ~235 W, ~37 GFLOPS, PPW ~0.158.
+        let hpl = &t.rows[9];
+        assert!((hpl.power_w - 235.3).abs() < 12.0, "HPL P4 Mf power {}", hpl.power_w);
+        assert!((hpl.gflops - 37.2).abs() < 2.0, "HPL P4 Mf perf {}", hpl.gflops);
+        assert!((hpl.ppw - 0.158).abs() < 0.012, "HPL P4 Mf ppw {}", hpl.ppw);
+    }
+
+    #[test]
+    fn score_matches_paper_tables_within_tolerance() {
+        // Paper (consistent mean-of-PPW reading): Xeon-E5462 0.0639,
+        // Opteron-8347 0.0251, Xeon-4870 0.0975.
+        for (spec, want, tol) in [
+            (presets::xeon_e5462(), 0.0639, 0.006),
+            (presets::opteron_8347(), 0.0251, 0.004),
+            (presets::xeon_4870(), 0.0975, 0.010),
+        ] {
+            let name = spec.name.clone();
+            let t = Evaluator::new(spec).run();
+            let got = t.final_score();
+            assert!((got - want).abs() < tol, "{name}: score {got:.4} vs paper {want}");
+        }
+    }
+
+    #[test]
+    fn table_iv_printed_bottom_row_is_the_sum() {
+        // The paper's Table IV prints 0.639 — the PPW *sum*.
+        let t = Evaluator::new(presets::xeon_e5462()).run();
+        assert!((t.ppw_sum() - 0.639).abs() < 0.06, "sum {}", t.ppw_sum());
+    }
+
+    #[test]
+    fn mh_and_mf_power_nearly_equal() {
+        // The paper's core observation: memory utilization barely moves
+        // power (Mh vs Mf rows differ by a few watts).
+        let t = Evaluator::new(presets::opteron_8347()).run();
+        let mh = t.rows.iter().find(|r| r.program == "HPL P16 Mh").unwrap();
+        let mf = t.rows.iter().find(|r| r.program == "HPL P16 Mf").unwrap();
+        assert!((mh.power_w - mf.power_w).abs() < 15.0);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = Evaluator::new(presets::xeon_e5462()).run();
+        let s = t.render();
+        assert!(s.contains("Idle"));
+        assert!(s.contains("HPL P2 Mh"));
+        assert!(s.contains("mean(PPW)"));
+    }
+
+    #[test]
+    fn core_states_are_one_half_full() {
+        assert_eq!(Evaluator::core_states(4), vec![1, 2, 4]);
+        assert_eq!(Evaluator::core_states(16), vec![1, 8, 16]);
+        assert_eq!(Evaluator::core_states(40), vec![1, 20, 40]);
+        assert_eq!(Evaluator::core_states(1), vec![1]);
+        assert_eq!(Evaluator::core_states(2), vec![1, 2]);
+    }
+}

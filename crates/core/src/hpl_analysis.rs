@@ -1,0 +1,205 @@
+//! The §V-A HPL parameter analysis (Figs 5–7).
+//!
+//! Three sweeps on each server, establishing that the *process count* is
+//! the only HPL knob that materially moves power:
+//!
+//! * **Ns** (Fig 5): problem size from 10 % to 100 % of memory at 1,
+//!   half and full cores — power curves are flat in Ns and separated by
+//!   core count;
+//! * **NBs** (Fig 6): block size 50..400 at fixed N — flat except a
+//!   small dip at NB = 50;
+//! * **P×Q** (Fig 7): grid shapes 1×4, 2×2, 4×1 over the NB sweep at
+//!   N = 30,000 — minimal effect.
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::hpl::HplConfig;
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::spec::ServerSpec;
+
+use crate::server::SimulatedServer;
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value (workload % for Ns, NB for NBs).
+    pub x: f64,
+    /// Series label ("1 Core", "P=2, Q=2", ...).
+    pub series: String,
+    /// Measured power, watts.
+    pub power_w: f64,
+    /// Achieved GFLOPS (context for the power numbers).
+    pub gflops: f64,
+}
+
+/// Fig 5: memory-size sweep at 1 / 2 / 4 … cores.
+pub fn ns_sweep(spec: &ServerSpec, core_series: &[u32]) -> Vec<SweepPoint> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut out = Vec::new();
+    for &cores in core_series {
+        for step in 1..=10 {
+            let frac = 0.1 * f64::from(step);
+            let cfg = HplConfig::for_memory_fraction(spec, frac, cores);
+            let m = srv.measure(&cfg.signature(), cores);
+            out.push(SweepPoint {
+                x: frac * 100.0,
+                series: format!("{cores} Core{}", if cores > 1 { "s" } else { "" }),
+                power_w: m.power_w,
+                gflops: m.gflops,
+            });
+        }
+    }
+    out
+}
+
+/// Fig 6: NB sweep at fixed N for each core count.
+pub fn nb_sweep(spec: &ServerSpec, n: u64, core_series: &[u32]) -> Vec<SweepPoint> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut out = Vec::new();
+    for &cores in core_series {
+        for nb in (50..=400).step_by(50) {
+            let (p, q) = HplConfig::near_square_grid(cores);
+            let cfg = HplConfig { n, nb, p, q };
+            let m = srv.measure(&cfg.signature(), cores);
+            out.push(SweepPoint {
+                x: f64::from(nb),
+                series: format!("{cores} Core{}", if cores > 1 { "s" } else { "" }),
+                power_w: m.power_w,
+                gflops: m.gflops,
+            });
+        }
+    }
+    out
+}
+
+/// Fig 7: grid-shape sweep over NB at N = 30,000 with 4 processes.
+pub fn grid_sweep(spec: &ServerSpec, n: u64) -> Vec<SweepPoint> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut out = Vec::new();
+    for (p, q) in [(1u32, 4u32), (2, 2), (4, 1)] {
+        for nb in (50..=400).step_by(50) {
+            let cfg = HplConfig { n, nb, p, q };
+            let m = srv.measure(&cfg.signature(), p * q);
+            out.push(SweepPoint {
+                x: f64::from(nb),
+                series: format!("P={p}, Q={q}"),
+                power_w: m.power_w,
+                gflops: m.gflops,
+            });
+        }
+    }
+    out
+}
+
+/// Max −min power within each series (used to assert flatness).
+pub fn series_spread(points: &[SweepPoint], series: &str) -> f64 {
+    let watts: Vec<f64> = points
+        .iter()
+        .filter(|p| p.series == series)
+        .map(|p| p.power_w)
+        .collect();
+    let max = watts.iter().cloned().fold(f64::MIN, f64::max);
+    let min = watts.iter().cloned().fold(f64::MAX, f64::min);
+    if watts.is_empty() {
+        0.0
+    } else {
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn fig5_core_count_dominates_memory_size() {
+        let spec = presets::xeon_e5462();
+        let pts = ns_sweep(&spec, &[1, 2, 4]);
+        // Within a core count, Ns moves power by a few watts only…
+        for series in ["1 Core", "2 Cores", "4 Cores"] {
+            let spread = series_spread(&pts, series);
+            assert!(spread < 15.0, "{series}: spread {spread:.1} W");
+        }
+        // …while switching core count moves it a lot.
+        let p1: f64 = pts
+            .iter()
+            .filter(|p| p.series == "1 Core")
+            .map(|p| p.power_w)
+            .sum::<f64>()
+            / 10.0;
+        let p4: f64 = pts
+            .iter()
+            .filter(|p| p.series == "4 Cores")
+            .map(|p| p.power_w)
+            .sum::<f64>()
+            / 10.0;
+        assert!(p4 - p1 > 40.0, "core separation {:.1}", p4 - p1);
+    }
+
+    #[test]
+    fn fig6_curves_do_not_intersect() {
+        // "the power curves of different numbers of cores … do not
+        // intersect."
+        let spec = presets::xeon_e5462();
+        let pts = nb_sweep(&spec, 30_000, &[1, 2, 3, 4]);
+        let series_max = |s: &str| {
+            pts.iter().filter(|p| p.series == s).map(|p| p.power_w).fold(f64::MIN, f64::max)
+        };
+        let series_min = |s: &str| {
+            pts.iter().filter(|p| p.series == s).map(|p| p.power_w).fold(f64::MAX, f64::min)
+        };
+        assert!(series_max("1 Core") < series_min("2 Cores"));
+        assert!(series_max("2 Cores") < series_min("3 Cores"));
+        assert!(series_max("3 Cores") < series_min("4 Cores"));
+    }
+
+    #[test]
+    fn fig7_nb50_sits_below_the_rest() {
+        // "The power when NB equals 50 is 10W smaller than the power
+        // with other NBs."
+        let spec = presets::xeon_e5462();
+        let pts = grid_sweep(&spec, 30_000);
+        for grid in ["P=1, Q=4", "P=2, Q=2", "P=4, Q=1"] {
+            let series: Vec<&SweepPoint> =
+                pts.iter().filter(|p| p.series == grid).collect();
+            let nb50 = series.iter().find(|p| p.x == 50.0).unwrap().power_w;
+            let rest: f64 = series.iter().filter(|p| p.x >= 200.0).map(|p| p.power_w).sum::<f64>()
+                / series.iter().filter(|p| p.x >= 200.0).count() as f64;
+            let dip = rest - nb50;
+            assert!((5.0..20.0).contains(&dip), "{grid}: NB=50 dip {dip:.1} W");
+        }
+    }
+
+    #[test]
+    fn fig7_power_band_matches_paper() {
+        // "the majority of power values are in the range from 230W to
+        // 245W" for 4 processes at N=30,000.
+        let spec = presets::xeon_e5462();
+        let pts = grid_sweep(&spec, 30_000);
+        let in_band = pts
+            .iter()
+            .filter(|p| p.x >= 100.0)
+            .filter(|p| (228.0..=248.0).contains(&p.power_w))
+            .count();
+        let total = pts.iter().filter(|p| p.x >= 100.0).count();
+        assert!(
+            in_band * 10 >= total * 8,
+            "only {in_band}/{total} in the 230-245 W band"
+        );
+    }
+
+    #[test]
+    fn grid_shape_effect_is_minimal() {
+        // "The combination of P and Q affects power minimally."
+        let spec = presets::xeon_e5462();
+        let pts = grid_sweep(&spec, 30_000);
+        for nb in [100.0, 200.0, 400.0] {
+            let at: Vec<f64> =
+                pts.iter().filter(|p| p.x == nb).map(|p| p.power_w).collect();
+            let spread = at.iter().cloned().fold(f64::MIN, f64::max)
+                - at.iter().cloned().fold(f64::MAX, f64::min);
+            assert!(spread < 10.0, "NB={nb}: grid spread {spread:.1} W");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The §IV motivation study: power of SPECpower, HPL and the NPB (class
+//! C) across process counts (Figs 3–4, Table II).
+//!
+//! For each server, every NPB program is run at every process count its
+//! constraint allows and its footprint fits, alongside tuned HPL and the
+//! full-load SSJ workload. The paper's findings, all asserted in tests:
+//!
+//! 1. HPL's power grows fastest with process count and tops the chart;
+//! 2. EP's grows slowest and floors it;
+//! 3. only HPL and EP cover every process count;
+//! 4. everything else lands between EP and HPL.
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::hpl::HplConfig;
+use hpceval_kernels::npb::{Class, Program};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::spec::ServerSpec;
+use hpceval_specpower::ssj::SsjRun;
+
+use crate::evaluation::MF_FRACTION;
+use crate::server::SimulatedServer;
+
+/// One bar of Fig 3/4: a (program, process count) power measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBar {
+    /// Label as the paper prints it, e.g. "ep.C.4", "HPL.2",
+    /// "SPECPower.4".
+    pub label: String,
+    /// Program id ("ep", "hpl", "specpower", ...).
+    pub program: String,
+    /// Process count.
+    pub processes: u32,
+    /// Measured power, watts.
+    pub power_w: f64,
+}
+
+/// The full power study for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerStudy {
+    /// Server name.
+    pub server: String,
+    /// All bars, grouped by descending process count (the paper's x-axis
+    /// order).
+    pub bars: Vec<PowerBar>,
+}
+
+/// Process counts the study sweeps for a server (descending, like the
+/// figures): full, half, …, down to 1 by halving.
+pub fn sweep_procs(total: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut p = total;
+    while p >= 1 {
+        v.push(p);
+        if p == 1 {
+            break;
+        }
+        p /= 2;
+    }
+    v
+}
+
+/// Run the §IV power study on `spec` with the NPB at `class`.
+pub fn power_study(spec: &ServerSpec, class: Class) -> PowerStudy {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut bars = Vec::new();
+    let total = spec.total_cores();
+
+    for &p in &sweep_procs(total) {
+        // SPECpower appears once, at full cores (as in Figs 3-4).
+        if p == total {
+            let run = SsjRun::run(spec, 0x51);
+            let level = run
+                .levels
+                .iter()
+                .find(|l| l.label == "100%")
+                .expect("schedule contains the 100% level");
+            let sig = run.signature_at(spec, level);
+            let m = srv.measure(&sig, p);
+            bars.push(PowerBar {
+                label: format!("SPECPower.{p}"),
+                program: "specpower".to_string(),
+                processes: p,
+                power_w: m.power_w,
+            });
+        }
+        // HPL, tuned, full memory.
+        let cfg = HplConfig::for_memory_fraction(spec, MF_FRACTION, p);
+        let m = srv.measure(&cfg.signature(), p);
+        bars.push(PowerBar {
+            label: format!("HPL.{p}"),
+            program: "hpl".to_string(),
+            processes: p,
+            power_w: m.power_w,
+        });
+        // Every NPB program that can run at p.
+        for prog in Program::ALL {
+            let b = prog.benchmark(class);
+            let sig = b.signature();
+            if b.constraint().allows(p) && srv.can_run(&sig, p) {
+                let m = srv.measure(&sig, p);
+                bars.push(PowerBar {
+                    label: format!("{}.{}.{}", prog.id(), class, p),
+                    program: prog.id().to_string(),
+                    processes: p,
+                    power_w: m.power_w,
+                });
+            }
+        }
+    }
+    PowerStudy { server: spec.name.clone(), bars }
+}
+
+impl PowerStudy {
+    /// Bars at one process count.
+    pub fn at_procs(&self, p: u32) -> Vec<&PowerBar> {
+        self.bars.iter().filter(|b| b.processes == p).collect()
+    }
+
+    /// The bar for a program at a process count, if it ran.
+    pub fn find(&self, program: &str, p: u32) -> Option<&PowerBar> {
+        self.bars.iter().find(|b| b.program == program && b.processes == p)
+    }
+
+    /// Table II style rows: power normalized by the PSU rating for every
+    /// NPB program + HPL + SPECpower across a full 1..=cores sweep.
+    pub fn normalized_rows(&self, spec: &ServerSpec) -> Vec<(String, f64)> {
+        let norm = spec.psu_total_w();
+        self.bars.iter().map(|b| (b.label.clone(), b.power_w / norm)).collect()
+    }
+
+    /// Render as label/watts lines in figure order.
+    pub fn render(&self) -> String {
+        let mut out = format!("Power test on server {}\n", self.server);
+        for b in &self.bars {
+            out.push_str(&format!("{:<16} {:>9.2} W\n", b.label, b.power_w));
+        }
+        out
+    }
+}
+
+/// The Table II experiment: the Xeon-4870 swept over the paper's process
+/// list with normalized power.
+pub fn table2_sweep(spec: &ServerSpec, class: Class) -> Vec<PowerBar> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut bars = Vec::new();
+    // The paper's process list for Table II.
+    let procs = [1u32, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40];
+    for &p in &procs {
+        if p > spec.total_cores() {
+            continue;
+        }
+        let cfg = HplConfig::for_memory_fraction(spec, MF_FRACTION, p);
+        let m = srv.measure(&cfg.signature(), p);
+        bars.push(PowerBar {
+            label: format!("HPL.{p}"),
+            program: "hpl".to_string(),
+            processes: p,
+            power_w: m.power_w,
+        });
+        for prog in Program::ALL {
+            let b = prog.benchmark(class);
+            let sig = b.signature();
+            if b.constraint().allows(p) && srv.can_run(&sig, p) {
+                let m = srv.measure(&sig, p);
+                bars.push(PowerBar {
+                    label: format!("{}.{}.{}", prog.id(), class, p),
+                    program: prog.id().to_string(),
+                    processes: p,
+                    power_w: m.power_w,
+                });
+            }
+        }
+    }
+    bars
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn sweep_is_descending_halving() {
+        assert_eq!(sweep_procs(16), vec![16, 8, 4, 2, 1]);
+        assert_eq!(sweep_procs(4), vec![4, 2, 1]);
+        assert_eq!(sweep_procs(1), vec![1]);
+    }
+
+    #[test]
+    fn fig3_hpl_max_ep_min_at_four_and_two() {
+        // Paper §IV-C: "EP always has the lowest power and HPL has the
+        // highest power when the number of processes is four and two."
+        let study = power_study(&presets::xeon_e5462(), Class::C);
+        for p in [4u32, 2] {
+            let group = study.at_procs(p);
+            let hpl = study.find("hpl", p).unwrap().power_w;
+            let ep = study.find("ep", p).unwrap().power_w;
+            for bar in &group {
+                if bar.program != "hpl" {
+                    assert!(bar.power_w <= hpl + 1.0, "p={p}: {} above HPL", bar.label);
+                }
+                if bar.program != "ep" && bar.program != "specpower" {
+                    assert!(bar.power_w >= ep - 1.0, "p={p}: {} below EP", bar.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_opteron_hpl_peaks_at_sixteen() {
+        let study = power_study(&presets::opteron_8347(), Class::C);
+        let hpl16 = study.find("hpl", 16).unwrap().power_w;
+        for bar in &study.bars {
+            assert!(bar.power_w <= hpl16 + 1.0, "{} exceeds HPL.16", bar.label);
+        }
+        // And HPL grows fastest: its 1->16 delta beats EP's.
+        let d_hpl = hpl16 - study.find("hpl", 1).unwrap().power_w;
+        let d_ep =
+            study.find("ep", 16).unwrap().power_w - study.find("ep", 1).unwrap().power_w;
+        assert!(d_hpl > d_ep, "HPL growth {d_hpl:.1} !> EP growth {d_ep:.1}");
+    }
+
+    #[test]
+    fn cg_c_absent_beyond_one_process_on_e5462() {
+        // Fig 3: cg.C.2 and cg.C.4 cannot run (memory).
+        let study = power_study(&presets::xeon_e5462(), Class::C);
+        assert!(study.find("cg", 1).is_some());
+        assert!(study.find("cg", 2).is_none());
+        assert!(study.find("cg", 4).is_none());
+    }
+
+    #[test]
+    fn ft_c_needs_four_processes_on_e5462() {
+        let study = power_study(&presets::xeon_e5462(), Class::C);
+        assert!(study.find("ft", 4).is_some());
+        assert!(study.find("ft", 2).is_none());
+        assert!(study.find("ft", 1).is_none());
+    }
+
+    #[test]
+    fn only_ep_covers_every_count_in_table2() {
+        // Table II: "only EP works on all configurations of process
+        // numbers" (HPL too — it is not an NPB program).
+        let spec = presets::xeon_4870();
+        let bars = table2_sweep(&spec, Class::C);
+        let procs = [1u32, 2, 4, 8, 9, 16, 25, 32, 36, 39, 40];
+        for &p in &procs {
+            assert!(
+                bars.iter().any(|b| b.program == "ep" && b.processes == p),
+                "ep missing at p={p}"
+            );
+        }
+        // BT only at squares; 39 must have nothing but EP and HPL.
+        let at39: Vec<&PowerBar> =
+            bars.iter().filter(|b| b.processes == 39).collect();
+        assert!(at39.iter().all(|b| b.program == "ep" || b.program == "hpl"));
+    }
+
+    #[test]
+    fn table2_normalized_range_matches_paper() {
+        // Paper Table II: HPL from 0.45 (p=1) to 0.74 (p=40).
+        let spec = presets::xeon_4870();
+        let bars = table2_sweep(&spec, Class::C);
+        let norm = spec.psu_total_w();
+        let hpl1 = bars.iter().find(|b| b.label == "HPL.1").unwrap().power_w / norm;
+        let hpl40 = bars.iter().find(|b| b.label == "HPL.40").unwrap().power_w / norm;
+        assert!((hpl1 - 0.45).abs() < 0.02, "HPL.1 normalized {hpl1:.3}");
+        assert!((hpl40 - 0.74).abs() < 0.03, "HPL.40 normalized {hpl40:.3}");
+    }
+}

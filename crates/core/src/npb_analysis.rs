@@ -1,0 +1,242 @@
+//! The §V-B NPB analysis: class scales and the EP profile (Figs 8–11).
+//!
+//! * **Fig 8** — memory footprint of every NPB program at classes A/B/C
+//!   and 1/2/4 processes: footprint is decided by the class, FT grows
+//!   fastest, EP is negligible and flattest.
+//! * **Fig 9** — power of the same matrix: power follows the core count,
+//!   not the footprint; EP floors every group.
+//! * **Figs 10–11** — EP.C power, PPW and energy versus cores: power and
+//!   PPW rise with cores, energy *falls* (the parallelism-saves-energy
+//!   argument).
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::npb::{ep::Ep, Class, Program};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::spec::ServerSpec;
+use hpceval_power::analysis::energy_kj;
+
+use crate::server::SimulatedServer;
+
+/// One cell of the Figs 8–9 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleCell {
+    /// Program id.
+    pub program: String,
+    /// NPB class.
+    pub class: char,
+    /// Process count.
+    pub processes: u32,
+    /// Resident memory, MB.
+    pub memory_mb: f64,
+    /// Measured power, watts.
+    pub power_w: f64,
+    /// Whether the configuration could run at all.
+    pub ran: bool,
+}
+
+/// Run the A/B/C × {1,2,4} × programs matrix on `spec` (Figs 8–9).
+pub fn scale_study(spec: &ServerSpec) -> Vec<ScaleCell> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let mut out = Vec::new();
+    for prog in Program::ALL {
+        for class in Class::ALL {
+            let b = prog.benchmark(class);
+            let sig = b.signature();
+            for p in [1u32, 2, 4] {
+                let allowed = b.constraint().allows(p) && srv.can_run(&sig, p);
+                let (power, mem) = if allowed {
+                    let m = srv.measure(&sig, p);
+                    (m.power_w, sig.footprint_at(p) / 1e6)
+                } else {
+                    (0.0, sig.footprint_at(p) / 1e6)
+                };
+                out.push(ScaleCell {
+                    program: prog.id().to_string(),
+                    class: class.letter(),
+                    processes: p,
+                    memory_mb: mem,
+                    power_w: power,
+                    ran: allowed,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One point of the EP profile (Figs 10–11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpPoint {
+    /// Cores used.
+    pub cores: u32,
+    /// Power, watts.
+    pub power_w: f64,
+    /// PPW in MFLOPS/W (the paper's Fig 10b unit).
+    pub ppw_mflops_per_w: f64,
+    /// Execution time, seconds.
+    pub time_s: f64,
+    /// Energy, kJ (Eq. 2).
+    pub energy_kj: f64,
+}
+
+/// The EP.C power/PPW/energy profile over `core_series` (Figs 10–11).
+pub fn ep_profile(spec: &ServerSpec, core_series: &[u32]) -> Vec<EpPoint> {
+    let mut srv = SimulatedServer::new(spec.clone());
+    let sig = Ep::new(Class::C).signature();
+    core_series
+        .iter()
+        .map(|&cores| {
+            let m = srv.measure(&sig, cores);
+            EpPoint {
+                cores,
+                power_w: m.power_w,
+                ppw_mflops_per_w: m.ppw * 1000.0,
+                time_s: m.time_s,
+                energy_kj: energy_kj(m.power_w, m.time_s),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    fn cells() -> Vec<ScaleCell> {
+        scale_study(&presets::xeon_e5462())
+    }
+
+    #[test]
+    fn fig8_memory_decided_by_class_not_processes() {
+        let cells = cells();
+        // For a distributed program the footprint at p=1 vs p=4 within a
+        // class changes far less than across classes.
+        let get = |prog: &str, class: char, p: u32| {
+            cells
+                .iter()
+                .find(|c| c.program == prog && c.class == class && c.processes == p)
+                .unwrap()
+                .memory_mb
+        };
+        let within = (get("mg", 'B', 4) - get("mg", 'B', 1)).abs();
+        let across = (get("mg", 'C', 1) - get("mg", 'B', 1)).abs();
+        assert!(across > 10.0 * within.max(1.0), "class effect must dominate");
+    }
+
+    #[test]
+    fn fig8_ft_has_fastest_footprint_growth_ep_slowest() {
+        // Measured at one process (the leftmost group of Fig 8), where
+        // FT's transpose scratch is fully resident.
+        let cells = cells();
+        let growth = |prog: &str| {
+            let a = cells
+                .iter()
+                .find(|c| c.program == prog && c.class == 'A' && c.processes == 1)
+                .unwrap()
+                .memory_mb;
+            let c = cells
+                .iter()
+                .find(|c| c.program == prog && c.class == 'C' && c.processes == 1)
+                .unwrap()
+                .memory_mb;
+            c - a
+        };
+        let ft = growth("ft");
+        let ep = growth("ep");
+        for prog in ["bt", "cg", "is", "lu", "mg", "sp"] {
+            assert!(growth(prog) < ft, "{prog} outgrew FT");
+            assert!(growth(prog) > ep, "{prog} grew slower than EP");
+        }
+    }
+
+    #[test]
+    fn fig9_ep_floors_every_group() {
+        let cells = cells();
+        for class in ['A', 'B', 'C'] {
+            for p in [1u32, 2, 4] {
+                let ep = cells
+                    .iter()
+                    .find(|c| c.program == "ep" && c.class == class && c.processes == p)
+                    .unwrap();
+                for c in cells.iter().filter(|c| {
+                    c.class == class && c.processes == p && c.ran && c.program != "ep"
+                }) {
+                    assert!(
+                        c.power_w >= ep.power_w - 1.0,
+                        "{}.{}.{} below EP",
+                        c.program,
+                        class,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_power_rises_with_cores_not_memory() {
+        let cells = cells();
+        // FT's footprint triples from A to C but power moves little;
+        // EP's power at 4 cores clearly exceeds EP at 1 core.
+        let ft_a = cells
+            .iter()
+            .find(|c| c.program == "ft" && c.class == 'A' && c.processes == 4)
+            .unwrap();
+        let ft_c = cells
+            .iter()
+            .find(|c| c.program == "ft" && c.class == 'C' && c.processes == 4)
+            .unwrap();
+        assert!(ft_a.ran && ft_c.ran);
+        assert!((ft_c.power_w - ft_a.power_w).abs() < 20.0, "footprint moved FT power");
+        let ep1 = cells
+            .iter()
+            .find(|c| c.program == "ep" && c.class == 'C' && c.processes == 1)
+            .unwrap();
+        let ep4 = cells
+            .iter()
+            .find(|c| c.program == "ep" && c.class == 'C' && c.processes == 4)
+            .unwrap();
+        assert!(ep4.power_w - ep1.power_w > 15.0, "cores must move power");
+    }
+
+    #[test]
+    fn fig10_power_and_ppw_rise_with_cores() {
+        let prof = ep_profile(&presets::xeon_e5462(), &[1, 2, 4]);
+        assert!(prof[0].power_w < prof[1].power_w && prof[1].power_w < prof[2].power_w);
+        assert!(
+            prof[0].ppw_mflops_per_w < prof[1].ppw_mflops_per_w
+                && prof[1].ppw_mflops_per_w < prof[2].ppw_mflops_per_w
+        );
+        // Paper Fig 10: power ~140..190 W, PPW ~0.2..0.8 MFLOPS/W.
+        assert!((prof[0].power_w - 145.5).abs() < 8.0);
+        assert!(prof[2].ppw_mflops_per_w > 0.4 && prof[2].ppw_mflops_per_w < 1.2);
+    }
+
+    #[test]
+    fn fig11_energy_falls_with_cores() {
+        // "Multiple cores reduce the total energy consumption of a
+        // calculation."
+        let prof = ep_profile(&presets::xeon_e5462(), &[1, 2, 4]);
+        assert!(prof[0].energy_kj > prof[1].energy_kj);
+        assert!(prof[1].energy_kj > prof[2].energy_kj);
+        // Paper Fig 11 scale: ~35 kJ at 1 core on the Xeon-E5462.
+        assert!((prof[0].energy_kj - 35.0).abs() < 8.0, "1-core energy {}", prof[0].energy_kj);
+    }
+
+    #[test]
+    fn skipped_configurations_are_marked() {
+        let cells = cells();
+        let cg_c4 = cells
+            .iter()
+            .find(|c| c.program == "cg" && c.class == 'C' && c.processes == 4)
+            .unwrap();
+        assert!(!cg_c4.ran, "cg.C.4 must not run on 8 GiB");
+        let bt_2 = cells
+            .iter()
+            .find(|c| c.program == "bt" && c.class == 'A' && c.processes == 2)
+            .unwrap();
+        assert!(!bt_2.ran, "bt needs square process counts");
+    }
+}

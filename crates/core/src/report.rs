@@ -1,0 +1,161 @@
+//! Full evaluation report for one server, in Markdown.
+//!
+//! Bundles everything a practitioner adopting the methodology would
+//! want for a machine: the five-state PPW table, the comparison scores
+//! (Green500, SPECpower), measurement-stability warnings, the energy
+//! analysis, and — when the server is one of the paper's — the paper's
+//! own numbers alongside.
+
+use std::fmt::Write as _;
+
+use hpceval_kernels::npb::Class;
+use hpceval_machine::spec::ServerSpec;
+
+use crate::energy_analysis::energy_study;
+use crate::evaluation::Evaluator;
+use crate::green500_levels::{level_study, MeasurementLevel};
+use crate::rankings::{green500_score, specpower_score};
+use crate::stability::stability_study;
+
+/// Paper reference values for the preset servers: (mean PPW, Green500
+/// PPW, SPECpower score).
+fn paper_reference(name: &str) -> Option<(f64, f64, f64)> {
+    match name {
+        "Xeon-E5462" => Some((0.0639, 0.158, 247.0)),
+        "Opteron-8347" => Some((0.0251, 0.0618, 22.2)),
+        "Xeon-4870" => Some((0.0975, 0.307, 139.0)),
+        _ => None,
+    }
+}
+
+/// Render the full Markdown report for `spec`.
+pub fn markdown_report(spec: &ServerSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Power evaluation report — {}\n", spec.name);
+    let _ = writeln!(
+        out,
+        "{} × {} @ {} MHz ({} cores, {:.1} GFLOPS peak), {} GiB {:?}\n",
+        spec.chips,
+        spec.processor,
+        spec.freq_mhz,
+        spec.total_cores(),
+        spec.peak_gflops(),
+        spec.memory_gib,
+        spec.memory_kind
+    );
+
+    // Five-state table.
+    let table = Evaluator::new(spec.clone()).run();
+    let _ = writeln!(out, "## Five-state evaluation (HPL + EP)\n");
+    let _ = writeln!(out, "| Program | GFLOPS | Power (W) | PPW |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.4} | {:.2} | {:.4} |",
+            r.program, r.gflops, r.power_w, r.ppw
+        );
+    }
+    let _ = writeln!(out, "\n**System score (mean PPW): {:.4} GFLOPS/W**\n", table.final_score());
+
+    // Comparison scores.
+    let g5 = green500_score(spec);
+    let sp = specpower_score(spec);
+    let _ = writeln!(out, "## Comparison methods\n");
+    let _ = writeln!(out, "| Method | Score |");
+    let _ = writeln!(out, "|---|---:|");
+    let _ = writeln!(out, "| Five-state mean PPW | {:.4} GFLOPS/W |", table.final_score());
+    let _ = writeln!(out, "| Green500 (peak HPL) | {g5:.4} GFLOPS/W |");
+    let _ = writeln!(out, "| SPECpower-style | {sp:.1} ssj_ops/W |");
+    if let Some((p5, pg, ps)) = paper_reference(&spec.name) {
+        let _ = writeln!(
+            out,
+            "\nPaper reference: five-state {p5}, Green500 {pg}, SPECpower {ps}.\n"
+        );
+    }
+
+    // Measurement quality.
+    let levels = level_study(spec, 0x9e);
+    let _ = writeln!(out, "## Green500 measurement-level sensitivity\n");
+    let _ = writeln!(out, "| Level | Power (W) | PPW |");
+    let _ = writeln!(out, "|---|---:|---:|");
+    for l in &levels {
+        let tag = match l.level {
+            MeasurementLevel::L1 => "L1 (1 min, early)",
+            MeasurementLevel::L2 => "L2 (20 %, centered)",
+            MeasurementLevel::L3 => "L3 (full run)",
+        };
+        let _ = writeln!(out, "| {tag} | {:.1} | {:.4} |", l.power_w, l.ppw);
+    }
+
+    // Stability warnings.
+    let unstable: Vec<String> = stability_study(spec, &[Class::A])
+        .into_iter()
+        .filter(|r| !r.is_stable())
+        .map(|r| format!("{} ({:.1} s)", r.label, r.duration_s))
+        .collect();
+    let _ = writeln!(out, "\n## Measurement stability\n");
+    if unstable.is_empty() {
+        let _ = writeln!(out, "All class-A configurations are measurable at 1 Hz.");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} class-A configuration(s) too short for stable 1 Hz measurement \
+             (repeat or use a larger class): {}",
+            unstable.len(),
+            unstable.join(", ")
+        );
+    }
+
+    // Energy headline.
+    let profiles = energy_study(spec, Class::C);
+    let _ = writeln!(out, "\n## Energy-to-solution (class C)\n");
+    let _ = writeln!(out, "| Program | Min-energy config | Energy (kJ) |");
+    let _ = writeln!(out, "|---|---|---:|");
+    for p in &profiles {
+        let best = p.min_energy();
+        let _ = writeln!(out, "| {} | {} | {:.1} |", p.program, best.label, best.energy_kj);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn report_contains_every_section() {
+        let md = markdown_report(&presets::xeon_e5462());
+        for needle in [
+            "# Power evaluation report — Xeon-E5462",
+            "## Five-state evaluation",
+            "## Comparison methods",
+            "## Green500 measurement-level sensitivity",
+            "## Measurement stability",
+            "## Energy-to-solution",
+            "HPL P4 Mf",
+            "Paper reference",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn custom_server_omits_paper_reference() {
+        let mut spec = presets::xeon_e5462();
+        spec.name = "My-Box".to_string();
+        let md = markdown_report(&spec);
+        assert!(!md.contains("Paper reference"));
+        assert!(md.contains("# Power evaluation report — My-Box"));
+    }
+
+    #[test]
+    fn report_flags_short_class_a_runs() {
+        let md = markdown_report(&presets::xeon_e5462());
+        assert!(
+            md.contains("too short for stable"),
+            "class-A instability warning missing"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! A simulated HPC server under test.
+//!
+//! Bundles one server's performance model, ground-truth power model and
+//! WT210 meter, and exposes [`SimulatedServer::measure`]: run a workload
+//! signature at a process count, log wall power at 1 Hz with noise and a
+//! slow thermal wander, and push the log through the paper's §V-C2
+//! analysis (window → trim 10 % → average).
+
+use hpceval_machine::pmu::PmuRates;
+use hpceval_machine::roofline::{ExecEstimate, PerfModel};
+use hpceval_machine::spec::ServerSpec;
+use hpceval_machine::topology::Placement;
+use hpceval_machine::workload::WorkloadSignature;
+use hpceval_power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval_power::meter::Wt210;
+use hpceval_power::model::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// One measured benchmark configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Program name, e.g. "ep.C".
+    pub name: String,
+    /// Processes used.
+    pub processes: u32,
+    /// Reported performance, GFLOPS.
+    pub gflops: f64,
+    /// Modeled execution time, seconds.
+    pub time_s: f64,
+    /// Metered mean power (through the trim-10 % pipeline), watts.
+    pub power_w: f64,
+    /// Memory utilization fraction.
+    pub mem_usage_frac: f64,
+    /// Performance per watt, GFLOPS/W.
+    pub ppw: f64,
+    /// The roofline estimate behind this measurement.
+    pub est: ExecEstimate,
+}
+
+/// A server under test: models + meter.
+#[derive(Debug, Clone)]
+pub struct SimulatedServer {
+    spec: ServerSpec,
+    perf: PerfModel,
+    power: PowerModel,
+    seed: u64,
+    clock_s: f64,
+}
+
+impl SimulatedServer {
+    /// Stand up a server with a deterministic default seed.
+    pub fn new(spec: ServerSpec) -> Self {
+        Self::with_seed(spec, 0x5eed)
+    }
+
+    /// Stand up a server with an explicit meter seed.
+    pub fn with_seed(spec: ServerSpec, seed: u64) -> Self {
+        let perf = PerfModel::new(spec.clone());
+        let power = PowerModel::new(spec.clone());
+        Self { spec, perf, power, seed, clock_s: 0.0 }
+    }
+
+    /// Select the placement policy (default: scatter).
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.perf = PerfModel::new(self.spec.clone()).with_placement(placement);
+        self
+    }
+
+    /// The server's spec.
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// The performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// The ground-truth power model (for PMU/regression experiments).
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Noise-free power of a configuration (used by experiments that
+    /// need ground truth, e.g. regression residual analysis).
+    pub fn true_power_w(&self, sig: &WorkloadSignature, est: &ExecEstimate) -> f64 {
+        self.power.power_w(sig, est)
+    }
+
+    /// Roofline estimate without metering.
+    pub fn estimate(&self, sig: &WorkloadSignature, p: u32) -> ExecEstimate {
+        self.perf.execute(sig, p)
+    }
+
+    /// PMU counter rates for a running configuration.
+    pub fn pmu_rates(&self, sig: &WorkloadSignature, est: &ExecEstimate) -> PmuRates {
+        PmuRates::synthesize(&self.spec, sig, est)
+    }
+
+    /// Whether `sig` can run with `p` processes on this machine
+    /// (memory fit; the caller checks the program's proc constraint).
+    pub fn can_run(&self, sig: &WorkloadSignature, p: u32) -> bool {
+        p >= 1 && p <= self.spec.total_cores() && sig.fits_in(p, self.spec.memory_bytes())
+    }
+
+    /// Run the full measurement pipeline for one configuration.
+    ///
+    /// The meter logs for the modeled duration (clamped to 30–600 s of
+    /// simulated samples: the paper repeats short programs and windows
+    /// long ones), the log is windowed, trimmed by 10 % and averaged.
+    pub fn measure(&mut self, sig: &WorkloadSignature, p: u32) -> Measurement {
+        let est = self.perf.execute(sig, p);
+        let truth = self.power.power_w(sig, &est);
+        let noise = self.power.calibration().noise_sd_w;
+        let duration = if est.time_s > 0.0 { est.time_s.clamp(30.0, 600.0) } else { 120.0 };
+
+        // Seed per measurement so runs are independent but the whole
+        // session is reproducible.
+        let mut meter = Wt210::new(self.seed ^ hash_name(&sig.name) ^ u64::from(p))
+            .with_noise(noise);
+        let start = self.clock_s;
+        // Slow thermal wander on top of white noise: fans and VRM
+        // temperature drift over tens of seconds.
+        let wander = noise * 1.5;
+        let trace = meter.record(start, duration, move |t| {
+            truth + wander * (t * 0.013).sin()
+        });
+        self.clock_s += duration + 10.0; // inter-program gap
+
+        let stats = TraceAnalysis::new(trace)
+            .analyze(ProgramWindow { start_s: start, end_s: start + duration + 1.0 })
+            .expect("window covers the recorded trace");
+
+        let power_w = stats.mean_w;
+        Measurement {
+            name: sig.name.clone(),
+            processes: est.plan.processes,
+            gflops: est.gflops,
+            time_s: est.time_s,
+            power_w,
+            mem_usage_frac: est.mem_usage_frac,
+            ppw: if power_w > 0.0 { est.gflops / power_w } else { 0.0 },
+            est,
+        }
+    }
+
+    /// Measure the idle state (the evaluation's first row).
+    pub fn measure_idle(&mut self) -> Measurement {
+        let sig = WorkloadSignature::idle();
+        self.measure(&sig, 0)
+    }
+}
+
+/// Stable small hash for per-measurement meter seeding.
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_kernels::npb::{ep::Ep, Class};
+    use hpceval_kernels::suite::Benchmark;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn idle_measurement_matches_calibration() {
+        let mut srv = SimulatedServer::new(presets::xeon_e5462());
+        let m = srv.measure_idle();
+        assert!((m.power_w - 134.37).abs() < 2.0, "idle {}", m.power_w);
+        assert_eq!(m.gflops, 0.0);
+        assert_eq!(m.ppw, 0.0);
+    }
+
+    #[test]
+    fn measurement_is_reproducible_under_seed() {
+        let sig = Ep::new(Class::C).signature();
+        let mut a = SimulatedServer::with_seed(presets::xeon_4870(), 9);
+        let mut b = SimulatedServer::with_seed(presets::xeon_4870(), 9);
+        assert_eq!(a.measure(&sig, 8), b.measure(&sig, 8));
+    }
+
+    #[test]
+    fn metered_power_is_close_to_truth() {
+        let sig = Ep::new(Class::C).signature();
+        let mut srv = SimulatedServer::new(presets::opteron_8347());
+        let est = srv.estimate(&sig, 4);
+        let truth = srv.true_power_w(&sig, &est);
+        let m = srv.measure(&sig, 4);
+        assert!((m.power_w - truth).abs() < 3.0, "{} vs {}", m.power_w, truth);
+    }
+
+    #[test]
+    fn can_run_respects_memory_and_cores() {
+        let srv = SimulatedServer::new(presets::xeon_e5462());
+        let ep = Ep::new(Class::C).signature();
+        assert!(srv.can_run(&ep, 4));
+        assert!(!srv.can_run(&ep, 5), "only 4 cores");
+        assert!(!srv.can_run(&ep, 0));
+        let cg = hpceval_kernels::npb::cg::Cg::new(Class::C).signature();
+        assert!(srv.can_run(&cg, 1));
+        assert!(!srv.can_run(&cg, 2), "cg.C.2 exceeds 8 GiB (paper Fig 3)");
+    }
+
+    #[test]
+    fn clock_advances_between_measurements() {
+        let sig = Ep::new(Class::C).signature();
+        let mut srv = SimulatedServer::new(presets::xeon_e5462());
+        let m1 = srv.measure(&sig, 1);
+        let m2 = srv.measure(&sig, 2);
+        // Different windows, both valid.
+        assert!(m1.power_w > 0.0 && m2.power_w > 0.0);
+        assert!(m2.power_w > m1.power_w, "more cores, more power");
+    }
+}

@@ -1,0 +1,95 @@
+//! The §IV-A SPECpower study (Figs 1–2).
+//!
+//! Runs the graduated SSJ schedule on a server and extracts the two
+//! series the paper plots: memory utilization per workload level (flat,
+//! below 14 %) and per-core CPU utilization per level (tracking the
+//! load).
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_machine::spec::ServerSpec;
+use hpceval_specpower::ssj::SsjRun;
+
+/// One level of the Figs 1–2 series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsjLevelStats {
+    /// Level label ("Cal1", "100%", …, "10%").
+    pub label: String,
+    /// Memory utilization percent (Fig 1's y-axis).
+    pub memory_pct: f64,
+    /// Per-core CPU utilization percent (Fig 2's series).
+    pub cpu_pct_per_core: Vec<f64>,
+}
+
+/// The Fig 1/2 experiment on one server.
+pub fn ssj_usage_study(spec: &ServerSpec, seed: u64) -> Vec<SsjLevelStats> {
+    let run = SsjRun::run(spec, seed);
+    run.levels
+        .iter()
+        .map(|l| SsjLevelStats {
+            label: l.label.clone(),
+            memory_pct: l.mem_usage_frac * 100.0,
+            cpu_pct_per_core: l.cpu_util_per_core.iter().map(|u| u * 100.0).collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn thirteen_levels_in_schedule_order() {
+        let s = ssj_usage_study(&presets::xeon_e5462(), 1);
+        assert_eq!(s.len(), 13);
+        let labels: Vec<&str> = s.iter().map(|l| l.label.as_str()).collect();
+        assert_eq!(&labels[..4], &["Cal1", "Cal2", "Cal3", "100%"]);
+        assert_eq!(labels[12], "10%");
+    }
+
+    #[test]
+    fn fig1_memory_stays_below_14_percent() {
+        let s = ssj_usage_study(&presets::xeon_e5462(), 2);
+        for level in &s {
+            assert!(level.memory_pct < 14.0 + 1e-9, "{}: {}", level.label, level.memory_pct);
+            assert!(level.memory_pct > 5.0, "implausibly low: {}", level.memory_pct);
+        }
+    }
+
+    #[test]
+    fn fig1_memory_variation_is_small_across_levels() {
+        // "the variation of workload sizes … has little effect on the
+        // memory utilization."
+        let s = ssj_usage_study(&presets::xeon_e5462(), 3);
+        let max = s.iter().map(|l| l.memory_pct).fold(f64::MIN, f64::max);
+        let min = s.iter().map(|l| l.memory_pct).fold(f64::MAX, f64::min);
+        assert!(max - min < 3.0, "memory swing {:.2} pp", max - min);
+    }
+
+    #[test]
+    fn fig2_cpu_tracks_workload_downward() {
+        let s = ssj_usage_study(&presets::xeon_e5462(), 4);
+        let mean = |label: &str| {
+            let l = s.iter().find(|l| l.label == label).unwrap();
+            l.cpu_pct_per_core.iter().sum::<f64>() / l.cpu_pct_per_core.len() as f64
+        };
+        assert!(mean("Cal1") > 95.0);
+        let series: Vec<f64> =
+            (1..=10).map(|k| mean(&format!("{}%", k * 10))).collect();
+        // 10%..100% means must be increasing.
+        for w in series.windows(2) {
+            assert!(w[0] < w[1] + 3.0, "CPU does not track load: {series:?}");
+        }
+        assert!((mean("50%") - 50.0).abs() < 8.0);
+    }
+
+    #[test]
+    fn all_cores_reported() {
+        let spec = presets::xeon_4870();
+        let s = ssj_usage_study(&spec, 5);
+        for level in &s {
+            assert_eq!(level.cpu_pct_per_core.len(), spec.total_cores() as usize);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Measurement uncertainty of the evaluation scores.
+//!
+//! The paper reports single-run scores; a natural reviewer question is
+//! how much meter noise moves them, and whether the server *ranking* is
+//! stable run to run. This module replicates the five-state evaluation
+//! under independent meter seeds and reports mean, standard deviation
+//! and extremes of the score — and the tests pin down that the ranking
+//! of the three servers is invariant across replicates (the scores are
+//! separated by far more than their noise).
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_machine::spec::ServerSpec;
+
+use crate::evaluation::Evaluator;
+use crate::server::SimulatedServer;
+
+/// Replicated-score statistics for one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreDistribution {
+    /// Server name.
+    pub server: String,
+    /// Scores of each replicate (mean PPW).
+    pub scores: Vec<f64>,
+}
+
+impl ScoreDistribution {
+    /// Mean score.
+    pub fn mean(&self) -> f64 {
+        self.scores.iter().sum::<f64>() / self.scores.len() as f64
+    }
+
+    /// Population standard deviation of the score.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        (self.scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
+            / self.scores.len() as f64)
+            .sqrt()
+    }
+
+    /// (min, max) scores observed.
+    pub fn range(&self) -> (f64, f64) {
+        let min = self.scores.iter().cloned().fold(f64::MAX, f64::min);
+        let max = self.scores.iter().cloned().fold(f64::MIN, f64::max);
+        (min, max)
+    }
+
+    /// Relative standard deviation (coefficient of variation).
+    pub fn cv(&self) -> f64 {
+        self.std_dev() / self.mean()
+    }
+}
+
+/// Run `replicates` independent five-state evaluations of `spec`.
+pub fn replicate_scores(spec: &ServerSpec, replicates: u32, base_seed: u64) -> ScoreDistribution {
+    let scores = (0..replicates)
+        .map(|k| {
+            let srv = SimulatedServer::with_seed(
+                spec.clone(),
+                base_seed.wrapping_add(u64::from(k).wrapping_mul(0x9e3779b97f4a7c15)),
+            );
+            Evaluator::over(srv).run().final_score()
+        })
+        .collect();
+    ScoreDistribution { server: spec.name.clone(), scores }
+}
+
+/// How often the best-scoring server changes across replicates: returns
+/// the fraction of replicates won by the most frequent winner (1.0 =
+/// perfectly stable ranking).
+pub fn ranking_stability(dists: &[ScoreDistribution]) -> f64 {
+    // Compare only replicates every distribution has (ragged inputs are
+    // truncated rather than panicking).
+    let n = dists.iter().map(|d| d.scores.len()).min().unwrap_or(0);
+    if n == 0 {
+        return 1.0;
+    }
+    let mut wins = vec![0usize; dists.len()];
+    for k in 0..n {
+        let winner = dists
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.scores[k].total_cmp(&b.1.scores[k]))
+            .map(|(i, _)| i)
+            .expect("at least one distribution");
+        wins[winner] += 1;
+    }
+    *wins.iter().max().expect("nonempty") as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn score_noise_is_small_relative_to_the_score() {
+        for spec in presets::all_servers() {
+            let d = replicate_scores(&spec, 8, 101);
+            assert_eq!(d.scores.len(), 8);
+            assert!(
+                d.cv() < 0.05,
+                "{}: score CV {:.4} too large (mean {:.4} sd {:.5})",
+                d.server,
+                d.cv(),
+                d.mean(),
+                d.std_dev()
+            );
+        }
+    }
+
+    #[test]
+    fn replicates_actually_differ() {
+        // Different seeds must produce different meter noise, hence
+        // slightly different scores — otherwise the study is vacuous.
+        let d = replicate_scores(&presets::xeon_e5462(), 6, 7);
+        let (min, max) = d.range();
+        assert!(max > min, "all replicates identical");
+    }
+
+    #[test]
+    fn ranking_is_stable_across_replicates() {
+        let dists: Vec<ScoreDistribution> = presets::all_servers()
+            .iter()
+            .map(|s| replicate_scores(s, 6, 33))
+            .collect();
+        assert_eq!(ranking_stability(&dists), 1.0, "ranking flapped under meter noise");
+    }
+
+    #[test]
+    fn mean_matches_single_run_scale() {
+        let d = replicate_scores(&presets::xeon_4870(), 5, 55);
+        assert!((d.mean() - 0.0975).abs() < 0.012, "mean {:.4}", d.mean());
+    }
+}

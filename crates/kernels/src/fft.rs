@@ -1,0 +1,227 @@
+//! Complex fast Fourier transform shared by NPB-FT and HPCC-FFT.
+//!
+//! An iterative, in-place, radix-2 Cooley–Tukey transform over
+//! `(f64, f64)` pairs, with forward/inverse directions and a
+//! rayon-parallel batched form for transforming many independent lines of
+//! a 3-D array at once (how NPB-FT applies its 1-D transforms
+//! dimension-by-dimension).
+
+use rayon::prelude::*;
+
+/// A complex number as a plain pair (re, im); kept as a tuple struct so
+/// arrays of them are contiguous `f64` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // mul/add/sub by value, no operator sugar needed
+impl C64 {
+    /// Construct from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiply.
+    #[inline]
+    pub fn mul(self, o: Self) -> Self {
+        Self::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// Complex add.
+    #[inline]
+    pub fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtract.
+    #[inline]
+    pub fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward transform (negative exponent).
+    Forward,
+    /// Inverse transform (positive exponent, 1/n normalized).
+    Inverse,
+}
+
+/// In-place radix-2 FFT of `data` (length must be a power of two).
+///
+/// The inverse direction applies the 1/n normalization, so
+/// `fft(fft(x, Forward), Inverse) == x` up to rounding.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [C64], dir: Direction) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = C64::new(ang.cos(), ang.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = C64::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if dir == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// Transform each contiguous `line_len` chunk of `data` independently and
+/// in parallel (the batched 1-D pass of a 3-D FFT).
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `line_len`.
+pub fn fft_batched(data: &mut [C64], line_len: usize, dir: Direction) {
+    assert_eq!(data.len() % line_len, 0, "data must be whole lines");
+    data.par_chunks_mut(line_len).for_each(|line| fft_in_place(line, dir));
+}
+
+/// Number of real floating point operations for one radix-2 FFT of
+/// length `n`: the conventional `5·n·log2(n)` count.
+pub fn fft_flops(n: usize) -> f64 {
+    let n = n as f64;
+    5.0 * n * n.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse(n: usize) -> Vec<C64> {
+        let mut v = vec![C64::default(); n];
+        v[0] = C64::new(1.0, 0.0);
+        v
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut v = impulse(16);
+        fft_in_place(&mut v, Direction::Forward);
+        for c in &v {
+            assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 256;
+        let mut rng = crate::rng::NpbRng::default_seed();
+        let orig: Vec<C64> =
+            (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let mut v = orig.clone();
+        fft_in_place(&mut v, Direction::Forward);
+        fft_in_place(&mut v, Direction::Inverse);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 512;
+        let mut rng = crate::rng::NpbRng::new(12345);
+        let orig: Vec<C64> =
+            (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let mut v = orig.clone();
+        fft_in_place(&mut v, Direction::Forward);
+        let time_energy: f64 = orig.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = v.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn matches_naive_dft_on_small_input() {
+        let n = 8;
+        let input: Vec<C64> = (0..n).map(|i| C64::new(i as f64, (i * i) as f64 * 0.1)).collect();
+        let mut fast = input.clone();
+        fft_in_place(&mut fast, Direction::Forward);
+        for k in 0..n {
+            let mut acc = C64::default();
+            for (j, x) in input.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(C64::new(ang.cos(), ang.sin())));
+            }
+            assert!((acc.re - fast[k].re).abs() < 1e-9, "k={k}");
+            assert!((acc.im - fast[k].im).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn batched_equals_per_line() {
+        let line = 64;
+        let lines = 8;
+        let mut rng = crate::rng::NpbRng::new(777);
+        let data: Vec<C64> =
+            (0..line * lines).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        let mut batched = data.clone();
+        fft_batched(&mut batched, line, Direction::Forward);
+        let mut manual = data;
+        for l in manual.chunks_mut(line) {
+            fft_in_place(l, Direction::Forward);
+        }
+        assert_eq!(batched, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut v = vec![C64::default(); 12];
+        fft_in_place(&mut v, Direction::Forward);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! HPCC b_eff — effective bandwidth and latency microbenchmark.
+//!
+//! b_eff ping-pongs messages of exponentially growing sizes between
+//! process pairs and reports latency and effective bandwidth. On a single
+//! server the "network" is shared memory; we implement the real message
+//! exchange over crossbeam channels between threads, measuring per-size
+//! round-trip behaviour. It contributes the communication-dominated
+//! corner of the regression training set (the corner whose power the six
+//! PMU indicators cannot see — the root of the paper's EP/SP validation
+//! residuals).
+
+use std::thread;
+
+use crossbeam::channel;
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// The b_eff benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Beff {
+    /// Message sizes: 1 B .. 2^`max_log2_size` B, doubling.
+    pub max_log2_size: u32,
+    /// Round trips per size.
+    pub reps: u32,
+}
+
+impl Beff {
+    /// The standard configuration (up to 4 MiB messages).
+    pub fn standard() -> Self {
+        Self { max_log2_size: 22, reps: 16 }
+    }
+
+    /// Total bytes exchanged over the full schedule.
+    pub fn total_bytes(&self) -> f64 {
+        (0..=self.max_log2_size)
+            .map(|s| 2f64.powi(s as i32) * f64::from(self.reps) * 2.0)
+            .sum()
+    }
+}
+
+/// Measured exchange outcome for one message size.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeStat {
+    /// Message size in bytes.
+    pub size: usize,
+    /// Completed round trips.
+    pub round_trips: u32,
+    /// Bytes that arrived intact.
+    pub bytes_ok: u64,
+}
+
+/// Run a ping-pong exchange of `reps` round trips at each size
+/// `1, 2, 4, …, 2^max_log2_size` bytes between two threads; the pong side
+/// echoes a transformed payload so corruption is detectable.
+pub fn run(max_log2_size: u32, reps: u32) -> Vec<ExchangeStat> {
+    let (to_pong, pong_rx) = channel::bounded::<Vec<u8>>(1);
+    let (to_ping, ping_rx) = channel::bounded::<Vec<u8>>(1);
+
+    let echo = thread::spawn(move || {
+        while let Ok(mut msg) = pong_rx.recv() {
+            for b in msg.iter_mut() {
+                *b = b.wrapping_add(1);
+            }
+            if to_ping.send(msg).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut stats = Vec::new();
+    for s in 0..=max_log2_size {
+        let size = 1usize << s;
+        let mut ok_bytes = 0u64;
+        let mut trips = 0u32;
+        for rep in 0..reps {
+            let payload: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_add(rep as u8)).collect();
+            to_pong.send(payload.clone()).expect("echo thread alive");
+            let back = ping_rx.recv().expect("echo thread alive");
+            trips += 1;
+            ok_bytes += back
+                .iter()
+                .zip(&payload)
+                .filter(|(e, o)| **e == o.wrapping_add(1))
+                .count() as u64;
+        }
+        stats.push(ExchangeStat { size, round_trips: trips, bytes_ok: ok_bytes });
+    }
+    drop(to_pong);
+    echo.join().expect("echo thread panicked");
+    stats
+}
+
+impl Benchmark for Beff {
+    fn id(&self) -> &'static str {
+        "b_eff"
+    }
+
+    fn display_name(&self) -> String {
+        format!("b_eff.max2^{}", self.max_log2_size)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let bytes = self.total_bytes();
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: bytes / 1e3, // nominal op count: mostly waiting
+            work_ops: bytes * 0.5,
+            dram_bytes: bytes * 2.0,
+            footprint_bytes: 2f64.powi(self.max_log2_size as i32) * 4.0,
+            footprint_per_proc_bytes: 2.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.85,
+            cpu_intensity: 0.40,
+            kind: ComputeKind::Scalar,
+            locality: LocalityProfile::streaming(),
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::Any
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        let stats = run(12, 4);
+        let total: u64 = stats.iter().map(|s| s.bytes_ok).sum();
+        let expected: u64 = stats.iter().map(|s| s.size as u64 * u64::from(s.round_trips)).sum();
+        if total == expected && stats.len() == 13 {
+            VerifyOutcome::pass(
+                format!("{} sizes, {expected} bytes echoed intact", stats.len()),
+                expected as f64,
+            )
+        } else {
+            VerifyOutcome::fail(format!("echoed {total} of {expected} bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_echoed_intact() {
+        let stats = run(8, 3);
+        for s in &stats {
+            assert_eq!(s.round_trips, 3);
+            assert_eq!(s.bytes_ok, s.size as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn sizes_double() {
+        let stats = run(5, 1);
+        let sizes: Vec<usize> = stats.iter().map(|s| s.size).collect();
+        assert_eq!(sizes, vec![1, 2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn verify_passes() {
+        let out = Beff::standard().verify(2);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn signature_is_communication_dominated() {
+        let sig = Beff::standard().signature();
+        assert!(sig.comm_fraction > 0.5);
+    }
+}

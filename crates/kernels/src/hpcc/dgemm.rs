@@ -1,0 +1,199 @@
+//! HPCC DGEMM — dense matrix-matrix multiply.
+//!
+//! `C ← α·A·B + β·C` with square matrices, blocked for cache and
+//! rayon-parallel over row panels. The HPCC suite's pure compute-bound
+//! member: arithmetic intensity grows linearly with the blocking factor,
+//! so its signature anchors the high end of the regression training set.
+
+use rayon::prelude::*;
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::rng::NpbRng;
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// Cache block edge used by the real multiply.
+pub const BLOCK: usize = 48;
+
+/// The DGEMM benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Dgemm {
+    /// Matrix order.
+    pub n: u64,
+}
+
+impl Dgemm {
+    /// Size the three matrices to occupy `bytes` of memory.
+    pub fn for_memory(bytes: f64) -> Self {
+        Self { n: ((bytes / 24.0).sqrt() as u64).max(64) }
+    }
+
+    /// Total multiply-add flops `2·n³` plus the scale/accumulate `2·n²`.
+    pub fn flops(&self) -> f64 {
+        let n = self.n as f64;
+        2.0 * n.powi(3) + 2.0 * n * n
+    }
+}
+
+/// `c ← alpha·a·b + beta·c` for row-major square matrices, blocked and
+/// parallel over row panels.
+pub fn dgemm(n: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    c.par_chunks_mut(n * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
+        let r0 = panel * BLOCK;
+        let rows = cpanel.len() / n;
+        // Scale the C panel by beta once.
+        for v in cpanel.iter_mut() {
+            *v *= beta;
+        }
+        // Blocked accumulation.
+        let mut kb = 0;
+        while kb < n {
+            let kend = (kb + BLOCK).min(n);
+            for r in 0..rows {
+                let arow = &a[(r0 + r) * n..(r0 + r + 1) * n];
+                let crow = &mut cpanel[r * n..(r + 1) * n];
+                for k in kb..kend {
+                    let aik = alpha * arow[k];
+                    if aik != 0.0 {
+                        let brow = &b[k * n..(k + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+            kb = kend;
+        }
+    });
+}
+
+/// Naive triple loop for verification.
+pub fn dgemm_naive(n: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+    for r in 0..n {
+        for col in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[r * n + k] * b[k * n + col];
+            }
+            c[r * n + col] = alpha * s + beta * c[r * n + col];
+        }
+    }
+}
+
+impl Benchmark for Dgemm {
+    fn id(&self) -> &'static str {
+        "dgemm"
+    }
+
+    fn display_name(&self) -> String {
+        format!("dgemm.n{}", self.n)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let n = self.n as f64;
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: self.flops(),
+            work_ops: self.flops(),
+            // Each element re-read n/BLOCK times across block sweeps.
+            dram_bytes: 8.0 * n * n * (n / BLOCK as f64) * 1.2,
+            footprint_bytes: 24.0 * n * n,
+            footprint_per_proc_bytes: 8.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.005,
+            cpu_intensity: 1.0,
+            kind: ComputeKind::Vector,
+            locality: LocalityProfile::dense_blocked(),
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::Any
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        let n = 96;
+        let mut rng = NpbRng::new(4242);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let c0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut fast = c0.clone();
+        let mut slow = c0;
+        dgemm(n, 1.5, &a, &b, 0.5, &mut fast);
+        dgemm_naive(n, 1.5, &a, &b, 0.5, &mut slow);
+        let max_err = fast
+            .iter()
+            .zip(&slow)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        if max_err < 1e-10 {
+            VerifyOutcome::pass(
+                format!("n={n} blocked vs naive max err {max_err:.2e}"),
+                2.0 * (n as f64).powi(3),
+            )
+        } else {
+            VerifyOutcome::fail(format!("blocked multiply diverges: {max_err:.3e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_by_identity_is_identity_map() {
+        let n = 16;
+        let mut rng = NpbRng::new(8);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let mut c = vec![0.0; n * n];
+        dgemm(n, 1.0, &a, &eye, 0.0, &mut c);
+        for (x, y) in c.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_scaling_applied() {
+        let n = 8;
+        let a = vec![0.0; n * n];
+        let b = vec![0.0; n * n];
+        let mut c = vec![2.0; n * n];
+        dgemm(n, 1.0, &a, &b, 0.25, &mut c);
+        assert!(c.iter().all(|&v| (v - 0.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn verify_passes() {
+        let out = Dgemm { n: 512 }.verify(4);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn blocked_handles_non_multiple_sizes() {
+        let n = BLOCK + 13;
+        let mut rng = NpbRng::new(77);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut fast = vec![0.0; n * n];
+        let mut slow = vec![0.0; n * n];
+        dgemm(n, 1.0, &a, &b, 0.0, &mut fast);
+        dgemm_naive(n, 1.0, &a, &b, 0.0, &mut slow);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn signature_is_compute_bound() {
+        let sig = Dgemm { n: 4096 }.signature();
+        assert!(sig.arithmetic_intensity() > 5.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! HPCC FFT — large 1-D complex transform.
+//!
+//! A single huge power-of-two FFT (as opposed to NPB-FT's many short
+//! lines): the working set far exceeds every cache, so the butterflies
+//! at large strides are memory-bound while the small-stride stages are
+//! compute-bound — a genuinely mixed signature. Verified by inverse
+//! round-trip and Parseval's identity.
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::fft::{fft_flops, fft_in_place, C64, Direction};
+use crate::rng::NpbRng;
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// The HPCC FFT benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct HpccFft {
+    /// log2 of the transform length.
+    pub log2_n: u32,
+}
+
+impl HpccFft {
+    /// Largest power-of-two transform whose working set (input + scratch,
+    /// 32 B per point) fits `bytes`.
+    pub fn for_memory(bytes: f64) -> Self {
+        let points = (bytes / 32.0).max(1024.0);
+        Self { log2_n: (points.log2().floor() as u32).max(10) }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> u64 {
+        1u64 << self.log2_n
+    }
+
+    /// True if the configured length is zero (never: kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Benchmark for HpccFft {
+    fn id(&self) -> &'static str {
+        "hpcc-fft"
+    }
+
+    fn display_name(&self) -> String {
+        format!("fft.2^{}", self.log2_n)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let n = self.len() as f64;
+        let flops = fft_flops(self.len() as usize);
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: flops,
+            work_ops: flops * 1.2,
+            // Each of log2(n) stages streams the whole array once; only
+            // ~6 stages fit in cache.
+            dram_bytes: n * 16.0 * (f64::from(self.log2_n) - 6.0).max(1.0),
+            footprint_bytes: n * 32.0,
+            footprint_per_proc_bytes: 8.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.20,
+            cpu_intensity: 0.75,
+            kind: ComputeKind::Mixed(0.8),
+            locality: LocalityProfile::streaming(),
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::PowerOfTwo
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        let n = 1usize << 14;
+        let mut rng = NpbRng::new(1001);
+        let orig: Vec<C64> =
+            (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let mut v = orig.clone();
+        fft_in_place(&mut v, Direction::Forward);
+        // Parseval.
+        let te: f64 = orig.iter().map(|c| c.norm_sqr()).sum();
+        let fe: f64 = v.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        if (te - fe).abs() > 1e-8 * te {
+            return VerifyOutcome::fail(format!("Parseval violated: {te} vs {fe}"));
+        }
+        fft_in_place(&mut v, Direction::Inverse);
+        let max_err = v
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| a.sub(*b).norm_sqr().sqrt())
+            .fold(0.0, f64::max);
+        if max_err < 1e-10 {
+            VerifyOutcome::pass(
+                format!("2^14 round trip err {max_err:.2e}, Parseval ok"),
+                fft_flops(n) * 2.0,
+            )
+        } else {
+            VerifyOutcome::fail(format!("round trip error {max_err:e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_passes() {
+        let out = HpccFft { log2_n: 24 }.verify(2);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn memory_sizing_is_conservative() {
+        let f = HpccFft::for_memory(1e9);
+        assert!(f.len() as f64 * 32.0 <= 1e9);
+    }
+
+    #[test]
+    fn signature_mixes_compute_and_memory() {
+        let sig = HpccFft { log2_n: 26 }.signature();
+        let ai = sig.arithmetic_intensity();
+        assert!(ai > 0.2 && ai < 10.0, "FFT must sit between STREAM and DGEMM, got {ai}");
+    }
+}

@@ -1,0 +1,132 @@
+//! The HPC Challenge benchmark suite.
+//!
+//! HPCC bundles seven programs spanning the locality/intensity plane —
+//! compute-bound (HPL, DGEMM), streaming memory-bound (STREAM, PTRANS),
+//! latency-bound (RandomAccess), mixed (FFT) and network-bound (b_eff).
+//! The paper (§VI-A2) runs all seven from one core up to full cores and
+//! uses the sampled (PMU, power) pairs to *train* the regression power
+//! model; the breadth of the suite is what makes the model generalize to
+//! the NPB validation set.
+//!
+//! HPL is shared with [`crate::hpl`]; the other six live here.
+
+pub mod beff;
+pub mod dgemm;
+pub mod fft;
+pub mod ptrans;
+pub mod random_access;
+pub mod stream;
+
+use crate::hpl::HplConfig;
+use crate::suite::Benchmark;
+
+use hpceval_machine::spec::ServerSpec;
+
+/// The seven HPCC programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HpccProgram {
+    /// High-Performance Linpack (shared with the standalone HPL).
+    Hpl,
+    /// Dense matrix-matrix multiply.
+    Dgemm,
+    /// Sustainable memory bandwidth (copy/scale/add/triad).
+    Stream,
+    /// Parallel matrix transpose.
+    Ptrans,
+    /// Giga-updates-per-second random table updates.
+    RandomAccess,
+    /// Large 1-D complex FFT.
+    Fft,
+    /// Effective bandwidth/latency microbenchmark.
+    Beff,
+}
+
+impl HpccProgram {
+    /// All seven, in the canonical HPCC report order.
+    pub const ALL: [HpccProgram; 7] = [
+        HpccProgram::Hpl,
+        HpccProgram::Dgemm,
+        HpccProgram::Stream,
+        HpccProgram::Ptrans,
+        HpccProgram::RandomAccess,
+        HpccProgram::Fft,
+        HpccProgram::Beff,
+    ];
+
+    /// Short id.
+    pub fn id(self) -> &'static str {
+        match self {
+            HpccProgram::Hpl => "hpcc-hpl",
+            HpccProgram::Dgemm => "dgemm",
+            HpccProgram::Stream => "stream",
+            HpccProgram::Ptrans => "ptrans",
+            HpccProgram::RandomAccess => "randomaccess",
+            HpccProgram::Fft => "hpcc-fft",
+            HpccProgram::Beff => "b_eff",
+        }
+    }
+
+    /// Instantiate the benchmark, sized for `spec` (HPCC problems scale
+    /// with the machine's memory, like the real `hpccinf.txt` setup).
+    pub fn benchmark(self, spec: &ServerSpec) -> Box<dyn Benchmark> {
+        let mem = spec.memory_bytes() as f64;
+        match self {
+            HpccProgram::Hpl => Box::new(HplConfig::for_memory_fraction(spec, 0.7, spec.total_cores())),
+            HpccProgram::Dgemm => Box::new(dgemm::Dgemm::for_memory(mem * 0.25)),
+            HpccProgram::Stream => Box::new(stream::Stream::for_memory(mem * 0.5)),
+            HpccProgram::Ptrans => Box::new(ptrans::Ptrans::for_memory(mem * 0.4)),
+            HpccProgram::RandomAccess => {
+                Box::new(random_access::RandomAccess::for_memory(mem * 0.5))
+            }
+            HpccProgram::Fft => Box::new(fft::HpccFft::for_memory(mem * 0.3)),
+            HpccProgram::Beff => Box::new(beff::Beff::standard()),
+        }
+    }
+}
+
+/// The whole training suite for one server.
+pub fn full_suite(spec: &ServerSpec) -> Vec<Box<dyn Benchmark>> {
+    HpccProgram::ALL.iter().map(|p| p.benchmark(spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn suite_has_seven_programs() {
+        let suite = full_suite(&presets::xeon_e5462());
+        assert_eq!(suite.len(), 7);
+    }
+
+    #[test]
+    fn signatures_span_the_intensity_plane() {
+        // The training set must include compute-bound and memory-bound
+        // extremes for the regression to learn both coefficients.
+        let spec = presets::xeon_4870();
+        let intensities: Vec<f64> = full_suite(&spec)
+            .iter()
+            .map(|b| b.signature().arithmetic_intensity())
+            .collect();
+        let max = intensities.iter().cloned().fold(f64::MIN, f64::max);
+        let min = intensities.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 10.0, "needs a compute-bound member (max {max})");
+        assert!(min < 0.5, "needs a memory-bound member (min {min})");
+    }
+
+    #[test]
+    fn problems_fit_in_machine_memory() {
+        for spec in presets::all_servers() {
+            for b in full_suite(&spec) {
+                let sig = b.signature();
+                assert!(
+                    sig.fits_in(1, spec.memory_bytes()),
+                    "{} does not fit {}",
+                    sig.name,
+                    spec.name
+                );
+            }
+        }
+    }
+}

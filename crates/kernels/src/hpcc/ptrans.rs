@@ -1,0 +1,156 @@
+//! HPCC PTRANS — parallel matrix transpose.
+//!
+//! `A ← A + Bᵀ` over large dense matrices. In the distributed suite this
+//! is a total-exchange stressor; on one server it stresses strided memory
+//! access (a column walk on a row-major matrix touches one element per
+//! cache line). Implemented with cache-friendly tiling and verified
+//! against the transpose identity.
+
+use rayon::prelude::*;
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::rng::NpbRng;
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// Tile edge for the blocked transpose.
+pub const TILE: usize = 32;
+
+/// The PTRANS benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Ptrans {
+    /// Matrix order.
+    pub n: u64,
+}
+
+impl Ptrans {
+    /// Size the two matrices to occupy `bytes`.
+    pub fn for_memory(bytes: f64) -> Self {
+        Self { n: ((bytes / 16.0).sqrt() as u64).max(64) }
+    }
+}
+
+/// `a ← a + transpose(b)`, tiled and parallel over tile rows.
+pub fn add_transpose(n: usize, a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    let tiles = n.div_ceil(TILE);
+    // Parallel over horizontal tile bands of `a`.
+    a.par_chunks_mut(n * TILE).enumerate().for_each(|(band, aband)| {
+        let r0 = band * TILE;
+        let rows = aband.len() / n;
+        for tc in 0..tiles {
+            let c0 = tc * TILE;
+            let cols = TILE.min(n - c0);
+            for r in 0..rows {
+                let arow = &mut aband[r * n + c0..r * n + c0 + cols];
+                for (dc, av) in arow.iter_mut().enumerate() {
+                    // a[r0+r][c0+dc] += b[c0+dc][r0+r]
+                    *av += b[(c0 + dc) * n + (r0 + r)];
+                }
+            }
+        }
+    });
+}
+
+impl Benchmark for Ptrans {
+    fn id(&self) -> &'static str {
+        "ptrans"
+    }
+
+    fn display_name(&self) -> String {
+        format!("ptrans.n{}", self.n)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let n = self.n as f64;
+        let elems = n * n;
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: elems, // one add per element
+            work_ops: elems * 4.0,
+            dram_bytes: elems * 24.0, // read a, read b (strided), write a
+            footprint_bytes: elems * 16.0,
+            footprint_per_proc_bytes: 8.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.30, // total exchange in the MPI version
+            cpu_intensity: 0.58,
+            kind: ComputeKind::Vector,
+            locality: LocalityProfile {
+                instr_per_op: 2.2,
+                accesses_per_instr: 0.55,
+                l1_hit: 0.55,
+                l2_hit: 0.10,
+                l3_hit: 0.05,
+                mem: 0.30,
+                write_fraction: 0.35,
+            },
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::Any
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        let n = 200; // non-multiple of TILE exercises edge tiles
+        let mut rng = NpbRng::new(31_337);
+        let a0: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+        let mut a = a0.clone();
+        add_transpose(n, &mut a, &b);
+        // Reference check.
+        let mut max_err = 0.0f64;
+        for r in 0..n {
+            for c in 0..n {
+                let want = a0[r * n + c] + b[c * n + r];
+                max_err = max_err.max((a[r * n + c] - want).abs());
+            }
+        }
+        if max_err == 0.0 {
+            VerifyOutcome::pass(format!("n={n} exact transpose-add"), (n * n) as f64)
+        } else {
+            VerifyOutcome::fail(format!("max error {max_err:e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_add_on_small_matrix() {
+        // a = 0, b = [[1,2],[3,4]] -> a = [[1,3],[2,4]].
+        let mut a = vec![0.0; 4];
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        add_transpose(2, &mut a, &b);
+        assert_eq!(a, vec![1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn double_transpose_add_is_symmetrization() {
+        let n = 50;
+        let mut rng = NpbRng::new(5);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64()).collect();
+        let mut a = b.clone();
+        add_transpose(n, &mut a, &b); // a = b + b^T is symmetric
+        for r in 0..n {
+            for c in 0..n {
+                assert!((a[r * n + c] - a[c * n + r]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn verify_passes() {
+        let out = Ptrans { n: 1000 }.verify(2);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn signature_is_memory_bound() {
+        let sig = Ptrans { n: 10_000 }.signature();
+        assert!(sig.arithmetic_intensity() < 0.5);
+    }
+}

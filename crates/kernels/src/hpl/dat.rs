@@ -1,0 +1,257 @@
+//! Parser for the netlib `HPL.dat` input file.
+//!
+//! The paper's §V-A tunes HPL exactly the way practitioners do: by
+//! editing `HPL.dat`'s problem sizes (`Ns`), block sizes (`NBs`) and
+//! process grids (`Ps`/`Qs`) and running the cross product. This module
+//! reads that file format and expands it into the [`HplConfig`] sweep it
+//! denotes, so a real tuning file drives the simulated study.
+//!
+//! The classic format is line-oriented with a trailing comment on every
+//! line, e.g.:
+//!
+//! ```text
+//! HPLinpack benchmark input file
+//! Innovative Computing Laboratory, University of Tennessee
+//! HPL.out      output file name (if any)
+//! 6            device out (6=stdout,7=stderr,file)
+//! 1            # of problems sizes (N)
+//! 30000        Ns
+//! 8            # of NBs
+//! 50 100 150 200 250 300 350 400  NBs
+//! 0            PMAP process mapping (0=Row-,1=Column-major)
+//! 3            # of process grids (P x Q)
+//! 1 2 4        Ps
+//! 4 2 1        Qs
+//! ```
+
+use super::HplConfig;
+
+/// A parsed `HPL.dat` tuning specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HplDat {
+    /// Problem sizes.
+    pub ns: Vec<u64>,
+    /// Block sizes.
+    pub nbs: Vec<u32>,
+    /// Process grid rows.
+    pub ps: Vec<u32>,
+    /// Process grid columns (paired with `ps` by index).
+    pub qs: Vec<u32>,
+}
+
+/// Parse errors with enough context to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatError {
+    /// The file ended before a required line.
+    Truncated {
+        /// What was being looked for.
+        expected: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The line's role.
+        field: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A count line disagrees with the number of values provided.
+    CountMismatch {
+        /// The list's role.
+        field: &'static str,
+        /// Declared count.
+        declared: usize,
+        /// Values actually present.
+        found: usize,
+    },
+    /// `Ps` and `Qs` lists have different lengths.
+    GridMismatch {
+        /// Number of P entries.
+        ps: usize,
+        /// Number of Q entries.
+        qs: usize,
+    },
+}
+
+impl std::fmt::Display for DatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatError::Truncated { expected } => write!(f, "file ended before {expected}"),
+            DatError::BadNumber { field, token } => {
+                write!(f, "cannot parse {token:?} in {field}")
+            }
+            DatError::CountMismatch { field, declared, found } => {
+                write!(f, "{field}: declared {declared} values, found {found}")
+            }
+            DatError::GridMismatch { ps, qs } => {
+                write!(f, "process grid: {ps} Ps vs {qs} Qs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatError {}
+
+/// Leading whitespace-separated numbers of a line (the classic format
+/// puts a free-text comment after the values).
+fn numbers<T: std::str::FromStr>(
+    line: &str,
+    count: usize,
+    field: &'static str,
+) -> Result<Vec<T>, DatError> {
+    let mut out = Vec::with_capacity(count);
+    for tok in line.split_whitespace() {
+        match tok.parse::<T>() {
+            Ok(v) => {
+                out.push(v);
+                if out.len() == count {
+                    return Ok(out);
+                }
+            }
+            // First non-numeric token starts the comment.
+            Err(_) => break,
+        }
+    }
+    Err(DatError::CountMismatch { field, declared: count, found: out.len() })
+}
+
+/// One leading number.
+fn one<T: std::str::FromStr>(line: &str, field: &'static str) -> Result<T, DatError> {
+    let tok = line
+        .split_whitespace()
+        .next()
+        .ok_or(DatError::BadNumber { field, token: String::new() })?;
+    tok.parse().map_err(|_| DatError::BadNumber { field, token: tok.to_string() })
+}
+
+impl HplDat {
+    /// Parse the classic 12-line header of an `HPL.dat` file.
+    pub fn parse(text: &str) -> Result<Self, DatError> {
+        let mut lines = text.lines();
+        let mut next = |expected: &'static str| {
+            lines.next().ok_or(DatError::Truncated { expected })
+        };
+        // Two title lines, output file, device.
+        next("title line 1")?;
+        next("title line 2")?;
+        next("output file name")?;
+        next("device out")?;
+
+        let n_ns: usize = one(next("# of problem sizes")?, "# of problem sizes")?;
+        let ns = numbers(next("Ns")?, n_ns, "Ns")?;
+        let n_nbs: usize = one(next("# of NBs")?, "# of NBs")?;
+        let nbs = numbers(next("NBs")?, n_nbs, "NBs")?;
+        next("PMAP")?;
+        let n_grids: usize = one(next("# of process grids")?, "# of process grids")?;
+        let ps = numbers(next("Ps")?, n_grids, "Ps")?;
+        let qs = numbers(next("Qs")?, n_grids, "Qs")?;
+        if ps.len() != qs.len() {
+            return Err(DatError::GridMismatch { ps: ps.len(), qs: qs.len() });
+        }
+        Ok(Self { ns, nbs, ps, qs })
+    }
+
+    /// Expand into the full cross-product sweep the file denotes:
+    /// every `N × NB × (P, Q)` combination, in netlib's nesting order.
+    pub fn configs(&self) -> Vec<HplConfig> {
+        let mut out = Vec::with_capacity(self.ns.len() * self.nbs.len() * self.ps.len());
+        for &n in &self.ns {
+            for &nb in &self.nbs {
+                for (&p, &q) in self.ps.iter().zip(&self.qs) {
+                    out.push(HplConfig { n, nb, p, q });
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's §V-A3 tuning file: N = 30,000, NB ∈ 50..400,
+    /// grids 1×4 / 2×2 / 4×1.
+    pub fn paper_tuning_file() -> &'static str {
+        "HPLinpack benchmark input file\n\
+         Tsinghua University power evaluation study\n\
+         HPL.out      output file name (if any)\n\
+         6            device out (6=stdout,7=stderr,file)\n\
+         1            # of problems sizes (N)\n\
+         30000        Ns\n\
+         8            # of NBs\n\
+         50 100 150 200 250 300 350 400  NBs\n\
+         0            PMAP process mapping (0=Row-,1=Column-major)\n\
+         3            # of process grids (P x Q)\n\
+         1 2 4        Ps\n\
+         4 2 1        Qs\n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_tuning_file() {
+        let dat = HplDat::parse(HplDat::paper_tuning_file()).expect("valid file");
+        assert_eq!(dat.ns, vec![30_000]);
+        assert_eq!(dat.nbs, vec![50, 100, 150, 200, 250, 300, 350, 400]);
+        assert_eq!(dat.ps, vec![1, 2, 4]);
+        assert_eq!(dat.qs, vec![4, 2, 1]);
+        // 1 N x 8 NB x 3 grids = 24 configurations (the Fig 7 sweep).
+        assert_eq!(dat.configs().len(), 24);
+    }
+
+    #[test]
+    fn configs_preserve_grid_pairing() {
+        let dat = HplDat::parse(HplDat::paper_tuning_file()).expect("valid file");
+        let cfgs = dat.configs();
+        // Every grid multiplies to 4 processes.
+        assert!(cfgs.iter().all(|c| c.procs() == 4));
+        assert!(cfgs.iter().any(|c| (c.p, c.q) == (2, 2)));
+        assert!(cfgs.iter().any(|c| (c.p, c.q) == (4, 1)));
+    }
+
+    #[test]
+    fn truncated_file_reports_what_is_missing() {
+        let text = "a\nb\nc\n6\n1\n30000\n";
+        match HplDat::parse(text) {
+            Err(DatError::Truncated { expected }) => assert_eq!(expected, "# of NBs"),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = "t\nt\no\n6\n2            # of problems sizes\n30000        Ns\n\
+                    1\n200\n0\n1\n2\n2\n";
+        match HplDat::parse(text) {
+            Err(DatError::CountMismatch { field, declared, found }) => {
+                assert_eq!(field, "Ns");
+                assert_eq!(declared, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("expected count mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_mismatch_detected() {
+        let text = "t\nt\no\n6\n1\n1000\n1\n100\n0\n2\n1 2\n2\n";
+        // Qs line has 1 value but 2 declared grids -> CountMismatch on Qs.
+        assert!(matches!(
+            HplDat::parse(text),
+            Err(DatError::CountMismatch { field: "Qs", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_number_reports_token() {
+        let text = "t\nt\no\n6\nxyz\n";
+        match HplDat::parse(text) {
+            Err(DatError::BadNumber { token, .. }) => assert_eq!(token, "xyz"),
+            other => panic!("expected bad number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = DatError::GridMismatch { ps: 2, qs: 3 };
+        assert!(e.to_string().contains("2 Ps vs 3 Qs"));
+    }
+}

@@ -1,0 +1,239 @@
+//! High-Performance Linpack.
+//!
+//! HPL solves a dense `N × N` linear system by blocked LU factorization
+//! with row partial pivoting and reports `(2/3·N³ + 2·N²) / time` FLOPS.
+//! The netlib implementation is tuned through an input file with the
+//! problem size `Ns`, the panel block size `NBs` and the process grid
+//! `P × Q`; §V-A of the paper sweeps exactly these knobs and finds that
+//! only the *process count* materially moves power.
+//!
+//! * [`lu`] — the actual factorization/solve, rayon-parallel and verified
+//!   by the HPL residual criterion,
+//! * [`HplConfig`] — the tuning surface and the closed-form
+//!   [`WorkloadSignature`] used by the simulated servers.
+
+pub mod dat;
+pub mod lu;
+
+use hpceval_machine::spec::ServerSpec;
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// One HPL run configuration (a line of the netlib `HPL.dat`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HplConfig {
+    /// Problem size `Ns` (matrix order).
+    pub n: u64,
+    /// LU block size `NBs`.
+    pub nb: u32,
+    /// Process grid rows `P`.
+    pub p: u32,
+    /// Process grid columns `Q`.
+    pub q: u32,
+}
+
+impl HplConfig {
+    /// A configuration with the given size and a sensible default block
+    /// size and near-square grid for `procs` processes.
+    pub fn tuned(n: u64, procs: u32) -> Self {
+        let (p, q) = Self::near_square_grid(procs);
+        Self { n, nb: 200, p, q }
+    }
+
+    /// Choose the problem size so the matrix occupies `frac` of the
+    /// server's memory (the paper's "Mf" ≈ 0.92, "Mh" ≈ 0.5 states),
+    /// rounded down to a multiple of `nb`.
+    pub fn for_memory_fraction(spec: &ServerSpec, frac: f64, procs: u32) -> Self {
+        let bytes = spec.memory_bytes() as f64 * frac.clamp(0.01, 0.98);
+        let n = (bytes / 8.0).sqrt() as u64;
+        let nb = 200u32;
+        let n = (n / u64::from(nb)).max(1) * u64::from(nb);
+        let (p, q) = Self::near_square_grid(procs);
+        Self { n, nb, p, q }
+    }
+
+    /// The most square `P × Q = procs` factorization with `P ≤ Q`
+    /// (HPL's recommended grid shape).
+    pub fn near_square_grid(procs: u32) -> (u32, u32) {
+        let procs = procs.max(1);
+        let mut best = (1, procs);
+        let mut r = 1u32;
+        while r * r <= procs {
+            if procs.is_multiple_of(r) {
+                best = (r, procs / r);
+            }
+            r += 1;
+        }
+        best
+    }
+
+    /// Total process count `P × Q`.
+    pub fn procs(&self) -> u32 {
+        self.p * self.q
+    }
+
+    /// Reported floating point operations: `2/3·N³ + 2·N²`.
+    pub fn reported_flops(&self) -> f64 {
+        let n = self.n as f64;
+        2.0 / 3.0 * n.powi(3) + 2.0 * n * n
+    }
+
+    /// Memory footprint of the matrix plus per-process panel buffers.
+    pub fn footprint_bytes(&self) -> f64 {
+        let n = self.n as f64;
+        8.0 * n * n + 3.0 * 8.0 * n * f64::from(self.nb)
+    }
+
+    /// Fraction of peak DGEMM efficiency retained at this block size.
+    ///
+    /// Small panels starve the matrix-multiply inner kernel: NB = 50
+    /// loses ~14 % — the paper's Fig 7 observes its power sitting ~10 W
+    /// below the other block sizes on the Xeon-E5462.
+    pub fn nb_efficiency(&self) -> f64 {
+        1.0 - 0.35 * (-f64::from(self.nb) / 55.0).exp()
+    }
+
+    /// Communication imbalance of the grid: 1.0 for a square grid,
+    /// growing as the grid becomes a strip (`1×q` or `p×1`).
+    pub fn grid_imbalance(&self) -> f64 {
+        let (p, q) = (f64::from(self.p), f64::from(self.q));
+        0.5 * (p / q + q / p)
+    }
+
+    /// DRAM traffic of the factorization: each trailing-update element is
+    /// re-read `N / NB` times, so traffic ≈ `8·N³ / NB` bytes, inflated
+    /// slightly by grid imbalance (extra panel copies).
+    pub fn dram_bytes(&self) -> f64 {
+        let n = self.n as f64;
+        8.0 * n.powi(3) / f64::from(self.nb) * (0.9 + 0.1 * self.grid_imbalance())
+    }
+}
+
+impl Benchmark for HplConfig {
+    fn id(&self) -> &'static str {
+        "hpl"
+    }
+
+    fn display_name(&self) -> String {
+        format!("HPL N={} NB={} {}x{}", self.n, self.nb, self.p, self.q)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let eff = self.nb_efficiency();
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: self.reported_flops(),
+            // Poor blocking costs extra machine work (partial products
+            // re-loaded, pipeline bubbles), folded into the op count.
+            work_ops: self.reported_flops() / eff,
+            dram_bytes: self.dram_bytes(),
+            footprint_bytes: self.footprint_bytes(),
+            footprint_per_proc_bytes: 48.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            // Panel broadcasts; residual on top of the machine-calibrated
+            // parallel decay, worse for strip grids.
+            comm_fraction: 0.01 * self.grid_imbalance(),
+            // Stalled multiply units burn markedly less power at tiny NB:
+            // the quadratic exponent reproduces the ~10 W dip the paper
+            // measures at NB = 50 (Fig 7) while leaving NB ≥ 200 flat.
+            cpu_intensity: (eff * eff).min(1.0),
+            kind: ComputeKind::Vector,
+            locality: LocalityProfile::dense_blocked(),
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::Any
+    }
+
+    fn verify(&self, threads: usize) -> VerifyOutcome {
+        // Scaled-down instance: cap the order so tests stay fast while
+        // still exercising multi-panel factorization.
+        let n = (self.n as usize).clamp(16, 240);
+        let nb = (self.nb as usize).min(n / 2).max(4);
+        match lu::solve_random(n, nb, threads) {
+            Ok(res) => {
+                let flops = 2.0 / 3.0 * (n as f64).powi(3);
+                if res.passes() {
+                    VerifyOutcome::pass(
+                        format!("n={n} nb={nb} scaled residual {:.3e}", res.scaled_residual),
+                        flops,
+                    )
+                } else {
+                    VerifyOutcome::fail(format!(
+                        "residual {:.3e} exceeds HPL threshold",
+                        res.scaled_residual
+                    ))
+                }
+            }
+            Err(e) => VerifyOutcome::fail(format!("factorization failed: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn near_square_grids() {
+        assert_eq!(HplConfig::near_square_grid(1), (1, 1));
+        assert_eq!(HplConfig::near_square_grid(4), (2, 2));
+        assert_eq!(HplConfig::near_square_grid(16), (4, 4));
+        assert_eq!(HplConfig::near_square_grid(40), (5, 8));
+        assert_eq!(HplConfig::near_square_grid(7), (1, 7));
+    }
+
+    #[test]
+    fn memory_fraction_sizes_match_paper_scale() {
+        // Paper §V-A3 uses N = 30,000 on the 8 GiB Xeon-E5462 (Mf).
+        let cfg = HplConfig::for_memory_fraction(&presets::xeon_e5462(), 0.92, 4);
+        assert!(cfg.n >= 28_000 && cfg.n <= 32_000, "N = {}", cfg.n);
+        assert_eq!(cfg.n % u64::from(cfg.nb), 0);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        let cfg = HplConfig::tuned(30_000, 4);
+        let n = 30_000f64;
+        assert!((cfg.reported_flops() - (2.0 / 3.0 * n.powi(3) + 2.0 * n * n)).abs() < 1.0);
+    }
+
+    #[test]
+    fn nb_efficiency_ordering_matches_fig6() {
+        // NB=50 must cost noticeably more than NB>=200; beyond 200 the
+        // effect is negligible — Fig 6's flat curves.
+        let mk = |nb| HplConfig { n: 30_000, nb, p: 2, q: 2 };
+        let e50 = mk(50).nb_efficiency();
+        let e200 = mk(200).nb_efficiency();
+        let e400 = mk(400).nb_efficiency();
+        assert!(e50 < e200 && e200 < e400);
+        assert!(e200 - e50 > 0.08, "NB=50 visibly less efficient");
+        assert!(e400 - e200 < 0.02, "NB>=200 plateau");
+    }
+
+    #[test]
+    fn grid_imbalance_square_is_minimal() {
+        let sq = HplConfig { n: 1000, nb: 100, p: 2, q: 2 }.grid_imbalance();
+        let strip = HplConfig { n: 1000, nb: 100, p: 1, q: 4 }.grid_imbalance();
+        assert!((sq - 1.0).abs() < 1e-12);
+        assert!(strip > sq);
+    }
+
+    #[test]
+    fn verify_runs_and_passes() {
+        let cfg = HplConfig::tuned(30_000, 2);
+        let out = cfg.verify(2);
+        assert!(out.passed, "{}", out.detail);
+        assert!(out.useful_ops > 0.0);
+    }
+
+    #[test]
+    fn signature_footprint_tracks_n() {
+        let small = HplConfig::tuned(10_000, 4).signature();
+        let big = HplConfig::tuned(30_000, 4).signature();
+        assert!(big.footprint_bytes > 8.0 * small.footprint_bytes);
+    }
+}

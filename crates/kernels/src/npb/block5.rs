@@ -1,0 +1,298 @@
+//! 5×5 block operations shared by the NPB pseudo-applications.
+//!
+//! BT, SP and LU all evolve a five-component field (density, three
+//! momenta, energy) on a 3-D grid; their implicit solvers operate on 5×5
+//! coupling blocks. This module provides the dense block arithmetic:
+//! multiply, matvec, in-place Gaussian elimination with partial pivoting,
+//! and block-tridiagonal line solves (the heart of BT's ADI sweeps).
+
+/// A dense 5×5 block, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat5(pub [[f64; 5]; 5]);
+
+/// A 5-component state vector.
+pub type Vec5 = [f64; 5];
+
+impl Mat5 {
+    /// Zero block.
+    pub fn zeros() -> Self {
+        Self([[0.0; 5]; 5])
+    }
+
+    /// Identity block.
+    pub fn identity() -> Self {
+        let mut m = Self::zeros();
+        for i in 0..5 {
+            m.0[i][i] = 1.0;
+        }
+        m
+    }
+
+    /// Scaled identity.
+    pub fn scaled_identity(s: f64) -> Self {
+        let mut m = Self::zeros();
+        for i in 0..5 {
+            m.0[i][i] = s;
+        }
+        m
+    }
+
+    /// A diagonally dominant block seeded from `rng`: random couplings
+    /// with the diagonal lifted above the absolute row sum.
+    pub fn diag_dominant(rng: &mut crate::rng::NpbRng) -> Self {
+        let mut m = Self::zeros();
+        for r in 0..5 {
+            let mut row_sum = 0.0;
+            for c in 0..5 {
+                if c != r {
+                    let v = 0.2 * (rng.next_f64() - 0.5);
+                    m.0[r][c] = v;
+                    row_sum += v.abs();
+                }
+            }
+            m.0[r][r] = 1.0 + row_sum + rng.next_f64() * 0.5;
+        }
+        m
+    }
+
+    /// `self · v`.
+    pub fn matvec(&self, v: &Vec5) -> Vec5 {
+        let mut out = [0.0; 5];
+        for r in 0..5 {
+            let mut s = 0.0;
+            for c in 0..5 {
+                s += self.0[r][c] * v[c];
+            }
+            out[r] = s;
+        }
+        out
+    }
+
+    /// `self · other`.
+    pub fn matmul(&self, other: &Mat5) -> Mat5 {
+        let mut out = Mat5::zeros();
+        for r in 0..5 {
+            for k in 0..5 {
+                let a = self.0[r][k];
+                if a != 0.0 {
+                    for c in 0..5 {
+                        out.0[r][c] += a * other.0[k][c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Mat5) -> Mat5 {
+        let mut out = *self;
+        for r in 0..5 {
+            for c in 0..5 {
+                out.0[r][c] -= other.0[r][c];
+            }
+        }
+        out
+    }
+
+    /// Solve `self · x = b` by Gaussian elimination with partial
+    /// pivoting. Returns `None` for a numerically singular block.
+    pub fn solve(&self, b: &Vec5) -> Option<Vec5> {
+        let mut a = self.0;
+        let mut x = *b;
+        for k in 0..5 {
+            // Pivot.
+            let (piv, mag) = (k..5)
+                .map(|r| (r, a[r][k].abs()))
+                .fold((k, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            if mag < 1e-300 {
+                return None;
+            }
+            if piv != k {
+                a.swap(piv, k);
+                x.swap(piv, k);
+            }
+            let d = a[k][k];
+            for r in k + 1..5 {
+                let m = a[r][k] / d;
+                if m != 0.0 {
+                    for c in k..5 {
+                        a[r][c] -= m * a[k][c];
+                    }
+                    x[r] -= m * x[k];
+                }
+            }
+        }
+        for k in (0..5).rev() {
+            let mut s = x[k];
+            for c in k + 1..5 {
+                s -= a[k][c] * x[c];
+            }
+            x[k] = s / a[k][k];
+        }
+        Some(x)
+    }
+
+    /// Inverse via five unit-vector solves. `None` if singular.
+    pub fn inverse(&self) -> Option<Mat5> {
+        let mut inv = Mat5::zeros();
+        for c in 0..5 {
+            let mut e = [0.0; 5];
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for r in 0..5 {
+                inv.0[r][c] = col[r];
+            }
+        }
+        Some(inv)
+    }
+}
+
+/// Add two 5-vectors.
+pub fn vadd(a: &Vec5, b: &Vec5) -> Vec5 {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]]
+}
+
+/// Subtract two 5-vectors.
+pub fn vsub(a: &Vec5, b: &Vec5) -> Vec5 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2], a[3] - b[3], a[4] - b[4]]
+}
+
+/// Euclidean norm of a 5-vector.
+pub fn vnorm(a: &Vec5) -> f64 {
+    a.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Solve a block-tridiagonal system in place with the block Thomas
+/// algorithm:
+/// `lower[i]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1] = rhs[i]`.
+///
+/// Returns `false` if a pivot block is singular. `lower[0]` and
+/// `upper[n-1]` are ignored.
+pub fn block_thomas(
+    lower: &[Mat5],
+    diag: &[Mat5],
+    upper: &[Mat5],
+    rhs: &mut [Vec5],
+) -> bool {
+    let n = diag.len();
+    assert!(lower.len() == n && upper.len() == n && rhs.len() == n);
+    // Forward elimination: c'[i] = (D - L·c'[i-1])^-1 · U,
+    // d'[i] = (D - L·c'[i-1])^-1 · (rhs - L·d'[i-1]).
+    let mut cprime = vec![Mat5::zeros(); n];
+    let Some(inv0) = diag[0].inverse() else { return false };
+    cprime[0] = inv0.matmul(&upper[0]);
+    rhs[0] = inv0.matvec(&rhs[0]);
+    for i in 1..n {
+        let denom = diag[i].sub(&lower[i].matmul(&cprime[i - 1]));
+        let Some(inv) = denom.inverse() else { return false };
+        if i + 1 < n {
+            cprime[i] = inv.matmul(&upper[i]);
+        }
+        let adj = vsub(&rhs[i], &lower[i].matvec(&rhs[i - 1]));
+        rhs[i] = inv.matvec(&adj);
+    }
+    // Back substitution.
+    for i in (0..n - 1).rev() {
+        let corr = cprime[i].matvec(&rhs[i + 1]);
+        rhs[i] = vsub(&rhs[i], &corr);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::NpbRng;
+
+    #[test]
+    fn solve_identity_returns_rhs() {
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = Mat5::identity().solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_matches_matvec_round_trip() {
+        let mut rng = NpbRng::new(17);
+        for _ in 0..20 {
+            let m = Mat5::diag_dominant(&mut rng);
+            let x_true = [
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64(),
+                rng.next_f64(),
+            ];
+            let b = m.matvec(&x_true);
+            let x = m.solve(&b).unwrap();
+            for i in 0..5 {
+                assert!((x[i] - x_true[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_block_detected() {
+        assert!(Mat5::zeros().solve(&[1.0; 5]).is_none());
+        assert!(Mat5::zeros().inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let mut rng = NpbRng::new(5);
+        let m = Mat5::diag_dominant(&mut rng);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv);
+        for r in 0..5 {
+            for c in 0..5 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((prod.0[r][c] - want).abs() < 1e-10, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn block_thomas_solves_manufactured_system() {
+        let mut rng = NpbRng::new(99);
+        let n = 12;
+        let lower: Vec<Mat5> = (0..n).map(|_| Mat5::scaled_identity(-0.2)).collect();
+        let upper: Vec<Mat5> = (0..n).map(|_| Mat5::scaled_identity(-0.2)).collect();
+        let diag: Vec<Mat5> = (0..n).map(|_| Mat5::diag_dominant(&mut rng)).collect();
+        let x_true: Vec<Vec5> = (0..n)
+            .map(|_| {
+                [
+                    rng.next_f64(),
+                    rng.next_f64(),
+                    rng.next_f64(),
+                    rng.next_f64(),
+                    rng.next_f64(),
+                ]
+            })
+            .collect();
+        // rhs = L x[i-1] + D x[i] + U x[i+1].
+        let mut rhs: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut b = diag[i].matvec(&x_true[i]);
+                if i > 0 {
+                    b = vadd(&b, &lower[i].matvec(&x_true[i - 1]));
+                }
+                if i + 1 < n {
+                    b = vadd(&b, &upper[i].matvec(&x_true[i + 1]));
+                }
+                b
+            })
+            .collect();
+        assert!(block_thomas(&lower, &diag, &upper, &mut rhs));
+        for i in 0..n {
+            for c in 0..5 {
+                assert!(
+                    (rhs[i][c] - x_true[i][c]).abs() < 1e-9,
+                    "x[{i}][{c}]: {} vs {}",
+                    rhs[i][c],
+                    x_true[i][c]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! NPB FT — the 3-D fast Fourier Transform kernel.
+//!
+//! FT solves a 3-D diffusion PDE spectrally: forward-transform an initial
+//! random field, evolve it `niter` times by multiplying with Gaussian
+//! exponential factors, inverse-transform and emit a checksum each
+//! iteration. The distributed version's all-to-all transposes make it the
+//! suite's *largest memory consumer* — the paper's Fig 8 shows FT's
+//! footprint growing fastest with class — and its transpose buffer is why
+//! ft.C only runs at ≥ 4 processes on the 8 GiB Xeon-E5462 (Fig 3).
+//!
+//! Class grids: A = 256×256×128 / 6 iters, B = 512×256×256 / 20,
+//! C = 512×512×512 / 20.
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::fft::{fft_batched, C64, Direction};
+use crate::rng::NpbRng;
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+use super::Class;
+
+/// The FT benchmark at a given class.
+#[derive(Debug, Clone, Copy)]
+pub struct Ft {
+    class: Class,
+}
+
+impl Ft {
+    /// FT at `class`.
+    pub fn new(class: Class) -> Self {
+        Self { class }
+    }
+
+    /// (nx, ny, nz, iterations) for the class.
+    pub fn params(&self) -> (u64, u64, u64, u32) {
+        match self.class {
+            Class::W => (128, 128, 32, 6),
+            Class::A => (256, 256, 128, 6),
+            Class::B => (512, 256, 256, 20),
+            Class::C => (512, 512, 512, 20),
+        }
+    }
+
+    /// Total grid points.
+    pub fn points(&self) -> u64 {
+        let (nx, ny, nz, _) = self.params();
+        nx * ny * nz
+    }
+}
+
+/// A dense 3-D complex field, x-fastest.
+#[derive(Debug, Clone)]
+pub struct Field3 {
+    /// X extent.
+    pub nx: usize,
+    /// Y extent.
+    pub ny: usize,
+    /// Z extent.
+    pub nz: usize,
+    /// `nx·ny·nz` complex values.
+    pub data: Vec<C64>,
+}
+
+impl Field3 {
+    /// Random field from the NPB generator.
+    pub fn random(nx: usize, ny: usize, nz: usize, seed: u64) -> Self {
+        let mut rng = NpbRng::new(seed);
+        let data =
+            (0..nx * ny * nz).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        Self { nx, ny, nz, data }
+    }
+
+    /// Sum of all values (the NPB checksum basis).
+    pub fn checksum(&self) -> C64 {
+        let mut acc = C64::default();
+        for v in &self.data {
+            acc = acc.add(*v);
+        }
+        acc
+    }
+}
+
+/// Forward or inverse 3-D FFT in place: batched 1-D transforms along x,
+/// then y, then z via explicit transposes (the same dataflow as the
+/// distributed NPB implementation, whose transposes are MPI all-to-alls).
+pub fn fft3(f: &mut Field3, dir: Direction) {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    // Pass 1: lines along x are contiguous.
+    fft_batched(&mut f.data, nx, dir);
+    // Pass 2: transpose x<->y, transform, transpose back.
+    let mut t = transpose_xy(f);
+    fft_batched(&mut t.data, ny, dir);
+    *f = transpose_xy(&t);
+    // Pass 3: transpose x<->z, transform, transpose back.
+    let mut t = transpose_xz(f);
+    fft_batched(&mut t.data, nz, dir);
+    *f = transpose_xz(&t);
+}
+
+/// Transpose the x and y axes.
+fn transpose_xy(f: &Field3) -> Field3 {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let mut out = Field3 { nx: ny, ny: nx, nz, data: vec![C64::default(); f.data.len()] };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                out.data[(z * nx + x) * ny + y] = f.data[(z * ny + y) * nx + x];
+            }
+        }
+    }
+    out
+}
+
+/// Transpose the x and z axes.
+fn transpose_xz(f: &Field3) -> Field3 {
+    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let mut out = Field3 { nx: nz, ny, nz: nx, data: vec![C64::default(); f.data.len()] };
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                out.data[(x * ny + y) * nz + z] = f.data[(z * ny + y) * nx + x];
+            }
+        }
+    }
+    out
+}
+
+/// Run the NPB FT structure at a scaled grid: returns the per-iteration
+/// checksums.
+pub fn run_scaled(nx: usize, ny: usize, nz: usize, niter: u32) -> Vec<C64> {
+    let mut u0 = Field3::random(nx, ny, nz, 314_159_265);
+    fft3(&mut u0, Direction::Forward);
+    // Evolution factors exp(-4π²·α·t·k²) per mode.
+    let alpha = 1e-6;
+    let mut checksums = Vec::with_capacity(niter as usize);
+    let mut evolved = u0.clone();
+    for t in 1..=niter {
+        let tt = f64::from(t);
+        for z in 0..nz {
+            let kz = wavenumber(z, nz);
+            for y in 0..ny {
+                let ky = wavenumber(y, ny);
+                for x in 0..nx {
+                    let kx = wavenumber(x, nx);
+                    let k2 = (kx * kx + ky * ky + kz * kz) as f64;
+                    let factor = (-4.0 * std::f64::consts::PI.powi(2) * alpha * tt * k2).exp();
+                    let i = (z * ny + y) * nx + x;
+                    evolved.data[i] = u0.data[i].scale(factor);
+                }
+            }
+        }
+        let mut w = evolved.clone();
+        fft3(&mut w, Direction::Inverse);
+        checksums.push(w.checksum());
+    }
+    checksums
+}
+
+fn wavenumber(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+impl Benchmark for Ft {
+    fn id(&self) -> &'static str {
+        "ft"
+    }
+
+    fn display_name(&self) -> String {
+        format!("ft.{}", self.class)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let (nx, ny, nz, niter) = self.params();
+        let pts = self.points() as f64;
+        let logs = ((nx as f64).log2() + (ny as f64).log2() + (nz as f64).log2()).max(1.0);
+        // 5·N·log2(N_total) per 3-D transform, ~1.24 overhead for evolve
+        // and checksum; two transforms live per iteration (evolve applies
+        // to the saved forward transform).
+        let flops = 6.2 * pts * logs * f64::from(niter) / 3.0 * 3.0;
+        let bytes_per_pt = 16.0;
+        // u0, u1 and the transform workspace resident; plus an all-ranks
+        // transpose buffer that shrinks with p.
+        let footprint = pts * bytes_per_pt * 2.55;
+        let scratch = pts * bytes_per_pt * 2.55;
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: flops,
+            work_ops: flops * 1.1,
+            dram_bytes: pts * bytes_per_pt * 6.0 * f64::from(niter),
+            footprint_bytes: footprint,
+            footprint_per_proc_bytes: 16.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: scratch,
+            comm_fraction: 0.18,
+            cpu_intensity: 0.80,
+            kind: ComputeKind::Mixed(0.8),
+            locality: LocalityProfile::streaming(),
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::PowerOfTwo
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        // Round-trip identity at a scaled grid.
+        let mut f = Field3::random(16, 8, 8, 777);
+        let orig = f.clone();
+        fft3(&mut f, Direction::Forward);
+        fft3(&mut f, Direction::Inverse);
+        let max_err = f
+            .data
+            .iter()
+            .zip(&orig.data)
+            .map(|(a, b)| a.sub(*b).norm_sqr().sqrt())
+            .fold(0.0, f64::max);
+        if max_err > 1e-10 {
+            return VerifyOutcome::fail(format!("3-D round trip error {max_err:.3e}"));
+        }
+        // Checksums of the evolution must be finite and decaying in
+        // magnitude (diffusion damps every nonzero mode).
+        let sums = run_scaled(16, 8, 8, 4);
+        let mags: Vec<f64> = sums.iter().map(|c| c.norm_sqr().sqrt()).collect();
+        let decaying = mags.windows(2).all(|w| w[1] <= w[0] * (1.0 + 1e-9));
+        if !decaying || mags.iter().any(|m| !m.is_finite()) {
+            return VerifyOutcome::fail(format!("checksums not damped: {mags:?}"));
+        }
+        VerifyOutcome::pass(
+            format!("round-trip err {max_err:.2e}; checksum |s| {:.4} -> {:.4}", mags[0],
+                mags[mags.len() - 1]),
+            crate::fft::fft_flops(16 * 8 * 8) * 4.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_xy_round_trips() {
+        let f = Field3::random(8, 4, 2, 3);
+        let back = transpose_xy(&transpose_xy(&f));
+        assert_eq!(f.data, back.data);
+    }
+
+    #[test]
+    fn transpose_xz_round_trips() {
+        let f = Field3::random(8, 4, 2, 3);
+        let back = transpose_xz(&transpose_xz(&f));
+        assert_eq!(f.data, back.data);
+    }
+
+    #[test]
+    fn fft3_round_trip() {
+        let mut f = Field3::random(8, 16, 4, 55);
+        let orig = f.clone();
+        fft3(&mut f, Direction::Forward);
+        fft3(&mut f, Direction::Inverse);
+        for (a, b) in f.data.iter().zip(&orig.data) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft3_dc_component_is_field_sum() {
+        let mut f = Field3::random(8, 8, 8, 4);
+        let sum = f.checksum();
+        fft3(&mut f, Direction::Forward);
+        assert!((f.data[0].re - sum.re).abs() < 1e-9);
+        assert!((f.data[0].im - sum.im).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evolution_checksums_decay() {
+        let sums = run_scaled(8, 8, 8, 3);
+        let mags: Vec<f64> = sums.iter().map(|c| c.norm_sqr().sqrt()).collect();
+        assert!(mags[2] <= mags[0]);
+    }
+
+    #[test]
+    fn verify_passes() {
+        let out = Ft::new(Class::C).verify(2);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn ft_c_needs_four_procs_on_8gib(){
+        // Fig 3: ft.C.4 present, ft.C.2 / ft.C.1 absent on the Xeon-E5462.
+        let sig = Ft::new(Class::C).signature();
+        let gib8 = 8u64 << 30;
+        assert!(!sig.fits_in(1, gib8));
+        assert!(!sig.fits_in(2, gib8));
+        assert!(sig.fits_in(4, gib8));
+    }
+
+    #[test]
+    fn ft_has_largest_growth_in_footprint() {
+        // Fig 8: FT's footprint grows fastest with class.
+        let a = Ft::new(Class::A).signature().footprint_at(1);
+        let c = Ft::new(Class::C).signature().footprint_at(1);
+        assert!(c / a > 15.0, "growth {}", c / a);
+    }
+}

@@ -1,0 +1,332 @@
+//! NPB MG — the Multi-Grid kernel.
+//!
+//! MG applies V-cycles of a geometric multigrid solver to a 3-D Poisson
+//! problem `∇²u = v` on a periodic cubic grid: smooth, compute the
+//! residual, restrict it to a coarser grid, recurse, prolongate the
+//! correction back and smooth again. Its regular sweeps over large 3-D
+//! arrays make it bandwidth-hungry with good spatial locality.
+//!
+//! Class sizes: A = 256³ / 4 iterations, B = 256³ / 20, C = 512³ / 20.
+//!
+//! The implementation is a damped-Jacobi V-cycle over a 7-point stencil —
+//! structurally the same restrict/prolongate/smooth ladder as NPB's
+//! 27-point version, verified by residual contraction per cycle.
+
+use rayon::prelude::*;
+
+use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+
+use crate::rng::NpbRng;
+use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+use super::Class;
+
+/// Reported floating point operations per grid point per iteration
+/// (from the official NPB operation counts: MG.A = 3,905 Mop over
+/// 256³ × 4).
+pub const FLOPS_PER_POINT_ITER: f64 = 58.0;
+
+/// The MG benchmark at a given class.
+#[derive(Debug, Clone, Copy)]
+pub struct Mg {
+    class: Class,
+}
+
+impl Mg {
+    /// MG at `class`.
+    pub fn new(class: Class) -> Self {
+        Self { class }
+    }
+
+    /// (grid edge, iterations) for the class.
+    pub fn params(&self) -> (u64, u32) {
+        match self.class {
+            Class::W => (128, 4),
+            Class::A => (256, 4),
+            Class::B => (256, 20),
+            Class::C => (512, 20),
+        }
+    }
+}
+
+/// A periodic cubic grid of edge `n` (power of two).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Edge length.
+    pub n: usize,
+    /// `n³` values, x-fastest.
+    pub data: Vec<f64>,
+}
+
+impl Grid {
+    /// Zero grid.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n * n] }
+    }
+
+    /// Random right-hand side with zero mean (required for a solvable
+    /// periodic Poisson problem).
+    pub fn random_rhs(n: usize, seed: u64) -> Self {
+        let mut rng = NpbRng::new(seed);
+        let mut data: Vec<f64> = (0..n * n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        for v in data.iter_mut() {
+            *v -= mean;
+        }
+        Self { n, data }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.n + y) * self.n + x
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// `out = v − A·u` where `A` is the periodic 7-point −∇² stencil.
+pub fn residual(u: &Grid, v: &Grid, out: &mut Grid) {
+    let n = u.n;
+    out.data.par_chunks_mut(n * n).enumerate().for_each(|(z, plane)| {
+        let zm = (z + n - 1) % n;
+        let zp = (z + 1) % n;
+        for y in 0..n {
+            let ym = (y + n - 1) % n;
+            let yp = (y + 1) % n;
+            for x in 0..n {
+                let xm = (x + n - 1) % n;
+                let xp = (x + 1) % n;
+                let au = 6.0 * u.data[u.idx(x, y, z)]
+                    - u.data[u.idx(xm, y, z)]
+                    - u.data[u.idx(xp, y, z)]
+                    - u.data[u.idx(x, ym, z)]
+                    - u.data[u.idx(x, yp, z)]
+                    - u.data[u.idx(x, y, zm)]
+                    - u.data[u.idx(x, y, zp)];
+                plane[y * n + x] = v.data[v.idx(x, y, z)] - au;
+            }
+        }
+    });
+}
+
+/// One damped-Jacobi smoothing sweep `u += ω·D⁻¹·(v − A·u)`.
+pub fn smooth(u: &mut Grid, v: &Grid, omega: f64) {
+    let mut r = Grid::zeros(u.n);
+    residual(u, v, &mut r);
+    let w = omega / 6.0;
+    u.data.par_iter_mut().zip(&r.data).for_each(|(ui, ri)| {
+        *ui += w * ri;
+    });
+}
+
+/// Full-weighting restriction to the half-resolution grid.
+pub fn restrict(fine: &Grid) -> Grid {
+    let nc = fine.n / 2;
+    let mut coarse = Grid::zeros(nc);
+    let n = fine.n;
+    coarse.data = (0..nc * nc * nc)
+        .into_par_iter()
+        .map(|i| {
+            let x = (i % nc) * 2;
+            let y = ((i / nc) % nc) * 2;
+            let z = (i / (nc * nc)) * 2;
+            // Average the 2×2×2 cell.
+            let mut s = 0.0;
+            for dz in 0..2 {
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        s += fine.data[fine.idx((x + dx) % n, (y + dy) % n, (z + dz) % n)];
+                    }
+                }
+            }
+            s / 8.0 * 4.0 // scale: coarse operator has 4x the cell area
+        })
+        .collect();
+    coarse
+}
+
+/// Trilinear-ish prolongation: inject the coarse value into its 2×2×2
+/// fine cell.
+pub fn prolongate_add(coarse: &Grid, fine: &mut Grid) {
+    let nc = coarse.n;
+    let n = fine.n;
+    for z in 0..nc {
+        for y in 0..nc {
+            for x in 0..nc {
+                let v = coarse.data[coarse.idx(x, y, z)];
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let i = fine.idx((2 * x + dx) % n, (2 * y + dy) % n, (2 * z + dz) % n);
+                            fine.data[i] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One V-cycle on `A·u = v`; recurses down to a 4³ grid.
+pub fn v_cycle(u: &mut Grid, v: &Grid) {
+    const OMEGA: f64 = 0.8;
+    smooth(u, v, OMEGA);
+    smooth(u, v, OMEGA);
+    if u.n > 4 {
+        let mut r = Grid::zeros(u.n);
+        residual(u, v, &mut r);
+        let rc = restrict(&r);
+        let mut ec = Grid::zeros(rc.n);
+        v_cycle(&mut ec, &rc);
+        prolongate_add(&ec, u);
+    }
+    smooth(u, v, OMEGA);
+    smooth(u, v, OMEGA);
+}
+
+impl Benchmark for Mg {
+    fn id(&self) -> &'static str {
+        "mg"
+    }
+
+    fn display_name(&self) -> String {
+        format!("mg.{}", self.class)
+    }
+
+    fn signature(&self) -> WorkloadSignature {
+        let (edge, iters) = self.params();
+        let pts = (edge * edge * edge) as f64;
+        let flops = FLOPS_PER_POINT_ITER * pts * f64::from(iters);
+        // u, v, r over the grid hierarchy (Σ 1/8^k ≈ 8/7 of the top grid)
+        // plus workspace: ≈ 4.7 arrays of 8 B per point.
+        let footprint = pts * 8.0 * 4.7;
+        WorkloadSignature {
+            name: self.display_name(),
+            reported_flops: flops,
+            work_ops: flops * 1.15,
+            dram_bytes: flops * 1.5, // stencil sweeps stream the arrays
+            footprint_bytes: footprint,
+            footprint_per_proc_bytes: 20.0 * f64::from(1u32 << 20),
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.10,
+            cpu_intensity: 0.72,
+            kind: ComputeKind::Mixed(0.7),
+            locality: LocalityProfile {
+                instr_per_op: 1.6,
+                accesses_per_instr: 0.42,
+                l1_hit: 0.78,
+                l2_hit: 0.08,
+                l3_hit: 0.04,
+                mem: 0.10,
+                write_fraction: 0.3,
+            },
+        }
+    }
+
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::PowerOfTwo
+    }
+
+    fn verify(&self, _threads: usize) -> VerifyOutcome {
+        let n = 32;
+        let v = Grid::random_rhs(n, 1234);
+        let mut u = Grid::zeros(n);
+        let mut r = Grid::zeros(n);
+        residual(&u, &v, &mut r);
+        let r0 = r.norm();
+        let mut norms = vec![r0];
+        for _ in 0..4 {
+            v_cycle(&mut u, &v);
+            residual(&u, &v, &mut r);
+            norms.push(r.norm());
+        }
+        let last = *norms.last().expect("norms nonempty");
+        let contraction = (last / r0).powf(1.0 / 4.0);
+        if contraction < 0.5 && last.is_finite() {
+            VerifyOutcome::pass(
+                format!("4 V-cycles: r0={r0:.3e} -> {last:.3e} (rate {contraction:.3})"),
+                FLOPS_PER_POINT_ITER * (n * n * n) as f64 * 4.0,
+            )
+        } else {
+            VerifyOutcome::fail(format!("poor contraction {contraction:.3}: {norms:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_of_exact_zero_solution_is_rhs() {
+        let n = 8;
+        let v = Grid::random_rhs(n, 5);
+        let u = Grid::zeros(n);
+        let mut r = Grid::zeros(n);
+        residual(&u, &v, &mut r);
+        for (a, b) in r.data.iter().zip(&v.data) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn smoothing_reduces_residual() {
+        let n = 16;
+        let v = Grid::random_rhs(n, 9);
+        let mut u = Grid::zeros(n);
+        let mut r = Grid::zeros(n);
+        residual(&u, &v, &mut r);
+        let before = r.norm();
+        for _ in 0..10 {
+            smooth(&mut u, &v, 0.8);
+        }
+        residual(&u, &v, &mut r);
+        assert!(r.norm() < before, "{} !< {before}", r.norm());
+    }
+
+    #[test]
+    fn v_cycle_contracts_residual() {
+        let n = 16;
+        let v = Grid::random_rhs(n, 31);
+        let mut u = Grid::zeros(n);
+        let mut r = Grid::zeros(n);
+        residual(&u, &v, &mut r);
+        let r0 = r.norm();
+        v_cycle(&mut u, &v);
+        residual(&u, &v, &mut r);
+        assert!(r.norm() < r0 * 0.5, "one V-cycle: {} -> {}", r0, r.norm());
+    }
+
+    #[test]
+    fn restriction_halves_edge() {
+        let g = Grid::zeros(16);
+        assert_eq!(restrict(&g).n, 8);
+    }
+
+    #[test]
+    fn restriction_preserves_constant_fields() {
+        let mut g = Grid::zeros(8);
+        g.data.fill(2.0);
+        let c = restrict(&g);
+        for v in &c.data {
+            assert!((v - 8.0).abs() < 1e-12); // 2.0 * 4 (area scale)
+        }
+    }
+
+    #[test]
+    fn verify_passes() {
+        let out = Mg::new(Class::C).verify(2);
+        assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn signature_footprints_match_class_sizes() {
+        // MG.C (512³) must be ~8x MG.B (256³).
+        let b = Mg::new(Class::B).signature();
+        let c = Mg::new(Class::C).signature();
+        assert!((c.footprint_bytes / b.footprint_bytes - 8.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,191 @@
+//! The NAS Parallel Benchmarks.
+//!
+//! Eight programs — five kernels (IS, EP, CG, MG, FT) and three
+//! pseudo-applications (BT, SP, LU) — each implemented for real and
+//! parameterized by the published problem classes. The paper uses classes
+//! A, B and C (§III-C: W is too small for stable power measurement, D/E
+//! exceed single-server memory), so those are what [`Class`] models.
+//!
+//! Process-count constraints follow the MPI reference implementation:
+//! EP accepts any count, the other kernels need powers of two, and BT/SP
+//! need perfect squares — the constraint structure that motivates the
+//! paper's choice of EP + HPL as the evaluation pair.
+
+pub mod block5;
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod is;
+pub mod lu;
+pub mod mg;
+pub mod sp;
+
+use crate::suite::Benchmark;
+
+/// NPB problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Class {
+    /// Class W — workstation size. The paper omits it ("extremely small
+    /// and the execution time is short"); it is supported here so the
+    /// stability analysis can demonstrate that omission.
+    W,
+    /// Class A — small (the paper notes LU.A.2 runs 1.01 s).
+    A,
+    /// Class B — medium; used for the regression validation (Fig 12).
+    B,
+    /// Class C — large; used for the power evaluation itself.
+    C,
+}
+
+impl Class {
+    /// The classes the paper exercises, in size order (W excluded, as
+    /// in the paper).
+    pub const ALL: [Class; 3] = [Class::A, Class::B, Class::C];
+
+    /// Every supported class including W.
+    pub const ALL_WITH_W: [Class; 4] = [Class::W, Class::A, Class::B, Class::C];
+
+    /// Single-letter name as used in NPB binaries ("ep.C.4").
+    pub fn letter(self) -> char {
+        match self {
+            Class::W => 'W',
+            Class::A => 'A',
+            Class::B => 'B',
+            Class::C => 'C',
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// The eight NPB programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Program {
+    /// Block Tri-diagonal pseudo-application.
+    Bt,
+    /// Conjugate Gradient kernel.
+    Cg,
+    /// Embarrassingly Parallel kernel.
+    Ep,
+    /// 3-D fast Fourier Transform kernel.
+    Ft,
+    /// Integer Sort kernel.
+    Is,
+    /// Lower-Upper Gauss-Seidel pseudo-application.
+    Lu,
+    /// Multi-Grid kernel.
+    Mg,
+    /// Scalar Penta-diagonal pseudo-application.
+    Sp,
+}
+
+impl Program {
+    /// All programs in the alphabetical order the paper's figures use.
+    pub const ALL: [Program; 8] = [
+        Program::Bt,
+        Program::Cg,
+        Program::Ep,
+        Program::Ft,
+        Program::Is,
+        Program::Lu,
+        Program::Mg,
+        Program::Sp,
+    ];
+
+    /// Lowercase id as used in NPB binary names.
+    pub fn id(self) -> &'static str {
+        match self {
+            Program::Bt => "bt",
+            Program::Cg => "cg",
+            Program::Ep => "ep",
+            Program::Ft => "ft",
+            Program::Is => "is",
+            Program::Lu => "lu",
+            Program::Mg => "mg",
+            Program::Sp => "sp",
+        }
+    }
+
+    /// Instantiate the benchmark for a class.
+    pub fn benchmark(self, class: Class) -> Box<dyn Benchmark> {
+        match self {
+            Program::Bt => Box::new(bt::Bt::new(class)),
+            Program::Cg => Box::new(cg::Cg::new(class)),
+            Program::Ep => Box::new(ep::Ep::new(class)),
+            Program::Ft => Box::new(ft::Ft::new(class)),
+            Program::Is => Box::new(is::Is::new(class)),
+            Program::Lu => Box::new(lu::Lu::new(class)),
+            Program::Mg => Box::new(mg::Mg::new(class)),
+            Program::Sp => Box::new(sp::Sp::new(class)),
+        }
+    }
+}
+
+/// Every (program, class) benchmark of the suite.
+pub fn full_suite(class: Class) -> Vec<Box<dyn Benchmark>> {
+    Program::ALL.iter().map(|p| p.benchmark(class)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::ProcConstraint;
+
+    #[test]
+    fn class_letters() {
+        assert_eq!(Class::A.letter(), 'A');
+        assert_eq!(format!("{}", Class::C), "C");
+    }
+
+    #[test]
+    fn suite_has_eight_programs() {
+        assert_eq!(full_suite(Class::B).len(), 8);
+    }
+
+    #[test]
+    fn display_names_follow_npb_convention() {
+        let b = Program::Ep.benchmark(Class::C);
+        assert_eq!(b.display_name(), "ep.C");
+        let b = Program::Bt.benchmark(Class::A);
+        assert_eq!(b.display_name(), "bt.A");
+    }
+
+    #[test]
+    fn constraints_match_reference_implementation() {
+        // §IV-D: only EP is freely configurable.
+        assert_eq!(Program::Ep.benchmark(Class::C).constraint(), ProcConstraint::Any);
+        for p in [Program::Cg, Program::Ft, Program::Is, Program::Lu, Program::Mg] {
+            assert_eq!(
+                p.benchmark(Class::C).constraint(),
+                ProcConstraint::PowerOfTwo,
+                "{p:?}"
+            );
+        }
+        for p in [Program::Bt, Program::Sp] {
+            assert_eq!(p.benchmark(Class::C).constraint(), ProcConstraint::Square, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn class_sizes_are_ordered() {
+        // Signatures must grow with the class for every program.
+        for prog in Program::ALL {
+            let a = prog.benchmark(Class::A).signature();
+            let b = prog.benchmark(Class::B).signature();
+            let c = prog.benchmark(Class::C).signature();
+            assert!(
+                a.reported_flops < b.reported_flops && b.reported_flops < c.reported_flops,
+                "{prog:?} flops must grow A<B<C"
+            );
+            assert!(
+                a.footprint_at(1) <= b.footprint_at(1) && b.footprint_at(1) <= c.footprint_at(1),
+                "{prog:?} footprint must grow A<=B<=C"
+            );
+        }
+    }
+}

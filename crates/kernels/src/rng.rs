@@ -1,0 +1,159 @@
+//! The NPB pseudo-random number generator.
+//!
+//! NPB specifies a linear congruential generator
+//! `x_{k+1} = a · x_k (mod 2^46)` with `a = 5^13 = 1220703125` and default
+//! seed `271828183`, returning `x_k · 2^-46 ∈ (0, 1)`. EP, CG, FT and IS
+//! all draw their inputs from this generator, and EP's parallel
+//! decomposition depends on the O(log k) *jump-ahead* (computing `a^k mod
+//! 2^46` by repeated squaring) so every process can position its stream
+//! independently — which is also what makes our parallel runs bitwise
+//! reproducible.
+
+/// Multiplier `a = 5^13` from the NPB specification.
+pub const NPB_A: u64 = 1_220_703_125;
+/// Default seed used by EP and the other NPB kernels.
+pub const NPB_SEED: u64 = 271_828_183;
+/// Modulus 2^46.
+pub const MOD46: u64 = 1 << 46;
+const MASK46: u64 = MOD46 - 1;
+const R46: f64 = 1.0 / (1u64 << 46) as f64;
+
+/// NPB linear congruential generator over 46-bit state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpbRng {
+    state: u64,
+    mult: u64,
+}
+
+impl NpbRng {
+    /// Generator with the standard multiplier and the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed & MASK46, mult: NPB_A }
+    }
+
+    /// Generator with the NPB default seed.
+    pub fn default_seed() -> Self {
+        Self::new(NPB_SEED)
+    }
+
+    /// Current 46-bit state.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Next uniform deviate in (0, 1) — NPB's `randlc`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.state = mul46(self.state, self.mult);
+        self.state as f64 * R46
+    }
+
+    /// Fill `out` with uniform deviates — NPB's `vranlc`.
+    pub fn fill(&mut self, out: &mut [f64]) {
+        for v in out.iter_mut() {
+            *v = self.next_f64();
+        }
+    }
+
+    /// Skip `k` draws in O(log k) — the basis of EP's parallel streams.
+    pub fn jump(&mut self, k: u64) {
+        self.state = mul46(self.state, pow46(self.mult, k));
+    }
+
+    /// A generator positioned `k` draws after `self` without advancing
+    /// `self`.
+    pub fn at_offset(&self, k: u64) -> Self {
+        let mut c = *self;
+        c.jump(k);
+        c
+    }
+}
+
+/// `(x · y) mod 2^46` without overflow.
+#[inline]
+fn mul46(x: u64, y: u64) -> u64 {
+    ((u128::from(x) * u128::from(y)) & u128::from(MASK46)) as u64
+}
+
+/// `a^k mod 2^46` by binary exponentiation.
+fn pow46(a: u64, mut k: u64) -> u64 {
+    let mut base = a & MASK46;
+    let mut acc: u64 = 1;
+    while k > 0 {
+        if k & 1 == 1 {
+            acc = mul46(acc, base);
+        }
+        base = mul46(base, base);
+        k >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviates_in_open_unit_interval() {
+        let mut rng = NpbRng::default_seed();
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!(v > 0.0 && v < 1.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn jump_matches_sequential_draws() {
+        for k in [0u64, 1, 2, 7, 100, 12345] {
+            let mut seq = NpbRng::default_seed();
+            for _ in 0..k {
+                seq.next_f64();
+            }
+            let mut jumped = NpbRng::default_seed();
+            jumped.jump(k);
+            assert_eq!(seq.state(), jumped.state(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn at_offset_does_not_advance_original() {
+        let rng = NpbRng::default_seed();
+        let s0 = rng.state();
+        let _ = rng.at_offset(1000);
+        assert_eq!(rng.state(), s0);
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut rng = NpbRng::default_seed();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn disjoint_streams_reproduce_one_stream() {
+        // Two half-streams via jump-ahead == one full stream.
+        let n = 1000u64;
+        let mut full = NpbRng::default_seed();
+        let all: Vec<f64> = (0..n).map(|_| full.next_f64()).collect();
+
+        let mut lo = NpbRng::default_seed();
+        let mut hi = NpbRng::default_seed();
+        hi.jump(n / 2);
+        let first: Vec<f64> = (0..n / 2).map(|_| lo.next_f64()).collect();
+        let second: Vec<f64> = (0..n / 2).map(|_| hi.next_f64()).collect();
+
+        assert_eq!(&all[..(n / 2) as usize], &first[..]);
+        assert_eq!(&all[(n / 2) as usize..], &second[..]);
+    }
+
+    #[test]
+    fn state_stays_within_46_bits() {
+        let mut rng = NpbRng::new(u64::MAX);
+        assert!(rng.state() < MOD46);
+        for _ in 0..100 {
+            rng.next_f64();
+            assert!(rng.state() < MOD46);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Synthetic memory-access streams characteristic of each workload
+//! family, used to validate the closed-form [`LocalityProfile`]s against
+//! the machine crate's set-associative cache simulator.
+//!
+//! The PMU synthesis (`hpceval_machine::pmu`) derives L2/L3 hit counters
+//! from per-workload locality profiles. Those profiles are hand-stated
+//! constants; this module grounds them: it generates address streams
+//! with the access structure of each workload family (blocked reuse,
+//! streaming, random) and the tests assert that running them through the
+//! real cache hierarchy orders the families the same way the profiles
+//! do.
+
+use hpceval_machine::workload::LocalityProfile;
+
+use crate::rng::NpbRng;
+
+/// How many addresses [`generate`] produces per call.
+pub const STREAM_LEN: usize = 200_000;
+
+/// The access-structure families used by the kernel signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Blocked dense linear algebra: long dwell inside a cache-sized
+    /// tile, then move to the next tile (HPL/DGEMM).
+    DenseBlocked,
+    /// Streaming: sequential walk over a working set far beyond cache
+    /// (STREAM, FT transposes).
+    Streaming,
+    /// Uniform random over a large table (RandomAccess, IS histogram).
+    Random,
+    /// Tiny resident working set (EP).
+    ComputeResident,
+}
+
+impl AccessPattern {
+    /// The closed-form profile this pattern is meant to justify.
+    pub fn profile(self) -> LocalityProfile {
+        match self {
+            AccessPattern::DenseBlocked => LocalityProfile::dense_blocked(),
+            AccessPattern::Streaming => LocalityProfile::streaming(),
+            AccessPattern::Random => LocalityProfile::random_access(),
+            AccessPattern::ComputeResident => LocalityProfile::compute_resident(),
+        }
+    }
+}
+
+/// Generate a characteristic address stream for `pattern` over a
+/// `working_set` bytes region.
+pub fn generate(pattern: AccessPattern, working_set: u64, seed: u64) -> Vec<u64> {
+    let mut rng = NpbRng::new(seed.max(1));
+    let ws = working_set.max(1 << 12);
+    let mut out = Vec::with_capacity(STREAM_LEN);
+    match pattern {
+        AccessPattern::DenseBlocked => {
+            // 24 KiB tiles revisited 16 times before moving on.
+            let tile = 24 * 1024u64;
+            let mut base = 0u64;
+            while out.len() < STREAM_LEN {
+                for _ in 0..16 {
+                    let mut addr = base;
+                    while addr < base + tile && out.len() < STREAM_LEN {
+                        out.push(addr % ws);
+                        addr += 8;
+                    }
+                }
+                base = (base + tile) % ws;
+            }
+        }
+        AccessPattern::Streaming => {
+            let mut addr = 0u64;
+            while out.len() < STREAM_LEN {
+                out.push(addr % ws);
+                addr += 8;
+            }
+        }
+        AccessPattern::Random => {
+            for _ in 0..STREAM_LEN {
+                let r = (rng.next_f64() * ws as f64) as u64;
+                out.push(r & !7);
+            }
+        }
+        AccessPattern::ComputeResident => {
+            // 8 KiB of state, revisited forever.
+            let resident = 8 * 1024u64;
+            let mut addr = 0u64;
+            while out.len() < STREAM_LEN {
+                out.push(addr % resident);
+                addr += 8;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::cache::CacheHierarchy;
+    use hpceval_machine::presets;
+
+    /// DRAM share of each pattern on a given server.
+    fn mem_share(pattern: AccessPattern, spec: &hpceval_machine::ServerSpec) -> f64 {
+        let mut h = CacheHierarchy::for_server(spec);
+        let ws = 256 << 20; // 256 MiB working set
+        let (_, _, mem) = h.profile_stream(generate(pattern, ws, 9));
+        mem
+    }
+
+    #[test]
+    fn cache_simulator_orders_patterns_like_the_profiles() {
+        // The hand-stated profiles claim mem share: random > streaming >
+        // dense-blocked > compute-resident. The real cache hierarchy
+        // must agree on every server.
+        for spec in presets::all_servers() {
+            let r = mem_share(AccessPattern::Random, &spec);
+            let s = mem_share(AccessPattern::Streaming, &spec);
+            let b = mem_share(AccessPattern::DenseBlocked, &spec);
+            let c = mem_share(AccessPattern::ComputeResident, &spec);
+            assert!(r > s, "{}: random {r:.3} !> streaming {s:.3}", spec.name);
+            assert!(s > b, "{}: streaming {s:.3} !> blocked {b:.3}", spec.name);
+            assert!(b > c, "{}: blocked {b:.3} !> resident {c:.3}", spec.name);
+        }
+    }
+
+    #[test]
+    fn profile_mem_fractions_order_matches() {
+        let pats = [
+            AccessPattern::Random,
+            AccessPattern::Streaming,
+            AccessPattern::DenseBlocked,
+            AccessPattern::ComputeResident,
+        ];
+        let mems: Vec<f64> = pats.iter().map(|p| p.profile().mem + p.profile().l3_hit).collect();
+        for w in mems.windows(2) {
+            assert!(w[0] > w[1], "profile ordering broken: {mems:?}");
+        }
+    }
+
+    #[test]
+    fn compute_resident_hits_l1_after_warmup() {
+        let spec = presets::xeon_e5462();
+        let mut h = CacheHierarchy::for_server(&spec);
+        let stream = generate(AccessPattern::ComputeResident, 1 << 20, 3);
+        let (_, _, mem) = h.profile_stream(stream);
+        // Only the cold 8 KiB / 64 B = 128 lines miss.
+        assert!(mem < 0.001, "resident stream missed {mem:.4}");
+    }
+
+    #[test]
+    fn random_stream_misses_heavily_on_small_caches() {
+        // A 256 MiB random walk cannot live in a 12 MiB LLC.
+        let spec = presets::xeon_e5462();
+        let mut h = CacheHierarchy::for_server(&spec);
+        let (_, _, mem) = h.profile_stream(generate(AccessPattern::Random, 256 << 20, 5));
+        assert!(mem > 0.5, "random mem share {mem:.3}");
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = generate(AccessPattern::Random, 1 << 24, 7);
+        let b = generate(AccessPattern::Random, 1 << 24, 7);
+        assert_eq!(a, b);
+        let c = generate(AccessPattern::Random, 1 << 24, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn addresses_stay_inside_the_working_set() {
+        for pat in [
+            AccessPattern::DenseBlocked,
+            AccessPattern::Streaming,
+            AccessPattern::Random,
+        ] {
+            let ws = 1u64 << 22;
+            let stream = generate(pat, ws, 1);
+            assert_eq!(stream.len(), STREAM_LEN);
+            assert!(stream.iter().all(|&a| a < ws), "{pat:?} escaped");
+        }
+    }
+}

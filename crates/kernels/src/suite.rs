@@ -1,0 +1,130 @@
+//! The common benchmark interface.
+//!
+//! Every program the paper runs — HPL, the NPB programs, the HPCC
+//! programs, the SSJ workload — exposes the same two capabilities: a
+//! closed-form [`WorkloadSignature`] for its published problem size, and
+//! a *verifiable scaled execution* proving the algorithm is really
+//! implemented. The evaluation layers (`hpceval-core`) only consume this
+//! trait, so adding a benchmark is one `impl` away.
+
+use hpceval_machine::workload::WorkloadSignature;
+
+/// Restriction a program places on the number of MPI processes.
+///
+/// This is what makes EP special in the paper (§IV-D: "the number of
+/// cores used in the test should be configurable, and this requirement is
+/// unable to be met except by EP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcConstraint {
+    /// Any process count ≥ 1 (EP only).
+    Any,
+    /// Powers of two: 1, 2, 4, 8, … (CG, FT, IS, LU, MG).
+    PowerOfTwo,
+    /// Perfect squares: 1, 4, 9, 16, 25, 36, … (BT, SP).
+    Square,
+}
+
+impl ProcConstraint {
+    /// Whether `p` processes satisfy the constraint.
+    pub fn allows(self, p: u32) -> bool {
+        if p == 0 {
+            return false;
+        }
+        match self {
+            ProcConstraint::Any => true,
+            ProcConstraint::PowerOfTwo => p.is_power_of_two(),
+            ProcConstraint::Square => {
+                let r = (f64::from(p)).sqrt().round() as u32;
+                r * r == p
+            }
+        }
+    }
+
+    /// All allowed process counts up to and including `max`.
+    pub fn allowed_up_to(self, max: u32) -> Vec<u32> {
+        (1..=max).filter(|&p| self.allows(p)).collect()
+    }
+
+    /// The largest allowed process count ≤ `max` (None if max == 0).
+    pub fn largest_up_to(self, max: u32) -> Option<u32> {
+        (1..=max).rev().find(|&p| self.allows(p))
+    }
+}
+
+/// Result of running a scaled-down verification instance.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// Did the built-in verification test pass?
+    pub passed: bool,
+    /// Human-readable verification detail (residual, checksum, …).
+    pub detail: String,
+    /// Useful operations actually executed by the scaled run.
+    pub useful_ops: f64,
+}
+
+impl VerifyOutcome {
+    /// A passing outcome.
+    pub fn pass(detail: impl Into<String>, useful_ops: f64) -> Self {
+        Self { passed: true, detail: detail.into(), useful_ops }
+    }
+
+    /// A failing outcome.
+    pub fn fail(detail: impl Into<String>) -> Self {
+        Self { passed: false, detail: detail.into(), useful_ops: 0.0 }
+    }
+}
+
+/// A benchmark program as the evaluation methodology sees it.
+pub trait Benchmark: Send + Sync {
+    /// Short identifier, e.g. "ep", "hpl", "stream".
+    fn id(&self) -> &'static str;
+
+    /// Display name including the problem class, e.g. "ep.C".
+    fn display_name(&self) -> String;
+
+    /// The resource signature of the *published* problem size.
+    fn signature(&self) -> WorkloadSignature;
+
+    /// Process-count restriction.
+    fn constraint(&self) -> ProcConstraint {
+        ProcConstraint::Any
+    }
+
+    /// Execute a scaled-down instance with `threads` workers and verify
+    /// the result (residual/checksum/sortedness as appropriate).
+    fn verify(&self, threads: usize) -> VerifyOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_allows_everything_positive() {
+        assert!(ProcConstraint::Any.allows(1));
+        assert!(ProcConstraint::Any.allows(39));
+        assert!(!ProcConstraint::Any.allows(0));
+    }
+
+    #[test]
+    fn power_of_two_constraint() {
+        let c = ProcConstraint::PowerOfTwo;
+        assert_eq!(c.allowed_up_to(40), vec![1, 2, 4, 8, 16, 32]);
+        assert!(!c.allows(12));
+    }
+
+    #[test]
+    fn square_constraint_matches_paper_fig12_proc_lists() {
+        // Fig 12 runs bt.B and sp.B at 1, 4, 9, 16, 25, 36 processes.
+        let c = ProcConstraint::Square;
+        assert_eq!(c.allowed_up_to(40), vec![1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn largest_allowed() {
+        assert_eq!(ProcConstraint::Square.largest_up_to(40), Some(36));
+        assert_eq!(ProcConstraint::PowerOfTwo.largest_up_to(40), Some(32));
+        assert_eq!(ProcConstraint::Any.largest_up_to(40), Some(40));
+        assert_eq!(ProcConstraint::Any.largest_up_to(0), None);
+    }
+}

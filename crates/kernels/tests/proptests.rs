@@ -1,0 +1,122 @@
+//! Property tests of the kernel implementations: solver identities,
+//! transform round trips, sort invariants and signature sanity.
+
+use proptest::prelude::*;
+
+use hpceval_kernels::fft::{fft_in_place, C64, Direction};
+use hpceval_kernels::hpcc::dgemm::{dgemm, dgemm_naive};
+use hpceval_kernels::npb::block5::{block_thomas, vadd, Mat5, Vec5};
+use hpceval_kernels::npb::is::{generate_keys, sort_by_ranks};
+use hpceval_kernels::npb::sp::penta_solve;
+use hpceval_kernels::npb::{Class, Program};
+use hpceval_kernels::rng::NpbRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FFT forward∘inverse is the identity for any power-of-two length.
+    #[test]
+    fn fft_round_trip(log_n in 1u32..10, seed in 1u64..10_000) {
+        let n = 1usize << log_n;
+        let mut rng = NpbRng::new(seed);
+        let orig: Vec<C64> = (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+        let mut v = orig.clone();
+        fft_in_place(&mut v, Direction::Forward);
+        fft_in_place(&mut v, Direction::Inverse);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    /// Blocked DGEMM equals the naive reference for arbitrary shapes
+    /// and scalars.
+    #[test]
+    fn dgemm_matches_naive(n in 1usize..40, alpha in -2.0..2.0f64, beta in -2.0..2.0f64, seed in 1u64..1000) {
+        let mut rng = NpbRng::new(seed);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let c0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut fast = c0.clone();
+        let mut slow = c0;
+        dgemm(n, alpha, &a, &b, beta, &mut fast);
+        dgemm_naive(n, alpha, &a, &b, beta, &mut slow);
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Counting-sort output is sorted and a permutation, any key set.
+    #[test]
+    fn is_sort_invariants(log_keys in 4u32..12, log_max in 2u32..10, seed in 1u64..1000) {
+        let n = 1usize << log_keys;
+        let max_key = 1u32 << log_max;
+        let keys = generate_keys(n, max_key, seed);
+        let sorted = sort_by_ranks(&keys, max_key);
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = keys;
+        let mut b = sorted;
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pentadiagonal solve satisfies the original equations.
+    #[test]
+    fn penta_solve_satisfies_system(n in 3usize..30, seed in 1u64..500) {
+        let mut rng = NpbRng::new(seed);
+        let (s2, s1, p1, p2) = (-0.06, -0.22, -0.17, -0.05);
+        let diag: Vec<f64> = (0..n).map(|_| 2.0 + rng.next_f64()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut x = b.clone();
+        prop_assert!(penta_solve(s2, s1, &diag, p1, p2, &mut x));
+        for i in 0..n {
+            let mut lhs = diag[i] * x[i];
+            if i >= 1 { lhs += s1 * x[i - 1]; }
+            if i >= 2 { lhs += s2 * x[i - 2]; }
+            if i + 1 < n { lhs += p1 * x[i + 1]; }
+            if i + 2 < n { lhs += p2 * x[i + 2]; }
+            prop_assert!((lhs - b[i]).abs() < 1e-8, "row {i}: {lhs} vs {}", b[i]);
+        }
+    }
+
+    /// Block-tridiagonal solve satisfies the original block equations.
+    #[test]
+    fn block_thomas_satisfies_system(n in 2usize..12, seed in 1u64..300) {
+        let mut rng = NpbRng::new(seed);
+        let lower: Vec<Mat5> = (0..n).map(|_| Mat5::scaled_identity(-0.15)).collect();
+        let upper = lower.clone();
+        let diag: Vec<Mat5> = (0..n).map(|_| Mat5::diag_dominant(&mut rng)).collect();
+        let b: Vec<Vec5> = (0..n)
+            .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()])
+            .collect();
+        let mut x = b.clone();
+        prop_assert!(block_thomas(&lower, &diag, &upper, &mut x));
+        for i in 0..n {
+            let mut lhs = diag[i].matvec(&x[i]);
+            if i > 0 {
+                lhs = vadd(&lhs, &lower[i].matvec(&x[i - 1]));
+            }
+            if i + 1 < n {
+                lhs = vadd(&lhs, &upper[i].matvec(&x[i + 1]));
+            }
+            for c in 0..5 {
+                prop_assert!((lhs[c] - b[i][c]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Every program × class yields a physically sane signature.
+    #[test]
+    fn signatures_are_sane(pi in 0usize..8, ci in 0usize..3) {
+        let prog = Program::ALL[pi];
+        let class = Class::ALL[ci];
+        let sig = prog.benchmark(class).signature();
+        prop_assert!(sig.reported_flops > 0.0);
+        prop_assert!(sig.work_ops >= sig.reported_flops * 0.99);
+        prop_assert!(sig.footprint_at(1) > 0.0);
+        prop_assert!(sig.comm_fraction >= 0.0 && sig.comm_fraction < 0.5);
+        prop_assert!(sig.cpu_intensity > 0.0 && sig.cpu_intensity <= 1.0);
+        prop_assert!(sig.locality.is_distribution(1e-6));
+    }
+}

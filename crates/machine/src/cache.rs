@@ -1,0 +1,434 @@
+//! Set-associative cache hierarchy simulation.
+//!
+//! The regression power model of the paper (§VI) uses L2/L3 hit counts and
+//! memory read/write counts as predictors. Those counters come from real
+//! PMU hardware in the paper; here they are synthesized by running each
+//! workload's characteristic access stream through this simulator (or, for
+//! the analytic fast path, by the closed-form locality profiles in
+//! [`crate::workload`], which are validated against this simulator in
+//! tests).
+//!
+//! The model is a classic inclusive, write-allocate, LRU, set-associative
+//! hierarchy. It is deliberately simple — no coherence, no prefetching —
+//! because the regression only needs hit/miss *ratios* that order
+//! workloads correctly (dense-blocked ≫ streaming ≫ random).
+
+use crate::spec::{CacheLevel, ServerSpec};
+
+/// Result of pushing one address through a [`CacheHierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Served by the L1 data cache.
+    L1Hit,
+    /// Missed L1, served by L2.
+    L2Hit,
+    /// Missed L2, served by L3.
+    L3Hit,
+    /// Missed every level; DRAM access.
+    Memory,
+}
+
+/// Replacement policy of a [`CacheSim`] set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the default; what the hit-rate model and the
+    /// locality profiles assume).
+    #[default]
+    Lru,
+    /// First-in-first-out: insertion order, ignoring reuse.
+    Fifo,
+    /// Pseudo-random victim selection (an xorshift stream), the cheap
+    /// hardware fallback.
+    Random,
+}
+
+/// One set-associative cache with a configurable replacement policy.
+///
+/// Under LRU, tags are stored per set in recency order (index 0 = most
+/// recently used): a hit moves the tag to the front and a fill evicts
+/// the back. Under FIFO, hits do not reorder. Under Random, the victim
+/// way is drawn from a deterministic xorshift stream.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line_shift: u32,
+    sets: u64,
+    ways: usize,
+    policy: ReplacementPolicy,
+    rng_state: u64,
+    /// `sets × ways` tag store in per-set recency order.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSim {
+    /// Build a simulator for the given cache geometry.
+    ///
+    /// Set counts need not be powers of two: the sliced LLCs of the paper's
+    /// Xeon E7-4870 (30 MiB, 24-way) have 20480 sets, so indexing is by
+    /// modulo rather than mask.
+    ///
+    /// # Panics
+    /// Panics if the geometry is degenerate (zero ways, zero sets, or a
+    /// non-power-of-two line size).
+    pub fn new(level: &CacheLevel) -> Self {
+        let sets = level.sets();
+        assert!(level.ways > 0, "cache must have at least one way");
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(level.line_bytes.is_power_of_two(), "line size must be a power of two");
+        Self {
+            line_shift: level.line_bytes.trailing_zeros(),
+            sets: u64::from(sets),
+            ways: level.ways as usize,
+            policy: ReplacementPolicy::Lru,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            tags: vec![Vec::with_capacity(level.ways as usize); sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Select a replacement policy (builder style).
+    pub fn with_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Access a byte address; returns `true` on hit. Misses allocate.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let policy = self.policy;
+        let capacity = self.ways;
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            if policy == ReplacementPolicy::Lru {
+                let t = ways.remove(pos);
+                ways.insert(0, t);
+            }
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == capacity {
+                match policy {
+                    // LRU and FIFO both evict the back of the list; they
+                    // differ in whether hits refresh recency.
+                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                        ways.pop();
+                    }
+                    ReplacementPolicy::Random => {
+                        // Deterministic xorshift victim.
+                        let mut x = self.rng_state;
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        self.rng_state = x;
+                        let victim = (x % capacity as u64) as usize;
+                        ways.remove(victim);
+                    }
+                }
+            }
+            ways.insert(0, tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio over all accesses so far (0 if none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Forget all cached lines and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// A data-side cache hierarchy (L1d → L2 → optional L3) for one core's
+/// view of a server, counting per-level hits and memory traffic.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: CacheSim,
+    l2: CacheSim,
+    l3: Option<CacheSim>,
+    mem_accesses: u64,
+    total: u64,
+}
+
+impl CacheHierarchy {
+    /// Build the hierarchy a single core sees on `spec`.
+    ///
+    /// Shared caches are modelled at their full capacity: when measuring a
+    /// single-threaded access stream this is the capacity actually
+    /// available, matching how the paper's PMU counters behave for
+    /// one-process runs.
+    pub fn for_server(spec: &ServerSpec) -> Self {
+        Self {
+            l1: CacheSim::new(&spec.l1d),
+            l2: CacheSim::new(&spec.l2),
+            l3: spec.l3.as_ref().map(CacheSim::new),
+            mem_accesses: 0,
+            total: 0,
+        }
+    }
+
+    /// Push one data address through the hierarchy.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.total += 1;
+        if self.l1.access(addr) {
+            return AccessOutcome::L1Hit;
+        }
+        if self.l2.access(addr) {
+            return AccessOutcome::L2Hit;
+        }
+        if let Some(l3) = &mut self.l3 {
+            if l3.access(addr) {
+                return AccessOutcome::L3Hit;
+            }
+        }
+        self.mem_accesses += 1;
+        AccessOutcome::Memory
+    }
+
+    /// Run a whole address stream and return `(l2_hit_ratio,
+    /// l3_hit_ratio, memory_ratio)` relative to all accesses.
+    pub fn profile_stream(&mut self, addrs: impl IntoIterator<Item = u64>) -> (f64, f64, f64) {
+        for a in addrs {
+            self.access(a);
+        }
+        let t = self.total.max(1) as f64;
+        (
+            self.l2.hits() as f64 / t,
+            self.l3.as_ref().map_or(0.0, |c| c.hits() as f64) / t,
+            self.mem_accesses as f64 / t,
+        )
+    }
+
+    /// Accesses that reached DRAM.
+    pub fn memory_accesses(&self) -> u64 {
+        self.mem_accesses
+    }
+
+    /// Total accesses observed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// L2 hits observed.
+    pub fn l2_hits(&self) -> u64 {
+        self.l2.hits()
+    }
+
+    /// L3 hits observed (0 when the machine has no L3).
+    pub fn l3_hits(&self) -> u64 {
+        self.l3.as_ref().map_or(0, |c| c.hits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::spec::CacheLevel;
+
+    #[test]
+    fn repeated_access_hits_after_first() {
+        let mut c = CacheSim::new(&CacheLevel::private(32, 8, 64));
+        assert!(!c.access(0x1000));
+        for _ in 0..10 {
+            assert!(c.access(0x1000));
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 10);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = CacheSim::new(&CacheLevel::private(32, 8, 64));
+        assert!(!c.access(0x40));
+        assert!(c.access(0x41)); // same 64 B line
+        assert!(c.access(0x7f));
+        assert!(!c.access(0x80)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest_way() {
+        // 1 set would need size = ways*line; build a tiny 2-way cache:
+        // 2 ways, 64 B lines, 1 set => 128 B total = 0.125 KiB; use
+        // size_kib=1, ways=2, line=64 -> sets=8. Address stride of
+        // 8*64=512 maps to the same set.
+        let mut c = CacheSim::new(&CacheLevel::private(1, 2, 64));
+        let s = 512u64;
+        assert!(!c.access(0)); // way 1
+        assert!(!c.access(s)); // way 2
+        assert!(c.access(0)); // hit, now MRU
+        assert!(!c.access(2 * s)); // evicts `s` (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(s)); // was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_misses() {
+        // Stream over 2 MiB with a 32 KiB L1: second pass still misses.
+        let mut c = CacheSim::new(&CacheLevel::private(32, 8, 64));
+        let n = 2 * 1024 * 1024 / 64;
+        for pass in 0..2 {
+            for i in 0..n {
+                c.access(i * 64);
+            }
+            if pass == 0 {
+                assert_eq!(c.hits(), 0);
+            }
+        }
+        assert_eq!(c.hits(), 0, "LRU streaming working set > capacity never hits");
+    }
+
+    #[test]
+    fn small_working_set_lives_in_l1() {
+        let spec = presets::xeon_e5462();
+        let mut h = CacheHierarchy::for_server(&spec);
+        // 16 KiB working set walked 4 times: everything after the cold
+        // pass is an L1 hit.
+        let lines = 16 * 1024 / 64;
+        for _ in 0..4 {
+            for i in 0..lines {
+                h.access(i * 64);
+            }
+        }
+        assert_eq!(h.memory_accesses(), lines);
+        assert_eq!(h.l2_hits(), 0);
+    }
+
+    #[test]
+    fn medium_working_set_hits_in_l2() {
+        let spec = presets::xeon_e5462(); // 32 KiB L1, 6 MiB L2
+        let mut h = CacheHierarchy::for_server(&spec);
+        let bytes = 1 << 20; // 1 MiB: fits L2, not L1
+        let lines = bytes / 64;
+        for _ in 0..4 {
+            for i in 0..lines {
+                h.access(i * 64);
+            }
+        }
+        // Cold pass misses everything; later passes hit in L2.
+        assert_eq!(h.memory_accesses(), lines);
+        assert!(h.l2_hits() >= 3 * (lines - spec.l1d.size_bytes() / 64));
+    }
+
+    #[test]
+    fn l3_catches_l2_overflow_on_xeon_4870() {
+        let spec = presets::xeon_4870(); // 256 KiB L2, 30 MiB L3
+        let mut h = CacheHierarchy::for_server(&spec);
+        let bytes = 4 << 20; // 4 MiB: fits L3 only
+        let lines = bytes / 64;
+        for _ in 0..3 {
+            for i in 0..lines {
+                h.access(i * 64);
+            }
+        }
+        assert_eq!(h.memory_accesses(), lines);
+        assert!(h.l3_hits() > 0, "overflowing L2 must land in L3");
+    }
+
+    #[test]
+    fn fifo_does_not_refresh_on_hit() {
+        // 2-way set; access pattern A B A C: under LRU, C evicts B
+        // (A was refreshed); under FIFO, C evicts A (oldest insertion).
+        let lvl = CacheLevel::private(1, 2, 64); // 8 sets
+        let s = 512u64; // same-set stride
+        let (a, b, c) = (0u64, s, 2 * s);
+
+        let mut lru = CacheSim::new(&lvl);
+        lru.access(a);
+        lru.access(b);
+        assert!(lru.access(a));
+        lru.access(c);
+        assert!(lru.access(a), "LRU keeps the refreshed line");
+
+        let mut fifo = CacheSim::new(&lvl).with_policy(ReplacementPolicy::Fifo);
+        fifo.access(a);
+        fifo.access(b);
+        assert!(fifo.access(a));
+        fifo.access(c);
+        assert!(!fifo.access(a), "FIFO evicts the oldest insertion");
+    }
+
+    #[test]
+    fn lru_beats_fifo_and_random_on_reuse_heavy_streams() {
+        // A blocked-reuse stream (tile revisits) is exactly where LRU
+        // earns its keep.
+        let lvl = CacheLevel::private(32, 8, 64);
+        let mut stream = Vec::new();
+        for tile in 0..64u64 {
+            let base = tile * 16 * 1024;
+            for _ in 0..4 {
+                for off in (0..16 * 1024).step_by(64) {
+                    stream.push(base + off);
+                }
+            }
+        }
+        let ratio = |policy| {
+            let mut c = CacheSim::new(&lvl).with_policy(policy);
+            for &a in &stream {
+                c.access(a);
+            }
+            c.hit_ratio()
+        };
+        let lru = ratio(ReplacementPolicy::Lru);
+        let fifo = ratio(ReplacementPolicy::Fifo);
+        let random = ratio(ReplacementPolicy::Random);
+        assert!(lru >= fifo, "LRU {lru:.3} < FIFO {fifo:.3}");
+        assert!(lru >= random, "LRU {lru:.3} < Random {random:.3}");
+        assert!(lru > 0.7, "blocked stream should mostly hit: {lru:.3}");
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let lvl = CacheLevel::private(4, 2, 64);
+        let addrs: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % (1 << 20)).collect();
+        let run = || {
+            let mut c = CacheSim::new(&lvl).with_policy(ReplacementPolicy::Random);
+            for &a in &addrs {
+                c.access(a);
+            }
+            (c.hits(), c.misses())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn hierarchy_ratios_sum_sane() {
+        let spec = presets::opteron_8347();
+        let mut h = CacheHierarchy::for_server(&spec);
+        let addrs: Vec<u64> = (0..20_000u64).map(|i| (i * 6151) % (8 << 20)).collect();
+        let (l2, l3, mem) = h.profile_stream(addrs);
+        assert!(l2 >= 0.0 && l3 >= 0.0 && mem >= 0.0);
+        assert!(l2 + l3 + mem <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,241 @@
+//! Performance Monitoring Unit counter synthesis.
+//!
+//! The paper's regression model (§VI) uses six indicators sampled from the
+//! PMU at 10-second intervals:
+//!
+//! * X1 `WorkingCoreNum`
+//! * X2 `InstructionNum`
+//! * X3 `L2CacheHit`
+//! * X4 `L3CacheHit`
+//! * X5 `MemoryReadTimes`
+//! * X6 `MemoryWriteTimes`
+//!
+//! [`PmuRates::synthesize`] derives steady-state counter *rates* from a
+//! workload signature and its roofline execution estimate; sampling those
+//! rates over an interval gives the [`PmuCounters`] the regression
+//! consumes. The locality split is the signature's closed-form profile —
+//! validated against the [`crate::cache`] simulator in the kernels crate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::roofline::ExecEstimate;
+use crate::spec::ServerSpec;
+use crate::workload::WorkloadSignature;
+
+/// Counter totals over one sampling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PmuCounters {
+    /// X1: number of cores executing work during the interval.
+    pub working_cores: f64,
+    /// X2: retired instructions.
+    pub instructions: f64,
+    /// X3: loads/stores served by L2.
+    pub l2_hits: f64,
+    /// X4: loads/stores served by L3.
+    pub l3_hits: f64,
+    /// X5: DRAM read transactions.
+    pub mem_reads: f64,
+    /// X6: DRAM write transactions.
+    pub mem_writes: f64,
+}
+
+impl PmuCounters {
+    /// The regressor vector `[X1..X6]` in the paper's order.
+    pub fn as_features(&self) -> [f64; 6] {
+        [
+            self.working_cores,
+            self.instructions,
+            self.l2_hits,
+            self.l3_hits,
+            self.mem_reads,
+            self.mem_writes,
+        ]
+    }
+
+    /// Human-readable names matching the paper's §VI-A2 list.
+    pub const FEATURE_NAMES: [&'static str; 6] = [
+        "WorkingCoreNum",
+        "InstructionNum",
+        "L2CacheHit",
+        "L3CacheHit",
+        "MemoryReadTimes",
+        "MemoryWriteTimes",
+    ];
+}
+
+/// Steady-state counter rates (per second) for a running workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PmuRates {
+    /// Cores doing work.
+    pub working_cores: f64,
+    /// Instructions per second (whole machine).
+    pub instructions_per_s: f64,
+    /// L2 hits per second.
+    pub l2_hits_per_s: f64,
+    /// L3 hits per second.
+    pub l3_hits_per_s: f64,
+    /// DRAM reads per second.
+    pub mem_reads_per_s: f64,
+    /// DRAM writes per second.
+    pub mem_writes_per_s: f64,
+}
+
+impl PmuRates {
+    /// Derive machine-wide counter rates for `sig` running with
+    /// `plan.processes` processes as estimated by `est` on `spec`.
+    pub fn synthesize(spec: &ServerSpec, sig: &WorkloadSignature, est: &ExecEstimate) -> Self {
+        let p = f64::from(est.plan.processes);
+        if p == 0.0 || est.time_s <= 0.0 {
+            return Self::default();
+        }
+        let ops_per_s = sig.work_ops / est.time_s;
+        let loc = sig.locality;
+        let instr = ops_per_s * loc.instr_per_op;
+        let accesses = instr * loc.accesses_per_instr;
+        // On machines without an L3 the L3 share is counted as L2-miss
+        // traffic, exactly as the PMU would report it.
+        let l3_share = if spec.l3.is_some() { loc.l3_hit } else { 0.0 };
+        // DRAM transactions come from the roofline's traffic estimate —
+        // the uncore IMC counters measure actual line transfers, which
+        // is also the quantity that burns memory power.
+        let line = f64::from(spec.l1d.line_bytes);
+        let mem_accesses = est.mem_traffic_gbs * 1e9 / line;
+        Self {
+            working_cores: p,
+            instructions_per_s: instr,
+            l2_hits_per_s: accesses * loc.l2_hit,
+            l3_hits_per_s: accesses * l3_share,
+            mem_reads_per_s: mem_accesses * (1.0 - loc.write_fraction),
+            mem_writes_per_s: mem_accesses * loc.write_fraction,
+        }
+    }
+
+    /// Integrate the rates over `dt` seconds into counter totals.
+    pub fn sample(&self, dt: f64) -> PmuCounters {
+        PmuCounters {
+            working_cores: self.working_cores,
+            instructions: self.instructions_per_s * dt,
+            l2_hits: self.l2_hits_per_s * dt,
+            l3_hits: self.l3_hits_per_s * dt,
+            mem_reads: self.mem_reads_per_s * dt,
+            mem_writes: self.mem_writes_per_s * dt,
+        }
+    }
+
+    /// DRAM traffic implied by the counters, in GB/s, assuming one
+    /// transaction touches one cache line.
+    pub fn implied_traffic_gbs(&self, line_bytes: u32) -> f64 {
+        (self.mem_reads_per_s + self.mem_writes_per_s) * f64::from(line_bytes) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::roofline::PerfModel;
+    use crate::workload::{ComputeKind, LocalityProfile};
+
+    fn toy_sig(loc: LocalityProfile) -> WorkloadSignature {
+        WorkloadSignature {
+            name: "toy".to_string(),
+            reported_flops: 1e12,
+            work_ops: 1e12,
+            dram_bytes: 1e10,
+            footprint_bytes: 1e9,
+            footprint_per_proc_bytes: 0.0,
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.0,
+            cpu_intensity: 0.8,
+            kind: ComputeKind::Vector,
+            locality: loc,
+        }
+    }
+
+    #[test]
+    fn idle_yields_zero_rates() {
+        let spec = presets::xeon_e5462();
+        let m = PerfModel::new(spec.clone());
+        let sig = WorkloadSignature::idle();
+        let est = m.execute(&sig, 0);
+        let r = PmuRates::synthesize(&spec, &sig, &est);
+        assert_eq!(r, PmuRates::default());
+    }
+
+    #[test]
+    fn l3_counter_absent_on_l3less_machine() {
+        let e5462 = presets::xeon_e5462(); // no L3
+        let x4870 = presets::xeon_4870(); // has L3
+        let sig = toy_sig(LocalityProfile::streaming());
+        let est_e = PerfModel::new(e5462.clone()).execute(&sig, 4);
+        let est_x = PerfModel::new(x4870.clone()).execute(&sig, 4);
+        let r_e = PmuRates::synthesize(&e5462, &sig, &est_e);
+        let r_x = PmuRates::synthesize(&x4870, &sig, &est_x);
+        assert_eq!(r_e.l3_hits_per_s, 0.0);
+        assert!(r_x.l3_hits_per_s > 0.0);
+        // Both still report DRAM transactions (from the traffic model).
+        assert!(r_e.mem_reads_per_s > 0.0);
+        assert!(r_x.mem_reads_per_s > 0.0);
+    }
+
+    #[test]
+    fn memory_counters_track_roofline_traffic() {
+        // The IMC counters must agree with the traffic estimate that
+        // drives memory power — the consistency the regression needs.
+        let spec = presets::xeon_4870();
+        let sig = toy_sig(LocalityProfile::streaming());
+        let est = PerfModel::new(spec.clone()).execute(&sig, 8);
+        let r = PmuRates::synthesize(&spec, &sig, &est);
+        let implied = r.implied_traffic_gbs(spec.l1d.line_bytes);
+        assert!((implied - est.mem_traffic_gbs).abs() < 1e-6 * est.mem_traffic_gbs.max(1.0));
+    }
+
+    #[test]
+    fn sampling_integrates_linearly() {
+        let spec = presets::xeon_4870();
+        let sig = toy_sig(LocalityProfile::dense_blocked());
+        let est = PerfModel::new(spec.clone()).execute(&sig, 8);
+        let r = PmuRates::synthesize(&spec, &sig, &est);
+        let c1 = r.sample(10.0);
+        let c2 = r.sample(20.0);
+        assert!((c2.instructions - 2.0 * c1.instructions).abs() < 1e-3 * c2.instructions);
+        assert_eq!(c1.working_cores, 8.0);
+    }
+
+    #[test]
+    fn traffic_heavy_workload_generates_more_memory_transactions() {
+        let spec = presets::xeon_4870();
+        let m = PerfModel::new(spec.clone());
+        let blocked = toy_sig(LocalityProfile::dense_blocked());
+        let mut streamy = toy_sig(LocalityProfile::random_access());
+        streamy.dram_bytes = blocked.dram_bytes * 50.0;
+        let rb = PmuRates::synthesize(&spec, &blocked, &m.execute(&blocked, 4));
+        let rr = PmuRates::synthesize(&spec, &streamy, &m.execute(&streamy, 4));
+        let rate_b = rb.mem_reads_per_s + rb.mem_writes_per_s;
+        let rate_r = rr.mem_reads_per_s + rr.mem_writes_per_s;
+        assert!(rate_r > 5.0 * rate_b, "{rate_r} vs {rate_b}");
+    }
+
+    #[test]
+    fn features_order_matches_paper() {
+        let c = PmuCounters {
+            working_cores: 1.0,
+            instructions: 2.0,
+            l2_hits: 3.0,
+            l3_hits: 4.0,
+            mem_reads: 5.0,
+            mem_writes: 6.0,
+        };
+        assert_eq!(c.as_features(), [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(PmuCounters::FEATURE_NAMES[0], "WorkingCoreNum");
+    }
+
+    #[test]
+    fn implied_traffic_is_positive_for_streaming() {
+        let spec = presets::opteron_8347();
+        let sig = toy_sig(LocalityProfile::streaming());
+        let est = PerfModel::new(spec.clone()).execute(&sig, 16);
+        let r = PmuRates::synthesize(&spec, &sig, &est);
+        assert!(r.implied_traffic_gbs(64) > 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Machine descriptions: processors, cache geometry and the memory system.
+//!
+//! A [`ServerSpec`] encodes everything Table I of the paper records about a
+//! server, plus a small set of calibration knobs (sustained efficiency,
+//! parallel-scaling decay, scalar IPC) that the performance model in
+//! [`crate::roofline`] needs in order to reproduce the measured GFLOPS of
+//! the three machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+///
+/// `shared_by_cores` is the number of cores that share one instance of the
+/// cache (1 = private). The Xeon E5462's L2, for example, is two 6 MiB
+/// caches each shared by two cores (`shared_by_cores = 2`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity of one cache instance in KiB.
+    pub size_kib: u32,
+    /// Associativity (number of ways).
+    pub ways: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Number of cores sharing one instance.
+    pub shared_by_cores: u32,
+}
+
+impl CacheLevel {
+    /// A private per-core cache.
+    pub const fn private(size_kib: u32, ways: u32, line_bytes: u32) -> Self {
+        Self { size_kib, ways, line_bytes, shared_by_cores: 1 }
+    }
+
+    /// A cache shared by `cores` cores.
+    pub const fn shared(size_kib: u32, ways: u32, line_bytes: u32, cores: u32) -> Self {
+        Self { size_kib, ways, line_bytes, shared_by_cores: cores }
+    }
+
+    /// Number of sets (capacity / (ways × line size)).
+    pub fn sets(&self) -> u32 {
+        (self.size_kib * 1024) / (self.ways * self.line_bytes)
+    }
+
+    /// Capacity in bytes of one instance.
+    pub fn size_bytes(&self) -> u64 {
+        u64::from(self.size_kib) * 1024
+    }
+}
+
+/// DRAM generation of the server's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryKind {
+    /// DDR2 SDRAM (all three paper servers use DDR2).
+    Ddr2,
+    /// DDR3 SDRAM.
+    Ddr3,
+    /// DDR4 SDRAM.
+    Ddr4,
+}
+
+/// Full description of a single multi-core HPC server.
+///
+/// The first block of fields mirrors Table I of the paper; the
+/// `sustained_*` block holds microarchitectural calibration constants used
+/// by the roofline model (documented in DESIGN.md §2: these are fit so the
+/// model reproduces the paper's measured HPL and EP performance anchors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Marketing name used throughout the paper, e.g. "Xeon-E5462".
+    pub name: String,
+    /// Processor model string, e.g. "Xeon E5462".
+    pub processor: String,
+    /// Number of processor chips (sockets).
+    pub chips: u32,
+    /// Physical cores per chip.
+    pub cores_per_chip: u32,
+    /// Hardware threads per core (all paper machines: 1 or 2).
+    pub threads_per_core: u32,
+    /// Core clock in MHz.
+    pub freq_mhz: u32,
+    /// Peak double-precision floating point operations per cycle per core.
+    pub flops_per_cycle: u32,
+    /// L1 instruction cache (per core).
+    pub l1i: CacheLevel,
+    /// L1 data cache (per core).
+    pub l1d: CacheLevel,
+    /// L2 cache.
+    pub l2: CacheLevel,
+    /// L3 cache, if present.
+    pub l3: Option<CacheLevel>,
+    /// Installed memory in GiB.
+    pub memory_gib: u32,
+    /// DRAM generation.
+    pub memory_kind: MemoryKind,
+    /// Aggregate peak DRAM bandwidth in GB/s.
+    pub mem_bw_gbs: f64,
+    /// Per-core achievable DRAM bandwidth cap in GB/s.
+    pub per_core_bw_gbs: f64,
+    /// Network interface speed in Mbit/s.
+    pub net_mbps: u32,
+    /// Disk capacity in GB.
+    pub disk_gb: u32,
+    /// Number of power supplies.
+    pub power_supplies: u32,
+    /// Rated capacity of one power supply in watts (used by Table II's
+    /// normalization; the paper lists the rating as "Unknown", we use the
+    /// chassis class rating).
+    pub psu_rating_w: f64,
+
+    /// Fraction of peak FLOPS sustained by well-blocked dense vector code
+    /// on one core (HPL/DGEMM class). Xeon-E5462 ≈ 0.95, Opteron-8347 ≈
+    /// 0.52 (the paper's HPL reaches only 27 % of peak at 16 cores).
+    pub sustained_vector_eff: f64,
+    /// Parallel-efficiency decay exponent: efficiency(p) =
+    /// `sustained_vector_eff` × p^(−`parallel_alpha`).
+    pub parallel_alpha: f64,
+    /// Sustained scalar instructions per cycle for irregular, latency-bound
+    /// code (EP/RandomAccess class), as a fraction of one op/cycle.
+    pub scalar_ipc: f64,
+}
+
+impl ServerSpec {
+    /// Total physical cores in the machine.
+    pub fn total_cores(&self) -> u32 {
+        self.chips * self.cores_per_chip
+    }
+
+    /// Total hardware threads in the machine.
+    pub fn total_threads(&self) -> u32 {
+        self.total_cores() * self.threads_per_core
+    }
+
+    /// Clock frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        f64::from(self.freq_mhz) / 1000.0
+    }
+
+    /// Theoretical peak performance of one core in GFLOPS.
+    pub fn peak_core_gflops(&self) -> f64 {
+        self.freq_ghz() * f64::from(self.flops_per_cycle)
+    }
+
+    /// Theoretical peak performance of the whole server in GFLOPS
+    /// (the paper: 44.8, 121.6 and 384 GFLOPS for the three machines).
+    pub fn peak_gflops(&self) -> f64 {
+        self.peak_core_gflops() * f64::from(self.total_cores())
+    }
+
+    /// Installed memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        u64::from(self.memory_gib) * (1 << 30)
+    }
+
+    /// Sustained scalar op throughput of one core in Gop/s.
+    pub fn scalar_gops(&self) -> f64 {
+        self.freq_ghz() * self.scalar_ipc
+    }
+
+    /// Vector (dense floating point) efficiency when `p` cores participate:
+    /// `sustained_vector_eff × p^(−parallel_alpha)`, clamped to (0, 1].
+    pub fn vector_eff(&self, p: u32) -> f64 {
+        let p = p.max(1) as f64;
+        (self.sustained_vector_eff * p.powf(-self.parallel_alpha)).clamp(1e-6, 1.0)
+    }
+
+    /// Aggregate DRAM bandwidth achievable by `p` cores in GB/s: the
+    /// machine-wide peak, capped by the per-core limit.
+    pub fn bw_at(&self, p: u32) -> f64 {
+        (self.per_core_bw_gbs * f64::from(p.max(1))).min(self.mem_bw_gbs)
+    }
+
+    /// Normalization constant for Table II style "dimensionless power":
+    /// the aggregate PSU rating.
+    pub fn psu_total_w(&self) -> f64 {
+        self.psu_rating_w * f64::from(self.power_supplies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn cache_level_sets() {
+        // 32 KiB, 8-way, 64 B lines -> 64 sets.
+        let l1 = CacheLevel::private(32, 8, 64);
+        assert_eq!(l1.sets(), 64);
+        assert_eq!(l1.size_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn peak_gflops_match_paper_table1() {
+        // Paper §II: 44.8, 121.6, 384 GFLOPS theoretical peaks.
+        assert!((presets::xeon_e5462().peak_gflops() - 44.8).abs() < 1e-9);
+        assert!((presets::opteron_8347().peak_gflops() - 121.6).abs() < 1e-9);
+        assert!((presets::xeon_4870().peak_gflops() - 384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_core_peaks_match_paper() {
+        // Paper §II: 11.2, 7.6, 9.6 GFLOPS per core.
+        assert!((presets::xeon_e5462().peak_core_gflops() - 11.2).abs() < 1e-9);
+        assert!((presets::opteron_8347().peak_core_gflops() - 7.6).abs() < 1e-9);
+        assert!((presets::xeon_4870().peak_core_gflops() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_eff_monotone_nonincreasing_in_p() {
+        let s = presets::opteron_8347();
+        let mut last = f64::INFINITY;
+        for p in 1..=s.total_cores() {
+            let e = s.vector_eff(p);
+            assert!(e <= last + 1e-12, "efficiency must not grow with p");
+            assert!(e > 0.0 && e <= 1.0);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates() {
+        let s = presets::xeon_e5462();
+        assert!(s.bw_at(1) <= s.mem_bw_gbs);
+        assert!((s.bw_at(64) - s.mem_bw_gbs).abs() < 1e-12);
+        assert!(s.bw_at(2) >= s.bw_at(1));
+    }
+
+    #[test]
+    fn core_counts_match_table1() {
+        assert_eq!(presets::xeon_e5462().total_cores(), 4);
+        assert_eq!(presets::opteron_8347().total_cores(), 16);
+        assert_eq!(presets::xeon_4870().total_cores(), 40);
+    }
+}

@@ -1,0 +1,125 @@
+//! Process placement across chips and cores.
+//!
+//! Power on multi-socket machines depends on *which* chips wake up, not
+//! just how many cores run (the Opteron-8347's first active core costs
+//! ~80 W because a whole package leaves its idle state). The paper's runs
+//! use the Linux default scheduler, which spreads runnable threads across
+//! packages; [`Placement::Scatter`] models that and is the default.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ServerSpec;
+
+/// Policy assigning `p` processes to cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Placement {
+    /// Round-robin over chips (Linux default balancing): p processes wake
+    /// `min(p, chips)` chips.
+    #[default]
+    Scatter,
+    /// Fill one chip completely before the next: p processes wake
+    /// `ceil(p / cores_per_chip)` chips.
+    Compact,
+}
+
+/// Concrete outcome of placing `p` processes on a server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Requested process count (clamped to the machine's core count).
+    pub processes: u32,
+    /// Number of chips with at least one active core.
+    pub active_chips: u32,
+    /// Active core count per chip, length = `spec.chips`.
+    pub cores_per_chip: Vec<u32>,
+}
+
+impl PlacementPlan {
+    /// Place `p` processes on `spec` under `policy`.
+    ///
+    /// `p` is clamped to the machine's physical core count; the paper's
+    /// experiments never oversubscribe (NPB problem-size constraints stop
+    /// at 40 processes on the Xeon-4870).
+    pub fn place(spec: &ServerSpec, p: u32, policy: Placement) -> Self {
+        let p = p.min(spec.total_cores());
+        let chips = spec.chips as usize;
+        let mut per_chip = vec![0u32; chips];
+        match policy {
+            Placement::Scatter => {
+                for i in 0..p {
+                    per_chip[(i as usize) % chips] += 1;
+                }
+            }
+            Placement::Compact => {
+                let mut left = p;
+                for slot in per_chip.iter_mut() {
+                    let take = left.min(spec.cores_per_chip);
+                    *slot = take;
+                    left -= take;
+                    if left == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        let active = per_chip.iter().filter(|&&c| c > 0).count() as u32;
+        Self { processes: p, active_chips: active, cores_per_chip: per_chip }
+    }
+
+    /// Total active cores (== processes for non-oversubscribed runs).
+    pub fn active_cores(&self) -> u32 {
+        self.cores_per_chip.iter().sum()
+    }
+
+    /// True if no core is active (the idle state of the evaluation).
+    pub fn is_idle(&self) -> bool {
+        self.processes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn scatter_spreads_across_chips() {
+        let s = presets::opteron_8347(); // 4 chips x 4 cores
+        let plan = PlacementPlan::place(&s, 4, Placement::Scatter);
+        assert_eq!(plan.active_chips, 4);
+        assert_eq!(plan.cores_per_chip, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn compact_fills_chips() {
+        let s = presets::opteron_8347();
+        let plan = PlacementPlan::place(&s, 6, Placement::Compact);
+        assert_eq!(plan.active_chips, 2);
+        assert_eq!(plan.cores_per_chip, vec![4, 2, 0, 0]);
+    }
+
+    #[test]
+    fn clamps_to_core_count() {
+        let s = presets::xeon_e5462();
+        let plan = PlacementPlan::place(&s, 99, Placement::Scatter);
+        assert_eq!(plan.processes, 4);
+        assert_eq!(plan.active_cores(), 4);
+    }
+
+    #[test]
+    fn zero_processes_is_idle() {
+        let s = presets::xeon_4870();
+        let plan = PlacementPlan::place(&s, 0, Placement::Compact);
+        assert!(plan.is_idle());
+        assert_eq!(plan.active_chips, 0);
+    }
+
+    #[test]
+    fn full_machine_wakes_all_chips_under_both_policies() {
+        let s = presets::xeon_4870();
+        for policy in [Placement::Scatter, Placement::Compact] {
+            let plan = PlacementPlan::place(&s, s.total_cores(), policy);
+            assert_eq!(plan.active_chips, s.chips);
+            assert_eq!(plan.active_cores(), 40);
+        }
+    }
+}

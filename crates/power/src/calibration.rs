@@ -1,0 +1,182 @@
+//! Per-server power calibration constants.
+//!
+//! Fit by least squares against the measured (program, process-count,
+//! power) anchor rows of the paper's Tables IV–VI — ten rows per server.
+//! Residuals of the fit are ~5 W on the Xeon-E5462 and Opteron-8347 and
+//! ~15 W (≈2 %) on the Xeon-4870 (whose HPL P20 rows sit oddly high in
+//! the paper). The constants are physical: idle draw, a wake penalty for
+//! leaving the idle state, a per-additional-chip penalty, per-core
+//! compute power, and small memory-traffic / memory-footprint terms (the
+//! paper's central observation is precisely that the footprint term is
+//! small — DDR2 burns nearly as much when idle as when used).
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_machine::spec::ServerSpec;
+
+/// Calibration constants of the ground-truth power model for one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCalibration {
+    /// Wall power with no load at all (paper: measured directly).
+    pub idle_w: f64,
+    /// Penalty for the first active core anywhere (package C-state exit,
+    /// VRM efficiency knee). Dominant on the Opteron-8347 (~77 W).
+    pub wake_w: f64,
+    /// Additional watts per active chip beyond the first.
+    pub chip_w: f64,
+    /// Watts of one core running the most intense vector code (HPL) at
+    /// its full single-core sustained rate.
+    pub core_w: f64,
+    /// Relative power of the scalar pipeline at full tilt (EP-style
+    /// code): the Xeon-4870's wide vector units barely wake for scalar
+    /// work (0.28), the Opteron's shared FPU makes scalar work
+    /// relatively *more* expensive (1.58).
+    pub scalar_power_factor: f64,
+    /// Watts per GB/s of DRAM traffic.
+    pub mem_w_per_gbs: f64,
+    /// Watts per unit memory-footprint fraction (0..1). Small by the
+    /// paper's design argument.
+    pub footprint_w: f64,
+    /// Watts per active core at full communication activity — power the
+    /// six PMU indicators cannot see (spin-waiting in the NIC/uncore
+    /// path). Drives the regression validation residuals of SP.
+    pub comm_w_per_core: f64,
+    /// 1σ of the intrinsic wall-power fluctuation seen by the meter.
+    pub noise_sd_w: f64,
+}
+
+impl PowerCalibration {
+    /// Calibration for the Xeon-E5462 (Table IV anchors; fit RMS 5.5 W).
+    pub fn xeon_e5462() -> Self {
+        Self {
+            idle_w: 134.3727,
+            wake_w: 8.4,
+            chip_w: 0.0,
+            core_w: 25.37,
+            scalar_power_factor: 0.77,
+            mem_w_per_gbs: 1.5,
+            footprint_w: 4.0,
+            comm_w_per_core: 2.0,
+            noise_sd_w: 1.2,
+        }
+    }
+
+    /// Calibration for the Opteron-8347 (Table V anchors; fit RMS 4.7 W).
+    pub fn opteron_8347() -> Self {
+        Self {
+            idle_w: 311.5214,
+            wake_w: 76.85,
+            chip_w: 2.68,
+            core_w: 15.9,
+            // The unconstrained fit lands at 1.58, but extrapolating that
+            // slope to 16 EP processes crosses above HPL — contradicting
+            // the paper's finding (4) (program power is bracketed by EP
+            // and HPL) and its Fig 4. 1.35 keeps the p≤8 anchors within
+            // ±19 W while preserving the bracketing at p=16.
+            scalar_power_factor: 1.35,
+            mem_w_per_gbs: 1.0,
+            footprint_w: 5.0,
+            comm_w_per_core: 3.0,
+            noise_sd_w: 2.0,
+        }
+    }
+
+    /// Calibration for the Xeon-4870 (Table VI anchors; fit RMS ~15 W,
+    /// ≈2 % of scale).
+    pub fn xeon_4870() -> Self {
+        Self {
+            idle_w: 642.23,
+            wake_w: 23.8,
+            chip_w: 5.5,
+            core_w: 10.8,
+            scalar_power_factor: 0.28,
+            mem_w_per_gbs: 2.0,
+            footprint_w: 6.0,
+            comm_w_per_core: 7.0,
+            noise_sd_w: 3.0,
+        }
+    }
+
+    /// Look up the calibration for a server preset by name.
+    ///
+    /// Unknown servers get a generic calibration scaled from the chip
+    /// count and peak performance, so user-defined [`ServerSpec`]s work
+    /// out of the box.
+    pub fn for_server(spec: &ServerSpec) -> Self {
+        match spec.name.as_str() {
+            "Xeon-E5462" => Self::xeon_e5462(),
+            "Opteron-8347" => Self::opteron_8347(),
+            "Xeon-4870" => Self::xeon_4870(),
+            _ => Self::generic(spec),
+        }
+    }
+
+    /// A physically plausible calibration for an arbitrary machine:
+    /// ~1.2 W idle per peak GFLOPS, ~2.2 W per core at full tilt.
+    pub fn generic(spec: &ServerSpec) -> Self {
+        Self {
+            idle_w: 40.0 + 1.2 * spec.peak_gflops(),
+            wake_w: 5.0 + 2.0 * f64::from(spec.chips),
+            chip_w: 4.0,
+            core_w: 2.0 + 0.2 * spec.peak_core_gflops(),
+            scalar_power_factor: 0.6,
+            mem_w_per_gbs: 1.8,
+            footprint_w: 5.0,
+            comm_w_per_core: 2.0,
+            noise_sd_w: 0.01 * (40.0 + 1.2 * spec.peak_gflops()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn idle_watts_match_paper_tables() {
+        assert_eq!(PowerCalibration::xeon_e5462().idle_w, 134.3727);
+        assert_eq!(PowerCalibration::opteron_8347().idle_w, 311.5214);
+        assert_eq!(PowerCalibration::xeon_4870().idle_w, 642.23);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for spec in presets::all_servers() {
+            let cal = PowerCalibration::for_server(&spec);
+            assert!(cal.idle_w > 100.0, "{} resolved to generic", spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_server_gets_generic() {
+        let mut spec = presets::xeon_e5462();
+        spec.name = "Custom-Box".to_string();
+        let cal = PowerCalibration::for_server(&spec);
+        assert!((cal.idle_w - (40.0 + 1.2 * spec.peak_gflops())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opteron_wake_dominates() {
+        // The paper's ep.C.1 jump on the Opteron is ~81 W over idle;
+        // the wake term carries most of it.
+        let cal = PowerCalibration::opteron_8347();
+        assert!(cal.wake_w > 50.0);
+    }
+
+    #[test]
+    fn all_constants_nonnegative() {
+        for cal in [
+            PowerCalibration::xeon_e5462(),
+            PowerCalibration::opteron_8347(),
+            PowerCalibration::xeon_4870(),
+        ] {
+            assert!(cal.wake_w >= 0.0);
+            assert!(cal.chip_w >= 0.0);
+            assert!(cal.core_w > 0.0);
+            assert!(cal.scalar_power_factor > 0.0);
+            assert!(cal.mem_w_per_gbs >= 0.0);
+            assert!(cal.footprint_w >= 0.0);
+        }
+    }
+}

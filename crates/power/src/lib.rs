@@ -1,0 +1,32 @@
+//! Power modeling and measurement simulation.
+//!
+//! This crate is the substitute for the paper's measurement hardware — a
+//! Yokogawa WT210 power meter on the wall socket of each server — and for
+//! the physical power draw of the servers themselves:
+//!
+//! * [`calibration`] — per-server power constants fit by least squares to
+//!   the measured anchor rows of the paper's Tables IV–VI (idle watts,
+//!   wake/chip overheads, per-core compute power, memory-traffic and
+//!   footprint coefficients),
+//! * [`model`] — the ground-truth power model: idle + wake + chips +
+//!   per-core activity + memory terms (+ a communication term the
+//!   regression's PMU indicators cannot observe — the mechanism behind
+//!   the paper's EP/SP validation residuals),
+//! * [`meter`] — the WT210 simulation: 1 Hz sampling, Gaussian noise,
+//!   quantization, clock offset, CSV logging,
+//! * [`analysis`] — the paper's §V-C2 data pipeline: merge CSV files,
+//!   extract per-program windows, drop the first and last 10 % of
+//!   samples, average; plus PPW and energy arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod calibration;
+pub mod meter;
+pub mod model;
+
+pub use analysis::{energy_kj, ppw, TraceAnalysis};
+pub use calibration::PowerCalibration;
+pub use meter::{PowerSample, PowerTrace, Wt210};
+pub use model::PowerModel;

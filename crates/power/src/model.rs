@@ -1,0 +1,256 @@
+//! The ground-truth power model.
+//!
+//! `P = idle + wake·\[p>0\] + chip_w·(chips−1) + Σ_cores core_w·activity
+//!    + mem_w·traffic + footprint_w·usage + comm_w·comm_activity`
+//!
+//! where a core's *activity* is the workload's power intensity scaled by
+//! its pipeline blend (vector vs scalar power factors), its achieved
+//! efficiency at this parallelism (a stalled multiply unit burns less)
+//! and how memory-bound the run is.
+//!
+//! Two design points matter for the reproduction:
+//!
+//! 1. The footprint term is deliberately small — the paper's §V-C1
+//!    observes that unused DDR2 sits in a high-power state, so memory
+//!    *utilization* barely moves wall power. HPL at half memory vs full
+//!    memory differs by a few watts only (Tables IV–VI).
+//! 2. The communication term is real power the PMU indicators X1..X6
+//!    cannot express. It is what keeps the regression's validation R²
+//!    at ≈0.5–0.65 on NPB (Fig 12/13) while training R² is ≈0.94.
+
+use hpceval_machine::roofline::ExecEstimate;
+use hpceval_machine::spec::ServerSpec;
+use hpceval_machine::workload::WorkloadSignature;
+
+use crate::calibration::PowerCalibration;
+
+/// Ground-truth power model for one server.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    spec: ServerSpec,
+    cal: PowerCalibration,
+}
+
+impl PowerModel {
+    /// Model for `spec` with its matching calibration.
+    pub fn new(spec: ServerSpec) -> Self {
+        let cal = PowerCalibration::for_server(&spec);
+        Self { spec, cal }
+    }
+
+    /// Model with an explicit calibration (ablations, tests).
+    pub fn with_calibration(spec: ServerSpec, cal: PowerCalibration) -> Self {
+        Self { spec, cal }
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &PowerCalibration {
+        &self.cal
+    }
+
+    /// The server spec.
+    pub fn spec(&self) -> &ServerSpec {
+        &self.spec
+    }
+
+    /// Idle wall power.
+    pub fn idle_w(&self) -> f64 {
+        self.cal.idle_w
+    }
+
+    /// Mean wall power while `sig` runs as estimated by `est`
+    /// (noise-free; the meter adds noise when sampling).
+    pub fn power_w(&self, sig: &WorkloadSignature, est: &ExecEstimate) -> f64 {
+        let p = est.plan.processes;
+        if p == 0 {
+            return self.cal.idle_w + self.cal.footprint_w * est.mem_usage_frac;
+        }
+        let vf = sig.kind.vector_fraction();
+        // Achieved-efficiency scale: the paper's Opteron draws visibly
+        // less per HPL core at 16 processes than at 1 because its
+        // multiply pipes starve. Any program with substantial FP work
+        // stalls on the same shared resources, so the decay applies to
+        // the whole instruction stream of FP-bearing workloads; pure
+        // scalar code (EP) scales flat. The blend is capped at 1.0 --
+        // nothing out-draws a port-saturated HPL core.
+        let eff_ratio = self.spec.vector_eff(p) / self.spec.vector_eff(1);
+        let pipeline = if vf > 0.0 {
+            (vf + (1.0 - vf) * self.cal.scalar_power_factor).min(1.0) * eff_ratio
+        } else {
+            // Scalar code contends only mildly for the shared FPU and
+            // northbridge: a soft decay keeps EP's power growth below
+            // HPL's on every machine (the paper's finding (1)/(2)).
+            self.cal.scalar_power_factor * eff_ratio.powf(0.2)
+        };
+        let activity = sig.cpu_intensity
+            * pipeline
+            * (0.55 + 0.45 * est.compute_frac)
+            * est.core_util;
+        let cores_w = f64::from(p) * self.cal.core_w * activity;
+        let chips_extra = f64::from(est.plan.active_chips.saturating_sub(1));
+        self.cal.idle_w
+            + self.cal.wake_w
+            + self.cal.chip_w * chips_extra
+            + cores_w
+            + self.cal.mem_w_per_gbs * est.mem_traffic_gbs
+            + self.cal.footprint_w * est.mem_usage_frac
+            + self.cal.comm_w_per_core * est.comm_frac * f64::from(p)
+    }
+
+    /// Table II style normalized power: watts over the PSU rating.
+    pub fn normalized(&self, watts: f64) -> f64 {
+        watts / self.spec.psu_total_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+    use hpceval_machine::roofline::PerfModel;
+    use hpceval_machine::workload::{ComputeKind, LocalityProfile};
+
+    fn ep_sig() -> WorkloadSignature {
+        let pairs = (1u64 << 32) as f64;
+        WorkloadSignature {
+            name: "ep.C".into(),
+            reported_flops: 1.78 * pairs,
+            work_ops: 156.0 * pairs,
+            dram_bytes: 2e6,
+            footprint_bytes: 30e6,
+            footprint_per_proc_bytes: 4e6,
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.015,
+            cpu_intensity: 0.38,
+            kind: ComputeKind::Scalar,
+            locality: LocalityProfile::compute_resident(),
+        }
+    }
+
+    fn hpl_sig(n: f64) -> WorkloadSignature {
+        let flops = 2.0 / 3.0 * n.powi(3) + 2.0 * n * n;
+        WorkloadSignature {
+            name: "hpl".into(),
+            reported_flops: flops,
+            work_ops: flops,
+            dram_bytes: 8.0 * n.powi(3) / 200.0,
+            footprint_bytes: 8.0 * n * n,
+            footprint_per_proc_bytes: 48e6,
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: 0.01,
+            cpu_intensity: 1.0,
+            kind: ComputeKind::Vector,
+            locality: LocalityProfile::dense_blocked(),
+        }
+    }
+
+    fn power_of(spec_name: &str, sig: &WorkloadSignature, p: u32) -> f64 {
+        let spec = presets::by_name(spec_name).unwrap();
+        let perf = PerfModel::new(spec.clone());
+        let est = perf.execute(sig, p);
+        PowerModel::new(spec).power_w(sig, &est)
+    }
+
+    #[test]
+    fn idle_matches_paper() {
+        for (name, want) in
+            [("Xeon-E5462", 134.37), ("Opteron-8347", 311.52), ("Xeon-4870", 642.23)]
+        {
+            let spec = presets::by_name(name).unwrap();
+            let m = PowerModel::new(spec);
+            assert!((m.idle_w() - want).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn ep_anchors_within_tolerance() {
+        // Table IV/V/VI EP rows, ±25 W (the Opteron's ep.C.8 row is the
+        // worst: its scalar scaling is deliberately softened so EP stays
+        // below HPL at 16 processes and grows slower than HPL, per the
+        // paper's findings (1), (2) and (4)).
+        for (srv, p, want) in [
+            ("Xeon-E5462", 1, 145.49),
+            ("Xeon-E5462", 2, 156.92),
+            ("Xeon-E5462", 4, 174.01),
+            ("Opteron-8347", 1, 392.67),
+            ("Opteron-8347", 4, 427.65),
+            ("Opteron-8347", 8, 476.90),
+            ("Xeon-4870", 1, 667.28),
+            ("Xeon-4870", 20, 706.78),
+            ("Xeon-4870", 40, 730.98),
+        ] {
+            let got = power_of(srv, &ep_sig(), p);
+            assert!((got - want).abs() < 25.0, "{srv} ep p={p}: {got:.1} vs {want}");
+        }
+    }
+
+    #[test]
+    fn hpl_anchors_within_tolerance() {
+        // Full-memory HPL rows, ±6 % of the paper value. (The Xeon-E5462
+        // P2 row and the Xeon-4870 P20 row sit well above their linear
+        // trends in the paper; the calibration splits those residuals.)
+        for (srv, n, p, want) in [
+            ("Xeon-E5462", 28_800.0, 1, 168.19),
+            ("Xeon-E5462", 28_800.0, 2, 204.95),
+            ("Xeon-E5462", 28_800.0, 4, 235.32),
+            ("Opteron-8347", 57_600.0, 1, 412.73),
+            ("Opteron-8347", 57_600.0, 8, 484.00),
+            ("Opteron-8347", 57_600.0, 16, 529.53),
+            ("Xeon-4870", 115_200.0, 1, 676.37),
+            ("Xeon-4870", 115_200.0, 20, 965.29),
+            ("Xeon-4870", 115_200.0, 40, 1119.60),
+        ] {
+            let got = power_of(srv, &hpl_sig(n), p);
+            let tol = want * 0.06;
+            assert!((got - want).abs() < tol, "{srv} hpl p={p}: {got:.1} vs {want} (tol {tol:.1})");
+        }
+    }
+
+    #[test]
+    fn power_is_monotone_in_cores_for_each_program() {
+        for srv in ["Xeon-E5462", "Opteron-8347", "Xeon-4870"] {
+            let spec = presets::by_name(srv).unwrap();
+            let mut last = 0.0;
+            for p in 1..=spec.total_cores() {
+                let w = power_of(srv, &ep_sig(), p);
+                assert!(w >= last, "{srv} p={p}: {w} < {last}");
+                last = w;
+            }
+        }
+    }
+
+    #[test]
+    fn ep_is_cheaper_than_hpl_at_equal_cores() {
+        // Paper finding (4): program power is bracketed by EP (bottom)
+        // and HPL (top) at the same process count.
+        for (srv, n) in [
+            ("Xeon-E5462", 28_800.0),
+            ("Opteron-8347", 57_600.0),
+            ("Xeon-4870", 115_200.0),
+        ] {
+            let spec = presets::by_name(srv).unwrap();
+            for p in [1, spec.total_cores() / 2, spec.total_cores()] {
+                let ep = power_of(srv, &ep_sig(), p);
+                let hpl = power_of(srv, &hpl_sig(n), p);
+                assert!(ep < hpl, "{srv} p={p}: EP {ep:.1} !< HPL {hpl:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_usage_moves_power_only_slightly() {
+        // Mh vs Mf at the same core count: a few watts (paper Tables).
+        let half = power_of("Xeon-E5462", &hpl_sig(20_400.0), 4);
+        let full = power_of("Xeon-E5462", &hpl_sig(28_800.0), 4);
+        let diff = (full - half).abs();
+        assert!(diff < 10.0, "memory usage effect too large: {diff:.1} W");
+    }
+
+    #[test]
+    fn normalization_uses_psu_rating() {
+        let spec = presets::xeon_4870();
+        let m = PowerModel::new(spec);
+        // 3 x 500 W supplies -> 1118 W ~ 0.745 (paper Table II: 0.74).
+        assert!((m.normalized(1118.5) - 0.7457).abs() < 0.01);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the power substrate: meter behaviour, trace
+//! algebra and the analysis pipeline.
+
+use proptest::prelude::*;
+
+use hpceval_power::analysis::{energy_kj, ppw, ProgramWindow, TraceAnalysis};
+use hpceval_power::meter::{PowerTrace, Wt210};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sample count follows the interval arithmetic exactly (no
+    /// dropouts).
+    #[test]
+    fn sample_count_matches_duration(duration in 1.0..500.0f64, seed in 0u64..1000) {
+        let mut m = Wt210::new(seed);
+        let t = m.record(0.0, duration, |_| 100.0);
+        prop_assert_eq!(t.len() as u64, duration.floor() as u64 + 1);
+    }
+
+    /// The noise-free meter reproduces constant signals exactly (up to
+    /// quantization).
+    #[test]
+    fn noise_free_meter_is_exact(level in 0.0..2000.0f64, seed in 0u64..1000) {
+        let mut m = Wt210::new(seed);
+        let t = m.record(0.0, 30.0, move |_| level);
+        for s in &t.samples {
+            prop_assert!((s.watts - level).abs() <= 0.005 + 1e-12);
+        }
+    }
+
+    /// Merge output is sorted and conserves every sample.
+    #[test]
+    fn merge_conserves_and_sorts(n1 in 1usize..50, n2 in 1usize..50, seed in 0u64..500) {
+        let mut m1 = Wt210::new(seed);
+        let mut m2 = Wt210::new(seed + 1);
+        let a = m1.record(0.0, n1 as f64, |t| t);
+        let b = m2.record(0.25, n2 as f64, |t| t);
+        let expected = a.len() + b.len();
+        let merged = PowerTrace::merge([a, b]);
+        prop_assert_eq!(merged.len(), expected);
+        prop_assert!(merged.samples.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    }
+
+    /// Windowing then analyzing never fabricates samples.
+    #[test]
+    fn window_is_a_subset(from in 0.0..50.0f64, span in 0.1..50.0f64, seed in 0u64..500) {
+        let mut m = Wt210::new(seed).with_noise(1.0);
+        let t = m.record(0.0, 100.0, |_| 300.0);
+        let total = t.len();
+        let w = t.window(from, from + span);
+        prop_assert!(w.len() <= total);
+        prop_assert!(w.samples.iter().all(|s| s.t_s >= from && s.t_s < from + span));
+    }
+
+    /// The trimmed mean lies within the window's sample range, for any
+    /// trim fraction.
+    #[test]
+    fn trimmed_mean_within_range(trim in 0.0..0.49f64, noise in 0.0..8.0f64, seed in 0u64..500) {
+        let mut m = Wt210::new(seed).with_noise(noise);
+        let t = m.record(0.0, 200.0, |x| 150.0 + (x * 0.07).sin() * 5.0);
+        let lo = t.samples.iter().map(|s| s.watts).fold(f64::MAX, f64::min);
+        let hi = t.samples.iter().map(|s| s.watts).fold(f64::MIN, f64::max);
+        let a = TraceAnalysis::new(t).with_trim(trim);
+        let s = a
+            .analyze(ProgramWindow { start_s: 0.0, end_s: 201.0 })
+            .expect("window populated");
+        prop_assert!(s.mean_w >= lo - 1e-9 && s.mean_w <= hi + 1e-9);
+        prop_assert!(s.samples <= s.raw_samples);
+    }
+
+    /// CSV round trip conserves length and order for meter output.
+    #[test]
+    fn csv_round_trip_meter_output(dur in 1.0..120.0f64, noise in 0.0..5.0f64, seed in 0u64..300) {
+        let mut m = Wt210::new(seed).with_noise(noise);
+        let t = m.record(0.0, dur, |x| 100.0 + x * 0.1);
+        let back = PowerTrace::from_csv(&t.to_csv()).expect("own CSV parses");
+        prop_assert_eq!(back.len(), t.len());
+        prop_assert!(back.samples.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    }
+
+    /// PPW and energy arithmetic: nonnegative inputs give nonnegative
+    /// outputs, zero power gives zero PPW (the paper's idle convention).
+    #[test]
+    fn ppw_energy_arithmetic(gflops in 0.0..500.0f64, watts in 0.0..2000.0f64, secs in 0.0..1e4f64) {
+        prop_assert!(ppw(gflops, watts) >= 0.0);
+        prop_assert_eq!(ppw(gflops, 0.0), 0.0);
+        prop_assert!((energy_kj(watts, secs) - watts * secs / 1000.0).abs() < 1e-9);
+    }
+}

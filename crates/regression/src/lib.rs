@@ -1,0 +1,26 @@
+//! Multiple linear regression for the power model (paper §VI).
+//!
+//! The paper trains `P ≈ b1·X1 + … + b6·X6 + C` on HPCC samples with
+//! *forward stepwise* selection [Bendel & Afifi 1977], normalizes the
+//! variables to unify dimensions, reports R²/adjusted-R²/standard error
+//! (Table VII) and the coefficient vector (Table VIII), and validates on
+//! NPB with the `R² = 1 − RSS/TSS` fitting coefficient (Eqs. 6–8).
+//!
+//! * [`matrix`] — dense matrix with Householder QR least squares
+//!   (numerically stable; no normal equations),
+//! * [`stats`] — means, standard deviations, z-score normalization,
+//! * [`ols`] — ordinary least squares with the diagnostics of Table VII,
+//! * [`stepwise`] — forward stepwise predictor selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod matrix;
+pub mod ols;
+pub mod stats;
+pub mod stepwise;
+
+pub use matrix::Matrix;
+pub use ols::{LinearModel, OlsSummary};
+pub use stats::{r_squared, zscore, Normalizer};
+pub use stepwise::{forward_stepwise, StepwiseReport};

@@ -1,0 +1,234 @@
+//! Dense matrices and Householder-QR least squares.
+//!
+//! Small, dependency-free linear algebra sized for regression problems
+//! (thousands of rows × a handful of columns). Least squares uses
+//! Householder reflections — numerically stable where the normal
+//! equations would square the condition number.
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `A·x` for a vector `x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                self.data[r * self.cols..(r + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Select a subset of columns (for stepwise fits).
+    pub fn select_columns(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for r in 0..self.rows {
+            for (j, &c) in cols.iter().enumerate() {
+                out.set(r, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Append a constant 1.0 column (the intercept).
+    pub fn with_intercept(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(r, c, self.get(r, c));
+            }
+            out.set(r, self.cols, 1.0);
+        }
+        out
+    }
+
+    /// Solve `min ‖A·x − b‖₂` by Householder QR. Returns `None` when the
+    /// system is rank-deficient (a zero pivot on R's diagonal) or the
+    /// shapes disagree.
+    pub fn least_squares(&self, b: &[f64]) -> Option<Vec<f64>> {
+        if b.len() != self.rows || self.rows < self.cols || self.cols == 0 {
+            return None;
+        }
+        let m = self.rows;
+        let n = self.cols;
+        let mut a = self.data.clone();
+        let mut y = b.to_vec();
+
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm = 0.0;
+            for r in k..m {
+                norm += a[r * n + k] * a[r * n + k];
+            }
+            let norm = norm.sqrt();
+            if norm < 1e-300 {
+                return None; // rank deficient
+            }
+            let akk = a[k * n + k];
+            let alpha = if akk >= 0.0 { -norm } else { norm };
+            let mut v: Vec<f64> = (k..m).map(|r| a[r * n + k]).collect();
+            v[0] -= alpha;
+            let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+            if vnorm2 < 1e-300 {
+                // Column already reduced; record alpha and continue.
+                a[k * n + k] = alpha;
+                continue;
+            }
+            // Apply H = I − 2vvᵀ/‖v‖² to the trailing columns and to y.
+            for c in k..n {
+                let dot: f64 = (k..m).map(|r| v[r - k] * a[r * n + c]).sum();
+                let f = 2.0 * dot / vnorm2;
+                for r in k..m {
+                    a[r * n + c] -= f * v[r - k];
+                }
+            }
+            let dot: f64 = (k..m).map(|r| v[r - k] * y[r]).sum();
+            let f = 2.0 * dot / vnorm2;
+            for r in k..m {
+                y[r] -= f * v[r - k];
+            }
+        }
+        // Back substitution on R (top n×n of a).
+        let mut x = vec![0.0; n];
+        for k in (0..n).rev() {
+            let mut s = y[k];
+            for c in k + 1..n {
+                s -= a[k * n + c] * x[c];
+            }
+            let d = a[k * n + k];
+            if d.abs() < 1e-12 {
+                return None;
+            }
+            x[k] = s / d;
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        // [[2,0],[0,4]] x = [2,8] -> x = [1,2]
+        let a = Matrix::from_rows(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let x = a.least_squares(&[2.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_recovers_planted_coefficients() {
+        // y = 3a − 2b + 0.5 with no noise.
+        let n = 50;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.37).sin();
+            let b = (i as f64 * 0.11).cos();
+            data.extend([a, b, 1.0]);
+            y.push(3.0 * a - 2.0 * b + 0.5);
+        }
+        let m = Matrix::from_rows(n, 3, data);
+        let x = m.least_squares(&y).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((x[1] + 2.0).abs() < 1e-9);
+        assert!((x[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_returns_none() {
+        // Two identical columns.
+        let mut data = Vec::new();
+        for i in 0..10 {
+            let v = i as f64;
+            data.extend([v, v]);
+        }
+        let m = Matrix::from_rows(10, 2, data);
+        assert!(m.least_squares(&[1.0; 10]).is_none());
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        let m = Matrix::zeros(2, 3);
+        assert!(m.least_squares(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        // The least squares residual must be ⟂ to every column.
+        let n = 30;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = (i as f64 * 0.7).sin();
+            let b = (i as f64 * 0.3).cos();
+            data.extend([a, b]);
+            y.push(a * 2.0 + b + (i as f64 * 1.3).sin()); // inconsistent
+        }
+        let m = Matrix::from_rows(n, 2, data);
+        let x = m.least_squares(&y).unwrap();
+        let yhat = m.matvec(&x);
+        for c in 0..2 {
+            let dot: f64 = (0..n).map(|r| (y[r] - yhat[r]) * m.get(r, c)).sum();
+            assert!(dot.abs() < 1e-9, "column {c} not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn select_columns_and_intercept() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s.get(0, 0), 3.0);
+        assert_eq!(s.get(1, 1), 4.0);
+        let w = s.with_intercept();
+        assert_eq!(w.cols(), 3);
+        assert_eq!(w.get(0, 2), 1.0);
+    }
+}

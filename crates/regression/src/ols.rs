@@ -1,0 +1,171 @@
+//! Ordinary least squares with the diagnostics of the paper's Table VII.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::stats;
+
+/// A fitted linear model `y ≈ Σ bᵢ·xᵢ + C`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Coefficients over the predictor columns used in the fit.
+    pub coefficients: Vec<f64>,
+    /// Intercept `C`.
+    pub intercept: f64,
+    /// Indices of the predictor columns (into the original design
+    /// matrix) the coefficients refer to.
+    pub columns: Vec<usize>,
+}
+
+impl LinearModel {
+    /// Predict for one full-width feature row (unused columns ignored).
+    pub fn predict_row(&self, features: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .columns
+                .iter()
+                .zip(&self.coefficients)
+                .map(|(&c, b)| b * features[c])
+                .sum::<f64>()
+    }
+
+    /// Predict for every row of a row-major feature block of width
+    /// `width`.
+    pub fn predict_all(&self, data: &[f64], width: usize) -> Vec<f64> {
+        assert_eq!(data.len() % width, 0);
+        data.chunks(width).map(|row| self.predict_row(row)).collect()
+    }
+
+    /// Coefficient vector expanded to `width` slots (zeros for unused
+    /// columns) — the shape of the paper's Table VIII.
+    pub fn dense_coefficients(&self, width: usize) -> Vec<f64> {
+        let mut out = vec![0.0; width];
+        for (&c, b) in self.columns.iter().zip(&self.coefficients) {
+            out[c] = *b;
+        }
+        out
+    }
+}
+
+/// Fit diagnostics in the shape of the paper's Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OlsSummary {
+    /// Multiple R (√R², the correlation between y and ŷ).
+    pub multiple_r: f64,
+    /// R Square.
+    pub r_square: f64,
+    /// Adjusted R Square.
+    pub adjusted_r_square: f64,
+    /// Standard error of the residuals.
+    pub standard_error: f64,
+    /// Number of observations.
+    pub observations: usize,
+}
+
+/// Fit `y ≈ X[:, columns]·b + C` by QR least squares.
+///
+/// Returns `None` when the selected design is rank deficient or there
+/// are fewer observations than parameters.
+pub fn fit(
+    design: &Matrix,
+    y: &[f64],
+    columns: &[usize],
+) -> Option<(LinearModel, OlsSummary)> {
+    let x = design.select_columns(columns).with_intercept();
+    let beta = x.least_squares(y)?;
+    let (coefs, intercept) = beta.split_at(columns.len());
+    let model = LinearModel {
+        coefficients: coefs.to_vec(),
+        intercept: intercept[0],
+        columns: columns.to_vec(),
+    };
+    let yhat = x.matvec(&beta);
+    let n = y.len();
+    let k = columns.len();
+    let r2 = stats::r_squared(y, &yhat);
+    let adj = if n > k + 1 {
+        1.0 - (1.0 - r2) * ((n - 1) as f64 / (n - k - 1) as f64)
+    } else {
+        r2
+    };
+    let rss: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
+    let se = if n > k + 1 { (rss / (n - k - 1) as f64).sqrt() } else { 0.0 };
+    let summary = OlsSummary {
+        multiple_r: r2.max(0.0).sqrt(),
+        r_square: r2,
+        adjusted_r_square: adj,
+        standard_error: se,
+        observations: n,
+    };
+    Some((model, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(n: usize, noise: f64) -> (Matrix, Vec<f64>) {
+        // y = 2·x0 − 1·x1 + 0.3·x2 + 5 (x3 is irrelevant).
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        let mut s = 123u64;
+        let mut rnd = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+        };
+        for _ in 0..n {
+            let x: Vec<f64> = (0..4).map(|_| rnd() * 4.0).collect();
+            y.push(2.0 * x[0] - x[1] + 0.3 * x[2] + 5.0 + noise * rnd());
+            data.extend(x);
+        }
+        (Matrix::from_rows(n, 4, data), y)
+    }
+
+    #[test]
+    fn recovers_planted_coefficients() {
+        let (x, y) = planted(200, 0.0);
+        let (model, summary) = fit(&x, &y, &[0, 1, 2]).unwrap();
+        assert!((model.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((model.coefficients[1] + 1.0).abs() < 1e-9);
+        assert!((model.coefficients[2] - 0.3).abs() < 1e-9);
+        assert!((model.intercept - 5.0).abs() < 1e-9);
+        assert!((summary.r_square - 1.0).abs() < 1e-12);
+        assert!(summary.standard_error < 1e-9);
+    }
+
+    #[test]
+    fn noise_lowers_r_square_but_keeps_coefficients_close() {
+        let (x, y) = planted(2000, 1.0);
+        let (model, summary) = fit(&x, &y, &[0, 1, 2]).unwrap();
+        assert!((model.coefficients[0] - 2.0).abs() < 0.05);
+        assert!(summary.r_square > 0.9 && summary.r_square < 1.0);
+        assert!(summary.adjusted_r_square <= summary.r_square);
+    }
+
+    #[test]
+    fn predict_matches_fit_columns() {
+        let (x, y) = planted(100, 0.0);
+        let (model, _) = fit(&x, &y, &[2, 0]).unwrap();
+        // Row with x = [1, 2, 3, 4]: prediction uses cols 2 and 0 only.
+        let p = model.predict_row(&[1.0, 2.0, 3.0, 4.0]);
+        let manual =
+            model.intercept + model.coefficients[0] * 3.0 + model.coefficients[1] * 1.0;
+        assert!((p - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_coefficients_layout() {
+        let (x, y) = planted(100, 0.0);
+        let (model, _) = fit(&x, &y, &[2, 0]).unwrap();
+        let dense = model.dense_coefficients(4);
+        assert_eq!(dense[1], 0.0);
+        assert_eq!(dense[3], 0.0);
+        assert!((dense[2] - model.coefficients[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn too_few_observations_is_none() {
+        let x = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(fit(&x, &[1.0, 2.0], &[0, 1, 2]).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Normalization and goodness-of-fit statistics.
+//!
+//! The paper normalizes PMU counters and power "to unify the dimensions
+//! of different variables" before regression (§VI-A2) and validates with
+//! the fitting coefficient of determination `R² = 1 − RSS/TSS`
+//! (Eqs. 6–8).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Z-score a column in place; constant columns become all zeros.
+pub fn zscore(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    for x in xs.iter_mut() {
+        *x = if s > 0.0 { (*x - m) / s } else { 0.0 };
+    }
+}
+
+/// Per-column normalization parameters, remembered so validation data
+/// can be transformed with the *training* statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (0 ⇒ constant column).
+    pub sds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fit to `rows × cols` data stored row-major.
+    pub fn fit(data: &[f64], cols: usize) -> Self {
+        assert!(cols > 0 && data.len().is_multiple_of(cols));
+        let rows = data.len() / cols;
+        let mut means = vec![0.0; cols];
+        let mut sds = vec![0.0; cols];
+        for c in 0..cols {
+            let col: Vec<f64> = (0..rows).map(|r| data[r * cols + c]).collect();
+            means[c] = mean(&col);
+            sds[c] = std_dev(&col);
+        }
+        Self { means, sds }
+    }
+
+    /// Transform a row-major data block in place.
+    pub fn apply(&self, data: &mut [f64]) {
+        let cols = self.means.len();
+        assert_eq!(data.len() % cols, 0);
+        for (i, v) in data.iter_mut().enumerate() {
+            let c = i % cols;
+            *v = if self.sds[c] > 0.0 { (*v - self.means[c]) / self.sds[c] } else { 0.0 };
+        }
+    }
+
+    /// Transform a single value of column `c`.
+    pub fn apply_one(&self, c: usize, v: f64) -> f64 {
+        if self.sds[c] > 0.0 {
+            (v - self.means[c]) / self.sds[c]
+        } else {
+            0.0
+        }
+    }
+
+    /// Invert the transform for column `c`.
+    pub fn invert_one(&self, c: usize, v: f64) -> f64 {
+        v * self.sds[c] + self.means[c]
+    }
+}
+
+/// The paper's fitting coefficient of determination (Eqs. 6–8):
+/// `R² = 1 − Σ(xᵢ − x̃ᵢ)² / Σ(xᵢ − x̄)²` over measured `measured` and
+/// predicted `predicted`.
+///
+/// Can be negative when the prediction is worse than the mean.
+pub fn r_squared(measured: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(measured.len(), predicted.len());
+    if measured.is_empty() {
+        return 0.0;
+    }
+    let m = mean(measured);
+    let rss: f64 = measured.iter().zip(predicted).map(|(x, p)| (x - p) * (x - p)).sum();
+    let tss: f64 = measured.iter().map(|x| (x - m) * (x - m)).sum();
+    if tss <= 0.0 {
+        return if rss <= 1e-30 { 1.0 } else { 0.0 };
+    }
+    1.0 - rss / tss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_normalizes() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        zscore(&mut xs);
+        assert!(mean(&xs).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_column_is_zeroed() {
+        let mut xs = vec![7.0; 5];
+        zscore(&mut xs);
+        assert!(xs.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn normalizer_round_trip() {
+        let data = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let norm = Normalizer::fit(&data, 2);
+        let mut t = data.clone();
+        norm.apply(&mut t);
+        for (i, v) in t.iter().enumerate() {
+            let back = norm.invert_one(i % 2, *v);
+            assert!((back - data[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalizer_apply_one_matches_apply() {
+        let data = vec![1.0, 5.0, 3.0, 9.0];
+        let norm = Normalizer::fit(&data, 2);
+        let mut t = data.clone();
+        norm.apply(&mut t);
+        assert!((norm.apply_one(0, 1.0) - t[0]).abs() < 1e-12);
+        assert!((norm.apply_one(1, 9.0) - t[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&y, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let bad = [3.0, 2.0, 1.0];
+        assert!(r_squared(&y, &bad) < 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests of the regression crate: least-squares optimality,
+//! stepwise behaviour and normalization algebra.
+
+use proptest::prelude::*;
+
+use hpceval_regression::matrix::Matrix;
+use hpceval_regression::ols;
+use hpceval_regression::stats::{r_squared, Normalizer};
+use hpceval_regression::stepwise::forward_stepwise;
+
+fn planted(
+    n: usize,
+    coefs: &[f64],
+    intercept: f64,
+    noise: f64,
+    seed: u64,
+) -> (Matrix, Vec<f64>) {
+    let k = coefs.len();
+    let mut s = seed | 1;
+    let mut rnd = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    let mut data = Vec::with_capacity(n * k);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let row: Vec<f64> = (0..k).map(|_| rnd() * 4.0).collect();
+        let target: f64 =
+            row.iter().zip(coefs).map(|(x, c)| x * c).sum::<f64>() + intercept + noise * rnd();
+        data.extend(row);
+        y.push(target);
+    }
+    (Matrix::from_rows(n, k, data), y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OLS residuals are orthogonal to every fitted column — the
+    /// defining property of least squares.
+    #[test]
+    fn residuals_orthogonal_to_design(c0 in -3.0..3.0f64, c1 in -3.0..3.0f64, noise in 0.0..2.0f64, seed in 1u64..5000) {
+        let (x, y) = planted(60, &[c0, c1], 1.0, noise, seed);
+        let (model, _) = ols::fit(&x, &y, &[0, 1]).expect("full rank");
+        for col in 0..2 {
+            let dot: f64 = (0..60)
+                .map(|r| {
+                    let pred = model.predict_row(&[x.get(r, 0), x.get(r, 1)]);
+                    (y[r] - pred) * x.get(r, col)
+                })
+                .sum();
+            prop_assert!(dot.abs() < 1e-6, "col {col}: {dot}");
+        }
+    }
+
+    /// Adding a predictor never lowers the training R².
+    #[test]
+    fn r2_monotone_in_predictors(c in -3.0..3.0f64, noise in 0.1..2.0f64, seed in 1u64..5000) {
+        let (x, y) = planted(80, &[c, 0.5, -0.25], 0.0, noise, seed);
+        let (_, s1) = ols::fit(&x, &y, &[0]).expect("full rank");
+        let (_, s2) = ols::fit(&x, &y, &[0, 1]).expect("full rank");
+        let (_, s3) = ols::fit(&x, &y, &[0, 1, 2]).expect("full rank");
+        prop_assert!(s2.r_square >= s1.r_square - 1e-10);
+        prop_assert!(s3.r_square >= s2.r_square - 1e-10);
+    }
+
+    /// Stepwise's final R² is at least the best single-column R².
+    #[test]
+    fn stepwise_beats_best_single(noise in 0.1..1.0f64, seed in 1u64..5000) {
+        let (x, y) = planted(100, &[2.0, -1.0, 0.4], 0.5, noise, seed);
+        let rep = forward_stepwise(&x, &y, 1e-6).expect("fits");
+        for col in 0..3 {
+            let (_, s) = ols::fit(&x, &y, &[col]).expect("full rank");
+            prop_assert!(rep.summary.r_square >= s.r_square - 1e-10);
+        }
+    }
+
+    /// Normalizer: apply ∘ invert is the identity per column.
+    #[test]
+    fn normalizer_inverts(values in prop::collection::vec(-1e4..1e4f64, 4..60)) {
+        let norm = Normalizer::fit(&values, 1);
+        for &v in &values {
+            let z = norm.apply_one(0, v);
+            let back = norm.invert_one(0, z);
+            // Constant columns normalize to 0 and cannot invert.
+            if norm.sds[0] > 0.0 {
+                prop_assert!((back - v).abs() < 1e-6 * v.abs().max(1.0));
+            }
+        }
+    }
+
+    /// R² is bounded above by 1 for any prediction.
+    #[test]
+    fn r2_upper_bound(measured in prop::collection::vec(-100.0..100.0f64, 3..40), shift in -5.0..5.0f64) {
+        let predicted: Vec<f64> = measured.iter().map(|v| v + shift).collect();
+        prop_assert!(r_squared(&measured, &predicted) <= 1.0 + 1e-12);
+    }
+
+    /// Perfectly collinear designs are rejected, never silently fit.
+    #[test]
+    fn collinear_design_rejected(scale in 0.1..10.0f64, n in 4usize..40) {
+        let mut data = Vec::new();
+        for i in 0..n {
+            let v = i as f64;
+            data.extend([v, v * scale]);
+        }
+        let x = Matrix::from_rows(n, 2, data);
+        let y: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert!(ols::fit(&x, &y, &[0, 1]).is_none());
+    }
+}

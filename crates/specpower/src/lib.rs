@@ -1,0 +1,30 @@
+//! A SPECpower_ssj2008-like workload simulator.
+//!
+//! SPECpower_ssj2008 drives a transactional server-side-Java workload
+//! through three calibration phases (finding the peak request rate) and
+//! then ten graduated target loads, 100 % down to 10 %, collecting
+//! `ssj_ops` and wall power at each level; the score is
+//! `Σ ssj_ops / Σ power` over all levels plus active idle.
+//!
+//! The paper uses it in two ways, both reproduced here:
+//!
+//! * **Figs 1–2** — its *resource shape*: memory utilization stays below
+//!   14 % at every load level, and per-core CPU utilization tracks the
+//!   load level downward (the opposite of HPC codes, which pin the CPU
+//!   regardless of problem size). [`SsjRun`] generates those series.
+//! * **§V-C3** — its *score*: `ssj_ops/W` for the three servers
+//!   (247 / 22.2 / 139), reproduced through the power model plus
+//!   per-server throughput calibrations.
+//!
+//! The transaction itself is real executable work ([`workload`]): a
+//! mix of hashing, object-graph walks over a warehouse buffer and small
+//! arithmetic, so calibration-phase behaviour is testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ssj;
+pub mod workload;
+
+pub use ssj::{SsjCalibration, SsjLevel, SsjRun};
+pub use workload::{transaction, Warehouse};

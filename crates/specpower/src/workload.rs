@@ -1,0 +1,120 @@
+//! The SSJ transaction: real executable work standing in for the
+//! server-side-Java order-processing transaction.
+//!
+//! Each warehouse owns a small object-graph buffer (16 KiB — far below
+//! any realistic cache, which is why SSJ's memory utilization stays low)
+//! and a transaction performs a deterministic mix of reads, hashes and
+//! writes over it. Used by the calibration phase and by tests; the
+//! graduated-load *power* behaviour is modelled analytically in
+//! [`crate::ssj`].
+
+/// Words per warehouse buffer (16 KiB of u64).
+pub const WAREHOUSE_WORDS: usize = 2048;
+
+/// One warehouse: the per-thread working state of the SSJ workload.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    /// The object-graph stand-in.
+    pub data: Vec<u64>,
+    /// Running transaction counter.
+    pub completed: u64,
+}
+
+impl Warehouse {
+    /// A warehouse seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed | 1;
+        let data = (0..WAREHOUSE_WORDS)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        Self { data, completed: 0 }
+    }
+}
+
+/// Execute one SSJ transaction against a warehouse; returns a checksum
+/// so the optimizer cannot elide the work.
+pub fn transaction(w: &mut Warehouse) -> u64 {
+    let n = w.data.len();
+    let mut h = 0xcbf29ce484222325u64 ^ w.completed;
+    // "New order": walk a pseudo-random chain of 64 items, hash and
+    // update each.
+    let mut idx = (h as usize) % n;
+    for _ in 0..64 {
+        let v = w.data[idx];
+        h = (h ^ v).wrapping_mul(0x100000001b3);
+        w.data[idx] = v.rotate_left(7) ^ h;
+        idx = (v as usize).wrapping_add(idx) % n;
+    }
+    // "Payment": small arithmetic summary.
+    let total: u64 = w.data[..16].iter().fold(0u64, |a, &b| a.wrapping_add(b));
+    h ^= total;
+    w.completed += 1;
+    h
+}
+
+/// Run `count` transactions and return (checksum, transactions/sec) —
+/// the calibration-phase measurement.
+pub fn calibrate(count: u64, seed: u64) -> (u64, f64) {
+    let mut w = Warehouse::new(seed);
+    let start = std::time::Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..count {
+        acc ^= transaction(&mut w);
+    }
+    let dt = start.elapsed().as_secs_f64().max(1e-9);
+    (acc, count as f64 / dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transactions_are_deterministic() {
+        let mut w1 = Warehouse::new(42);
+        let mut w2 = Warehouse::new(42);
+        for _ in 0..100 {
+            assert_eq!(transaction(&mut w1), transaction(&mut w2));
+        }
+        assert_eq!(w1.completed, 100);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut w1 = Warehouse::new(1);
+        let mut w2 = Warehouse::new(2);
+        let c1: Vec<u64> = (0..10).map(|_| transaction(&mut w1)).collect();
+        let c2: Vec<u64> = (0..10).map(|_| transaction(&mut w2)).collect();
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn transactions_mutate_the_warehouse() {
+        let mut w = Warehouse::new(3);
+        let before = w.data.clone();
+        for _ in 0..50 {
+            transaction(&mut w);
+        }
+        let changed = w.data.iter().zip(&before).filter(|(a, b)| a != b).count();
+        assert!(changed > 100, "only {changed} words touched");
+    }
+
+    #[test]
+    fn calibration_measures_positive_rate() {
+        let (_, rate) = calibrate(10_000, 7);
+        assert!(rate > 1000.0, "absurdly slow: {rate} tx/s");
+    }
+
+    #[test]
+    fn warehouse_footprint_is_small() {
+        // The entire working set must stay KB-scale — SSJ's low memory
+        // footprint is the point of Fig 1.
+        let w = Warehouse::new(1);
+        assert_eq!(w.data.len() * 8, 16 * 1024);
+    }
+}

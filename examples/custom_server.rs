@@ -1,0 +1,55 @@
+//! Evaluate a user-defined server, not one of the paper's three.
+//!
+//! ```sh
+//! cargo run --example custom_server
+//! ```
+//!
+//! Defines a hypothetical 2-socket, 8-core machine, gives it the generic
+//! power calibration, runs the five-state evaluation and the Green500
+//! method on it, and ranks it against the paper's servers — the workflow
+//! a practitioner adopting the methodology would follow.
+
+use hpceval::core::evaluation::Evaluator;
+use hpceval::core::rankings::{compare, green500_score};
+use hpceval::machine::presets;
+use hpceval::machine::spec::{CacheLevel, MemoryKind, ServerSpec};
+
+fn main() {
+    let custom = ServerSpec {
+        name: "Custom-2S8C".to_string(),
+        processor: "Hypothetical 2.6 GHz".to_string(),
+        chips: 2,
+        cores_per_chip: 4,
+        threads_per_core: 1,
+        freq_mhz: 2600,
+        flops_per_cycle: 4,
+        l1i: CacheLevel::private(32, 8, 64),
+        l1d: CacheLevel::private(32, 8, 64),
+        l2: CacheLevel::private(256, 8, 64),
+        l3: Some(CacheLevel::shared(8 * 1024, 16, 64, 4)),
+        memory_gib: 16,
+        memory_kind: MemoryKind::Ddr3,
+        mem_bw_gbs: 34.0,
+        per_core_bw_gbs: 8.5,
+        net_mbps: 1000,
+        disk_gb: 500,
+        power_supplies: 1,
+        psu_rating_w: 750.0,
+        sustained_vector_eff: 0.88,
+        parallel_alpha: 0.04,
+        scalar_ipc: 0.9,
+    };
+    println!("custom server: {} cores, {:.1} GFLOPS peak\n", custom.total_cores(),
+        custom.peak_gflops());
+
+    let table = Evaluator::new(custom.clone()).run();
+    print!("{}", table.render());
+    println!("\nGreen500-style peak-HPL PPW: {:.4} GFLOPS/W", green500_score(&custom));
+
+    // Rank against the paper's machines under both methods.
+    let mut servers = presets::all_servers();
+    servers.push(custom);
+    let cmp = compare(&servers);
+    println!();
+    print!("{}", cmp.render());
+}

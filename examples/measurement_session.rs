@@ -1,0 +1,73 @@
+//! Drive the paper's full §V-C2 measurement procedure end to end.
+//!
+//! ```sh
+//! cargo run --example measurement_session
+//! ```
+//!
+//! Schedules EP and HPL configurations back to back on the simulated
+//! Xeon-E5462, records *one continuous* WT210 CSV log across the whole
+//! session (idle gaps included), then runs the paper's analysis —
+//! parse the merged CSV, extract each program's window, trim 10 %,
+//! average — and prints PPW per configuration. Finally it repeats the
+//! session with an unsynchronized meter clock to show why the paper's
+//! clock-sync step exists.
+
+use hpceval::core::session::{run_session, GAP_S};
+use hpceval::kernels::hpl::HplConfig;
+use hpceval::kernels::npb::{ep::Ep, Class};
+use hpceval::kernels::suite::Benchmark;
+use hpceval::machine::presets;
+
+fn main() {
+    let spec = presets::xeon_e5462();
+    let full = spec.total_cores();
+    let schedule = vec![
+        ("ep.C.1".to_string(), Ep::new(Class::C).signature(), 1),
+        (format!("ep.C.{full}"), Ep::new(Class::C).signature(), full),
+        (
+            format!("HPL P{full} Mh"),
+            HplConfig::for_memory_fraction(&spec, 0.5, full).signature(),
+            full,
+        ),
+        (
+            format!("HPL P{full} Mf"),
+            HplConfig::for_memory_fraction(&spec, 0.92, full).signature(),
+            full,
+        ),
+    ];
+
+    println!("running a {}-program session on {} (gaps of {GAP_S} s)…\n", schedule.len(),
+        spec.name);
+    let session = run_session(&spec, &schedule, 2024, 0.0);
+    println!(
+        "meter log: {} CSV bytes covering {:.0} s\n",
+        session.csv.len(),
+        session.runs.last().map_or(0.0, |r| r.end_s + GAP_S)
+    );
+
+    let results = session.analyze().expect("well-formed session analyzes");
+    println!("{:<14} {:>10} {:>12} {:>10}", "Program", "GFLOPS", "Power(W)", "PPW");
+    for (run, stats) in &results {
+        println!(
+            "{:<14} {:>10.3} {:>12.2} {:>10.4}",
+            run.label,
+            run.gflops,
+            stats.mean_w,
+            run.gflops / stats.mean_w
+        );
+    }
+
+    // The failure mode the sync step prevents.
+    let skewed = run_session(&spec, &schedule, 2024, 60.0);
+    let bad = skewed.analyze().expect("still parses");
+    println!("\nwith a 60 s meter clock offset (no sync step):");
+    for ((run, good), (_, broken)) in results.iter().zip(&bad) {
+        println!(
+            "  {:<14} measured {:>7.2} W -> {:>7.2} W (error {:+.1} W)",
+            run.label,
+            good.mean_w,
+            broken.mean_w,
+            broken.mean_w - good.mean_w
+        );
+    }
+}

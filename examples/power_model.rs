@@ -1,0 +1,54 @@
+//! Train the §VI regression power model and use it as a predictor.
+//!
+//! ```sh
+//! cargo run --example power_model
+//! ```
+//!
+//! Trains the forward-stepwise model on HPCC samples from the simulated
+//! Xeon-4870, prints the Table VII/VIII artifacts, validates on NPB-B,
+//! then demonstrates the intended *use*: predicting the power of a
+//! not-yet-measured workload configuration from its PMU feature vector.
+
+use hpceval::core::regression_experiment::{
+    collect_training, train, validate, SAMPLE_INTERVAL_S,
+};
+use hpceval::core::server::SimulatedServer;
+use hpceval::kernels::npb::{Class, Program};
+use hpceval::machine::pmu::PmuCounters;
+use hpceval::machine::presets;
+
+fn main() {
+    let spec = presets::xeon_4870();
+    println!("collecting HPCC training samples on {}…", spec.name);
+    let samples = collect_training(&spec, 25, 42);
+    println!("  {} observations (paper: 6056)", samples.len());
+
+    let model = train(&samples).expect("HPCC training set is well conditioned");
+    let s = model.summary();
+    println!("  training R² {:.4} (paper Table VII: 0.9403)", s.r_square);
+    print!("  coefficients:");
+    for (name, b) in PmuCounters::FEATURE_NAMES.iter().zip(model.coefficients()) {
+        print!(" {name}={b:.3}");
+    }
+    println!("\n");
+
+    // Validate on NPB class B (Fig 12).
+    let v = validate(&spec, Class::B, &model, 7);
+    println!("NPB-B validation over {} configurations: R² {:.4} (paper: 0.634)\n",
+        v.points.len(), v.r2);
+
+    // Use the model as a predictor for one unmeasured configuration.
+    let srv = SimulatedServer::new(spec.clone());
+    let mg = Program::Mg.benchmark(Class::C);
+    let sig = mg.signature();
+    let est = srv.estimate(&sig, 16);
+    let features = srv.pmu_rates(&sig, &est).sample(SAMPLE_INTERVAL_S).as_features();
+    let predicted = model.predict_normalized(&features);
+    let truth = model.normalize_power(srv.true_power_w(&sig, &est));
+    println!("prediction demo — mg.C.16 on {}:", spec.name);
+    println!("  predicted normalized power {predicted:+.3}");
+    println!("  actual    normalized power {truth:+.3}");
+    println!("  (denormalized: {:.1} W predicted vs {:.1} W actual)",
+        model.normalizer.invert_one(6, predicted),
+        model.normalizer.invert_one(6, truth));
+}

@@ -1,0 +1,24 @@
+//! Quickstart: evaluate one server with the paper's five-state method.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Runs the HPL+EP evaluation (idle; EP.C at 1/half/full cores; HPL at
+//! half/full memory × 1/half/full cores) on the simulated Xeon-E5462 and
+//! prints a Table-IV-shaped PPW table plus the system score.
+
+use hpceval::core::evaluation::Evaluator;
+use hpceval::machine::presets;
+
+fn main() {
+    let server = presets::xeon_e5462();
+    println!("evaluating {} ({} cores, {:.1} GFLOPS peak)…\n", server.name,
+        server.total_cores(), server.peak_gflops());
+
+    let table = Evaluator::new(server).run();
+    print!("{}", table.render());
+
+    println!("\nsystem score (mean PPW): {:.4} GFLOPS/W", table.final_score());
+    println!("paper Table IV anchors: idle 134.4 W, ep.C.4 174.0 W, HPL P4 Mf 235.3 W");
+}

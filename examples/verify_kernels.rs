@@ -1,0 +1,54 @@
+//! Run the *real* benchmark implementations and their built-in
+//! verifications — the part of the reproduction that is not simulated.
+//!
+//! ```sh
+//! cargo run --example verify_kernels
+//! ```
+//!
+//! Executes a scaled instance of every NPB program, HPL and every HPCC
+//! program (LU residuals, FFT round trips, sort permutations, ADI
+//! convergence, XOR-replay identities, …) and reports each verdict.
+
+use hpceval::kernels::hpcc;
+use hpceval::kernels::hpl::HplConfig;
+use hpceval::kernels::npb::{Class, Program};
+use hpceval::kernels::suite::Benchmark;
+use hpceval::machine::presets;
+
+fn main() {
+    let threads = 4;
+    let mut failures = 0;
+
+    println!("— NPB (scaled instances, class parameterization = C) —");
+    for prog in Program::ALL {
+        let b = prog.benchmark(Class::C);
+        let out = b.verify(threads);
+        report(&b.display_name(), out.passed, &out.detail);
+        failures += usize::from(!out.passed);
+    }
+
+    println!("\n— HPL —");
+    let hpl = HplConfig::tuned(30_000, 4);
+    let out = hpl.verify(threads);
+    report("hpl", out.passed, &out.detail);
+    failures += usize::from(!out.passed);
+
+    println!("\n— HPCC (sized for the Xeon-E5462) —");
+    for b in hpcc::full_suite(&presets::xeon_e5462()) {
+        let out = b.verify(threads);
+        report(b.id(), out.passed, &out.detail);
+        failures += usize::from(!out.passed);
+    }
+
+    println!();
+    if failures == 0 {
+        println!("all kernels verified.");
+    } else {
+        println!("{failures} kernel(s) FAILED verification");
+        std::process::exit(1);
+    }
+}
+
+fn report(name: &str, passed: bool, detail: &str) {
+    println!("{:<14} {:<5} {}", name, if passed { "ok" } else { "FAIL" }, detail);
+}

@@ -1,0 +1,167 @@
+//! `hpceval` — command-line driver for the power evaluation method.
+//!
+//! ```text
+//! hpceval servers                     list the built-in server presets
+//! hpceval evaluate <server>           run the five-state evaluation
+//! hpceval green500 <server>           peak-HPL PPW (the Green500 method)
+//! hpceval specpower <server>          graduated-load ssj_ops/W
+//! hpceval rankings                    all three methods on all presets
+//! hpceval study <server>              §IV power study (Fig 3/4 series)
+//! hpceval train [seed]                §VI regression on the Xeon-4870
+//! hpceval verify                      run every kernel's verification
+//! ```
+
+use std::process::ExitCode;
+
+use hpceval::core::evaluation::Evaluator;
+use hpceval::core::motivation::power_study;
+use hpceval::core::rankings::{compare, green500_score, specpower_score};
+use hpceval::core::regression_experiment::run_experiment;
+use hpceval::kernels::hpcc;
+use hpceval::kernels::hpl::HplConfig;
+use hpceval::kernels::npb::{Class, Program};
+use hpceval::kernels::suite::Benchmark;
+use hpceval::machine::presets;
+use hpceval::machine::spec::ServerSpec;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("servers") => servers(),
+        Some("evaluate") => with_server(&args, evaluate),
+        Some("green500") => with_server(&args, |s| {
+            println!("{}: Green500-style peak-HPL PPW = {:.4} GFLOPS/W", s.name,
+                green500_score(&s));
+            ExitCode::SUCCESS
+        }),
+        Some("specpower") => with_server(&args, |s| {
+            println!("{}: SPECpower-style score = {:.1} ssj_ops/W", s.name,
+                specpower_score(&s));
+            ExitCode::SUCCESS
+        }),
+        Some("rankings") => rankings(),
+        Some("report") => with_server(&args, |s| {
+            print!("{}", hpceval::core::report::markdown_report(&s));
+            ExitCode::SUCCESS
+        }),
+        Some("cluster") => with_server(&args, cluster),
+        Some("study") => with_server(&args, study),
+        Some("train") => match args.get(1) {
+            None => train(42),
+            Some(raw) => match raw.parse() {
+                Ok(seed) => train(seed),
+                Err(_) => {
+                    eprintln!("seed must be an integer, got {raw:?}");
+                    ExitCode::FAILURE
+                }
+            },
+        },
+        Some("verify") => verify(),
+        _ => {
+            eprintln!(
+                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|report|cluster|verify> [server|seed]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_server(args: &[String], f: impl Fn(ServerSpec) -> ExitCode) -> ExitCode {
+    let Some(name) = args.get(1) else {
+        eprintln!("expected a server name; try `hpceval servers`");
+        return ExitCode::FAILURE;
+    };
+    match presets::by_name(name) {
+        Some(spec) => f(spec),
+        None => {
+            eprintln!("unknown server {name:?}; try `hpceval servers`");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn servers() -> ExitCode {
+    println!("{:<14} {:>6} {:>10} {:>14} {:>10}", "Name", "Cores", "Freq(MHz)",
+        "Peak(GFLOPS)", "Mem(GiB)");
+    for s in presets::all_servers() {
+        println!(
+            "{:<14} {:>6} {:>10} {:>14.1} {:>10}",
+            s.name,
+            s.total_cores(),
+            s.freq_mhz,
+            s.peak_gflops(),
+            s.memory_gib
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn evaluate(spec: ServerSpec) -> ExitCode {
+    let table = Evaluator::new(spec).run();
+    print!("{}", table.render());
+    ExitCode::SUCCESS
+}
+
+fn cluster(spec: ServerSpec) -> ExitCode {
+    use hpceval::core::cluster::{scaling_study, Interconnect};
+    println!("cluster scaling of {} nodes over gigabit ethernet:", spec.name);
+    println!("{:>6} {:>14} {:>12} {:>12} {:>12}", "Nodes", "HPL(GFLOPS)", "Power(W)",
+        "G500 PPW", "5-state PPW");
+    for s in scaling_study(&spec, Interconnect::gigabit_ethernet(), &[1, 2, 4, 8, 16, 32]) {
+        println!(
+            "{:>6} {:>14.1} {:>12.1} {:>12.4} {:>12.4}",
+            s.nodes, s.hpl_gflops, s.hpl_power_w, s.green500_ppw, s.five_state_ppw
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn rankings() -> ExitCode {
+    print!("{}", compare(&presets::all_servers()).render());
+    ExitCode::SUCCESS
+}
+
+fn study(spec: ServerSpec) -> ExitCode {
+    print!("{}", power_study(&spec, Class::C).render());
+    ExitCode::SUCCESS
+}
+
+fn train(seed: u64) -> ExitCode {
+    let spec = presets::xeon_4870();
+    let Some(exp) = run_experiment(&spec, seed) else {
+        eprintln!("training failed: degenerate sample set");
+        return ExitCode::FAILURE;
+    };
+    let s = exp.model.summary();
+    println!("trained on {} HPCC observations (seed {seed})", exp.observations);
+    println!("  R² {:.4}  adjusted {:.4}  std err {:.4}", s.r_square, s.adjusted_r_square,
+        s.standard_error);
+    println!("  coefficients (normalized): {:?}", exp.model.coefficients());
+    println!("validation: NPB-B R² {:.4}, NPB-C R² {:.4}", exp.npb_b.r2, exp.npb_c.r2);
+    ExitCode::SUCCESS
+}
+
+fn verify() -> ExitCode {
+    let mut failed = 0;
+    let mut run = |name: String, out: hpceval::kernels::suite::VerifyOutcome| {
+        println!("{:<14} {:<5} {}", name, if out.passed { "ok" } else { "FAIL" }, out.detail);
+        if !out.passed {
+            failed += 1;
+        }
+    };
+    for prog in Program::ALL {
+        let b = prog.benchmark(Class::C);
+        run(b.display_name(), b.verify(4));
+    }
+    let hpl = HplConfig::tuned(30_000, 4);
+    run("hpl".to_string(), hpl.verify(4));
+    for b in hpcc::full_suite(&presets::xeon_e5462()) {
+        run(b.id().to_string(), b.verify(4));
+    }
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{failed} verification(s) failed");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,34 @@
+//! # hpceval — HPC-Oriented Power Evaluation Method
+//!
+//! Façade crate re-exporting the whole workspace: a reproduction of the
+//! ICPP 2015 paper *HPC-Oriented Power Evaluation Method* (Zhang & Chen).
+//!
+//! * [`machine`] — simulated servers (Table I presets), caches, roofline
+//!   performance model, PMU counter synthesis.
+//! * [`kernels`] — Rust implementations of HPL, the eight NAS Parallel
+//!   Benchmarks and the seven HPCC programs.
+//! * [`power`] — ground-truth power model, WT210 meter simulation and the
+//!   paper's trace-analysis pipeline.
+//! * [`specpower`] — a SPECpower_ssj2008-like graduated-load workload.
+//! * [`regression`] — forward-stepwise multiple linear regression.
+//! * [`core`] — the paper's contribution: the HPL+EP five-state power
+//!   evaluation method and the HPCC-trained power regression model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpceval::core::evaluation::Evaluator;
+//! use hpceval::machine::presets;
+//!
+//! let server = presets::xeon_e5462();
+//! let table = Evaluator::new(server).run();
+//! println!("{}", table.render());
+//! assert!(table.final_score() > 0.0);
+//! ```
+
+pub use hpceval_core as core;
+pub use hpceval_kernels as kernels;
+pub use hpceval_machine as machine;
+pub use hpceval_power as power;
+pub use hpceval_regression as regression;
+pub use hpceval_specpower as specpower;

@@ -1,0 +1,110 @@
+//! End-to-end reproduction of the five-state evaluation (Tables IV–VI)
+//! across all three servers, through every layer: kernel signatures →
+//! roofline → power model → WT210 metering → trim-10 % analysis → PPW.
+
+use hpceval::core::evaluation::Evaluator;
+use hpceval::machine::presets;
+
+#[test]
+fn all_three_servers_reproduce_their_tables() {
+    // (server, paper mean-PPW, idle W, full-core full-memory HPL W)
+    let cases = [
+        ("Xeon-E5462", 0.0639, 134.37, 235.32),
+        ("Opteron-8347", 0.0251, 311.52, 529.53),
+        ("Xeon-4870", 0.0975, 642.23, 1119.60),
+    ];
+    for (name, score, idle_w, hpl_w) in cases {
+        let spec = presets::by_name(name).expect("preset exists");
+        let full = spec.total_cores();
+        let table = Evaluator::new(spec).run();
+
+        assert_eq!(table.rows.len(), 10, "{name}: ten rows");
+        let idle = &table.rows[0];
+        assert!((idle.power_w - idle_w).abs() < 6.0, "{name} idle: {}", idle.power_w);
+        assert_eq!(idle.ppw, 0.0, "{name}: no-load PPW must be zero");
+
+        let hpl = table
+            .rows
+            .iter()
+            .find(|r| r.program == format!("HPL P{full} Mf"))
+            .expect("full HPL row present");
+        assert!(
+            (hpl.power_w - hpl_w).abs() / hpl_w < 0.06,
+            "{name} HPL full: {} vs {hpl_w}",
+            hpl.power_w
+        );
+
+        let got = table.final_score();
+        assert!(
+            (got - score).abs() / score < 0.15,
+            "{name} score {got:.4} vs paper {score}"
+        );
+    }
+}
+
+#[test]
+fn rows_are_ordered_idle_ep_hpl() {
+    let t = Evaluator::new(presets::opteron_8347()).run();
+    let labels: Vec<&str> = t.rows.iter().map(|r| r.program.as_str()).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "Idle",
+            "ep.C.1",
+            "ep.C.8",
+            "ep.C.16",
+            "HPL P1 Mh",
+            "HPL P8 Mh",
+            "HPL P16 Mh",
+            "HPL P1 Mf",
+            "HPL P8 Mf",
+            "HPL P16 Mf"
+        ]
+    );
+}
+
+#[test]
+fn ppw_increases_with_cores_within_each_program_family() {
+    // Paper Fig 10(b): PPW rises with parallelism for both EP and HPL.
+    for spec in presets::all_servers() {
+        let name = spec.name.clone();
+        let t = Evaluator::new(spec).run();
+        let ppw = |label: &str| {
+            t.rows.iter().find(|r| r.program == label).map(|r| r.ppw).expect("row exists")
+        };
+        let full = presets::by_name(&name).expect("preset").total_cores();
+        let half = full / 2;
+        assert!(ppw(&format!("ep.C.{half}")) >= ppw("ep.C.1"), "{name} EP half vs 1");
+        assert!(ppw(&format!("ep.C.{full}")) >= ppw(&format!("ep.C.{half}")), "{name} EP");
+        assert!(
+            ppw(&format!("HPL P{full} Mf")) > ppw(&format!("HPL P{half} Mf")),
+            "{name} HPL Mf"
+        );
+        assert!(ppw(&format!("HPL P{half} Mf")) > ppw("HPL P1 Mf"), "{name} HPL Mf half");
+    }
+}
+
+#[test]
+fn half_memory_and_full_memory_ppw_nearly_equal() {
+    // The paper's core finding: memory utilization barely changes
+    // power, so Mh and Mf rows have nearly identical PPW.
+    for spec in presets::all_servers() {
+        let name = spec.name.clone();
+        let full = spec.total_cores();
+        let t = Evaluator::new(spec).run();
+        let get = |label: String| {
+            t.rows.iter().find(|r| r.program == label).expect("row exists")
+        };
+        let mh = get(format!("HPL P{full} Mh"));
+        let mf = get(format!("HPL P{full} Mf"));
+        let rel = (mh.ppw - mf.ppw).abs() / mf.ppw;
+        assert!(rel < 0.08, "{name}: Mh vs Mf PPW differs {:.1} %", rel * 100.0);
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let a = Evaluator::new(presets::xeon_e5462()).run();
+    let b = Evaluator::new(presets::xeon_e5462()).run();
+    assert_eq!(a, b);
+}

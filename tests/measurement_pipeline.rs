@@ -1,0 +1,97 @@
+//! Failure-injection tests of the measurement substrate: meter
+//! dropouts, clock skew, malformed CSV logs, degenerate regression
+//! designs, and short-program instability (the paper's LU.A.2 warning).
+
+use hpceval::power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval::power::meter::{PowerTrace, Wt210};
+use hpceval::regression::matrix::Matrix;
+use hpceval::regression::stepwise::forward_stepwise;
+
+#[test]
+fn dropouts_do_not_bias_the_trimmed_mean() {
+    let mut healthy = Wt210::new(1).with_noise(2.0);
+    let mut flaky = Wt210::new(1).with_noise(2.0).with_dropout(0.3);
+    let t1 = healthy.record(0.0, 600.0, |_| 250.0);
+    let t2 = flaky.record(0.0, 600.0, |_| 250.0);
+    let win = ProgramWindow { start_s: 0.0, end_s: 601.0 };
+    let m1 = TraceAnalysis::new(t1).analyze(win).expect("healthy trace populated");
+    let m2 = TraceAnalysis::new(t2).analyze(win).expect("flaky trace still populated");
+    assert!(m2.samples < m1.samples, "dropout must lose samples");
+    assert!((m1.mean_w - m2.mean_w).abs() < 1.0, "{} vs {}", m1.mean_w, m2.mean_w);
+}
+
+#[test]
+fn clock_skew_shifts_the_window_off_the_program() {
+    // A 30 s clock offset on a 60 s program puts half the samples
+    // outside the extraction window — the failure the paper's clock
+    // synchronization step (3) exists to prevent.
+    let mut skewed = Wt210::new(2).with_clock_offset(30.0);
+    let trace = skewed.record(0.0, 60.0, |_| 300.0);
+    let win = ProgramWindow { start_s: 0.0, end_s: 61.0 };
+    let m = TraceAnalysis::new(trace).analyze(win).expect("some samples remain");
+    assert!(m.raw_samples < 40, "skew must cut the window: {}", m.raw_samples);
+}
+
+#[test]
+fn total_dropout_yields_no_analysis() {
+    let mut dead = Wt210::new(3).with_dropout(1.0);
+    let trace = dead.record(0.0, 100.0, |_| 100.0);
+    assert!(trace.is_empty());
+    let a = TraceAnalysis::new(trace);
+    assert!(a.analyze(ProgramWindow { start_s: 0.0, end_s: 100.0 }).is_none());
+}
+
+#[test]
+fn malformed_csv_is_rejected_not_mangled() {
+    for bad in [
+        "",                       // empty
+        "watts,time_s\n1,2\n",    // wrong header order
+        "time_s,watts\n1.0\n",    // missing column
+        "time_s,watts\nx,y\n",    // non-numeric
+        "time_s,watts\ninf,nan\n" // non-finite
+    ] {
+        assert!(PowerTrace::from_csv(bad).is_none(), "accepted: {bad:?}");
+    }
+}
+
+#[test]
+fn merge_of_overlapping_logs_stays_ordered() {
+    let mut m1 = Wt210::new(4);
+    let mut m2 = Wt210::new(5);
+    let a = m1.record(0.0, 100.0, |_| 1.0);
+    let b = m2.record(50.5, 100.0, |_| 2.0);
+    let merged = PowerTrace::merge([a, b]);
+    assert!(merged.samples.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    assert_eq!(merged.len(), 101 + 101);
+}
+
+#[test]
+fn singular_design_matrix_fails_cleanly() {
+    // Two duplicated predictors and a constant column.
+    let n = 50;
+    let mut data = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n {
+        let v = i as f64;
+        data.extend([v, v, 3.0]);
+        y.push(v);
+    }
+    let x = Matrix::from_rows(n, 3, data);
+    // Stepwise survives by picking one usable column.
+    let rep = forward_stepwise(&x, &y, 1e-4).expect("one informative column exists");
+    assert_eq!(rep.model.columns.len(), 1);
+    // A direct least-squares on the full singular design refuses.
+    assert!(x.with_intercept().least_squares(&y).is_none());
+}
+
+#[test]
+fn short_programs_have_few_samples_after_trimming() {
+    // The paper: "the duration of LU.A.2 ... is 1.01s. The stability and
+    // accuracy are difficult to maintain." A 2-second window at 1 Hz
+    // leaves ≤ 3 samples.
+    let mut m = Wt210::new(6).with_noise(2.0);
+    let trace = m.record(0.0, 600.0, |_| 180.0);
+    let a = TraceAnalysis::new(trace);
+    let s = a.analyze(ProgramWindow { start_s: 100.0, end_s: 102.0 }).expect("non-empty");
+    assert!(s.samples <= 3, "{} samples", s.samples);
+}

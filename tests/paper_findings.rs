@@ -1,0 +1,97 @@
+//! The paper's §IV-D findings (1)–(4), asserted across servers — the
+//! empirical basis for choosing HPL + EP as the evaluation pair.
+
+use hpceval::core::motivation::{power_study, sweep_procs};
+use hpceval::kernels::npb::{Class, Program};
+use hpceval::kernels::suite::Benchmark;
+use hpceval::machine::presets;
+
+#[test]
+fn finding_1_hpl_power_grows_fastest_and_tops_the_chart() {
+    for spec in [presets::xeon_e5462(), presets::opteron_8347()] {
+        let name = spec.name.clone();
+        let full = spec.total_cores();
+        let study = power_study(&spec, Class::C);
+        let hpl_full = study.find("hpl", full).expect("HPL at full cores").power_w;
+        for bar in &study.bars {
+            assert!(
+                bar.power_w <= hpl_full + 1.0,
+                "{name}: {} ({:.1} W) above HPL.{full} ({hpl_full:.1} W)",
+                bar.label,
+                bar.power_w
+            );
+        }
+        // Growth: HPL 1->full beats every NPB program's growth.
+        let growth = |prog: &str| -> Option<f64> {
+            Some(study.find(prog, full)?.power_w - study.find(prog, 1)?.power_w)
+        };
+        let hpl_growth = growth("hpl").expect("HPL runs at 1 and full");
+        for prog in ["ep", "lu", "mg", "is"] {
+            if let Some(g) = growth(prog) {
+                assert!(g <= hpl_growth + 1.0, "{name}: {prog} grows {g:.1} > {hpl_growth:.1}");
+            }
+        }
+    }
+}
+
+#[test]
+fn finding_2_ep_power_grows_slowest() {
+    for spec in [presets::xeon_e5462(), presets::opteron_8347()] {
+        let name = spec.name.clone();
+        let full = spec.total_cores();
+        let study = power_study(&spec, Class::C);
+        let ep_growth = study.find("ep", full).expect("ep at full").power_w
+            - study.find("ep", 1).expect("ep at 1").power_w;
+        for prog in ["hpl", "lu", "mg"] {
+            let g = study.find(prog, full).expect("runs at full").power_w
+                - study.find(prog, 1).expect("runs at 1").power_w;
+            assert!(ep_growth <= g + 1.0, "{name}: EP grows {ep_growth:.1} > {prog} {g:.1}");
+        }
+    }
+}
+
+#[test]
+fn finding_3_only_hpl_and_ep_cover_every_core_count() {
+    for spec in presets::all_servers() {
+        let total = spec.total_cores();
+        for p in 1..=total {
+            // HPL and EP always runnable.
+            assert!(hpceval::kernels::hpl::HplConfig::tuned(10_000, p)
+                .constraint()
+                .allows(p));
+            assert!(Program::Ep.benchmark(Class::C).constraint().allows(p));
+        }
+        // And at least one process count excludes every other program.
+        for prog in Program::ALL {
+            if prog == Program::Ep {
+                continue;
+            }
+            let excluded = (1..=total)
+                .any(|p| !prog.benchmark(Class::C).constraint().allows(p));
+            assert!(excluded, "{prog:?} unexpectedly unconstrained");
+        }
+    }
+}
+
+#[test]
+fn finding_4_program_power_is_bracketed_by_ep_and_hpl() {
+    let spec = presets::xeon_e5462();
+    let study = power_study(&spec, Class::C);
+    for &p in &sweep_procs(spec.total_cores()) {
+        let Some(ep) = study.find("ep", p) else { continue };
+        let Some(hpl) = study.find("hpl", p) else { continue };
+        for bar in study.at_procs(p) {
+            if bar.program == "specpower" {
+                continue; // not an HPC code; the paper brackets NPB only
+            }
+            assert!(
+                bar.power_w >= ep.power_w - 1.0 && bar.power_w <= hpl.power_w + 1.0,
+                "p={p}: {} = {:.1} W outside [{:.1}, {:.1}]",
+                bar.label,
+                bar.power_w,
+                ep.power_w,
+                hpl.power_w
+            );
+        }
+    }
+}

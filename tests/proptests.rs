@@ -1,0 +1,178 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! reproduction rests on.
+
+use proptest::prelude::*;
+
+use hpceval::kernels::hpl::lu;
+use hpceval::kernels::rng::NpbRng;
+use hpceval::machine::presets;
+use hpceval::machine::roofline::PerfModel;
+use hpceval::machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval::power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval::power::meter::{PowerTrace, Wt210};
+use hpceval::power::model::PowerModel;
+use hpceval::regression::matrix::Matrix;
+use hpceval::regression::stats::r_squared;
+
+fn arb_signature() -> impl Strategy<Value = WorkloadSignature> {
+    (
+        1e9..1e15f64,  // work_ops
+        0.0..1e13f64,  // dram_bytes
+        1e6..5e9f64,   // footprint
+        0.0..0.5f64,   // comm fraction
+        0.05..1.0f64,  // intensity
+        0.0..1.0f64,   // vector fraction
+    )
+        .prop_map(|(ops, bytes, footprint, comm, intensity, vf)| WorkloadSignature {
+            name: "arb".to_string(),
+            reported_flops: ops,
+            work_ops: ops,
+            dram_bytes: bytes,
+            footprint_bytes: footprint,
+            footprint_per_proc_bytes: 0.0,
+            footprint_scratch_bytes: 0.0,
+            comm_fraction: comm,
+            cpu_intensity: intensity,
+            kind: ComputeKind::Mixed(vf),
+            locality: LocalityProfile::streaming(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Running anything costs at least idle power, at most a sane cap.
+    #[test]
+    fn power_bounded_below_by_idle(sig in arb_signature(), p in 1u32..=40) {
+        for spec in presets::all_servers() {
+            let p = p.min(spec.total_cores());
+            let perf = PerfModel::new(spec.clone());
+            let power = PowerModel::new(spec.clone());
+            let est = perf.execute(&sig, p);
+            let w = power.power_w(&sig, &est);
+            prop_assert!(w >= power.idle_w(), "{}: {w} < idle", spec.name);
+            prop_assert!(w < power.idle_w() + 1200.0, "{}: {w} absurd", spec.name);
+        }
+    }
+
+    /// More processes never slow a workload down beyond the modeled
+    /// communication overhead (once bandwidth saturates, extra ranks
+    /// only add coordination cost — bounded by the comm fraction), and
+    /// no parallel run is slower than the serial one.
+    #[test]
+    fn roofline_time_nearly_monotone_in_processes(sig in arb_signature()) {
+        let spec = presets::xeon_4870();
+        let perf = PerfModel::new(spec.clone());
+        let serial = perf.execute(&sig, 1).time_s;
+        let mut last = f64::INFINITY;
+        for p in 1..=spec.total_cores() {
+            let est = perf.execute(&sig, p);
+            prop_assert!(
+                est.time_s <= serial * 1.0000001,
+                "p={p}: {} slower than serial {serial}",
+                est.time_s
+            );
+            prop_assert!(
+                est.time_s <= last * (1.0 + sig.comm_fraction),
+                "p={p}: {} jumped from {last}",
+                est.time_s
+            );
+            last = est.time_s;
+        }
+    }
+
+    /// The LCG jump-ahead equals sequential draws for arbitrary offsets.
+    #[test]
+    fn rng_jump_equals_sequential(k in 0u64..5000, seed in 1u64..(1 << 40)) {
+        let mut seq = NpbRng::new(seed);
+        for _ in 0..k {
+            seq.next_f64();
+        }
+        let jumped = NpbRng::new(seed).at_offset(k);
+        prop_assert_eq!(seq.state(), jumped.state());
+    }
+
+    /// LU solve round-trips A·x = b for random diagonally dominant
+    /// systems at any block size.
+    #[test]
+    fn lu_solves_dominant_systems(n in 2usize..24, nb in 1usize..8, seed in 0u64..1000) {
+        let mut a = lu::Matrix::random(n, seed);
+        // Lift the diagonal to guarantee nonsingularity.
+        for i in 0..n {
+            let v = a.get(i, i) + n as f64;
+            a.set(i, i, v);
+        }
+        let mut rng = NpbRng::new(seed + 1);
+        let x_true: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let b = a.matvec(&x_true);
+        let f = lu::factor(a, nb, 1).expect("diagonally dominant");
+        let x = f.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    /// CSV serialization round-trips arbitrary traces (within the
+    /// printed precision).
+    #[test]
+    fn trace_csv_round_trip(samples in prop::collection::vec((0.0..1e5f64, 0.0..2000.0f64), 1..100)) {
+        let mut sorted = samples;
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        sorted.dedup_by(|a, b| a.0 == b.0);
+        let mut t = PowerTrace::new();
+        for (ts, w) in &sorted {
+            t.push(*ts, *w);
+        }
+        let back = PowerTrace::from_csv(&t.to_csv()).expect("own CSV is valid");
+        prop_assert_eq!(back.len(), t.len());
+        for (a, b) in t.samples.iter().zip(&back.samples) {
+            prop_assert!((a.t_s - b.t_s).abs() <= 5e-4 + 1e-9);
+            prop_assert!((a.watts - b.watts).abs() <= 5e-5 + 1e-9);
+        }
+    }
+
+    /// Trimming never moves the mean outside the sample min/max.
+    #[test]
+    fn trimmed_mean_is_bounded(level in 10.0..1000.0f64, noise in 0.0..10.0f64, seed in 0u64..500) {
+        let mut m = Wt210::new(seed).with_noise(noise);
+        let trace = m.record(0.0, 120.0, move |_| level);
+        let lo = trace.samples.iter().map(|s| s.watts).fold(f64::MAX, f64::min);
+        let hi = trace.samples.iter().map(|s| s.watts).fold(f64::MIN, f64::max);
+        let st = TraceAnalysis::new(trace)
+            .analyze(ProgramWindow { start_s: 0.0, end_s: 121.0 })
+            .expect("trace populated");
+        prop_assert!(st.mean_w >= lo - 1e-9 && st.mean_w <= hi + 1e-9);
+    }
+
+    /// OLS recovers planted coefficients exactly on noise-free data.
+    #[test]
+    fn ols_recovers_planted_model(c0 in -5.0..5.0f64, c1 in -5.0..5.0f64, icpt in -10.0..10.0f64) {
+        let n = 40;
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let a = ((i * 7 + 3) % 13) as f64 - 6.0;
+            let b = ((i * 5 + 1) % 11) as f64 - 5.0;
+            data.extend([a, b]);
+            y.push(c0 * a + c1 * b + icpt);
+        }
+        let x = Matrix::from_rows(n, 2, data);
+        let (model, summary) =
+            hpceval::regression::ols::fit(&x, &y, &[0, 1]).expect("full rank");
+        prop_assert!((model.coefficients[0] - c0).abs() < 1e-8);
+        prop_assert!((model.coefficients[1] - c1).abs() < 1e-8);
+        prop_assert!((model.intercept - icpt).abs() < 1e-7);
+        prop_assert!(summary.r_square > 1.0 - 1e-9 || (c0.abs() + c1.abs()) < 1e-9);
+    }
+
+    /// R² of a prediction equal to the measurement is 1; shuffling
+    /// degrades it.
+    #[test]
+    fn r_squared_identity(values in prop::collection::vec(-100.0..100.0f64, 3..50)) {
+        // Need nonzero variance.
+        let spread = values.iter().cloned().fold(f64::MIN, f64::max)
+            - values.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1e-6);
+        prop_assert!((r_squared(&values, &values) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! Reproduction of the §V-C3 ranking comparison — including the paper's
+//! internal arithmetic inconsistency (experiment R1 of EXPERIMENTS.md).
+
+use hpceval::core::rankings::compare;
+use hpceval::machine::presets;
+
+#[test]
+fn green500_ranking_is_4870_e5462_8347() {
+    let cmp = compare(&presets::all_servers());
+    assert_eq!(cmp.ranking_green500(), vec!["Xeon-4870", "Xeon-E5462", "Opteron-8347"]);
+}
+
+#[test]
+fn specpower_ranking_is_e5462_4870_8347() {
+    let cmp = compare(&presets::all_servers());
+    assert_eq!(cmp.ranking_specpower(), vec!["Xeon-E5462", "Xeon-4870", "Opteron-8347"]);
+}
+
+#[test]
+fn paper_printed_bottom_rows_reproduce() {
+    let cmp = compare(&presets::all_servers());
+    let get = |n: &str| cmp.scores.iter().find(|s| s.server == n).expect("server present");
+    // Table IV prints the *sum* (0.639); Tables V/VI print the mean.
+    assert!((get("Xeon-E5462").five_state_sum_ppw - 0.639).abs() < 0.06);
+    assert!((get("Opteron-8347").five_state_mean_ppw - 0.0251).abs() < 0.004);
+    assert!((get("Xeon-4870").five_state_mean_ppw - 0.0975).abs() < 0.010);
+}
+
+#[test]
+fn consistent_arithmetic_reverses_the_papers_headline_ranking() {
+    // Reproduction finding: the paper ranks its own method
+    // XeonE5462 > Xeon4870 > Opteron8347 only because Table IV's score
+    // is a sum while the others are means. Under the stated method
+    // (mean PPW), the five-state ranking matches the Green500 order.
+    let cmp = compare(&presets::all_servers());
+    assert_eq!(cmp.ranking_ours(), cmp.ranking_green500());
+    let e = cmp.scores.iter().find(|s| s.server == "Xeon-E5462").expect("present");
+    let x = cmp.scores.iter().find(|s| s.server == "Xeon-4870").expect("present");
+    assert!(x.five_state_mean_ppw > e.five_state_mean_ppw);
+    // …while the *printed* numbers (sum for the E5462) would put the
+    // E5462 first, as the paper concludes.
+    assert!(e.five_state_sum_ppw > x.five_state_mean_ppw);
+}
+
+#[test]
+fn opteron_finishes_last_everywhere() {
+    let cmp = compare(&presets::all_servers());
+    for ranking in [cmp.ranking_ours(), cmp.ranking_green500(), cmp.ranking_specpower()] {
+        assert_eq!(ranking.last().map(String::as_str), Some("Opteron-8347"));
+    }
+}
+
+#[test]
+fn specpower_scores_scale_with_paper() {
+    let cmp = compare(&presets::all_servers());
+    let get = |n: &str| {
+        cmp.scores.iter().find(|s| s.server == n).expect("present").specpower_ops_per_w
+    };
+    assert!((get("Xeon-E5462") - 247.0).abs() < 35.0);
+    assert!((get("Xeon-4870") - 139.0).abs() < 25.0);
+    assert!((get("Opteron-8347") - 22.2).abs() < 8.0);
+}

@@ -1,0 +1,85 @@
+//! End-to-end reproduction of the §VI regression experiment:
+//! HPCC-trained, NPB-validated, with the paper's headline statistics.
+
+use hpceval::core::regression_experiment::run_experiment;
+use hpceval::machine::presets;
+
+#[test]
+fn full_experiment_reproduces_paper_statistics() {
+    let exp = run_experiment(&presets::xeon_4870(), 42).expect("training succeeds");
+
+    // Table VII: n ≈ 6056, R² ≈ 0.94 (ours runs slightly cleaner).
+    assert!((4500..8000).contains(&exp.observations), "n = {}", exp.observations);
+    let s = exp.model.summary();
+    assert!(s.r_square > 0.88, "training R² {}", s.r_square);
+    assert!(s.multiple_r > 0.93);
+    assert!(s.standard_error > 0.0 && s.standard_error < 0.5);
+
+    // Table VIII: b2 (instructions) dominates; intercept ~0 on
+    // normalized data (paper: C = 2.37e-14).
+    let b = exp.model.coefficients();
+    let max_mag = b.iter().map(|v| v.abs()).fold(f64::MIN, f64::max);
+    assert!((b[1].abs() - max_mag).abs() < 1e-12, "b2 largest: {b:?}");
+    assert!(exp.model.report.model.intercept.abs() < 1e-6);
+
+    // Figs 12/13: 82 configurations; R² in the >0.5 band, well below
+    // training.
+    assert_eq!(exp.npb_b.points.len(), 82);
+    assert!(exp.npb_b.r2 > 0.5 && exp.npb_b.r2 < 0.85, "B: {}", exp.npb_b.r2);
+    assert!(exp.npb_c.r2 > 0.45 && exp.npb_c.r2 < 0.85, "C: {}", exp.npb_c.r2);
+    assert!(exp.npb_b.r2 < s.r_square - 0.15);
+}
+
+#[test]
+fn differences_center_near_zero_but_spread() {
+    // Fig 13: the difference series straddles zero with real outliers.
+    let exp = run_experiment(&presets::xeon_4870(), 42).expect("training succeeds");
+    let diffs: Vec<f64> = exp.npb_b.points.iter().map(|p| p.difference()).collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    assert!(mean.abs() < 0.45, "systematic bias {mean}");
+    let max = diffs.iter().cloned().fold(f64::MIN, f64::max);
+    let min = diffs.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max > 0.2 && min < -0.2, "no spread: [{min}, {max}]");
+}
+
+#[test]
+fn ep_is_among_the_worst_fit_programs() {
+    // §VI-C singles out EP and SP.
+    let exp = run_experiment(&presets::xeon_4870(), 42).expect("training succeeds");
+    let mean_abs = |prefix: &str| {
+        let v: Vec<f64> = exp
+            .npb_b
+            .points
+            .iter()
+            .filter(|p| p.label.starts_with(prefix))
+            .map(|p| p.difference().abs())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let ep = mean_abs("ep.");
+    for prog in ["bt.", "ft.", "lu.", "mg.", "is."] {
+        assert!(ep > mean_abs(prog), "{prog} fits worse than EP");
+    }
+}
+
+#[test]
+fn experiment_is_seed_reproducible() {
+    let a = run_experiment(&presets::xeon_4870(), 7).expect("training succeeds");
+    let b = run_experiment(&presets::xeon_4870(), 7).expect("training succeeds");
+    assert_eq!(a.model.coefficients(), b.model.coefficients());
+    assert_eq!(a.npb_b.r2, b.npb_b.r2);
+}
+
+#[test]
+fn different_seeds_stay_in_band() {
+    // The headline R² values must be stable properties of the setup,
+    // not one lucky draw.
+    for seed in [1u64, 99, 12345] {
+        let exp = run_experiment(&presets::xeon_4870(), seed).expect("training succeeds");
+        assert!(
+            exp.npb_b.r2 > 0.45 && exp.npb_b.r2 < 0.9,
+            "seed {seed}: B validation {}",
+            exp.npb_b.r2
+        );
+    }
+}
