@@ -28,12 +28,8 @@ fn bench_power_study(c: &mut Criterion) {
 
 fn bench_comparison_scores(c: &mut Criterion) {
     let spec = presets::xeon_4870();
-    c.bench_function("green500_score_xeon_4870", |b| {
-        b.iter(|| black_box(green500_score(&spec)))
-    });
-    c.bench_function("specpower_score_xeon_4870", |b| {
-        b.iter(|| black_box(specpower_score(&spec)))
-    });
+    c.bench_function("green500_score_xeon_4870", |b| b.iter(|| black_box(green500_score(&spec))));
+    c.bench_function("specpower_score_xeon_4870", |b| b.iter(|| black_box(specpower_score(&spec))));
 }
 
 criterion_group!(benches, bench_five_state, bench_power_study, bench_comparison_scores);

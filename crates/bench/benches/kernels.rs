@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
-use hpceval_kernels::fft::{fft_in_place, C64, Direction};
+use hpceval_kernels::fft::{fft_in_place, Direction, C64};
 use hpceval_kernels::hpcc::dgemm::{dgemm, BLOCK};
 use hpceval_kernels::hpcc::random_access;
 use hpceval_kernels::hpcc::stream;
@@ -77,9 +77,7 @@ fn bench_is(c: &mut Criterion) {
     let mut g = c.benchmark_group("is");
     let keys = is::generate_keys(1 << 16, 1 << 11, 5);
     g.throughput(Throughput::Elements(1 << 16));
-    g.bench_function("rank_64k_keys", |b| {
-        b.iter(|| black_box(is::rank_keys(&keys, 1 << 11)))
-    });
+    g.bench_function("rank_64k_keys", |b| b.iter(|| black_box(is::rank_keys(&keys, 1 << 11))));
     g.finish();
 }
 

@@ -1,0 +1,113 @@
+//! Criterion benchmarks of the streaming telemetry subsystem: ring
+//! store append throughput (the ISSUE floor is ≥1M samples/s for a
+//! single producer), sliding-window maintenance, RLS updates and
+//! end-to-end collector fan-in as the server count grows.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use hpceval_power::meter::Wt210;
+use hpceval_telemetry::{collect, Rls, SampleSource, SeriesStore, SlidingWindow, TraceReplay};
+
+fn bench_ring_append(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("store_append_single_producer_100k", |b| {
+        b.iter(|| {
+            let store = SeriesStore::new(vec!["bench".to_string()], 16_384, 1.0);
+            for k in 0..N {
+                black_box(store.append(0, k as f64, 200.0));
+            }
+            black_box(store.len(0))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sliding_window(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("sliding_window_push_100k", |b| {
+        b.iter(|| {
+            let mut w = SlidingWindow::new(60.0);
+            for k in 0..N {
+                w.push(hpceval_power::meter::PowerSample {
+                    t_s: k as f64,
+                    watts: 200.0 + (k as f64 * 0.1).sin() * 20.0,
+                });
+            }
+            black_box(w.summary())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rls_update(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("telemetry");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("rls_update_6dim_10k", |b| {
+        b.iter(|| {
+            let mut rls = Rls::new(6);
+            for k in 0..N {
+                let t = k as f64;
+                let x = [
+                    8.0,
+                    (t * 0.7).sin() * 3.0 + 4.0,
+                    (t * 0.3).cos() * 2.0 + 3.0,
+                    (t * 0.11).sin() + 1.0,
+                    (t * 0.05).cos() * 5.0 + 6.0,
+                    (t * 0.13).sin() * 2.0 + 2.5,
+                ];
+                rls.update(&x, 150.0 + x.iter().sum::<f64>());
+            }
+            black_box(rls.coefficients()[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_collector_fan_in(c: &mut Criterion) {
+    // Pre-record one 600 s meter trace per server; each iteration
+    // replays them through producer threads into the shared store.
+    let mut g = c.benchmark_group("telemetry_fan_in");
+    for servers in [1usize, 2, 4, 8, 16] {
+        let traces: Vec<_> = (0..servers)
+            .map(|k| {
+                let mut m = Wt210::new(1000 + k as u64).with_noise(1.5);
+                m.record(0.0, 600.0, |t| 200.0 + (t * 0.02).sin() * 30.0)
+            })
+            .collect();
+        let total: u64 = traces.iter().map(|t| t.samples.len() as u64).sum();
+        let labels: Vec<String> = (0..servers).map(|k| format!("s{k}")).collect();
+        g.throughput(Throughput::Elements(total));
+        g.bench_function(format!("collect_replay_{servers}_servers"), |b| {
+            b.iter(|| {
+                let store = Arc::new(SeriesStore::new(labels.clone(), 2048, 1.0));
+                let sources: Vec<Box<dyn SampleSource>> = traces
+                    .iter()
+                    .enumerate()
+                    .map(|(k, t)| {
+                        Box::new(TraceReplay::new(k, format!("s{k}"), t.clone()))
+                            as Box<dyn SampleSource>
+                    })
+                    .collect();
+                black_box(collect(sources, &store, |_| {}))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_append,
+    bench_sliding_window,
+    bench_rls_update,
+    bench_collector_fan_in
+);
+criterion_main!(benches);

@@ -6,7 +6,9 @@
 //!    power),
 //! 4. roofline `max()` vs additive time composition.
 
-use hpceval_bench::heading;
+use std::collections::BTreeMap;
+
+use hpceval_bench::{heading, json_requested};
 use hpceval_core::regression_experiment::{collect_training, train, validate};
 use hpceval_kernels::hpl::HplConfig;
 use hpceval_kernels::npb::Class;
@@ -18,15 +20,28 @@ use hpceval_regression::matrix::Matrix;
 use hpceval_regression::ols;
 use hpceval_regression::stats::Normalizer;
 
+/// Key metrics of one ablation, in presentation order.
+type Metrics = Vec<(String, f64)>;
+
 fn main() {
-    ablate_trim();
-    ablate_regression_variants();
-    ablate_hpl_nb();
-    ablate_time_composition();
+    let verbose = !json_requested();
+    let sections = [
+        ("trim", ablate_trim(verbose)),
+        ("regression_variants", ablate_regression_variants(verbose)),
+        ("hpl_nb", ablate_hpl_nb(verbose)),
+        ("time_composition", ablate_time_composition(verbose)),
+    ];
+    if !verbose {
+        let all: BTreeMap<String, BTreeMap<String, f64>> = sections
+            .into_iter()
+            .map(|(name, metrics)| (name.to_string(), metrics.into_iter().collect()))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&all).expect("serializable"));
+    }
 }
 
 /// Trimming vs not, under a ramping measurement.
-fn ablate_trim() {
+fn ablate_trim(verbose: bool) -> Metrics {
     heading("Ablation 1", "trim-10% vs no-trim power averaging");
     let truth = 200.0;
     let mut meter = Wt210::new(11).with_noise(2.0);
@@ -43,15 +58,25 @@ fn ablate_trim() {
     let win = ProgramWindow { start_s: 0.0, end_s: 201.0 };
     let trimmed = TraceAnalysis::new(trace.clone()).analyze(win).expect("window populated");
     let raw = TraceAnalysis::new(trace).with_trim(0.0).analyze(win).expect("window populated");
-    println!("true steady power        {truth:>8.2} W");
-    println!("trim 10% mean            {:>8.2} W (err {:+.2})", trimmed.mean_w,
-        trimmed.mean_w - truth);
-    println!("no-trim mean             {:>8.2} W (err {:+.2})", raw.mean_w, raw.mean_w - truth);
-    println!();
+    if verbose {
+        println!("true steady power        {truth:>8.2} W");
+        println!(
+            "trim 10% mean            {:>8.2} W (err {:+.2})",
+            trimmed.mean_w,
+            trimmed.mean_w - truth
+        );
+        println!("no-trim mean             {:>8.2} W (err {:+.2})", raw.mean_w, raw.mean_w - truth);
+        println!();
+    }
+    vec![
+        ("true_steady_w".to_string(), truth),
+        ("trim10_mean_w".to_string(), trimmed.mean_w),
+        ("no_trim_mean_w".to_string(), raw.mean_w),
+    ]
 }
 
 /// Stepwise vs full OLS vs cores-only regression, judged on validation.
-fn ablate_regression_variants() {
+fn ablate_regression_variants(verbose: bool) -> Metrics {
     heading("Ablation 2", "forward-stepwise vs full OLS vs X1-only");
     let spec = presets::xeon_4870();
     let samples = collect_training(&spec, 25, 42);
@@ -76,51 +101,68 @@ fn ablate_regression_variants() {
     let stepwise_model = train(&samples).expect("stepwise trains");
     let v_st = validate(&spec, Class::B, &stepwise_model, 7);
 
-    for (name, cols) in [
-        ("full OLS (all six)", vec![0usize, 1, 2, 3, 4, 5]),
-        ("X1 only (cores)", vec![0usize]),
+    let mut metrics = Metrics::new();
+    for (key, name, cols) in [
+        ("full_ols", "full OLS (all six)", vec![0usize, 1, 2, 3, 4, 5]),
+        ("x1_only", "X1 only (cores)", vec![0usize]),
     ] {
         let (model, summary) = ols::fit(&design, &y, &cols).expect("fits");
         let full = hpceval_core::regression_experiment::TrainedPowerModel {
             normalizer: norm.clone(),
-            report: hpceval_regression::stepwise::StepwiseReport {
-                model,
-                summary,
-                steps: vec![],
-            },
+            report: hpceval_regression::stepwise::StepwiseReport { model, summary, steps: vec![] },
         };
         let v = validate(&spec, Class::B, &full, 7);
-        println!(
-            "{name:<22} train R² {:.4}  NPB-B validation R² {:.4}",
-            summary.r_square, v.r2
-        );
+        if verbose {
+            println!(
+                "{name:<22} train R² {:.4}  NPB-B validation R² {:.4}",
+                summary.r_square, v.r2
+            );
+        }
+        metrics.push((format!("{key}_train_r2"), summary.r_square));
+        metrics.push((format!("{key}_npb_b_r2"), v.r2));
     }
-    println!(
-        "{:<22} train R² {:.4}  NPB-B validation R² {:.4}",
-        "forward stepwise",
-        stepwise_model.summary().r_square,
-        v_st.r2
-    );
-    println!();
+    if verbose {
+        println!(
+            "{:<22} train R² {:.4}  NPB-B validation R² {:.4}",
+            "forward stepwise",
+            stepwise_model.summary().r_square,
+            v_st.r2
+        );
+        println!();
+    }
+    metrics.push(("stepwise_train_r2".to_string(), stepwise_model.summary().r_square));
+    metrics.push(("stepwise_npb_b_r2".to_string(), v_st.r2));
+    metrics
 }
 
 /// NB's effect on performance vs power.
-fn ablate_hpl_nb() {
+fn ablate_hpl_nb(verbose: bool) -> Metrics {
     heading("Ablation 3", "HPL NB=50 vs NB=200: performance vs power");
     let spec = presets::xeon_e5462();
     let mut srv = hpceval_core::server::SimulatedServer::new(spec);
+    let mut metrics = Metrics::new();
     for nb in [50u32, 200] {
         let cfg = HplConfig { n: 28_800, nb, p: 2, q: 2 };
         let m = srv.measure(&cfg.signature(), 4);
-        println!("NB={nb:<4} perf {:>7.2} GFLOPS  power {:>7.2} W  PPW {:>7.4}", m.gflops,
-            m.power_w, m.ppw);
+        if verbose {
+            println!(
+                "NB={nb:<4} perf {:>7.2} GFLOPS  power {:>7.2} W  PPW {:>7.4}",
+                m.gflops, m.power_w, m.ppw
+            );
+        }
+        metrics.push((format!("nb{nb}_gflops"), m.gflops));
+        metrics.push((format!("nb{nb}_power_w"), m.power_w));
+        metrics.push((format!("nb{nb}_ppw"), m.ppw));
     }
-    println!("(performance loses ~12 % at NB=50; power drops ~10 W — the paper's Fig 7)");
-    println!();
+    if verbose {
+        println!("(performance loses ~12 % at NB=50; power drops ~10 W — the paper's Fig 7)");
+        println!();
+    }
+    metrics
 }
 
 /// max() vs additive composition of compute and memory time.
-fn ablate_time_composition() {
+fn ablate_time_composition(verbose: bool) -> Metrics {
     heading("Ablation 4", "roofline max() vs additive time composition");
     let spec = presets::xeon_e5462();
     let perf = hpceval_machine::roofline::PerfModel::new(spec.clone());
@@ -130,14 +172,23 @@ fn ablate_time_composition() {
     let t_comp = sig.work_ops / (perf.core_rate_gops(sig.kind, 4) * 1e9 * 4.0);
     let t_mem = sig.dram_bytes / (spec.bw_at(4) * 1e9);
     let additive = t_comp + t_mem;
-    println!("t_comp {:.1} s, t_mem {:.1} s", t_comp, t_mem);
-    println!("max() model time      {:>8.1} s -> {:>6.2} GFLOPS (paper anchor 37.2)", est.time_s,
-        est.gflops);
-    println!(
-        "additive model time   {:>8.1} s -> {:>6.2} GFLOPS",
-        additive,
-        sig.reported_flops / additive / 1e9
-    );
-    println!("(the additive model cannot reach the measured 83 % HPL efficiency:");
-    println!(" overlap of compute and memory phases is essential)");
+    let additive_gflops = sig.reported_flops / additive / 1e9;
+    if verbose {
+        println!("t_comp {:.1} s, t_mem {:.1} s", t_comp, t_mem);
+        println!(
+            "max() model time      {:>8.1} s -> {:>6.2} GFLOPS (paper anchor 37.2)",
+            est.time_s, est.gflops
+        );
+        println!("additive model time   {:>8.1} s -> {:>6.2} GFLOPS", additive, additive_gflops);
+        println!("(the additive model cannot reach the measured 83 % HPL efficiency:");
+        println!(" overlap of compute and memory phases is essential)");
+    }
+    vec![
+        ("t_comp_s".to_string(), t_comp),
+        ("t_mem_s".to_string(), t_mem),
+        ("max_model_time_s".to_string(), est.time_s),
+        ("max_model_gflops".to_string(), est.gflops),
+        ("additive_time_s".to_string(), additive),
+        ("additive_gflops".to_string(), additive_gflops),
+    ]
 }

@@ -1,7 +1,7 @@
 //! Runs every reproduced experiment and prints a paper-vs-measured
 //! summary — the data source for EXPERIMENTS.md.
 
-use hpceval_bench::heading;
+use hpceval_bench::{heading, json_requested};
 use hpceval_core::evaluation::Evaluator;
 use hpceval_core::motivation::{power_study, table2_sweep};
 use hpceval_core::npb_analysis::ep_profile;
@@ -11,13 +11,26 @@ use hpceval_core::ssj_experiment::ssj_usage_study;
 use hpceval_kernels::npb::Class;
 use hpceval_machine::presets;
 
-fn row(id: &str, what: &str, paper: &str, measured: String) {
-    println!("{id:<6} {what:<52} {paper:>22} {measured:>22}");
+/// One paper-vs-measured comparison line.
+#[derive(Debug, serde::Serialize)]
+struct ExperimentRow {
+    id: String,
+    quantity: String,
+    paper: String,
+    measured: String,
 }
 
 fn main() {
     heading("EXPERIMENTS", "paper value vs measured value for every artifact");
-    println!("{:<6} {:<52} {:>22} {:>22}", "ID", "Quantity", "Paper", "Measured");
+    let mut rows: Vec<ExperimentRow> = Vec::new();
+    let mut row = |id: &str, what: &str, paper: &str, measured: String| {
+        rows.push(ExperimentRow {
+            id: id.to_string(),
+            quantity: what.to_string(),
+            paper: paper.to_string(),
+            measured,
+        });
+    };
 
     let e5462 = presets::xeon_e5462();
     let opteron = presets::opteron_8347();
@@ -62,15 +75,27 @@ fn main() {
     let norm = x4870.psu_total_w();
     let hpl1 = t2.iter().find(|b| b.label == "HPL.1").expect("HPL.1").power_w / norm;
     let hpl40 = t2.iter().find(|b| b.label == "HPL.40").expect("HPL.40").power_w / norm;
-    row("T2", "Xeon-4870 normalized HPL power, p=1 .. p=40", "0.45 .. 0.74",
-        format!("{hpl1:.2} .. {hpl40:.2}"));
+    row(
+        "T2",
+        "Xeon-4870 normalized HPL power, p=1 .. p=40",
+        "0.45 .. 0.74",
+        format!("{hpl1:.2} .. {hpl40:.2}"),
+    );
 
     // F10/F11 — EP profile.
     let prof = ep_profile(&e5462, &[1, 2, 4]);
-    row("F10", "EP power 1 -> 4 cores, Xeon-E5462 (W)", "145.5 -> 174.0",
-        format!("{:.1} -> {:.1}", prof[0].power_w, prof[2].power_w));
-    row("F11", "EP energy 1 -> 4 cores, Xeon-E5462 (kJ)", "~35 -> ~15",
-        format!("{:.1} -> {:.1}", prof[0].energy_kj, prof[2].energy_kj));
+    row(
+        "F10",
+        "EP power 1 -> 4 cores, Xeon-E5462 (W)",
+        "145.5 -> 174.0",
+        format!("{:.1} -> {:.1}", prof[0].power_w, prof[2].power_w),
+    );
+    row(
+        "F11",
+        "EP energy 1 -> 4 cores, Xeon-E5462 (kJ)",
+        "~35 -> ~15",
+        format!("{:.1} -> {:.1}", prof[0].energy_kj, prof[2].energy_kj),
+    );
 
     // T4/T5/T6 — evaluation scores.
     for (id, spec, paper) in [
@@ -89,10 +114,18 @@ fn main() {
 
     // R1 — rankings.
     let cmp = compare(&presets::all_servers());
-    row("R1", "Green500 ranking", "4870 > E5462 > 8347",
-        cmp.ranking_green500().join(" > ").replace("Xeon-", "").replace("Opteron-", ""));
-    row("R1", "SPECpower ranking", "E5462 > 4870 > 8347",
-        cmp.ranking_specpower().join(" > ").replace("Xeon-", "").replace("Opteron-", ""));
+    row(
+        "R1",
+        "Green500 ranking",
+        "4870 > E5462 > 8347",
+        cmp.ranking_green500().join(" > ").replace("Xeon-", "").replace("Opteron-", ""),
+    );
+    row(
+        "R1",
+        "SPECpower ranking",
+        "E5462 > 4870 > 8347",
+        cmp.ranking_specpower().join(" > ").replace("Xeon-", "").replace("Opteron-", ""),
+    );
     for s in &cmp.scores {
         row(
             "R1",
@@ -118,16 +151,33 @@ fn main() {
 
     // T7/T8/F12/F13 — regression.
     let exp = run_experiment(&x4870, 42).expect("training succeeds");
-    row("T7", "training R², HPCC on Xeon-4870", "0.9403",
-        format!("{:.4}", exp.model.summary().r_square));
+    row(
+        "T7",
+        "training R², HPCC on Xeon-4870",
+        "0.9403",
+        format!("{:.4}", exp.model.summary().r_square),
+    );
     row("T7", "training observations", "6056", format!("{}", exp.observations));
     let b = exp.model.coefficients();
-    row("T8", "dominant coefficient", "b2 (instructions)",
+    row(
+        "T8",
+        "dominant coefficient",
+        "b2 (instructions)",
         if b[1].abs() >= b.iter().map(|v| v.abs()).fold(f64::MIN, f64::max) - 1e-12 {
             "b2 (instructions)".to_string()
         } else {
             "NOT b2".to_string()
-        });
+        },
+    );
     row("F12", "validation R², NPB-B", "0.634", format!("{:.4}", exp.npb_b.r2));
     row("F13", "validation R², NPB-C", "0.543", format!("{:.4}", exp.npb_c.r2));
+
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+        return;
+    }
+    println!("{:<6} {:<52} {:>22} {:>22}", "ID", "Quantity", "Paper", "Measured");
+    for r in &rows {
+        println!("{:<6} {:<52} {:>22} {:>22}", r.id, r.quantity, r.paper, r.measured);
+    }
 }

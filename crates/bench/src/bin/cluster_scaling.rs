@@ -9,15 +9,20 @@ fn main() {
     heading("Cluster", "PPW vs node count (Xeon-4870 nodes)");
     let sizes = [1u32, 2, 4, 8, 16, 32, 64];
     let node = presets::xeon_4870();
-    for (name, ic) in [
+    let fabrics = [
         ("gigabit ethernet", Interconnect::gigabit_ethernet()),
         ("infiniband-class", Interconnect::infiniband()),
-    ] {
+    ];
+    if json_requested() {
+        let all: std::collections::BTreeMap<String, _> = fabrics
+            .iter()
+            .map(|(name, ic)| (name.to_string(), scaling_study(&node, *ic, &sizes)))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&all).expect("serializable"));
+        return;
+    }
+    for (name, ic) in fabrics {
         let scores = scaling_study(&node, ic, &sizes);
-        if json_requested() {
-            println!("{}", serde_json::to_string_pretty(&scores).expect("serializable"));
-            continue;
-        }
         println!("\n--- {name} ---");
         println!(
             "{:>6} {:>14} {:>12} {:>12} {:>13}",

@@ -8,12 +8,16 @@ use hpceval_machine::presets;
 
 fn main() {
     heading("Energy study", "energy-to-solution and EDP, NPB class C");
+    if json_requested() {
+        let all: std::collections::BTreeMap<String, _> = presets::all_servers()
+            .into_iter()
+            .map(|spec| (spec.name.clone(), energy_study(&spec, Class::C)))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&all).expect("serializable"));
+        return;
+    }
     for spec in presets::all_servers() {
         let profiles = energy_study(&spec, Class::C);
-        if json_requested() {
-            println!("{}", serde_json::to_string_pretty(&profiles).expect("serializable"));
-            continue;
-        }
         println!("\n--- {} ---", spec.name);
         println!(
             "{:<10} {:>14} {:>16} {:>18}",

@@ -12,8 +12,7 @@ fn main() {
         println!("{}", serde_json::to_string_pretty(&study).expect("serializable"));
         return;
     }
-    let rows: Vec<(String, f64)> =
-        study.iter().map(|l| (l.label.clone(), l.memory_pct)).collect();
+    let rows: Vec<(String, f64)> = study.iter().map(|l| (l.label.clone(), l.memory_pct)).collect();
     print!("{}", bar_chart(&rows, 0.0, 20.0, 40, "%"));
     println!("\npaper: memory utilization stays below 14 % at every level");
 }

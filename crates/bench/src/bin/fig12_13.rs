@@ -36,8 +36,11 @@ fn main() {
         "validation R²: NPB-B {:.4} (paper 0.634), NPB-C {:.4} (paper 0.543)",
         exp.npb_b.r2, exp.npb_c.r2
     );
-    println!("training: R² {:.4} over {} observations", exp.model.summary().r_square,
-        exp.observations);
+    println!(
+        "training: R² {:.4} over {} observations",
+        exp.model.summary().r_square,
+        exp.observations
+    );
     println!("\npaper §VI-C: EP and SP fit worst — their communication/scalar power is");
     println!("invisible to the six PMU indicators.");
 }

@@ -7,12 +7,16 @@ use hpceval_machine::presets;
 
 fn main() {
     heading("Levels", "Green500 L1/L2/L3 measurement windows vs reported PPW");
+    if json_requested() {
+        let all: std::collections::BTreeMap<String, _> = presets::all_servers()
+            .into_iter()
+            .map(|spec| (spec.name.clone(), level_study(&spec, 0x1e7e1)))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&all).expect("serializable"));
+        return;
+    }
     for spec in presets::all_servers() {
         let scores = level_study(&spec, 0x1e7e1);
-        if json_requested() {
-            println!("{}", serde_json::to_string_pretty(&scores).expect("serializable"));
-            continue;
-        }
         println!("\n--- {} ---", spec.name);
         println!("{:<24} {:>12} {:>10}", "Level", "Power(W)", "PPW");
         for s in &scores {

@@ -1,11 +1,15 @@
 //! Regenerates **Table I** — system characteristics of the servers used.
 
-use hpceval_bench::heading;
+use hpceval_bench::{heading, json_requested};
 use hpceval_machine::presets;
 
 fn main() {
     heading("Table I", "System characteristics of the servers used");
     let servers = presets::all_servers();
+    if json_requested() {
+        println!("{}", serde_json::to_string_pretty(&servers).expect("serializable"));
+        return;
+    }
     let row = |name: &str, f: &dyn Fn(&hpceval_machine::ServerSpec) -> String| {
         print!("{name:<34}");
         for s in &servers {
@@ -19,17 +23,15 @@ fn main() {
     row("Core(s) Enabled", &|s| {
         format!("{} cores, {} chips, {}/chip", s.total_cores(), s.chips, s.cores_per_chip)
     });
-    row("Hardware Threads / chip", &|s| {
-        (s.cores_per_chip * s.threads_per_core).to_string()
-    });
+    row("Hardware Threads / chip", &|s| (s.cores_per_chip * s.threads_per_core).to_string());
     row("Primary Cache / chip", &|s| {
-        format!("{}x{}KB i + {}x{}KB d", s.cores_per_chip, s.l1i.size_kib, s.cores_per_chip,
-            s.l1d.size_kib)
+        format!(
+            "{}x{}KB i + {}x{}KB d",
+            s.cores_per_chip, s.l1i.size_kib, s.cores_per_chip, s.l1d.size_kib
+        )
     });
     row("Secondary Cache (KB)", &|s| s.l2.size_kib.to_string());
-    row("Tertiary Cache (KB)", &|s| {
-        s.l3.map_or("0".to_string(), |c| c.size_kib.to_string())
-    });
+    row("Tertiary Cache (KB)", &|s| s.l3.map_or("0".to_string(), |c| c.size_kib.to_string()));
     row("Memory Amount (GB)", &|s| s.memory_gib.to_string());
     row("Memory Details", &|s| format!("{:?}", s.memory_kind));
     row("Power Supplies", &|s| format!("{} x {:.0} W", s.power_supplies, s.psu_rating_w));

@@ -6,17 +6,18 @@ use hpceval_core::whatif::memory_technology_sweep;
 use hpceval_machine::presets;
 
 fn main() {
-    heading(
-        "What-if",
-        "Mh/Mf discrimination as memory power becomes usage-proportional",
-    );
+    heading("What-if", "Mh/Mf discrimination as memory power becomes usage-proportional");
     let sweep = [0.0, 4.0, 15.0, 30.0, 60.0, 120.0];
+    if json_requested() {
+        let all: std::collections::BTreeMap<String, _> = presets::all_servers()
+            .into_iter()
+            .map(|spec| (spec.name.clone(), memory_technology_sweep(&spec, &sweep)))
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&all).expect("serializable"));
+        return;
+    }
     for spec in presets::all_servers() {
         let pts = memory_technology_sweep(&spec, &sweep);
-        if json_requested() {
-            println!("{}", serde_json::to_string_pretty(&pts).expect("serializable"));
-            continue;
-        }
         println!("\n--- {} (full-core HPL) ---", spec.name);
         println!(
             "{:>16} {:>12} {:>12} {:>16}",

@@ -12,8 +12,13 @@ pub fn json_requested() -> bool {
 }
 
 /// Print a section heading in the style of the paper's artifact labels.
+///
+/// Silent under `--json` so binaries emit pure, parseable JSON no
+/// matter where they call it relative to the JSON gate.
 pub fn heading(artifact: &str, caption: &str) {
-    println!("== {artifact} — {caption} ==");
+    if !json_requested() {
+        println!("== {artifact} — {caption} ==");
+    }
 }
 
 /// Render a horizontal ASCII bar chart: rows of `(label, value)` scaled

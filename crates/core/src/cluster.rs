@@ -130,14 +130,8 @@ impl ClusterSpec {
         let (ep_gflops, ep_w) = self.run_all_nodes(&ep, 1.0);
         let mh = HplConfig::for_memory_fraction(&self.node, MH_FRACTION, p).signature();
         let (mh_gflops, mh_w) = self.run_all_nodes(&mh, net);
-        let rows = [
-            (0.0, idle_w),
-            (ep_gflops, ep_w),
-            (mh_gflops, mh_w),
-            (hpl_gflops, hpl_power_w),
-        ];
-        let five_state_ppw =
-            rows.iter().map(|(g, w)| g / w).sum::<f64>() / rows.len() as f64;
+        let rows = [(0.0, idle_w), (ep_gflops, ep_w), (mh_gflops, mh_w), (hpl_gflops, hpl_power_w)];
+        let five_state_ppw = rows.iter().map(|(g, w)| g / w).sum::<f64>() / rows.len() as f64;
 
         ClusterScore {
             nodes: self.nodes,
@@ -157,9 +151,7 @@ pub fn scaling_study(
 ) -> Vec<ClusterScore> {
     node_counts
         .iter()
-        .map(|&nodes| {
-            ClusterSpec { node: node.clone(), nodes, interconnect }.score()
-        })
+        .map(|&nodes| ClusterSpec { node: node.clone(), nodes, interconnect }.score())
         .collect()
 }
 
@@ -216,10 +208,7 @@ mod tests {
         let last = scores.last().expect("nonempty sweep");
         let g_loss = 1.0 - last.green500_ppw / first.green500_ppw;
         let f_loss = 1.0 - last.five_state_ppw / first.five_state_ppw;
-        assert!(
-            f_loss < g_loss,
-            "five-state loss {f_loss:.3} !< Green500 loss {g_loss:.3}"
-        );
+        assert!(f_loss < g_loss, "five-state loss {f_loss:.3} !< Green500 loss {g_loss:.3}");
     }
 
     #[test]

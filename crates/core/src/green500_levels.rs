@@ -74,7 +74,7 @@ impl MeasurementLevel {
 pub fn hpl_power_shape(frac: f64) -> f64 {
     let x = frac.clamp(0.0, 1.0);
     // Quadratic decay concentrated late in the run; mean == 1.
-    
+
     1.12 - 0.36 * x * x
 }
 
@@ -105,9 +105,8 @@ pub fn level_study(spec: &ServerSpec, seed: u64) -> Vec<LevelScore> {
     // One shared full-run trace with the decaying dynamic profile.
     let noise = power.calibration().noise_sd_w;
     let mut meter = Wt210::new(seed).with_noise(noise);
-    let trace = meter.record(0.0, duration, move |t| {
-        idle + dynamic * hpl_power_shape(t / duration)
-    });
+    let trace =
+        meter.record(0.0, duration, move |t| idle + dynamic * hpl_power_shape(t / duration));
 
     MeasurementLevel::ALL
         .iter()
@@ -129,9 +128,8 @@ mod tests {
     #[test]
     fn power_shape_mean_is_one() {
         let steps = 10_000;
-        let mean: f64 =
-            (0..steps).map(|i| hpl_power_shape(i as f64 / steps as f64)).sum::<f64>()
-                / steps as f64;
+        let mean: f64 = (0..steps).map(|i| hpl_power_shape(i as f64 / steps as f64)).sum::<f64>()
+            / steps as f64;
         assert!((mean - 1.0).abs() < 0.01, "shape mean {mean}");
     }
 
@@ -149,9 +147,8 @@ mod tests {
         // [20]'s finding: L1 overestimates power relative to L3.
         for spec in presets::all_servers() {
             let scores = level_study(&spec, 7);
-            let get = |l: MeasurementLevel| {
-                scores.iter().find(|s| s.level == l).expect("level measured")
-            };
+            let get =
+                |l: MeasurementLevel| scores.iter().find(|s| s.level == l).expect("level measured");
             let l1 = get(MeasurementLevel::L1);
             let l3 = get(MeasurementLevel::L3);
             assert!(

@@ -93,11 +93,7 @@ pub fn grid_sweep(spec: &ServerSpec, n: u64) -> Vec<SweepPoint> {
 
 /// Max −min power within each series (used to assert flatness).
 pub fn series_spread(points: &[SweepPoint], series: &str) -> f64 {
-    let watts: Vec<f64> = points
-        .iter()
-        .filter(|p| p.series == series)
-        .map(|p| p.power_w)
-        .collect();
+    let watts: Vec<f64> = points.iter().filter(|p| p.series == series).map(|p| p.power_w).collect();
     let max = watts.iter().cloned().fold(f64::MIN, f64::max);
     let min = watts.iter().cloned().fold(f64::MAX, f64::min);
     if watts.is_empty() {
@@ -122,18 +118,10 @@ mod tests {
             assert!(spread < 15.0, "{series}: spread {spread:.1} W");
         }
         // …while switching core count moves it a lot.
-        let p1: f64 = pts
-            .iter()
-            .filter(|p| p.series == "1 Core")
-            .map(|p| p.power_w)
-            .sum::<f64>()
-            / 10.0;
-        let p4: f64 = pts
-            .iter()
-            .filter(|p| p.series == "4 Cores")
-            .map(|p| p.power_w)
-            .sum::<f64>()
-            / 10.0;
+        let p1: f64 =
+            pts.iter().filter(|p| p.series == "1 Core").map(|p| p.power_w).sum::<f64>() / 10.0;
+        let p4: f64 =
+            pts.iter().filter(|p| p.series == "4 Cores").map(|p| p.power_w).sum::<f64>() / 10.0;
         assert!(p4 - p1 > 40.0, "core separation {:.1}", p4 - p1);
     }
 
@@ -161,8 +149,7 @@ mod tests {
         let spec = presets::xeon_e5462();
         let pts = grid_sweep(&spec, 30_000);
         for grid in ["P=1, Q=4", "P=2, Q=2", "P=4, Q=1"] {
-            let series: Vec<&SweepPoint> =
-                pts.iter().filter(|p| p.series == grid).collect();
+            let series: Vec<&SweepPoint> = pts.iter().filter(|p| p.series == grid).collect();
             let nb50 = series.iter().find(|p| p.x == 50.0).unwrap().power_w;
             let rest: f64 = series.iter().filter(|p| p.x >= 200.0).map(|p| p.power_w).sum::<f64>()
                 / series.iter().filter(|p| p.x >= 200.0).count() as f64;
@@ -183,10 +170,7 @@ mod tests {
             .filter(|p| (228.0..=248.0).contains(&p.power_w))
             .count();
         let total = pts.iter().filter(|p| p.x >= 100.0).count();
-        assert!(
-            in_band * 10 >= total * 8,
-            "only {in_band}/{total} in the 230-245 W band"
-        );
+        assert!(in_band * 10 >= total * 8, "only {in_band}/{total} in the 230-245 W band");
     }
 
     #[test]
@@ -195,8 +179,7 @@ mod tests {
         let spec = presets::xeon_e5462();
         let pts = grid_sweep(&spec, 30_000);
         for nb in [100.0, 200.0, 400.0] {
-            let at: Vec<f64> =
-                pts.iter().filter(|p| p.x == nb).map(|p| p.power_w).collect();
+            let at: Vec<f64> = pts.iter().filter(|p| p.x == nb).map(|p| p.power_w).collect();
             let spread = at.iter().cloned().fold(f64::MIN, f64::max)
                 - at.iter().cloned().fold(f64::MAX, f64::min);
             assert!(spread < 10.0, "NB={nb}: grid spread {spread:.1} W");

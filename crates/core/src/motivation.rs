@@ -216,8 +216,7 @@ mod tests {
         }
         // And HPL grows fastest: its 1->16 delta beats EP's.
         let d_hpl = hpl16 - study.find("hpl", 1).unwrap().power_w;
-        let d_ep =
-            study.find("ep", 16).unwrap().power_w - study.find("ep", 1).unwrap().power_w;
+        let d_ep = study.find("ep", 16).unwrap().power_w - study.find("ep", 1).unwrap().power_w;
         assert!(d_hpl > d_ep, "HPL growth {d_hpl:.1} !> EP growth {d_ep:.1}");
     }
 
@@ -252,8 +251,7 @@ mod tests {
             );
         }
         // BT only at squares; 39 must have nothing but EP and HPL.
-        let at39: Vec<&PowerBar> =
-            bars.iter().filter(|b| b.processes == 39).collect();
+        let at39: Vec<&PowerBar> = bars.iter().filter(|b| b.processes == 39).collect();
         assert!(at39.iter().all(|b| b.program == "ep" || b.program == "hpl"));
     }
 

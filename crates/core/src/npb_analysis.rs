@@ -160,9 +160,10 @@ mod tests {
                     .iter()
                     .find(|c| c.program == "ep" && c.class == class && c.processes == p)
                     .unwrap();
-                for c in cells.iter().filter(|c| {
-                    c.class == class && c.processes == p && c.ran && c.program != "ep"
-                }) {
+                for c in cells
+                    .iter()
+                    .filter(|c| c.class == class && c.processes == p && c.ran && c.program != "ep")
+                {
                     assert!(
                         c.power_w >= ep.power_w - 1.0,
                         "{}.{}.{} below EP",

@@ -134,8 +134,14 @@ impl RankingComparison {
             ));
         }
         out.push_str(&format!("ranking (ours, mean PPW): {}\n", self.ranking_ours().join(" > ")));
-        out.push_str(&format!("ranking (Green500):       {}\n", self.ranking_green500().join(" > ")));
-        out.push_str(&format!("ranking (SPECpower):      {}\n", self.ranking_specpower().join(" > ")));
+        out.push_str(&format!(
+            "ranking (Green500):       {}\n",
+            self.ranking_green500().join(" > ")
+        ));
+        out.push_str(&format!(
+            "ranking (SPECpower):      {}\n",
+            self.ranking_specpower().join(" > ")
+        ));
         out
     }
 }
@@ -162,10 +168,7 @@ mod tests {
     #[test]
     fn green500_ranking_matches_paper() {
         let cmp = compare(&presets::all_servers());
-        assert_eq!(
-            cmp.ranking_green500(),
-            vec!["Xeon-4870", "Xeon-E5462", "Opteron-8347"]
-        );
+        assert_eq!(cmp.ranking_green500(), vec!["Xeon-4870", "Xeon-E5462", "Opteron-8347"]);
     }
 
     #[test]
@@ -183,9 +186,7 @@ mod tests {
     #[test]
     fn opteron_is_last_under_every_method() {
         let cmp = compare(&presets::all_servers());
-        for ranking in
-            [cmp.ranking_ours(), cmp.ranking_green500(), cmp.ranking_specpower()]
-        {
+        for ranking in [cmp.ranking_ours(), cmp.ranking_green500(), cmp.ranking_specpower()] {
             assert_eq!(ranking.last().map(String::as_str), Some("Opteron-8347"));
         }
     }

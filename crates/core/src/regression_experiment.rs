@@ -107,8 +107,11 @@ impl TrainedPowerModel {
 
     /// Predict *normalized* power for raw features.
     pub fn predict_normalized(&self, features: &[f64; 6]) -> f64 {
-        let norm: Vec<f64> =
-            features.iter().enumerate().map(|(c, v)| self.normalizer.apply_one(c, *v)).collect();
+        let norm: Vec<f64> = features
+            .iter()
+            .enumerate()
+            .map(|(c, v)| self.normalizer.apply_one(c, *v))
+            .collect();
         self.report.model.predict_row(&norm)
     }
 
@@ -242,11 +245,7 @@ mod tests {
         // Table VII: 6056 observations. Ours: 7 programs x allowed proc
         // counts x 25 samples ~ 6000.
         let e = experiment();
-        assert!(
-            (4500..8000).contains(&e.observations),
-            "observations {}",
-            e.observations
-        );
+        assert!((4500..8000).contains(&e.observations), "observations {}", e.observations);
     }
 
     #[test]
@@ -278,16 +277,8 @@ mod tests {
         // Paper: NPB-B 0.634, NPB-C 0.543 — "greater than 0.5,
         // indicating the results are satisfactory for most cases."
         let e = experiment();
-        assert!(
-            e.npb_b.r2 > 0.45 && e.npb_b.r2 < 0.85,
-            "NPB-B validation R² {}",
-            e.npb_b.r2
-        );
-        assert!(
-            e.npb_c.r2 > 0.40 && e.npb_c.r2 < 0.85,
-            "NPB-C validation R² {}",
-            e.npb_c.r2
-        );
+        assert!(e.npb_b.r2 > 0.45 && e.npb_b.r2 < 0.85, "NPB-B validation R² {}", e.npb_b.r2);
+        assert!(e.npb_c.r2 > 0.40 && e.npb_c.r2 < 0.85, "NPB-C validation R² {}", e.npb_c.r2);
         // Both must be visibly worse than training.
         assert!(e.npb_b.r2 < e.model.summary().r_square - 0.1);
     }
@@ -320,12 +311,11 @@ mod tests {
         };
         let ep = mean_abs("ep.");
         let sp = mean_abs("sp.");
-        let others: f64 =
-            ["bt.", "cg.", "ft.", "is.", "lu.", "mg."].iter().map(|p| mean_abs(p)).sum::<f64>()
-                / 6.0;
-        assert!(
-            ep.max(sp) > others,
-            "EP {ep:.3} / SP {sp:.3} should exceed others {others:.3}"
-        );
+        let others: f64 = ["bt.", "cg.", "ft.", "is.", "lu.", "mg."]
+            .iter()
+            .map(|p| mean_abs(p))
+            .sum::<f64>()
+            / 6.0;
+        assert!(ep.max(sp) > others, "EP {ep:.3} / SP {sp:.3} should exceed others {others:.3}");
     }
 }

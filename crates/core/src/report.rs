@@ -50,11 +50,8 @@ pub fn markdown_report(spec: &ServerSpec) -> String {
     let _ = writeln!(out, "| Program | GFLOPS | Power (W) | PPW |");
     let _ = writeln!(out, "|---|---:|---:|---:|");
     for r in &table.rows {
-        let _ = writeln!(
-            out,
-            "| {} | {:.4} | {:.2} | {:.4} |",
-            r.program, r.gflops, r.power_w, r.ppw
-        );
+        let _ =
+            writeln!(out, "| {} | {:.4} | {:.2} | {:.4} |", r.program, r.gflops, r.power_w, r.ppw);
     }
     let _ = writeln!(out, "\n**System score (mean PPW): {:.4} GFLOPS/W**\n", table.final_score());
 
@@ -68,10 +65,8 @@ pub fn markdown_report(spec: &ServerSpec) -> String {
     let _ = writeln!(out, "| Green500 (peak HPL) | {g5:.4} GFLOPS/W |");
     let _ = writeln!(out, "| SPECpower-style | {sp:.1} ssj_ops/W |");
     if let Some((p5, pg, ps)) = paper_reference(&spec.name) {
-        let _ = writeln!(
-            out,
-            "\nPaper reference: five-state {p5}, Green500 {pg}, SPECpower {ps}.\n"
-        );
+        let _ =
+            writeln!(out, "\nPaper reference: five-state {p5}, Green500 {pg}, SPECpower {ps}.\n");
     }
 
     // Measurement quality.
@@ -153,9 +148,6 @@ mod tests {
     #[test]
     fn report_flags_short_class_a_runs() {
         let md = markdown_report(&presets::xeon_e5462());
-        assert!(
-            md.contains("too short for stable"),
-            "class-A instability warning missing"
-        );
+        assert!(md.contains("too short for stable"), "class-A instability warning missing");
     }
 }

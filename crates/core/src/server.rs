@@ -116,15 +116,13 @@ impl SimulatedServer {
 
         // Seed per measurement so runs are independent but the whole
         // session is reproducible.
-        let mut meter = Wt210::new(self.seed ^ hash_name(&sig.name) ^ u64::from(p))
-            .with_noise(noise);
+        let mut meter =
+            Wt210::new(self.seed ^ hash_name(&sig.name) ^ u64::from(p)).with_noise(noise);
         let start = self.clock_s;
         // Slow thermal wander on top of white noise: fans and VRM
         // temperature drift over tens of seconds.
         let wander = noise * 1.5;
-        let trace = meter.record(start, duration, move |t| {
-            truth + wander * (t * 0.013).sin()
-        });
+        let trace = meter.record(start, duration, move |t| truth + wander * (t * 0.013).sin());
         self.clock_s += duration + 10.0; // inter-program gap
 
         let stats = TraceAnalysis::new(trace)
@@ -153,9 +151,8 @@ impl SimulatedServer {
 
 /// Stable small hash for per-measurement meter seeding.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
-    })
+    name.bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100000001b3))
 }
 
 #[cfg(test)]

@@ -75,8 +75,7 @@ mod tests {
             l.cpu_pct_per_core.iter().sum::<f64>() / l.cpu_pct_per_core.len() as f64
         };
         assert!(mean("Cal1") > 95.0);
-        let series: Vec<f64> =
-            (1..=10).map(|k| mean(&format!("{}%", k * 10))).collect();
+        let series: Vec<f64> = (1..=10).map(|k| mean(&format!("{}%", k * 10))).collect();
         // 10%..100% means must be increasing.
         for w in series.windows(2) {
             assert!(w[0] < w[1] + 3.0, "CPU does not track load: {series:?}");

@@ -33,8 +33,7 @@ impl ScoreDistribution {
     /// Population standard deviation of the score.
     pub fn std_dev(&self) -> f64 {
         let m = self.mean();
-        (self.scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>()
-            / self.scores.len() as f64)
+        (self.scores.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / self.scores.len() as f64)
             .sqrt()
     }
 
@@ -120,10 +119,8 @@ mod tests {
 
     #[test]
     fn ranking_is_stable_across_replicates() {
-        let dists: Vec<ScoreDistribution> = presets::all_servers()
-            .iter()
-            .map(|s| replicate_scores(s, 6, 33))
-            .collect();
+        let dists: Vec<ScoreDistribution> =
+            presets::all_servers().iter().map(|s| replicate_scores(s, 6, 33)).collect();
         assert_eq!(ranking_stability(&dists), 1.0, "ranking flapped under meter noise");
     }
 

@@ -39,10 +39,7 @@ pub struct MemTechPoint {
 }
 
 /// Sweep the footprint coefficient over `watts_per_full` values.
-pub fn memory_technology_sweep(
-    spec: &ServerSpec,
-    watts_per_full: &[f64],
-) -> Vec<MemTechPoint> {
+pub fn memory_technology_sweep(spec: &ServerSpec, watts_per_full: &[f64]) -> Vec<MemTechPoint> {
     let p = spec.total_cores();
     let perf = PerfModel::new(spec.clone());
     let mh_cfg = HplConfig::for_memory_fraction(spec, MH_FRACTION, p);
@@ -55,8 +52,7 @@ pub fn memory_technology_sweep(
     watts_per_full
         .iter()
         .map(|&w| {
-            let cal =
-                PowerCalibration { footprint_w: w, ..PowerCalibration::for_server(spec) };
+            let cal = PowerCalibration { footprint_w: w, ..PowerCalibration::for_server(spec) };
             let model = PowerModel::with_calibration(spec.clone(), cal);
             let mh_power = model.power_w(&mh_sig, &mh_est);
             let mf_power = model.power_w(&mf_sig, &mf_est);

@@ -79,11 +79,8 @@ pub fn run(max_log2_size: u32, reps: u32) -> Vec<ExchangeStat> {
             to_pong.send(payload.clone()).expect("echo thread alive");
             let back = ping_rx.recv().expect("echo thread alive");
             trips += 1;
-            ok_bytes += back
-                .iter()
-                .zip(&payload)
-                .filter(|(e, o)| **e == o.wrapping_add(1))
-                .count() as u64;
+            ok_bytes +=
+                back.iter().zip(&payload).filter(|(e, o)| **e == o.wrapping_add(1)).count() as u64;
         }
         stats.push(ExchangeStat { size, round_trips: trips, bytes_ok: ok_bytes });
     }

@@ -124,11 +124,7 @@ impl Benchmark for Dgemm {
         let mut slow = c0;
         dgemm(n, 1.5, &a, &b, 0.5, &mut fast);
         dgemm_naive(n, 1.5, &a, &b, 0.5, &mut slow);
-        let max_err = fast
-            .iter()
-            .zip(&slow)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0, f64::max);
+        let max_err = fast.iter().zip(&slow).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
         if max_err < 1e-10 {
             VerifyOutcome::pass(
                 format!("n={n} blocked vs naive max err {max_err:.2e}"),

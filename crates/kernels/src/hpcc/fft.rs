@@ -8,7 +8,7 @@
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
-use crate::fft::{fft_flops, fft_in_place, C64, Direction};
+use crate::fft::{fft_flops, fft_in_place, Direction, C64};
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 

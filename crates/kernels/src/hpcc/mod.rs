@@ -71,7 +71,9 @@ impl HpccProgram {
     pub fn benchmark(self, spec: &ServerSpec) -> Box<dyn Benchmark> {
         let mem = spec.memory_bytes() as f64;
         match self {
-            HpccProgram::Hpl => Box::new(HplConfig::for_memory_fraction(spec, 0.7, spec.total_cores())),
+            HpccProgram::Hpl => {
+                Box::new(HplConfig::for_memory_fraction(spec, 0.7, spec.total_cores()))
+            }
             HpccProgram::Dgemm => Box::new(dgemm::Dgemm::for_memory(mem * 0.25)),
             HpccProgram::Stream => Box::new(stream::Stream::for_memory(mem * 0.5)),
             HpccProgram::Ptrans => Box::new(ptrans::Ptrans::for_memory(mem * 0.4)),
@@ -105,10 +107,8 @@ mod tests {
         // The training set must include compute-bound and memory-bound
         // extremes for the regression to learn both coefficients.
         let spec = presets::xeon_4870();
-        let intensities: Vec<f64> = full_suite(&spec)
-            .iter()
-            .map(|b| b.signature().arithmetic_intensity())
-            .collect();
+        let intensities: Vec<f64> =
+            full_suite(&spec).iter().map(|b| b.signature().arithmetic_intensity()).collect();
         let max = intensities.iter().cloned().fold(f64::MIN, f64::max);
         let min = intensities.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > 10.0, "needs a compute-bound member (max {max})");

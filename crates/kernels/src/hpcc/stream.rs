@@ -64,9 +64,13 @@ pub fn run(n: usize, reps: u32) -> StreamOutcome {
         // Scale: b = scalar * c.
         b.par_iter_mut().zip(&c).for_each(|(bv, cv)| *bv = scalar * *cv);
         // Add: c = a + b.
-        c.par_iter_mut().zip(a.par_iter().zip(&b)).for_each(|(cv, (av, bv))| *cv = *av + *bv);
+        c.par_iter_mut()
+            .zip(a.par_iter().zip(&b))
+            .for_each(|(cv, (av, bv))| *cv = *av + *bv);
         // Triad: a = b + scalar * c.
-        a.par_iter_mut().zip(b.par_iter().zip(&c)).for_each(|(av, (bv, cv))| *av = *bv + scalar * *cv);
+        a.par_iter_mut()
+            .zip(b.par_iter().zip(&c))
+            .for_each(|(av, (bv, cv))| *av = *bv + scalar * *cv);
     }
     // Closed form of one cycle: c1 = a0; b1 = s·a0; c2 = a0 + s·a0;
     // a1 = s·a0 + s·(a0 + s·a0) = a0·(2s + s²).

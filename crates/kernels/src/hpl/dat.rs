@@ -127,9 +127,8 @@ impl HplDat {
     /// Parse the classic 12-line header of an `HPL.dat` file.
     pub fn parse(text: &str) -> Result<Self, DatError> {
         let mut lines = text.lines();
-        let mut next = |expected: &'static str| {
-            lines.next().ok_or(DatError::Truncated { expected })
-        };
+        let mut next =
+            |expected: &'static str| lines.next().ok_or(DatError::Truncated { expected });
         // Two title lines, output file, device.
         next("title line 1")?;
         next("title line 2")?;
@@ -234,10 +233,7 @@ mod tests {
     fn grid_mismatch_detected() {
         let text = "t\nt\no\n6\n1\n1000\n1\n100\n0\n2\n1 2\n2\n";
         // Qs line has 1 value but 2 declared grids -> CountMismatch on Qs.
-        assert!(matches!(
-            HplDat::parse(text),
-            Err(DatError::CountMismatch { field: "Qs", .. })
-        ));
+        assert!(matches!(HplDat::parse(text), Err(DatError::CountMismatch { field: "Qs", .. })));
     }
 
     #[test]

@@ -102,9 +102,13 @@ impl Mat5 {
         let mut x = *b;
         for k in 0..5 {
             // Pivot.
-            let (piv, mag) = (k..5)
-                .map(|r| (r, a[r][k].abs()))
-                .fold((k, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+            let (piv, mag) = (k..5).map(|r| (r, a[r][k].abs())).fold((k, -1.0), |best, cur| {
+                if cur.1 > best.1 {
+                    cur
+                } else {
+                    best
+                }
+            });
             if mag < 1e-300 {
                 return None;
             }
@@ -169,12 +173,7 @@ pub fn vnorm(a: &Vec5) -> f64 {
 ///
 /// Returns `false` if a pivot block is singular. `lower[0]` and
 /// `upper[n-1]` are ignored.
-pub fn block_thomas(
-    lower: &[Mat5],
-    diag: &[Mat5],
-    upper: &[Mat5],
-    rhs: &mut [Vec5],
-) -> bool {
+pub fn block_thomas(lower: &[Mat5], diag: &[Mat5], upper: &[Mat5], rhs: &mut [Vec5]) -> bool {
     let n = diag.len();
     assert!(lower.len() == n && upper.len() == n && rhs.len() == n);
     // Forward elimination: c'[i] = (D - L·c'[i-1])^-1 · U,
@@ -217,13 +216,8 @@ mod tests {
         let mut rng = NpbRng::new(17);
         for _ in 0..20 {
             let m = Mat5::diag_dominant(&mut rng);
-            let x_true = [
-                rng.next_f64(),
-                rng.next_f64(),
-                rng.next_f64(),
-                rng.next_f64(),
-                rng.next_f64(),
-            ];
+            let x_true =
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()];
             let b = m.matvec(&x_true);
             let x = m.solve(&b).unwrap();
             for i in 0..5 {
@@ -261,13 +255,7 @@ mod tests {
         let diag: Vec<Mat5> = (0..n).map(|_| Mat5::diag_dominant(&mut rng)).collect();
         let x_true: Vec<Vec5> = (0..n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         // rhs = L x[i-1] + D x[i] + U x[i+1].

@@ -236,13 +236,7 @@ impl Benchmark for Bt {
         let mut rng = NpbRng::new(31);
         let u_true: Vec<Vec5> = (0..n * n * n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         let b = prob.apply(&u_true);
@@ -282,13 +276,7 @@ mod tests {
         let mut rng = NpbRng::new(3);
         let b: Vec<Vec5> = (0..n * n * n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         let mut u = vec![[0.0; 5]; n * n * n];

@@ -182,12 +182,7 @@ pub fn cg_solve(a: &SparseMatrix, x: &[f64]) -> (Vec<f64>, f64) {
     }
     // NPB reports ‖x − A·z‖ as the residual.
     a.matvec(&z, &mut q);
-    let res = x
-        .iter()
-        .zip(&q)
-        .map(|(xi, qi)| (xi - qi) * (xi - qi))
-        .sum::<f64>()
-        .sqrt();
+    let res = x.iter().zip(&q).map(|(xi, qi)| (xi - qi) * (xi - qi)).sum::<f64>().sqrt();
     (z, res)
 }
 
@@ -283,10 +278,7 @@ impl Benchmark for Cg {
                 1400.0 * 7.0 * 2.0 * 25.0 * 5.0 * 2.0,
             )
         } else {
-            VerifyOutcome::fail(format!(
-                "zeta={} residual={} out of range",
-                out.zeta, out.residual
-            ))
+            VerifyOutcome::fail(format!("zeta={} residual={} out of range", out.zeta, out.residual))
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
-use crate::fft::{fft_batched, C64, Direction};
+use crate::fft::{fft_batched, Direction, C64};
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
@@ -65,8 +65,7 @@ impl Field3 {
     /// Random field from the NPB generator.
     pub fn random(nx: usize, ny: usize, nz: usize, seed: u64) -> Self {
         let mut rng = NpbRng::new(seed);
-        let data =
-            (0..nx * ny * nz).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        let data = (0..nx * ny * nz).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
         Self { nx, ny, nz, data }
     }
 
@@ -229,8 +228,11 @@ impl Benchmark for Ft {
             return VerifyOutcome::fail(format!("checksums not damped: {mags:?}"));
         }
         VerifyOutcome::pass(
-            format!("round-trip err {max_err:.2e}; checksum |s| {:.4} -> {:.4}", mags[0],
-                mags[mags.len() - 1]),
+            format!(
+                "round-trip err {max_err:.2e}; checksum |s| {:.4} -> {:.4}",
+                mags[0],
+                mags[mags.len() - 1]
+            ),
             crate::fft::fft_flops(16 * 8 * 8) * 4.0,
         )
     }
@@ -288,7 +290,7 @@ mod tests {
     }
 
     #[test]
-    fn ft_c_needs_four_procs_on_8gib(){
+    fn ft_c_needs_four_procs_on_8gib() {
         // Fig 3: ft.C.4 present, ft.C.2 / ft.C.1 absent on the Xeon-E5462.
         let sig = Ft::new(Class::C).signature();
         let gib8 = 8u64 << 30;

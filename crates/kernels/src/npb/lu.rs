@@ -229,13 +229,7 @@ impl Benchmark for Lu {
         let mut rng = NpbRng::new(7);
         let u_true: Vec<Vec5> = (0..n * n * n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         let b = prob.apply(&u_true);
@@ -267,13 +261,7 @@ mod tests {
         let mut rng = NpbRng::new(5);
         let b: Vec<Vec5> = (0..n * n * n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         let mut u = vec![[0.0; 5]; n * n * n];
@@ -293,13 +281,7 @@ mod tests {
         let mut rng = NpbRng::new(5);
         let b: Vec<Vec5> = (0..n * n * n)
             .map(|_| {
-                [
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                    rng.next_f64(),
-                ]
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
             })
             .collect();
         let r0 = {

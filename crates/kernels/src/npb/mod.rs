@@ -160,11 +160,7 @@ mod tests {
         // §IV-D: only EP is freely configurable.
         assert_eq!(Program::Ep.benchmark(Class::C).constraint(), ProcConstraint::Any);
         for p in [Program::Cg, Program::Ft, Program::Is, Program::Lu, Program::Mg] {
-            assert_eq!(
-                p.benchmark(Class::C).constraint(),
-                ProcConstraint::PowerOfTwo,
-                "{p:?}"
-            );
+            assert_eq!(p.benchmark(Class::C).constraint(), ProcConstraint::PowerOfTwo, "{p:?}");
         }
         for p in [Program::Bt, Program::Sp] {
             assert_eq!(p.benchmark(Class::C).constraint(), ProcConstraint::Square, "{p:?}");

@@ -330,9 +330,8 @@ mod tests {
             }
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 1.0).collect();
-        let mut rhs: Vec<f64> = (0..n)
-            .map(|r| (0..n).map(|c| dense[r * n + c] * x_true[c]).sum())
-            .collect();
+        let mut rhs: Vec<f64> =
+            (0..n).map(|r| (0..n).map(|c| dense[r * n + c] * x_true[c]).sum()).collect();
         assert!(penta_solve(s2, s1, &diag, p1, p2, &mut rhs));
         for i in 0..n {
             assert!((rhs[i] - x_true[i]).abs() < 1e-9, "x[{i}]: {} vs {}", rhs[i], x_true[i]);

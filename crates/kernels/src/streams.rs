@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn addresses_stay_inside_the_working_set() {
-        for pat in [
-            AccessPattern::DenseBlocked,
-            AccessPattern::Streaming,
-            AccessPattern::Random,
-        ] {
+        for pat in [AccessPattern::DenseBlocked, AccessPattern::Streaming, AccessPattern::Random] {
             let ws = 1u64 << 22;
             let stream = generate(pat, ws, 1);
             assert_eq!(stream.len(), STREAM_LEN);

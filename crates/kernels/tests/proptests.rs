@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use hpceval_kernels::fft::{fft_in_place, C64, Direction};
+use hpceval_kernels::fft::{fft_in_place, Direction, C64};
 use hpceval_kernels::hpcc::dgemm::{dgemm, dgemm_naive};
 use hpceval_kernels::npb::block5::{block_thomas, vadd, Mat5, Vec5};
 use hpceval_kernels::npb::is::{generate_keys, sort_by_ranks};

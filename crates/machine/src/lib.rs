@@ -39,7 +39,7 @@ pub mod workload;
 
 pub use cache::{AccessOutcome, CacheHierarchy, CacheSim, ReplacementPolicy};
 pub use pmu::{PmuCounters, PmuRates};
-pub use presets::{opteron_8347, xeon_4870, xeon_e5462, all_servers};
+pub use presets::{all_servers, opteron_8347, xeon_4870, xeon_e5462};
 pub use roofline::{ExecEstimate, PerfModel};
 pub use spec::{CacheLevel, MemoryKind, ServerSpec};
 pub use topology::{Placement, PlacementPlan};

@@ -115,9 +115,7 @@ pub fn all_servers() -> Vec<ServerSpec> {
 
 /// Look a preset up by the name used in the paper (case-insensitive).
 pub fn by_name(name: &str) -> Option<ServerSpec> {
-    all_servers()
-        .into_iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
+    all_servers().into_iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -104,11 +104,8 @@ impl PerfModel {
 
         let rate = self.core_rate_gops(sig.kind, p) * 1e9; // ops/s
         let t_comp = sig.work_ops / (rate * f64::from(p));
-        let t_mem = if sig.dram_bytes > 0.0 {
-            sig.dram_bytes / (self.spec.bw_at(p) * 1e9)
-        } else {
-            0.0
-        };
+        let t_mem =
+            if sig.dram_bytes > 0.0 { sig.dram_bytes / (self.spec.bw_at(p) * 1e9) } else { 0.0 };
         let t_base = t_comp.max(t_mem);
         // Communication overhead: zero for serial runs, approaching the
         // signature's comm share at scale.

@@ -11,8 +11,14 @@ use hpceval_machine::topology::{Placement, PlacementPlan};
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
 fn arb_cache() -> impl Strategy<Value = CacheLevel> {
-    (1u32..=512, prop::sample::select(vec![1u32, 2, 4, 8, 16]), prop::sample::select(vec![32u32, 64, 128]))
-        .prop_map(|(size_kib, ways, line)| CacheLevel::private(size_kib.max(ways * line / 1024).max(1), ways, line))
+    (
+        1u32..=512,
+        prop::sample::select(vec![1u32, 2, 4, 8, 16]),
+        prop::sample::select(vec![32u32, 64, 128]),
+    )
+        .prop_map(|(size_kib, ways, line)| {
+            CacheLevel::private(size_kib.max(ways * line / 1024).max(1), ways, line)
+        })
         .prop_filter("geometry must have at least one set", |c| c.sets() >= 1)
 }
 

@@ -148,6 +148,34 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_analyzes_to_none() {
+        let a = TraceAnalysis::new(PowerTrace::new());
+        assert!(a.analyze(ProgramWindow { start_s: 0.0, end_s: 100.0 }).is_none());
+    }
+
+    #[test]
+    fn single_sample_trace_survives_trimming() {
+        let mut t = PowerTrace::new();
+        t.push(5.0, 123.0);
+        let a = TraceAnalysis::new(t);
+        let s = a.analyze(ProgramWindow { start_s: 0.0, end_s: 10.0 }).unwrap();
+        assert_eq!((s.raw_samples, s.samples), (1, 1));
+        assert_eq!(s.mean_w, 123.0);
+    }
+
+    #[test]
+    fn trim_cut_edge_counts() {
+        // One or two samples: 10 % floors to zero cut from each end.
+        assert_eq!(trim_cut(0, 0.10), 0);
+        assert_eq!(trim_cut(1, 0.10), 0);
+        assert_eq!(trim_cut(2, 0.10), 0);
+        assert_eq!(trimmed_count(1, 0.10), 1);
+        assert_eq!(trimmed_count(2, 0.10), 2);
+        // And an aggressive trim can never consume more than all samples.
+        assert_eq!(trimmed_count(3, 0.49), 1);
+    }
+
+    #[test]
     fn empty_window_is_none() {
         let t = step_trace();
         let a = TraceAnalysis::new(t);

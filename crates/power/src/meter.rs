@@ -33,13 +33,33 @@ impl PowerTrace {
         Self::default()
     }
 
-    /// Append a sample (must be later than the last one).
-    pub fn push(&mut self, t_s: f64, watts: f64) {
-        debug_assert!(
-            self.samples.last().is_none_or(|s| t_s > s.t_s),
-            "samples must be time-ordered"
-        );
+    /// Append a sample, rejecting out-of-order timestamps.
+    ///
+    /// The trace invariant is strictly ascending time — the analysis
+    /// pipeline (windowing, trimming) silently miscomputes on unordered
+    /// samples, so a violation is surfaced here instead of downstream.
+    pub fn try_push(&mut self, t_s: f64, watts: f64) -> Result<(), OutOfOrderSample> {
+        if let Some(last) = self.samples.last() {
+            if t_s <= last.t_s {
+                return Err(OutOfOrderSample { last_t_s: last.t_s, t_s });
+            }
+        }
         self.samples.push(PowerSample { t_s, watts });
+        Ok(())
+    }
+
+    /// Append a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in all build profiles) when `t_s` is not strictly later
+    /// than the last sample. Callers that cannot guarantee ordering
+    /// should use [`PowerTrace::try_push`] or sort via
+    /// [`PowerTrace::merge`].
+    pub fn push(&mut self, t_s: f64, watts: f64) {
+        if let Err(e) = self.try_push(t_s, watts) {
+            panic!("{e}");
+        }
     }
 
     /// Number of samples.
@@ -118,12 +138,32 @@ impl PowerTrace {
     /// Merge several CSV logs into one time-ordered trace (step (1) of
     /// the paper's analysis procedure).
     pub fn merge(traces: impl IntoIterator<Item = PowerTrace>) -> PowerTrace {
-        let mut all: Vec<PowerSample> =
-            traces.into_iter().flat_map(|t| t.samples).collect();
+        let mut all: Vec<PowerSample> = traces.into_iter().flat_map(|t| t.samples).collect();
         all.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
         PowerTrace { samples: all }
     }
 }
+
+/// Rejected append: the sample is not strictly later than the last one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutOfOrderSample {
+    /// Timestamp of the trace's current last sample.
+    pub last_t_s: f64,
+    /// The rejected timestamp.
+    pub t_s: f64,
+}
+
+impl std::fmt::Display for OutOfOrderSample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out-of-order sample: t={} s is not after the last sample at t={} s",
+            self.t_s, self.last_t_s
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrderSample {}
 
 /// The simulated WT210 meter.
 #[derive(Debug, Clone)]
@@ -173,6 +213,42 @@ impl Wt210 {
         self
     }
 
+    /// Stream `duration_s` seconds of a signal `power(t)` starting at
+    /// server time `start_s`, one lazy sample at a time.
+    ///
+    /// This is the seam streaming consumers (the telemetry collector)
+    /// hook into: samples materialize on demand, dropouts are skipped,
+    /// noise/quantization/clock offset are applied exactly as in
+    /// [`Wt210::record`], which is a `collect` of this iterator.
+    pub fn stream<'a, F: Fn(f64) -> f64 + 'a>(
+        &'a mut self,
+        start_s: f64,
+        duration_s: f64,
+        power: F,
+    ) -> impl Iterator<Item = PowerSample> + 'a {
+        let steps = (duration_s / self.interval_s).floor() as u64;
+        let mut k = 0u64;
+        std::iter::from_fn(move || loop {
+            if k > steps {
+                return None;
+            }
+            let step = k;
+            k += 1;
+            if self.dropout_prob > 0.0 && self.rng.random::<f64>() < self.dropout_prob {
+                continue;
+            }
+            let t_server = start_s + step as f64 * self.interval_s;
+            let truth = power(t_server);
+            let noise =
+                if self.noise_sd_w > 0.0 { gaussian(&mut self.rng) * self.noise_sd_w } else { 0.0 };
+            let quantized = ((truth + noise) / self.resolution_w).round() * self.resolution_w;
+            return Some(PowerSample {
+                t_s: t_server + self.clock_offset_s,
+                watts: quantized.max(0.0),
+            });
+        })
+    }
+
     /// Record `duration_s` seconds of a signal `power(t)` starting at
     /// server time `start_s`.
     pub fn record<F: Fn(f64) -> f64>(
@@ -181,23 +257,8 @@ impl Wt210 {
         duration_s: f64,
         power: F,
     ) -> PowerTrace {
-        let mut trace = PowerTrace::new();
-        let steps = (duration_s / self.interval_s).floor() as u64;
-        for k in 0..=steps {
-            if self.dropout_prob > 0.0 && self.rng.random::<f64>() < self.dropout_prob {
-                continue;
-            }
-            let t_server = start_s + k as f64 * self.interval_s;
-            let truth = power(t_server);
-            let noise = if self.noise_sd_w > 0.0 {
-                gaussian(&mut self.rng) * self.noise_sd_w
-            } else {
-                0.0
-            };
-            let quantized = ((truth + noise) / self.resolution_w).round() * self.resolution_w;
-            trace.push(t_server + self.clock_offset_s, quantized.max(0.0));
-        }
-        trace
+        let samples = self.stream(start_s, duration_s, power).collect();
+        PowerTrace { samples }
     }
 }
 
@@ -254,6 +315,34 @@ mod tests {
         let t = m.record(0.0, 1000.0, |_| 1.0);
         assert!(t.len() < 900, "dropout had no effect: {}", t.len());
         assert!(t.len() > 300);
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_order() {
+        let mut t = PowerTrace::new();
+        assert!(t.try_push(1.0, 100.0).is_ok());
+        let err = t.try_push(1.0, 101.0).unwrap_err(); // equal is also out of order
+        assert_eq!(err, OutOfOrderSample { last_t_s: 1.0, t_s: 1.0 });
+        assert!(t.try_push(0.5, 101.0).is_err());
+        assert_eq!(t.len(), 1, "rejected samples must not be appended");
+        assert!(t.try_push(2.0, 101.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order sample")]
+    fn push_panics_on_out_of_order() {
+        let mut t = PowerTrace::new();
+        t.push(5.0, 100.0);
+        t.push(4.0, 100.0);
+    }
+
+    #[test]
+    fn stream_matches_record() {
+        let mut a = Wt210::new(11).with_noise(1.5).with_dropout(0.1);
+        let mut b = a.clone();
+        let streamed: Vec<PowerSample> = a.stream(3.0, 120.0, |t| 200.0 + t).collect();
+        let recorded = b.record(3.0, 120.0, |t| 200.0 + t);
+        assert_eq!(streamed, recorded.samples);
     }
 
     #[test]

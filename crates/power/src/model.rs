@@ -82,10 +82,8 @@ impl PowerModel {
             // HPL's on every machine (the paper's finding (1)/(2)).
             self.cal.scalar_power_factor * eff_ratio.powf(0.2)
         };
-        let activity = sig.cpu_intensity
-            * pipeline
-            * (0.55 + 0.45 * est.compute_frac)
-            * est.core_util;
+        let activity =
+            sig.cpu_intensity * pipeline * (0.55 + 0.45 * est.compute_frac) * est.core_util;
         let cores_w = f64::from(p) * self.cal.core_w * activity;
         let chips_extra = f64::from(est.plan.active_chips.saturating_sub(1));
         self.cal.idle_w
@@ -223,11 +221,9 @@ mod tests {
     fn ep_is_cheaper_than_hpl_at_equal_cores() {
         // Paper finding (4): program power is bracketed by EP (bottom)
         // and HPL (top) at the same process count.
-        for (srv, n) in [
-            ("Xeon-E5462", 28_800.0),
-            ("Opteron-8347", 57_600.0),
-            ("Xeon-4870", 115_200.0),
-        ] {
+        for (srv, n) in
+            [("Xeon-E5462", 28_800.0), ("Opteron-8347", 57_600.0), ("Xeon-4870", 115_200.0)]
+        {
             let spec = presets::by_name(srv).unwrap();
             for p in [1, spec.total_cores() / 2, spec.total_cores()] {
                 let ep = power_of(srv, &ep_sig(), p);

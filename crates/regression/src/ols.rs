@@ -66,11 +66,7 @@ pub struct OlsSummary {
 ///
 /// Returns `None` when the selected design is rank deficient or there
 /// are fewer observations than parameters.
-pub fn fit(
-    design: &Matrix,
-    y: &[f64],
-    columns: &[usize],
-) -> Option<(LinearModel, OlsSummary)> {
+pub fn fit(design: &Matrix, y: &[f64], columns: &[usize]) -> Option<(LinearModel, OlsSummary)> {
     let x = design.select_columns(columns).with_intercept();
     let beta = x.least_squares(y)?;
     let (coefs, intercept) = beta.split_at(columns.len());
@@ -83,11 +79,7 @@ pub fn fit(
     let n = y.len();
     let k = columns.len();
     let r2 = stats::r_squared(y, &yhat);
-    let adj = if n > k + 1 {
-        1.0 - (1.0 - r2) * ((n - 1) as f64 / (n - k - 1) as f64)
-    } else {
-        r2
-    };
+    let adj = if n > k + 1 { 1.0 - (1.0 - r2) * ((n - 1) as f64 / (n - k - 1) as f64) } else { r2 };
     let rss: f64 = y.iter().zip(&yhat).map(|(a, b)| (a - b) * (a - b)).sum();
     let se = if n > k + 1 { (rss / (n - k - 1) as f64).sqrt() } else { 0.0 };
     let summary = OlsSummary {
@@ -148,8 +140,7 @@ mod tests {
         let (model, _) = fit(&x, &y, &[2, 0]).unwrap();
         // Row with x = [1, 2, 3, 4]: prediction uses cols 2 and 0 only.
         let p = model.predict_row(&[1.0, 2.0, 3.0, 4.0]);
-        let manual =
-            model.intercept + model.coefficients[0] * 3.0 + model.coefficients[1] * 1.0;
+        let manual = model.intercept + model.coefficients[0] * 3.0 + model.coefficients[1] * 1.0;
         assert!((p - manual).abs() < 1e-12);
     }
 

@@ -8,13 +8,7 @@ use hpceval_regression::ols;
 use hpceval_regression::stats::{r_squared, Normalizer};
 use hpceval_regression::stepwise::forward_stepwise;
 
-fn planted(
-    n: usize,
-    coefs: &[f64],
-    intercept: f64,
-    noise: f64,
-    seed: u64,
-) -> (Matrix, Vec<f64>) {
+fn planted(n: usize, coefs: &[f64], intercept: f64, noise: f64, seed: u64) -> (Matrix, Vec<f64>) {
     let k = coefs.len();
     let mut s = seed | 1;
     let mut rnd = move || {

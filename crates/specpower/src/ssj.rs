@@ -115,9 +115,7 @@ impl SsjRun {
         // jitter; the load balancer is imperfect at partial loads.
         let jitter = 0.02 + 0.04 * (1.0 - load);
         let cpu = (0..cores)
-            .map(|_| {
-                (load * (1.0 + jitter * (rng.random::<f64>() * 2.0 - 1.0))).clamp(0.0, 1.0)
-            })
+            .map(|_| (load * (1.0 + jitter * (rng.random::<f64>() * 2.0 - 1.0))).clamp(0.0, 1.0))
             .collect();
         SsjLevel {
             label: label.to_string(),

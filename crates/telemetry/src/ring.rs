@@ -1,0 +1,324 @@
+//! Fixed-capacity ring-buffer time-series storage.
+//!
+//! The paper's pipeline keeps every sample of a session in memory and
+//! analyzes afterwards; a long-running monitor cannot. [`RingBuffer`]
+//! bounds memory per server: appends are O(1), and once full the oldest
+//! sample is evicted. [`SeriesStore`] holds one power series and one
+//! PMU-counter series per registered server behind `parking_lot`
+//! mutexes, enforcing the same strictly-ascending-time invariant as
+//! `PowerTrace` — but instead of panicking it *counts and reports*
+//! clock-skew rejections and sampling dropouts, because on a live fleet
+//! a broken meter is an event to surface, not a reason to crash.
+
+use std::collections::VecDeque;
+
+use hpceval_machine::pmu::PmuCounters;
+use hpceval_power::meter::PowerSample;
+use parking_lot::Mutex;
+
+/// Bounded FIFO over `T`: O(1) append with eviction once full.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// A buffer holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity, evicted: 0 }
+    }
+
+    /// Append, returning the evicted oldest item when full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Items currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items evicted over the buffer's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// The newest item.
+    pub fn last(&self) -> Option<&T> {
+        self.buf.back()
+    }
+}
+
+/// Why an append was not stored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppendOutcome {
+    /// Stored; `missed` counts samples the expected cadence says were
+    /// lost in the gap since the previous sample (0 = clean).
+    Accepted {
+        /// Samples missing between this one and its predecessor.
+        missed: u32,
+    },
+    /// Rejected: the timestamp is not after the newest stored sample —
+    /// the meter PC's clock stepped backwards (§V-C2's sync step
+    /// failed).
+    ClockSkew {
+        /// Timestamp of the newest stored sample.
+        last_t_s: f64,
+    },
+}
+
+/// Ingestion health counters for one server's series.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SeriesStats {
+    /// Samples stored.
+    pub accepted: u64,
+    /// Samples rejected for non-monotonic time.
+    pub clock_skew_rejects: u64,
+    /// Cadence gaps observed (each gap is one dropout event).
+    pub dropout_events: u64,
+    /// Total samples the cadence says went missing.
+    pub samples_missed: u64,
+    /// Samples evicted by the ring bound.
+    pub evicted: u64,
+}
+
+/// One server's stored telemetry.
+#[derive(Debug)]
+pub struct ServerSeries {
+    /// Display label.
+    pub label: String,
+    power: RingBuffer<PowerSample>,
+    counters: RingBuffer<(f64, PmuCounters)>,
+    stats: SeriesStats,
+    expected_interval_s: f64,
+}
+
+impl ServerSeries {
+    fn new(label: String, capacity: usize, expected_interval_s: f64) -> Self {
+        Self {
+            label,
+            power: RingBuffer::new(capacity),
+            // Counters arrive at the paper's 10 s cadence — one slot per
+            // ten power samples keeps the two series time-aligned.
+            counters: RingBuffer::new(capacity.div_ceil(10).max(16)),
+            stats: SeriesStats::default(),
+            expected_interval_s: expected_interval_s.max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Append one power sample, enforcing ascending time.
+    pub fn append(&mut self, t_s: f64, watts: f64) -> AppendOutcome {
+        let missed = match self.power.last() {
+            Some(last) if t_s <= last.t_s => {
+                self.stats.clock_skew_rejects += 1;
+                return AppendOutcome::ClockSkew { last_t_s: last.t_s };
+            }
+            Some(last) => {
+                let gap = (t_s - last.t_s) / self.expected_interval_s;
+                // Allow half an interval of jitter before calling the
+                // gap a dropout.
+                let missed = (gap - 0.5).floor().max(0.0).min(f64::from(u32::MAX)) as u32;
+                if missed > 0 {
+                    self.stats.dropout_events += 1;
+                    self.stats.samples_missed += u64::from(missed);
+                }
+                missed
+            }
+            None => 0,
+        };
+        if self.power.push(PowerSample { t_s, watts }).is_some() {
+            self.stats.evicted += 1;
+        }
+        self.stats.accepted += 1;
+        AppendOutcome::Accepted { missed }
+    }
+
+    /// Append one PMU counter delta stamped at `t_s`.
+    pub fn append_counters(&mut self, t_s: f64, counters: PmuCounters) {
+        self.counters.push((t_s, counters));
+    }
+
+    /// Stored power samples within `[from_s, to_s)`, oldest first.
+    pub fn window(&self, from_s: f64, to_s: f64) -> Vec<PowerSample> {
+        self.power.iter().filter(|s| s.t_s >= from_s && s.t_s < to_s).copied().collect()
+    }
+
+    /// Stored counter deltas within `[from_s, to_s)`.
+    pub fn counter_window(&self, from_s: f64, to_s: f64) -> Vec<(f64, PmuCounters)> {
+        self.counters
+            .iter()
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .copied()
+            .collect()
+    }
+
+    /// Ingestion health counters.
+    pub fn stats(&self) -> SeriesStats {
+        self.stats
+    }
+
+    /// Number of stored power samples.
+    pub fn len(&self) -> usize {
+        self.power.len()
+    }
+
+    /// True when no power samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// The newest stored power sample.
+    pub fn last(&self) -> Option<PowerSample> {
+        self.power.last().copied()
+    }
+}
+
+/// Per-server telemetry store: one locked [`ServerSeries`] per server,
+/// so concurrent producers on different servers never contend.
+#[derive(Debug)]
+pub struct SeriesStore {
+    series: Vec<Mutex<ServerSeries>>,
+}
+
+impl SeriesStore {
+    /// A store with one series per label, each bounded to `capacity`
+    /// power samples, expecting samples every `expected_interval_s`
+    /// (the paper's meter: 1 s).
+    pub fn new<S: Into<String>>(
+        labels: impl IntoIterator<Item = S>,
+        capacity: usize,
+        expected_interval_s: f64,
+    ) -> Self {
+        Self {
+            series: labels
+                .into_iter()
+                .map(|l| Mutex::new(ServerSeries::new(l.into(), capacity, expected_interval_s)))
+                .collect(),
+        }
+    }
+
+    /// Number of registered servers.
+    pub fn servers(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Append a power sample for `server`.
+    pub fn append(&self, server: usize, t_s: f64, watts: f64) -> AppendOutcome {
+        self.series[server].lock().append(t_s, watts)
+    }
+
+    /// Append a PMU counter delta for `server`.
+    pub fn append_counters(&self, server: usize, t_s: f64, counters: PmuCounters) {
+        self.series[server].lock().append_counters(t_s, counters);
+    }
+
+    /// Power samples of `server` within `[from_s, to_s)`.
+    pub fn window(&self, server: usize, from_s: f64, to_s: f64) -> Vec<PowerSample> {
+        self.series[server].lock().window(from_s, to_s)
+    }
+
+    /// Counter deltas of `server` within `[from_s, to_s)`.
+    pub fn counter_window(&self, server: usize, from_s: f64, to_s: f64) -> Vec<(f64, PmuCounters)> {
+        self.series[server].lock().counter_window(from_s, to_s)
+    }
+
+    /// Ingestion health counters of `server`.
+    pub fn stats(&self, server: usize) -> SeriesStats {
+        self.series[server].lock().stats()
+    }
+
+    /// Display label of `server`.
+    pub fn label(&self, server: usize) -> String {
+        self.series[server].lock().label.clone()
+    }
+
+    /// Stored sample count of `server`.
+    pub fn len(&self, server: usize) -> usize {
+        self.series[server].lock().len()
+    }
+
+    /// True when `server` holds no samples.
+    pub fn is_empty(&self, server: usize) -> bool {
+        self.series[server].lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let mut r = RingBuffer::new(3);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), None);
+        assert_eq!(r.push(4), Some(1));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.evicted(), 1);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn series_rejects_clock_skew() {
+        let mut s = ServerSeries::new("srv".into(), 16, 1.0);
+        assert_eq!(s.append(1.0, 100.0), AppendOutcome::Accepted { missed: 0 });
+        assert_eq!(s.append(0.5, 100.0), AppendOutcome::ClockSkew { last_t_s: 1.0 });
+        assert_eq!(s.append(1.0, 100.0), AppendOutcome::ClockSkew { last_t_s: 1.0 });
+        assert_eq!(s.append(2.0, 100.0), AppendOutcome::Accepted { missed: 0 });
+        let st = s.stats();
+        assert_eq!((st.accepted, st.clock_skew_rejects), (2, 2));
+    }
+
+    #[test]
+    fn series_counts_dropout_gaps() {
+        let mut s = ServerSeries::new("srv".into(), 16, 1.0);
+        s.append(0.0, 1.0);
+        s.append(1.0, 1.0);
+        // 3 s gap at 1 Hz: two samples went missing.
+        assert_eq!(s.append(4.0, 1.0), AppendOutcome::Accepted { missed: 2 });
+        // Jitter under half an interval is not a dropout.
+        assert_eq!(s.append(5.4, 1.0), AppendOutcome::Accepted { missed: 0 });
+        let st = s.stats();
+        assert_eq!((st.dropout_events, st.samples_missed), (1, 2));
+    }
+
+    #[test]
+    fn store_windows_per_server() {
+        let store = SeriesStore::new(["a", "b"], 128, 1.0);
+        for k in 0..10 {
+            store.append(0, f64::from(k), 100.0);
+            store.append(1, f64::from(k), 200.0);
+        }
+        let w = store.window(0, 2.0, 5.0);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|s| s.watts == 100.0));
+        assert_eq!(store.window(1, 2.0, 5.0).len(), 3);
+        assert_eq!(store.label(1), "b");
+    }
+}

@@ -1,0 +1,223 @@
+//! Recursive least squares: the paper's §VI regression, online.
+//!
+//! The batch pipeline fits `P ≈ b₁X₁ + … + b₆X₆ + C` by QR least
+//! squares after collecting ~6000 observations. [`Rls`] maintains the
+//! same solution recursively: each `(x, y)` update costs O(d²) and the
+//! coefficient vector after n samples equals the ridge solution
+//! `(XᵀX + δI)⁻¹Xᵀy` with the tiny prior `δ` — within numerical noise
+//! of batch OLS once the design carries any signal, and independent of
+//! sample order (the normal equations are a sum). The property test
+//! `rls_matches_ols` pins the ≤1e-6 agreement against
+//! `hpceval_regression::ols::fit`.
+
+/// Online least-squares estimator over `dim` regressors plus an
+/// intercept (appended internally as a constant-1 regressor).
+#[derive(Debug, Clone)]
+pub struct Rls {
+    dim: usize,
+    /// Weights over `[x₁..x_dim, 1]`.
+    w: Vec<f64>,
+    /// Inverse-covariance estimate `P = (XᵀX + δI)⁻¹`, row-major
+    /// `(dim+1)²`.
+    p: Vec<f64>,
+    n: u64,
+    delta: f64,
+}
+
+impl Rls {
+    /// Default prior: `P₀ = I/δ` with `δ = 1e-8` — small enough that
+    /// the ridge bias is far below the 1e-6 OLS-agreement bound.
+    pub const DELTA: f64 = 1e-8;
+
+    /// A fresh estimator over `dim` features (+ intercept).
+    pub fn new(dim: usize) -> Self {
+        Self::with_delta(dim, Self::DELTA)
+    }
+
+    /// A fresh estimator with an explicit regularization prior `δ`.
+    pub fn with_delta(dim: usize, delta: f64) -> Self {
+        let d = dim + 1;
+        let mut p = vec![0.0; d * d];
+        for i in 0..d {
+            p[i * d + i] = 1.0 / delta;
+        }
+        Self { dim, w: vec![0.0; d], p, n: 0, delta }
+    }
+
+    /// Forget everything learned about regressor `j` and restore its
+    /// prior (`w_j = 0`, `P` row/column `j` back to `I/δ`).
+    ///
+    /// This is the escape hatch for a regressor whose *scale* changes
+    /// mid-stream: the monitor divides each counter column by a frozen
+    /// power-of-ten scale, and when a new program pushes a counter
+    /// orders of magnitude past that scale (EP does almost no memory
+    /// traffic; HPL then multiplies the memory columns by ~10⁴), the
+    /// column is re-scaled and re-learned from its prior. Zeroing the
+    /// cross terms keeps `P` symmetric positive-definite (the matrix
+    /// becomes block-diagonal in that coordinate), so subsequent
+    /// updates stay well-posed.
+    pub fn reset_column(&mut self, j: usize) {
+        assert!(j < self.dim, "column {j} out of range for dim {}", self.dim);
+        let d = self.dim + 1;
+        self.w[j] = 0.0;
+        for k in 0..d {
+            self.p[j * d + k] = 0.0;
+            self.p[k * d + j] = 0.0;
+        }
+        self.p[j * d + j] = 1.0 / self.delta;
+    }
+
+    /// Number of regressors (excluding the intercept).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Samples absorbed.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Coefficients over the regressors (paper's b₁..b₆ shape).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.w[..self.dim]
+    }
+
+    /// The fitted intercept `C`.
+    pub fn intercept(&self) -> f64 {
+        self.w[self.dim]
+    }
+
+    /// Predict `y` for a feature row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim);
+        x.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>() + self.intercept()
+    }
+
+    /// Absorb one observation, returning the *a priori* residual
+    /// `y − ŷ(x)` (the innovation the drift detector watches).
+    pub fn update(&mut self, x: &[f64], y: f64) -> f64 {
+        assert_eq!(x.len(), self.dim);
+        let d = self.dim + 1;
+        // Augmented regressor [x, 1].
+        let mut xa = Vec::with_capacity(d);
+        xa.extend_from_slice(x);
+        xa.push(1.0);
+
+        // px = P·x ; denom = 1 + xᵀP x
+        let px: Vec<f64> = self
+            .p
+            .chunks_exact(d)
+            .map(|row| row.iter().zip(&xa).map(|(a, b)| a * b).sum())
+            .collect();
+        let denom = 1.0 + xa.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>();
+
+        let residual = y - xa.iter().zip(&self.w).map(|(a, b)| a * b).sum::<f64>();
+        // w += P·x · residual / denom ; P −= (P·x)(P·x)ᵀ / denom.
+        // P stays symmetric by construction (rank-1 symmetric update),
+        // so no re-symmetrization pass is needed.
+        for (w, pxi) in self.w.iter_mut().zip(&px) {
+            *w += pxi * residual / denom;
+        }
+        for (row, pxi) in self.p.chunks_exact_mut(d).zip(&px) {
+            for (cell, pxj) in row.iter_mut().zip(&px) {
+                *cell -= pxi * pxj / denom;
+            }
+        }
+        self.n += 1;
+        residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn recovers_planted_coefficients() {
+        let truth = [2.0, -1.0, 0.3];
+        let intercept = 5.0;
+        let mut rls = Rls::new(3);
+        let mut s = 7u64;
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..3).map(|_| lcg(&mut s) * 8.0).collect();
+            let y = intercept + x.iter().zip(&truth).map(|(a, b)| a * b).sum::<f64>();
+            rls.update(&x, y);
+        }
+        for (got, want) in rls.coefficients().iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+        assert!((rls.intercept() - intercept).abs() < 1e-7);
+        assert_eq!(rls.observations(), 200);
+    }
+
+    #[test]
+    fn order_does_not_change_the_fit() {
+        let mut s = 99u64;
+        let rows: Vec<(Vec<f64>, f64)> = (0..60)
+            .map(|_| {
+                let x: Vec<f64> = (0..2).map(|_| lcg(&mut s) * 4.0).collect();
+                let y = 1.5 * x[0] - 0.7 * x[1] + 2.0;
+                (x, y)
+            })
+            .collect();
+        let mut forward = Rls::new(2);
+        let mut backward = Rls::new(2);
+        for (x, y) in &rows {
+            forward.update(x, *y);
+        }
+        for (x, y) in rows.iter().rev() {
+            backward.update(x, *y);
+        }
+        for (a, b) in forward.coefficients().iter().zip(backward.coefficients()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        assert!((forward.intercept() - backward.intercept()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reset_column_relearns_a_rescaled_regressor() {
+        // Fit y = 2·x₀ + 0.001·x₁ + 1 where x₁ initially spans ~1e-3 of
+        // the signal, then hand the estimator the same regressor in
+        // units 10⁴ larger. Resetting the column lets it relearn the
+        // new-unit coefficient while keeping x₀ and the intercept.
+        let mut rls = Rls::with_delta(2, 1e-2);
+        let mut s = 11u64;
+        for _ in 0..100 {
+            let x = [lcg(&mut s) * 4.0, lcg(&mut s) * 2.0];
+            rls.update(&x, 2.0 * x[0] + 0.001 * x[1] + 1.0);
+        }
+        rls.reset_column(1);
+        assert_eq!(rls.coefficients()[1], 0.0);
+        for _ in 0..100 {
+            let x = [lcg(&mut s) * 4.0, lcg(&mut s) * 2.0];
+            // Same physical regressor, new units: coefficient 10.0.
+            rls.update(&x, 2.0 * x[0] + 10.0 * x[1] + 1.0);
+        }
+        let c = rls.coefficients();
+        // Bounds allow the δ=1e-2 ridge bias on the re-priored column.
+        assert!((c[0] - 2.0).abs() < 1e-2, "x0 kept: {}", c[0]);
+        assert!((c[1] - 10.0).abs() < 1e-2, "x1 relearned: {}", c[1]);
+        assert!((rls.intercept() - 1.0).abs() < 1e-1);
+    }
+
+    #[test]
+    fn residual_shrinks_as_the_fit_converges() {
+        let mut rls = Rls::new(1);
+        let mut s = 3u64;
+        let mut last = f64::INFINITY;
+        for k in 0..50 {
+            let x = [lcg(&mut s) * 2.0];
+            let r = rls.update(&x, 3.0 * x[0] + 1.0).abs();
+            if k > 5 {
+                assert!(r < 1e-6, "residual {r} after convergence");
+            }
+            last = r;
+        }
+        assert!(last < 1e-7, "final residual {last}");
+    }
+}

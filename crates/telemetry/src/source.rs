@@ -1,0 +1,298 @@
+//! Sample sources: where telemetry streams come from.
+//!
+//! [`SampleSource`] is the ingestion trait; two implementations mirror
+//! the paper's two data paths. [`TraceReplay`] streams a recorded
+//! `PowerTrace` (a WTViewer CSV read back, or a `Wt210` recording) —
+//! the §V-C2 offline pipeline replayed through the online one.
+//! [`LiveServer`] generates the stream a meter on a running
+//! [`SimulatedServer`](hpceval_core::server::SimulatedServer) would
+//! produce: a scheduled sequence of programs with idle gaps, 1 Hz noisy
+//! quantized power samples, PMU counter deltas at the paper's 10 s
+//! cadence, and optional failure injections (sample dropout, a clock
+//! stepping backwards mid-run) for exercising the detectors.
+
+use hpceval_core::server::SimulatedServer;
+use hpceval_core::session::{GAP_S, RUN_CAP_S};
+use hpceval_machine::pmu::{PmuCounters, PmuRates};
+use hpceval_machine::spec::ServerSpec;
+use hpceval_machine::workload::WorkloadSignature;
+use hpceval_power::meter::PowerTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// PMU counter cadence in power-sample intervals (the paper samples
+/// counters every 10 s against a 1 s meter).
+pub const COUNTER_CADENCE: u64 = 10;
+
+/// One telemetry message: a timestamped power reading, optionally
+/// carrying the PMU counter delta accumulated since the last one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Index of the originating server in the collector's store.
+    pub server: usize,
+    /// Timestamp on the source's clock, seconds.
+    pub t_s: f64,
+    /// Measured watts.
+    pub watts: f64,
+    /// PMU counter delta ending at `t_s`, when this sample carries one.
+    pub counters: Option<PmuCounters>,
+}
+
+/// A stream of telemetry samples from one server.
+pub trait SampleSource: Send {
+    /// The server index samples of this source are stored under.
+    fn server(&self) -> usize;
+    /// Display label.
+    fn label(&self) -> &str;
+    /// Produce the next sample, or `None` when the stream ends.
+    fn next_sample(&mut self) -> Option<TelemetrySample>;
+}
+
+/// Replay of a recorded [`PowerTrace`].
+#[derive(Debug)]
+pub struct TraceReplay {
+    server: usize,
+    label: String,
+    samples: std::vec::IntoIter<hpceval_power::meter::PowerSample>,
+}
+
+impl TraceReplay {
+    /// Stream `trace` as `server`.
+    pub fn new(server: usize, label: impl Into<String>, trace: PowerTrace) -> Self {
+        Self { server, label: label.into(), samples: trace.samples.into_iter() }
+    }
+}
+
+impl SampleSource for TraceReplay {
+    fn server(&self) -> usize {
+        self.server
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_sample(&mut self) -> Option<TelemetrySample> {
+        let s = self.samples.next()?;
+        Some(TelemetrySample { server: self.server, t_s: s.t_s, watts: s.watts, counters: None })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    start_s: f64,
+    end_s: f64,
+    watts: f64,
+    rates: PmuRates,
+}
+
+/// Live stream from a simulated server running a program schedule.
+#[derive(Debug)]
+pub struct LiveServer {
+    server: usize,
+    label: String,
+    interval_s: f64,
+    noise_sd_w: f64,
+    resolution_w: f64,
+    dropout_prob: f64,
+    /// At `clock_jump_at_s` the stream's clock steps by `clock_jump_s`
+    /// (negative = backwards, i.e. a failed re-sync).
+    clock_jump_at_s: f64,
+    clock_jump_s: f64,
+    rng: StdRng,
+    idle_w: f64,
+    segments: Vec<Segment>,
+    steps: u64,
+    k: u64,
+}
+
+impl LiveServer {
+    /// A server executing `schedule` (label, signature, processes)
+    /// back-to-back with the session layer's idle gaps, metered at 1 Hz
+    /// with the power model's calibrated noise.
+    pub fn new(
+        server: usize,
+        label: impl Into<String>,
+        spec: &ServerSpec,
+        schedule: &[(String, WorkloadSignature, u32)],
+        seed: u64,
+    ) -> Self {
+        let srv = SimulatedServer::with_seed(spec.clone(), seed);
+        let noise_sd_w = srv.power_model().calibration().noise_sd_w;
+        let idle_w = srv.power_model().idle_w();
+        let mut segments = Vec::new();
+        let mut t = GAP_S;
+        for (_, sig, p) in schedule {
+            let est = srv.estimate(sig, *p);
+            let watts = srv.true_power_w(sig, &est);
+            let rates = srv.pmu_rates(sig, &est);
+            let duration = est.time_s.clamp(30.0, RUN_CAP_S);
+            segments.push(Segment { start_s: t, end_s: t + duration, watts, rates });
+            t += duration + GAP_S;
+        }
+        let interval_s = 1.0;
+        Self {
+            server,
+            label: label.into(),
+            interval_s,
+            noise_sd_w,
+            resolution_w: 0.01,
+            dropout_prob: 0.0,
+            clock_jump_at_s: f64::INFINITY,
+            clock_jump_s: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x7e1e_6e7a),
+            idle_w,
+            segments,
+            steps: (t / interval_s).floor() as u64,
+            k: 0,
+        }
+    }
+
+    /// Inject sample dropout with probability `p` per sample.
+    pub fn with_dropout(mut self, p: f64) -> Self {
+        self.dropout_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Inject a clock step of `jump_s` seconds at stream time `at_s`
+    /// (negative steps the clock backwards).
+    pub fn with_clock_jump(mut self, at_s: f64, jump_s: f64) -> Self {
+        self.clock_jump_at_s = at_s;
+        self.clock_jump_s = jump_s;
+        self
+    }
+
+    /// Total stream duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.steps as f64 * self.interval_s
+    }
+
+    /// The scheduled program windows `(start_s, end_s, true_watts)`.
+    pub fn schedule_windows(&self) -> Vec<(f64, f64, f64)> {
+        self.segments.iter().map(|s| (s.start_s, s.end_s, s.watts)).collect()
+    }
+
+    fn active(&self, t: f64) -> (f64, Option<PmuRates>) {
+        match self.segments.iter().find(|s| t >= s.start_s && t < s.end_s) {
+            Some(seg) => (seg.watts, Some(seg.rates)),
+            None => (self.idle_w, None),
+        }
+    }
+}
+
+impl SampleSource for LiveServer {
+    fn server(&self) -> usize {
+        self.server
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_sample(&mut self) -> Option<TelemetrySample> {
+        loop {
+            if self.k > self.steps {
+                return None;
+            }
+            let step = self.k;
+            self.k += 1;
+            let t = step as f64 * self.interval_s;
+            let carries_counters = step > 0 && step.is_multiple_of(COUNTER_CADENCE);
+            // Dropped samples lose their counter delta too — exactly the
+            // hole the collector's cadence check must flag.
+            if self.dropout_prob > 0.0 && self.rng.random::<f64>() < self.dropout_prob {
+                continue;
+            }
+            let (truth, seg) = self.active(t);
+            // Same measurement chain as Wt210: white noise + slow
+            // thermal wander, quantized to the meter resolution.
+            let wander = self.noise_sd_w * 1.5 * (t * 0.013).sin();
+            let noise = gaussian(&mut self.rng) * self.noise_sd_w;
+            let watts = (((truth + wander + noise) / self.resolution_w).round()
+                * self.resolution_w)
+                .max(0.0);
+            let counters = if carries_counters {
+                let dt = COUNTER_CADENCE as f64 * self.interval_s;
+                Some(match seg {
+                    Some(rates) => rates.sample(dt),
+                    None => PmuCounters::default(), // idle: nothing retires
+                })
+            } else {
+                None
+            };
+            let t_s = if t >= self.clock_jump_at_s { t + self.clock_jump_s } else { t };
+            return Some(TelemetrySample { server: self.server, t_s, watts, counters });
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    fn drain(mut src: impl SampleSource) -> Vec<TelemetrySample> {
+        std::iter::from_fn(move || src.next_sample()).collect()
+    }
+
+    fn ep_schedule(spec: &ServerSpec) -> Vec<(String, WorkloadSignature, u32)> {
+        use hpceval_kernels::npb::{ep::Ep, Class};
+        use hpceval_kernels::suite::Benchmark;
+        let full = spec.total_cores();
+        vec![
+            ("ep.C.1".into(), Ep::new(Class::C).signature(), 1),
+            (format!("ep.C.{full}"), Ep::new(Class::C).signature(), full),
+        ]
+    }
+
+    #[test]
+    fn replay_streams_every_trace_sample() {
+        let mut meter = hpceval_power::meter::Wt210::new(3).with_noise(1.0);
+        let trace = meter.record(0.0, 60.0, |_| 150.0);
+        let n = trace.len();
+        let out = drain(TraceReplay::new(2, "replay", trace.clone()));
+        assert_eq!(out.len(), n);
+        assert!(out.iter().all(|s| s.server == 2 && s.counters.is_none()));
+        assert_eq!(out[5].watts, trace.samples[5].watts);
+    }
+
+    #[test]
+    fn live_server_covers_schedule_with_counters() {
+        let spec = presets::xeon_e5462();
+        let src = LiveServer::new(0, "live", &spec, &ep_schedule(&spec), 9);
+        let duration = src.duration_s();
+        let windows = src.schedule_windows();
+        assert_eq!(windows.len(), 2);
+        let out = drain(src);
+        assert_eq!(out.len() as u64, duration as u64 + 1);
+        let with_counters = out.iter().filter(|s| s.counters.is_some()).count();
+        assert_eq!(with_counters as u64, duration as u64 / COUNTER_CADENCE);
+        // Busy windows sit above idle power.
+        let (start, end, watts) = windows[1];
+        let busy: Vec<f64> = out
+            .iter()
+            .filter(|s| s.t_s >= start + 1.0 && s.t_s < end)
+            .map(|s| s.watts)
+            .collect();
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        assert!((mean - watts).abs() < watts * 0.05, "mean {mean} vs truth {watts}");
+    }
+
+    #[test]
+    fn injections_perturb_the_stream() {
+        let spec = presets::xeon_e5462();
+        let sched = ep_schedule(&spec);
+        let clean = drain(LiveServer::new(0, "c", &spec, &sched, 4));
+        let dropped = drain(LiveServer::new(0, "d", &spec, &sched, 4).with_dropout(0.3));
+        assert!(dropped.len() < clean.len() * 9 / 10);
+        let jumped = drain(LiveServer::new(0, "j", &spec, &sched, 4).with_clock_jump(40.0, -8.0));
+        assert!(jumped.windows(2).any(|w| w[1].t_s <= w[0].t_s), "jump must break order");
+    }
+}

@@ -1,0 +1,74 @@
+//! Satellite property: the online RLS fit converges to the batch OLS
+//! fit of `hpceval_regression::ols` within 1e-6 on planted-coefficient
+//! data, regardless of the order samples arrive in.
+//!
+//! Both solve the same normal equations — RLS carries a ridge prior
+//! `δ = 1e-8` whose bias is orders of magnitude under the bound — and
+//! the normal equations are a *sum* over samples, so any permutation
+//! must land on the same coefficients.
+
+use hpceval_regression::matrix::Matrix;
+use hpceval_regression::ols;
+use hpceval_telemetry::Rls;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 3;
+const ROWS: usize = 48;
+
+/// Fisher–Yates permutation of `0..n` from a seed.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+proptest! {
+    #[test]
+    fn rls_matches_batch_ols(
+        coefs in proptest::collection::vec(-5.0f64..5.0, DIM),
+        intercept in -50.0f64..50.0,
+        data in proptest::collection::vec(-10.0f64..10.0, DIM * ROWS),
+        order_seed in 0u64..u64::MAX,
+    ) {
+        // Planted noiseless linear data.
+        let y: Vec<f64> = data
+            .chunks(DIM)
+            .map(|row| {
+                intercept + row.iter().zip(&coefs).map(|(a, b)| a * b).sum::<f64>()
+            })
+            .collect();
+        let design = Matrix::from_rows(ROWS, DIM, data.clone());
+        let columns: Vec<usize> = (0..DIM).collect();
+        // Degenerate draws (rank-deficient design) are not the property
+        // under test.
+        let Some((batch, _)) = ols::fit(&design, &y, &columns) else {
+            return Err(TestCaseError::Reject("rank-deficient design".into()));
+        };
+
+        let mut rls = Rls::new(DIM);
+        for i in permutation(ROWS, order_seed) {
+            rls.update(&data[i * DIM..(i + 1) * DIM], y[i]);
+        }
+
+        for (k, (online, offline)) in
+            rls.coefficients().iter().zip(&batch.coefficients).enumerate()
+        {
+            prop_assert!(
+                (online - offline).abs() < 1e-6,
+                "coefficient {k}: rls {online} vs ols {offline}"
+            );
+        }
+        prop_assert!(
+            (rls.intercept() - batch.intercept).abs() < 1e-6,
+            "intercept: rls {} vs ols {}",
+            rls.intercept(),
+            batch.intercept
+        );
+    }
+}

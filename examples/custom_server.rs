@@ -39,8 +39,11 @@ fn main() {
         parallel_alpha: 0.04,
         scalar_ipc: 0.9,
     };
-    println!("custom server: {} cores, {:.1} GFLOPS peak\n", custom.total_cores(),
-        custom.peak_gflops());
+    println!(
+        "custom server: {} cores, {:.1} GFLOPS peak\n",
+        custom.total_cores(),
+        custom.peak_gflops()
+    );
 
     let table = Evaluator::new(custom.clone()).run();
     print!("{}", table.render());

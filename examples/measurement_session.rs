@@ -36,8 +36,11 @@ fn main() {
         ),
     ];
 
-    println!("running a {}-program session on {} (gaps of {GAP_S} s)…\n", schedule.len(),
-        spec.name);
+    println!(
+        "running a {}-program session on {} (gaps of {GAP_S} s)…\n",
+        schedule.len(),
+        spec.name
+    );
     let session = run_session(&spec, &schedule, 2024, 0.0);
     println!(
         "meter log: {} CSV bytes covering {:.0} s\n",

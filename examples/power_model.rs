@@ -9,9 +9,7 @@
 //! then demonstrates the intended *use*: predicting the power of a
 //! not-yet-measured workload configuration from its PMU feature vector.
 
-use hpceval::core::regression_experiment::{
-    collect_training, train, validate, SAMPLE_INTERVAL_S,
-};
+use hpceval::core::regression_experiment::{collect_training, train, validate, SAMPLE_INTERVAL_S};
 use hpceval::core::server::SimulatedServer;
 use hpceval::kernels::npb::{Class, Program};
 use hpceval::machine::pmu::PmuCounters;
@@ -34,8 +32,11 @@ fn main() {
 
     // Validate on NPB class B (Fig 12).
     let v = validate(&spec, Class::B, &model, 7);
-    println!("NPB-B validation over {} configurations: R² {:.4} (paper: 0.634)\n",
-        v.points.len(), v.r2);
+    println!(
+        "NPB-B validation over {} configurations: R² {:.4} (paper: 0.634)\n",
+        v.points.len(),
+        v.r2
+    );
 
     // Use the model as a predictor for one unmeasured configuration.
     let srv = SimulatedServer::new(spec.clone());
@@ -48,7 +49,9 @@ fn main() {
     println!("prediction demo — mg.C.16 on {}:", spec.name);
     println!("  predicted normalized power {predicted:+.3}");
     println!("  actual    normalized power {truth:+.3}");
-    println!("  (denormalized: {:.1} W predicted vs {:.1} W actual)",
+    println!(
+        "  (denormalized: {:.1} W predicted vs {:.1} W actual)",
         model.normalizer.invert_one(6, predicted),
-        model.normalizer.invert_one(6, truth));
+        model.normalizer.invert_one(6, truth)
+    );
 }

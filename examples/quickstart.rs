@@ -13,8 +13,12 @@ use hpceval::machine::presets;
 
 fn main() {
     let server = presets::xeon_e5462();
-    println!("evaluating {} ({} cores, {:.1} GFLOPS peak)…\n", server.name,
-        server.total_cores(), server.peak_gflops());
+    println!(
+        "evaluating {} ({} cores, {:.1} GFLOPS peak)…\n",
+        server.name,
+        server.total_cores(),
+        server.peak_gflops()
+    );
 
     let table = Evaluator::new(server).run();
     print!("{}", table.render());

@@ -1,0 +1,61 @@
+//! Stream a live measurement session through the telemetry subsystem.
+//!
+//! ```sh
+//! cargo run --example streaming_monitor
+//! ```
+//!
+//! Where `measurement_session` records a whole WT210 log and analyzes
+//! it *after the fact*, this example watches the same §V-C2 procedure
+//! as it happens: three simulated copies of the Xeon-E5462 (one clean,
+//! one with a flaky meter link, one whose meter clock steps backwards
+//! mid-run) feed 1 Hz power samples and 10 s PMU counter deltas into
+//! the collector. The monitor keeps sliding-window statistics per
+//! server, trains the paper's six-predictor power model online with
+//! recursive least squares, and flags every dropout, clock step and
+//! power excursion as an event instead of silently averaging over it.
+
+use hpceval::kernels::hpl::HplConfig;
+use hpceval::kernels::npb::{ep::Ep, Class};
+use hpceval::kernels::suite::Benchmark;
+use hpceval::machine::presets;
+use hpceval::telemetry::{LiveServer, Monitor, SampleSource};
+
+fn main() {
+    let spec = presets::xeon_e5462();
+    let full = spec.total_cores();
+    let schedule = vec![
+        ("ep.C.1".to_string(), Ep::new(Class::C).signature(), 1),
+        (format!("ep.C.{full}"), Ep::new(Class::C).signature(), full),
+        (
+            format!("HPL P{full}"),
+            HplConfig::for_memory_fraction(&spec, 0.92, full).signature(),
+            full,
+        ),
+    ];
+
+    let sources: Vec<Box<dyn SampleSource>> = vec![
+        Box::new(LiveServer::new(0, format!("{}/clean", spec.name), &spec, &schedule, 2024)),
+        Box::new(
+            LiveServer::new(1, format!("{}/dropout", spec.name), &spec, &schedule, 2025)
+                .with_dropout(0.05),
+        ),
+        Box::new(
+            LiveServer::new(2, format!("{}/clock-step", spec.name), &spec, &schedule, 2026)
+                .with_clock_jump(90.0, -6.0),
+        ),
+    ];
+
+    println!(
+        "streaming {} programs on 3 copies of {} (dropout + clock-step injected)…\n",
+        schedule.len(),
+        spec.name
+    );
+    let report = Monitor::default().run_with(sources, |line| println!("{line}"));
+    println!();
+    print!("{}", report.render());
+
+    let skew = report.servers[2].stats.clock_skew_rejects;
+    let drops = report.servers[1].stats.dropout_events;
+    println!("\ninjections detected: {skew} skewed samples rejected, {drops} dropout gaps flagged");
+    assert!(skew > 0 && drops > 0, "injected faults must surface as events");
+}

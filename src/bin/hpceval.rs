@@ -8,6 +8,7 @@
 //! hpceval rankings                    all three methods on all presets
 //! hpceval study <server>              §IV power study (Fig 3/4 series)
 //! hpceval train [seed]                §VI regression on the Xeon-4870
+//! hpceval monitor <server> [seed]     streaming monitor with fault injection
 //! hpceval verify                      run every kernel's verification
 //! ```
 
@@ -19,6 +20,7 @@ use hpceval::core::rankings::{compare, green500_score, specpower_score};
 use hpceval::core::regression_experiment::run_experiment;
 use hpceval::kernels::hpcc;
 use hpceval::kernels::hpl::HplConfig;
+use hpceval::kernels::npb::ep::Ep;
 use hpceval::kernels::npb::{Class, Program};
 use hpceval::kernels::suite::Benchmark;
 use hpceval::machine::presets;
@@ -30,13 +32,15 @@ fn main() -> ExitCode {
         Some("servers") => servers(),
         Some("evaluate") => with_server(&args, evaluate),
         Some("green500") => with_server(&args, |s| {
-            println!("{}: Green500-style peak-HPL PPW = {:.4} GFLOPS/W", s.name,
-                green500_score(&s));
+            println!(
+                "{}: Green500-style peak-HPL PPW = {:.4} GFLOPS/W",
+                s.name,
+                green500_score(&s)
+            );
             ExitCode::SUCCESS
         }),
         Some("specpower") => with_server(&args, |s| {
-            println!("{}: SPECpower-style score = {:.1} ssj_ops/W", s.name,
-                specpower_score(&s));
+            println!("{}: SPECpower-style score = {:.1} ssj_ops/W", s.name, specpower_score(&s));
             ExitCode::SUCCESS
         }),
         Some("rankings") => rankings(),
@@ -56,10 +60,17 @@ fn main() -> ExitCode {
                 }
             },
         },
+        Some("monitor") => with_server(&args, |s| monitor(s, parse_seed(&args, 2))),
         Some("verify") => verify(),
         _ => {
             eprintln!(
-                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|report|cluster|verify> [server|seed]"
+                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify> [server|seed]"
+            );
+            eprintln!(
+                "  monitor <server> [seed]: stream three simulated copies of <server> (one clean,\n\
+                 \x20 one with meter dropout, one with a clock step) through the telemetry\n\
+                 \x20 collector; prints live windowed power, the online RLS power-model\n\
+                 \x20 coefficients, and every detected anomaly."
             );
             ExitCode::FAILURE
         }
@@ -81,8 +92,10 @@ fn with_server(args: &[String], f: impl Fn(ServerSpec) -> ExitCode) -> ExitCode 
 }
 
 fn servers() -> ExitCode {
-    println!("{:<14} {:>6} {:>10} {:>14} {:>10}", "Name", "Cores", "Freq(MHz)",
-        "Peak(GFLOPS)", "Mem(GiB)");
+    println!(
+        "{:<14} {:>6} {:>10} {:>14} {:>10}",
+        "Name", "Cores", "Freq(MHz)", "Peak(GFLOPS)", "Mem(GiB)"
+    );
     for s in presets::all_servers() {
         println!(
             "{:<14} {:>6} {:>10} {:>14.1} {:>10}",
@@ -105,8 +118,10 @@ fn evaluate(spec: ServerSpec) -> ExitCode {
 fn cluster(spec: ServerSpec) -> ExitCode {
     use hpceval::core::cluster::{scaling_study, Interconnect};
     println!("cluster scaling of {} nodes over gigabit ethernet:", spec.name);
-    println!("{:>6} {:>14} {:>12} {:>12} {:>12}", "Nodes", "HPL(GFLOPS)", "Power(W)",
-        "G500 PPW", "5-state PPW");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>12}",
+        "Nodes", "HPL(GFLOPS)", "Power(W)", "G500 PPW", "5-state PPW"
+    );
     for s in scaling_study(&spec, Interconnect::gigabit_ethernet(), &[1, 2, 4, 8, 16, 32]) {
         println!(
             "{:>6} {:>14.1} {:>12.1} {:>12.4} {:>12.4}",
@@ -134,11 +149,59 @@ fn train(seed: u64) -> ExitCode {
     };
     let s = exp.model.summary();
     println!("trained on {} HPCC observations (seed {seed})", exp.observations);
-    println!("  R² {:.4}  adjusted {:.4}  std err {:.4}", s.r_square, s.adjusted_r_square,
-        s.standard_error);
+    println!(
+        "  R² {:.4}  adjusted {:.4}  std err {:.4}",
+        s.r_square, s.adjusted_r_square, s.standard_error
+    );
     println!("  coefficients (normalized): {:?}", exp.model.coefficients());
     println!("validation: NPB-B R² {:.4}, NPB-C R² {:.4}", exp.npb_b.r2, exp.npb_c.r2);
     ExitCode::SUCCESS
+}
+
+fn parse_seed(args: &[String], idx: usize) -> u64 {
+    args.get(idx).and_then(|raw| raw.parse().ok()).unwrap_or(42)
+}
+
+fn monitor(spec: ServerSpec, seed: u64) -> ExitCode {
+    use hpceval::telemetry::{LiveServer, Monitor, SampleSource};
+
+    let full = spec.total_cores();
+    let schedule = vec![
+        ("ep.C.1".to_string(), Ep::new(Class::C).signature(), 1),
+        (format!("ep.C.{full}"), Ep::new(Class::C).signature(), full),
+        (
+            format!("HPL P{full}"),
+            HplConfig::for_memory_fraction(&spec, 0.92, full).signature(),
+            full,
+        ),
+    ];
+    let sources: Vec<Box<dyn SampleSource>> = vec![
+        Box::new(LiveServer::new(0, format!("{}/clean", spec.name), &spec, &schedule, seed)),
+        Box::new(
+            LiveServer::new(1, format!("{}/dropout", spec.name), &spec, &schedule, seed + 1)
+                .with_dropout(0.05),
+        ),
+        Box::new(
+            LiveServer::new(2, format!("{}/clock-step", spec.name), &spec, &schedule, seed + 2)
+                .with_clock_jump(90.0, -6.0),
+        ),
+    ];
+    println!(
+        "streaming {} programs on 3 copies of {} (seed {seed}; dropout + clock-step injected)",
+        schedule.len(),
+        spec.name
+    );
+    let report = Monitor::default().run_with(sources, |line| println!("{line}"));
+    print!("{}", report.render());
+    // Injections that go undetected are a monitor failure, not a pass.
+    let skew_seen = report.servers[2].stats.clock_skew_rejects > 0;
+    let dropout_seen = report.servers[1].stats.dropout_events > 0;
+    if skew_seen && dropout_seen {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("injected faults were not detected (skew {skew_seen}, dropout {dropout_seen})");
+        ExitCode::FAILURE
+    }
 }
 
 fn verify() -> ExitCode {

@@ -13,6 +13,9 @@
 //! * [`regression`] — forward-stepwise multiple linear regression.
 //! * [`core`] — the paper's contribution: the HPL+EP five-state power
 //!   evaluation method and the HPCC-trained power regression model.
+//! * [`telemetry`] — the streaming extension: multi-server sample
+//!   ingestion, ring-buffer storage, incremental window statistics and
+//!   online (RLS) model training with drift/anomaly detection.
 //!
 //! ## Quickstart
 //!
@@ -32,3 +35,4 @@ pub use hpceval_machine as machine;
 pub use hpceval_power as power;
 pub use hpceval_regression as regression;
 pub use hpceval_specpower as specpower;
+pub use hpceval_telemetry as telemetry;

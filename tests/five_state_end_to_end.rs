@@ -35,10 +35,7 @@ fn all_three_servers_reproduce_their_tables() {
         );
 
         let got = table.final_score();
-        assert!(
-            (got - score).abs() / score < 0.15,
-            "{name} score {got:.4} vs paper {score}"
-        );
+        assert!((got - score).abs() / score < 0.15, "{name} score {got:.4} vs paper {score}");
     }
 }
 
@@ -76,10 +73,7 @@ fn ppw_increases_with_cores_within_each_program_family() {
         let half = full / 2;
         assert!(ppw(&format!("ep.C.{half}")) >= ppw("ep.C.1"), "{name} EP half vs 1");
         assert!(ppw(&format!("ep.C.{full}")) >= ppw(&format!("ep.C.{half}")), "{name} EP");
-        assert!(
-            ppw(&format!("HPL P{full} Mf")) > ppw(&format!("HPL P{half} Mf")),
-            "{name} HPL Mf"
-        );
+        assert!(ppw(&format!("HPL P{full} Mf")) > ppw(&format!("HPL P{half} Mf")), "{name} HPL Mf");
         assert!(ppw(&format!("HPL P{half} Mf")) > ppw("HPL P1 Mf"), "{name} HPL Mf half");
     }
 }
@@ -92,9 +86,7 @@ fn half_memory_and_full_memory_ppw_nearly_equal() {
         let name = spec.name.clone();
         let full = spec.total_cores();
         let t = Evaluator::new(spec).run();
-        let get = |label: String| {
-            t.rows.iter().find(|r| r.program == label).expect("row exists")
-        };
+        let get = |label: String| t.rows.iter().find(|r| r.program == label).expect("row exists");
         let mh = get(format!("HPL P{full} Mh"));
         let mf = get(format!("HPL P{full} Mf"));
         let rel = (mh.ppw - mf.ppw).abs() / mf.ppw;

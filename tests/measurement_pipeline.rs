@@ -44,11 +44,11 @@ fn total_dropout_yields_no_analysis() {
 #[test]
 fn malformed_csv_is_rejected_not_mangled() {
     for bad in [
-        "",                       // empty
-        "watts,time_s\n1,2\n",    // wrong header order
-        "time_s,watts\n1.0\n",    // missing column
-        "time_s,watts\nx,y\n",    // non-numeric
-        "time_s,watts\ninf,nan\n" // non-finite
+        "",                        // empty
+        "watts,time_s\n1,2\n",     // wrong header order
+        "time_s,watts\n1.0\n",     // missing column
+        "time_s,watts\nx,y\n",     // non-numeric
+        "time_s,watts\ninf,nan\n", // non-finite
     ] {
         assert!(PowerTrace::from_csv(bad).is_none(), "accepted: {bad:?}");
     }

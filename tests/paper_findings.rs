@@ -56,9 +56,7 @@ fn finding_3_only_hpl_and_ep_cover_every_core_count() {
         let total = spec.total_cores();
         for p in 1..=total {
             // HPL and EP always runnable.
-            assert!(hpceval::kernels::hpl::HplConfig::tuned(10_000, p)
-                .constraint()
-                .allows(p));
+            assert!(hpceval::kernels::hpl::HplConfig::tuned(10_000, p).constraint().allows(p));
             assert!(Program::Ep.benchmark(Class::C).constraint().allows(p));
         }
         // And at least one process count excludes every other program.
@@ -66,8 +64,7 @@ fn finding_3_only_hpl_and_ep_cover_every_core_count() {
             if prog == Program::Ep {
                 continue;
             }
-            let excluded = (1..=total)
-                .any(|p| !prog.benchmark(Class::C).constraint().allows(p));
+            let excluded = (1..=total).any(|p| !prog.benchmark(Class::C).constraint().allows(p));
             assert!(excluded, "{prog:?} unexpectedly unconstrained");
         }
     }

@@ -16,12 +16,12 @@ use hpceval::regression::stats::r_squared;
 
 fn arb_signature() -> impl Strategy<Value = WorkloadSignature> {
     (
-        1e9..1e15f64,  // work_ops
-        0.0..1e13f64,  // dram_bytes
-        1e6..5e9f64,   // footprint
-        0.0..0.5f64,   // comm fraction
-        0.05..1.0f64,  // intensity
-        0.0..1.0f64,   // vector fraction
+        1e9..1e15f64, // work_ops
+        0.0..1e13f64, // dram_bytes
+        1e6..5e9f64,  // footprint
+        0.0..0.5f64,  // comm fraction
+        0.05..1.0f64, // intensity
+        0.0..1.0f64,  // vector fraction
     )
         .prop_map(|(ops, bytes, footprint, comm, intensity, vf)| WorkloadSignature {
             name: "arb".to_string(),

@@ -53,9 +53,8 @@ fn opteron_finishes_last_everywhere() {
 #[test]
 fn specpower_scores_scale_with_paper() {
     let cmp = compare(&presets::all_servers());
-    let get = |n: &str| {
-        cmp.scores.iter().find(|s| s.server == n).expect("present").specpower_ops_per_w
-    };
+    let get =
+        |n: &str| cmp.scores.iter().find(|s| s.server == n).expect("present").specpower_ops_per_w;
     assert!((get("Xeon-E5462") - 247.0).abs() < 35.0);
     assert!((get("Xeon-4870") - 139.0).abs() < 25.0);
     assert!((get("Opteron-8347") - 22.2).abs() < 8.0);

@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the benchmarking surface the workspace's `benches/` use: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//! Each benchmark is auto-calibrated to a ~0.3 s measurement window and
+//! reports mean wall-clock time per iteration plus derived throughput
+//! (elem/s or bytes/s). No statistics beyond the mean, no HTML reports,
+//! no baseline storage — numbers print to stdout.
+//!
+//! A benchmark binary accepts an optional substring filter as its first
+//! non-flag CLI argument, mirroring `cargo bench -- <filter>`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion's own is deprecated
+/// in favor of the std version; benches import either).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation: per-iteration work for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored by the stub's timing —
+/// setup is always excluded from the measurement).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; a bare argument is a filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter, measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Set the per-benchmark measurement window.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API parity; the stub has no sample statistics.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API parity; the stub has no sample statistics.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-benchmark measurement window for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(criterion: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        measurement_time: criterion.measurement_time,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let (iters, elapsed) = (bencher.iterations.max(1), bencher.elapsed);
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" thrpt: {}/s", si(n as f64 / per_iter, "elem")),
+        Throughput::Bytes(n) => format!(" thrpt: {}/s", si(n as f64 / per_iter, "B")),
+    });
+    println!(
+        "{id:<44} time: [{}] iters: {iters}{}",
+        human_time(per_iter),
+        rate.unwrap_or_default()
+    );
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn si(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}")
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    measurement_time: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, auto-scaling iteration count to the
+    /// measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: time one iteration, scale to the window.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target =
+            (self.measurement_time.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = target;
+    }
+
+    /// Measure `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std_black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let target =
+            (self.measurement_time.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e6) as u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = target;
+    }
+}
+
+/// Define a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_measures_something() {
+        let mut c = Criterion { filter: None, measurement_time: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_batched_run() {
+        let mut c = Criterion { filter: None, measurement_time: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 4],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c =
+            Criterion { filter: Some("zzz".into()), measurement_time: Duration::from_millis(5) };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(!ran, "filter must skip");
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the minimal surface it actually uses: [`rngs::StdRng`] (xoshiro256++,
+//! seeded through SplitMix64 like `rand_xoshiro`), [`SeedableRng::seed_from_u64`]
+//! and [`Rng::random`] for the primitive types the simulation draws.
+//! Streams are deterministic per seed, statistically solid for the
+//! Monte-Carlo noise the meter and workload models need, and NOT
+//! cryptographically secure.
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution: uniform over the
+/// type's range for integers, uniform in `[0, 1)` for floats.
+pub trait StandardSample {
+    /// Draw one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every core rng.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Uniform draw from a range (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: Into<UniformRange<T>>,
+    {
+        T::uniform_sample(range.into(), self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A resolved uniform range `[low, high)` (`high` already adjusted for
+/// inclusive ranges).
+pub struct UniformRange<T> {
+    /// Inclusive lower bound.
+    pub low: T,
+    /// Exclusive upper bound.
+    pub high: T,
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl From<core::ops::Range<$t>> for UniformRange<$t> {
+            fn from(r: core::ops::Range<$t>) -> Self {
+                Self { low: r.start, high: r.end }
+            }
+        }
+        impl From<core::ops::RangeInclusive<$t>> for UniformRange<$t> {
+            fn from(r: core::ops::RangeInclusive<$t>) -> Self {
+                Self { low: *r.start(), high: r.end().checked_add(1).unwrap_or(*r.end()) }
+            }
+        }
+        impl UniformSample for $t {
+            fn uniform_sample<R: RngCore + ?Sized>(range: UniformRange<Self>, rng: &mut R) -> Self {
+                assert!(range.high > range.low, "empty range");
+                let span = (range.high - range.low) as u64;
+                range.low + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+/// Types with uniform range sampling.
+pub trait UniformSample: Sized {
+    /// Draw uniformly from `range`.
+    fn uniform_sample<R: RngCore + ?Sized>(range: UniformRange<Self>, rng: &mut R) -> Self;
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl From<core::ops::Range<f64>> for UniformRange<f64> {
+    fn from(r: core::ops::Range<f64>) -> Self {
+        Self { low: r.start, high: r.end }
+    }
+}
+
+impl UniformSample for f64 {
+    fn uniform_sample<R: RngCore + ?Sized>(range: UniformRange<Self>, rng: &mut R) -> Self {
+        let u: f64 = f64::standard_sample(rng);
+        range.low + u * (range.high - range.low)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same small fast generator family `rand`'s
+    /// `StdRng` documentation points at for reproducible simulation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, per Vigna's reference seeding.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.random::<u64>(), b.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut r = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: u32 = r.random_range(3u32..10);
+            assert!((3..10).contains(&v));
+            let w: f64 = r.random_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for `rayon`: a *sequential* facade.
+//!
+//! The build container has no crates.io access, so this crate maps the
+//! rayon entry points the workspace uses onto plain sequential
+//! iteration. `par_iter`/`par_chunks`/`into_par_iter` return a
+//! [`SeqIter`] wrapper whose inherent combinators mirror **rayon's**
+//! semantics (notably `reduce(identity, op)` and `fold(identity, op)`,
+//! which differ from `std::iter::Iterator`), so call sites compile and
+//! produce bit-identical results to the parallel versions; wall-clock
+//! parallel speedup is the only thing lost. `ThreadPool::install` runs
+//! its closure inline. Swap back to real rayon by restoring the
+//! crates.io entry in the workspace `Cargo.toml`.
+
+use std::ops::Range;
+
+/// Sequential stand-in for a rayon `ParallelIterator`.
+///
+/// Deliberately does **not** implement `Iterator`: combinators are
+/// inherent methods with rayon's signatures, so semantic differences
+/// (e.g. `reduce`) cannot silently fall through to std behavior.
+pub struct SeqIter<I>(I);
+
+impl<I: Iterator> SeqIter<I> {
+    /// Map each item.
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
+        SeqIter(self.0.map(f))
+    }
+
+    /// Keep items passing the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
+        SeqIter(self.0.filter(f))
+    }
+
+    /// Map and keep the `Some` results.
+    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FilterMap<I, F>> {
+        SeqIter(self.0.filter_map(f))
+    }
+
+    /// Map each item to an iterable and flatten.
+    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+        self,
+        f: F,
+    ) -> SeqIter<std::iter::FlatMap<I, O, F>> {
+        SeqIter(self.0.flat_map(f))
+    }
+
+    /// Pair items with their index.
+    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
+        SeqIter(self.0.enumerate())
+    }
+
+    /// Pair with another (parallel or plain) iterable.
+    pub fn zip<J: IntoIterator>(self, other: J) -> SeqIter<std::iter::Zip<I, J::IntoIter>> {
+        SeqIter(self.0.zip(other))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style reduce: combine all items onto `identity()`.
+    /// (Sequentially the identity is consumed once, as rayon guarantees
+    /// for a single split.)
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Rayon-style fold: accumulate into `identity()` per "worker"
+    /// (sequentially: one worker), yielding the partial accumulators.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> SeqIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        SeqIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Sum all items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Accepted for API parity with rayon's indexed iterators; the
+    /// sequential facade has nothing to chunk.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> IntoIterator for SeqIter<I> {
+    type Item = I::Item;
+    type IntoIter = I;
+    fn into_iter(self) -> I {
+        self.0
+    }
+}
+
+/// `.into_par_iter()` for any owned iterable — sequential here.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Convert into a "parallel" (here: sequential) iterator.
+    fn into_par_iter(self) -> SeqIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> SeqIter<Self::Iter> {
+        SeqIter(self.into_iter())
+    }
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    Range<T>: Iterator<Item = T>,
+{
+    type Iter = Range<T>;
+    type Item = T;
+    fn into_par_iter(self) -> SeqIter<Self::Iter> {
+        SeqIter(self)
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SeqIter<Self::Iter> {
+        SeqIter(self.iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a mut [T] {
+    type Iter = std::slice::IterMut<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> SeqIter<Self::Iter> {
+        SeqIter(self.iter_mut())
+    }
+}
+
+/// Shared-slice `par_iter`/`par_chunks` — sequential here.
+pub trait ParallelSlice<T> {
+    /// Sequential stand-in for `par_iter`.
+    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
+    /// Sequential stand-in for `par_chunks`.
+    fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
+        SeqIter(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
+        SeqIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable-slice `par_iter_mut`/`par_chunks_mut` — sequential here.
+pub trait ParallelSliceMut<T> {
+    /// Sequential stand-in for `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
+    /// Sequential stand-in for `par_chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
+        SeqIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
+        SeqIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Number of threads the "pool" would use (sequential facade reports
+/// the CPU count so chunking heuristics still split work sensibly).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder for a (no-op) thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction error (never produced by the stub).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sequential rayon stub cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the requested thread count (informational only).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the no-op pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { _threads: self.num_threads })
+    }
+}
+
+/// A no-op pool: `install` runs the closure on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` (sequentially, on the current thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+/// Run two closures (sequentially) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod prelude {
+    //! The import surface matching `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_matches_sequential_semantics() {
+        let v = [1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+        let mut m = [1, 2, 3];
+        m.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(m, [2, 3, 4]);
+        assert_eq!(m.par_chunks(2).count(), 2);
+    }
+
+    #[test]
+    fn rayon_style_reduce_and_fold() {
+        let data = [1u32, 2, 3, 4, 5, 6];
+        let hist = data
+            .par_chunks(2)
+            .map(|part| part.iter().sum::<u32>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(hist, 21);
+        let folded: Vec<u32> = data.par_iter().fold(|| 0u32, |acc, &x| acc + x).collect();
+        assert_eq!(folded.into_iter().sum::<u32>(), 21);
+    }
+
+    #[test]
+    fn zip_pairs_parallel_facades() {
+        let a = [1, 2, 3];
+        let mut b = [10, 20, 30];
+        b.par_iter_mut().zip(a.par_iter()).for_each(|(x, y)| *x += y);
+        assert_eq!(b, [11, 22, 33]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,198 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so this crate provides
+//! the small serialization core the workspace actually exercises:
+//! [`Serialize`] converts a value into a [`Value`] tree (which the
+//! vendored `serde_json` renders as strict JSON), and the re-exported
+//! derive walks struct fields and enum variants to implement it. The
+//! surface is deliberately tiny — named-field structs, unit and tuple
+//! enum variants, and the std container types the artifact dumps use.
+//! `Deserialize` remains a marker trait (nothing in the workspace
+//! deserializes through serde). Swap back to real serde by restoring
+//! the crates.io entries in the workspace `Cargo.toml`.
+
+/// A serialized value tree — the stub's equivalent of
+/// `serde_json::Value`, produced by [`Serialize::to_value`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point (non-finite values render as `null`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs (declaration order for
+    /// derived structs, matching real serde).
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`] tree.
+///
+/// Unlike real serde's visitor-based `Serialize`, the stub uses a
+/// direct tree conversion — equivalent output for the subset the
+/// workspace serializes, at a fraction of the machinery.
+pub trait Serialize {
+    /// Convert `self` into a serialized value tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_tuple!((0 A)(0 A, 1 B)(0 A, 1 B, 2 C)(0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        // HashMap iteration order is arbitrary; sort for stable output.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(pairs)
+    }
+}
+
+/// Marker for deserializable types (blanket: every type qualifies; the
+/// workspace never deserializes through serde).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring serde's `DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-2i32).to_value(), Value::Int(-2));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("hi".to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(vec![1u8, 2].to_value(), Value::Seq(vec![Value::UInt(1), Value::UInt(2)]));
+        assert_eq!((1u8, "a").to_value(), Value::Seq(vec![Value::UInt(1), Value::Str("a".into())]));
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates a real `serde::Serialize` impl by
+//! walking the item's tokens directly (the container has no crates.io
+//! access, hence no `syn`/`quote`): named-field structs serialize to a
+//! `serde::Value::Map` in declaration order, unit enum variants to
+//! their name as a string, and tuple variants to externally-tagged
+//! objects — matching real serde's JSON shape for this subset.
+//! Unsupported shapes (generics, tuple structs, named-field variants
+//! are fine; lifetimes/const generics are not) fail the build with a
+//! clear message rather than silently serializing wrong.
+//!
+//! `#[derive(Deserialize)]` remains a no-op: the vendored `serde`
+//! keeps `Deserialize` as a blanket marker trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct or an enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let item = parse_item(&tokens);
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", pairs.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| v.match_arm(&item.name)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named field identifiers, declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Named-field variant.
+    Named(Vec<String>),
+}
+
+impl Variant {
+    fn match_arm(&self, enum_name: &str) -> String {
+        let v = &self.name;
+        match &self.shape {
+            VariantShape::Unit => {
+                format!("{enum_name}::{v} => serde::Value::Str(\"{v}\".to_string()),")
+            }
+            VariantShape::Tuple(1) => format!(
+                "{enum_name}::{v}(f0) => serde::Value::Map(vec![(\"{v}\".to_string(), \
+                 serde::Serialize::to_value(f0))]),"
+            ),
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let vals: Vec<String> =
+                    binds.iter().map(|b| format!("serde::Serialize::to_value({b})")).collect();
+                format!(
+                    "{enum_name}::{v}({}) => serde::Value::Map(vec![(\"{v}\".to_string(), \
+                     serde::Value::Seq(vec![{}]))]),",
+                    binds.join(", "),
+                    vals.join(", ")
+                )
+            }
+            VariantShape::Named(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{enum_name}::{v} {{ {} }} => serde::Value::Map(vec![(\"{v}\".to_string(), \
+                     serde::Value::Map(vec![{}]))]),",
+                    fields.join(", "),
+                    pairs.join(", ")
+                )
+            }
+        }
+    }
+}
+
+fn parse_item(tokens: &[TokenTree]) -> Item {
+    // Skip outer attributes and visibility, find `struct`/`enum` + name.
+    let mut i = 0;
+    let mut is_struct = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // #[attr]
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                is_struct = Some(true);
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_struct = Some(false);
+                i += 1;
+                break;
+            }
+            _ => i += 1, // pub, pub(crate) group, etc.
+        }
+    }
+    let is_struct = is_struct.expect("derive(Serialize) on a struct or enum");
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) stub does not support generic type `{name}`");
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize) needs a braced body on `{name}` (tuple/unit structs unsupported)"));
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let kind = if is_struct {
+        ItemKind::Struct(parse_named_fields(&body))
+    } else {
+        ItemKind::Enum(parse_variants(&body))
+    };
+    Item { name, kind }
+}
+
+/// Field names of a named-field body: for each top-level
+/// comma-separated declaration, the identifier before the first `:`.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(tokens)
+        .iter()
+        .filter(|decl| !decl.is_empty())
+        .map(|decl| {
+            let mut last_ident = None;
+            for t in decl.iter() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == ':' => break,
+                    TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+                    _ => {}
+                }
+            }
+            last_ident.expect("named field declaration")
+        })
+        .collect()
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(tokens)
+        .iter()
+        .filter(|decl| !decl.is_empty())
+        .map(|decl| {
+            // [attrs] Name [()|{}] [= discriminant]
+            let mut name = None;
+            let mut shape = VariantShape::Unit;
+            let mut k = 0;
+            while k < decl.len() {
+                match &decl[k] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => k += 2,
+                    TokenTree::Punct(p) if p.as_char() == '=' => break,
+                    TokenTree::Ident(id) if name.is_none() => {
+                        name = Some(id.to_string());
+                        k += 1;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        let n =
+                            split_top_level_commas(&inner).iter().filter(|c| !c.is_empty()).count();
+                        shape = VariantShape::Tuple(n);
+                        k += 1;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        shape = VariantShape::Named(parse_named_fields(&inner));
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            Variant { name: name.expect("variant name"), shape }
+        })
+        .collect()
+}
+
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    // Angle brackets in types (`Vec<u32>`) never nest commas at this
+    // token level — generics arrive as flat `<`/`>` puncts — so track
+    // depth to avoid splitting inside them.
+    let mut angle = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                out.last_mut().unwrap().push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                out.last_mut().unwrap().push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => out.push(Vec::new()),
+            _ => out.last_mut().unwrap().push(t.clone()),
+        }
+    }
+    out
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde`'s [`serde::Value`] tree as strict,
+//! parseable JSON: `to_string_pretty` with two-space indentation,
+//! `to_string` compact. Non-finite floats serialize as `null`
+//! (matching `serde_json::Value`'s behavior). The full parsing half of
+//! the real crate is absent — nothing in the workspace deserializes
+//! JSON.
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error (the stub never fails).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stub result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, true, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), 0, false, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, depth: usize, pretty: bool, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) if x.is_finite() => out.push_str(&format!("{x}")),
+        Value::Float(_) => out.push_str("null"),
+        Value::Str(s) => push_escaped(s, out),
+        Value::Seq(items) => render_block('[', ']', items.len(), depth, pretty, out, |k, o| {
+            render(&items[k], depth + 1, pretty, o);
+        }),
+        Value::Map(pairs) => render_block('{', '}', pairs.len(), depth, pretty, out, |k, o| {
+            push_escaped(&pairs[k].0, o);
+            o.push(':');
+            if pretty {
+                o.push(' ');
+            }
+            render(&pairs[k].1, depth + 1, pretty, o);
+        }),
+    }
+}
+
+fn render_block(
+    open: char,
+    close: char,
+    len: usize,
+    depth: usize,
+    pretty: bool,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    for k in 0..len {
+        if k > 0 {
+            out.push(',');
+        }
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth + 1));
+        }
+        item(k, out);
+    }
+    if pretty && len > 0 {
+        out.push('\n');
+        out.push_str(&"  ".repeat(depth));
+    }
+    out.push(close);
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::Serialize;
+
+    #[derive(Debug, Serialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, Serialize)]
+    #[allow(dead_code)]
+    enum Kind {
+        Plain,
+        Weighted(f64),
+    }
+
+    #[derive(Debug, Serialize)]
+    struct Nested {
+        kind: Kind,
+        points: Vec<Point>,
+        opt: Option<u32>,
+    }
+
+    #[test]
+    fn pretty_output_is_strict_json() {
+        let v = Nested {
+            kind: Kind::Weighted(0.5),
+            points: vec![Point { x: 1.0, y: 2.5, label: "a\"b".into() }],
+            opt: None,
+        };
+        let s = super::to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"kind\": {\n    \"Weighted\": 0.5\n  },\n  \"points\": [\n    {\n      \
+             \"x\": 1,\n      \"y\": 2.5,\n      \"label\": \"a\\\"b\"\n    }\n  ],\n  \
+             \"opt\": null\n}"
+        );
+    }
+
+    #[test]
+    fn compact_output_and_unit_variants() {
+        let s = super::to_string(&Kind::Plain).unwrap();
+        assert_eq!(s, "\"Plain\"");
+        let p = Point { x: -1.5, y: 0.0, label: "ok".into() };
+        assert_eq!(super::to_string(&p).unwrap(), "{\"x\":-1.5,\"y\":0,\"label\":\"ok\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(super::to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
