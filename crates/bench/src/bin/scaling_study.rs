@@ -1,0 +1,135 @@
+//! Record the thread-scaling baseline of the two dense hot paths.
+//!
+//! Runs DGEMM (n = 768) and HPL LU (n = 512) at logical widths
+//! 1/2/4/max — the same sweep as `benches/scaling.rs` — and writes
+//! `BENCH_scaling.json` at the repo root: best-of-3 wall time, GFLOP/s
+//! and speedup vs the 1-thread run for every (kernel, width) point,
+//! plus the hardware width the numbers were taken on. Pass `--json` to
+//! print the report to stdout instead of (in addition to) the table.
+
+use std::time::Instant;
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_kernels::hpcc::dgemm::dgemm;
+use hpceval_kernels::hpl::lu;
+use hpceval_kernels::rng::NpbRng;
+use serde::Serialize;
+
+const DGEMM_N: usize = 768;
+const LU_N: usize = 512;
+
+#[derive(Serialize)]
+struct Point {
+    kernel: &'static str,
+    n: usize,
+    threads: usize,
+    seconds: f64,
+    gflops: f64,
+    speedup_vs_1t: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    hardware_threads: usize,
+    note: &'static str,
+    points: Vec<Point>,
+}
+
+/// Best of three runs (the usual HPC convention for scaling tables:
+/// minimum filters scheduler noise better than the mean).
+fn best_of_3(mut f: impl FnMut()) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn widths() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut w = vec![1, 2, 4, max];
+    w.sort_unstable();
+    w.dedup();
+    w
+}
+
+fn main() {
+    // The study varies the width via `ThreadPoolBuilder`; a pinned
+    // `HPCEVAL_THREADS` would override every request (by design), so
+    // clear it before the executor reads it.
+    std::env::remove_var("HPCEVAL_THREADS");
+    heading("Scaling", "DGEMM and HPL LU wall time vs thread count");
+
+    let mut points = Vec::new();
+
+    let n = DGEMM_N;
+    let mut rng = NpbRng::new(17);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let flops = 2.0 * (n as f64).powi(3);
+    let mut base = f64::NAN;
+    for t in widths() {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let mut c = vec![0.0; n * n];
+        let secs = best_of_3(|| pool.install(|| dgemm(n, 1.0, &a, &b, 0.0, &mut c)));
+        if t == 1 {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "dgemm",
+            n,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    let n = LU_N;
+    let a = lu::Matrix::random(n, 5);
+    let flops = 2.0 * (n as f64).powi(3) / 3.0;
+    let mut base = f64::NAN;
+    for t in widths() {
+        let secs = best_of_3(|| {
+            lu::factor(a.clone(), 32, t).expect("nonsingular");
+        });
+        if t == 1 {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "hpl_lu",
+            n,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    let report = Report {
+        hardware_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
+        note: "best-of-3 wall time per point; speedup is relative to the 1-thread run \
+               on the same host, so it only demonstrates scaling when hardware_threads > 1",
+        points,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    if json_requested() {
+        println!("{json}");
+    } else {
+        println!(
+            "{:>8} {:>6} {:>9} {:>11} {:>11} {:>9}",
+            "kernel", "n", "threads", "seconds", "GFLOP/s", "speedup"
+        );
+        for p in &report.points {
+            println!(
+                "{:>8} {:>6} {:>9} {:>11.4} {:>11.3} {:>8.2}x",
+                p.kernel, p.n, p.threads, p.seconds, p.gflops, p.speedup_vs_1t
+            );
+        }
+        std::fs::write("BENCH_scaling.json", json + "\n").expect("write BENCH_scaling.json");
+        println!("\nwrote BENCH_scaling.json ({} hw threads)", report.hardware_threads);
+    }
+}

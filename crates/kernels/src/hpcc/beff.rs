@@ -9,8 +9,6 @@
 //! PMU indicators cannot see — the root of the paper's EP/SP validation
 //! residuals).
 
-use std::thread;
-
 use crossbeam::channel;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
@@ -54,38 +52,50 @@ pub struct ExchangeStat {
 /// Run a ping-pong exchange of `reps` round trips at each size
 /// `1, 2, 4, …, 2^max_log2_size` bytes between two threads; the pong side
 /// echoes a transformed payload so corruption is detectable.
+///
+/// The two sides run as the branches of a `rayon::join`: the ping side
+/// on the calling thread, the echo on a pool worker. The executor's
+/// `join` guarantees the echo branch really runs concurrently (it is
+/// offered to the pool even at logical width 1), which the rendezvous
+/// channels require for progress.
 pub fn run(max_log2_size: u32, reps: u32) -> Vec<ExchangeStat> {
     let (to_pong, pong_rx) = channel::bounded::<Vec<u8>>(1);
     let (to_ping, ping_rx) = channel::bounded::<Vec<u8>>(1);
 
-    let echo = thread::spawn(move || {
-        while let Ok(mut msg) = pong_rx.recv() {
-            for b in msg.iter_mut() {
-                *b = b.wrapping_add(1);
+    let (stats, ()) = rayon::join(
+        move || {
+            let mut stats = Vec::new();
+            for s in 0..=max_log2_size {
+                let size = 1usize << s;
+                let mut ok_bytes = 0u64;
+                let mut trips = 0u32;
+                for rep in 0..reps {
+                    let payload: Vec<u8> =
+                        (0..size).map(|i| (i as u8).wrapping_add(rep as u8)).collect();
+                    to_pong.send(payload.clone()).expect("echo side alive");
+                    let back = ping_rx.recv().expect("echo side alive");
+                    trips += 1;
+                    ok_bytes +=
+                        back.iter().zip(&payload).filter(|(e, o)| **e == o.wrapping_add(1)).count()
+                            as u64;
+                }
+                stats.push(ExchangeStat { size, round_trips: trips, bytes_ok: ok_bytes });
             }
-            if to_ping.send(msg).is_err() {
-                break;
+            // Dropping the sender ends the echo loop.
+            drop(to_pong);
+            stats
+        },
+        move || {
+            while let Ok(mut msg) = pong_rx.recv() {
+                for b in msg.iter_mut() {
+                    *b = b.wrapping_add(1);
+                }
+                if to_ping.send(msg).is_err() {
+                    break;
+                }
             }
-        }
-    });
-
-    let mut stats = Vec::new();
-    for s in 0..=max_log2_size {
-        let size = 1usize << s;
-        let mut ok_bytes = 0u64;
-        let mut trips = 0u32;
-        for rep in 0..reps {
-            let payload: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_add(rep as u8)).collect();
-            to_pong.send(payload.clone()).expect("echo thread alive");
-            let back = ping_rx.recv().expect("echo thread alive");
-            trips += 1;
-            ok_bytes +=
-                back.iter().zip(&payload).filter(|(e, o)| **e == o.wrapping_add(1)).count() as u64;
-        }
-        stats.push(ExchangeStat { size, round_trips: trips, bytes_ok: ok_bytes });
-    }
-    drop(to_pong);
-    echo.join().expect("echo thread panicked");
+        },
+    );
     stats
 }
 

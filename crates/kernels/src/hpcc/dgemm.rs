@@ -48,24 +48,50 @@ pub fn dgemm(n: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64
         for v in cpanel.iter_mut() {
             *v *= beta;
         }
-        // Blocked accumulation.
+        // Packed-B micro-kernel: each BLOCK×BLOCK tile of B is copied
+        // once into contiguous scratch (18 KiB, L1-resident) and reused
+        // across every row of the panel, turning the strided B walk of
+        // the inner loop into unit-stride loads. The k loop is unrolled
+        // 4× so four B rows stream per C-row pass.
+        let mut bt = [0.0f64; BLOCK * BLOCK];
         let mut kb = 0;
         while kb < n {
-            let kend = (kb + BLOCK).min(n);
-            for r in 0..rows {
-                let arow = &a[(r0 + r) * n..(r0 + r + 1) * n];
-                let crow = &mut cpanel[r * n..(r + 1) * n];
-                for k in kb..kend {
-                    let aik = alpha * arow[k];
-                    if aik != 0.0 {
-                        let brow = &b[k * n..(k + 1) * n];
-                        for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv += aik * bv;
+            let kw = BLOCK.min(n - kb);
+            let mut jb = 0;
+            while jb < n {
+                let jw = BLOCK.min(n - jb);
+                for (kk, btrow) in bt.chunks_mut(jw).take(kw).enumerate() {
+                    let src = (kb + kk) * n + jb;
+                    btrow.copy_from_slice(&b[src..src + jw]);
+                }
+                for r in 0..rows {
+                    let arow = &a[(r0 + r) * n + kb..(r0 + r) * n + kb + kw];
+                    let crow = &mut cpanel[r * n + jb..r * n + jb + jw];
+                    let mut kk = 0;
+                    while kk + 4 <= kw {
+                        let a0 = alpha * arow[kk];
+                        let a1 = alpha * arow[kk + 1];
+                        let a2 = alpha * arow[kk + 2];
+                        let a3 = alpha * arow[kk + 3];
+                        let (b0, rest) = bt[kk * jw..].split_at(jw);
+                        let (b1, rest) = rest.split_at(jw);
+                        let (b2, rest) = rest.split_at(jw);
+                        for (jj, cv) in crow.iter_mut().enumerate() {
+                            *cv += a0 * b0[jj] + a1 * b1[jj] + a2 * b2[jj] + a3 * rest[jj];
                         }
+                        kk += 4;
+                    }
+                    while kk < kw {
+                        let ak = alpha * arow[kk];
+                        for (cv, bv) in crow.iter_mut().zip(&bt[kk * jw..kk * jw + jw]) {
+                            *cv += ak * bv;
+                        }
+                        kk += 1;
                     }
                 }
+                jb += jw;
             }
-            kb = kend;
+            kb += kw;
         }
     });
 }

@@ -157,15 +157,37 @@ pub fn factor(mut a: Matrix, nb: usize, threads: usize) -> Result<LuFactors, LuE
                         }
                     }
                 }
-                // --- Trailing update: A22 -= L21 · U12 (parallel rows). ---
+                // --- Trailing update: A22 -= L21 · U12 (parallel bands). ---
+                // Rows are grouped into bands sized to the installed pool
+                // (4 bands per thread for load balance) so each piece
+                // amortises dispatch over many rows instead of paying it
+                // per row. Per-row arithmetic is unchanged by the banding,
+                // so results stay bitwise identical at every width.
                 let (head, tail) = a.data.split_at_mut(end * n);
                 let u12 = &head[k * n..]; // rows k..end
-                tail.par_chunks_mut(n).for_each(|row| {
-                    for (j, urow) in (k..end).zip(u12.chunks(n)) {
-                        let m = row[j];
-                        if m != 0.0 {
+                let band = (n - end).div_ceil(4 * rayon::current_num_threads()).max(1);
+                tail.par_chunks_mut(n * band).for_each(|bandrows| {
+                    for row in bandrows.chunks_mut(n) {
+                        // The multipliers row[k..end] are fixed L21 entries
+                        // (only columns end.. are written), so pairs of U
+                        // rows can stream through one fused pass.
+                        let mut urows = u12.chunks(n);
+                        let mut j = k;
+                        while j + 2 <= end {
+                            let u0 = urows.next().expect("U12 row");
+                            let u1 = urows.next().expect("U12 row");
+                            let m0 = row[j];
+                            let m1 = row[j + 1];
                             for c in end..n {
-                                row[c] -= m * urow[c];
+                                row[c] -= m0 * u0[c] + m1 * u1[c];
+                            }
+                            j += 2;
+                        }
+                        if j < end {
+                            let u0 = urows.next().expect("U12 row");
+                            let m0 = row[j];
+                            for c in end..n {
+                                row[c] -= m0 * u0[c];
                             }
                         }
                     }

@@ -1,0 +1,104 @@
+//! Cross-width determinism of the parallel kernels.
+//!
+//! The executor reassembles pieces in order and element-wise kernels
+//! never move arithmetic across piece boundaries, so DGEMM, the LU
+//! trailing update, STREAM, EP (fixed block decomposition) and the IS
+//! histogram must produce *bit-identical* results at every logical
+//! thread width. CI runs this suite under both `HPCEVAL_THREADS=1` and
+//! `HPCEVAL_THREADS=4`; when that variable is set it pins every width
+//! below to the same value, and the whole suite must still pass at
+//! either pin.
+
+use hpceval_kernels::hpcc::dgemm::{dgemm, dgemm_naive};
+use hpceval_kernels::hpcc::stream;
+use hpceval_kernels::hpl::lu;
+use hpceval_kernels::npb::{ep, is};
+use hpceval_kernels::rng::NpbRng;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_width<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn dgemm_bitwise_identical_across_widths() {
+    // Not a BLOCK multiple, so edge tiles and the k-unroll remainder
+    // path are exercised too.
+    let n = 160;
+    let mut rng = NpbRng::new(2024);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let c0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+
+    let run = |width: usize| {
+        with_width(width, || {
+            let mut c = c0.clone();
+            dgemm(n, 1.25, &a, &b, 0.5, &mut c);
+            c
+        })
+    };
+    let reference = run(1);
+    for width in WIDTHS {
+        assert_eq!(bits(&run(width)), bits(&reference), "dgemm diverges at width {width}");
+    }
+    // Anchor the shared answer against the naive triple loop.
+    let mut naive = c0.clone();
+    dgemm_naive(n, 1.25, &a, &b, 0.5, &mut naive);
+    let max_err = reference.iter().zip(&naive).map(|(x, y)| (x - y).abs()).fold(0.0f64, f64::max);
+    assert!(max_err < 1e-10, "blocked result drifted from naive: {max_err:.3e}");
+}
+
+#[test]
+fn lu_factorization_bitwise_identical_across_widths() {
+    let a = lu::Matrix::random(192, 31);
+    let reference = lu::factor(a.clone(), 24, 1).unwrap();
+    for width in WIDTHS {
+        let f = lu::factor(a.clone(), 24, width).unwrap();
+        assert_eq!(f.pivots, reference.pivots, "pivot sequence diverges at width {width}");
+        assert_eq!(
+            bits(&f.lu.data),
+            bits(&reference.lu.data),
+            "LU factors diverge at width {width}"
+        );
+    }
+}
+
+#[test]
+fn stream_cycle_bitwise_identical_across_widths() {
+    let reference = with_width(1, || stream::run(1 << 14, 3));
+    for width in WIDTHS {
+        let out = with_width(width, || stream::run(1 << 14, 3));
+        assert_eq!(
+            out.head.to_bits(),
+            reference.head.to_bits(),
+            "STREAM checksum diverges at width {width}"
+        );
+        assert!(out.passes(), "STREAM validation fails at width {width}");
+    }
+}
+
+#[test]
+fn ep_sums_bitwise_identical_across_widths() {
+    let reference = ep::run(14, 1);
+    for width in WIDTHS {
+        let out = ep::run(14, width);
+        assert_eq!(out.q, reference.q, "EP annulus counts diverge at width {width}");
+        assert_eq!(out.sx.to_bits(), reference.sx.to_bits(), "EP Σx diverges at width {width}");
+        assert_eq!(out.sy.to_bits(), reference.sy.to_bits(), "EP Σy diverges at width {width}");
+    }
+}
+
+#[test]
+fn is_ranking_identical_across_widths() {
+    let keys = is::generate_keys(1 << 15, 1 << 10, 99);
+    let reference = with_width(1, || is::rank_keys(&keys, 1 << 10));
+    for width in WIDTHS {
+        let ranks = with_width(width, || is::rank_keys(&keys, 1 << 10));
+        assert_eq!(ranks, reference, "IS ranks diverge at width {width}");
+    }
+}

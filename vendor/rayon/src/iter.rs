@@ -1,0 +1,741 @@
+//! Parallel iterators over splittable sources.
+//!
+//! A [`Producer`] is a source with a known number of split positions
+//! that can be cut into independent pieces (`split_at`) and lowered to
+//! a plain sequential iterator per piece (`into_seq`). [`ParIter`]
+//! wraps a producer and provides rayon's combinator surface; terminal
+//! operations pre-split the producer into `min(len, 4 × logical
+//! threads)` even pieces on the calling thread and hand them to the
+//! executor in [`crate::pool`], which returns per-piece results **in
+//! piece order**. That ordering rule is what keeps results
+//! deterministic: `collect` preserves item order exactly, and
+//! `reduce`/`fold`/`sum` combine partials left-to-right, so for a fixed
+//! logical width the outcome is bit-reproducible, and element-wise
+//! operations (`for_each` over disjoint data) are bit-identical at
+//! *any* width.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool;
+
+/// Work units a terminal op aims to hand each logical thread, so the
+/// atomic-index scheduler can balance uneven pieces.
+const PIECES_PER_THREAD: usize = 4;
+
+/// A splittable data source with exact split positions.
+pub trait Producer: Sized + Send {
+    /// The element type produced.
+    type Item: Send;
+    /// Sequential iterator over one piece.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Number of split positions (== items for element producers,
+    /// == chunks for chunk producers; an upper bound after `filter`).
+    fn len(&self) -> usize;
+    /// Whether the producer has no split positions left.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Cut into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+    /// Lower to a sequential iterator.
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// A parallel iterator: a producer plus scheduling hints.
+pub struct ParIter<P: Producer> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(producer: P) -> Self {
+        Self { producer, min_len: 1 }
+    }
+
+    /// Lower bound on items per piece (rayon's `with_min_len`): caps
+    /// how finely the source is split.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Map each item through `f`.
+    pub fn map<O, F>(self, f: F) -> ParIter<MapP<P, F>>
+    where
+        O: Send,
+        F: Fn(P::Item) -> O + Send + Sync,
+    {
+        ParIter { producer: MapP { base: self.producer, f: Arc::new(f) }, min_len: self.min_len }
+    }
+
+    /// Keep items passing the predicate.
+    pub fn filter<F>(self, f: F) -> ParIter<FilterP<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        ParIter { producer: FilterP { base: self.producer, f: Arc::new(f) }, min_len: self.min_len }
+    }
+
+    /// Map and keep the `Some` results.
+    pub fn filter_map<O, F>(self, f: F) -> ParIter<FilterMapP<P, F>>
+    where
+        O: Send,
+        F: Fn(P::Item) -> Option<O> + Send + Sync,
+    {
+        ParIter {
+            producer: FilterMapP { base: self.producer, f: Arc::new(f) },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Map each item to an iterable and flatten.
+    pub fn flat_map<O, F>(self, f: F) -> ParIter<FlatMapP<P, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(P::Item) -> O + Send + Sync,
+    {
+        ParIter {
+            producer: FlatMapP { base: self.producer, f: Arc::new(f) },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pair items with their global index.
+    pub fn enumerate(self) -> ParIter<EnumerateP<P>> {
+        ParIter { producer: EnumerateP { base: self.producer, offset: 0 }, min_len: self.min_len }
+    }
+
+    /// Pair lockstep with another parallel iterable; stops at the
+    /// shorter side.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<ZipP<P, Z::Producer>> {
+        ParIter {
+            producer: ZipP { a: self.producer, b: other.into_par_iter().producer },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Split into pieces and run `work` on each, in parallel, returning
+    /// per-piece outputs in piece order.
+    fn drive<R, W>(self, work: W) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(P) -> R + Sync,
+    {
+        let active = pool::active_threads();
+        let len = self.producer.len();
+        let pieces = piece_count(len, self.min_len, active);
+        if pieces <= 1 || active <= 1 {
+            return vec![work(self.producer)];
+        }
+        pool::run_pieces(active, split_even(self.producer, len, pieces), |_, p| work(p))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        self.drive(|p| p.into_seq().for_each(&f));
+    }
+
+    /// Rayon-style reduce: each piece folds onto a fresh `identity()`,
+    /// partials combine left-to-right in piece order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        let partials = self.drive(|p| p.into_seq().fold(identity(), &op));
+        partials.into_iter().reduce(&op).unwrap_or_else(identity)
+    }
+
+    /// Rayon-style fold: accumulate into one `identity()` per piece,
+    /// yielding the partial accumulators as a new parallel iterator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecP<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Send + Sync,
+        F: Fn(T, P::Item) -> T + Send + Sync,
+    {
+        let partials = self.drive(|p| p.into_seq().fold(identity(), &fold_op));
+        ParIter::new(VecP(partials))
+    }
+
+    /// Sum all items (piece sums combined in piece order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        self.drive(|p| p.into_seq().sum::<S>()).into_iter().sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.drive(|p| p.into_seq().count()).into_iter().sum()
+    }
+
+    /// Largest item.
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.drive(|p| p.into_seq().max()).into_iter().flatten().max()
+    }
+
+    /// Smallest item.
+    pub fn min(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        self.drive(|p| p.into_seq().min()).into_iter().flatten().min()
+    }
+
+    /// Collect into any `FromIterator` container, preserving item
+    /// order.
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let parts = self.drive(|p| p.into_seq().collect::<Vec<_>>());
+        parts.into_iter().flatten().collect()
+    }
+}
+
+/// Sequential fallback: a `ParIter` is itself iterable (rayon parity
+/// for `for x in par.into_iter()`-style uses).
+impl<P: Producer> IntoIterator for ParIter<P> {
+    type Item = P::Item;
+    type IntoIter = P::IntoIter;
+    fn into_iter(self) -> Self::IntoIter {
+        self.producer.into_seq()
+    }
+}
+
+/// Deterministic piece count: enough pieces for the scheduler to
+/// balance load, capped by the `with_min_len` hint.
+fn piece_count(len: usize, min_len: usize, active: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    len.min(active.saturating_mul(PIECES_PER_THREAD))
+        .min(len.div_ceil(min_len))
+        .max(1)
+}
+
+/// Cut `producer` (of known `len`) into `pieces` contiguous spans whose
+/// sizes differ by at most one.
+fn split_even<P: Producer>(producer: P, len: usize, pieces: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(pieces);
+    let mut rest = producer;
+    let mut remaining = len;
+    for i in 0..pieces - 1 {
+        let take = remaining.div_ceil(pieces - i);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    out.push(rest);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Source producers
+// ---------------------------------------------------------------------
+
+/// Shared-slice producer (`par_iter`).
+pub struct SliceP<'a, T>(pub(crate) &'a [T]);
+
+impl<'a, T: Sync> Producer for SliceP<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (SliceP(l), SliceP(r))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Mutable-slice producer (`par_iter_mut`).
+pub struct SliceMutP<'a, T>(pub(crate) &'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutP<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (SliceMutP(l), SliceMutP(r))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Shared-chunk producer (`par_chunks`): positions are whole chunks.
+pub struct ChunksP<'a, T> {
+    pub(crate) slice: &'a [T],
+    pub(crate) size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksP<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(mid);
+        (ChunksP { slice: l, size: self.size }, ChunksP { slice: r, size: self.size })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Mutable-chunk producer (`par_chunks_mut`).
+pub struct ChunksMutP<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutP<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(mid);
+        (ChunksMutP { slice: l, size: self.size }, ChunksMutP { slice: r, size: self.size })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Integer types a `Range` parallel iterator can be built over.
+pub trait RangeIndex: Copy + Send + 'static {
+    /// Number of steps in `r`.
+    fn span(r: &Range<Self>) -> usize;
+    /// `v + n`.
+    fn offset(v: Self, n: usize) -> Self;
+}
+
+macro_rules! impl_range_index {
+    ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            fn span(r: &Range<Self>) -> usize {
+                if r.end > r.start { (r.end - r.start) as usize } else { 0 }
+            }
+            fn offset(v: Self, n: usize) -> Self {
+                v + n as $t
+            }
+        }
+    )*};
+}
+
+impl_range_index!(usize, u64, u32, u16, i64, i32);
+
+/// Range producer (`(a..b).into_par_iter()`).
+pub struct RangeP<T>(pub(crate) Range<T>);
+
+impl<T> Producer for RangeP<T>
+where
+    T: RangeIndex,
+    Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type IntoIter = Range<T>;
+    fn len(&self) -> usize {
+        T::span(&self.0)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = T::offset(self.0.start, index.min(T::span(&self.0)));
+        (RangeP(self.0.start..mid), RangeP(mid..self.0.end))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0
+    }
+}
+
+/// Owned-vector producer (`vec.into_par_iter()`).
+pub struct VecP<T>(pub(crate) Vec<T>);
+
+impl<T: Send> Producer for VecP<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index);
+        (self, VecP(tail))
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapter producers
+// ---------------------------------------------------------------------
+
+/// `map` adapter; the closure is shared across pieces via `Arc`.
+pub struct MapP<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`MapP`].
+pub struct MapSeq<I, F> {
+    it: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, O, F: Fn(I::Item) -> O> Iterator for MapSeq<I, F> {
+    type Item = O;
+    fn next(&mut self) -> Option<O> {
+        self.it.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<P, O, F> Producer for MapP<P, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O;
+    type IntoIter = MapSeq<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (MapP { base: l, f: Arc::clone(&self.f) }, MapP { base: r, f: self.f })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        MapSeq { it: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// `filter` adapter. `len()` is an upper bound; split positions are
+/// input positions, which keeps splitting deterministic.
+pub struct FilterP<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FilterP`].
+pub struct FilterSeq<I, F> {
+    it: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, F: Fn(&I::Item) -> bool> Iterator for FilterSeq<I, F> {
+    type Item = I::Item;
+    fn next(&mut self) -> Option<I::Item> {
+        self.it.by_ref().find(|x| (self.f)(x))
+    }
+}
+
+impl<P, F> Producer for FilterP<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type IntoIter = FilterSeq<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (FilterP { base: l, f: Arc::clone(&self.f) }, FilterP { base: r, f: self.f })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterSeq { it: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// `filter_map` adapter; same splitting rules as [`FilterP`].
+pub struct FilterMapP<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FilterMapP`].
+pub struct FilterMapSeq<I, F> {
+    it: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, O, F: Fn(I::Item) -> Option<O>> Iterator for FilterMapSeq<I, F> {
+    type Item = O;
+    fn next(&mut self) -> Option<O> {
+        loop {
+            match self.it.next() {
+                Some(x) => {
+                    if let Some(o) = (self.f)(x) {
+                        return Some(o);
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+impl<P, O, F> Producer for FilterMapP<P, F>
+where
+    P: Producer,
+    O: Send,
+    F: Fn(P::Item) -> Option<O> + Send + Sync,
+{
+    type Item = O;
+    type IntoIter = FilterMapSeq<P::IntoIter, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (FilterMapP { base: l, f: Arc::clone(&self.f) }, FilterMapP { base: r, f: self.f })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FilterMapSeq { it: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// `flat_map` adapter; split positions are outer-input positions.
+pub struct FlatMapP<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`FlatMapP`].
+pub struct FlatMapSeq<I, O: IntoIterator, F> {
+    it: I,
+    f: Arc<F>,
+    cur: Option<O::IntoIter>,
+}
+
+impl<I, O, F> Iterator for FlatMapSeq<I, O, F>
+where
+    I: Iterator,
+    O: IntoIterator,
+    F: Fn(I::Item) -> O,
+{
+    type Item = O::Item;
+    fn next(&mut self) -> Option<O::Item> {
+        loop {
+            if let Some(inner) = &mut self.cur {
+                if let Some(v) = inner.next() {
+                    return Some(v);
+                }
+            }
+            self.cur = Some((self.f)(self.it.next()?).into_iter());
+        }
+    }
+}
+
+impl<P, O, F> Producer for FlatMapP<P, F>
+where
+    P: Producer,
+    O: IntoIterator,
+    O::Item: Send,
+    F: Fn(P::Item) -> O + Send + Sync,
+{
+    type Item = O::Item;
+    type IntoIter = FlatMapSeq<P::IntoIter, O, F>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (FlatMapP { base: l, f: Arc::clone(&self.f) }, FlatMapP { base: r, f: self.f })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        FlatMapSeq { it: self.base.into_seq(), f: self.f, cur: None }
+    }
+}
+
+/// `enumerate` adapter carrying the global index offset of its span.
+pub struct EnumerateP<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`EnumerateP`].
+pub struct EnumerateSeq<I> {
+    it: I,
+    idx: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.it.next()?;
+        let i = self.idx;
+        self.idx += 1;
+        Some((i, x))
+    }
+}
+
+impl<P: Producer> Producer for EnumerateP<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeq<P::IntoIter>;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateP { base: l, offset: self.offset },
+            EnumerateP { base: r, offset: self.offset + index },
+        )
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        EnumerateSeq { it: self.base.into_seq(), idx: self.offset }
+    }
+}
+
+/// `zip` adapter pairing two producers position-by-position.
+pub struct ZipP<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipP<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipP { a: al, b: bl }, ZipP { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------
+
+/// `.into_par_iter()` for owned or borrowed iterables.
+pub trait IntoParallelIterator {
+    /// The producer backing the parallel iterator.
+    type Producer: Producer<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Producer = VecP<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<VecP<T>> {
+        ParIter::new(VecP(self))
+    }
+}
+
+impl<T> IntoParallelIterator for Range<T>
+where
+    T: RangeIndex,
+    Range<T>: Iterator<Item = T>,
+{
+    type Producer = RangeP<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<RangeP<T>> {
+        ParIter::new(RangeP(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Producer = SliceP<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<SliceP<'a, T>> {
+        ParIter::new(SliceP(self))
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Producer = SliceMutP<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<SliceMutP<'a, T>> {
+        ParIter::new(SliceMutP(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Producer = SliceP<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<SliceP<'a, T>> {
+        ParIter::new(SliceP(self))
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Producer = SliceMutP<'a, T>;
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<SliceMutP<'a, T>> {
+        ParIter::new(SliceMutP(self))
+    }
+}
+
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Producer = P;
+    type Item = P::Item;
+    fn into_par_iter(self) -> ParIter<P> {
+        self
+    }
+}
+
+/// Shared-slice `par_iter`/`par_chunks`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over shared references.
+    fn par_iter(&self) -> ParIter<SliceP<'_, T>>;
+    /// Parallel iterator over `chunk_size`-element chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksP<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceP<'_, T>> {
+        ParIter::new(SliceP(self))
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksP<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter::new(ChunksP { slice: self, size: chunk_size })
+    }
+}
+
+/// Mutable-slice `par_iter_mut`/`par_chunks_mut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutP<'_, T>>;
+    /// Parallel iterator over mutable `chunk_size`-element chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutP<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutP<'_, T>> {
+        ParIter::new(SliceMutP(self))
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutP<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParIter::new(ChunksMutP { slice: self, size: chunk_size })
+    }
+}

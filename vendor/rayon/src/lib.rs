@@ -1,278 +1,146 @@
-//! Offline stand-in for `rayon`: a *sequential* facade.
+//! Offline stand-in for `rayon`: a *real* multi-threaded executor.
 //!
-//! The build container has no crates.io access, so this crate maps the
-//! rayon entry points the workspace uses onto plain sequential
-//! iteration. `par_iter`/`par_chunks`/`into_par_iter` return a
-//! [`SeqIter`] wrapper whose inherent combinators mirror **rayon's**
-//! semantics (notably `reduce(identity, op)` and `fold(identity, op)`,
-//! which differ from `std::iter::Iterator`), so call sites compile and
-//! produce bit-identical results to the parallel versions; wall-clock
-//! parallel speedup is the only thing lost. `ThreadPool::install` runs
-//! its closure inline. Swap back to real rayon by restoring the
-//! crates.io entry in the workspace `Cargo.toml`.
+//! The build container has no crates.io access, so this crate
+//! reimplements the rayon entry points the workspace uses —
+//! `par_iter`/`par_iter_mut`/`par_chunks(_mut)`/`into_par_iter`,
+//! `join`, `ThreadPoolBuilder`/`ThreadPool::install`,
+//! `current_num_threads` — on top of a lazily-initialized global pool
+//! of `std::thread` workers (see [`pool`] internals) fed through the
+//! vendored `crossbeam` channel. Work is pre-split into even pieces on
+//! the calling thread and claimed by an atomic index, so the caller
+//! always makes progress on its own job and nested parallelism cannot
+//! deadlock.
+//!
+//! # Thread-count resolution
+//!
+//! 1. `HPCEVAL_THREADS` (environment, read once) — overrides
+//!    everything, including explicit `ThreadPoolBuilder::num_threads`
+//!    requests, so a run can be pinned to a fixed width for
+//!    reproducibility.
+//! 2. `ThreadPool::install` — sets the logical width for parallel
+//!    calls made inside the closure (the builder's `num_threads`).
+//! 3. Otherwise `std::thread::available_parallelism()`.
+//!
+//! [`current_num_threads`] reports the width resolved by these rules,
+//! i.e. the width a split started *right now* would actually use.
+//!
+//! # Determinism guarantees
+//!
+//! * Element-wise operations (`for_each` over disjoint outputs, `map` +
+//!   `collect`) are **bit-identical** to a sequential run at any thread
+//!   count: pieces are contiguous spans, results are reassembled in
+//!   piece order, and no item is ever reordered.
+//! * `reduce`/`fold`/`sum` combine per-piece partials **left-to-right
+//!   in piece order**, so they are bit-reproducible for a fixed logical
+//!   width, and bit-identical across widths whenever the combine op is
+//!   exactly associative (integer adds, `max`, histogram merges). For
+//!   floating-point reduction the piece boundaries — and therefore the
+//!   rounding pattern — vary with the width, exactly as in rayon.
+//! * `ThreadPool::install` runs its closure on the calling thread
+//!   (rayon runs it on a pool thread); only the logical width differs.
 
-use std::ops::Range;
+mod iter;
+mod pool;
 
-/// Sequential stand-in for a rayon `ParallelIterator`.
+pub use iter::{
+    ChunksMutP, ChunksP, EnumerateP, FilterMapP, FilterP, FlatMapP, IntoParallelIterator, MapP,
+    ParIter, ParallelSlice, ParallelSliceMut, Producer, RangeIndex, RangeP, SliceMutP, SliceP,
+    VecP, ZipP,
+};
+
+/// Run two closures, potentially in parallel, and return both results.
 ///
-/// Deliberately does **not** implement `Iterator`: combinators are
-/// inherent methods with rayon's signatures, so semantic differences
-/// (e.g. `reduce`) cannot silently fall through to std behavior.
-pub struct SeqIter<I>(I);
-
-impl<I: Iterator> SeqIter<I> {
-    /// Map each item.
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> SeqIter<std::iter::Map<I, F>> {
-        SeqIter(self.0.map(f))
-    }
-
-    /// Keep items passing the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> SeqIter<std::iter::Filter<I, F>> {
-        SeqIter(self.0.filter(f))
-    }
-
-    /// Map and keep the `Some` results.
-    pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
-        self,
-        f: F,
-    ) -> SeqIter<std::iter::FilterMap<I, F>> {
-        SeqIter(self.0.filter_map(f))
-    }
-
-    /// Map each item to an iterable and flatten.
-    pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
-        self,
-        f: F,
-    ) -> SeqIter<std::iter::FlatMap<I, O, F>> {
-        SeqIter(self.0.flat_map(f))
-    }
-
-    /// Pair items with their index.
-    pub fn enumerate(self) -> SeqIter<std::iter::Enumerate<I>> {
-        SeqIter(self.0.enumerate())
-    }
-
-    /// Pair with another (parallel or plain) iterable.
-    pub fn zip<J: IntoIterator>(self, other: J) -> SeqIter<std::iter::Zip<I, J::IntoIter>> {
-        SeqIter(self.0.zip(other))
-    }
-
-    /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Rayon-style reduce: combine all items onto `identity()`.
-    /// (Sequentially the identity is consumed once, as rayon guarantees
-    /// for a single split.)
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Rayon-style fold: accumulate into `identity()` per "worker"
-    /// (sequentially: one worker), yielding the partial accumulators.
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> SeqIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        SeqIter(std::iter::once(self.0.fold(identity(), fold_op)))
-    }
-
-    /// Sum all items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Count the items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Largest item.
-    pub fn max(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.max()
-    }
-
-    /// Smallest item.
-    pub fn min(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.min()
-    }
-
-    /// Collect into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Accepted for API parity with rayon's indexed iterators; the
-    /// sequential facade has nothing to chunk.
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> IntoIterator for SeqIter<I> {
-    type Item = I::Item;
-    type IntoIter = I;
-    fn into_iter(self) -> I {
-        self.0
-    }
-}
-
-/// `.into_par_iter()` for any owned iterable — sequential here.
-pub trait IntoParallelIterator {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item;
-    /// Convert into a "parallel" (here: sequential) iterator.
-    fn into_par_iter(self) -> SeqIter<Self::Iter>;
-}
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    type Item = T;
-    fn into_par_iter(self) -> SeqIter<Self::Iter> {
-        SeqIter(self.into_iter())
-    }
-}
-
-impl<T> IntoParallelIterator for Range<T>
+/// `a` runs on the calling thread; `b` is offered to the pool and run
+/// by a worker, or inline after `a` if no worker picks it up. Because
+/// `b` really runs concurrently whenever a worker is free, the two
+/// branches may communicate through channels (b_eff's ping-pong relies
+/// on this). Panics in either branch propagate to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    Range<T>: Iterator<Item = T>,
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    type Iter = Range<T>;
-    type Item = T;
-    fn into_par_iter(self) -> SeqIter<Self::Iter> {
-        SeqIter(self)
-    }
+    pool::join(a, b)
 }
 
-impl<'a, T> IntoParallelIterator for &'a [T] {
-    type Iter = std::slice::Iter<'a, T>;
-    type Item = &'a T;
-    fn into_par_iter(self) -> SeqIter<Self::Iter> {
-        SeqIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a mut [T] {
-    type Iter = std::slice::IterMut<'a, T>;
-    type Item = &'a mut T;
-    fn into_par_iter(self) -> SeqIter<Self::Iter> {
-        SeqIter(self.iter_mut())
-    }
-}
-
-/// Shared-slice `par_iter`/`par_chunks` — sequential here.
-pub trait ParallelSlice<T> {
-    /// Sequential stand-in for `par_iter`.
-    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>>;
-    /// Sequential stand-in for `par_chunks`.
-    fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> SeqIter<std::slice::Iter<'_, T>> {
-        SeqIter(self.iter())
-    }
-    fn par_chunks(&self, chunk_size: usize) -> SeqIter<std::slice::Chunks<'_, T>> {
-        SeqIter(self.chunks(chunk_size))
-    }
-}
-
-/// Mutable-slice `par_iter_mut`/`par_chunks_mut` — sequential here.
-pub trait ParallelSliceMut<T> {
-    /// Sequential stand-in for `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>>;
-    /// Sequential stand-in for `par_chunks_mut`.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>>;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> SeqIter<std::slice::IterMut<'_, T>> {
-        SeqIter(self.iter_mut())
-    }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqIter<std::slice::ChunksMut<'_, T>> {
-        SeqIter(self.chunks_mut(chunk_size))
-    }
-}
-
-/// Number of threads the "pool" would use (sequential facade reports
-/// the CPU count so chunking heuristics still split work sensibly).
+/// The logical thread count parallel calls started from this thread
+/// would use right now: the installed pool's size inside
+/// `ThreadPool::install`, else the `HPCEVAL_THREADS` override, else
+/// the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    pool::active_threads()
 }
 
-/// Builder for a (no-op) thread pool.
+/// Builder for a [`ThreadPool`].
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Pool construction error (never produced by the stub).
+/// Pool construction error (never produced by this implementation;
+/// kept for API parity with rayon).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "sequential rayon stub cannot fail to build")
+        write!(f, "thread pool construction cannot fail")
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// New builder.
+    /// New builder with the default thread count.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record the requested thread count (informational only).
+    /// Request `n` threads (0 means the default width). Overridden by
+    /// `HPCEVAL_THREADS` when that is set.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Build the no-op pool.
+    /// Build the pool. The returned pool is a *logical view* onto the
+    /// shared global worker set, sized per the resolution rules in the
+    /// crate docs.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { _threads: self.num_threads })
+        let threads = pool::env_threads().unwrap_or(if self.num_threads == 0 {
+            pool::default_threads()
+        } else {
+            self.num_threads
+        });
+        Ok(ThreadPool { threads: threads.max(1) })
     }
 }
 
-/// A no-op pool: `install` runs the closure on the calling thread.
+/// A logical thread pool: `install` scopes parallel calls to this
+/// pool's width. All pools share the one global worker set.
 #[derive(Debug)]
 pub struct ThreadPool {
-    _threads: usize,
+    threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `op` (sequentially, on the current thread).
+    /// The width `install` grants (the satellite contract: this is the
+    /// *actual* size parallel calls will see, not the CPU count).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's width installed as the logical thread
+    /// count on the calling thread.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        let _guard = pool::set_active(self.threads);
         op()
     }
-}
-
-/// Run two closures (sequentially) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
 }
 
 pub mod prelude {
@@ -281,20 +149,37 @@ pub mod prelude {
 }
 
 #[cfg(test)]
+fn pool_env_override() -> Option<usize> {
+    pool::env_threads()
+}
+
+#[cfg(test)]
 mod tests {
     use super::prelude::*;
 
+    /// Install a 4-wide logical pool around `f` so the executor really
+    /// fans out even on a 1-CPU host.
+    fn with_width<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        super::ThreadPoolBuilder::new().num_threads(n).build().unwrap().install(f)
+    }
+
     #[test]
-    fn facade_matches_sequential_semantics() {
-        let v = [1, 2, 3, 4];
-        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let s: i32 = (0..5).into_par_iter().sum();
-        assert_eq!(s, 10);
-        let mut m = [1, 2, 3];
-        m.par_iter_mut().for_each(|x| *x += 1);
-        assert_eq!(m, [2, 3, 4]);
-        assert_eq!(m.par_chunks(2).count(), 2);
+    fn map_collect_preserves_order() {
+        for width in [1, 2, 4, 8] {
+            let out: Vec<usize> =
+                with_width(width, || (0..10_000usize).into_par_iter().map(|x| x * 2).collect());
+            assert_eq!(out.len(), 10_000);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2), "width {width}");
+        }
+    }
+
+    #[test]
+    fn for_each_mutates_every_element() {
+        let mut m = vec![0u64; 4096];
+        with_width(4, || {
+            m.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u64 + 1);
+        });
+        assert!(m.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
     }
 
     #[test]
@@ -310,16 +195,189 @@ mod tests {
     }
 
     #[test]
-    fn zip_pairs_parallel_facades() {
+    fn reduce_on_empty_returns_identity() {
+        let v: Vec<u32> = Vec::new();
+        let r = v.par_iter().map(|&x| x).reduce(|| 42, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn integer_reduce_is_width_invariant() {
+        let keys: Vec<u32> = (0..50_000).map(|i| (i * 7919) % 256).collect();
+        let histogram = |width: usize| -> Vec<u32> {
+            with_width(width, || {
+                keys.par_chunks(1024)
+                    .map(|part| {
+                        let mut h = vec![0u32; 256];
+                        for &k in part {
+                            h[k as usize] += 1;
+                        }
+                        h
+                    })
+                    .reduce(
+                        || vec![0u32; 256],
+                        |mut a, b| {
+                            for (x, y) in a.iter_mut().zip(b) {
+                                *x += y;
+                            }
+                            a
+                        },
+                    )
+            })
+        };
+        let h1 = histogram(1);
+        for width in [2, 4, 7] {
+            assert_eq!(h1, histogram(width), "width {width}");
+        }
+        assert_eq!(h1.iter().sum::<u32>(), 50_000);
+    }
+
+    #[test]
+    fn zip_pairs_parallel_iterators() {
         let a = [1, 2, 3];
         let mut b = [10, 20, 30];
         b.par_iter_mut().zip(a.par_iter()).for_each(|(x, y)| *x += y);
         assert_eq!(b, [11, 22, 33]);
+        let c = vec![100, 200, 300];
+        let mut d = vec![0, 0, 0];
+        d.par_iter_mut().zip(&c).for_each(|(x, y)| *x = *y);
+        assert_eq!(d, c);
     }
 
     #[test]
-    fn pool_installs_inline() {
-        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+    fn filter_and_flat_map_and_minmax() {
+        let evens: Vec<i32> = (0..100).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let pairs: Vec<i32> = (0..10).into_par_iter().flat_map(|x| vec![x, -x]).collect();
+        assert_eq!(pairs.len(), 20);
+        assert_eq!(pairs[2], 1);
+        let halved: Vec<i32> =
+            (0..10).into_par_iter().filter_map(|x| (x % 2 == 0).then_some(x / 2)).collect();
+        assert_eq!(halved, vec![0, 1, 2, 3, 4]);
+        assert_eq!((0..1000).into_par_iter().max(), Some(999));
+        assert_eq!((0..1000).into_par_iter().min(), Some(0));
+        assert_eq!((0..1000).into_par_iter().count(), 1000);
+        let s: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn with_min_len_caps_splitting() {
+        // min_len == len forces a single piece; the result is identical
+        // either way — this just exercises the hint path.
+        let total: u64 =
+            with_width(8, || (0..1000u64).into_par_iter().with_min_len(1000).map(|x| x).sum());
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn pool_reports_requested_size() {
+        // HPCEVAL_THREADS is not set in the test environment, so the
+        // builder's request must win and be visible inside install.
+        if super::pool_env_override().is_some() {
+            return; // width pinned externally; resolution tested elsewhere
+        }
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(super::current_num_threads), 3);
         assert_eq!(pool.install(|| 7), 7);
+        // Outside install the default width applies again.
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_width_after_panic() {
+        let before = super::current_num_threads();
+        let pool = super::ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let (a, b) = super::join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+        let caught = std::panic::catch_unwind(|| super::join(|| 1, || panic!("branch b")));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn join_branches_run_concurrently() {
+        // The branches ping-pong through rendezvous channels: this only
+        // terminates if `b` really runs on another thread while `a` is
+        // blocked — the property b_eff depends on.
+        use crossbeam::channel;
+        let (to_b, b_rx) = channel::bounded::<u32>(1);
+        let (to_a, a_rx) = channel::bounded::<u32>(1);
+        let (sum, ()) = super::join(
+            move || {
+                let mut sum = 0;
+                for i in 0..100 {
+                    to_b.send(i).unwrap();
+                    sum += a_rx.recv().unwrap();
+                }
+                sum
+            },
+            move || {
+                while let Ok(v) = b_rx.recv() {
+                    if to_a.send(v + 1).is_err() {
+                        break;
+                    }
+                }
+            },
+        );
+        assert_eq!(sum, (0..100).map(|i| i + 1).sum::<u32>());
+    }
+
+    #[test]
+    fn parallel_panic_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            with_width(4, || {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("piece panic");
+                    }
+                });
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        let total: usize = with_width(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| (0..1000usize).into_par_iter().map(|x| x % 7).sum::<usize>())
+                .sum()
+        });
+        let one: usize = (0..1000usize).map(|x| x % 7).sum();
+        assert_eq!(total, 8 * one);
+    }
+
+    #[test]
+    fn elementwise_ops_bitwise_match_sequential() {
+        // STREAM-triad shape: a = b + s*c, disjoint outputs.
+        let n = 10_000;
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let c: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut seq = vec![0.0f64; n];
+        for i in 0..n {
+            seq[i] = b[i] + 3.0 * c[i];
+        }
+        for width in [1, 2, 4] {
+            let mut par = vec![0.0f64; n];
+            with_width(width, || {
+                par.par_iter_mut()
+                    .zip(b.par_iter().zip(&c))
+                    .for_each(|(av, (bv, cv))| *av = *bv + 3.0 * *cv);
+            });
+            assert!(
+                par.iter().zip(&seq).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "width {width} not bitwise identical"
+            );
+        }
     }
 }

@@ -1,0 +1,301 @@
+//! The executor: a lazily-initialized global pool of OS worker threads
+//! plus the chunk-claiming scheduler that drives every parallel
+//! combinator in this crate.
+//!
+//! # Design
+//!
+//! One global registry of `default_threads()` workers is spawned on
+//! first use. Parallel calls never hand their *data* to the pool; they
+//! post lightweight [`Ticket`]s — offers of help — into a shared MPMC
+//! injector channel. Each ticket holds a type-erased pointer to the
+//! caller's stack-allocated job state. The caller always participates
+//! in its own job (claiming work chunks from an atomic index), so every
+//! parallel call completes even if no worker ever picks up a ticket:
+//! workers accelerate, they are never required for progress. That
+//! property makes nested parallel calls deadlock-free by induction —
+//! a worker executing a chunk that itself goes parallel again just
+//! becomes a caller that can finish its own sub-job.
+//!
+//! # Safety of the lifetime erasure
+//!
+//! A [`Job`] is a raw pointer into the posting caller's stack frame.
+//! Two invariants keep that sound:
+//!
+//! 1. A worker executes a job *while holding the ticket's slot lock*.
+//! 2. Before returning, the caller empties every posted ticket's slot
+//!    under that same lock ("the sweep").
+//!
+//! So when the sweep finishes, each ticket was either withdrawn
+//! untouched or its execution has fully completed — no worker can be
+//! inside the job when the caller's frame dies, and none can claim it
+//! afterwards because the slot is empty.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::Mutex;
+
+/// Type-erased pointer to a caller-owned parallel job. See the module
+/// docs for the invariants that make sending this across threads sound.
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointed-to job state is Sync (enforced by the generic
+// bounds at every erasure site) and outlives all accesses (enforced by
+// the ticket sweep protocol described in the module docs).
+unsafe impl Send for Job {}
+
+/// An offer of help posted to the worker queue.
+struct Ticket {
+    job: Mutex<Option<Job>>,
+}
+
+impl Ticket {
+    /// Run the held job (if still present) while holding the slot lock,
+    /// so a concurrent sweep blocks until the job is done.
+    fn claim_and_run(&self) {
+        let mut slot = self.job.lock();
+        if let Some(job) = slot.take() {
+            // SAFETY: the posting caller cannot return until it has
+            // locked this slot, which we hold for the whole call.
+            unsafe { (job.run)(job.data) };
+        }
+    }
+}
+
+struct Registry {
+    injector: Sender<Arc<Ticket>>,
+    workers: usize,
+}
+
+/// The global worker registry, spawned on first parallel call.
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let workers = default_threads().max(1);
+        let (tx, rx) = channel::unbounded::<Arc<Ticket>>();
+        for i in 0..workers {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("hpceval-rayon-{i}"))
+                .spawn(move || {
+                    while let Ok(ticket) = rx.recv() {
+                        ticket.claim_and_run();
+                    }
+                })
+                .expect("failed to spawn executor worker thread");
+        }
+        Registry { injector: tx, workers }
+    })
+}
+
+/// The `HPCEVAL_THREADS` override, parsed once. Values below 1 or
+/// unparsable values are ignored; absurd values are clamped.
+pub(crate) fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HPCEVAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .map(|n| n.min(512))
+    })
+}
+
+/// The pool width used when no explicit pool is installed:
+/// `HPCEVAL_THREADS` if set, else the machine's available parallelism.
+pub(crate) fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+thread_local! {
+    /// Logical width override installed by `ThreadPool::install` on the
+    /// calling thread.
+    static ACTIVE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The logical thread count governing splits started from this thread.
+pub(crate) fn active_threads() -> usize {
+    ACTIVE.with(Cell::get).unwrap_or_else(default_threads)
+}
+
+/// RAII guard restoring the previous logical width on drop (so a panic
+/// inside `install` cannot leak the override).
+pub(crate) struct ActiveGuard {
+    prev: Option<usize>,
+}
+
+pub(crate) fn set_active(n: usize) -> ActiveGuard {
+    ActiveGuard { prev: ACTIVE.with(|a| a.replace(Some(n.max(1)))) }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTIVE.with(|a| a.set(prev));
+    }
+}
+
+/// Shared state of one fan-out: pre-split work pieces, per-piece result
+/// slots, the claim index, and the first captured panic.
+struct PieceJob<'f, P, R, F> {
+    pieces: Vec<Mutex<Option<P>>>,
+    results: Vec<Mutex<Option<R>>>,
+    next: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    execute: &'f F,
+}
+
+impl<P: Send, R: Send, F: Fn(usize, P) -> R + Sync> PieceJob<'_, P, R, F> {
+    /// Claim and execute pieces until none remain. Runs on the caller
+    /// and on any worker that picked up a ticket for this job.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.pieces.len() {
+                break;
+            }
+            let piece = self.pieces[i].lock().take().expect("piece claimed twice");
+            match catch_unwind(AssertUnwindSafe(|| (self.execute)(i, piece))) {
+                Ok(r) => *self.results[i].lock() = Some(r),
+                Err(payload) => {
+                    let mut slot = self.panic.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    // Cut the fan-out short; the caller re-raises.
+                    self.next.store(self.pieces.len(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+fn erase_piece_job<P, R, F>(job: &PieceJob<'_, P, R, F>) -> Job
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, P) -> R + Sync,
+{
+    unsafe fn run<P: Send, R: Send, F: Fn(usize, P) -> R + Sync>(data: *const ()) {
+        let job = unsafe { &*data.cast::<PieceJob<'_, P, R, F>>() };
+        job.work();
+    }
+    Job { data: (job as *const PieceJob<'_, P, R, F>).cast(), run: run::<P, R, F> }
+}
+
+/// Execute `execute(index, piece)` for every piece, using up to
+/// `active - 1` pool workers plus the calling thread, and return the
+/// results in piece order. Panics in any piece are re-raised on the
+/// caller after all in-flight work has quiesced.
+pub(crate) fn run_pieces<P, R, F>(active: usize, pieces: Vec<P>, execute: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, P) -> R + Sync,
+{
+    let n = pieces.len();
+    if n <= 1 || active <= 1 {
+        // Sequential fast path: zero dispatch overhead, exact same
+        // piece boundaries as the parallel path.
+        return pieces.into_iter().enumerate().map(|(i, p)| execute(i, p)).collect();
+    }
+    let reg = registry();
+    let job = PieceJob {
+        pieces: pieces.into_iter().map(|p| Mutex::new(Some(p))).collect(),
+        results: (0..n).map(|_| Mutex::new(None)).collect(),
+        next: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        execute: &execute,
+    };
+    let helpers = (active - 1).min(n - 1).min(reg.workers);
+    let tickets: Vec<Arc<Ticket>> = (0..helpers)
+        .map(|_| {
+            let t = Arc::new(Ticket { job: Mutex::new(Some(erase_piece_job(&job))) });
+            // Send can only fail if all workers died; the caller-drives
+            // invariant means the job still completes in that case.
+            let _ = reg.injector.send(Arc::clone(&t));
+            t
+        })
+        .collect();
+    job.work();
+    // The sweep: withdraw unclaimed offers, wait out claimed ones.
+    for t in &tickets {
+        t.job.lock().take();
+    }
+    if let Some(payload) = job.panic.lock().take() {
+        resume_unwind(payload);
+    }
+    job.results
+        .into_iter()
+        .map(|m| m.into_inner().expect("missing piece result"))
+        .collect()
+}
+
+/// Shared state of one `join`: the not-yet-run closure and its result.
+struct JoinJob<B, RB> {
+    func: Mutex<Option<B>>,
+    result: Mutex<Option<std::thread::Result<RB>>>,
+}
+
+impl<B: FnOnce() -> RB + Send, RB: Send> JoinJob<B, RB> {
+    fn run_b(&self) {
+        if let Some(f) = self.func.lock().take() {
+            *self.result.lock() = Some(catch_unwind(AssertUnwindSafe(f)));
+        }
+    }
+}
+
+/// Run `a` on the calling thread while offering `b` to the pool; if no
+/// worker picks `b` up by the time `a` finishes, the caller runs `b`
+/// inline. Both closures therefore always complete before `join`
+/// returns, and a panic in either is re-raised here (the `a` panic
+/// wins when both fail, matching rayon).
+///
+/// Unlike `run_pieces`, `b` is offered to the pool even when the
+/// logical width is 1: `join`'s two branches may *communicate* (b_eff
+/// ping-pongs messages between them), so they need concurrency, not
+/// just parallel speedup. The pool always has at least one worker.
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let reg = registry();
+    let job = JoinJob { func: Mutex::new(Some(b)), result: Mutex::new(None) };
+    unsafe fn run_b_erased<B: FnOnce() -> RB + Send, RB: Send>(data: *const ()) {
+        let job = unsafe { &*data.cast::<JoinJob<B, RB>>() };
+        job.run_b();
+    }
+    let ticket = Arc::new(Ticket {
+        job: Mutex::new(Some(Job {
+            data: (&job as *const JoinJob<B, RB>).cast(),
+            run: run_b_erased::<B, RB>,
+        })),
+    });
+    let _ = reg.injector.send(Arc::clone(&ticket));
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    {
+        // Sweep: withdraw-and-run-inline, or wait for the worker.
+        let taken = ticket.job.lock().take();
+        if let Some(jobref) = taken {
+            // SAFETY: `job` is alive on this stack frame and the slot
+            // is now empty, so we are the only executor.
+            unsafe { (jobref.run)(jobref.data) };
+        }
+    }
+    let rb = job.result.lock().take().expect("join branch b produced no result");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
+    }
+}
