@@ -1,12 +1,14 @@
 //! Record the thread-scaling baseline of the two dense hot paths.
 //!
-//! Runs DGEMM (n = 768) and HPL LU (n = 512) at logical widths
-//! 1/2/4/max — the same sweep as `benches/scaling.rs` — and writes
-//! `BENCH_scaling.json` at the repo root: best-of-3 wall time, GFLOP/s
-//! and speedup vs the 1-thread run for every (kernel, width) point,
-//! plus the hardware width the numbers were taken on. Pass `--json` to
+//! Runs DGEMM (n = 768) and HPL LU (n = 512) across a sweep of logical
+//! widths — `--widths 1,2,4,8` to choose them, default 1/2/4/max (the
+//! same sweep as `benches/scaling.rs`) — and writes `BENCH_scaling.json`
+//! at the repo root: best-of-3 wall time, GFLOP/s and speedup vs the
+//! 1-thread run for every (kernel, width) point, plus the host's
+//! `available_parallelism` the numbers were taken on. Pass `--json` to
 //! print the report to stdout instead of (in addition to) the table.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use hpceval_bench::{heading, json_requested};
@@ -30,7 +32,11 @@ struct Point {
 
 #[derive(Serialize)]
 struct Report {
-    hardware_threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the context every speedup number must be read against.
+    available_parallelism: usize,
+    /// The widths this run actually swept.
+    widths: Vec<usize>,
     note: &'static str,
     points: Vec<Point>,
 }
@@ -47,7 +53,7 @@ fn best_of_3(mut f: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-fn widths() -> Vec<usize> {
+fn default_widths() -> Vec<usize> {
     let max = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut w = vec![1, 2, 4, max];
     w.sort_unstable();
@@ -55,11 +61,44 @@ fn widths() -> Vec<usize> {
     w
 }
 
-fn main() {
+/// The sweep widths: `--widths 1,2,4,8` when given, else the default
+/// 1/2/4/max list. `Err` carries the usage message.
+fn parse_widths(args: &[String]) -> Result<Vec<usize>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--widths") else {
+        return Ok(default_widths());
+    };
+    let raw = args
+        .get(pos + 1)
+        .ok_or("--widths needs a comma-separated list, e.g. --widths 1,2,4,8")?;
+    let mut widths = raw
+        .split(',')
+        .map(|part| match part.trim().parse::<usize>() {
+            Ok(w) if w >= 1 => Ok(w),
+            _ => Err(format!("bad width {part:?} in --widths {raw:?}")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    widths.sort_unstable();
+    widths.dedup();
+    if widths.is_empty() {
+        return Err("--widths list is empty".to_string());
+    }
+    Ok(widths)
+}
+
+fn main() -> ExitCode {
     // The study varies the width via `ThreadPoolBuilder`; a pinned
     // `HPCEVAL_THREADS` would override every request (by design), so
     // clear it before the executor reads it.
     std::env::remove_var("HPCEVAL_THREADS");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let widths = match parse_widths(&args) {
+        Ok(w) => w,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: scaling_study [--widths 1,2,4,8] [--json]");
+            return ExitCode::FAILURE;
+        }
+    };
     heading("Scaling", "DGEMM and HPL LU wall time vs thread count");
 
     let mut points = Vec::new();
@@ -70,12 +109,12 @@ fn main() {
     let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
     let flops = 2.0 * (n as f64).powi(3);
     let mut base = f64::NAN;
-    for t in widths() {
+    for &t in &widths {
         let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
         let mut c = vec![0.0; n * n];
         let secs = best_of_3(|| pool.install(|| dgemm(n, 1.0, &a, &b, 0.0, &mut c)));
-        if t == 1 {
-            base = secs;
+        if base.is_nan() {
+            base = secs; // the sweep's narrowest width anchors speedup
         }
         points.push(Point {
             kernel: "dgemm",
@@ -91,11 +130,11 @@ fn main() {
     let a = lu::Matrix::random(n, 5);
     let flops = 2.0 * (n as f64).powi(3) / 3.0;
     let mut base = f64::NAN;
-    for t in widths() {
+    for &t in &widths {
         let secs = best_of_3(|| {
             lu::factor(a.clone(), 32, t).expect("nonsingular");
         });
-        if t == 1 {
+        if base.is_nan() {
             base = secs;
         }
         points.push(Point {
@@ -109,9 +148,11 @@ fn main() {
     }
 
     let report = Report {
-        hardware_threads: std::thread::available_parallelism().map_or(1, |v| v.get()),
-        note: "best-of-3 wall time per point; speedup is relative to the 1-thread run \
-               on the same host, so it only demonstrates scaling when hardware_threads > 1",
+        available_parallelism: std::thread::available_parallelism().map_or(1, |v| v.get()),
+        widths: widths.clone(),
+        note: "best-of-3 wall time per point; speedup is relative to the narrowest width \
+               in the sweep on the same host, so it only demonstrates scaling when \
+               available_parallelism > 1",
         points,
     };
 
@@ -130,6 +171,32 @@ fn main() {
             );
         }
         std::fs::write("BENCH_scaling.json", json + "\n").expect("write BENCH_scaling.json");
-        println!("\nwrote BENCH_scaling.json ({} hw threads)", report.hardware_threads);
+        println!(
+            "\nwrote BENCH_scaling.json (host available_parallelism {})",
+            report.available_parallelism
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_widths;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn widths_flag_is_parsed_sorted_and_deduped() {
+        assert_eq!(parse_widths(&args(&["--widths", "8,1,4,2,4"])).unwrap(), vec![1, 2, 4, 8]);
+        assert_eq!(parse_widths(&args(&["--json"])).unwrap(), super::default_widths());
+    }
+
+    #[test]
+    fn malformed_widths_are_rejected() {
+        for bad in [&["--widths"][..], &["--widths", "1,zero"][..], &["--widths", "0"][..]] {
+            assert!(parse_widths(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 }

@@ -1,0 +1,370 @@
+//! Job-shaped wrappers around the evaluation entry points.
+//!
+//! The fleet orchestrator (crate `hpceval-fleet`) runs evaluations as
+//! *jobs*: queued, preemptible, resumed after crashes. That requires the
+//! five-state method to be executable one state at a time, with each
+//! state's result independent of how the run reached it — otherwise a
+//! resumed job would produce different numbers than an uninterrupted
+//! one and checkpoints would be lies. [`ResumableEvaluation`] provides
+//! exactly that: the §V-C ten-state plan as an explicit list, a
+//! `run_next` step that measures one state inside a fixed per-state
+//! time slot (see [`SimulatedServer::seek_clock`]), and
+//! `restore` to rebuild the run from checkpointed rows.
+//!
+//! The single-shot methods (Green500 score, SPECpower score, §VI
+//! training, markdown report) are wrapped as [`run_one_shot`] so the
+//! fleet schedules every evaluation kind through one entry point.
+
+use serde::{Deserialize, Serialize};
+
+use hpceval_kernels::hpl::HplConfig;
+use hpceval_kernels::npb::{ep::Ep, Class};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::spec::ServerSpec;
+
+use crate::evaluation::{Evaluator, PpwRow, PpwTable, MF_FRACTION, MH_FRACTION};
+use crate::rankings::{green500_score, specpower_score};
+use crate::regression_experiment::run_experiment;
+use crate::server::SimulatedServer;
+
+/// Wall-clock slot reserved per evaluation state: longer than the
+/// longest possible measurement (600 s cap + gaps), so state k always
+/// starts at `k * STATE_SLOT_S` regardless of earlier states' durations.
+pub const STATE_SLOT_S: f64 = 650.0;
+
+/// One state of the five-state plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EvalState {
+    /// The idle baseline row.
+    Idle,
+    /// NPB-EP class C at `processes` cores.
+    Ep {
+        /// Process count.
+        processes: u32,
+    },
+    /// HPL at `processes` cores; `full_memory` selects Mf over Mh.
+    Hpl {
+        /// Process count.
+        processes: u32,
+        /// True for the ~92 % "Mf" state, false for the 50 % "Mh" one.
+        full_memory: bool,
+    },
+}
+
+impl EvalState {
+    /// The row label this state produces (matches [`Evaluator::run`]).
+    pub fn label(&self) -> String {
+        match *self {
+            EvalState::Idle => "Idle".to_string(),
+            EvalState::Ep { processes } => format!("ep.C.{processes}"),
+            EvalState::Hpl { processes, full_memory } => {
+                format!("HPL P{processes} {}", if full_memory { "Mf" } else { "Mh" })
+            }
+        }
+    }
+}
+
+/// The §V-C state list for `spec`, in the paper's order.
+pub fn evaluation_plan(spec: &ServerSpec) -> Vec<EvalState> {
+    let total = spec.total_cores();
+    let mut plan = vec![EvalState::Idle];
+    for p in Evaluator::core_states(total) {
+        plan.push(EvalState::Ep { processes: p });
+    }
+    for full_memory in [false, true] {
+        for p in Evaluator::core_states(total) {
+            plan.push(EvalState::Hpl { processes: p, full_memory });
+        }
+    }
+    plan
+}
+
+/// Error restoring a checkpointed evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// More checkpointed rows than the plan has states.
+    TooManyRows {
+        /// Rows offered.
+        rows: usize,
+        /// States in the plan.
+        states: usize,
+    },
+    /// A checkpointed row does not match the plan at its position.
+    LabelMismatch {
+        /// Row position.
+        index: usize,
+        /// The label the plan expects there.
+        expected: String,
+        /// The label the checkpoint carries.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::TooManyRows { rows, states } => {
+                write!(f, "checkpoint has {rows} rows but the plan has {states} states")
+            }
+            RestoreError::LabelMismatch { index, expected, found } => {
+                write!(f, "checkpoint row {index} is {found:?}, plan expects {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// A five-state evaluation that can stop after any state and resume.
+#[derive(Debug, Clone)]
+pub struct ResumableEvaluation {
+    spec: ServerSpec,
+    seed: u64,
+    plan: Vec<EvalState>,
+    rows: Vec<PpwRow>,
+}
+
+impl ResumableEvaluation {
+    /// A fresh run of `spec` with meter seed `seed`.
+    pub fn new(spec: ServerSpec, seed: u64) -> Self {
+        let plan = evaluation_plan(&spec);
+        Self { spec, seed, plan, rows: Vec::new() }
+    }
+
+    /// Rebuild a run from checkpointed `rows` (a prefix of the plan).
+    pub fn restore(spec: ServerSpec, seed: u64, rows: Vec<PpwRow>) -> Result<Self, RestoreError> {
+        let plan = evaluation_plan(&spec);
+        if rows.len() > plan.len() {
+            return Err(RestoreError::TooManyRows { rows: rows.len(), states: plan.len() });
+        }
+        for (index, (row, state)) in rows.iter().zip(&plan).enumerate() {
+            let expected = state.label();
+            if row.program != expected {
+                return Err(RestoreError::LabelMismatch {
+                    index,
+                    expected,
+                    found: row.program.clone(),
+                });
+            }
+        }
+        Ok(Self { spec, seed, plan, rows })
+    }
+
+    /// The full state list.
+    pub fn plan(&self) -> &[EvalState] {
+        &self.plan
+    }
+
+    /// States measured so far.
+    pub fn completed(&self) -> &[PpwRow] {
+        &self.rows
+    }
+
+    /// Total states in the plan.
+    pub fn total_states(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// The state `run_next` would measure, if any remain.
+    pub fn next_state(&self) -> Option<EvalState> {
+        self.plan.get(self.rows.len()).copied()
+    }
+
+    /// True once every state has a row.
+    pub fn is_complete(&self) -> bool {
+        self.rows.len() == self.plan.len()
+    }
+
+    /// Measure the next state; returns its row, or `None` when done.
+    ///
+    /// Each state runs in its own time slot on a freshly seeded server,
+    /// so the row depends only on (spec, seed, state index) — never on
+    /// which process measured the earlier states.
+    pub fn run_next(&mut self) -> Option<PpwRow> {
+        let state = self.next_state()?;
+        let k = self.rows.len();
+        let mut server = SimulatedServer::with_seed(self.spec.clone(), self.seed);
+        server.seek_clock(k as f64 * STATE_SLOT_S);
+        let m = match state {
+            EvalState::Idle => server.measure_idle(),
+            EvalState::Ep { processes } => {
+                server.measure(&Ep::new(Class::C).signature(), processes)
+            }
+            EvalState::Hpl { processes, full_memory } => {
+                let frac = if full_memory { MF_FRACTION } else { MH_FRACTION };
+                let cfg = HplConfig::for_memory_fraction(&self.spec, frac, processes);
+                server.measure(&cfg.signature(), processes)
+            }
+        };
+        let row =
+            PpwRow { program: state.label(), gflops: m.gflops, power_w: m.power_w, ppw: m.ppw };
+        self.rows.push(row.clone());
+        Some(row)
+    }
+
+    /// The rows accumulated so far as a (possibly partial) table.
+    pub fn partial_table(&self) -> PpwTable {
+        PpwTable { server: self.spec.name.clone(), rows: self.rows.clone() }
+    }
+
+    /// The finished table, or `None` while states remain.
+    pub fn table(&self) -> Option<PpwTable> {
+        self.is_complete().then(|| self.partial_table())
+    }
+}
+
+/// The single-shot evaluation kinds the fleet can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OneShotKind {
+    /// Peak-HPL PPW (the Green500 method).
+    Green500,
+    /// Graduated-load ssj_ops/W (the SPECpower method).
+    Specpower,
+    /// The §VI stepwise-regression training run.
+    Train,
+    /// The per-server markdown report.
+    Report,
+}
+
+/// Output of a single-shot job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum OneShotOutput {
+    /// A scalar score with its unit.
+    Score {
+        /// Method name ("green500" or "specpower").
+        method: String,
+        /// Score value.
+        value: f64,
+        /// Unit string.
+        unit: String,
+    },
+    /// Regression-training summary statistics.
+    Training {
+        /// HPCC observations trained on.
+        observations: usize,
+        /// Training R².
+        r_square: f64,
+        /// Validation R² on NPB class B.
+        npb_b_r2: f64,
+        /// Validation R² on NPB class C.
+        npb_c_r2: f64,
+    },
+    /// A rendered markdown report.
+    Report {
+        /// The report text.
+        markdown: String,
+    },
+}
+
+/// Run a single-shot job kind on `spec`.
+///
+/// Returns `None` only for [`OneShotKind::Train`] on a degenerate
+/// sample set (`run_experiment`'s failure mode).
+pub fn run_one_shot(kind: OneShotKind, spec: &ServerSpec, seed: u64) -> Option<OneShotOutput> {
+    match kind {
+        OneShotKind::Green500 => Some(OneShotOutput::Score {
+            method: "green500".to_string(),
+            value: green500_score(spec),
+            unit: "GFLOPS/W".to_string(),
+        }),
+        OneShotKind::Specpower => Some(OneShotOutput::Score {
+            method: "specpower".to_string(),
+            value: specpower_score(spec),
+            unit: "ssj_ops/W".to_string(),
+        }),
+        OneShotKind::Train => {
+            let exp = run_experiment(spec, seed)?;
+            Some(OneShotOutput::Training {
+                observations: exp.observations,
+                r_square: exp.model.summary().r_square,
+                npb_b_r2: exp.npb_b.r2,
+                npb_c_r2: exp.npb_c.r2,
+            })
+        }
+        OneShotKind::Report => {
+            Some(OneShotOutput::Report { markdown: crate::report::markdown_report(spec) })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn plan_matches_evaluator_row_order() {
+        let spec = presets::xeon_e5462();
+        let plan = evaluation_plan(&spec);
+        let table = Evaluator::new(spec).run();
+        assert_eq!(plan.len(), table.rows.len());
+        for (state, row) in plan.iter().zip(&table.rows) {
+            assert_eq!(state.label(), row.program);
+        }
+    }
+
+    #[test]
+    fn straight_run_scores_like_the_evaluator() {
+        // Fixed per-state slots shift the meter windows relative to the
+        // cumulative-clock Evaluator, so rows agree to noise, not bits.
+        let spec = presets::xeon_e5462();
+        let mut run = ResumableEvaluation::new(spec.clone(), 0x5eed);
+        while run.run_next().is_some() {}
+        let ours = run.table().expect("complete");
+        let reference = Evaluator::new(spec).run();
+        assert!((ours.final_score() - reference.final_score()).abs() < 0.004);
+    }
+
+    #[test]
+    fn resume_is_bitwise_identical_to_uninterrupted() {
+        let spec = presets::opteron_8347();
+        let mut straight = ResumableEvaluation::new(spec.clone(), 7);
+        while straight.run_next().is_some() {}
+
+        // "Crash" after 4 rows; restore from the checkpointed rows.
+        let mut first = ResumableEvaluation::new(spec.clone(), 7);
+        for _ in 0..4 {
+            first.run_next();
+        }
+        let ckpt = first.completed().to_vec();
+        let mut resumed = ResumableEvaluation::restore(spec, 7, ckpt).expect("valid checkpoint");
+        while resumed.run_next().is_some() {}
+
+        assert_eq!(straight.table(), resumed.table());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoints() {
+        let spec = presets::xeon_e5462();
+        let mut run = ResumableEvaluation::new(spec.clone(), 1);
+        run.run_next();
+        let mut rows = run.completed().to_vec();
+        rows[0].program = "bogus".to_string();
+        match ResumableEvaluation::restore(spec.clone(), 1, rows) {
+            Err(RestoreError::LabelMismatch { index: 0, .. }) => {}
+            other => panic!("expected label mismatch, got {other:?}"),
+        }
+        let too_many =
+            vec![PpwRow { program: "Idle".into(), gflops: 0.0, power_w: 1.0, ppw: 0.0 }; 11];
+        assert!(matches!(
+            ResumableEvaluation::restore(spec, 1, too_many),
+            Err(RestoreError::TooManyRows { .. })
+        ));
+    }
+
+    #[test]
+    fn one_shot_kinds_produce_their_outputs() {
+        let spec = presets::xeon_e5462();
+        match run_one_shot(OneShotKind::Green500, &spec, 0).unwrap() {
+            OneShotOutput::Score { method, value, .. } => {
+                assert_eq!(method, "green500");
+                assert!((value - 0.158).abs() < 0.012);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match run_one_shot(OneShotKind::Report, &spec, 0).unwrap() {
+            OneShotOutput::Report { markdown } => assert!(markdown.contains("Xeon-E5462")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

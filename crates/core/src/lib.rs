@@ -23,6 +23,10 @@
 //! * [`regression_experiment`] — the §VI power model: HPCC-trained
 //!   forward-stepwise regression (Tables VII–VIII) validated on NPB
 //!   classes B and C (Figs 12–13).
+//! * [`jobs`] — job-shaped wrappers around the evaluation entry points:
+//!   the five-state method as a resumable, checkpointable state machine
+//!   plus one-shot wrappers, consumed by the `hpceval-fleet`
+//!   orchestrator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@ pub mod energy_analysis;
 pub mod evaluation;
 pub mod green500_levels;
 pub mod hpl_analysis;
+pub mod jobs;
 pub mod motivation;
 pub mod npb_analysis;
 pub mod rankings;

@@ -147,6 +147,17 @@ impl SimulatedServer {
         let sig = WorkloadSignature::idle();
         self.measure(&sig, 0)
     }
+
+    /// Pin the session clock to `t_s`.
+    ///
+    /// A normal session advances the clock cumulatively between
+    /// measurements; a *resumable* job instead measures each state in a
+    /// fixed per-state time slot so the result of state k is identical
+    /// whether the run got there in one pass or across a crash/restart
+    /// (the fleet's checkpoint contract).
+    pub fn seek_clock(&mut self, t_s: f64) {
+        self.clock_s = t_s;
+    }
 }
 
 /// Stable small hash for per-measurement meter seeding.

@@ -1,0 +1,167 @@
+//! TCP client for the fleet daemon's wire protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::error::FleetError;
+use crate::job::{JobId, JobKind};
+use crate::wire::{self, Request};
+
+/// A connected fleet client. One stream, requests answered in order.
+#[derive(Debug)]
+pub struct FleetClient {
+    stream: TcpStream,
+}
+
+impl FleetClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FleetError> {
+        Ok(Self { stream: TcpStream::connect(addr)? })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Value, FleetError> {
+        wire::write_frame(&mut self.stream, &req.to_json()?)?;
+        match wire::read_frame(&mut self.stream)? {
+            Some(frame) => wire::decode_response(&frame),
+            None => Err(FleetError::Protocol("daemon closed the connection".to_string())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), FleetError> {
+        self.roundtrip(&Request::Ping).map(|_| ())
+    }
+
+    /// Submit a batch of jobs; returns the assigned ids.
+    pub fn submit(&mut self, jobs: Vec<JobKind>) -> Result<Vec<JobId>, FleetError> {
+        let v = self.roundtrip(&Request::Submit { jobs })?;
+        v.get("ids")
+            .and_then(Value::as_seq)
+            .map(|ids| ids.iter().filter_map(Value::as_u64).collect())
+            .ok_or_else(|| FleetError::Protocol("submit response lacks ids".to_string()))
+    }
+
+    /// Submit a batch, retrying on backpressure with the daemon's own
+    /// backoff hint, up to `max_retries`.
+    pub fn submit_with_backoff(
+        &mut self,
+        jobs: Vec<JobKind>,
+        max_retries: u32,
+    ) -> Result<Vec<JobId>, FleetError> {
+        let mut tries = 0;
+        loop {
+            match self.submit(jobs.clone()) {
+                Err(FleetError::Backlog { retry_after_ms }) if tries < max_retries => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Status snapshots (all jobs, or one).
+    pub fn status(&mut self, job: Option<JobId>) -> Result<Vec<RemoteJob>, FleetError> {
+        decode_jobs(self.roundtrip(&Request::Status { job })?)
+    }
+
+    /// Drain the daemon: blocks until its queue is dry, then returns
+    /// the final statuses.
+    pub fn drain(&mut self) -> Result<Vec<RemoteJob>, FleetError> {
+        decode_jobs(self.roundtrip(&Request::Drain)?)
+    }
+
+    /// Ask the daemon to stop.
+    pub fn shutdown(&mut self) -> Result<(), FleetError> {
+        self.roundtrip(&Request::Shutdown).map(|_| ())
+    }
+}
+
+/// A job snapshot as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteJob {
+    /// Job id.
+    pub id: JobId,
+    /// Kind verb ("evaluate", "train", ...).
+    pub kind: String,
+    /// Target server.
+    pub server: String,
+    /// State name ("Queued", "Done", "Degraded", ...).
+    pub state: String,
+    /// Crashed attempts.
+    pub attempts: u32,
+    /// Completed state rows.
+    pub rows_done: usize,
+    /// Total states.
+    pub total_steps: usize,
+    /// Headline score, when present.
+    pub score: Option<f64>,
+    /// True when the result is flagged partial/suspect.
+    pub degraded: bool,
+    /// Degradation notes.
+    pub notes: Vec<String>,
+}
+
+fn decode_jobs(v: Value) -> Result<Vec<RemoteJob>, FleetError> {
+    v.get("jobs")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| FleetError::Protocol("response lacks jobs".to_string()))?
+        .iter()
+        .map(|j| {
+            decode_job(j)
+                .ok_or_else(|| FleetError::Protocol("unparseable job snapshot".to_string()))
+        })
+        .collect()
+}
+
+fn decode_job(v: &Value) -> Option<RemoteJob> {
+    Some(RemoteJob {
+        id: v.get("id")?.as_u64()?,
+        kind: v.get("kind")?.as_str()?.to_string(),
+        server: v.get("server")?.as_str()?.to_string(),
+        state: v.get("state")?.as_str()?.to_string(),
+        attempts: v.get("attempts")?.as_u64()? as u32,
+        rows_done: v.get("rows_done")?.as_u64()? as usize,
+        total_steps: v.get("total_steps")?.as_u64()? as usize,
+        score: v.get("score").and_then(Value::as_f64),
+        degraded: v.get("degraded")?.as_bool()?,
+        notes: v
+            .get("notes")?
+            .as_seq()?
+            .iter()
+            .map(|n| n.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    use crate::job::JobStatus;
+
+    #[test]
+    fn remote_job_decodes_a_status_snapshot() {
+        let status = JobStatus {
+            id: 7,
+            kind: "evaluate".into(),
+            server: "Xeon-E5462".into(),
+            state: "Degraded".into(),
+            attempts: 2,
+            rows_done: 6,
+            total_steps: 10,
+            score: Some(0.12),
+            degraded: true,
+            notes: vec!["partial".into()],
+        };
+        let decoded = decode_job(&status.to_value()).unwrap();
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.state, "Degraded");
+        assert_eq!(decoded.rows_done, 6);
+        assert_eq!(decoded.score, Some(0.12));
+        assert!(decoded.degraded);
+    }
+}

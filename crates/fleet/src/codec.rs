@@ -1,0 +1,115 @@
+//! Strict JSON encoding and `Value` decoding for the WAL and the wire.
+//!
+//! The vendored `serde_json` renderer follows the real crate and prints
+//! non-finite floats as `null` — which round-trips a degraded result's
+//! `NaN` score into a silent "no value". The fleet's durability story
+//! cannot afford that ambiguity: [`encode_strict`] walks the value tree
+//! first and *rejects* any non-finite float with a typed error naming
+//! the offending path, so a result either persists as faithful strict
+//! JSON or not at all.
+
+use serde::{Serialize, Value};
+
+use hpceval_core::evaluation::PpwRow;
+
+use crate::error::FleetError;
+
+/// Serialize compactly, rejecting non-finite floats.
+pub fn encode_strict<T: Serialize + ?Sized>(value: &T) -> Result<String, FleetError> {
+    let tree = value.to_value();
+    check_finite(&tree, &mut String::new())?;
+    serde_json::to_string(&tree).map_err(|e| FleetError::Protocol(e.to_string()))
+}
+
+fn check_finite(v: &Value, path: &mut String) -> Result<(), FleetError> {
+    match v {
+        Value::Float(x) if !x.is_finite() => Err(FleetError::NonFinite {
+            path: if path.is_empty() { "<root>".to_string() } else { path.clone() },
+        }),
+        Value::Seq(items) => {
+            for (k, item) in items.iter().enumerate() {
+                with_segment(path, &k.to_string(), |p| check_finite(item, p))?;
+            }
+            Ok(())
+        }
+        Value::Map(pairs) => {
+            for (key, item) in pairs {
+                with_segment(path, key, |p| check_finite(item, p))?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+fn with_segment<R>(path: &mut String, seg: &str, f: impl FnOnce(&mut String) -> R) -> R {
+    let len = path.len();
+    if !path.is_empty() {
+        path.push('.');
+    }
+    path.push_str(seg);
+    let out = f(path);
+    path.truncate(len);
+    out
+}
+
+/// Parse one strict-JSON document.
+pub fn parse(s: &str) -> Result<Value, FleetError> {
+    serde_json::from_str(s).map_err(|e| FleetError::Protocol(e.to_string()))
+}
+
+/// Decode a [`PpwRow`] from its serialized map.
+pub fn ppw_row_from_value(v: &Value) -> Option<PpwRow> {
+    Some(PpwRow {
+        program: v.get("program")?.as_str()?.to_string(),
+        gflops: v.get("gflops")?.as_f64()?,
+        power_w: v.get("power_w")?.as_f64()?,
+        ppw: v.get("ppw")?.as_f64()?,
+    })
+}
+
+/// Decode a `Vec<usize>` from a JSON sequence of integers.
+pub fn usize_seq_from_value(v: &Value) -> Option<Vec<usize>> {
+    v.as_seq()?.iter().map(|x| x.as_u64().map(|n| n as usize)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Serialize)]
+    struct Result_ {
+        score: f64,
+        rows: Vec<f64>,
+    }
+
+    #[test]
+    fn finite_values_encode_and_parse_back() {
+        let r = Result_ { score: 0.25, rows: vec![1.0, 2.5] };
+        let s = encode_strict(&r).unwrap();
+        let v = parse(&s).unwrap();
+        assert_eq!(v.get("score").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("rows").unwrap().as_seq().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_with_the_path() {
+        let r = Result_ { score: f64::NAN, rows: vec![] };
+        match encode_strict(&r) {
+            Err(FleetError::NonFinite { path }) => assert_eq!(path, "score"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        let r = Result_ { score: 0.0, rows: vec![1.0, f64::INFINITY] };
+        match encode_strict(&r) {
+            Err(FleetError::NonFinite { path }) => assert_eq!(path, "rows.1"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ppw_row_round_trips() {
+        let row = PpwRow { program: "HPL P4 Mf".into(), gflops: 37.2, power_w: 235.0, ppw: 0.158 };
+        let v = parse(&encode_strict(&row).unwrap()).unwrap();
+        assert_eq!(ppw_row_from_value(&v), Some(row));
+    }
+}

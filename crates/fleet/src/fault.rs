@@ -1,0 +1,196 @@
+//! Deterministic fault injection for fleet runs.
+//!
+//! Real fleets lose nodes, suffer stragglers, and drop meter samples
+//! mid-job (PAPERS.md: the checkpoint/power study treats fault-free
+//! long runs as the exception at scale). The injector reproduces those
+//! failure classes *deterministically*: every decision is a pure
+//! function of `(plan seed, job id, attempt, salt)`, so a test that
+//! drains a faulty queue sees the same crashes on every run, and a
+//! retried attempt (new attempt number) draws fresh faults while a
+//! straggler-preempted resume (same attempt) does not re-fault.
+
+use serde::Serialize;
+
+use crate::job::JobId;
+
+/// Per-attempt fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Probability an attempt's node crashes mid-run.
+    pub crash_p: f64,
+    /// Probability an attempt is slowed and preempted after a state.
+    pub straggler_p: f64,
+    /// Probability one state's meter drops out (row flagged suspect).
+    pub dropout_p: f64,
+    /// Injector seed.
+    pub seed: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self { crash_p: 0.0, straggler_p: 0.0, dropout_p: 0.0, seed: 0 }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.crash_p > 0.0 || self.straggler_p > 0.0 || self.dropout_p > 0.0
+    }
+}
+
+/// The faults one attempt of one job will experience, as absolute step
+/// indices into the job's state plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptFaults {
+    /// The node crashes *before* executing this step (its work since
+    /// the last checkpoint — at most that one step — is lost).
+    pub crash_at: Option<usize>,
+    /// The attempt is preempted *after* completing this step
+    /// (checkpointed, requeued without an attempt penalty).
+    pub preempt_at: Option<usize>,
+    /// This step's measurement loses meter samples (row flagged).
+    pub dropout_at: Option<usize>,
+}
+
+impl AttemptFaults {
+    /// No faults.
+    pub const NONE: AttemptFaults =
+        AttemptFaults { crash_at: None, preempt_at: None, dropout_at: None };
+}
+
+/// Deterministic fault source for a whole fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Injector over `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw the faults for `attempt` of `job` over `steps` states.
+    pub fn attempt_faults(&self, job: JobId, attempt: u32, steps: usize) -> AttemptFaults {
+        if !self.plan.is_active() || steps == 0 {
+            return AttemptFaults::NONE;
+        }
+        let draw = |salt: u64, p: f64| -> Option<usize> {
+            (uniform(self.key(job, attempt, salt)) < p)
+                .then(|| (uniform(self.key(job, attempt, salt ^ 0xabcd)) * steps as f64) as usize)
+                .map(|k| k.min(steps - 1))
+        };
+        AttemptFaults {
+            crash_at: draw(1, self.plan.crash_p),
+            preempt_at: draw(2, self.plan.straggler_p),
+            dropout_at: draw(3, self.plan.dropout_p),
+        }
+    }
+
+    /// Deterministically pick `drop` distinct node indices out of
+    /// `total` for dropout `round` — the cluster-stability tests drive
+    /// node loss through this so "which nodes died" is reproducible.
+    pub fn pick_dropped_nodes(&self, total: usize, drop: usize, round: u64) -> Vec<usize> {
+        let mut alive: Vec<usize> = (0..total).collect();
+        let mut dropped = Vec::new();
+        for k in 0..drop.min(total) {
+            let r = self.key(round, k as u32, 0x9d0d);
+            let pick = (uniform(r) * alive.len() as f64) as usize;
+            dropped.push(alive.remove(pick.min(alive.len() - 1)));
+        }
+        dropped.sort_unstable();
+        dropped
+    }
+
+    fn key(&self, a: u64, b: u32, salt: u64) -> u64 {
+        splitmix(
+            self.plan
+                .seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(a.wrapping_mul(0xd1342543de82ef95))
+                .wrapping_add(u64::from(b).wrapping_mul(0xaf251af3b0f025b5))
+                .wrapping_add(salt),
+        )
+    }
+}
+
+/// SplitMix64 finalizer.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to [0, 1).
+fn uniform(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_attempt_dependent() {
+        let inj = FaultInjector::new(FaultPlan {
+            crash_p: 0.5,
+            straggler_p: 0.5,
+            dropout_p: 0.5,
+            seed: 9,
+        });
+        let a = inj.attempt_faults(3, 1, 10);
+        assert_eq!(a, inj.attempt_faults(3, 1, 10), "same key, same draw");
+        let differs = (1..20u32).any(|att| inj.attempt_faults(3, att, 10) != a);
+        assert!(differs, "fresh attempts must draw fresh faults");
+    }
+
+    #[test]
+    fn probabilities_are_roughly_honored() {
+        let inj = FaultInjector::new(FaultPlan {
+            crash_p: 0.2,
+            straggler_p: 0.0,
+            dropout_p: 0.0,
+            seed: 4,
+        });
+        let crashes = (0..2000u64)
+            .filter(|&j| inj.attempt_faults(j, 1, 10).crash_at.is_some())
+            .count();
+        let rate = crashes as f64 / 2000.0;
+        assert!((rate - 0.2).abs() < 0.04, "crash rate {rate}");
+    }
+
+    #[test]
+    fn inactive_plan_never_faults() {
+        let inj = FaultInjector::new(FaultPlan::none());
+        for j in 0..50 {
+            assert_eq!(inj.attempt_faults(j, 1, 10), AttemptFaults::NONE);
+        }
+    }
+
+    #[test]
+    fn dropped_nodes_are_distinct_and_in_range() {
+        let inj = FaultInjector::new(FaultPlan { seed: 11, ..FaultPlan::none() });
+        for round in 0..20 {
+            for drop in 0..=5 {
+                let d = inj.pick_dropped_nodes(5, drop, round);
+                assert_eq!(d.len(), drop.min(5));
+                let mut u = d.clone();
+                u.dedup();
+                assert_eq!(u, d, "distinct");
+                assert!(d.iter().all(|&n| n < 5));
+            }
+        }
+    }
+}

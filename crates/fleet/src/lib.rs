@@ -1,0 +1,43 @@
+//! `hpceval-fleet` — fault-tolerant orchestration of power evaluations.
+//!
+//! The paper's method evaluates one server at a time; this crate scales
+//! it to a *fleet*: a long-lived daemon owning a registry of simulated
+//! servers, a persistent job queue, and a scheduler that dispatches
+//! evaluation jobs onto the workspace's worker pool. The design centers
+//! on surviving the failures long evaluation campaigns actually hit:
+//!
+//! - **Durability** ([`wal`]): every queue transition is written ahead
+//!   to a JSON-lines log and synced, so `kill -9` loses no accepted job
+//!   and a restarted daemon resumes exactly where the old one died.
+//! - **Checkpointing** ([`runner`], `hpceval_core::jobs`): the
+//!   five-state evaluation persists per state row; a resumed job is
+//!   bitwise identical to an uninterrupted one.
+//! - **Fault injection** ([`fault`]): deterministic node crashes,
+//!   straggler preemptions, and meter dropouts, with retry + bounded
+//!   exponential backoff and graceful degradation — a degraded fleet
+//!   still ranks the servers it could finish and *flags* partial
+//!   results instead of silently averaging them.
+//! - **Wire protocol** ([`wire`], [`client`]): length-prefixed strict
+//!   JSON over TCP with request batching and queue-cap backpressure.
+//! - **Observability** ([`events`]): job lifecycle events, bridged into
+//!   the `hpceval-telemetry` stream.
+
+pub mod client;
+pub mod codec;
+pub mod daemon;
+pub mod error;
+pub mod events;
+pub mod fault;
+pub mod job;
+pub mod registry;
+pub mod runner;
+pub mod wal;
+pub mod wire;
+
+pub use client::{FleetClient, RemoteJob};
+pub use daemon::{Fleet, FleetConfig};
+pub use error::FleetError;
+pub use events::{EventKind, FleetEvent};
+pub use fault::{AttemptFaults, FaultInjector, FaultPlan};
+pub use job::{JobId, JobKind, JobResult, JobState, JobStatus};
+pub use registry::{NodeInfo, Registry};

@@ -1,0 +1,143 @@
+//! The fleet's server registry: which simulated machines exist, which
+//! are healthy, and where a job should land.
+//!
+//! Each registered node hosts one [`ServerSpec`]. Jobs are pinned to the
+//! node hosting their target server; a crashed node goes *down* for a
+//! hold-off window, during which its pinned jobs stay queued (the
+//! scheduler simply finds nothing runnable there until it recovers).
+
+use std::time::{Duration, Instant};
+
+use hpceval_machine::presets;
+use hpceval_machine::spec::ServerSpec;
+
+/// One fleet node and its health bookkeeping.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// Node index (stable for the daemon's lifetime).
+    pub id: usize,
+    /// The hosted server's name (spec.name).
+    pub name: String,
+    /// The hosted server.
+    pub spec: ServerSpec,
+    /// While set and in the future, the node is down (crash hold-off).
+    pub down_until: Option<Instant>,
+    /// Crashes observed so far.
+    pub crashes: u64,
+    /// Jobs this node has finished (any terminal state).
+    pub jobs_run: u64,
+}
+
+impl NodeInfo {
+    /// True when the node can accept work right now.
+    pub fn is_healthy(&self) -> bool {
+        self.down_until.is_none_or(|t| Instant::now() >= t)
+    }
+}
+
+/// The set of registered nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    nodes: Vec<NodeInfo>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry hosting the three Table I presets, one per node.
+    pub fn with_presets() -> Self {
+        let mut reg = Self::new();
+        for spec in presets::all_servers() {
+            reg.register(spec);
+        }
+        reg
+    }
+
+    /// Register `spec` on a fresh node; returns its node index.
+    pub fn register(&mut self, spec: ServerSpec) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(NodeInfo {
+            id,
+            name: spec.name.clone(),
+            spec,
+            down_until: None,
+            crashes: 0,
+            jobs_run: 0,
+        });
+        id
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no node is registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Node by index.
+    pub fn node(&self, id: usize) -> Option<&NodeInfo> {
+        self.nodes.get(id)
+    }
+
+    /// The node hosting `server` (case-insensitive), if any.
+    pub fn find_for(&self, server: &str) -> Option<&NodeInfo> {
+        self.nodes.iter().find(|n| n.name.eq_ignore_ascii_case(server))
+    }
+
+    /// Mark `node` crashed: hold it down for `hold_off` and count it.
+    pub fn mark_crashed(&mut self, node: usize, hold_off: Duration) {
+        if let Some(n) = self.nodes.get_mut(node) {
+            n.crashes += 1;
+            n.down_until = Some(Instant::now() + hold_off);
+        }
+    }
+
+    /// Count a finished job against `node`.
+    pub fn mark_finished(&mut self, node: usize) {
+        if let Some(n) = self.nodes.get_mut(node) {
+            n.jobs_run += 1;
+            n.down_until = None;
+        }
+    }
+
+    /// True when `node` exists and is healthy.
+    pub fn is_healthy(&self, node: usize) -> bool {
+        self.nodes.get(node).is_some_and(NodeInfo::is_healthy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_registered_and_found_case_insensitively() {
+        let reg = Registry::with_presets();
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.find_for("xeon-e5462").unwrap().id, 0);
+        assert_eq!(reg.find_for("XEON-4870").unwrap().spec.total_cores(), 40);
+        assert!(reg.find_for("cray-1").is_none());
+    }
+
+    #[test]
+    fn crash_holds_a_node_down_then_recovers() {
+        let mut reg = Registry::with_presets();
+        assert!(reg.is_healthy(1));
+        reg.mark_crashed(1, Duration::from_secs(3600));
+        assert!(!reg.is_healthy(1));
+        assert_eq!(reg.node(1).unwrap().crashes, 1);
+        reg.mark_finished(1);
+        assert!(reg.is_healthy(1), "finishing work clears the hold-off");
+    }
+}

@@ -1,0 +1,254 @@
+//! Executes one attempt of one job, honoring the attempt's fault plan.
+//!
+//! The runner is deliberately free of queue/WAL knowledge: it takes a
+//! job kind, the checkpoint so far, and an [`AttemptFaults`] decision,
+//! and reports how the attempt ended. Durability is the caller's
+//! problem — every completed state row is handed to an `on_row`
+//! callback *before* the runner moves on, so the daemon can append the
+//! WAL checkpoint entry first and the row is never ahead of the log.
+//!
+//! Fault semantics:
+//! - `crash_at = k`: the node dies *before* executing state `k`; rows
+//!   `< k` are already checkpointed, nothing else is lost.
+//! - `preempt_at = k`: the straggling attempt is preempted *after*
+//!   completing state `k` — guaranteed forward progress, so a job that
+//!   keeps drawing preemptions still terminates.
+//! - `dropout_at = k`: state `k`'s meter loses samples; its row is
+//!   delivered but flagged suspect.
+
+use serde::Serialize;
+
+use hpceval_core::evaluation::PpwRow;
+use hpceval_core::jobs::{run_one_shot, OneShotOutput, ResumableEvaluation};
+use hpceval_machine::spec::ServerSpec;
+
+use crate::fault::AttemptFaults;
+use crate::job::{JobKind, JobResult};
+
+/// How an attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// Ran to completion; here is the (possibly flagged) result.
+    Completed {
+        /// The finished result.
+        result: JobResult,
+    },
+    /// Preempted as a straggler after a checkpoint; requeue without an
+    /// attempt penalty.
+    Preempted,
+    /// The node crashed before state `at_step`; requeue with backoff.
+    Crashed {
+        /// The state the crash pre-empted.
+        at_step: usize,
+    },
+    /// The checkpoint could not be restored (corrupt rows).
+    BadCheckpoint {
+        /// Restore error text.
+        reason: String,
+    },
+}
+
+/// Run one attempt of `kind` on `spec`.
+///
+/// `checkpoint`/`suspect` carry the durable progress so far; `faults`
+/// is this attempt's fault decision; `on_row(index, row, suspect)` is
+/// invoked for every newly completed state row.
+pub fn run_attempt(
+    kind: &JobKind,
+    spec: &ServerSpec,
+    checkpoint: &[PpwRow],
+    suspect: &[usize],
+    faults: AttemptFaults,
+    mut on_row: impl FnMut(usize, &PpwRow, bool),
+) -> AttemptOutcome {
+    match kind {
+        JobKind::Evaluate { seed, .. } => {
+            run_evaluate(spec, *seed, checkpoint, suspect, faults, &mut on_row)
+        }
+        _ => run_single_shot(kind, spec, faults),
+    }
+}
+
+fn run_evaluate(
+    spec: &ServerSpec,
+    seed: u64,
+    checkpoint: &[PpwRow],
+    suspect: &[usize],
+    faults: AttemptFaults,
+    on_row: &mut impl FnMut(usize, &PpwRow, bool),
+) -> AttemptOutcome {
+    let mut run = match ResumableEvaluation::restore(spec.clone(), seed, checkpoint.to_vec()) {
+        Ok(run) => run,
+        Err(e) => return AttemptOutcome::BadCheckpoint { reason: e.to_string() },
+    };
+    let mut suspect_rows = suspect.to_vec();
+    while !run.is_complete() {
+        let k = run.completed().len();
+        if faults.crash_at == Some(k) {
+            return AttemptOutcome::Crashed { at_step: k };
+        }
+        let row = run.run_next().expect("plan not complete");
+        let flagged = faults.dropout_at == Some(k);
+        if flagged {
+            suspect_rows.push(k);
+        }
+        on_row(k, &row, flagged);
+        if faults.preempt_at == Some(k) && !run.is_complete() {
+            return AttemptOutcome::Preempted;
+        }
+    }
+    suspect_rows.sort_unstable();
+    suspect_rows.dedup();
+    let rows = run.completed().to_vec();
+    let score = JobResult::clean_score(&rows, &suspect_rows);
+    let degraded = !suspect_rows.is_empty();
+    let notes = if degraded {
+        vec![format!("{} of {} rows had meter dropouts", suspect_rows.len(), rows.len())]
+    } else {
+        Vec::new()
+    };
+    AttemptOutcome::Completed {
+        result: JobResult { score, degraded, notes, rows, suspect_rows, output: None },
+    }
+}
+
+fn run_single_shot(kind: &JobKind, spec: &ServerSpec, faults: AttemptFaults) -> AttemptOutcome {
+    // One-shots are a single state: step index 0.
+    if faults.crash_at == Some(0) {
+        return AttemptOutcome::Crashed { at_step: 0 };
+    }
+    let shot = kind.one_shot().expect("non-evaluate kinds are one-shots");
+    let Some(output) = run_one_shot(shot, spec, kind.seed()) else {
+        return AttemptOutcome::Completed {
+            result: JobResult {
+                score: None,
+                degraded: true,
+                notes: vec![format!("{} produced no model", kind.verb())],
+                rows: Vec::new(),
+                suspect_rows: Vec::new(),
+                output: None,
+            },
+        };
+    };
+    let score = match &output {
+        OneShotOutput::Score { value, .. } => Some(*value),
+        OneShotOutput::Training { r_square, .. } => Some(*r_square),
+        OneShotOutput::Report { .. } => None,
+    };
+    // A meter dropout on a one-shot flags the whole result.
+    let degraded = faults.dropout_at == Some(0);
+    let notes = if degraded {
+        vec!["meter dropout during the measurement".to_string()]
+    } else {
+        Vec::new()
+    };
+    AttemptOutcome::Completed {
+        result: JobResult {
+            score: if degraded { None } else { score },
+            degraded,
+            notes,
+            rows: Vec::new(),
+            suspect_rows: Vec::new(),
+            output: Some(output.to_value()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpceval_machine::presets;
+
+    #[test]
+    fn fault_free_evaluate_completes_clean() {
+        let spec = presets::xeon_e5462();
+        let kind = JobKind::Evaluate { server: spec.name.clone(), seed: 5 };
+        let mut seen = Vec::new();
+        let out = run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |k, row, s| {
+            seen.push((k, row.program.clone(), s));
+        });
+        match out {
+            AttemptOutcome::Completed { result } => {
+                assert!(!result.degraded);
+                assert_eq!(result.rows.len(), 10);
+                assert!(result.score.unwrap() > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(seen.iter().all(|(_, _, s)| !s));
+    }
+
+    #[test]
+    fn crash_then_resume_matches_the_straight_run() {
+        let spec = presets::xeon_e5462();
+        let kind = JobKind::Evaluate { server: spec.name.clone(), seed: 5 };
+
+        let straight = match run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |_, _, _| {})
+        {
+            AttemptOutcome::Completed { result } => result,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // Attempt 1 crashes before state 4; rows 0..4 were checkpointed.
+        let mut ckpt = Vec::new();
+        let faults = AttemptFaults { crash_at: Some(4), preempt_at: None, dropout_at: None };
+        let out = run_attempt(&kind, &spec, &[], &[], faults, |_, row, _| ckpt.push(row.clone()));
+        assert_eq!(out, AttemptOutcome::Crashed { at_step: 4 });
+        assert_eq!(ckpt.len(), 4);
+
+        // Attempt 2 resumes from the checkpoint, fault-free.
+        let resumed = match run_attempt(&kind, &spec, &ckpt, &[], AttemptFaults::NONE, |_, _, _| {})
+        {
+            AttemptOutcome::Completed { result } => result,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(straight, resumed, "resume must be bitwise identical");
+    }
+
+    #[test]
+    fn preemption_guarantees_progress() {
+        let spec = presets::xeon_e5462();
+        let kind = JobKind::Evaluate { server: spec.name.clone(), seed: 5 };
+        let faults = AttemptFaults { crash_at: None, preempt_at: Some(0), dropout_at: None };
+        let mut rows = Vec::new();
+        let out = run_attempt(&kind, &spec, &[], &[], faults, |_, row, _| rows.push(row.clone()));
+        assert_eq!(out, AttemptOutcome::Preempted);
+        assert_eq!(rows.len(), 1, "the preempted state itself completed");
+    }
+
+    #[test]
+    fn dropout_flags_the_row_and_degrades_the_result() {
+        let spec = presets::xeon_e5462();
+        let kind = JobKind::Evaluate { server: spec.name.clone(), seed: 5 };
+        let faults = AttemptFaults { crash_at: None, preempt_at: None, dropout_at: Some(3) };
+        let out = run_attempt(&kind, &spec, &[], &[], faults, |_, _, _| {});
+        match out {
+            AttemptOutcome::Completed { result } => {
+                assert!(result.degraded);
+                assert_eq!(result.suspect_rows, vec![3]);
+                assert_eq!(result.rows.len(), 10);
+                // Score excludes the suspect row but still exists.
+                assert!(result.score.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_shots_complete_with_scores() {
+        let spec = presets::xeon_e5462();
+        for kind in [
+            JobKind::Green500 { server: spec.name.clone() },
+            JobKind::Specpower { server: spec.name.clone() },
+        ] {
+            match run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |_, _, _| {}) {
+                AttemptOutcome::Completed { result } => {
+                    assert!(result.score.unwrap() > 0.0);
+                    assert!(result.output.is_some());
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! The write-ahead log that makes the job queue durable.
+//!
+//! Every state transition is appended as one strict-JSON line *before*
+//! the in-memory queue reflects it, and the file is flushed and synced
+//! per append. Replaying the log therefore reconstructs the queue a
+//! killed daemon held at the moment of death: accepted-but-unfinished
+//! jobs come back `Queued` with their checkpointed rows intact, so a
+//! restart re-runs at most the rows that were in flight. A torn final
+//! line (the kill landed mid-append) is tolerated and dropped.
+//!
+//! Entry grammar (one JSON object per line, `"e"` selects the kind):
+//!
+//! ```text
+//! {"e":"submit","job":N,"kind":{<JobKind>}}
+//! {"e":"claim","job":N,"attempt":A,"node":K}
+//! {"e":"ckpt","job":N,"row":R,"suspect":B,"data":{<PpwRow>}}
+//! {"e":"retry","job":N,"attempt":A,"reason":"..."}
+//! {"e":"done","job":N,"state":"Done"|"Degraded"|"Failed","result":{<JobResult>}}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Serialize, Value};
+
+use hpceval_core::evaluation::PpwRow;
+
+use crate::codec;
+use crate::error::FleetError;
+use crate::job::{JobId, JobKind, JobResult, JobState};
+
+/// One replayed WAL entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// A job was accepted.
+    Submit {
+        /// Job id.
+        job: JobId,
+        /// What it runs.
+        kind: JobKind,
+    },
+    /// An attempt was claimed by a node.
+    Claim {
+        /// Job id.
+        job: JobId,
+        /// Attempt number.
+        attempt: u32,
+        /// Node index.
+        node: usize,
+    },
+    /// A state row became durable.
+    Checkpoint {
+        /// Job id.
+        job: JobId,
+        /// Row index.
+        row: usize,
+        /// True when the row's meter dropped out.
+        suspect: bool,
+        /// The measured row.
+        data: PpwRow,
+    },
+    /// The job was requeued after a crash.
+    Retry {
+        /// Job id.
+        job: JobId,
+        /// Next attempt number.
+        attempt: u32,
+        /// Why.
+        reason: String,
+    },
+    /// The job reached a terminal state.
+    Done {
+        /// Job id.
+        job: JobId,
+        /// Terminal state (`Done`, `Degraded` or `Failed`).
+        state: JobState,
+        /// Final result (absent for `Failed`).
+        result: Option<JobResult>,
+    },
+}
+
+/// Append-only writer over the log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Open (creating or appending to) the log at `path`.
+    pub fn open(path: &Path) -> Result<Self, FleetError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self { file, path: path.to_path_buf() })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one entry: strict-encode, write the line, flush, sync.
+    pub fn append(&mut self, entry: &WalEntry) -> Result<(), FleetError> {
+        let line = encode_entry(entry)?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+fn encode_entry(entry: &WalEntry) -> Result<String, FleetError> {
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    let mut push = |k: &str, v: Value| pairs.push((k.to_string(), v));
+    match entry {
+        WalEntry::Submit { job, kind } => {
+            push("e", Value::Str("submit".into()));
+            push("job", Value::UInt(*job));
+            push("kind", kind.to_value());
+        }
+        WalEntry::Claim { job, attempt, node } => {
+            push("e", Value::Str("claim".into()));
+            push("job", Value::UInt(*job));
+            push("attempt", Value::UInt(u64::from(*attempt)));
+            push("node", Value::UInt(*node as u64));
+        }
+        WalEntry::Checkpoint { job, row, suspect, data } => {
+            push("e", Value::Str("ckpt".into()));
+            push("job", Value::UInt(*job));
+            push("row", Value::UInt(*row as u64));
+            push("suspect", Value::Bool(*suspect));
+            push("data", data.to_value());
+        }
+        WalEntry::Retry { job, attempt, reason } => {
+            push("e", Value::Str("retry".into()));
+            push("job", Value::UInt(*job));
+            push("attempt", Value::UInt(u64::from(*attempt)));
+            push("reason", Value::Str(reason.clone()));
+        }
+        WalEntry::Done { job, state, result } => {
+            push("e", Value::Str("done".into()));
+            push("job", Value::UInt(*job));
+            push("state", Value::Str(state.to_string()));
+            push(
+                "result",
+                match result {
+                    Some(r) => r.to_value(),
+                    None => Value::Null,
+                },
+            );
+        }
+    }
+    codec::encode_strict(&Value::Map(pairs))
+}
+
+fn decode_entry(v: &Value) -> Option<WalEntry> {
+    let job = v.get("job")?.as_u64()?;
+    match v.get("e")?.as_str()? {
+        "submit" => Some(WalEntry::Submit { job, kind: JobKind::from_value(v.get("kind")?)? }),
+        "claim" => Some(WalEntry::Claim {
+            job,
+            attempt: v.get("attempt")?.as_u64()? as u32,
+            node: v.get("node")?.as_u64()? as usize,
+        }),
+        "ckpt" => Some(WalEntry::Checkpoint {
+            job,
+            row: v.get("row")?.as_u64()? as usize,
+            suspect: v.get("suspect")?.as_bool()?,
+            data: codec::ppw_row_from_value(v.get("data")?)?,
+        }),
+        "retry" => Some(WalEntry::Retry {
+            job,
+            attempt: v.get("attempt")?.as_u64()? as u32,
+            reason: v.get("reason")?.as_str()?.to_string(),
+        }),
+        "done" => {
+            let state = match v.get("state")?.as_str()? {
+                "Done" => JobState::Done,
+                "Degraded" => JobState::Degraded,
+                "Failed" => JobState::Failed,
+                _ => return None,
+            };
+            let result = v.get("result").filter(|r| !r.is_null()).and_then(result_from_value);
+            Some(WalEntry::Done { job, state, result })
+        }
+        _ => None,
+    }
+}
+
+fn result_from_value(v: &Value) -> Option<JobResult> {
+    Some(JobResult {
+        score: v.get("score").and_then(Value::as_f64),
+        degraded: v.get("degraded")?.as_bool()?,
+        notes: v
+            .get("notes")?
+            .as_seq()?
+            .iter()
+            .map(|n| n.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()?,
+        rows: v
+            .get("rows")?
+            .as_seq()?
+            .iter()
+            .map(codec::ppw_row_from_value)
+            .collect::<Option<Vec<_>>>()?,
+        suspect_rows: codec::usize_seq_from_value(v.get("suspect_rows")?)?,
+        output: v.get("output").filter(|o| !o.is_null()).cloned(),
+    })
+}
+
+/// Replay the log at `path`.
+///
+/// Returns the decoded entries in order. A missing file replays as
+/// empty; a torn (unparseable) *final* line is dropped; a corrupt line
+/// anywhere else is a [`FleetError::Protocol`] — the log is damaged,
+/// not merely truncated.
+pub fn replay(path: &Path) -> Result<Vec<WalEntry>, FleetError> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let reader = BufReader::new(File::open(path)?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut entries = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    for (k, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match codec::parse(line).ok().as_ref().and_then(decode_entry) {
+            Some(entry) => entries.push(entry),
+            None if k == last => break, // torn tail from a mid-append kill
+            None => {
+                return Err(FleetError::Protocol(format!("corrupt WAL line {}", k + 1)));
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hpceval-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&dir);
+        dir
+    }
+
+    fn sample_entries() -> Vec<WalEntry> {
+        let row = PpwRow { program: "Idle".into(), gflops: 0.0, power_w: 150.0, ppw: 0.0 };
+        vec![
+            WalEntry::Submit {
+                job: 1,
+                kind: JobKind::Evaluate { server: "Xeon-E5462".into(), seed: 7 },
+            },
+            WalEntry::Claim { job: 1, attempt: 1, node: 0 },
+            WalEntry::Checkpoint { job: 1, row: 0, suspect: false, data: row.clone() },
+            WalEntry::Retry { job: 1, attempt: 2, reason: "node crashed".into() },
+            WalEntry::Done {
+                job: 1,
+                state: JobState::Degraded,
+                result: Some(JobResult {
+                    score: Some(0.1),
+                    degraded: true,
+                    notes: vec!["partial".into()],
+                    rows: vec![row],
+                    suspect_rows: vec![0],
+                    output: None,
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_file() {
+        let path = tmp("roundtrip");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for e in sample_entries() {
+                w.append(&e).unwrap();
+            }
+        }
+        assert_eq!(replay(&path).unwrap(), sample_entries());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = tmp("torn");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for e in sample_entries() {
+                w.append(&e).unwrap();
+            }
+        }
+        // Simulate a kill mid-append: a truncated JSON tail.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"e\":\"claim\",\"jo").unwrap();
+        drop(f);
+        assert_eq!(replay(&path).unwrap(), sample_entries());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_line_is_an_error() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "garbage\n{\"e\":\"claim\",\"job\":1,\"attempt\":1,\"node\":0}\n")
+            .unwrap();
+        assert!(matches!(replay(&path), Err(FleetError::Protocol(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        assert_eq!(replay(Path::new("/nonexistent/hpceval.wal")).unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,243 @@
+//! Length-prefixed JSON framing and the request/response vocabulary.
+//!
+//! Frame layout: a 4-byte big-endian payload length followed by exactly
+//! that many bytes of strict JSON (UTF-8, no trailing newline). Frames
+//! above [`MAX_FRAME`] are rejected before allocation — a garbage
+//! length prefix must not make the daemon reserve gigabytes.
+//!
+//! Requests (`"op"` selects the kind):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"submit","jobs":[{<JobKind>}, ...]}     // batched submit
+//! {"op":"status"}                               // whole-fleet snapshot
+//! {"op":"status","job":N}                       // one job
+//! {"op":"drain"}                                // finish queue, report
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses: `{"ok":true, ...}` or
+//! `{"ok":false,"error":"...","retry_after_ms":N?}` — the optional
+//! backoff hint is the backpressure signal a client must honor when the
+//! daemon's queue is full.
+
+use std::io::{Read, Write};
+
+use serde::Value;
+
+use crate::codec;
+use crate::error::FleetError;
+use crate::job::JobKind;
+
+/// Frame-size ceiling (1 MiB): larger payloads are protocol errors.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Write one frame: 4-byte big-endian length, then the JSON payload.
+pub fn write_frame(w: &mut impl Write, json: &str) -> Result<(), FleetError> {
+    if json.len() > MAX_FRAME {
+        return Err(FleetError::Protocol(format!("frame of {} bytes exceeds cap", json.len())));
+    }
+    w.write_all(&(json.len() as u32).to_be_bytes())?;
+    w.write_all(json.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, FleetError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FleetError::Protocol(format!("frame length {len} exceeds cap")));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| FleetError::Protocol("frame is not UTF-8".to_string()))
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit a batch of jobs (the wire always carries a batch; a
+    /// single submit is a batch of one).
+    Submit {
+        /// Jobs to enqueue, in order.
+        jobs: Vec<JobKind>,
+    },
+    /// Snapshot of one job (`Some`) or the whole fleet (`None`).
+    Status {
+        /// Optional job filter.
+        job: Option<u64>,
+    },
+    /// Stop accepting submits, run the queue dry, report the outcome.
+    Drain,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Decode a request frame.
+    pub fn from_json(json: &str) -> Result<Request, FleetError> {
+        let v = codec::parse(json)?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| FleetError::Protocol("request lacks \"op\"".to_string()))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "submit" => {
+                let jobs = v
+                    .get("jobs")
+                    .and_then(Value::as_seq)
+                    .ok_or_else(|| FleetError::Protocol("submit lacks \"jobs\"".to_string()))?
+                    .iter()
+                    .map(JobKind::from_value)
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| FleetError::Protocol("unparseable job kind".to_string()))?;
+                Ok(Request::Submit { jobs })
+            }
+            "status" => Ok(Request::Status { job: v.get("job").and_then(Value::as_u64) }),
+            "drain" => Ok(Request::Drain),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(FleetError::Protocol(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// Encode as a request frame payload.
+    pub fn to_json(&self) -> Result<String, FleetError> {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        match self {
+            Request::Ping => pairs.push(("op".into(), Value::Str("ping".into()))),
+            Request::Submit { jobs } => {
+                pairs.push(("op".into(), Value::Str("submit".into())));
+                pairs.push((
+                    "jobs".into(),
+                    Value::Seq(jobs.iter().map(serde::Serialize::to_value).collect()),
+                ));
+            }
+            Request::Status { job } => {
+                pairs.push(("op".into(), Value::Str("status".into())));
+                if let Some(id) = job {
+                    pairs.push(("job".into(), Value::UInt(*id)));
+                }
+            }
+            Request::Drain => pairs.push(("op".into(), Value::Str("drain".into()))),
+            Request::Shutdown => pairs.push(("op".into(), Value::Str("shutdown".into()))),
+        }
+        codec::encode_strict(&Value::Map(pairs))
+    }
+}
+
+/// Build a success response with extra fields.
+pub fn ok_response(extra: Vec<(String, Value)>) -> Result<String, FleetError> {
+    let mut pairs = vec![("ok".to_string(), Value::Bool(true))];
+    pairs.extend(extra);
+    codec::encode_strict(&Value::Map(pairs))
+}
+
+/// Build an error response; `retry_after_ms` carries backpressure.
+pub fn error_response(message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms".to_string(), Value::UInt(ms)));
+    }
+    // Only finite, well-formed values above: encoding cannot fail.
+    codec::encode_strict(&Value::Map(pairs)).expect("error response is always encodable")
+}
+
+/// Interpret a response payload: `Ok(value)` for `{"ok":true,...}`,
+/// the typed error otherwise.
+pub fn decode_response(json: &str) -> Result<Value, FleetError> {
+    let v = codec::parse(json)?;
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(v),
+        Some(false) => {
+            let msg = v.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string();
+            match v.get("retry_after_ms").and_then(Value::as_u64) {
+                Some(retry_after_ms) => Err(FleetError::Backlog { retry_after_ms }),
+                None => Err(FleetError::Remote(msg)),
+            }
+        }
+        None => Err(FleetError::Protocol("response lacks \"ok\"".to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "{\"op\":\"drain\"}").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"op\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"op\":\"drain\"}");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FleetError::Protocol(_))));
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Submit {
+                jobs: vec![
+                    JobKind::Evaluate { server: "xeon-e5462".into(), seed: 1 },
+                    JobKind::Green500 { server: "xeon-4870".into() },
+                ],
+            },
+            Request::Status { job: None },
+            Request::Status { job: Some(4) },
+            Request::Drain,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = req.to_json().unwrap();
+            assert_eq!(Request::from_json(&json).unwrap(), req, "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in ["{}", "{\"op\":\"fly\"}", "{\"op\":\"submit\"}", "not json"] {
+            assert!(matches!(Request::from_json(bad), Err(FleetError::Protocol(_))), "{bad}");
+        }
+    }
+
+    #[test]
+    fn responses_decode_to_ok_or_typed_errors() {
+        let ok = ok_response(vec![("accepted".into(), Value::UInt(3))]).unwrap();
+        assert_eq!(decode_response(&ok).unwrap().get("accepted").unwrap().as_u64(), Some(3));
+
+        let backlog = error_response("queue full", Some(25));
+        assert!(matches!(
+            decode_response(&backlog),
+            Err(FleetError::Backlog { retry_after_ms: 25 })
+        ));
+
+        let plain = error_response("unknown server", None);
+        assert!(matches!(decode_response(&plain), Err(FleetError::Remote(_))));
+    }
+}

@@ -1,0 +1,97 @@
+//! Ranking stability under node dropout (satellite of the fleet PR).
+//!
+//! The fleet's graceful-degradation contract is only useful if the
+//! *comparison* the paper cares about survives partial fleets: when
+//! nodes drop out of every candidate cluster, the relative ordering of
+//! server types under the five-state method must not flap. Node loss is
+//! driven through the fleet fault injector so "which nodes died" is
+//! deterministic and the test is reproducible.
+
+use hpceval_core::cluster::{ClusterSpec, Interconnect};
+use hpceval_fleet::fault::{FaultInjector, FaultPlan};
+use hpceval_machine::presets;
+
+const BASE_NODES: u32 = 8;
+
+/// Server names ordered best-first by five-state PPW at `nodes` nodes.
+fn ranking(nodes: u32) -> Vec<String> {
+    let mut scored: Vec<(String, f64)> = presets::all_servers()
+        .into_iter()
+        .map(|node| {
+            let name = node.name.clone();
+            let spec = ClusterSpec { node, nodes, interconnect: Interconnect::gigabit_ethernet() };
+            (name, spec.score().five_state_ppw)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+    scored.into_iter().map(|(name, _)| name).collect()
+}
+
+#[test]
+fn five_state_ranking_never_flaps_as_nodes_drop() {
+    let injector = FaultInjector::new(FaultPlan { seed: 2015, ..FaultPlan::none() });
+    let healthy = ranking(BASE_NODES);
+    assert_eq!(healthy.len(), 3);
+
+    for round in 0..10u64 {
+        for drop in 1..BASE_NODES as usize {
+            // The injector decides which nodes die; every candidate
+            // cluster loses the same count, as a shared power/cooling
+            // failure would cause.
+            let dropped = injector.pick_dropped_nodes(BASE_NODES as usize, drop, round);
+            assert_eq!(dropped.len(), drop);
+            let survivors = BASE_NODES - dropped.len() as u32;
+            assert!(survivors >= 1);
+            let degraded = ranking(survivors);
+            assert_eq!(
+                degraded, healthy,
+                "ranking flapped at {survivors} survivors (round {round})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropout_selection_is_reproducible_across_injectors() {
+    let a = FaultInjector::new(FaultPlan { seed: 7, ..FaultPlan::none() });
+    let b = FaultInjector::new(FaultPlan { seed: 7, ..FaultPlan::none() });
+    for round in 0..5 {
+        assert_eq!(
+            a.pick_dropped_nodes(BASE_NODES as usize, 3, round),
+            b.pick_dropped_nodes(BASE_NODES as usize, 3, round)
+        );
+    }
+    let c = FaultInjector::new(FaultPlan { seed: 8, ..FaultPlan::none() });
+    let differs = (0..5).any(|round| {
+        a.pick_dropped_nodes(BASE_NODES as usize, 3, round)
+            != c.pick_dropped_nodes(BASE_NODES as usize, 3, round)
+    });
+    assert!(differs, "different seeds must choose different victims");
+}
+
+/// Losing nodes never *improves* aggregate HPL throughput: the node
+/// count dominates the slightly better broadcast efficiency of a
+/// shallower tree. (Efficiency *per node* may rise as the cluster
+/// shrinks — which is exactly why the ranking test above compares
+/// equal-sized degraded fleets.)
+#[test]
+fn aggregate_throughput_degrades_monotonically_with_dropout() {
+    for node in presets::all_servers() {
+        let mut last = f64::INFINITY;
+        for survivors in (1..=BASE_NODES).rev() {
+            let score = ClusterSpec {
+                node: node.clone(),
+                nodes: survivors,
+                interconnect: Interconnect::gigabit_ethernet(),
+            }
+            .score();
+            assert!(
+                score.hpl_gflops < last,
+                "{}: aggregate HPL rose to {} GFLOPS at {survivors} nodes",
+                node.name,
+                score.hpl_gflops
+            );
+            last = score.hpl_gflops;
+        }
+    }
+}

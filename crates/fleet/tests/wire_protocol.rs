@@ -1,0 +1,153 @@
+//! End-to-end wire-protocol tests: a real daemon on an ephemeral TCP
+//! port driven through [`FleetClient`].
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hpceval_fleet::client::FleetClient;
+use hpceval_fleet::daemon::{Fleet, FleetConfig};
+use hpceval_fleet::error::FleetError;
+use hpceval_fleet::fault::FaultPlan;
+use hpceval_fleet::job::JobKind;
+use hpceval_fleet::registry::Registry;
+use hpceval_fleet::wire;
+
+fn wal_path(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("hpceval-wire-{}-{name}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn serve(
+    config: FleetConfig,
+    name: &str,
+) -> (Arc<Fleet>, std::net::SocketAddr, Vec<std::thread::JoinHandle<()>>, PathBuf) {
+    let path = wal_path(name);
+    let fleet = Fleet::open(config, Registry::with_presets(), &path).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sched = fleet.start_scheduler();
+    let acceptor = {
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || fleet.serve(listener).unwrap())
+    };
+    (fleet, addr, vec![sched, acceptor], path)
+}
+
+#[test]
+fn client_drives_a_daemon_over_tcp() {
+    let (_fleet, addr, handles, path) = serve(FleetConfig::default(), "basic");
+    let mut client = FleetClient::connect(addr).unwrap();
+    client.ping().unwrap();
+
+    // Batched submit: several jobs in one frame.
+    let ids = client
+        .submit(vec![
+            JobKind::Evaluate { server: "xeon-e5462".into(), seed: 21 },
+            JobKind::Green500 { server: "xeon-4870".into() },
+            JobKind::Report { server: "opteron-8347".into() },
+        ])
+        .unwrap();
+    assert_eq!(ids.len(), 3);
+
+    let drained = client.drain().unwrap();
+    assert_eq!(drained.len(), 3);
+    assert!(drained.iter().all(|j| j.state == "Done"), "{drained:?}");
+    let eval = drained.iter().find(|j| j.kind == "evaluate").unwrap();
+    assert_eq!(eval.rows_done, 10);
+    assert!(eval.score.unwrap() > 0.0);
+
+    let one = client.status(Some(ids[0])).unwrap();
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].id, ids[0]);
+
+    client.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn unknown_server_and_malformed_frames_are_rejected() {
+    let (_fleet, addr, handles, path) = serve(FleetConfig::default(), "reject");
+    let mut client = FleetClient::connect(addr).unwrap();
+
+    match client.submit(vec![JobKind::Train { server: "cray-1".into(), seed: 0 }]) {
+        Err(FleetError::Remote(msg)) => assert!(msg.contains("cray-1"), "{msg}"),
+        other => panic!("expected remote error, got {other:?}"),
+    }
+
+    // A malformed frame gets an error response, not a hang or a drop.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    wire::write_frame(&mut raw, "{\"op\":\"explode\"}").unwrap();
+    let reply = wire::read_frame(&mut raw).unwrap().unwrap();
+    assert!(matches!(wire::decode_response(&reply), Err(FleetError::Remote(_))));
+
+    let mut client2 = FleetClient::connect(addr).unwrap();
+    client2.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn backpressure_reaches_the_client_with_a_retry_hint() {
+    let config = FleetConfig { queue_cap: 2, ..FleetConfig::default() };
+    let (_fleet, addr, handles, path) = serve(config, "pressure");
+    let mut client = FleetClient::connect(addr).unwrap();
+
+    client
+        .submit(vec![
+            JobKind::Evaluate { server: "xeon-e5462".into(), seed: 1 },
+            JobKind::Evaluate { server: "xeon-e5462".into(), seed: 2 },
+        ])
+        .unwrap();
+    // The immediate third submit may race the fast queue; what must
+    // hold is that backoff-aware retries always get it in eventually.
+    let ids = client
+        .submit_with_backoff(vec![JobKind::Evaluate { server: "xeon-4870".into(), seed: 3 }], 50)
+        .unwrap();
+    assert_eq!(ids.len(), 1);
+
+    let drained = client.drain().unwrap();
+    assert_eq!(drained.len(), 3);
+    client.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn faulty_daemon_reports_degraded_jobs_over_the_wire() {
+    let config = FleetConfig {
+        max_attempts: 2,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 4,
+        crash_holdoff_ms: 1,
+        faults: FaultPlan { crash_p: 0.5, straggler_p: 0.2, dropout_p: 0.3, seed: 77 },
+        ..FleetConfig::default()
+    };
+    let (_fleet, addr, handles, path) = serve(config, "faulty");
+    let mut client = FleetClient::connect(addr).unwrap();
+    let jobs: Vec<JobKind> = (0..8)
+        .map(|k| JobKind::Evaluate { server: "opteron-8347".into(), seed: 500 + k })
+        .collect();
+    client.submit(jobs).unwrap();
+    let drained = client.drain().unwrap();
+    assert_eq!(drained.len(), 8);
+    assert!(drained.iter().all(|j| j.state == "Done" || j.state == "Degraded"));
+    // With crash_p=0.5 and 2 attempts this seed must degrade some jobs,
+    // and each degraded job must say why.
+    let degraded: Vec<_> = drained.iter().filter(|j| j.state == "Degraded").collect();
+    assert!(!degraded.is_empty(), "seeded faults produce degradation");
+    assert!(degraded.iter().all(|j| j.degraded && !j.notes.is_empty()), "{degraded:?}");
+    client.shutdown().unwrap();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}

@@ -10,7 +10,12 @@
 //! hpceval train [seed]                §VI regression on the Xeon-4870
 //! hpceval monitor <server> [seed]     streaming monitor with fault injection
 //! hpceval verify                      run every kernel's verification
+//! hpceval fleet serve|submit|status|drain|shutdown|smoke
+//!                                     fault-tolerant orchestration daemon
 //! ```
+//!
+//! Unknown subcommands and malformed flags print usage and exit
+//! non-zero (pinned by `tests/cli.rs`).
 
 use std::process::ExitCode;
 
@@ -62,9 +67,10 @@ fn main() -> ExitCode {
         },
         Some("monitor") => with_server(&args, |s| monitor(s, parse_seed(&args, 2))),
         Some("verify") => verify(),
+        Some("fleet") => fleet_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify> [server|seed]"
+                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify|fleet> [server|seed]"
             );
             eprintln!(
                 "  monitor <server> [seed]: stream three simulated copies of <server> (one clean,\n\
@@ -200,6 +206,432 @@ fn monitor(spec: ServerSpec, seed: u64) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("injected faults were not detected (skew {skew_seen}, dropout {dropout_seen})");
+        ExitCode::FAILURE
+    }
+}
+
+const FLEET_USAGE: &str = "\
+usage: hpceval fleet <serve|submit|status|drain|shutdown|smoke> [flags]
+  serve    --wal <path> [--addr HOST:PORT] [--workers N] [--queue-cap N]
+           [--max-attempts N] [--crash-p X] [--straggler-p X]
+           [--dropout-p X] [--fault-seed N]
+  submit   [--addr HOST:PORT] <kind>:<server>[:<seed>] ...
+           kinds: evaluate green500 specpower train report
+  status   [--addr HOST:PORT] [--job N]
+  drain    [--addr HOST:PORT]
+  shutdown [--addr HOST:PORT]
+  smoke    [--seed N]   self-contained daemon smoke test (CI entry point)";
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7621";
+
+/// `(--key, value)` pairs plus the leftover positional arguments.
+type ParsedArgs<'a> = (Vec<(&'a str, &'a str)>, Vec<&'a str>);
+
+/// `--key value` flag scanner; rejects unknown flags so typos fail
+/// loudly instead of being silently ignored.
+fn parse_flags<'a>(args: &'a [String], known: &[&str]) -> Result<ParsedArgs<'a>, String> {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if !known.contains(&key) {
+                return Err(format!("unknown flag --{key}"));
+            }
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            flags.push((key, value.as_str()));
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok((flags, positional))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    flags.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    flags: &[(&str, &str)],
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(flags, key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("bad value {raw:?} for --{key}")),
+    }
+}
+
+fn fleet_usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{FLEET_USAGE}");
+    ExitCode::FAILURE
+}
+
+fn fleet_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("serve") => fleet_serve(&args[1..]),
+        Some("submit") => fleet_submit(&args[1..]),
+        Some("status") => fleet_status(&args[1..]),
+        Some("drain") => fleet_drain(&args[1..]),
+        Some("shutdown") => fleet_shutdown(&args[1..]),
+        Some("smoke") => fleet_smoke(&args[1..]),
+        Some(other) => fleet_usage_error(&format!("unknown fleet subcommand {other:?}")),
+        None => fleet_usage_error("missing fleet subcommand"),
+    }
+}
+
+fn fleet_serve(args: &[String]) -> ExitCode {
+    use hpceval::fleet::{FaultPlan, Fleet, FleetConfig, Registry};
+
+    let parsed = parse_flags(
+        args,
+        &[
+            "wal",
+            "addr",
+            "workers",
+            "queue-cap",
+            "max-attempts",
+            "crash-p",
+            "straggler-p",
+            "dropout-p",
+            "fault-seed",
+        ],
+    );
+    let (flags, positional) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let Some(wal) = flag(&flags, "wal") else {
+        return fleet_usage_error("serve requires --wal <path>");
+    };
+    let addr = flag(&flags, "addr").unwrap_or(DEFAULT_ADDR);
+    let config = match (|| -> Result<FleetConfig, String> {
+        Ok(FleetConfig {
+            workers: parse_flag(&flags, "workers", 0)?,
+            queue_cap: parse_flag(&flags, "queue-cap", 256)?,
+            max_attempts: parse_flag(&flags, "max-attempts", 4)?,
+            faults: FaultPlan {
+                crash_p: parse_flag(&flags, "crash-p", 0.0)?,
+                straggler_p: parse_flag(&flags, "straggler-p", 0.0)?,
+                dropout_p: parse_flag(&flags, "dropout-p", 0.0)?,
+                seed: parse_flag(&flags, "fault-seed", 0)?,
+            },
+            ..FleetConfig::default()
+        })
+    })() {
+        Ok(c) => c,
+        Err(e) => return fleet_usage_error(&e),
+    };
+
+    let fleet = match Fleet::open(config, Registry::with_presets(), std::path::Path::new(wal)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let restored = fleet.status(None).len();
+    println!(
+        "fleet daemon listening on {} ({restored} job(s) restored from WAL)",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string())
+    );
+    let scheduler = fleet.start_scheduler();
+    let result = fleet.serve(listener);
+    scheduler.join().expect("scheduler thread");
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("daemon error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parse `kind:server[:seed]` job specs.
+fn parse_job_specs(specs: &[&str]) -> Result<Vec<hpceval::fleet::JobKind>, String> {
+    use hpceval::fleet::JobKind;
+    if specs.is_empty() {
+        return Err("submit needs at least one <kind>:<server>[:<seed>] spec".to_string());
+    }
+    specs
+        .iter()
+        .map(|spec| {
+            let mut parts = spec.splitn(3, ':');
+            let kind = parts.next().unwrap_or_default();
+            let server =
+                parts.next().ok_or_else(|| format!("{spec:?} lacks a server name"))?.to_string();
+            let seed = match parts.next() {
+                None => 42,
+                Some(raw) => raw.parse().map_err(|_| format!("bad seed {raw:?} in {spec:?}"))?,
+            };
+            match kind {
+                "evaluate" => Ok(JobKind::Evaluate { server, seed }),
+                "green500" => Ok(JobKind::Green500 { server }),
+                "specpower" => Ok(JobKind::Specpower { server }),
+                "train" => Ok(JobKind::Train { server, seed }),
+                "report" => Ok(JobKind::Report { server }),
+                other => Err(format!("unknown job kind {other:?} in {spec:?}")),
+            }
+        })
+        .collect()
+}
+
+fn connect(flags: &[(&str, &str)]) -> Result<hpceval::fleet::FleetClient, ExitCode> {
+    let addr = flag(flags, "addr").unwrap_or(DEFAULT_ADDR);
+    hpceval::fleet::FleetClient::connect(addr).map_err(|e| {
+        eprintln!("cannot reach fleet daemon at {addr}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn print_jobs(jobs: &[hpceval::fleet::RemoteJob]) {
+    println!(
+        "{:>5} {:<10} {:<14} {:<9} {:>8} {:>7} {:>10}  notes",
+        "Job", "Kind", "Server", "State", "Rows", "Tries", "Score"
+    );
+    for j in jobs {
+        let score = j.score.map_or_else(|| "-".to_string(), |s| format!("{s:.4}"));
+        println!(
+            "{:>5} {:<10} {:<14} {:<9} {:>5}/{:<2} {:>7} {:>10}  {}",
+            j.id,
+            j.kind,
+            j.server,
+            j.state,
+            j.rows_done,
+            j.total_steps,
+            j.attempts,
+            score,
+            j.notes.join("; ")
+        );
+    }
+}
+
+fn fleet_submit(args: &[String]) -> ExitCode {
+    let (flags, positional) = match parse_flags(args, &["addr"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let jobs = match parse_job_specs(&positional) {
+        Ok(j) => j,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let mut client = match connect(&flags) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.submit_with_backoff(jobs, 10) {
+        Ok(ids) => {
+            println!(
+                "accepted {} job(s): {}",
+                ids.len(),
+                ids.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fleet_status(args: &[String]) -> ExitCode {
+    let (flags, positional) = match parse_flags(args, &["addr", "job"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let job = match flag(&flags, "job").map(str::parse).transpose() {
+        Ok(j) => j,
+        Err(_) => return fleet_usage_error("--job takes a numeric id"),
+    };
+    let mut client = match connect(&flags) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.status(job) {
+        Ok(jobs) => {
+            print_jobs(&jobs);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("status failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fleet_drain(args: &[String]) -> ExitCode {
+    let (flags, positional) = match parse_flags(args, &["addr"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let mut client = match connect(&flags) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.drain() {
+        Ok(jobs) => {
+            print_jobs(&jobs);
+            let failed = jobs.iter().filter(|j| j.state == "Failed").count();
+            let degraded = jobs.iter().filter(|j| j.state == "Degraded").count();
+            println!("drained: {} job(s), {} degraded, {} failed", jobs.len(), degraded, failed);
+            if failed == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fleet_shutdown(args: &[String]) -> ExitCode {
+    let (flags, positional) = match parse_flags(args, &["addr"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let mut client = match connect(&flags) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    match client.shutdown() {
+        Ok(()) => {
+            println!("daemon stopping");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Self-contained smoke test: daemon on an ephemeral port, evaluate +
+/// train submitted over TCP, one node crash injected, queue drained;
+/// success iff every job ends Done or Degraded. This is the CI entry
+/// point for the fleet matrix job.
+fn fleet_smoke(args: &[String]) -> ExitCode {
+    use hpceval::fleet::{EventKind, FaultPlan, Fleet, FleetClient, FleetConfig, Registry};
+
+    let (flags, positional) = match parse_flags(args, &["seed"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let seed = match parse_flag(&flags, "seed", 2015u64) {
+        Ok(s) => s,
+        Err(e) => return fleet_usage_error(&e),
+    };
+
+    let wal = std::env::temp_dir().join(format!("hpceval-smoke-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let config = FleetConfig {
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 8,
+        crash_holdoff_ms: 2,
+        // High enough that this seeded run provably injects a crash.
+        faults: FaultPlan { crash_p: 0.35, straggler_p: 0.2, dropout_p: 0.1, seed },
+        ..FleetConfig::default()
+    };
+    let fleet = match Fleet::open(config, Registry::with_presets(), &wal) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("smoke: cannot open fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("smoke: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener.local_addr().expect("bound socket has an address");
+    let scheduler = fleet.start_scheduler();
+    let server = {
+        let fleet = std::sync::Arc::clone(&fleet);
+        std::thread::spawn(move || fleet.serve(listener))
+    };
+
+    let outcome = (|| -> Result<Vec<hpceval::fleet::RemoteJob>, hpceval::fleet::FleetError> {
+        let mut client = FleetClient::connect(addr)?;
+        client.ping()?;
+        let mut jobs = Vec::new();
+        for (k, name) in ["xeon-e5462", "opteron-8347", "xeon-4870"].iter().enumerate() {
+            jobs.push(hpceval::fleet::JobKind::Evaluate {
+                server: (*name).to_string(),
+                seed: seed + k as u64,
+            });
+        }
+        jobs.push(hpceval::fleet::JobKind::Train { server: "xeon-4870".to_string(), seed });
+        jobs.push(hpceval::fleet::JobKind::Green500 { server: "xeon-e5462".to_string() });
+        client.submit_with_backoff(jobs, 20)?;
+        client.drain()
+    })();
+
+    let crashes = fleet
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::NodeCrashed))
+        .count();
+    // Tear the daemon down regardless of the verdict.
+    fleet.request_shutdown();
+    scheduler.join().expect("scheduler thread");
+    let _ = server.join().expect("server thread");
+    let _ = std::fs::remove_file(&wal);
+
+    let jobs = match outcome {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("smoke: client error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_jobs(&jobs);
+    let bad: Vec<_> = jobs.iter().filter(|j| j.state != "Done" && j.state != "Degraded").collect();
+    println!(
+        "smoke: {} job(s) drained, {} node crash(es) injected, {} degraded",
+        jobs.len(),
+        crashes,
+        jobs.iter().filter(|j| j.state == "Degraded").count()
+    );
+    if jobs.len() == 5 && bad.is_empty() && crashes > 0 {
+        println!("smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("smoke: FAILED (crashes={crashes}, non-terminal/failed jobs: {bad:?})");
         ExitCode::FAILURE
     }
 }

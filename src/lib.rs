@@ -16,6 +16,9 @@
 //! * [`telemetry`] — the streaming extension: multi-server sample
 //!   ingestion, ring-buffer storage, incremental window statistics and
 //!   online (RLS) model training with drift/anomaly detection.
+//! * [`fleet`] — fault-tolerant orchestration: a daemon with a
+//!   write-ahead-logged job queue, per-state checkpointing, fault
+//!   injection with retry/backoff, and a TCP wire protocol + client.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +33,7 @@
 //! ```
 
 pub use hpceval_core as core;
+pub use hpceval_fleet as fleet;
 pub use hpceval_kernels as kernels;
 pub use hpceval_machine as machine;
 pub use hpceval_power as power;

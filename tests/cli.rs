@@ -1,0 +1,89 @@
+//! CLI contract tests: the `hpceval` binary must reject unknown
+//! subcommands and malformed flags with usage text and a non-zero exit,
+//! and its fleet subcommands must work end-to-end over a real socket.
+
+use std::process::{Command, Output};
+
+fn hpceval(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hpceval"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_fails() {
+    for args in [&["frobnicate"][..], &[][..], &["--help-me"][..]] {
+        let out = hpceval(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(stderr(&out).contains("usage: hpceval"), "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn malformed_fleet_invocations_print_fleet_usage_and_fail() {
+    let cases: &[&[&str]] = &[
+        &["fleet"],                                             // missing subcommand
+        &["fleet", "explode"],                                  // unknown subcommand
+        &["fleet", "serve"],                                    // missing required --wal
+        &["fleet", "serve", "--wal"],                           // flag without value
+        &["fleet", "serve", "--wal", "x", "--bogus", "1"],      // unknown flag
+        &["fleet", "serve", "--wal", "x", "--crash-p", "lots"], // bad number
+        &["fleet", "submit"],                                   // no job specs
+        &["fleet", "submit", "fly:xeon-e5462"],                 // unknown kind
+        &["fleet", "submit", "evaluate"],                       // spec lacks server
+        &["fleet", "status", "--job", "one"],                   // non-numeric id
+        &["fleet", "drain", "extra"],                           // stray positional
+    ];
+    for args in cases {
+        let out = hpceval(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains("usage: hpceval fleet"),
+            "{args:?} must print fleet usage, got: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_server_still_fails_cleanly() {
+    let out = hpceval(&["evaluate", "cray-1"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown server"));
+}
+
+#[test]
+fn servers_listing_succeeds() {
+    let out = hpceval(&["servers"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["Xeon-E5462", "Opteron-8347", "Xeon-4870"] {
+        assert!(text.contains(name), "{text}");
+    }
+}
+
+/// The CI smoke entry point: a daemon on an ephemeral port, submits over
+/// TCP, one injected node crash, drains to all-Done|Degraded, exits 0.
+#[test]
+fn fleet_smoke_passes() {
+    let out = hpceval(&["fleet", "smoke", "--seed", "2015"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {text}\nstderr: {}", stderr(&out));
+    assert!(text.contains("smoke: OK"), "{text}");
+}
+
+/// status/drain against a daemon that isn't there must fail, not hang.
+#[test]
+fn client_commands_fail_fast_without_a_daemon() {
+    // Port 9 (discard) is a safe "nothing listens here" target.
+    for sub in ["status", "drain", "shutdown"] {
+        let out = hpceval(&["fleet", sub, "--addr", "127.0.0.1:9"]);
+        assert!(!out.status.success(), "{sub} must fail");
+        assert!(stderr(&out).contains("cannot reach fleet daemon"), "{}", stderr(&out));
+    }
+}

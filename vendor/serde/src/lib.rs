@@ -34,6 +34,83 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Look up `key` in a [`Value::Map`]; `None` for other variants or
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into a [`Value::Seq`]; `None` for other variants or out of
+    /// range.
+    pub fn index(&self, k: usize) -> Option<&Value> {
+        match self {
+            Value::Seq(items) => items.get(k),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `f64` (ints widen; strings do not coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(x) => Some(x),
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string payload of a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload of a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the items of a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can be converted into a [`Value`] tree.
 ///
 /// Unlike real serde's visitor-based `Serialize`, the stub uses a
@@ -42,6 +119,14 @@ pub enum Value {
 pub trait Serialize {
     /// Convert `self` into a serialized value tree.
     fn to_value(&self) -> Value;
+}
+
+/// A `Value` serializes to itself — lets already-parsed trees (e.g. a
+/// WAL entry echoed over the wire) nest inside derived structs.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
 }
 
 macro_rules! impl_int {

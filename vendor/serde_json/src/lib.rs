@@ -3,9 +3,11 @@
 //! Renders the vendored `serde`'s [`serde::Value`] tree as strict,
 //! parseable JSON: `to_string_pretty` with two-space indentation,
 //! `to_string` compact. Non-finite floats serialize as `null`
-//! (matching `serde_json::Value`'s behavior). The full parsing half of
-//! the real crate is absent — nothing in the workspace deserializes
-//! JSON.
+//! (matching `serde_json::Value`'s behavior). The parsing half is
+//! [`from_str`], which reads strict JSON back into a [`Value`] tree —
+//! the typed-deserialization layer of the real crate is absent, so
+//! callers decode fields through `Value`'s accessors (the fleet WAL and
+//! wire protocol do exactly this).
 
 use std::fmt;
 
@@ -14,6 +16,12 @@ use serde::{Serialize, Value};
 /// Serialization error (the stub never fails).
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(msg: impl Into<String>, at: usize) -> Self {
+        Error(format!("{} at byte {at}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -38,6 +46,233 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     render(&value.to_value(), 0, false, &mut out);
     Ok(out)
+}
+
+/// Parse strict JSON into a [`Value`] tree.
+///
+/// Accepts exactly what [`to_string`]/[`to_string_pretty`] produce
+/// (RFC 8259 JSON): one top-level value, `//`-comment-free, with
+/// trailing whitespace permitted. Integers without fraction/exponent
+/// parse as [`Value::Int`]/[`Value::UInt`]; everything else numeric as
+/// [`Value::Float`].
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing data after JSON value", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected {:?}", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(format!("expected {word:?}"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::parse("expected ',' or ']'", self.pos)),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                _ => return Err(Error::parse("expected ',' or '}'", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 up to the next quote/escape.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(Error::parse("lone high surrogate", self.pos));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::parse("invalid low surrogate", self.pos));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(
+                                ch.ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?,
+                            );
+                        }
+                        _ => return Err(Error::parse("unknown escape", self.pos - 1)),
+                    }
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let cp = u32::from_str_radix(chunk, 16)
+            .map_err(|_| Error::parse("non-hex \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if integral {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(format!("invalid number {text:?}"), start))
+    }
 }
 
 fn render(v: &Value, depth: usize, pretty: bool, out: &mut String) {
@@ -159,5 +394,72 @@ mod tests {
     fn non_finite_floats_render_null() {
         assert_eq!(super::to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(super::to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parser_round_trips_renderer_output() {
+        let v = Nested {
+            kind: Kind::Weighted(-0.25),
+            points: vec![
+                Point { x: 1.0, y: 2.5e-3, label: "a\"b\\c\n\t".into() },
+                Point { x: -7.0, y: 0.0, label: "π ≠ \u{1F600}".into() },
+            ],
+            opt: None,
+        };
+        for rendered in [super::to_string(&v).unwrap(), super::to_string_pretty(&v).unwrap()] {
+            let parsed = super::from_str(&rendered).unwrap();
+            assert_eq!(parsed, v.to_value().normalized(), "round trip of {rendered}");
+        }
+    }
+
+    /// The renderer prints `1.0f64` as `1`, which parses back as an
+    /// integer — fold Float-with-integral-value to the parsed form.
+    trait Normalize {
+        fn normalized(self) -> serde::Value;
+    }
+
+    impl Normalize for serde::Value {
+        fn normalized(self) -> serde::Value {
+            use serde::Value;
+            match self {
+                Value::Float(x) if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 => {
+                    if x >= 0.0 {
+                        Value::UInt(x as u64)
+                    } else {
+                        Value::Int(x as i64)
+                    }
+                }
+                Value::Seq(v) => Value::Seq(v.into_iter().map(Normalize::normalized).collect()),
+                Value::Map(m) => {
+                    Value::Map(m.into_iter().map(|(k, v)| (k, v.normalized())).collect())
+                }
+                other => other,
+            }
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        use serde::Value;
+        let v = super::from_str(r#"{"a":[1,-2,3.5,1e3,null,true],"s":"A😀"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_seq().unwrap(),
+            &[
+                Value::UInt(1),
+                Value::Int(-2),
+                Value::Float(3.5),
+                Value::Float(1e3),
+                Value::Null,
+                Value::Bool(true)
+            ]
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "\"open", "1 2", "{\"a\" 1}"] {
+            assert!(super::from_str(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }
