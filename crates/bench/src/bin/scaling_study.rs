@@ -1,10 +1,14 @@
-//! Record the thread-scaling baseline of the two dense hot paths.
+//! Record the thread-scaling baseline of the parallel hot paths.
 //!
-//! Runs DGEMM (n = 768) and HPL LU (n = 512) across a sweep of logical
-//! widths — `--widths 1,2,4,8` to choose them, default 1/2/4/max (the
-//! same sweep as `benches/scaling.rs`) — and writes `BENCH_scaling.json`
-//! at the repo root: best-of-3 wall time, GFLOP/s and speedup vs the
-//! 1-thread run for every (kernel, width) point, plus the host's
+//! Runs the two dense HPCC paths — DGEMM (n = 768) and HPL LU
+//! (n = 512) — plus one NPB program per parallel-decomposition family:
+//! FT (batched line FFTs + tiled transposes), CG (fixed-chunk reduction
+//! dot products), MG (elementwise grid sweeps) and LU (hyperplane
+//! wavefront), across a sweep of logical widths — `--widths 1,2,4,8` to
+//! choose them, default 1/2/4/max (the same sweep as
+//! `benches/scaling.rs`) — and writes `BENCH_scaling.json` at the repo
+//! root: best-of-3 wall time, GFLOP/s and speedup vs the 1-thread run
+//! for every (kernel, width) point, plus the host's
 //! `available_parallelism` the numbers were taken on. Pass `--json` to
 //! print the report to stdout instead of (in addition to) the table.
 
@@ -12,8 +16,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use hpceval_bench::{heading, json_requested};
+use hpceval_kernels::fft::Direction;
 use hpceval_kernels::hpcc::dgemm::dgemm;
 use hpceval_kernels::hpl::lu;
+use hpceval_kernels::npb::ft::{fft3_with, Field3, FtWorkspace};
+use hpceval_kernels::npb::lu::SsorProblem;
+use hpceval_kernels::npb::{cg, mg};
 use hpceval_kernels::rng::NpbRng;
 use serde::Serialize;
 
@@ -99,7 +107,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    heading("Scaling", "DGEMM and HPL LU wall time vs thread count");
+    heading("Scaling", "HPCC dense paths and NPB programs: wall time vs thread count");
 
     let mut points = Vec::new();
 
@@ -140,6 +148,117 @@ fn main() -> ExitCode {
         points.push(Point {
             kernel: "hpl_lu",
             n,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    // NPB FT: batched line FFTs and tiled transposes through one
+    // persistent workspace (allocation-free after warm-up).
+    let (nx, ny, nz) = (64usize, 64, 32);
+    let mut f = Field3::random(nx, ny, nz, 19);
+    let mut ws = FtWorkspace::new(nx, ny, nz);
+    let pts = (nx * ny * nz) as f64;
+    let flops = 2.0 * 5.0 * pts * pts.log2();
+    let mut base = f64::NAN;
+    for &t in &widths {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let secs = best_of_3(|| {
+            pool.install(|| {
+                fft3_with(&mut f, Direction::Forward, &mut ws);
+                fft3_with(&mut f, Direction::Inverse, &mut ws);
+            })
+        });
+        if base.is_nan() {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "npb_ft",
+            n: nx * ny * nz,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    // NPB CG: sparse matvecs with fixed-chunk deterministic dot products.
+    let n = 6000;
+    let flops = 2.0 * 25.0 * (n as f64) * 64.0;
+    let mut base = f64::NAN;
+    for &t in &widths {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let secs = best_of_3(|| {
+            pool.install(|| {
+                cg::run(n, 8, 2, 12.0);
+            })
+        });
+        if base.is_nan() {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "npb_cg",
+            n,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    // NPB MG: elementwise smooth/residual/transfer sweeps down a
+    // recursive workspace.
+    let n = 64;
+    let v = mg::Grid::random_rhs(n, 41);
+    let mut u = mg::Grid::zeros(n);
+    let mut mg_ws = mg::MgWorkspace::new(n);
+    let flops = 60.0 * (n as f64).powi(3);
+    let mut base = f64::NAN;
+    for &t in &widths {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let secs = best_of_3(|| {
+            pool.install(|| {
+                mg::v_cycle_with(&mut u, &v, &mut mg_ws);
+            })
+        });
+        if base.is_nan() {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "npb_mg",
+            n: n * n * n,
+            threads: t,
+            seconds: secs,
+            gflops: flops / secs / 1e9,
+            speedup_vs_1t: base / secs,
+        });
+    }
+
+    // NPB LU: Gauss-Seidel SSOR parallelized over x+y+z hyperplanes.
+    let n = 24;
+    let prob = SsorProblem::new(n, 7);
+    let mut rng = NpbRng::new(11);
+    let b: Vec<[f64; 5]> = (0..n * n * n)
+        .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()])
+        .collect();
+    let mut u = vec![[0.0f64; 5]; n * n * n];
+    let flops = 1820.0 * (n as f64).powi(3);
+    let mut base = f64::NAN;
+    for &t in &widths {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+        let secs = best_of_3(|| {
+            pool.install(|| {
+                prob.ssor_step(&mut u, &b, 1.2);
+            })
+        });
+        if base.is_nan() {
+            base = secs;
+        }
+        points.push(Point {
+            kernel: "npb_lu",
+            n: n * n * n,
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,

@@ -65,6 +65,54 @@ pub enum Direction {
     Inverse,
 }
 
+/// Precomputed twiddle factors for radix-2 FFTs of one length.
+///
+/// Deriving `w^k` per butterfly stage costs a `cos`/`sin` (or an
+/// error-accumulating incremental multiply) on every line of a batched
+/// transform. The table stores the forward factor for every stage
+/// up front — stage `len` needs `len/2` entries `exp(-2πi·k/len)`, for
+/// `n − 1` values in total — and the inverse direction is the exact
+/// conjugate, so one table serves both directions and any number of
+/// lines, bitwise deterministically.
+#[derive(Debug, Clone)]
+pub struct TwiddleTable {
+    n: usize,
+    /// Stage-major: stage `len` (`half = len/2`) occupies
+    /// `fwd[half − 1 .. 2·half − 1]`, entry `k` being `exp(-2πi·k/len)`.
+    fwd: Vec<C64>,
+}
+
+impl TwiddleTable {
+    /// Build the table for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            for k in 0..len / 2 {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                fwd.push(C64::new(ang.cos(), ang.sin()));
+            }
+            len <<= 1;
+        }
+        Self { n, fwd }
+    }
+
+    /// The transform length this table serves.
+    pub fn line_len(&self) -> usize {
+        self.n
+    }
+
+    /// Forward twiddles of the stage with `half = len/2` butterflies.
+    #[inline]
+    fn stage(&self, half: usize) -> &[C64] {
+        &self.fwd[half - 1..2 * half - 1]
+    }
+}
+
 /// In-place radix-2 FFT of `data` (length must be a power of two).
 ///
 /// The inverse direction applies the 1/n normalization, so
@@ -73,8 +121,18 @@ pub enum Direction {
 /// # Panics
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_in_place(data: &mut [C64], dir: Direction) {
+    let table = TwiddleTable::new(data.len());
+    fft_in_place_with(&table, data, dir);
+}
+
+/// [`fft_in_place`] against a caller-owned [`TwiddleTable`]; performs no
+/// heap allocation, so a hot loop can amortize the table across calls.
+///
+/// # Panics
+/// Panics if `data.len() != table.line_len()`.
+pub fn fft_in_place_with(table: &TwiddleTable, data: &mut [C64], dir: Direction) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert_eq!(n, table.n, "data length must match the twiddle table");
     if n <= 1 {
         return;
     }
@@ -87,24 +145,23 @@ pub fn fft_in_place(data: &mut [C64], dir: Direction) {
             data.swap(i, j);
         }
     }
-    // Butterflies.
-    let sign = match dir {
-        Direction::Forward => -1.0,
-        Direction::Inverse => 1.0,
-    };
+    // Butterflies; the inverse twiddle is the conjugate of the stored
+    // forward factor (a sign flip — exact, so direction symmetry holds
+    // bitwise).
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = C64::new(ang.cos(), ang.sin());
+        let half = len / 2;
+        let tw = table.stage(half);
         for chunk in data.chunks_mut(len) {
-            let mut w = C64::new(1.0, 0.0);
-            let half = len / 2;
             for k in 0..half {
+                let w = match dir {
+                    Direction::Forward => tw[k],
+                    Direction::Inverse => C64::new(tw[k].re, -tw[k].im),
+                };
                 let u = chunk[k];
                 let v = chunk[k + half].mul(w);
                 chunk[k] = u.add(v);
                 chunk[k + half] = u.sub(v);
-                w = w.mul(wlen);
             }
         }
         len <<= 1;
@@ -118,13 +175,27 @@ pub fn fft_in_place(data: &mut [C64], dir: Direction) {
 }
 
 /// Transform each contiguous `line_len` chunk of `data` independently and
-/// in parallel (the batched 1-D pass of a 3-D FFT).
+/// in parallel (the batched 1-D pass of a 3-D FFT). The twiddle table is
+/// computed once and shared by every line.
 ///
 /// # Panics
 /// Panics if `data.len()` is not a multiple of `line_len`.
 pub fn fft_batched(data: &mut [C64], line_len: usize, dir: Direction) {
-    assert_eq!(data.len() % line_len, 0, "data must be whole lines");
-    data.par_chunks_mut(line_len).for_each(|line| fft_in_place(line, dir));
+    let table = TwiddleTable::new(line_len);
+    fft_batched_with(&table, data, dir);
+}
+
+/// [`fft_batched`] against a caller-owned [`TwiddleTable`] (line length
+/// is the table's). Each line is a disjoint chunk transformed by the
+/// same serial routine, so the result is bitwise identical at any pool
+/// width.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `table.line_len()`.
+pub fn fft_batched_with(table: &TwiddleTable, data: &mut [C64], dir: Direction) {
+    assert_eq!(data.len() % table.n.max(1), 0, "data must be whole lines");
+    data.par_chunks_mut(table.n.max(1))
+        .for_each(|line| fft_in_place_with(table, line, dir));
 }
 
 /// Number of real floating point operations for one radix-2 FFT of
@@ -218,6 +289,35 @@ mod tests {
     fn rejects_non_power_of_two() {
         let mut v = vec![C64::default(); 12];
         fft_in_place(&mut v, Direction::Forward);
+    }
+
+    #[test]
+    fn twiddle_table_layout() {
+        let t = TwiddleTable::new(8);
+        assert_eq!(t.line_len(), 8);
+        assert_eq!(t.fwd.len(), 7); // n - 1 entries across all stages
+                                    // The len=2 stage's single factor is exp(0) = 1.
+        assert_eq!(t.stage(1), &[C64::new(1.0, 0.0)]);
+        // The len=4 stage's k=1 factor is exp(-iπ/2) = -i.
+        let s4 = t.stage(2);
+        assert!(s4[1].re.abs() < 1e-15 && (s4[1].im + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shared_table_matches_fresh_table_per_line() {
+        let line = 32;
+        let lines = 5;
+        let mut rng = crate::rng::NpbRng::new(99);
+        let data: Vec<C64> =
+            (0..line * lines).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        let table = TwiddleTable::new(line);
+        let mut shared = data.clone();
+        fft_batched_with(&table, &mut shared, Direction::Forward);
+        let mut fresh = data;
+        for l in fresh.chunks_mut(line) {
+            fft_in_place(l, Direction::Forward);
+        }
+        assert_eq!(shared, fresh);
     }
 
     #[test]

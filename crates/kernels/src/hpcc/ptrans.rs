@@ -12,9 +12,9 @@ use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature}
 
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+use crate::transpose::transpose_tiles;
 
-/// Tile edge for the blocked transpose.
-pub const TILE: usize = 32;
+pub use crate::transpose::TILE;
 
 /// The PTRANS benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -34,22 +34,14 @@ impl Ptrans {
 pub fn add_transpose(n: usize, a: &mut [f64], b: &[f64]) {
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
-    let tiles = n.div_ceil(TILE);
-    // Parallel over horizontal tile bands of `a`.
+    // Parallel over horizontal tile bands of `a`; each band is the tiled
+    // core's destination with b's rows `r0..r0+rows` as the source
+    // columns, so every element of `a` is written by exactly one task.
     a.par_chunks_mut(n * TILE).enumerate().for_each(|(band, aband)| {
         let r0 = band * TILE;
         let rows = aband.len() / n;
-        for tc in 0..tiles {
-            let c0 = tc * TILE;
-            let cols = TILE.min(n - c0);
-            for r in 0..rows {
-                let arow = &mut aband[r * n + c0..r * n + c0 + cols];
-                for (dc, av) in arow.iter_mut().enumerate() {
-                    // a[r0+r][c0+dc] += b[c0+dc][r0+r]
-                    *av += b[(c0 + dc) * n + (r0 + r)];
-                }
-            }
-        }
+        // aband[dr*n + c] += b[c*n + (r0 + dr)] for dr in 0..rows, c in 0..n
+        transpose_tiles(b, r0, n, aband, 0, n, n, rows, |d, s| *d += s);
     });
 }
 

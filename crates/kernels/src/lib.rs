@@ -37,5 +37,6 @@ pub mod npb;
 pub mod rng;
 pub mod streams;
 pub mod suite;
+pub mod transpose;
 
 pub use suite::{Benchmark, ProcConstraint, VerifyOutcome};

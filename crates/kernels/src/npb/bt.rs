@@ -121,9 +121,13 @@ impl AdiProblem {
     /// formed by the diagonal blocks and the couplings along that line,
     /// with the residual of the other directions on the right-hand side.
     pub fn adi_step(&self, u: &mut [Vec5], b: &[Vec5]) {
+        let n = self.n;
+        // The sub/super bands are the same constant −c·I along every
+        // line of every sweep; build the band once per step instead of
+        // twice per line.
+        let off_band: Vec<Mat5> = (0..n).map(|_| Mat5::scaled_identity(-self.coupling)).collect();
         for dir in 0..3 {
             let au = self.apply(u);
-            let n = self.n;
             // Lines: iterate over the two non-swept coordinates.
             let new_u: Vec<Vec<Vec5>> = (0..n * n)
                 .into_par_iter()
@@ -134,9 +138,6 @@ impl AdiProblem {
                         1 => self.idx(a, k, c),
                         _ => self.idx(a, c, k),
                     };
-                    let lower: Vec<Mat5> =
-                        (0..n).map(|_| Mat5::scaled_identity(-self.coupling)).collect();
-                    let upper = lower.clone();
                     let diag: Vec<Mat5> = (0..n).map(|k| self.diag[line_idx(k)]).collect();
                     // rhs = b − A·u + (line part of A·u): move the line's
                     // own contribution back to the left-hand side.
@@ -163,7 +164,7 @@ impl AdiProblem {
                             r
                         })
                         .collect();
-                    let ok = block_thomas(&lower, &diag, &upper, &mut rhs);
+                    let ok = block_thomas(&off_band, &diag, &off_band, &mut rhs);
                     assert!(ok, "diagonally dominant line solve cannot be singular");
                     rhs
                 })

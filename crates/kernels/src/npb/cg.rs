@@ -169,16 +169,13 @@ pub fn cg_solve(a: &SparseMatrix, x: &[f64]) -> (Vec<f64>, f64) {
     for _ in 0..25 {
         a.matvec(&p, &mut q);
         let alpha = rho / dot(&p, &q);
-        for i in 0..n {
-            z[i] += alpha * p[i];
-            r[i] -= alpha * q[i];
-        }
+        // Elementwise axpy updates: disjoint writes, width-invariant.
+        z.par_iter_mut().zip(&p[..]).for_each(|(zi, &pi)| *zi += alpha * pi);
+        r.par_iter_mut().zip(&q[..]).for_each(|(ri, &qi)| *ri -= alpha * qi);
         let rho_new = dot(&r, &r);
         let beta = rho_new / rho;
         rho = rho_new;
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
+        p.par_iter_mut().zip(&r[..]).for_each(|(pi, &ri)| *pi = ri + beta * *pi);
     }
     // NPB reports ‖x − A·z‖ as the residual.
     a.matvec(&z, &mut q);
@@ -186,8 +183,18 @@ pub fn cg_solve(a: &SparseMatrix, x: &[f64]) -> (Vec<f64>, f64) {
     (z, res)
 }
 
+/// Chunk length of the parallel dot product. Fixed (never derived from
+/// the pool width) so the float summation tree — serial within a chunk,
+/// partials combined in chunk order — rounds identically at any width.
+const DOT_CHUNK: usize = 4096;
+
 fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let partials: Vec<f64> = a
+        .par_chunks(DOT_CHUNK)
+        .zip(b.par_chunks(DOT_CHUNK))
+        .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f64>())
+        .collect();
+    partials.iter().sum()
 }
 
 /// Result of the full benchmark loop.
@@ -211,11 +218,9 @@ pub fn run(n: usize, nonzer: u32, niter: u32, shift: f64) -> CgOutcome {
         residual = res;
         let xz = dot(&x, &z);
         zeta = shift + 1.0 / xz;
-        // x = z / ‖z‖.
+        // x = z / ‖z‖ (elementwise, width-invariant).
         let norm = dot(&z, &z).sqrt();
-        for (xi, zi) in x.iter_mut().zip(&z) {
-            *xi = zi / norm;
-        }
+        x.par_iter_mut().zip(&z[..]).for_each(|(xi, &zi)| *xi = zi / norm);
     }
     CgOutcome { zeta, residual }
 }

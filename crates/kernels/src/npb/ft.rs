@@ -12,10 +12,12 @@
 //! C = 512×512×512 / 20.
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use rayon::prelude::*;
 
-use crate::fft::{fft_batched, Direction, C64};
+use crate::fft::{fft_batched_with, Direction, TwiddleTable, C64};
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+use crate::transpose::{transpose_tiles, TILE};
 
 use super::Class;
 
@@ -79,63 +81,132 @@ impl Field3 {
     }
 }
 
+/// Reusable FT transform storage: one scratch field the transposes write
+/// into (then swapped with the live data) plus the twiddle table for
+/// each axis length. With a warm workspace, [`fft3_with`] performs zero
+/// heap allocations per call at logical width 1 (pinned by
+/// `tests/alloc_free.rs`).
+#[derive(Debug, Clone)]
+pub struct FtWorkspace {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    scratch: Vec<C64>,
+    tw_x: TwiddleTable,
+    tw_y: TwiddleTable,
+    tw_z: TwiddleTable,
+}
+
+impl FtWorkspace {
+    /// Workspace for `nx × ny × nz` transforms (power-of-two extents).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            nx,
+            ny,
+            nz,
+            scratch: vec![C64::default(); nx * ny * nz],
+            tw_x: TwiddleTable::new(nx),
+            tw_y: TwiddleTable::new(ny),
+            tw_z: TwiddleTable::new(nz),
+        }
+    }
+}
+
 /// Forward or inverse 3-D FFT in place: batched 1-D transforms along x,
 /// then y, then z via explicit transposes (the same dataflow as the
 /// distributed NPB implementation, whose transposes are MPI all-to-alls).
+///
+/// Allocates a fresh [`FtWorkspace`] per call; hot loops should hold one
+/// and call [`fft3_with`].
 pub fn fft3(f: &mut Field3, dir: Direction) {
-    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
+    let mut ws = FtWorkspace::new(f.nx, f.ny, f.nz);
+    fft3_with(f, dir, &mut ws);
+}
+
+/// [`fft3`] against caller-owned storage. Each transpose writes into
+/// `ws.scratch` with cache-blocked tiles and the buffers are exchanged
+/// with `mem::swap`, so no pass copies more than once and nothing is
+/// allocated. Every parallel unit (an FFT line, a transpose plane or
+/// band) is a disjoint chunk produced by the same serial code at any
+/// pool width, so the result is bitwise deterministic.
+pub fn fft3_with(f: &mut Field3, dir: Direction, ws: &mut FtWorkspace) {
+    assert_eq!((f.nx, f.ny, f.nz), (ws.nx, ws.ny, ws.nz), "workspace shape must match the field");
     // Pass 1: lines along x are contiguous.
-    fft_batched(&mut f.data, nx, dir);
-    // Pass 2: transpose x<->y, transform, transpose back.
-    let mut t = transpose_xy(f);
-    fft_batched(&mut t.data, ny, dir);
-    *f = transpose_xy(&t);
-    // Pass 3: transpose x<->z, transform, transpose back.
-    let mut t = transpose_xz(f);
-    fft_batched(&mut t.data, nz, dir);
-    *f = transpose_xz(&t);
+    fft_batched_with(&ws.tw_x, &mut f.data, dir);
+    // Pass 2: transpose x<->y, transform the old-y lines (now
+    // contiguous), transpose back.
+    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.nx, &mut f.ny);
+    fft_batched_with(&ws.tw_y, &mut f.data, dir);
+    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.nx, &mut f.ny);
+    // Pass 3: the same dance for x<->z.
+    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.nx, &mut f.nz);
+    fft_batched_with(&ws.tw_z, &mut f.data, dir);
+    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.data, &mut ws.scratch);
+    std::mem::swap(&mut f.nx, &mut f.nz);
 }
 
-/// Transpose the x and y axes.
-fn transpose_xy(f: &Field3) -> Field3 {
-    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
-    let mut out = Field3 { nx: ny, ny: nx, nz, data: vec![C64::default(); f.data.len()] };
-    for z in 0..nz {
-        for y in 0..ny {
-            for x in 0..nx {
-                out.data[(z * nx + x) * ny + y] = f.data[(z * ny + y) * nx + x];
-            }
-        }
-    }
-    out
+/// Transpose the x and y axes: `dst[(z·nx + x)·ny + y] =
+/// src[(z·ny + y)·nx + x]`. Parallel over the destination's z-planes,
+/// each a tiled 2-D transpose of the matching source plane.
+fn transpose_xy_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64]) {
+    debug_assert_eq!(src.len(), nx * ny * nz);
+    debug_assert_eq!(dst.len(), nx * ny * nz);
+    dst.par_chunks_mut(nx * ny).enumerate().for_each(|(z, plane)| {
+        // plane[x·ny + y] = src[z·nx·ny + y·nx + x]
+        transpose_tiles(src, z * nx * ny, nx, plane, 0, ny, ny, nx, |d, s| *d = s);
+    });
 }
 
-/// Transpose the x and z axes.
-fn transpose_xz(f: &Field3) -> Field3 {
-    let (nx, ny, nz) = (f.nx, f.ny, f.nz);
-    let mut out = Field3 { nx: nz, ny, nz: nx, data: vec![C64::default(); f.data.len()] };
-    for z in 0..nz {
+/// Transpose the x and z axes: `dst[(x·ny + y)·nz + z] =
+/// src[(z·ny + y)·nx + x]`. Parallel over x-bands of the destination;
+/// within a band, each y gives a strided 2-D transpose over (z, x).
+fn transpose_xz_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64]) {
+    debug_assert_eq!(src.len(), nx * ny * nz);
+    debug_assert_eq!(dst.len(), nx * ny * nz);
+    dst.par_chunks_mut(TILE * ny * nz).enumerate().for_each(|(band, chunk)| {
+        let x0 = band * TILE;
+        let band_w = chunk.len() / (ny * nz);
         for y in 0..ny {
-            for x in 0..nx {
-                out.data[(x * ny + y) * nz + z] = f.data[(z * ny + y) * nx + x];
-            }
+            // chunk[(dx·ny + y)·nz + z] = src[z·nx·ny + y·nx + x0 + dx]
+            transpose_tiles(
+                src,
+                y * nx + x0,
+                nx * ny,
+                chunk,
+                y * nz,
+                ny * nz,
+                nz,
+                band_w,
+                |d, s| *d = s,
+            );
         }
-    }
-    out
+    });
 }
 
 /// Run the NPB FT structure at a scaled grid: returns the per-iteration
-/// checksums.
+/// checksums. All buffers (the evolved field, the transform scratch, the
+/// twiddle tables) are allocated once up front; the iteration loop is
+/// allocation-free.
 pub fn run_scaled(nx: usize, ny: usize, nz: usize, niter: u32) -> Vec<C64> {
+    let mut ws = FtWorkspace::new(nx, ny, nz);
     let mut u0 = Field3::random(nx, ny, nz, 314_159_265);
-    fft3(&mut u0, Direction::Forward);
+    fft3_with(&mut u0, Direction::Forward, &mut ws);
     // Evolution factors exp(-4π²·α·t·k²) per mode.
     let alpha = 1e-6;
     let mut checksums = Vec::with_capacity(niter as usize);
-    let mut evolved = u0.clone();
+    let mut w = u0.clone();
     for t in 1..=niter {
         let tt = f64::from(t);
-        for z in 0..nz {
+        // Evolve the saved forward transform into `w`: elementwise with
+        // disjoint writes per z-plane, so width-invariant.
+        w.data.par_chunks_mut(nx * ny).enumerate().for_each(|(z, plane)| {
             let kz = wavenumber(z, nz);
             for y in 0..ny {
                 let ky = wavenumber(y, ny);
@@ -143,13 +214,11 @@ pub fn run_scaled(nx: usize, ny: usize, nz: usize, niter: u32) -> Vec<C64> {
                     let kx = wavenumber(x, nx);
                     let k2 = (kx * kx + ky * ky + kz * kz) as f64;
                     let factor = (-4.0 * std::f64::consts::PI.powi(2) * alpha * tt * k2).exp();
-                    let i = (z * ny + y) * nx + x;
-                    evolved.data[i] = u0.data[i].scale(factor);
+                    plane[y * nx + x] = u0.data[(z * ny + y) * nx + x].scale(factor);
                 }
             }
-        }
-        let mut w = evolved.clone();
-        fft3(&mut w, Direction::Inverse);
+        });
+        fft3_with(&mut w, Direction::Inverse, &mut ws);
         checksums.push(w.checksum());
     }
     checksums
@@ -243,17 +312,70 @@ mod tests {
     use super::*;
 
     #[test]
-    fn transpose_xy_round_trips() {
-        let f = Field3::random(8, 4, 2, 3);
-        let back = transpose_xy(&transpose_xy(&f));
-        assert_eq!(f.data, back.data);
+    fn transpose_xy_matches_naive_and_round_trips() {
+        let (nx, ny, nz) = (8, 4, 2);
+        let f = Field3::random(nx, ny, nz, 3);
+        let mut t = vec![C64::default(); f.data.len()];
+        transpose_xy_into(nx, ny, nz, &f.data, &mut t);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    assert_eq!(t[(z * nx + x) * ny + y], f.data[(z * ny + y) * nx + x]);
+                }
+            }
+        }
+        let mut back = vec![C64::default(); f.data.len()];
+        transpose_xy_into(ny, nx, nz, &t, &mut back);
+        assert_eq!(f.data, back);
     }
 
     #[test]
-    fn transpose_xz_round_trips() {
-        let f = Field3::random(8, 4, 2, 3);
-        let back = transpose_xz(&transpose_xz(&f));
-        assert_eq!(f.data, back.data);
+    fn transpose_xz_matches_naive_and_round_trips() {
+        // ny=3 / nz=5 are deliberately neither powers of two nor TILE
+        // multiples: the band/tile edge handling is what's under test.
+        let (nx, ny, nz) = (8, 3, 5);
+        let f = Field3::random(nx, ny, nz, 3);
+        let mut t = vec![C64::default(); f.data.len()];
+        transpose_xz_into(nx, ny, nz, &f.data, &mut t);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    assert_eq!(t[(x * ny + y) * nz + z], f.data[(z * ny + y) * nx + x]);
+                }
+            }
+        }
+        let mut back = vec![C64::default(); f.data.len()];
+        transpose_xz_into(nz, ny, nx, &t, &mut back);
+        assert_eq!(f.data, back);
+    }
+
+    #[test]
+    fn transpose_xz_handles_wide_x() {
+        // nx wider than one TILE band exercises the multi-band path.
+        let (nx, ny, nz) = (64, 4, 8);
+        let f = Field3::random(nx, ny, nz, 11);
+        let mut t = vec![C64::default(); f.data.len()];
+        transpose_xz_into(nx, ny, nz, &f.data, &mut t);
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    assert_eq!(t[(x * ny + y) * nz + z], f.data[(z * ny + y) * nx + x]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft3_with_reused_workspace_matches_fresh() {
+        let mut ws = FtWorkspace::new(8, 16, 4);
+        let mut reused = Field3::random(8, 16, 4, 55);
+        let mut fresh = reused.clone();
+        // Warm the workspace with one unrelated transform first.
+        let mut warmup = Field3::random(8, 16, 4, 1);
+        fft3_with(&mut warmup, Direction::Forward, &mut ws);
+        fft3_with(&mut reused, Direction::Forward, &mut ws);
+        fft3(&mut fresh, Direction::Forward);
+        assert_eq!(reused.data, fresh.data);
     }
 
     #[test]

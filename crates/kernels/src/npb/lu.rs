@@ -11,6 +11,7 @@
 //! (official op counts: LU.A = 119,280 Mop ⇒ ~1820 flop/point/iter).
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use rayon::prelude::*;
 
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
@@ -78,42 +79,42 @@ impl SsorProblem {
         (z * self.n + y) * self.n + x
     }
 
-    /// Apply `A·u` (Dirichlet exterior).
+    /// Apply `A·u` (Dirichlet exterior); parallel over grid points —
+    /// each output point is an independent read-only stencil, so the
+    /// result is width-invariant.
     pub fn apply(&self, u: &[Vec5]) -> Vec<Vec5> {
         let n = self.n;
         let mut out = vec![[0.0; 5]; u.len()];
-        for z in 0..n {
-            for y in 0..n {
-                for x in 0..n {
-                    let i = self.idx(x, y, z);
-                    let mut acc = self.diag[i].matvec(&u[i]);
-                    let mut nb = |j: usize| {
-                        for c in 0..5 {
-                            acc[c] -= self.coupling * u[j][c];
-                        }
-                    };
-                    if x > 0 {
-                        nb(self.idx(x - 1, y, z));
-                    }
-                    if y > 0 {
-                        nb(self.idx(x, y - 1, z));
-                    }
-                    if z > 0 {
-                        nb(self.idx(x, y, z - 1));
-                    }
-                    if x + 1 < n {
-                        nb(self.idx(x + 1, y, z));
-                    }
-                    if y + 1 < n {
-                        nb(self.idx(x, y + 1, z));
-                    }
-                    if z + 1 < n {
-                        nb(self.idx(x, y, z + 1));
-                    }
-                    out[i] = acc;
+        out.par_iter_mut().enumerate().for_each(|(i, o)| {
+            let x = i % n;
+            let y = (i / n) % n;
+            let z = i / (n * n);
+            let mut acc = self.diag[i].matvec(&u[i]);
+            let mut nb = |j: usize| {
+                for c in 0..5 {
+                    acc[c] -= self.coupling * u[j][c];
                 }
+            };
+            if x > 0 {
+                nb(self.idx(x - 1, y, z));
             }
-        }
+            if y > 0 {
+                nb(self.idx(x, y - 1, z));
+            }
+            if z > 0 {
+                nb(self.idx(x, y, z - 1));
+            }
+            if x + 1 < n {
+                nb(self.idx(x + 1, y, z));
+            }
+            if y + 1 < n {
+                nb(self.idx(x, y + 1, z));
+            }
+            if z + 1 < n {
+                nb(self.idx(x, y, z + 1));
+            }
+            *o = acc;
+        });
         out
     }
 
@@ -121,31 +122,76 @@ impl SsorProblem {
     ///
     /// Lower sweep: solve `(D + ω·L)·u* = rhs` in wavefront order;
     /// upper sweep: `(D + ω·U)` in reverse. This is the sequential
-    /// dependency chain the NPB pipelines across ranks.
+    /// dependency chain the NPB pipelines across ranks — and the
+    /// wavefront is exactly how this implementation parallelizes it:
+    /// the points of hyperplane `x+y+z = k` are mutually independent
+    /// (the 7-point stencil's neighbours all live on planes `k ± 1`),
+    /// and the lexicographic serial sweep gives every point of plane
+    /// `k` fresh plane-`k−1` values and stale plane-`k+1` values —
+    /// precisely what a plane-at-a-time update computes. The parallel
+    /// sweep is therefore *bitwise identical* to the serial one at any
+    /// pool width (pinned by `wavefront_matches_lexicographic_sweep`).
     pub fn ssor_step(&self, u: &mut [Vec5], b: &[Vec5], omega: f64) {
         let n = self.n;
+        if n == 0 {
+            return;
+        }
+        // Per-sweep scratch: plane point indices and their new values
+        // (a cube cross-section never exceeds n² points).
+        let mut idx: Vec<usize> = Vec::with_capacity(n * n);
+        let mut val: Vec<Vec5> = vec![[0.0; 5]; n * n];
+        let kmax = 3 * (n - 1);
         // Lower-triangular sweep (Gauss-Seidel with fresh lower points).
-        for z in 0..n {
-            for y in 0..n {
-                for x in 0..n {
-                    self.relax_point(u, b, x, y, z, omega);
-                }
-            }
+        for k in 0..=kmax {
+            self.relax_plane(u, b, k, omega, &mut idx, &mut val);
         }
         // Upper-triangular sweep.
-        for z in (0..n).rev() {
-            for y in (0..n).rev() {
-                for x in (0..n).rev() {
-                    self.relax_point(u, b, x, y, z, omega);
-                }
-            }
+        for k in (0..=kmax).rev() {
+            self.relax_plane(u, b, k, omega, &mut idx, &mut val);
         }
     }
 
-    fn relax_point(&self, u: &mut [Vec5], b: &[Vec5], x: usize, y: usize, z: usize, omega: f64) {
+    /// Relax every point of hyperplane `x+y+z = k`: gather the plane's
+    /// indices, compute all new values in parallel against the frozen
+    /// `u`, then scatter serially. Computing into `val` first keeps the
+    /// parallel stage free of writes to `u` (no unsafe scatter needed).
+    fn relax_plane(
+        &self,
+        u: &mut [Vec5],
+        b: &[Vec5],
+        k: usize,
+        omega: f64,
+        idx: &mut Vec<usize>,
+        val: &mut [Vec5],
+    ) {
         let n = self.n;
-        let i = self.idx(x, y, z);
-        // r = b − (off-diagonal part of A)·u at this point.
+        idx.clear();
+        for z in k.saturating_sub(2 * (n - 1))..=k.min(n - 1) {
+            let rem = k - z;
+            for y in rem.saturating_sub(n - 1)..=rem.min(n - 1) {
+                idx.push(self.idx(rem - y, y, z));
+            }
+        }
+        let m = idx.len();
+        {
+            let u_read: &[Vec5] = u;
+            val[..m].par_iter_mut().zip(&idx[..m]).for_each(|(slot, &i)| {
+                *slot = self.relaxed_value(u_read, b, i, omega);
+            });
+        }
+        for (&i, v) in idx.iter().zip(&val[..m]) {
+            u[i] = *v;
+        }
+    }
+
+    /// The SSOR update `u_i ← (1−ω)·u_i + ω·D⁻¹·r` with
+    /// `r = b − (L+U)·u` at point `i`, returned rather than written.
+    #[inline]
+    fn relaxed_value(&self, u: &[Vec5], b: &[Vec5], i: usize, omega: f64) -> Vec5 {
+        let n = self.n;
+        let x = i % n;
+        let y = (i / n) % n;
+        let z = i / (n * n);
         let mut r = b[i];
         let nb = |j: usize, r: &mut Vec5| {
             for c in 0..5 {
@@ -170,11 +216,12 @@ impl SsorProblem {
         if z + 1 < n {
             nb(self.idx(x, y, z + 1), &mut r);
         }
-        // u_i <- (1−ω)·u_i + ω·D⁻¹·r.
         let dinv_r = self.diag_inv[i].matvec(&r);
+        let mut out = [0.0; 5];
         for c in 0..5 {
-            u[i][c] = (1.0 - omega) * u[i][c] + omega * dinv_r[c];
+            out[c] = (1.0 - omega) * u[i][c] + omega * dinv_r[c];
         }
+        out
     }
 
     /// `‖b − A·u‖₂`.
@@ -322,6 +369,43 @@ mod tests {
     fn verify_passes() {
         let out = Lu::new(Class::C).verify(2);
         assert!(out.passed, "{}", out.detail);
+    }
+
+    #[test]
+    fn wavefront_matches_lexicographic_sweep() {
+        // The parallel hyperplane sweep must be bitwise identical to the
+        // serial lexicographic Gauss-Seidel order it replaces.
+        let n = 7;
+        let p = SsorProblem::new(n, 12_345);
+        let mut rng = NpbRng::new(77);
+        let b: Vec<Vec5> = (0..n * n * n)
+            .map(|_| {
+                [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()]
+            })
+            .collect();
+        let mut wavefront = vec![[0.125; 5]; n * n * n];
+        let mut lex = wavefront.clone();
+        for _ in 0..3 {
+            p.ssor_step(&mut wavefront, &b, 1.2);
+            // Serial reference: lexicographic lower sweep, reverse upper.
+            for z in 0..n {
+                for y in 0..n {
+                    for x in 0..n {
+                        let i = p.idx(x, y, z);
+                        lex[i] = p.relaxed_value(&lex, &b, i, 1.2);
+                    }
+                }
+            }
+            for z in (0..n).rev() {
+                for y in (0..n).rev() {
+                    for x in (0..n).rev() {
+                        let i = p.idx(x, y, z);
+                        lex[i] = p.relaxed_value(&lex, &b, i, 1.2);
+                    }
+                }
+            }
+        }
+        assert_eq!(wavefront, lex);
     }
 
     #[test]

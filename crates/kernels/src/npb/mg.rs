@@ -113,78 +113,134 @@ pub fn residual(u: &Grid, v: &Grid, out: &mut Grid) {
 }
 
 /// One damped-Jacobi smoothing sweep `u += ω·D⁻¹·(v − A·u)`.
+///
+/// Allocates a residual scratch per call; hot loops should hold an
+/// [`MgWorkspace`] and use [`smooth_with`].
 pub fn smooth(u: &mut Grid, v: &Grid, omega: f64) {
     let mut r = Grid::zeros(u.n);
-    residual(u, v, &mut r);
+    smooth_with(u, v, omega, &mut r);
+}
+
+/// [`smooth`] against a caller-owned residual scratch (same edge as
+/// `u`); performs no heap allocation.
+pub fn smooth_with(u: &mut Grid, v: &Grid, omega: f64, r: &mut Grid) {
+    residual(u, v, r);
     let w = omega / 6.0;
-    u.data.par_iter_mut().zip(&r.data).for_each(|(ui, ri)| {
+    u.data.par_iter_mut().zip(&r.data[..]).for_each(|(ui, &ri)| {
         *ui += w * ri;
     });
 }
 
 /// Full-weighting restriction to the half-resolution grid.
 pub fn restrict(fine: &Grid) -> Grid {
-    let nc = fine.n / 2;
-    let mut coarse = Grid::zeros(nc);
-    let n = fine.n;
-    coarse.data = (0..nc * nc * nc)
-        .into_par_iter()
-        .map(|i| {
-            let x = (i % nc) * 2;
-            let y = ((i / nc) % nc) * 2;
-            let z = (i / (nc * nc)) * 2;
-            // Average the 2×2×2 cell.
-            let mut s = 0.0;
-            for dz in 0..2 {
-                for dy in 0..2 {
-                    for dx in 0..2 {
-                        s += fine.data[fine.idx((x + dx) % n, (y + dy) % n, (z + dz) % n)];
-                    }
-                }
-            }
-            s / 8.0 * 4.0 // scale: coarse operator has 4x the cell area
-        })
-        .collect();
+    let mut coarse = Grid::zeros(fine.n / 2);
+    restrict_into(fine, &mut coarse);
     coarse
 }
 
+/// [`restrict`] into a caller-owned half-resolution grid; parallel over
+/// coarse points (independent 2×2×2 cell averages, width-invariant).
+pub fn restrict_into(fine: &Grid, coarse: &mut Grid) {
+    let nc = coarse.n;
+    let n = fine.n;
+    assert_eq!(n, nc * 2, "coarse grid must be half the fine edge");
+    coarse.data.par_iter_mut().enumerate().for_each(|(i, out)| {
+        let x = (i % nc) * 2;
+        let y = ((i / nc) % nc) * 2;
+        let z = (i / (nc * nc)) * 2;
+        // Average the 2×2×2 cell.
+        let mut s = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    s += fine.data[fine.idx((x + dx) % n, (y + dy) % n, (z + dz) % n)];
+                }
+            }
+        }
+        *out = s / 8.0 * 4.0; // scale: coarse operator has 4x the cell area
+    });
+}
+
 /// Trilinear-ish prolongation: inject the coarse value into its 2×2×2
-/// fine cell.
+/// fine cell. Parallel over coarse z-planes — each writes exactly one
+/// disjoint pair of fine planes, so the update is width-invariant.
 pub fn prolongate_add(coarse: &Grid, fine: &mut Grid) {
     let nc = coarse.n;
     let n = fine.n;
-    for z in 0..nc {
+    assert_eq!(n, nc * 2, "fine grid must be twice the coarse edge");
+    fine.data.par_chunks_mut(2 * n * n).enumerate().for_each(|(zc, planes)| {
         for y in 0..nc {
             for x in 0..nc {
-                let v = coarse.data[coarse.idx(x, y, z)];
+                let v = coarse.data[coarse.idx(x, y, zc)];
                 for dz in 0..2 {
                     for dy in 0..2 {
                         for dx in 0..2 {
-                            let i = fine.idx((2 * x + dx) % n, (2 * y + dy) % n, (2 * z + dz) % n);
-                            fine.data[i] += v;
+                            planes[(dz * n + 2 * y + dy) * n + 2 * x + dx] += v;
                         }
                     }
                 }
             }
         }
+    });
+}
+
+/// Reusable V-cycle storage: one residual scratch per level plus the
+/// restricted-residual / coarse-correction grids feeding the next
+/// level, recursively down to the 4³ base. With a warm workspace,
+/// [`v_cycle_with`] allocates nothing.
+#[derive(Debug, Clone)]
+pub struct MgWorkspace {
+    r: Grid,
+    down: Option<Box<Down>>,
+}
+
+#[derive(Debug, Clone)]
+struct Down {
+    rc: Grid,
+    ec: Grid,
+    ws: MgWorkspace,
+}
+
+impl MgWorkspace {
+    /// Workspace for V-cycles on an edge-`n` grid.
+    pub fn new(n: usize) -> Self {
+        let down = (n > 4).then(|| {
+            Box::new(Down {
+                rc: Grid::zeros(n / 2),
+                ec: Grid::zeros(n / 2),
+                ws: MgWorkspace::new(n / 2),
+            })
+        });
+        Self { r: Grid::zeros(n), down }
     }
 }
 
 /// One V-cycle on `A·u = v`; recurses down to a 4³ grid.
+///
+/// Allocates a fresh [`MgWorkspace`] per call; hot loops should hold
+/// one and call [`v_cycle_with`].
 pub fn v_cycle(u: &mut Grid, v: &Grid) {
+    let mut ws = MgWorkspace::new(u.n);
+    v_cycle_with(u, v, &mut ws);
+}
+
+/// [`v_cycle`] against caller-owned storage for every level of the
+/// hierarchy; performs no heap allocation.
+pub fn v_cycle_with(u: &mut Grid, v: &Grid, ws: &mut MgWorkspace) {
     const OMEGA: f64 = 0.8;
-    smooth(u, v, OMEGA);
-    smooth(u, v, OMEGA);
-    if u.n > 4 {
-        let mut r = Grid::zeros(u.n);
-        residual(u, v, &mut r);
-        let rc = restrict(&r);
-        let mut ec = Grid::zeros(rc.n);
-        v_cycle(&mut ec, &rc);
-        prolongate_add(&ec, u);
+    let MgWorkspace { r, down } = ws;
+    assert_eq!(u.n, r.n, "workspace must match the grid edge");
+    smooth_with(u, v, OMEGA, r);
+    smooth_with(u, v, OMEGA, r);
+    if let Some(down) = down.as_deref_mut() {
+        residual(u, v, r);
+        restrict_into(r, &mut down.rc);
+        down.ec.data.fill(0.0);
+        v_cycle_with(&mut down.ec, &down.rc, &mut down.ws);
+        prolongate_add(&down.ec, u);
     }
-    smooth(u, v, OMEGA);
-    smooth(u, v, OMEGA);
+    smooth_with(u, v, OMEGA, r);
+    smooth_with(u, v, OMEGA, r);
 }
 
 impl Benchmark for Mg {
@@ -304,6 +360,20 @@ mod tests {
     fn restriction_halves_edge() {
         let g = Grid::zeros(16);
         assert_eq!(restrict(&g).n, 8);
+    }
+
+    #[test]
+    fn reused_workspace_matches_fresh_cycles() {
+        let n = 16;
+        let v = Grid::random_rhs(n, 31);
+        let mut with_ws = Grid::zeros(n);
+        let mut fresh = Grid::zeros(n);
+        let mut ws = MgWorkspace::new(n);
+        for _ in 0..3 {
+            v_cycle_with(&mut with_ws, &v, &mut ws);
+            v_cycle(&mut fresh, &v);
+        }
+        assert_eq!(with_ws.data, fresh.data);
     }
 
     #[test]

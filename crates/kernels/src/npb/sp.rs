@@ -69,14 +69,14 @@ pub fn penta_solve(
     if n == 0 {
         return true;
     }
-    // Working copies of every band: eliminating the second subdiagonal of
-    // row i+2 with row i fills its first subdiagonal, so all five bands
-    // must be tracked.
+    // Working copies of the bands that receive fill: eliminating the
+    // second subdiagonal of row i+2 with row i fills its first
+    // subdiagonal and diagonal, so d/l1/u1 must be tracked per row. The
+    // outer bands (i, i−2) and (i, i+2) never change — they stay the
+    // scalar constants `sub2`/`sup2`.
     let mut d = diag.to_vec();
     let mut l1 = vec![sub1; n]; // entry (i, i-1); l1[0] unused
-    let l2 = vec![sub2; n]; // entry (i, i-2); never receives fill
     let mut u1 = vec![sup1; n]; // entry (i, i+1)
-    let u2 = vec![sup2; n]; // entry (i, i+2)
     for i in 0..n {
         let piv = d[i];
         if piv.abs() < 1e-300 {
@@ -87,16 +87,16 @@ pub fn penta_solve(
             let m = l1[i + 1] / piv;
             d[i + 1] -= m * u1[i];
             if i + 2 < n {
-                u1[i + 1] -= m * u2[i];
+                u1[i + 1] -= m * sup2;
             }
             rhs[i + 1] -= m * rhs[i];
         }
         // Eliminate x[i] from row i+2 (its l2 entry); this fills the
         // row's l1 (column i+1) and touches its diagonal (column i+2).
         if i + 2 < n {
-            let m = l2[i + 2] / piv;
+            let m = sub2 / piv;
             l1[i + 2] -= m * u1[i];
-            d[i + 2] -= m * u2[i];
+            d[i + 2] -= m * sup2;
             rhs[i + 2] -= m * rhs[i];
         }
     }
@@ -107,7 +107,7 @@ pub fn penta_solve(
             s -= u1[i] * rhs[i + 1];
         }
         if i + 2 < n {
-            s -= u2[i] * rhs[i + 2];
+            s -= sup2 * rhs[i + 2];
         }
         rhs[i] = s / d[i];
     }

@@ -1,10 +1,15 @@
 //! Cross-width determinism of the parallel kernels.
 //!
 //! The executor reassembles pieces in order and element-wise kernels
-//! never move arithmetic across piece boundaries, so DGEMM, the LU
-//! trailing update, STREAM, EP (fixed block decomposition) and the IS
-//! histogram must produce *bit-identical* results at every logical
-//! thread width. CI runs this suite under both `HPCEVAL_THREADS=1` and
+//! never move arithmetic across piece boundaries, so DGEMM, the HPL LU
+//! trailing update, STREAM and all eight NPB programs must produce
+//! *bit-identical* results at every logical thread width: EP uses a
+//! fixed block decomposition, CG a fixed-chunk dot product, IS a
+//! fixed-chunk histogram and owned output segments, FT per-line
+//! transforms with tiled elementwise transposes, MG elementwise grid
+//! sweeps, BT/SP independent line solves, and NPB-LU a hyperplane
+//! wavefront that reproduces the serial Gauss-Seidel order exactly. CI
+//! runs this suite under both `HPCEVAL_THREADS=1` and
 //! `HPCEVAL_THREADS=4`; when that variable is set it pins every width
 //! below to the same value, and the whole suite must still pass at
 //! either pin.
@@ -12,7 +17,8 @@
 use hpceval_kernels::hpcc::dgemm::{dgemm, dgemm_naive};
 use hpceval_kernels::hpcc::stream;
 use hpceval_kernels::hpl::lu;
-use hpceval_kernels::npb::{ep, is};
+use hpceval_kernels::npb::lu as npb_lu;
+use hpceval_kernels::npb::{bt, cg, ep, ft, is, mg, sp};
 use hpceval_kernels::rng::NpbRng;
 
 const WIDTHS: [usize; 4] = [1, 2, 4, 8];
@@ -100,5 +106,141 @@ fn is_ranking_identical_across_widths() {
     for width in WIDTHS {
         let ranks = with_width(width, || is::rank_keys(&keys, 1 << 10));
         assert_eq!(ranks, reference, "IS ranks diverge at width {width}");
+    }
+}
+
+#[test]
+fn is_sort_identical_across_widths() {
+    let keys = is::generate_keys(1 << 15, 1 << 9, 41);
+    let reference = with_width(1, || is::sort_by_ranks(&keys, 1 << 9));
+    for width in WIDTHS {
+        let sorted = with_width(width, || is::sort_by_ranks(&keys, 1 << 9));
+        assert_eq!(sorted, reference, "IS sorted output diverges at width {width}");
+    }
+}
+
+#[test]
+fn cg_outcome_bitwise_identical_across_widths() {
+    let reference = with_width(1, || cg::run(800, 6, 3, 10.0));
+    for width in WIDTHS {
+        let out = with_width(width, || cg::run(800, 6, 3, 10.0));
+        assert_eq!(out.zeta.to_bits(), reference.zeta.to_bits(), "CG ζ diverges at width {width}");
+        assert_eq!(
+            out.residual.to_bits(),
+            reference.residual.to_bits(),
+            "CG residual diverges at width {width}"
+        );
+    }
+}
+
+#[test]
+fn mg_v_cycles_bitwise_identical_across_widths() {
+    let n = 32;
+    let v = mg::Grid::random_rhs(n, 7);
+    let run = |width: usize| {
+        with_width(width, || {
+            let mut u = mg::Grid::zeros(n);
+            let mut ws = mg::MgWorkspace::new(n);
+            for _ in 0..2 {
+                mg::v_cycle_with(&mut u, &v, &mut ws);
+            }
+            u.data
+        })
+    };
+    let reference = run(1);
+    for width in WIDTHS {
+        assert_eq!(bits(&run(width)), bits(&reference), "MG solution diverges at width {width}");
+    }
+}
+
+#[test]
+fn ft_checksums_bitwise_identical_across_widths() {
+    let run = |width: usize| with_width(width, || ft::run_scaled(16, 8, 8, 3));
+    let reference = run(1);
+    for width in WIDTHS {
+        let sums = run(width);
+        for (i, (a, b)) in sums.iter().zip(&reference).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "FT checksum {i} re, width {width}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "FT checksum {i} im, width {width}");
+        }
+    }
+}
+
+fn vec5_bits(v: &[[f64; 5]]) -> Vec<u64> {
+    v.iter().flatten().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn bt_adi_bitwise_identical_across_widths() {
+    let n = 8;
+    let prob = bt::AdiProblem::new(n, 555);
+    let mut rng = NpbRng::new(6);
+    let b: Vec<[f64; 5]> = (0..n * n * n)
+        .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()])
+        .collect();
+    let run = |width: usize| {
+        with_width(width, || {
+            let mut u = vec![[0.0f64; 5]; n * n * n];
+            for _ in 0..2 {
+                prob.adi_step(&mut u, &b);
+            }
+            u
+        })
+    };
+    let reference = run(1);
+    for width in WIDTHS {
+        assert_eq!(
+            vec5_bits(&run(width)),
+            vec5_bits(&reference),
+            "BT solution diverges at width {width}"
+        );
+    }
+}
+
+#[test]
+fn sp_adi_bitwise_identical_across_widths() {
+    let n = 8;
+    let prob = sp::SpProblem::new(n, 444);
+    let mut rng = NpbRng::new(8);
+    let b: Vec<f64> = (0..n * n * n * 5).map(|_| rng.next_f64() - 0.5).collect();
+    let run = |width: usize| {
+        with_width(width, || {
+            let mut u = vec![0.0f64; n * n * n * 5];
+            for _ in 0..2 {
+                prob.adi_step(&mut u, &b);
+            }
+            u
+        })
+    };
+    let reference = run(1);
+    for width in WIDTHS {
+        assert_eq!(bits(&run(width)), bits(&reference), "SP solution diverges at width {width}");
+    }
+}
+
+#[test]
+fn npb_lu_ssor_bitwise_identical_across_widths() {
+    let n = 8;
+    let prob = npb_lu::SsorProblem::new(n, 333);
+    let mut rng = NpbRng::new(9);
+    let b: Vec<[f64; 5]> = (0..n * n * n)
+        .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64(), rng.next_f64()])
+        .collect();
+    let run = |width: usize| {
+        with_width(width, || {
+            let mut u = vec![[0.0f64; 5]; n * n * n];
+            for _ in 0..2 {
+                prob.ssor_step(&mut u, &b, 1.2);
+            }
+            u
+        })
+    };
+    let reference = run(1);
+    for width in WIDTHS {
+        assert_eq!(
+            vec5_bits(&run(width)),
+            vec5_bits(&reference),
+            "LU SSOR solution diverges at width {width}"
+        );
     }
 }

@@ -10,6 +10,7 @@ use hpceval_kernels::npb::is::{generate_keys, sort_by_ranks};
 use hpceval_kernels::npb::sp::penta_solve;
 use hpceval_kernels::npb::{Class, Program};
 use hpceval_kernels::rng::NpbRng;
+use hpceval_kernels::transpose::{transpose_into, transpose_tiles};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -104,6 +105,41 @@ proptest! {
                 prop_assert!((lhs[c] - b[i][c]).abs() < 1e-8);
             }
         }
+    }
+
+    /// The blocked copy-transpose is bitwise identical to the naive
+    /// double loop for any shape (tile-edge straddling included).
+    #[test]
+    fn blocked_transpose_matches_naive(rows in 1usize..80, cols in 1usize..80, seed in 1u64..1000) {
+        let mut rng = NpbRng::new(seed);
+        let src: Vec<f64> = (0..rows * cols).map(|_| rng.next_f64() - 0.5).collect();
+        let mut blocked = vec![0.0; rows * cols];
+        transpose_into(&src, rows, cols, &mut blocked);
+        let mut naive = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                naive[c * rows + r] = src[r * cols + c];
+            }
+        }
+        prop_assert_eq!(blocked, naive);
+    }
+
+    /// The blocked transpose-add (the PTRANS op) is bitwise identical to
+    /// the naive accumulating loop.
+    #[test]
+    fn blocked_transpose_add_matches_naive(n in 1usize..70, seed in 1u64..1000) {
+        let mut rng = NpbRng::new(seed);
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let a0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut blocked = a0.clone();
+        transpose_tiles(&b, 0, n, &mut blocked, 0, n, n, n, |d, s| *d += s);
+        let mut naive = a0;
+        for r in 0..n {
+            for c in 0..n {
+                naive[c * n + r] += b[r * n + c];
+            }
+        }
+        prop_assert_eq!(blocked, naive);
     }
 
     /// Every program × class yields a physically sane signature.
