@@ -1,0 +1,87 @@
+//! Per-op scalar-vs-AVX2 A/B microbenchmark for the SIMD layer.
+//!
+//! Times each `hpceval_kernels::simd` primitive under both paths via
+//! the thread-local `with_mode` override (no env pin needed), printing
+//! best-of-5 wall times and the speedup. This is the triage tool
+//! behind the EXPERIMENTS.md sweep row: kernel-level speedups
+//! (`kernel_perf`) decompose into these per-op numbers — e.g. the dot
+//! keeps its full vector gain at any footprint while axpy/triad
+//! collapse toward 1× beyond L1, where the memory bus, not the
+//! instruction width, is the limit.
+//!
+//! ```sh
+//! cargo run --release -p hpceval-bench --example simd_microbench
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hpceval_kernels::simd::{self, SimdMode};
+
+/// Best-of-5 wall time after 3 warm-up calls.
+fn best_of(mut f: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Run `f` under both SIMD paths and report the scalar/avx2 ratio.
+fn ab(name: &str, mut f: impl FnMut(SimdMode)) {
+    let scalar = best_of(|| f(SimdMode::Scalar));
+    let avx2 = best_of(|| f(SimdMode::Avx2));
+    println!(
+        "{name:>14}  scalar {:8.3} ms  avx2 {:8.3} ms  {:.2}x",
+        scalar * 1e3,
+        avx2 * 1e3,
+        scalar / avx2
+    );
+}
+
+fn main() {
+    if !simd::avx2_available() {
+        println!("note: no AVX2 on this host — both columns run the scalar path");
+    }
+    let n = 1 << 16; // 512 KiB/vector: past L1, short of L3
+    let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let mut c = vec![0.0f64; n];
+    let reps = 2000;
+
+    ab("axpy", |m| {
+        for _ in 0..reps {
+            simd::axpy(m, &mut c, &a, 1.000_000_1);
+        }
+        black_box(&c);
+    });
+    ab("triad", |m| {
+        for _ in 0..reps {
+            simd::triad(m, &mut c, &a, &b, 3.0);
+        }
+        black_box(&c);
+    });
+    ab("dot", |m| {
+        let mut s = 0.0;
+        for _ in 0..reps {
+            s += simd::dot(m, &a, &b);
+        }
+        black_box(s);
+    });
+
+    // The DGEMM register tile at its real shape: one 48-wide C row
+    // against a packed 48x48 B tile, L1-resident.
+    let bt: Vec<f64> = (0..48 * 48).map(|i| (i as f64).cos()).collect();
+    let mut crow = vec![0.0f64; 48];
+    ab("tile 48x48", |m| {
+        for _ in 0..reps * 20 {
+            simd::tile_row_update(m, &mut crow, &bt, &a[..48], 1.000_000_1);
+        }
+        black_box(&crow);
+    });
+}

@@ -8,8 +8,12 @@
 
 use rayon::prelude::*;
 
-/// A complex number as a plain pair (re, im); kept as a tuple struct so
-/// arrays of them are contiguous `f64` pairs.
+use crate::simd;
+
+/// A complex number as a plain pair (re, im); `#[repr(C)]` so a slice
+/// of them is guaranteed to be contiguous `(re, im)` `f64` pairs — the
+/// layout the SIMD butterfly loads two complexes at a time from.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct C64 {
     /// Real part.
@@ -131,6 +135,13 @@ pub fn fft_in_place(data: &mut [C64], dir: Direction) {
 /// # Panics
 /// Panics if `data.len() != table.line_len()`.
 pub fn fft_in_place_with(table: &TwiddleTable, data: &mut [C64], dir: Direction) {
+    fft_line(simd::mode(), table, data, dir);
+}
+
+/// The transform of a single line with the SIMD path already resolved.
+/// Batched callers resolve the mode once on their own thread and pass it
+/// in, since worker threads must not consult the thread-local override.
+fn fft_line(m: simd::SimdMode, table: &TwiddleTable, data: &mut [C64], dir: Direction) {
     let n = data.len();
     assert_eq!(n, table.n, "data length must match the twiddle table");
     if n <= 1 {
@@ -147,22 +158,16 @@ pub fn fft_in_place_with(table: &TwiddleTable, data: &mut [C64], dir: Direction)
     }
     // Butterflies; the inverse twiddle is the conjugate of the stored
     // forward factor (a sign flip — exact, so direction symmetry holds
-    // bitwise).
+    // bitwise). Each stage splits every chunk into its lo/hi halves and
+    // hands them to the SIMD complex-multiply-accumulate micro-kernel.
+    let conj = dir == Direction::Inverse;
     let mut len = 2;
     while len <= n {
         let half = len / 2;
         let tw = table.stage(half);
         for chunk in data.chunks_mut(len) {
-            for k in 0..half {
-                let w = match dir {
-                    Direction::Forward => tw[k],
-                    Direction::Inverse => C64::new(tw[k].re, -tw[k].im),
-                };
-                let u = chunk[k];
-                let v = chunk[k + half].mul(w);
-                chunk[k] = u.add(v);
-                chunk[k + half] = u.sub(v);
-            }
+            let (lo, hi) = chunk.split_at_mut(half);
+            simd::butterfly(m, lo, hi, tw, conj);
         }
         len <<= 1;
     }
@@ -194,8 +199,9 @@ pub fn fft_batched(data: &mut [C64], line_len: usize, dir: Direction) {
 /// Panics if `data.len()` is not a multiple of `table.line_len()`.
 pub fn fft_batched_with(table: &TwiddleTable, data: &mut [C64], dir: Direction) {
     assert_eq!(data.len() % table.n.max(1), 0, "data must be whole lines");
+    let m = simd::mode();
     data.par_chunks_mut(table.n.max(1))
-        .for_each(|line| fft_in_place_with(table, line, dir));
+        .for_each(|line| fft_line(m, table, line, dir));
 }
 
 /// Number of real floating point operations for one radix-2 FFT of

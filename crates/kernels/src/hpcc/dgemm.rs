@@ -10,10 +10,64 @@ use rayon::prelude::*;
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
 use crate::rng::NpbRng;
+use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 /// Cache block edge used by the real multiply.
 pub const BLOCK: usize = 48;
+
+/// Caller-owned scratch for [`dgemm_with`]: B packed once per call into
+/// BLOCK×BLOCK tiles at a fixed stride. Owning it across calls (the
+/// `FtWorkspace` pattern) makes the multiply allocation-free after
+/// warm-up — `tests/alloc_free.rs` pins zero allocations per call at
+/// width 1 — and packing *once* replaces the old per-row-panel packing,
+/// which re-copied every tile of B for each of the `n/BLOCK` panels.
+#[derive(Debug, Clone)]
+pub struct DgemmWorkspace {
+    n: usize,
+    /// Tiles per side (`⌈n/BLOCK⌉`).
+    tiles: usize,
+    /// Tile `(tk, tj)` starts at `(tk·tiles + tj)·BLOCK²`, holding its
+    /// `kw×jw` elements row-major and contiguous.
+    packed: Vec<f64>,
+}
+
+impl DgemmWorkspace {
+    /// Workspace for multiplies of order `n`.
+    pub fn new(n: usize) -> Self {
+        let tiles = n.div_ceil(BLOCK).max(1);
+        Self { n, tiles, packed: vec![0.0; tiles * tiles * BLOCK * BLOCK] }
+    }
+
+    /// Pack `b` (row-major `n×n`) into the tile layout. Parallel over
+    /// tile rows — disjoint writes, so width-invariant.
+    fn pack_b(&mut self, b: &[f64]) {
+        let n = self.n;
+        let tiles = self.tiles;
+        self.packed
+            .par_chunks_mut(tiles * BLOCK * BLOCK)
+            .enumerate()
+            .for_each(|(tk, strip)| {
+                let kb = tk * BLOCK;
+                let kw = BLOCK.min(n - kb);
+                for (tj, tile) in strip.chunks_mut(BLOCK * BLOCK).enumerate() {
+                    let jb = tj * BLOCK;
+                    let jw = BLOCK.min(n - jb);
+                    for (kk, trow) in tile.chunks_mut(jw).take(kw).enumerate() {
+                        let src = (kb + kk) * n + jb;
+                        trow.copy_from_slice(&b[src..src + jw]);
+                    }
+                }
+            });
+    }
+
+    /// The packed `kw×jw` tile covering `B[kb.., jb..]`.
+    #[inline]
+    fn tile(&self, tk: usize, tj: usize, kw: usize, jw: usize) -> &[f64] {
+        let at = (tk * self.tiles + tj) * BLOCK * BLOCK;
+        &self.packed[at..at + kw * jw]
+    }
+}
 
 /// The DGEMM benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -36,62 +90,64 @@ impl Dgemm {
 }
 
 /// `c ← alpha·a·b + beta·c` for row-major square matrices, blocked and
-/// parallel over row panels.
+/// parallel over row panels. Allocates a fresh [`DgemmWorkspace`] per
+/// call; hot loops should hold one and call [`dgemm_with`].
 pub fn dgemm(n: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64]) {
+    let mut ws = DgemmWorkspace::new(n);
+    dgemm_with(n, alpha, a, b, beta, c, &mut ws);
+}
+
+/// [`dgemm`] against a caller-owned workspace; performs no heap
+/// allocation. B is packed once into BLOCK×BLOCK tiles (L1-resident,
+/// 18 KiB each) shared by every row panel, then each panel streams its
+/// C rows through the SIMD micro-kernel: a fused broadcast-A register
+/// tile (`simd::tile_row_update`) over unit-stride packed-B rows, with
+/// the C row held in registers across the whole k loop.
+/// Per-element arithmetic and association order are independent of
+/// both the pool width and the SIMD path, so results are bitwise
+/// deterministic across `HPCEVAL_THREADS` × `HPCEVAL_SIMD`.
+pub fn dgemm_with(
+    n: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+    ws: &mut DgemmWorkspace,
+) {
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
     assert_eq!(c.len(), n * n);
+    assert_eq!(ws.n, n, "workspace must match the matrix order");
+    // Resolve the SIMD path once on the caller's thread and capture it
+    // into the parallel closure (workers never consult the mode).
+    let m = simd::mode();
+    ws.pack_b(b);
+    let ws = &*ws;
     c.par_chunks_mut(n * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
         let r0 = panel * BLOCK;
         let rows = cpanel.len() / n;
         // Scale the C panel by beta once.
-        for v in cpanel.iter_mut() {
-            *v *= beta;
-        }
-        // Packed-B micro-kernel: each BLOCK×BLOCK tile of B is copied
-        // once into contiguous scratch (18 KiB, L1-resident) and reused
-        // across every row of the panel, turning the strided B walk of
-        // the inner loop into unit-stride loads. The k loop is unrolled
-        // 4× so four B rows stream per C-row pass.
-        let mut bt = [0.0f64; BLOCK * BLOCK];
+        simd::scale_in_place(m, cpanel, beta);
         let mut kb = 0;
+        let mut tk = 0;
         while kb < n {
             let kw = BLOCK.min(n - kb);
             let mut jb = 0;
+            let mut tj = 0;
             while jb < n {
                 let jw = BLOCK.min(n - jb);
-                for (kk, btrow) in bt.chunks_mut(jw).take(kw).enumerate() {
-                    let src = (kb + kk) * n + jb;
-                    btrow.copy_from_slice(&b[src..src + jw]);
-                }
+                let bt = ws.tile(tk, tj, kw, jw);
                 for r in 0..rows {
                     let arow = &a[(r0 + r) * n + kb..(r0 + r) * n + kb + kw];
                     let crow = &mut cpanel[r * n + jb..r * n + jb + jw];
-                    let mut kk = 0;
-                    while kk + 4 <= kw {
-                        let a0 = alpha * arow[kk];
-                        let a1 = alpha * arow[kk + 1];
-                        let a2 = alpha * arow[kk + 2];
-                        let a3 = alpha * arow[kk + 3];
-                        let (b0, rest) = bt[kk * jw..].split_at(jw);
-                        let (b1, rest) = rest.split_at(jw);
-                        let (b2, rest) = rest.split_at(jw);
-                        for (jj, cv) in crow.iter_mut().enumerate() {
-                            *cv += a0 * b0[jj] + a1 * b1[jj] + a2 * b2[jj] + a3 * rest[jj];
-                        }
-                        kk += 4;
-                    }
-                    while kk < kw {
-                        let ak = alpha * arow[kk];
-                        for (cv, bv) in crow.iter_mut().zip(&bt[kk * jw..kk * jw + jw]) {
-                            *cv += ak * bv;
-                        }
-                        kk += 1;
-                    }
+                    simd::tile_row_update(m, crow, bt, arow, alpha);
                 }
                 jb += jw;
+                tj += 1;
             }
             kb += kw;
+            tk += 1;
         }
     });
 }

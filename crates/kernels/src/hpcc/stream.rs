@@ -10,7 +10,13 @@ use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
+use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+
+/// Span length each parallel task hands to the SIMD micro-kernels.
+/// Purely a dispatch granularity: the four STREAM ops are element-wise,
+/// so any chunking yields identical bits at every width and SIMD path.
+const SPAN: usize = 8192;
 
 /// The STREAM benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -55,22 +61,27 @@ impl StreamOutcome {
 /// Run `reps` cycles of copy/scale/add/triad over arrays of length `n`.
 pub fn run(n: usize, reps: u32) -> StreamOutcome {
     let scalar = 3.0;
+    let m = simd::mode();
     let mut a = vec![1.0f64; n];
     let mut b = vec![2.0f64; n];
     let mut c = vec![0.0f64; n];
     for _ in 0..reps {
-        // Copy: c = a.
-        c.par_iter_mut().zip(&a).for_each(|(cv, av)| *cv = *av);
+        // Copy: c = a (pure data movement; memcpy per span).
+        c.par_chunks_mut(SPAN)
+            .zip(a.par_chunks(SPAN))
+            .for_each(|(cv, av)| cv.copy_from_slice(av));
         // Scale: b = scalar * c.
-        b.par_iter_mut().zip(&c).for_each(|(bv, cv)| *bv = scalar * *cv);
+        b.par_chunks_mut(SPAN)
+            .zip(c.par_chunks(SPAN))
+            .for_each(|(bv, cv)| simd::scale(m, bv, cv, scalar));
         // Add: c = a + b.
-        c.par_iter_mut()
-            .zip(a.par_iter().zip(&b))
-            .for_each(|(cv, (av, bv))| *cv = *av + *bv);
+        c.par_chunks_mut(SPAN)
+            .zip(a.par_chunks(SPAN).zip(b.par_chunks(SPAN)))
+            .for_each(|(cv, (av, bv))| simd::add(m, cv, av, bv));
         // Triad: a = b + scalar * c.
-        a.par_iter_mut()
-            .zip(b.par_iter().zip(&c))
-            .for_each(|(av, (bv, cv))| *av = *bv + scalar * *cv);
+        a.par_chunks_mut(SPAN)
+            .zip(b.par_chunks(SPAN).zip(c.par_chunks(SPAN)))
+            .for_each(|(av, (bv, cv))| simd::triad(m, av, bv, cv, scalar));
     }
     // Closed form of one cycle: c1 = a0; b1 = s·a0; c2 = a0 + s·a0;
     // a1 = s·a0 + s·(a0 + s·a0) = a0·(2s + s²).

@@ -10,6 +10,7 @@
 use rayon::prelude::*;
 
 use crate::rng::NpbRng;
+use crate::simd;
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone)]
@@ -146,52 +147,25 @@ pub fn factor(mut a: Matrix, nb: usize, threads: usize) -> Result<LuFactors, LuE
             let end = k + kb;
             if end < n {
                 // --- U block row: solve L11 · U12 = A12 (unit lower). ---
+                let m = simd::mode();
                 for j in k..end {
                     for r in k..j {
-                        let m = a.get(j, r);
-                        if m != 0.0 {
-                            for c in end..n {
-                                let v = a.get(j, c) - m * a.get(r, c);
-                                a.set(j, c, v);
-                            }
+                        let mult = a.get(j, r);
+                        if mult != 0.0 {
+                            // Rows r < j: split the storage between them
+                            // and stream `row_j -= mult · row_r` over the
+                            // U columns (`y + (−m)·x` is bitwise `y − m·x`).
+                            let (head, rest) = a.data.split_at_mut(j * n);
+                            let rowr = &head[r * n + end..r * n + n];
+                            let rowj = &mut rest[end..n];
+                            simd::axpy(m, rowj, rowr, -mult);
                         }
                     }
                 }
                 // --- Trailing update: A22 -= L21 · U12 (parallel bands). ---
-                // Rows are grouped into bands sized to the installed pool
-                // (4 bands per thread for load balance) so each piece
-                // amortises dispatch over many rows instead of paying it
-                // per row. Per-row arithmetic is unchanged by the banding,
-                // so results stay bitwise identical at every width.
                 let (head, tail) = a.data.split_at_mut(end * n);
                 let u12 = &head[k * n..]; // rows k..end
-                let band = (n - end).div_ceil(4 * rayon::current_num_threads()).max(1);
-                tail.par_chunks_mut(n * band).for_each(|bandrows| {
-                    for row in bandrows.chunks_mut(n) {
-                        // The multipliers row[k..end] are fixed L21 entries
-                        // (only columns end.. are written), so pairs of U
-                        // rows can stream through one fused pass.
-                        let mut urows = u12.chunks(n);
-                        let mut j = k;
-                        while j + 2 <= end {
-                            let u0 = urows.next().expect("U12 row");
-                            let u1 = urows.next().expect("U12 row");
-                            let m0 = row[j];
-                            let m1 = row[j + 1];
-                            for c in end..n {
-                                row[c] -= m0 * u0[c] + m1 * u1[c];
-                            }
-                            j += 2;
-                        }
-                        if j < end {
-                            let u0 = urows.next().expect("U12 row");
-                            let m0 = row[j];
-                            for c in end..n {
-                                row[c] -= m0 * u0[c];
-                            }
-                        }
-                    }
-                });
+                trailing_update(tail, u12, n, k, end);
             }
             k = end;
         }
@@ -199,6 +173,50 @@ pub fn factor(mut a: Matrix, nb: usize, threads: usize) -> Result<LuFactors, LuE
     })?;
 
     Ok(LuFactors { lu: a, pivots })
+}
+
+/// The DGEMM-shaped trailing update `A22 -= L21 · U12` of one blocked
+/// LU step, over full matrix rows: `tail` holds rows `end..n` (each of
+/// length `n`, multipliers in columns `k..end`, updated columns
+/// `end..n`) and `u12` holds the U rows `k..end`.
+///
+/// Rows are grouped into bands sized to the installed pool (4 bands
+/// per thread for load balance) so each piece amortises dispatch over
+/// many rows instead of paying it per row; within a row, pairs of U
+/// rows stream through one fused SIMD pass ([`simd::sub2`]). Per-row
+/// arithmetic is unchanged by the banding and bitwise identical across
+/// SIMD paths, so results are deterministic at every width × path.
+/// Public (and allocation-free at width 1) so `tests/alloc_free.rs`
+/// can pin it directly.
+pub fn trailing_update(tail: &mut [f64], u12: &[f64], n: usize, k: usize, end: usize) {
+    assert!(k <= end && end <= n);
+    assert_eq!(tail.len() % n.max(1), 0, "tail must hold whole rows");
+    assert_eq!(u12.len(), (end - k) * n, "u12 must hold rows k..end");
+    let m = simd::mode();
+    let rows = tail.len() / n.max(1);
+    let band = rows.div_ceil(4 * rayon::current_num_threads()).max(1);
+    tail.par_chunks_mut(n * band).for_each(|bandrows| {
+        for row in bandrows.chunks_mut(n) {
+            // The multipliers row[k..end] are fixed L21 entries (only
+            // columns end.. are written), so pairs of U rows can stream
+            // through one fused pass.
+            let mut urows = u12.chunks(n);
+            let mut j = k;
+            while j + 2 <= end {
+                let u0 = urows.next().expect("U12 row");
+                let u1 = urows.next().expect("U12 row");
+                let m0 = row[j];
+                let m1 = row[j + 1];
+                simd::sub2(m, &mut row[end..], &u0[end..], &u1[end..], m0, m1);
+                j += 2;
+            }
+            if j < end {
+                let u0 = urows.next().expect("U12 row");
+                let m0 = row[j];
+                simd::axpy(m, &mut row[end..], &u0[end..], -m0);
+            }
+        }
+    });
 }
 
 impl LuFactors {

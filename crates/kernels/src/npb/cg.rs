@@ -20,6 +20,7 @@ use rayon::prelude::*;
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 
 use crate::rng::NpbRng;
+use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::Class;
@@ -161,21 +162,29 @@ impl SparseMatrix {
 /// final residual norm)`.
 pub fn cg_solve(a: &SparseMatrix, x: &[f64]) -> (Vec<f64>, f64) {
     let n = a.n;
+    let m = simd::mode();
     let mut z = vec![0.0; n];
     let mut r = x.to_vec();
     let mut p = r.clone();
     let mut q = vec![0.0; n];
-    let mut rho: f64 = dot(&r, &r);
+    let mut rho: f64 = dot(m, &r, &r);
     for _ in 0..25 {
         a.matvec(&p, &mut q);
-        let alpha = rho / dot(&p, &q);
-        // Elementwise axpy updates: disjoint writes, width-invariant.
-        z.par_iter_mut().zip(&p[..]).for_each(|(zi, &pi)| *zi += alpha * pi);
-        r.par_iter_mut().zip(&q[..]).for_each(|(ri, &qi)| *ri -= alpha * qi);
-        let rho_new = dot(&r, &r);
+        let alpha = rho / dot(m, &p, &q);
+        // Elementwise axpy updates over fixed spans: disjoint writes,
+        // width-invariant, and `r + (−α)·q` is bitwise `r − α·q`.
+        z.par_chunks_mut(DOT_CHUNK)
+            .zip(p.par_chunks(DOT_CHUNK))
+            .for_each(|(zc, pc)| simd::axpy(m, zc, pc, alpha));
+        r.par_chunks_mut(DOT_CHUNK)
+            .zip(q.par_chunks(DOT_CHUNK))
+            .for_each(|(rc, qc)| simd::axpy(m, rc, qc, -alpha));
+        let rho_new = dot(m, &r, &r);
         let beta = rho_new / rho;
         rho = rho_new;
-        p.par_iter_mut().zip(&r[..]).for_each(|(pi, &ri)| *pi = ri + beta * *pi);
+        p.par_chunks_mut(DOT_CHUNK)
+            .zip(r.par_chunks(DOT_CHUNK))
+            .for_each(|(pc, rc)| simd::xpby(m, pc, rc, beta));
     }
     // NPB reports ‖x − A·z‖ as the residual.
     a.matvec(&z, &mut q);
@@ -184,15 +193,16 @@ pub fn cg_solve(a: &SparseMatrix, x: &[f64]) -> (Vec<f64>, f64) {
 }
 
 /// Chunk length of the parallel dot product. Fixed (never derived from
-/// the pool width) so the float summation tree — serial within a chunk,
-/// partials combined in chunk order — rounds identically at any width.
+/// the pool width) so the float summation tree — the strided-4 SIMD
+/// contract within a chunk, partials combined in chunk order — rounds
+/// identically at any width and on either SIMD path.
 const DOT_CHUNK: usize = 4096;
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
+fn dot(m: simd::SimdMode, a: &[f64], b: &[f64]) -> f64 {
     let partials: Vec<f64> = a
         .par_chunks(DOT_CHUNK)
         .zip(b.par_chunks(DOT_CHUNK))
-        .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<f64>())
+        .map(|(ca, cb)| simd::dot(m, ca, cb))
         .collect();
     partials.iter().sum()
 }
@@ -210,17 +220,20 @@ pub struct CgOutcome {
 /// (solve, ζ update, renormalize).
 pub fn run(n: usize, nonzer: u32, niter: u32, shift: f64) -> CgOutcome {
     let a = SparseMatrix::npb_like(n, nonzer, 314_159_265);
+    let m = simd::mode();
     let mut x = vec![1.0; n];
     let mut zeta = 0.0;
     let mut residual = 0.0;
     for _ in 0..niter {
         let (z, res) = cg_solve(&a, &x);
         residual = res;
-        let xz = dot(&x, &z);
+        let xz = dot(m, &x, &z);
         zeta = shift + 1.0 / xz;
-        // x = z / ‖z‖ (elementwise, width-invariant).
-        let norm = dot(&z, &z).sqrt();
-        x.par_iter_mut().zip(&z[..]).for_each(|(xi, &zi)| *xi = zi / norm);
+        // x = z / ‖z‖ (elementwise, per-lane division — width-invariant).
+        let norm = dot(m, &z, &z).sqrt();
+        x.par_chunks_mut(DOT_CHUNK)
+            .zip(z.par_chunks(DOT_CHUNK))
+            .for_each(|(xc, zc)| simd::scale_div(m, xc, zc, norm));
     }
     CgOutcome { zeta, residual }
 }

@@ -9,6 +9,11 @@
 //! streaming, random) and the tests assert that running them through the
 //! real cache hierarchy orders the families the same way the profiles
 //! do.
+//!
+//! The SIMD micro-kernels (`crate::simd`) change how many elements one
+//! instruction touches, not which cache lines a kernel visits or in what
+//! order — so these streams, and the locality profiles they ground, are
+//! identical under every `HPCEVAL_SIMD` mode.
 
 use hpceval_machine::workload::LocalityProfile;
 

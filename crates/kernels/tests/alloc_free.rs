@@ -1,20 +1,25 @@
-//! Pins the allocation behaviour of the FT hot path: with a warm
-//! [`FtWorkspace`], `fft3_with` must perform **zero** heap allocations
-//! per call at logical width 1 (the executor's sequential fast path
-//! runs every chunk inline; the scratch buffer and twiddle tables are
+//! Pins the allocation behaviour of the warm hot paths: with
+//! caller-owned workspaces, `fft3_with`, `dgemm_with` and the HPL
+//! `trailing_update` must perform **zero** heap allocations per call at
+//! logical width 1 (the executor's sequential fast path runs every
+//! chunk inline; scratch buffers, packed tiles and twiddle tables are
 //! caller-owned). At parallel widths the scheduler allocates O(pieces)
 //! bookkeeping per parallel region, which must stay far below the size
-//! of the field — the four per-call `Field3` clones this replaced.
+//! of the operands — the whole-array clones and per-panel B packing
+//! these replaced.
 //!
 //! This file holds a single test on purpose: the counting allocator is
 //! process-global, and a concurrent test in the same binary would
-//! pollute the counters.
+//! pollute the counters. The three phases run sequentially inside it.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use hpceval_kernels::fft::Direction;
+use hpceval_kernels::hpcc::dgemm::{dgemm_with, DgemmWorkspace};
+use hpceval_kernels::hpl::lu;
 use hpceval_kernels::npb::ft::{fft3_with, Field3, FtWorkspace};
+use hpceval_kernels::rng::NpbRng;
 
 /// Forwards to the system allocator, counting calls and bytes.
 struct CountingAlloc;
@@ -43,32 +48,38 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Allocations and bytes across `iters` runs of `f`, measured after
+/// `f` has already run twice (pool spin-up, `OnceLock` env reads and
+/// any other lazy initialization happen outside the window).
+fn measure(iters: u64, mut f: impl FnMut()) -> (u64, u64) {
+    f();
+    f();
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    for _ in 0..iters {
+        f();
+    }
+    (ALLOCS.load(Ordering::Relaxed) - a0, BYTES.load(Ordering::Relaxed) - b0)
+}
+
 #[test]
-fn fft3_with_is_allocation_free_after_warmup() {
-    let (nx, ny, nz) = (32, 32, 32);
+fn warm_hot_paths_are_allocation_free() {
     // Request width 1; HPCEVAL_THREADS (the CI matrix pin) overrides
     // the request by design, so read back the width that actually took
     // effect and assert accordingly.
     let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
     pool.install(|| {
         let width = rayon::current_num_threads();
+        const ITERS: u64 = 10;
+
+        // FT: forward+inverse against a warm FtWorkspace.
+        let (nx, ny, nz) = (32, 32, 32);
         let mut ws = FtWorkspace::new(nx, ny, nz);
         let mut f = Field3::random(nx, ny, nz, 2_718_281);
-        // Warm up: pool spin-up and any lazy initialization happen here,
-        // outside the measured window.
-        for _ in 0..3 {
+        let (allocs, bytes) = measure(ITERS, || {
             fft3_with(&mut f, Direction::Forward, &mut ws);
             fft3_with(&mut f, Direction::Inverse, &mut ws);
-        }
-        let a0 = ALLOCS.load(Ordering::Relaxed);
-        let b0 = BYTES.load(Ordering::Relaxed);
-        const ITERS: u64 = 10;
-        for _ in 0..ITERS {
-            fft3_with(&mut f, Direction::Forward, &mut ws);
-            fft3_with(&mut f, Direction::Inverse, &mut ws);
-        }
-        let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
-        let bytes = BYTES.load(Ordering::Relaxed) - b0;
+        });
         let field_bytes = (nx * ny * nz * std::mem::size_of::<f64>() * 2) as u64;
         if width == 1 {
             assert_eq!(
@@ -89,5 +100,56 @@ fn fft3_with_is_allocation_free_after_warmup() {
         }
         // The transform still computes something sane.
         assert!(f.checksum().norm_sqr().is_finite());
+
+        // DGEMM: warm DgemmWorkspace ⇒ B packs into caller-owned tiles.
+        let n = 96;
+        let mut rng = NpbRng::new(1_618_033);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut c: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut ws = DgemmWorkspace::new(n);
+        let (allocs, bytes) = measure(ITERS, || {
+            dgemm_with(n, 1.25, &a, &b, 0.5, &mut c, &mut ws);
+        });
+        let matrix_bytes = (n * n * std::mem::size_of::<f64>()) as u64;
+        if width == 1 {
+            assert_eq!(
+                allocs, 0,
+                "dgemm_with allocated {allocs} times ({bytes} B) across {ITERS} \
+                 warm iterations at width 1"
+            );
+        } else {
+            let per_call = bytes / ITERS;
+            assert!(
+                per_call < matrix_bytes / 8,
+                "dgemm_with allocates {per_call} B per call at width {width} \
+                 (matrix is {matrix_bytes} B)"
+            );
+        }
+        assert!(c.iter().all(|v| v.is_finite()));
+
+        // HPL trailing update: pure in-place Schur-complement sweep.
+        let (rows, cols, k, end) = (64usize, 96usize, 8usize, 24usize);
+        let mut tail: Vec<f64> = (0..rows * cols).map(|_| (rng.next_f64() - 0.5) * 1e-3).collect();
+        let u12: Vec<f64> = (0..(end - k) * cols).map(|_| (rng.next_f64() - 0.5) * 1e-3).collect();
+        let (allocs, bytes) = measure(ITERS, || {
+            lu::trailing_update(&mut tail, &u12, cols, k, end);
+        });
+        if width == 1 {
+            assert_eq!(
+                allocs, 0,
+                "trailing_update allocated {allocs} times ({bytes} B) across {ITERS} \
+                 warm iterations at width 1"
+            );
+        } else {
+            let tail_bytes = (rows * cols * std::mem::size_of::<f64>()) as u64;
+            let per_call = bytes / ITERS;
+            assert!(
+                per_call < tail_bytes / 8,
+                "trailing_update allocates {per_call} B per call at width {width} \
+                 (tail is {tail_bytes} B)"
+            );
+        }
+        assert!(tail.iter().all(|v| v.is_finite()));
     });
 }

@@ -20,6 +20,7 @@ use hpceval_kernels::hpl::lu;
 use hpceval_kernels::npb::lu as npb_lu;
 use hpceval_kernels::npb::{bt, cg, ep, ft, is, mg, sp};
 use hpceval_kernels::rng::NpbRng;
+use hpceval_kernels::simd::{self, SimdMode};
 
 const WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
@@ -215,6 +216,89 @@ fn sp_adi_bitwise_identical_across_widths() {
     let reference = run(1);
     for width in WIDTHS {
         assert_eq!(bits(&run(width)), bits(&reference), "SP solution diverges at width {width}");
+    }
+}
+
+/// The SIMD determinism contract: every kernel that routes spans
+/// through `hpceval_kernels::simd` produces *bit-identical* output on
+/// the scalar and AVX2 paths, at every logical thread width. Each
+/// kernel resolves its mode once at entry on the calling thread —
+/// which is where `install` runs its closure — so `with_mode` here
+/// governs the whole parallel call. When `HPCEVAL_SIMD` pins a mode
+/// (the env wins over `with_mode`, as documented) or the host lacks
+/// AVX2, both closures resolve to the same path and the assertions
+/// hold trivially — the suite stays green under every CI leg.
+#[test]
+fn simd_scalar_and_avx2_bitwise_identical_across_widths() {
+    fn pair(f: impl Fn() -> Vec<u64>) -> (Vec<u64>, Vec<u64>) {
+        (simd::with_mode(SimdMode::Scalar, &f), simd::with_mode(SimdMode::Avx2, &f))
+    }
+
+    // DGEMM at a non-BLOCK-multiple order (edge tiles + k remainder).
+    let n = 160;
+    let mut rng = NpbRng::new(515);
+    let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    let c0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+    for width in WIDTHS {
+        let (s, v) = pair(|| {
+            with_width(width, || {
+                let mut c = c0.clone();
+                dgemm(n, 1.25, &a, &b, 0.5, &mut c);
+                bits(&c)
+            })
+        });
+        assert_eq!(s, v, "dgemm scalar vs avx2 diverges at width {width}");
+    }
+
+    // HPL LU (trailing update + U block-row solve).
+    let m0 = lu::Matrix::random(96, 77);
+    for width in WIDTHS {
+        let (s, v) = pair(|| bits(&lu::factor(m0.clone(), 24, width).unwrap().lu.data));
+        assert_eq!(s, v, "hpl lu scalar vs avx2 diverges at width {width}");
+    }
+
+    // STREAM copy/scale/add/triad.
+    for width in WIDTHS {
+        let (s, v) = pair(|| with_width(width, || vec![stream::run(1 << 12, 3).head.to_bits()]));
+        assert_eq!(s, v, "stream scalar vs avx2 diverges at width {width}");
+    }
+
+    // CG (strided-4 dots + axpy/xpby/scale_div updates).
+    for width in WIDTHS {
+        let (s, v) = pair(|| {
+            with_width(width, || {
+                let out = cg::run(500, 5, 2, 10.0);
+                vec![out.zeta.to_bits(), out.residual.to_bits()]
+            })
+        });
+        assert_eq!(s, v, "cg scalar vs avx2 diverges at width {width}");
+    }
+
+    // MG (stencil7 interior spans + axpy smoothing).
+    let rhs = mg::Grid::random_rhs(16, 21);
+    for width in WIDTHS {
+        let (s, v) = pair(|| {
+            with_width(width, || {
+                let mut u = mg::Grid::zeros(16);
+                mg::v_cycle(&mut u, &rhs);
+                bits(&u.data)
+            })
+        });
+        assert_eq!(s, v, "mg scalar vs avx2 diverges at width {width}");
+    }
+
+    // FT (SIMD butterfly in the batched per-line transforms).
+    for width in WIDTHS {
+        let (s, v) = pair(|| {
+            with_width(width, || {
+                ft::run_scaled(16, 8, 8, 2)
+                    .iter()
+                    .flat_map(|c| [c.re.to_bits(), c.im.to_bits()])
+                    .collect()
+            })
+        });
+        assert_eq!(s, v, "ft scalar vs avx2 diverges at width {width}");
     }
 }
 

@@ -10,6 +10,7 @@ use hpceval_kernels::npb::is::{generate_keys, sort_by_ranks};
 use hpceval_kernels::npb::sp::penta_solve;
 use hpceval_kernels::npb::{Class, Program};
 use hpceval_kernels::rng::NpbRng;
+use hpceval_kernels::simd::{self, SimdMode};
 use hpceval_kernels::transpose::{transpose_into, transpose_tiles};
 
 proptest! {
@@ -140,6 +141,58 @@ proptest! {
             }
         }
         prop_assert_eq!(blocked, naive);
+    }
+
+    /// The strided-4-accumulator dot: bitwise identical on the scalar
+    /// and AVX2 paths for any length — including non-multiples of the
+    /// 4-lane width, where the remainder feeds accumulators `0..len%4`
+    /// — and within the documented rounding envelope of the legacy
+    /// left-to-right serial dot (each path performs `≤ len` additions
+    /// per accumulator, so `Σ|aᵢ·bᵢ|·ε·len` bounds either sum's drift
+    /// from the exact value).
+    #[test]
+    fn strided_dot_bitwise_across_paths_and_near_serial(len in 0usize..600, seed in 1u64..2000) {
+        let mut rng = NpbRng::new(seed);
+        let a: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+        let s = simd::dot(SimdMode::Scalar, &a, &b);
+        let v = simd::dot(SimdMode::Avx2, &a, &b);
+        prop_assert_eq!(s.to_bits(), v.to_bits());
+        let serial = simd::dot_serial(&a, &b);
+        let magnitude: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        let tol = 2.0 * magnitude * f64::EPSILON * (len.max(1) as f64);
+        prop_assert!((s - serial).abs() <= tol, "strided {} vs serial {} (tol {})", s, serial, tol);
+    }
+
+    /// Every elementwise SIMD span op is bitwise identical on the
+    /// scalar and AVX2 paths at any length (vector body + scalar tail
+    /// must agree exactly with the pure-scalar loop).
+    #[test]
+    fn elementwise_span_ops_bitwise_across_paths(len in 0usize..130, seed in 1u64..2000, s in -3.0..3.0f64) {
+        let mut rng = NpbRng::new(seed);
+        let a: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+        let c: Vec<f64> = (0..len).map(|_| rng.next_f64() - 0.5).collect();
+        let run = |m: SimdMode| {
+            let mut outs = Vec::new();
+            let mut d = c.clone();
+            simd::scale(m, &mut d, &a, s);
+            outs.extend_from_slice(&d);
+            simd::add(m, &mut d, &a, &b);
+            outs.extend_from_slice(&d);
+            simd::triad(m, &mut d, &a, &b, s);
+            outs.extend_from_slice(&d);
+            let mut y = c.clone();
+            simd::axpy(m, &mut y, &a, s);
+            outs.extend_from_slice(&y);
+            let mut y = c.clone();
+            simd::xpby(m, &mut y, &a, s);
+            outs.extend_from_slice(&y);
+            simd::scale_div(m, &mut d, &a, s.abs() + 0.5);
+            outs.extend_from_slice(&d);
+            outs.iter().map(|x| x.to_bits()).collect::<Vec<u64>>()
+        };
+        prop_assert_eq!(run(SimdMode::Scalar), run(SimdMode::Avx2));
     }
 
     /// Every program × class yields a physically sane signature.
