@@ -9,8 +9,11 @@
 //! `benches/scaling.rs`) — and writes `BENCH_scaling.json` at the repo
 //! root: best-of-3 wall time, GFLOP/s and speedup vs the 1-thread run
 //! for every (kernel, width) point, plus the host's
-//! `available_parallelism` the numbers were taken on. Pass `--json` to
-//! print the report to stdout instead of (in addition to) the table.
+//! `available_parallelism` the numbers were taken on. On a host with a
+//! single hardware thread the speedup column is withheld (`null`, with
+//! a `single_hw_thread` flag in the report) — one core cannot
+//! demonstrate scaling. Pass `--json` to print the report to stdout
+//! instead of (in addition to) the table.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -35,7 +38,10 @@ struct Point {
     threads: usize,
     seconds: f64,
     gflops: f64,
-    speedup_vs_1t: f64,
+    /// `null` on a single-hardware-thread host: every width shares one
+    /// core there, so a ratio of their times measures scheduler overhead,
+    /// not scaling, and reporting it as "speedup" would be dishonest.
+    speedup_vs_1t: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -43,6 +49,9 @@ struct Report {
     /// `std::thread::available_parallelism()` on the measuring host —
     /// the context every speedup number must be read against.
     available_parallelism: usize,
+    /// Measurement caveats; contains `"single_hw_thread"` when the host
+    /// exposes one hardware thread (speedups are withheld).
+    flags: Vec<&'static str>,
     /// The widths this run actually swept.
     widths: Vec<usize>,
     note: &'static str,
@@ -109,6 +118,12 @@ fn main() -> ExitCode {
     };
     heading("Scaling", "HPCC dense paths and NPB programs: wall time vs thread count");
 
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // One hardware thread cannot demonstrate scaling: all widths time-
+    // share a single core, so width-to-width ratios are noise. Withhold
+    // the speedup column instead of publishing sub-1.0 "speedups".
+    let speedup = |base: f64, secs: f64| (hw_threads > 1).then(|| base / secs);
+
     let mut points = Vec::new();
 
     let n = DGEMM_N;
@@ -130,7 +145,7 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
@@ -151,7 +166,7 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
@@ -180,7 +195,7 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
@@ -204,7 +219,7 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
@@ -232,7 +247,7 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
@@ -262,16 +277,18 @@ fn main() -> ExitCode {
             threads: t,
             seconds: secs,
             gflops: flops / secs / 1e9,
-            speedup_vs_1t: base / secs,
+            speedup_vs_1t: speedup(base, secs),
         });
     }
 
     let report = Report {
-        available_parallelism: std::thread::available_parallelism().map_or(1, |v| v.get()),
+        available_parallelism: hw_threads,
+        flags: if hw_threads == 1 { vec!["single_hw_thread"] } else { Vec::new() },
         widths: widths.clone(),
         note: "best-of-3 wall time per point; speedup is relative to the narrowest width \
-               in the sweep on the same host, so it only demonstrates scaling when \
-               available_parallelism > 1",
+               in the sweep on the same host, and is withheld (null, flagged \
+               single_hw_thread) when available_parallelism == 1 because width-to-width \
+               ratios on one core measure scheduler overhead, not scaling",
         points,
     };
 
@@ -284,9 +301,10 @@ fn main() -> ExitCode {
             "kernel", "n", "threads", "seconds", "GFLOP/s", "speedup"
         );
         for p in &report.points {
+            let speedup = p.speedup_vs_1t.map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
             println!(
-                "{:>8} {:>6} {:>9} {:>11.4} {:>11.3} {:>8.2}x",
-                p.kernel, p.n, p.threads, p.seconds, p.gflops, p.speedup_vs_1t
+                "{:>8} {:>6} {:>9} {:>11.4} {:>11.3} {:>9}",
+                p.kernel, p.n, p.threads, p.seconds, p.gflops, speedup
             );
         }
         std::fs::write("BENCH_scaling.json", json + "\n").expect("write BENCH_scaling.json");

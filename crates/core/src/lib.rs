@@ -23,6 +23,10 @@
 //! * [`regression_experiment`] — the §VI power model: HPCC-trained
 //!   forward-stepwise regression (Tables VII–VIII) validated on NPB
 //!   classes B and C (Figs 12–13).
+//! * [`trace_experiment`] — the trace-driven variant: instrumented
+//!   kernels captured as sampled address traces, replayed through the
+//!   simulated cache hierarchy, and the measured locality profiles fed
+//!   back into the same train/validate pipeline.
 //! * [`jobs`] — job-shaped wrappers around the evaluation entry points:
 //!   the five-state method as a resumable, checkpointable state machine
 //!   plus one-shot wrappers, consumed by the `hpceval-fleet`
@@ -47,6 +51,7 @@ pub mod server;
 pub mod session;
 pub mod ssj_experiment;
 pub mod stability;
+pub mod trace_experiment;
 pub mod uncertainty;
 pub mod whatif;
 

@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use hpceval_kernels::hpcc::HpccProgram;
 use hpceval_kernels::npb::{Class, Program};
 use hpceval_machine::spec::ServerSpec;
+use hpceval_machine::workload::LocalityProfile;
 use hpceval_regression::matrix::Matrix;
 use hpceval_regression::ols::OlsSummary;
 use hpceval_regression::stats::{r_squared, Normalizer};
@@ -46,6 +47,13 @@ pub struct RegressionSample {
     pub power_w: f64,
 }
 
+/// A per-program locality substitution, keyed by benchmark id (e.g.
+/// `"dgemm"`, `"cg"`). Returning `None` keeps the analytic profile from
+/// the workload signature; returning `Some` replaces it — this is how
+/// the trace-driven experiment feeds *replayed* cache behaviour into the
+/// same PMU-synthesis pipeline the analytic experiment uses.
+pub type LocalityOverride<'a> = &'a dyn Fn(&str) -> Option<LocalityProfile>;
+
 /// Collect the HPCC training set on `spec`.
 ///
 /// Every program runs at every allowed process count from 1 to full
@@ -56,13 +64,26 @@ pub fn collect_training(
     samples_per_run: usize,
     seed: u64,
 ) -> Vec<RegressionSample> {
+    collect_training_with(spec, samples_per_run, seed, &|_| None)
+}
+
+/// [`collect_training`] with a per-program locality override.
+pub fn collect_training_with(
+    spec: &ServerSpec,
+    samples_per_run: usize,
+    seed: u64,
+    locality: LocalityOverride,
+) -> Vec<RegressionSample> {
     let srv = SimulatedServer::new(spec.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let noise_w = srv.power_model().calibration().noise_sd_w;
     let mut out = Vec::new();
     for prog in HpccProgram::ALL {
         let bench = prog.benchmark(spec);
-        let sig = bench.signature();
+        let mut sig = bench.signature();
+        if let Some(profile) = locality(bench.id()) {
+            sig.locality = profile;
+        }
         for p in 1..=spec.total_cores() {
             if !bench.constraint().allows(p) || !srv.can_run(&sig, p) {
                 continue;
@@ -184,11 +205,25 @@ pub fn validate(
     model: &TrainedPowerModel,
     seed: u64,
 ) -> ValidationResult {
+    validate_with(spec, class, model, seed, &|_| None)
+}
+
+/// [`validate`] with a per-program locality override.
+pub fn validate_with(
+    spec: &ServerSpec,
+    class: Class,
+    model: &TrainedPowerModel,
+    seed: u64,
+    locality: LocalityOverride,
+) -> ValidationResult {
     let mut srv = SimulatedServer::with_seed(spec.clone(), seed);
     let mut points = Vec::new();
     for prog in Program::ALL {
         let bench = prog.benchmark(class);
-        let sig = bench.signature();
+        let mut sig = bench.signature();
+        if let Some(profile) = locality(bench.id()) {
+            sig.locality = profile;
+        }
         for p in bench.constraint().allowed_up_to(spec.total_cores()) {
             if !srv.can_run(&sig, p) {
                 continue;

@@ -8,6 +8,7 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::simd;
@@ -15,6 +16,16 @@ use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 /// Cache block edge used by the real multiply.
 pub const BLOCK: usize = 48;
+
+// Logical trace addresses. The multiply reads A and the *packed* B
+// tiles (that is its real access stream), and reads+writes C; packing
+// streams B once. Chunk ids: row panels use their panel index, packing
+// strips use `TRACE_PACK_CHUNK + tk` so the two phases never collide.
+const TRACE_A: u64 = 0x1_0000_0000;
+const TRACE_B: u64 = 0x2_0000_0000;
+const TRACE_C: u64 = 0x3_0000_0000;
+const TRACE_PACKED: u64 = 0x4_0000_0000;
+const TRACE_PACK_CHUNK: u64 = 1 << 32;
 
 /// Caller-owned scratch for [`dgemm_with`]: B packed once per call into
 /// BLOCK×BLOCK tiles at a fixed stride. Owning it across calls (the
@@ -48,6 +59,8 @@ impl DgemmWorkspace {
             .par_chunks_mut(tiles * BLOCK * BLOCK)
             .enumerate()
             .for_each(|(tk, strip)| {
+                let chunk = TRACE_PACK_CHUNK + tk as u64;
+                let tr = hooks::chunk_enabled(Region::Dgemm, chunk);
                 let kb = tk * BLOCK;
                 let kw = BLOCK.min(n - kb);
                 for (tj, tile) in strip.chunks_mut(BLOCK * BLOCK).enumerate() {
@@ -56,6 +69,21 @@ impl DgemmWorkspace {
                     for (kk, trow) in tile.chunks_mut(jw).take(kw).enumerate() {
                         let src = (kb + kk) * n + jb;
                         trow.copy_from_slice(&b[src..src + jw]);
+                        if tr {
+                            let dst = (tk * tiles + tj) * BLOCK * BLOCK + kk * jw;
+                            let r = Region::Dgemm;
+                            let w = jw as u32;
+                            hooks::record(
+                                r,
+                                chunk,
+                                AccessKind::Read,
+                                TRACE_B + (src * 8) as u64,
+                                8,
+                                w,
+                            );
+                            let at = TRACE_PACKED + (dst * 8) as u64;
+                            hooks::record(r, chunk, AccessKind::Write, at, 8, w);
+                        }
                     }
                 }
             });
@@ -122,13 +150,25 @@ pub fn dgemm_with(
     // Resolve the SIMD path once on the caller's thread and capture it
     // into the parallel closure (workers never consult the mode).
     let m = simd::mode();
+    // Pack and panel phases get separate trace epochs: repeated dgemm
+    // calls reuse the same chunk ids, and within one call the pack
+    // happens before the panels even though its ids sort after them.
+    hooks::begin_epoch(Region::Dgemm);
     ws.pack_b(b);
     let ws = &*ws;
+    hooks::begin_epoch(Region::Dgemm);
     c.par_chunks_mut(n * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
+        let chunk = panel as u64;
+        let tr = hooks::chunk_enabled(Region::Dgemm, chunk);
         let r0 = panel * BLOCK;
         let rows = cpanel.len() / n;
         // Scale the C panel by beta once.
         simd::scale_in_place(m, cpanel, beta);
+        if tr {
+            let at = TRACE_C + (r0 * n * 8) as u64;
+            hooks::record(Region::Dgemm, chunk, AccessKind::Read, at, 8, (rows * n) as u32);
+            hooks::record(Region::Dgemm, chunk, AccessKind::Write, at, 8, (rows * n) as u32);
+        }
         let mut kb = 0;
         let mut tk = 0;
         while kb < n {
@@ -138,9 +178,21 @@ pub fn dgemm_with(
             while jb < n {
                 let jw = BLOCK.min(n - jb);
                 let bt = ws.tile(tk, tj, kw, jw);
+                if tr {
+                    let at = TRACE_PACKED + ((tk * ws.tiles + tj) * BLOCK * BLOCK * 8) as u64;
+                    hooks::record(Region::Dgemm, chunk, AccessKind::Read, at, 8, (kw * jw) as u32);
+                }
                 for r in 0..rows {
                     let arow = &a[(r0 + r) * n + kb..(r0 + r) * n + kb + kw];
                     let crow = &mut cpanel[r * n + jb..r * n + jb + jw];
+                    if tr {
+                        let rg = Region::Dgemm;
+                        let a_at = TRACE_A + (((r0 + r) * n + kb) * 8) as u64;
+                        let c_at = TRACE_C + (((r0 + r) * n + jb) * 8) as u64;
+                        hooks::record(rg, chunk, AccessKind::Read, a_at, 8, kw as u32);
+                        hooks::record(rg, chunk, AccessKind::Read, c_at, 8, jw as u32);
+                        hooks::record(rg, chunk, AccessKind::Write, c_at, 8, jw as u32);
+                    }
                     simd::tile_row_update(m, crow, bt, arow, alpha);
                 }
                 jb += jw;

@@ -9,6 +9,7 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
@@ -17,6 +18,13 @@ use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 /// Purely a dispatch granularity: the four STREAM ops are element-wise,
 /// so any chunking yields identical bits at every width and SIMD path.
 const SPAN: usize = 8192;
+
+// Logical trace addresses of the three arrays. Fixed constants (not
+// heap pointers) keep captured traces bitwise identical across runs,
+// allocators and thread counts; the span index is the chunk id.
+const TRACE_A: u64 = 0x1000_0000;
+const TRACE_B: u64 = 0x2000_0000;
+const TRACE_C: u64 = 0x3000_0000;
 
 /// The STREAM benchmark.
 #[derive(Debug, Clone, Copy)]
@@ -65,23 +73,58 @@ pub fn run(n: usize, reps: u32) -> StreamOutcome {
     let mut a = vec![1.0f64; n];
     let mut b = vec![2.0f64; n];
     let mut c = vec![0.0f64; n];
+    // Per-span trace burst: `srcs` read then `dst` written, all
+    // unit-stride doubles. One enabled() branch per span when untraced.
+    let trace = |i: usize, len: usize, srcs: &[u64], dst: u64| {
+        let chunk = i as u64;
+        if hooks::chunk_enabled(Region::Stream, chunk) {
+            let off = (i * SPAN * 8) as u64;
+            for &s in srcs {
+                hooks::record(Region::Stream, chunk, AccessKind::Read, s + off, 8, len as u32);
+            }
+            hooks::record(Region::Stream, chunk, AccessKind::Write, dst + off, 8, len as u32);
+        }
+    };
     for _ in 0..reps {
+        // Each op is its own trace epoch: the four kernels (and every
+        // rep) revisit the same spans, so without the epoch boundary
+        // their bursts would collapse into one ring per span.
         // Copy: c = a (pure data movement; memcpy per span).
+        hooks::begin_epoch(Region::Stream);
         c.par_chunks_mut(SPAN)
+            .enumerate()
             .zip(a.par_chunks(SPAN))
-            .for_each(|(cv, av)| cv.copy_from_slice(av));
+            .for_each(|((i, cv), av)| {
+                trace(i, cv.len(), &[TRACE_A], TRACE_C);
+                cv.copy_from_slice(av)
+            });
         // Scale: b = scalar * c.
+        hooks::begin_epoch(Region::Stream);
         b.par_chunks_mut(SPAN)
+            .enumerate()
             .zip(c.par_chunks(SPAN))
-            .for_each(|(bv, cv)| simd::scale(m, bv, cv, scalar));
+            .for_each(|((i, bv), cv)| {
+                trace(i, bv.len(), &[TRACE_C], TRACE_B);
+                simd::scale(m, bv, cv, scalar)
+            });
         // Add: c = a + b.
+        hooks::begin_epoch(Region::Stream);
         c.par_chunks_mut(SPAN)
+            .enumerate()
             .zip(a.par_chunks(SPAN).zip(b.par_chunks(SPAN)))
-            .for_each(|(cv, (av, bv))| simd::add(m, cv, av, bv));
+            .for_each(|((i, cv), (av, bv))| {
+                trace(i, cv.len(), &[TRACE_A, TRACE_B], TRACE_C);
+                simd::add(m, cv, av, bv)
+            });
         // Triad: a = b + scalar * c.
+        hooks::begin_epoch(Region::Stream);
         a.par_chunks_mut(SPAN)
+            .enumerate()
             .zip(b.par_chunks(SPAN).zip(c.par_chunks(SPAN)))
-            .for_each(|(av, (bv, cv))| simd::triad(m, av, bv, cv, scalar));
+            .for_each(|((i, av), (bv, cv))| {
+                trace(i, av.len(), &[TRACE_B, TRACE_C], TRACE_A);
+                simd::triad(m, av, bv, cv, scalar)
+            });
     }
     // Closed form of one cycle: c1 = a0; b1 = s·a0; c2 = a0 + s·a0;
     // a1 = s·a0 + s·(a0 + s·a0) = a0·(2s + s²).

@@ -18,12 +18,21 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::Class;
+
+// Logical trace addresses of the matvec operands. The row index is the
+// chunk id (each row is one rayon item, so the id is width-invariant).
+const TRACE_ROWPTR: u64 = 0x1_0000_0000;
+const TRACE_COLS: u64 = 0x2_0000_0000;
+const TRACE_VALS: u64 = 0x3_0000_0000;
+const TRACE_X: u64 = 0x4_0000_0000;
+const TRACE_Y: u64 = 0x5_0000_0000;
 
 /// The CG benchmark at a given class.
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +155,9 @@ impl SparseMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+        // Every CG step revisits every row; the epoch keeps the per-row
+        // traces of successive matvecs apart so replay sees each sweep.
+        hooks::begin_epoch(Region::Cg);
         y.par_iter_mut().enumerate().for_each(|(r, out)| {
             let lo = self.row_ptr[r];
             let hi = self.row_ptr[r + 1];
@@ -154,6 +166,22 @@ impl SparseMatrix {
                 s += self.vals[k] * x[self.cols[k] as usize];
             }
             *out = s;
+            // Trace the row's stream: row_ptr pair, vals/cols runs, the
+            // irregular x gathers (one event each — they are what makes
+            // CG the latency stressor), and the y write.
+            let chunk = r as u64;
+            if hooks::chunk_enabled(Region::Cg, chunk) {
+                let rg = Region::Cg;
+                let nnz = (hi - lo) as u32;
+                hooks::record(rg, chunk, AccessKind::Read, TRACE_ROWPTR + (r * 8) as u64, 8, 2);
+                hooks::record(rg, chunk, AccessKind::Read, TRACE_VALS + (lo * 8) as u64, 8, nnz);
+                hooks::record(rg, chunk, AccessKind::Read, TRACE_COLS + (lo * 4) as u64, 4, nnz);
+                for k in lo..hi {
+                    let at = TRACE_X + u64::from(self.cols[k]) * 8;
+                    hooks::record(rg, chunk, AccessKind::Read, at, 0, 1);
+                }
+                hooks::record(rg, chunk, AccessKind::Write, TRACE_Y + (r * 8) as u64, 8, 1);
+            }
         });
     }
 }

@@ -15,12 +15,22 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::Class;
+
+// Logical trace addresses of the stencil operands. Grids of different
+// edges live in disjoint 1 GiB regions (level = log2 edge), and the
+// chunk id is `(edge << 32) | z-plane` — both width-invariant and
+// unambiguous across the V-cycle recursion.
+const TRACE_U: u64 = 0x10_0000_0000;
+const TRACE_V: u64 = 0x20_0000_0000;
+const TRACE_OUT: u64 = 0x30_0000_0000;
+const TRACE_LEVEL: u64 = 1 << 30;
 
 /// Span length each smoothing task hands to the SIMD micro-kernels;
 /// purely a dispatch granularity (elementwise update, so any chunking
@@ -97,10 +107,28 @@ impl Grid {
 pub fn residual(u: &Grid, v: &Grid, out: &mut Grid) {
     let n = u.n;
     let m = simd::mode();
+    // A V-cycle hits each level's planes several times (and cycles
+    // repeat); the epoch separates the sweeps in the trace.
+    hooks::begin_epoch(Region::Mg);
     out.data.par_chunks_mut(n * n).enumerate().for_each(|(z, plane)| {
         let zm = (z + n - 1) % n;
         let zp = (z + 1) % n;
         let row = |zz: usize, yy: usize| (zz * n + yy) * n;
+        // Trace the plane's stream: v and the three u planes read,
+        // the out plane written. Unit-stride doubles; one branch per
+        // plane when untraced.
+        let chunk = ((n as u64) << 32) | z as u64;
+        if hooks::chunk_enabled(Region::Mg, chunk) {
+            let rg = Region::Mg;
+            let lvl = TRACE_LEVEL * u64::from(n.trailing_zeros());
+            let plane_bytes = (n * n * 8) as u32;
+            let at = |base: u64, zz: usize| base + lvl + (zz as u64) * u64::from(plane_bytes);
+            hooks::record(rg, chunk, AccessKind::Read, at(TRACE_V, z), 8, plane_bytes / 8);
+            for zz in [zm, z, zp] {
+                hooks::record(rg, chunk, AccessKind::Read, at(TRACE_U, zz), 8, plane_bytes / 8);
+            }
+            hooks::record(rg, chunk, AccessKind::Write, at(TRACE_OUT, z), 8, plane_bytes / 8);
+        }
         for y in 0..n {
             let ym = (y + n - 1) % n;
             let yp = (y + 1) % n;

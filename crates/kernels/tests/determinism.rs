@@ -302,6 +302,86 @@ fn simd_scalar_and_avx2_bitwise_identical_across_widths() {
     }
 }
 
+/// The trace recorder's determinism contract: the *captured address
+/// trace* — not just the numeric output — is bitwise identical at every
+/// width. Chunk ids are width-invariant decomposition indices, epochs
+/// advance only at serial points, sampling is a pure hash of
+/// (seed, region, id), and the merge sorts chunks by id, so the encoded
+/// bytes cannot depend on the pool width. Replayed counters are a pure
+/// function of the trace, so they inherit the guarantee.
+#[test]
+fn captured_traces_bitwise_identical_across_widths() {
+    use hpceval_machine::presets;
+    use hpceval_trace::{replay, CaptureConfig, CaptureGuard, Region, ReplayOptions, Trace};
+
+    fn capture(region: Region, width: usize) -> Trace {
+        // Sampled mode exercises the hash-selected chunk subset; the
+        // rate is mild (1-in-2) because the sampler is a pure hash and
+        // several kernels only produce a handful of chunks at these
+        // sizes — the subset must stay non-empty for every kernel.
+        let config = CaptureConfig {
+            mode: hpceval_trace::TraceMode::Sampled,
+            sample_one_in: 2,
+            ..CaptureConfig::default()
+        };
+        let guard = CaptureGuard::start(region, config).expect("sampled capture starts");
+        with_width(width, || match region {
+            Region::Dgemm => {
+                let n = 96;
+                let mut rng = NpbRng::new(31);
+                let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+                let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+                let mut c = vec![0.0; n * n];
+                dgemm(n, 1.0, &a, &b, 0.0, &mut c);
+            }
+            Region::Stream => {
+                stream::run(1 << 12, 2);
+            }
+            Region::Cg => {
+                cg::run(400, 4, 2, 10.0);
+            }
+            Region::Mg => {
+                let v = mg::Grid::random_rhs(16, 7);
+                let mut u = mg::Grid::zeros(16);
+                mg::v_cycle(&mut u, &v);
+            }
+            Region::Is => {
+                // 2^18 keys = four histogram chunks, enough for the
+                // 1-in-4 sampler to keep at least one.
+                let keys = is::generate_keys(1 << 18, 1 << 9, 99);
+                is::rank_keys(&keys, 1 << 9);
+            }
+            Region::RandomAccess => {
+                hpceval_kernels::hpcc::random_access::run(14, 4 << 14, 9);
+            }
+        });
+        guard.finish()
+    }
+
+    for region in Region::ALL {
+        let reference = capture(region, 1);
+        assert!(reference.total_events() > 0, "{} captured nothing", region.name());
+        let ref_bytes = reference.encode();
+        let ref_counters = replay(&reference, &presets::xeon_4870(), ReplayOptions::default());
+        for width in WIDTHS {
+            let trace = capture(region, width);
+            assert_eq!(
+                trace.encode(),
+                ref_bytes,
+                "{} trace diverges at width {width}",
+                region.name()
+            );
+            let counters = replay(&trace, &presets::xeon_4870(), ReplayOptions::default());
+            assert_eq!(
+                counters,
+                ref_counters,
+                "{} replayed counters diverge at width {width}",
+                region.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn npb_lu_ssor_bitwise_identical_across_widths() {
     let n = 8;

@@ -2,23 +2,36 @@
 //!
 //! The regression power model of the paper (§VI) uses L2/L3 hit counts and
 //! memory read/write counts as predictors. Those counters come from real
-//! PMU hardware in the paper; here they are synthesized by running each
-//! workload's characteristic access stream through this simulator (or, for
-//! the analytic fast path, by the closed-form locality profiles in
-//! [`crate::workload`], which are validated against this simulator in
-//! tests).
+//! PMU hardware in the paper; here they are produced by replaying each
+//! workload's address trace through this simulator (or, for the analytic
+//! fast path, by the closed-form locality profiles in [`crate::workload`],
+//! which are validated against this simulator in tests).
 //!
-//! The model is a classic inclusive, write-allocate, LRU, set-associative
-//! hierarchy. It is deliberately simple — no coherence, no prefetching —
-//! because the regression only needs hit/miss *ratios* that order
-//! workloads correctly (dense-blocked ≫ streaming ≫ random).
+//! The model is a write-allocate, write-back, set-associative hierarchy
+//! with per-set replacement stamps. Beyond the classic LRU core it
+//! implements the three refinements of the exemplar cache-lab simulator
+//! (see SNIPPETS.md):
+//!
+//! * an optional fully-associative LRU **victim cache** whose hits count
+//!   toward the attached level's hit rate,
+//! * **MRU way prediction** (per-set most-recently-used way, first-hit vs
+//!   non-first-hit statistics), and
+//! * **multi-column way prediction** (per-set columns selected by a tag
+//!   hash, each holding a bit-vector of candidate ways; statistics track
+//!   the average number of candidate ways probed).
+//!
+//! Dirty-line accounting makes DRAM reads (line fills) and DRAM writes
+//! (dirty write-backs) separately countable, which is exactly the split
+//! the paper's X5/X6 indicators need. There is deliberately no coherence
+//! and no prefetching: the regression only needs hit/miss structure that
+//! orders workloads correctly (dense-blocked ≫ streaming ≫ random).
 
 use crate::spec::{CacheLevel, ServerSpec};
 
 /// Result of pushing one address through a [`CacheHierarchy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
-    /// Served by the L1 data cache.
+    /// Served by the L1 data cache (including its victim cache, if any).
     L1Hit,
     /// Missed L1, served by L2.
     L2Hit,
@@ -42,23 +55,145 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// One set-associative cache with a configurable replacement policy.
+/// Way-prediction scheme of a [`CacheSim`] (statistics only — prediction
+/// does not change hit/miss behaviour, it models lookup latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WayPrediction {
+    /// No predictor.
+    #[default]
+    None,
+    /// Predict the per-set most-recently-used way.
+    Mru,
+    /// Per-set columns indexed by a tag hash, each holding a bit-vector
+    /// of candidate ways.
+    MultiColumn,
+}
+
+/// Way-prediction outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictionStats {
+    /// Hits served by the first predicted way.
+    pub first_hits: u64,
+    /// Hits the predictor did not resolve on its first probe.
+    pub non_first_hits: u64,
+    /// Total candidate ways probed across all hits.
+    pub probed_ways: u64,
+}
+
+impl PredictionStats {
+    /// Mean ways probed per hit (1.0 = perfect prediction).
+    pub fn avg_probes(&self) -> f64 {
+        let hits = self.first_hits + self.non_first_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.probed_ways as f64 / hits as f64
+        }
+    }
+
+    /// Fraction of hits resolved on the first probe.
+    pub fn first_hit_ratio(&self) -> f64 {
+        let hits = self.first_hits + self.non_first_hits;
+        if hits == 0 {
+            0.0
+        } else {
+            self.first_hits as f64 / hits as f64
+        }
+    }
+}
+
+/// Result of one [`CacheSim::touch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Served by this cache (or its victim cache).
+    pub hit: bool,
+    /// Served specifically by the victim cache.
+    pub victim_hit: bool,
+    /// Line address (byte address of the line start) of a dirty line
+    /// this access pushed out of the cache+victim pair, if any.
+    pub writeback: Option<u64>,
+}
+
+/// One cached line slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Replacement stamp: updated on every touch under LRU, only on
+    /// fill under FIFO. Victim selection evicts the minimum stamp.
+    stamp: u64,
+}
+
+/// Fully-associative LRU victim buffer attached to a [`CacheSim`].
+#[derive(Debug, Clone)]
+struct VictimCache {
+    capacity: usize,
+    /// `(line_number, dirty, stamp)`.
+    lines: Vec<(u64, bool, u64)>,
+    hits: u64,
+}
+
+impl VictimCache {
+    fn new(capacity: usize) -> Self {
+        Self { capacity, lines: Vec::with_capacity(capacity), hits: 0 }
+    }
+
+    /// Remove `line` if present, returning its dirty bit.
+    fn take(&mut self, line: u64) -> Option<bool> {
+        let pos = self.lines.iter().position(|&(l, _, _)| l == line)?;
+        self.hits += 1;
+        Some(self.lines.swap_remove(pos).1)
+    }
+
+    /// Insert an evicted line; returns the line this pushed out of the
+    /// buffer (with its dirty bit), if the buffer was full.
+    fn insert(&mut self, line: u64, dirty: bool, stamp: u64) -> Option<(u64, bool)> {
+        let evicted = if self.lines.len() == self.capacity {
+            let lru = self
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(_, _, s))| s)
+                .map(|(i, _)| i)
+                .expect("full victim cache has a minimum stamp");
+            Some(self.lines.swap_remove(lru)).map(|(l, d, _)| (l, d))
+        } else {
+            None
+        };
+        self.lines.push((line, dirty, stamp));
+        evicted
+    }
+}
+
+/// One set-associative cache with configurable replacement policy,
+/// optional victim cache and optional way prediction.
 ///
-/// Under LRU, tags are stored per set in recency order (index 0 = most
-/// recently used): a hit moves the tag to the front and a fill evicts
-/// the back. Under FIFO, hits do not reorder. Under Random, the victim
-/// way is drawn from a deterministic xorshift stream.
+/// Lines live in fixed slots (per the exemplar simulator's per-set LRU
+/// timestamps): a hit refreshes the slot's stamp (LRU only) and a fill
+/// evicts the slot with the minimum stamp. Fixed slots are what give
+/// the way predictors a stable notion of "way".
 #[derive(Debug, Clone)]
 pub struct CacheSim {
     line_shift: u32,
     sets: u64,
     ways: usize,
     policy: ReplacementPolicy,
+    prediction: WayPrediction,
     rng_state: u64,
-    /// `sets × ways` tag store in per-set recency order.
-    tags: Vec<Vec<u64>>,
+    clock: u64,
+    /// `sets × ways` fixed slot store.
+    slots: Vec<Slot>,
+    /// Per-set MRU slot index (allocated iff prediction == Mru).
+    mru: Vec<u32>,
+    /// Per-set × per-column candidate-way bit-vectors (allocated iff
+    /// prediction == MultiColumn). Column count equals the way count.
+    columns: Vec<u64>,
+    victim: Option<VictimCache>,
     hits: u64,
     misses: u64,
+    victim_hits_total: u64,
+    pred_stats: PredictionStats,
 }
 
 impl CacheSim {
@@ -81,10 +216,17 @@ impl CacheSim {
             sets: u64::from(sets),
             ways: level.ways as usize,
             policy: ReplacementPolicy::Lru,
+            prediction: WayPrediction::None,
             rng_state: 0x9e37_79b9_7f4a_7c15,
-            tags: vec![Vec::with_capacity(level.ways as usize); sets as usize],
+            clock: 0,
+            slots: vec![Slot::default(); sets as usize * level.ways as usize],
+            mru: Vec::new(),
+            columns: Vec::new(),
+            victim: None,
             hits: 0,
             misses: 0,
+            victim_hits_total: 0,
+            pred_stats: PredictionStats::default(),
         }
     }
 
@@ -94,53 +236,264 @@ impl CacheSim {
         self
     }
 
+    /// Attach a fully-associative LRU victim cache of `entries` lines
+    /// (builder style; 0 detaches).
+    pub fn with_victim(mut self, entries: usize) -> Self {
+        self.victim = (entries > 0).then(|| VictimCache::new(entries));
+        self
+    }
+
+    /// Select a way-prediction scheme (builder style).
+    pub fn with_prediction(mut self, prediction: WayPrediction) -> Self {
+        self.prediction = prediction;
+        match prediction {
+            WayPrediction::None => {
+                self.mru.clear();
+                self.columns.clear();
+            }
+            WayPrediction::Mru => {
+                self.mru = vec![0; self.sets as usize];
+                self.columns.clear();
+            }
+            WayPrediction::MultiColumn => {
+                self.mru.clear();
+                self.columns = vec![0; self.sets as usize * self.ways];
+            }
+        }
+        self
+    }
+
     /// The policy in use.
     pub fn policy(&self) -> ReplacementPolicy {
         self.policy
     }
 
-    /// Access a byte address; returns `true` on hit. Misses allocate.
-    pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr >> self.line_shift;
-        let set = (line % self.sets) as usize;
-        let tag = line / self.sets;
-        let policy = self.policy;
-        let capacity = self.ways;
-        let ways = &mut self.tags[set];
-        if let Some(pos) = ways.iter().position(|&t| t == tag) {
-            if policy == ReplacementPolicy::Lru {
-                let t = ways.remove(pos);
-                ways.insert(0, t);
+    /// The way-prediction scheme in use.
+    pub fn prediction(&self) -> WayPrediction {
+        self.prediction
+    }
+
+    /// The exemplar's tag→column hash (any deterministic mixer works;
+    /// this is splitmix64's finalizer).
+    #[inline]
+    fn column_of(&self, tag: u64) -> usize {
+        let mut z = tag.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize % self.ways
+    }
+
+    /// Record way-prediction statistics for a hit at slot `way` of
+    /// `set`, then update the predictor state.
+    fn note_predicted_hit(&mut self, set: usize, way: usize, tag: u64) {
+        match self.prediction {
+            WayPrediction::None => {}
+            WayPrediction::Mru => {
+                if self.mru[set] as usize == way {
+                    self.pred_stats.first_hits += 1;
+                    self.pred_stats.probed_ways += 1;
+                } else {
+                    self.pred_stats.non_first_hits += 1;
+                    // The MRU probe failed, then the scan found the way.
+                    self.pred_stats.probed_ways += 2;
+                }
+                self.mru[set] = way as u32;
             }
-            self.hits += 1;
-            true
-        } else {
-            if ways.len() == capacity {
-                match policy {
-                    // LRU and FIFO both evict the back of the list; they
-                    // differ in whether hits refresh recency.
-                    ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
-                        ways.pop();
+            WayPrediction::MultiColumn => {
+                let col = set * self.ways + self.column_of(tag);
+                let bits = self.columns[col];
+                // Probe candidate ways in ascending order until `way`.
+                let below = bits & ((1u64 << way) - 1);
+                if bits & (1 << way) != 0 {
+                    let probes = below.count_ones() as u64 + 1;
+                    self.pred_stats.probed_ways += probes;
+                    if probes == 1 {
+                        self.pred_stats.first_hits += 1;
+                    } else {
+                        self.pred_stats.non_first_hits += 1;
                     }
-                    ReplacementPolicy::Random => {
-                        // Deterministic xorshift victim.
-                        let mut x = self.rng_state;
-                        x ^= x << 13;
-                        x ^= x >> 7;
-                        x ^= x << 17;
-                        self.rng_state = x;
-                        let victim = (x % capacity as u64) as usize;
-                        ways.remove(victim);
-                    }
+                } else {
+                    // No candidate bit: the predictor gave up and the
+                    // full scan served the hit.
+                    self.pred_stats.probed_ways += bits.count_ones() as u64 + 1;
+                    self.pred_stats.non_first_hits += 1;
                 }
             }
-            ways.insert(0, tag);
-            self.misses += 1;
-            false
         }
     }
 
-    /// Hits observed so far.
+    /// Update predictor state for a fill of `tag` into slot `way`.
+    fn note_fill(&mut self, set: usize, way: usize, tag: u64) {
+        match self.prediction {
+            WayPrediction::None => {}
+            WayPrediction::Mru => self.mru[set] = way as u32,
+            WayPrediction::MultiColumn => {
+                // Way `way` now holds `tag`: set its bit in tag's column
+                // and clear it everywhere else in the set.
+                let base = set * self.ways;
+                let col = self.column_of(tag);
+                for c in 0..self.ways {
+                    self.columns[base + c] &= !(1u64 << way);
+                }
+                self.columns[base + col] |= 1 << way;
+            }
+        }
+    }
+
+    /// Pick the victim slot index (within the set) for a fill.
+    fn victim_way(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        // Prefer an invalid slot.
+        if let Some(w) = (0..self.ways).find(|&w| !self.slots[base + w].valid) {
+            return w;
+        }
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..self.ways)
+                .min_by_key(|&w| self.slots[base + w].stamp)
+                .expect("cache has at least one way"),
+            ReplacementPolicy::Random => {
+                let mut x = self.rng_state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.rng_state = x;
+                (x % self.ways as u64) as usize
+            }
+        }
+    }
+
+    /// Access a byte address; `write` marks the line dirty. Misses
+    /// allocate (write-allocate). Returns the full [`Access`] outcome
+    /// including any dirty line pushed out of the cache+victim pair.
+    pub fn touch(&mut self, addr: u64, write: bool) -> Access {
+        self.clock += 1;
+        let clock = self.clock;
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let base = set * self.ways;
+
+        if let Some(way) =
+            (0..self.ways).find(|&w| self.slots[base + w].valid && self.slots[base + w].tag == tag)
+        {
+            let slot = &mut self.slots[base + way];
+            if self.policy == ReplacementPolicy::Lru {
+                slot.stamp = clock;
+            }
+            slot.dirty |= write;
+            self.hits += 1;
+            self.note_predicted_hit(set, way, tag);
+            return Access { hit: true, victim_hit: false, writeback: None };
+        }
+
+        // Miss in the set: the victim buffer may still hold the line.
+        let (victim_hit, mut dirty) = match self.victim.as_mut().and_then(|v| v.take(line)) {
+            Some(was_dirty) => (true, was_dirty || write),
+            None => (false, write),
+        };
+        if victim_hit {
+            self.hits += 1;
+            self.victim_hits_total += 1;
+        } else {
+            self.misses += 1;
+        }
+        // In either case the line is (re)filled into the set.
+        let way = self.victim_way(set);
+        let slot = self.slots[base + way];
+        let mut writeback = None;
+        if slot.valid {
+            let evicted_line = slot.tag * self.sets + set as u64;
+            match &mut self.victim {
+                Some(v) => {
+                    if let Some((wline, wdirty)) = v.insert(evicted_line, slot.dirty, clock) {
+                        if wdirty {
+                            writeback = Some(wline << self.line_shift);
+                        }
+                    }
+                }
+                None => {
+                    if slot.dirty {
+                        writeback = Some(evicted_line << self.line_shift);
+                    }
+                }
+            }
+        }
+        if victim_hit {
+            // Victim hits keep their accumulated dirty state.
+            dirty = dirty || write;
+        }
+        self.slots[base + way] = Slot { tag, valid: true, dirty, stamp: clock };
+        self.note_fill(set, way, tag);
+        Access { hit: victim_hit, victim_hit, writeback }
+    }
+
+    /// Access a byte address as a read; returns `true` on hit.
+    /// (The pre-write-back API; misses allocate.)
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.touch(addr, false).hit
+    }
+
+    /// Whether `addr`'s line is present (cache or victim), without
+    /// touching any replacement or statistics state.
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.slots[base + w].valid && self.slots[base + w].tag == tag)
+            || self.victim.as_ref().is_some_and(|v| v.lines.iter().any(|&(l, _, _)| l == line))
+    }
+
+    /// Mark `addr`'s line dirty if present (cache or victim) without
+    /// counting an access; returns `true` when absorbed. This is how a
+    /// lower level receives a write-back from the level above.
+    pub fn absorb_writeback(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line % self.sets) as usize;
+        let tag = line / self.sets;
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            let slot = &mut self.slots[base + w];
+            if slot.valid && slot.tag == tag {
+                slot.dirty = true;
+                return true;
+            }
+        }
+        if let Some(v) = &mut self.victim {
+            for entry in &mut v.lines {
+                if entry.0 == line {
+                    entry.1 = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Drain every dirty line (cache and victim), returning their byte
+    /// addresses in ascending order and clearing the dirty bits.
+    pub fn drain_dirty(&mut self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.valid && slot.dirty {
+                let set = (i / self.ways) as u64;
+                out.push((slot.tag * self.sets + set) << self.line_shift);
+                slot.dirty = false;
+            }
+        }
+        if let Some(v) = &mut self.victim {
+            for entry in &mut v.lines {
+                if entry.1 {
+                    out.push(entry.0 << self.line_shift);
+                    entry.1 = false;
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Hits observed so far (victim hits included).
     pub fn hits(&self) -> u64 {
         self.hits
     }
@@ -148,6 +501,16 @@ impl CacheSim {
     /// Misses observed so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Hits served by the victim cache.
+    pub fn victim_hits(&self) -> u64 {
+        self.victim_hits_total
+    }
+
+    /// Way-prediction statistics (zeros when prediction is off).
+    pub fn prediction_stats(&self) -> PredictionStats {
+        self.pred_stats
     }
 
     /// Hit ratio over all accesses so far (0 if none).
@@ -162,12 +525,41 @@ impl CacheSim {
 
     /// Forget all cached lines and statistics.
     pub fn reset(&mut self) {
-        for set in &mut self.tags {
-            set.clear();
+        for slot in &mut self.slots {
+            *slot = Slot::default();
         }
+        if let Some(v) = &mut self.victim {
+            v.lines.clear();
+            v.hits = 0;
+        }
+        self.mru.fill(0);
+        self.columns.fill(0);
+        self.clock = 0;
         self.hits = 0;
         self.misses = 0;
+        self.victim_hits_total = 0;
+        self.pred_stats = PredictionStats::default();
     }
+}
+
+/// Counter snapshot of a [`CacheHierarchy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyCounters {
+    /// Data accesses pushed through the hierarchy.
+    pub total: u64,
+    /// Accesses served by L1 (victim cache included).
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by L3.
+    pub l3_hits: u64,
+    /// DRAM line fills (every last-level miss, read or write-allocate).
+    pub mem_reads: u64,
+    /// DRAM line write-backs (dirty evictions that fell out of the
+    /// hierarchy, plus anything drained by [`CacheHierarchy::flush`]).
+    pub mem_writes: u64,
+    /// L1 hits that came specifically from the victim cache.
+    pub l1_victim_hits: u64,
 }
 
 /// A data-side cache hierarchy (L1d → L2 → optional L3) for one core's
@@ -177,7 +569,8 @@ pub struct CacheHierarchy {
     l1: CacheSim,
     l2: CacheSim,
     l3: Option<CacheSim>,
-    mem_accesses: u64,
+    mem_reads: u64,
+    mem_writes: u64,
     total: u64,
 }
 
@@ -193,30 +586,98 @@ impl CacheHierarchy {
             l1: CacheSim::new(&spec.l1d),
             l2: CacheSim::new(&spec.l2),
             l3: spec.l3.as_ref().map(CacheSim::new),
-            mem_accesses: 0,
+            mem_reads: 0,
+            mem_writes: 0,
             total: 0,
         }
     }
 
-    /// Push one data address through the hierarchy.
-    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+    /// Attach a victim cache of `entries` lines to L1 (builder style).
+    pub fn with_l1_victim(mut self, entries: usize) -> Self {
+        self.l1 = self.l1.with_victim(entries);
+        self
+    }
+
+    /// Enable way prediction on L1 (builder style; statistics via
+    /// [`Self::l1_prediction_stats`]).
+    pub fn with_l1_prediction(mut self, prediction: WayPrediction) -> Self {
+        self.l1 = self.l1.with_prediction(prediction);
+        self
+    }
+
+    /// Route a dirty line falling out of `level` into the next level
+    /// down, or to DRAM.
+    fn route_writeback(
+        l3: &mut Option<CacheSim>,
+        mem_writes: &mut u64,
+        lower: Option<&mut CacheSim>,
+        addr: u64,
+    ) {
+        let absorbed = match lower {
+            Some(l2) => {
+                l2.absorb_writeback(addr) || l3.as_mut().is_some_and(|l3| l3.absorb_writeback(addr))
+            }
+            None => l3.as_mut().is_some_and(|l3| l3.absorb_writeback(addr)),
+        };
+        if !absorbed {
+            *mem_writes += 1;
+        }
+    }
+
+    /// Push one data address through the hierarchy. `write` marks the
+    /// L1 line dirty; dirty evictions cascade toward DRAM.
+    pub fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
         self.total += 1;
-        if self.l1.access(addr) {
+        let a1 = self.l1.touch(addr, write);
+        if let Some(wb) = a1.writeback {
+            Self::route_writeback(&mut self.l3, &mut self.mem_writes, Some(&mut self.l2), wb);
+        }
+        if a1.hit {
             return AccessOutcome::L1Hit;
         }
-        if self.l2.access(addr) {
+        // The L1 fill requests the line from L2 as a read: the dirty
+        // bit lives at L1 until eviction.
+        let a2 = self.l2.touch(addr, false);
+        if let Some(wb) = a2.writeback {
+            Self::route_writeback(&mut self.l3, &mut self.mem_writes, None, wb);
+        }
+        if a2.hit {
             return AccessOutcome::L2Hit;
         }
         if let Some(l3) = &mut self.l3 {
-            if l3.access(addr) {
+            let a3 = l3.touch(addr, false);
+            if let Some(wb) = a3.writeback {
+                self.mem_writes += 1;
+                let _ = wb;
+            }
+            if a3.hit {
                 return AccessOutcome::L3Hit;
             }
         }
-        self.mem_accesses += 1;
+        self.mem_reads += 1;
         AccessOutcome::Memory
     }
 
-    /// Run a whole address stream and return `(l2_hit_ratio,
+    /// Push one read address through the hierarchy.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.access_rw(addr, false)
+    }
+
+    /// Write back every dirty line still resident anywhere in the
+    /// hierarchy to DRAM. Each distinct dirty line counts once, no
+    /// matter how many levels hold it.
+    pub fn flush(&mut self) {
+        let mut lines = self.l1.drain_dirty();
+        lines.extend(self.l2.drain_dirty());
+        if let Some(l3) = &mut self.l3 {
+            lines.extend(l3.drain_dirty());
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        self.mem_writes += lines.len() as u64;
+    }
+
+    /// Run a whole (read) address stream and return `(l2_hit_ratio,
     /// l3_hit_ratio, memory_ratio)` relative to all accesses.
     pub fn profile_stream(&mut self, addrs: impl IntoIterator<Item = u64>) -> (f64, f64, f64) {
         for a in addrs {
@@ -226,18 +687,33 @@ impl CacheHierarchy {
         (
             self.l2.hits() as f64 / t,
             self.l3.as_ref().map_or(0.0, |c| c.hits() as f64) / t,
-            self.mem_accesses as f64 / t,
+            self.mem_reads as f64 / t,
         )
     }
 
-    /// Accesses that reached DRAM.
+    /// Accesses that reached DRAM (line fills).
     pub fn memory_accesses(&self) -> u64 {
-        self.mem_accesses
+        self.mem_reads
+    }
+
+    /// DRAM line fills.
+    pub fn mem_reads(&self) -> u64 {
+        self.mem_reads
+    }
+
+    /// DRAM dirty write-backs.
+    pub fn mem_writes(&self) -> u64 {
+        self.mem_writes
     }
 
     /// Total accesses observed.
     pub fn total_accesses(&self) -> u64 {
         self.total
+    }
+
+    /// L1 hits observed (victim hits included).
+    pub fn l1_hits(&self) -> u64 {
+        self.l1.hits()
     }
 
     /// L2 hits observed.
@@ -248,6 +724,24 @@ impl CacheHierarchy {
     /// L3 hits observed (0 when the machine has no L3).
     pub fn l3_hits(&self) -> u64 {
         self.l3.as_ref().map_or(0, |c| c.hits())
+    }
+
+    /// Way-prediction statistics of L1.
+    pub fn l1_prediction_stats(&self) -> PredictionStats {
+        self.l1.prediction_stats()
+    }
+
+    /// The full counter snapshot.
+    pub fn counters(&self) -> HierarchyCounters {
+        HierarchyCounters {
+            total: self.total,
+            l1_hits: self.l1.hits(),
+            l2_hits: self.l2.hits(),
+            l3_hits: self.l3_hits(),
+            mem_reads: self.mem_reads,
+            mem_writes: self.mem_writes,
+            l1_victim_hits: self.l1.victim_hits(),
+        }
     }
 }
 
@@ -279,9 +773,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_oldest_way() {
-        // 1 set would need size = ways*line; build a tiny 2-way cache:
-        // 2 ways, 64 B lines, 1 set => 128 B total = 0.125 KiB; use
-        // size_kib=1, ways=2, line=64 -> sets=8. Address stride of
+        // 2 ways, 64 B lines, size_kib=1 -> 8 sets. Address stride of
         // 8*64=512 maps to the same set.
         let mut c = CacheSim::new(&CacheLevel::private(1, 2, 64));
         let s = 512u64;
@@ -430,5 +922,146 @@ mod tests {
         let (l2, l3, mem) = h.profile_stream(addrs);
         assert!(l2 >= 0.0 && l3 >= 0.0 && mem >= 0.0);
         assert!(l2 + l3 + mem <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn victim_cache_catches_conflict_misses() {
+        // Direct-mapped 8-set cache: 9 lines mapping round-robin thrash
+        // it; a 4-entry victim buffer catches the re-references.
+        let lvl = CacheLevel::private(1, 1, 64); // 16 sets, direct-mapped
+        let s = 16 * 64u64; // same-set stride
+        let mut plain = CacheSim::new(&lvl);
+        let mut with_victim = CacheSim::new(&lvl).with_victim(4);
+        // A and B conflict in set 0; alternate between them.
+        for _ in 0..32 {
+            plain.access(0);
+            plain.access(s);
+            with_victim.access(0);
+            with_victim.access(s);
+        }
+        assert_eq!(plain.hits(), 0, "direct-mapped thrash never hits");
+        assert!(with_victim.victim_hits() > 0, "victim cache must serve the conflicting line");
+        assert!(with_victim.hit_ratio() > 0.9, "ratio {:.3}", with_victim.hit_ratio());
+    }
+
+    #[test]
+    fn victim_hits_count_in_overall_hit_rate() {
+        let lvl = CacheLevel::private(1, 1, 64);
+        let s = 16 * 64u64;
+        let mut c = CacheSim::new(&lvl).with_victim(2);
+        c.access(0); // miss
+        c.access(s); // miss, 0 -> victim
+        let a = c.touch(0, false); // victim hit
+        assert!(a.hit && a.victim_hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.victim_hits(), 1);
+    }
+
+    #[test]
+    fn mru_prediction_first_hits_on_repeats() {
+        let lvl = CacheLevel::private(1, 4, 64); // 4 sets, 4 ways
+        let mut c = CacheSim::new(&lvl).with_prediction(WayPrediction::Mru);
+        c.access(0);
+        for _ in 0..10 {
+            c.access(0); // always the MRU way
+        }
+        let s = c.prediction_stats();
+        assert_eq!(s.first_hits, 10);
+        assert_eq!(s.non_first_hits, 0);
+        assert_eq!(s.avg_probes(), 1.0);
+    }
+
+    #[test]
+    fn mru_prediction_misses_on_alternation() {
+        let lvl = CacheLevel::private(1, 4, 64);
+        let s = 4 * 64u64; // same-set stride (4 sets)
+        let mut c = CacheSim::new(&lvl).with_prediction(WayPrediction::Mru);
+        c.access(0);
+        c.access(s);
+        // Alternate: the MRU guess is always the *other* line.
+        for i in 0..10u64 {
+            let a = if i % 2 == 0 { 0 } else { s };
+            c.access(a);
+        }
+        let st = c.prediction_stats();
+        assert_eq!(st.first_hits, 0, "{st:?}");
+        assert_eq!(st.non_first_hits, 10, "{st:?}");
+        assert!(st.avg_probes() > 1.0);
+    }
+
+    #[test]
+    fn multi_column_prediction_tracks_candidates() {
+        let lvl = CacheLevel::private(1, 4, 64);
+        let mut c = CacheSim::new(&lvl).with_prediction(WayPrediction::MultiColumn);
+        c.access(0);
+        for _ in 0..8 {
+            c.access(0);
+        }
+        let st = c.prediction_stats();
+        // A single resident tag has exactly one candidate bit in its
+        // column: every repeat is a first hit with one probe.
+        assert_eq!(st.first_hits, 8, "{st:?}");
+        assert_eq!(st.avg_probes(), 1.0);
+        assert!(st.first_hit_ratio() > 0.99);
+    }
+
+    #[test]
+    fn writeback_counts_dirty_evictions_once() {
+        // Direct-mapped single... 16-set cache; write line A, thrash it
+        // out with a conflicting read: the dirty line must come back as
+        // a write-back exactly once.
+        let lvl = CacheLevel::private(1, 1, 64);
+        let s = 16 * 64u64;
+        let mut c = CacheSim::new(&lvl);
+        assert_eq!(c.touch(0, true).writeback, None); // fill, dirty
+        let a = c.touch(s, false); // evicts dirty line 0
+        assert_eq!(a.writeback, Some(0));
+        let b = c.touch(0, false); // evicts clean line s
+        assert_eq!(b.writeback, None);
+    }
+
+    #[test]
+    fn hierarchy_separates_reads_and_writes() {
+        let spec = presets::xeon_4870();
+        let mut h = CacheHierarchy::for_server(&spec);
+        // Stream-write 8 MiB (beyond L2, within L3), then flush.
+        let lines = (8 << 20) / 64u64;
+        for i in 0..lines {
+            h.access_rw(i * 64, true);
+        }
+        h.flush();
+        let c = h.counters();
+        // Write-allocate: every cold write fills a line (a DRAM read)…
+        assert_eq!(c.mem_reads, lines);
+        // …and every dirty line eventually drains to DRAM exactly once.
+        assert_eq!(c.mem_writes, lines);
+    }
+
+    #[test]
+    fn read_only_stream_writes_nothing_back() {
+        let spec = presets::xeon_e5462();
+        let mut h = CacheHierarchy::for_server(&spec);
+        for i in 0..(1u64 << 14) {
+            h.access_rw(i * 64, false);
+        }
+        h.flush();
+        assert_eq!(h.mem_writes(), 0);
+        assert!(h.mem_reads() > 0);
+    }
+
+    #[test]
+    fn flush_counts_each_dirty_line_once_across_levels() {
+        let spec = presets::xeon_4870();
+        let mut h = CacheHierarchy::for_server(&spec);
+        // Dirty a small set of lines repeatedly; some write-backs get
+        // absorbed by L2/L3 along the way. Flush must dedupe.
+        let lines = 64u64;
+        for _ in 0..8 {
+            for i in 0..lines {
+                h.access_rw(i * 64, true);
+            }
+        }
+        h.flush();
+        assert_eq!(h.mem_writes(), lines, "each dirty line drains exactly once");
     }
 }

@@ -37,7 +37,10 @@ pub mod spec;
 pub mod topology;
 pub mod workload;
 
-pub use cache::{AccessOutcome, CacheHierarchy, CacheSim, ReplacementPolicy};
+pub use cache::{
+    Access, AccessOutcome, CacheHierarchy, CacheSim, HierarchyCounters, PredictionStats,
+    ReplacementPolicy, WayPrediction,
+};
 pub use pmu::{PmuCounters, PmuRates};
 pub use presets::{all_servers, opteron_8347, xeon_4870, xeon_e5462};
 pub use roofline::{ExecEstimate, PerfModel};

@@ -1,0 +1,716 @@
+//! Deterministic sampled trace capture.
+//!
+//! ## Why chunk-keyed logs
+//!
+//! The kernels run their hot loops over *fixed-size chunks* whose
+//! decomposition never depends on the worker count (that invariant is
+//! what makes their floating-point results bitwise identical at any
+//! `HPCEVAL_THREADS`). Capture rides the same invariant: each recorded
+//! event carries the width-invariant id of the chunk that produced it,
+//! events land in a per-chunk log owned by exactly one worker at a time,
+//! and [`CaptureGuard::finish`] merges the logs in ascending chunk-id
+//! order. The resulting byte stream is independent of thread count and
+//! scheduling.
+//!
+//! ## Why chunk-granular sampling
+//!
+//! Sampling whole chunks (rather than individual accesses) keeps the
+//! hot-loop cost to one branch per chunk when tracing is enabled and a
+//! single relaxed atomic load when it is not. The decision is the pure
+//! function `splitmix64(seed ⊕ region ⊕ chunk) mod k == 0`, so the same
+//! chunks are kept on every run, at every width, on every machine.
+//!
+//! ## Bounded memory
+//!
+//! Each chunk log is a fixed-capacity ring (the PR-1 telemetry
+//! discipline): a chunk that overflows its ring drops its *oldest*
+//! events and counts them, so a runaway kernel degrades the trace
+//! instead of eating the heap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+use crate::event::{
+    get_uvarint, put_uvarint, zigzag_decode, zigzag_encode, AccessKind, TraceEvent,
+};
+use crate::ring::TraceRing;
+
+/// Capture intensity, normally read from `HPCEVAL_TRACE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No capture; hooks cost one relaxed atomic load per chunk.
+    #[default]
+    Off,
+    /// Record a deterministic 1-in-k subset of chunks.
+    Sampled,
+    /// Record every chunk.
+    Full,
+}
+
+impl TraceMode {
+    /// Parse `off`/`sampled`/`full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(TraceMode::Off),
+            "sampled" | "sample" => Some(TraceMode::Sampled),
+            "full" => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Read `HPCEVAL_TRACE` (unset or unparsable ⇒ `Off`).
+    pub fn from_env() -> Self {
+        std::env::var("HPCEVAL_TRACE")
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            TraceMode::Off => 0,
+            TraceMode::Sampled => 1,
+            TraceMode::Full => 2,
+        }
+    }
+
+    /// Inverse of [`TraceMode::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TraceMode::Off),
+            1 => Some(TraceMode::Sampled),
+            2 => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name (the `HPCEVAL_TRACE` vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Sampled => "sampled",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+/// The instrumented kernel a capture session targets. Hooks from other
+/// regions are ignored while the session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// HPCC DGEMM (blocked matrix multiply).
+    Dgemm,
+    /// HPCC STREAM (copy/scale/add/triad).
+    Stream,
+    /// NPB CG (sparse matrix-vector conjugate gradient).
+    Cg,
+    /// NPB MG (multigrid V-cycles).
+    Mg,
+    /// NPB IS (integer bucket sort).
+    Is,
+    /// HPCC RandomAccess (GUPS table updates).
+    RandomAccess,
+}
+
+impl Region {
+    /// All instrumented regions, in wire-tag order.
+    pub const ALL: [Region; 6] =
+        [Region::Dgemm, Region::Stream, Region::Cg, Region::Mg, Region::Is, Region::RandomAccess];
+
+    /// Wire tag (stable across versions).
+    pub fn tag(self) -> u8 {
+        match self {
+            Region::Dgemm => 1,
+            Region::Stream => 2,
+            Region::Cg => 3,
+            Region::Mg => 4,
+            Region::Is => 5,
+            Region::RandomAccess => 6,
+        }
+    }
+
+    /// Inverse of [`Region::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Region::ALL.into_iter().find(|r| r.tag() == tag)
+    }
+
+    /// Kernel id as the CLI and benchmark suite spell it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Dgemm => "dgemm",
+            Region::Stream => "stream",
+            Region::Cg => "cg",
+            Region::Mg => "mg",
+            Region::Is => "is",
+            Region::RandomAccess => "randomaccess",
+        }
+    }
+
+    /// Parse a kernel id (the [`Region::name`] vocabulary).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim().to_ascii_lowercase();
+        Region::ALL.into_iter().find(|r| r.name() == s)
+    }
+}
+
+/// splitmix64: the sampling hash. Pure, so the kept-chunk set is a
+/// function of (seed, region, chunk) only — never of threads or timing.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Default seed for capture sessions (any fixed value works; changing
+/// it selects a different deterministic chunk subset).
+pub const DEFAULT_SEED: u64 = 0x4850_4345_5641_4c31; // "HPCEVAL1"
+
+/// Default 1-in-k chunk sampling rate for [`TraceMode::Sampled`].
+pub const DEFAULT_SAMPLE_ONE_IN: u32 = 8;
+
+/// Default per-chunk event-ring capacity.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 4096;
+
+const SHARDS: usize = 64;
+
+/// Capture-session parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureConfig {
+    /// Sampling intensity ([`TraceMode::Off`] yields no session).
+    pub mode: TraceMode,
+    /// Sampling seed; the kept-chunk subset is a pure function of it.
+    pub seed: u64,
+    /// Keep 1 chunk in this many under [`TraceMode::Sampled`].
+    pub sample_one_in: u32,
+    /// Event-ring capacity per chunk (oldest events drop beyond it).
+    pub chunk_capacity: usize,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        Self {
+            mode: TraceMode::Sampled,
+            seed: DEFAULT_SEED,
+            sample_one_in: DEFAULT_SAMPLE_ONE_IN,
+            chunk_capacity: DEFAULT_CHUNK_CAPACITY,
+        }
+    }
+}
+
+impl CaptureConfig {
+    /// The default configuration with the mode taken from
+    /// `HPCEVAL_TRACE`.
+    pub fn from_env() -> Self {
+        Self { mode: TraceMode::from_env(), ..Self::default() }
+    }
+}
+
+/// Bit position of the epoch counter inside a stored chunk id. Kernel
+/// chunk ids must stay below `1 << EPOCH_SHIFT`; the largest in the
+/// tree today is MG's `(edge << 32) | plane` (≈ 2^38).
+const EPOCH_SHIFT: u32 = 44;
+
+/// The state behind the global hooks while a session runs.
+#[derive(Debug)]
+struct ActiveCapture {
+    region: Region,
+    mode: TraceMode,
+    seed: u64,
+    sample_one_in: u32,
+    chunk_capacity: usize,
+    /// Pass counter ([`hooks::begin_epoch`]): kernels that run their
+    /// traced loop more than once per capture (CG's per-iteration
+    /// matvec, STREAM's repeated ops, MG's V-cycles) bump this at each
+    /// serial entry so every pass gets distinct chunk ids. Without it,
+    /// all passes of a chunk would share one ring and replay as a
+    /// single burst — fabricating temporal locality the execution
+    /// never had.
+    epoch: AtomicU64,
+    shards: Vec<Mutex<HashMap<u64, TraceRing<TraceEvent>>>>,
+}
+
+impl ActiveCapture {
+    /// The stored chunk id: epoch in the high bits, so ascending-id
+    /// replay is execution order across passes.
+    fn full_id(&self, chunk: u64) -> u64 {
+        (self.epoch.load(Ordering::Relaxed) << EPOCH_SHIFT) | chunk
+    }
+
+    fn samples(&self, full_id: u64) -> bool {
+        match self.mode {
+            TraceMode::Off => false,
+            TraceMode::Full => true,
+            TraceMode::Sampled => {
+                let key = self.seed ^ (u64::from(self.region.tag()) << 56) ^ full_id;
+                splitmix64(key).is_multiple_of(u64::from(self.sample_one_in.max(1)))
+            }
+        }
+    }
+
+    fn push(&self, full_id: u64, event: TraceEvent) {
+        let shard = &self.shards[(full_id % SHARDS as u64) as usize];
+        let mut map = shard.lock();
+        map.entry(full_id)
+            .or_insert_with(|| TraceRing::new(self.chunk_capacity))
+            .push(event);
+    }
+}
+
+// The hook fast path: a single relaxed load. Set only while a session
+// is live, so untraced runs never take the RwLock.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: RwLock<Option<Arc<ActiveCapture>>> = RwLock::new(None);
+// Capture sessions are process-global (the hooks are); serialize them
+// so concurrent tests queue instead of corrupting each other.
+static SESSION: Mutex<()> = Mutex::new(());
+
+/// Instrumentation hooks the kernel crates call. Everything here is a
+/// no-op (one relaxed atomic load) unless a [`CaptureGuard`] is live.
+pub mod hooks {
+    use super::*;
+
+    /// Fast check: is any capture session live? Kernels gate their
+    /// per-chunk instrumentation block on this.
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Full check: live session, matching region, chunk selected by the
+    /// sampler. Call once per chunk, then emit events with [`record`].
+    pub fn chunk_enabled(region: Region, chunk: u64) -> bool {
+        if !enabled() {
+            return false;
+        }
+        match &*ACTIVE.read() {
+            Some(c) => c.region == region && c.samples(c.full_id(chunk)),
+            None => false,
+        }
+    }
+
+    /// Mark a serial point between traced passes (kernel entry, outer
+    /// iteration boundary). Must be called from exactly one thread —
+    /// outside any parallel section — so the epoch sequence is
+    /// deterministic regardless of worker count. Kernels that run their
+    /// traced loop once per capture may skip it.
+    pub fn begin_epoch(region: Region) {
+        if !enabled() {
+            return;
+        }
+        if let Some(c) = &*ACTIVE.read() {
+            if c.region == region {
+                c.epoch.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record one access burst for `chunk`. Region and sampling are
+    /// re-checked, so calling without [`chunk_enabled`] is safe, just
+    /// slower.
+    pub fn record(
+        region: Region,
+        chunk: u64,
+        kind: AccessKind,
+        base: u64,
+        stride: u32,
+        count: u32,
+    ) {
+        if !enabled() || count == 0 {
+            return;
+        }
+        let capture = ACTIVE.read().clone();
+        let Some(c) = capture else { return };
+        if c.region != region {
+            return;
+        }
+        let full_id = c.full_id(chunk);
+        if !c.samples(full_id) {
+            return;
+        }
+        c.push(full_id, TraceEvent { kind, base, stride, count });
+    }
+}
+
+/// A live capture session. Created by [`CaptureGuard::start`]; run the
+/// kernel while it is alive, then call [`CaptureGuard::finish`] to get
+/// the merged [`Trace`]. Dropping without finishing discards the data
+/// and re-disables the hooks.
+pub struct CaptureGuard {
+    _session: MutexGuard<'static, ()>,
+    capture: Arc<ActiveCapture>,
+}
+
+impl CaptureGuard {
+    /// Begin capturing `region` with `config`. Returns `None` when the
+    /// mode is [`TraceMode::Off`]. Blocks until any other session in
+    /// the process finishes (the hooks are global).
+    pub fn start(region: Region, config: CaptureConfig) -> Option<Self> {
+        if config.mode == TraceMode::Off {
+            return None;
+        }
+        let session = SESSION.lock();
+        let capture = Arc::new(ActiveCapture {
+            region,
+            mode: config.mode,
+            seed: config.seed,
+            sample_one_in: config.sample_one_in.max(1),
+            chunk_capacity: config.chunk_capacity.max(1),
+            epoch: AtomicU64::new(0),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        });
+        *ACTIVE.write() = Some(Arc::clone(&capture));
+        ENABLED.store(true, Ordering::Release);
+        Some(Self { _session: session, capture })
+    }
+
+    /// Stop capturing and merge the per-chunk logs (ascending chunk id)
+    /// into a [`Trace`].
+    pub fn finish(self) -> Trace {
+        ENABLED.store(false, Ordering::Release);
+        *ACTIVE.write() = None;
+        // Post-write-lock, no hook holds a shard; drain them.
+        let mut chunks: Vec<ChunkTrace> = Vec::new();
+        let mut dropped = 0u64;
+        for shard in &self.capture.shards {
+            let mut map = shard.lock();
+            for (id, ring) in map.drain() {
+                dropped += ring.evicted();
+                chunks.push(ChunkTrace { id, events: ring.into_vec() });
+            }
+        }
+        chunks.sort_unstable_by_key(|c| c.id);
+        Trace {
+            region: self.capture.region,
+            mode: self.capture.mode,
+            seed: self.capture.seed,
+            sample_one_in: self.capture.sample_one_in,
+            chunks,
+            dropped,
+        }
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        // Idempotent teardown (finish() already did both stores when it
+        // ran; an early drop must not leave the hooks live).
+        ENABLED.store(false, Ordering::Release);
+        *ACTIVE.write() = None;
+    }
+}
+
+/// The events one chunk produced, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkTrace {
+    /// Width-invariant chunk id.
+    pub id: u64,
+    /// Recorded bursts, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A finished, merged capture: the unit the replay driver, the CLI and
+/// the wire format all operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The instrumented kernel.
+    pub region: Region,
+    /// The sampling intensity the capture ran at.
+    pub mode: TraceMode,
+    /// The sampling seed.
+    pub seed: u64,
+    /// The 1-in-k rate ([`TraceMode::Sampled`] only; 1 under `Full`).
+    pub sample_one_in: u32,
+    /// Per-chunk logs in ascending chunk-id order.
+    pub chunks: Vec<ChunkTrace>,
+    /// Events lost to per-chunk ring overflow.
+    pub dropped: u64,
+}
+
+const MAGIC: &[u8; 4] = b"HPTR";
+const VERSION: u8 = 1;
+
+/// Why a byte stream failed to decode as a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Too few bytes for the structure declared so far.
+    Truncated,
+    /// The stream does not start with `HPTR`.
+    BadMagic,
+    /// A newer (or corrupt) format version.
+    BadVersion(u8),
+    /// An unknown region, mode or kind tag.
+    BadTag(u8),
+    /// Trailing bytes after the declared structure.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "trace truncated"),
+            DecodeError::BadMagic => write!(f, "not a trace (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag {t}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after trace"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Trace {
+    /// Number of recorded bursts.
+    pub fn total_events(&self) -> u64 {
+        self.chunks.iter().map(|c| c.events.len() as u64).sum()
+    }
+
+    /// Number of individual addresses the bursts expand to.
+    pub fn total_accesses(&self) -> u64 {
+        self.chunks.iter().flat_map(|c| &c.events).map(TraceEvent::len).sum()
+    }
+
+    /// `(read_accesses, write_accesses)` after expansion.
+    pub fn access_split(&self) -> (u64, u64) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for e in self.chunks.iter().flat_map(|c| &c.events) {
+            match e.kind {
+                AccessKind::Read => reads += e.len(),
+                AccessKind::Write => writes += e.len(),
+            }
+        }
+        (reads, writes)
+    }
+
+    /// Serialize to the compact wire format: header, then per chunk a
+    /// varint id delta and its events as (kind byte, zigzag base delta,
+    /// stride, count) varints. Base deltas reset at chunk boundaries.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.chunks.len() * 16);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(self.region.tag());
+        out.push(self.mode.tag());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        put_uvarint(&mut out, u64::from(self.sample_one_in));
+        put_uvarint(&mut out, self.dropped);
+        put_uvarint(&mut out, self.chunks.len() as u64);
+        let mut prev_id = 0u64;
+        for chunk in &self.chunks {
+            // Chunk ids ascend, so the delta is non-negative — but the
+            // first one is absolute, and zigzag keeps it general.
+            put_uvarint(&mut out, zigzag_encode(chunk.id.wrapping_sub(prev_id) as i64));
+            prev_id = chunk.id;
+            put_uvarint(&mut out, chunk.events.len() as u64);
+            let mut prev_base = 0u64;
+            for e in &chunk.events {
+                out.push(e.kind.tag());
+                put_uvarint(&mut out, zigzag_encode(e.base.wrapping_sub(prev_base) as i64));
+                prev_base = e.base;
+                put_uvarint(&mut out, u64::from(e.stride));
+                put_uvarint(&mut out, u64::from(e.count));
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Trace::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Self, DecodeError> {
+        use DecodeError::*;
+        if buf.len() < 4 {
+            return Err(Truncated);
+        }
+        if &buf[..4] != MAGIC {
+            return Err(BadMagic);
+        }
+        let mut pos = 4usize;
+        let byte = |pos: &mut usize| -> Result<u8, DecodeError> {
+            let b = *buf.get(*pos).ok_or(Truncated)?;
+            *pos += 1;
+            Ok(b)
+        };
+        let version = byte(&mut pos)?;
+        if version != VERSION {
+            return Err(BadVersion(version));
+        }
+        let rtag = byte(&mut pos)?;
+        let region = Region::from_tag(rtag).ok_or(BadTag(rtag))?;
+        let mtag = byte(&mut pos)?;
+        let mode = TraceMode::from_tag(mtag).ok_or(BadTag(mtag))?;
+        if pos + 8 > buf.len() {
+            return Err(Truncated);
+        }
+        let seed = u64::from_le_bytes(buf[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let varint = |pos: &mut usize| get_uvarint(buf, pos).ok_or(Truncated);
+        let sample_one_in = u32::try_from(varint(&mut pos)?).map_err(|_| Truncated)?;
+        let dropped = varint(&mut pos)?;
+        let chunk_count = varint(&mut pos)?;
+        let mut chunks = Vec::new();
+        let mut prev_id = 0u64;
+        for _ in 0..chunk_count {
+            let id = prev_id.wrapping_add(zigzag_decode(varint(&mut pos)?) as u64);
+            prev_id = id;
+            let event_count = varint(&mut pos)?;
+            let mut events = Vec::with_capacity(event_count.min(4096) as usize);
+            let mut prev_base = 0u64;
+            for _ in 0..event_count {
+                let ktag = byte(&mut pos)?;
+                let kind = AccessKind::from_tag(ktag).ok_or(BadTag(ktag))?;
+                let base = prev_base.wrapping_add(zigzag_decode(varint(&mut pos)?) as u64);
+                prev_base = base;
+                let stride = u32::try_from(varint(&mut pos)?).map_err(|_| Truncated)?;
+                let count = u32::try_from(varint(&mut pos)?).map_err(|_| Truncated)?;
+                events.push(TraceEvent { kind, base, stride, count });
+            }
+            chunks.push(ChunkTrace { id, events });
+        }
+        if pos != buf.len() {
+            return Err(TrailingBytes);
+        }
+        Ok(Trace { region, mode, seed, sample_one_in, chunks, dropped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture_two_chunks(mode: TraceMode) -> Trace {
+        let guard = CaptureGuard::start(
+            Region::Stream,
+            CaptureConfig { mode, seed: 7, sample_one_in: 2, chunk_capacity: 16 },
+        )
+        .expect("mode is not Off");
+        for chunk in 0..8u64 {
+            if hooks::chunk_enabled(Region::Stream, chunk) {
+                hooks::record(Region::Stream, chunk, AccessKind::Read, chunk * 4096, 8, 64);
+                hooks::record(Region::Stream, chunk, AccessKind::Write, chunk * 4096 + 1024, 8, 64);
+            }
+        }
+        guard.finish()
+    }
+
+    #[test]
+    fn off_mode_yields_no_session() {
+        assert!(CaptureGuard::start(
+            Region::Dgemm,
+            CaptureConfig { mode: TraceMode::Off, ..CaptureConfig::default() }
+        )
+        .is_none());
+        assert!(!hooks::enabled());
+    }
+
+    #[test]
+    fn full_mode_keeps_every_chunk() {
+        let t = capture_two_chunks(TraceMode::Full);
+        assert_eq!(t.chunks.len(), 8);
+        assert_eq!(t.total_events(), 16);
+        assert_eq!(t.total_accesses(), 16 * 64);
+        let ids: Vec<u64> = t.chunks.iter().map(|c| c.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "chunks sorted: {ids:?}");
+    }
+
+    #[test]
+    fn sampled_mode_keeps_a_deterministic_subset() {
+        let a = capture_two_chunks(TraceMode::Sampled);
+        let b = capture_two_chunks(TraceMode::Sampled);
+        assert_eq!(a, b, "same seed, same subset, same bytes");
+        assert!(a.chunks.len() < 8, "1-in-2 sampling must drop chunks");
+        assert!(!a.chunks.is_empty(), "and keep some");
+        // Every kept chunk is one the sampler selects.
+        for c in &a.chunks {
+            let key = 7u64 ^ (u64::from(Region::Stream.tag()) << 56) ^ c.id;
+            assert_eq!(splitmix64(key) % 2, 0, "chunk {} not sampler-selected", c.id);
+        }
+    }
+
+    #[test]
+    fn hooks_ignore_other_regions() {
+        let guard = CaptureGuard::start(
+            Region::Cg,
+            CaptureConfig { mode: TraceMode::Full, ..Default::default() },
+        )
+        .unwrap();
+        hooks::record(Region::Mg, 0, AccessKind::Read, 0, 8, 4);
+        assert!(!hooks::chunk_enabled(Region::Mg, 0));
+        assert!(hooks::chunk_enabled(Region::Cg, 0));
+        let t = guard.finish();
+        assert_eq!(t.total_events(), 0);
+    }
+
+    #[test]
+    fn hooks_disabled_after_finish_and_after_drop() {
+        let g = CaptureGuard::start(Region::Is, CaptureConfig::default()).unwrap();
+        assert!(hooks::enabled());
+        let _ = g.finish();
+        assert!(!hooks::enabled());
+
+        let g = CaptureGuard::start(Region::Is, CaptureConfig::default()).unwrap();
+        assert!(hooks::enabled());
+        drop(g); // early drop, no finish
+        assert!(!hooks::enabled());
+        hooks::record(Region::Is, 0, AccessKind::Read, 0, 8, 4); // must not panic
+    }
+
+    #[test]
+    fn chunk_ring_drops_oldest_and_counts() {
+        let guard = CaptureGuard::start(
+            Region::RandomAccess,
+            CaptureConfig { mode: TraceMode::Full, chunk_capacity: 4, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..10u32 {
+            hooks::record(Region::RandomAccess, 0, AccessKind::Read, u64::from(i) * 64, 0, 1);
+        }
+        let t = guard.finish();
+        assert_eq!(t.dropped, 6);
+        assert_eq!(t.chunks[0].events.len(), 4);
+        // The newest events survive.
+        assert_eq!(t.chunks[0].events[0].base, 6 * 64);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let t = capture_two_chunks(TraceMode::Full);
+        let bytes = t.encode();
+        let back = Trace::decode(&bytes).expect("round trip");
+        assert_eq!(t, back);
+        // Compactness: two 17-byte descriptors per chunk shrink well.
+        assert!(bytes.len() < 16 * 12 + 32, "{} bytes for 16 events is not compact", bytes.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Trace::decode(b"HP"), Err(DecodeError::Truncated));
+        assert_eq!(Trace::decode(b"NOPE\x01\x01\x01"), Err(DecodeError::BadMagic));
+        let t = capture_two_chunks(TraceMode::Full);
+        let mut bytes = t.encode();
+        bytes[4] = 9; // version
+        assert_eq!(Trace::decode(&bytes), Err(DecodeError::BadVersion(9)));
+        let mut bytes = t.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(Trace::decode(&bytes), Err(DecodeError::Truncated));
+        let mut bytes = t.encode();
+        bytes.push(0);
+        assert_eq!(Trace::decode(&bytes), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn mode_and_region_parse() {
+        assert_eq!(TraceMode::parse("SAMPLED"), Some(TraceMode::Sampled));
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("full"), Some(TraceMode::Full));
+        assert_eq!(TraceMode::parse("banana"), None);
+        for r in Region::ALL {
+            assert_eq!(Region::parse(r.name()), Some(r));
+            assert_eq!(Region::from_tag(r.tag()), Some(r));
+        }
+        assert_eq!(Region::parse("lu"), None);
+    }
+}

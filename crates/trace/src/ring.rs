@@ -1,0 +1,91 @@
+//! Bounded event storage for capture sessions.
+//!
+//! Mirrors the telemetry crate's ring-buffer semantics (O(1) append,
+//! oldest-first eviction once full, lifetime eviction counter) without
+//! depending on `hpceval-telemetry` — that crate sits *above* the
+//! kernels in the dependency graph, and this one sits below them.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO over `T`: O(1) append with eviction once full.
+#[derive(Debug, Clone)]
+pub struct TraceRing<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl<T> TraceRing<T> {
+    /// A ring holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity.min(1024)), capacity, evicted: 0 }
+    }
+
+    /// Append, returning the evicted oldest item when full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.evicted += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(item);
+        evicted
+    }
+
+    /// Items currently stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items evicted over the ring's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Consume the ring, yielding stored items oldest first.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut r = TraceRing::new(3);
+        assert_eq!(r.push(1), None);
+        assert_eq!(r.push(2), None);
+        assert_eq!(r.push(3), None);
+        assert_eq!(r.push(4), Some(1));
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.evicted(), 1);
+        assert_eq!(r.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = TraceRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.push('a'), None);
+        assert_eq!(r.push('b'), Some('a'));
+    }
+}

@@ -10,6 +10,7 @@
 //! hpceval train [seed]                §VI regression on the Xeon-4870
 //! hpceval monitor <server> [seed]     streaming monitor with fault injection
 //! hpceval verify                      run every kernel's verification
+//! hpceval trace capture|replay|stats  address-trace capture and replay (JSON)
 //! hpceval fleet serve|submit|status|drain|shutdown|smoke
 //!                                     fault-tolerant orchestration daemon
 //! ```
@@ -67,10 +68,11 @@ fn main() -> ExitCode {
         },
         Some("monitor") => with_server(&args, |s| monitor(s, parse_seed(&args, 2))),
         Some("verify") => verify(),
+        Some("trace") => trace_cmd(&args[1..]),
         Some("fleet") => fleet_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify|fleet> [server|seed]"
+                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify|trace|fleet> [server|seed]"
             );
             eprintln!(
                 "  monitor <server> [seed]: stream three simulated copies of <server> (one clean,\n\
@@ -208,6 +210,208 @@ fn monitor(spec: ServerSpec, seed: u64) -> ExitCode {
         eprintln!("injected faults were not detected (skew {skew_seen}, dropout {dropout_seen})");
         ExitCode::FAILURE
     }
+}
+
+const TRACE_USAGE: &str = "\
+usage: hpceval trace <capture|replay|stats> [flags]
+  capture <kernel>  [--mode sampled|full] [--seed N] [--sample-one-in N]
+                    capture the kernel's address trace; print a JSON summary
+  replay  <kernel>  [--server NAME] [--mode sampled|full] [--seed N] [--sample-one-in N]
+                    capture, then replay through the server's miniaturized
+                    hierarchy; print replayed counters and the measured
+                    locality profile as JSON
+  stats             [--server NAME] [--seed N] [--mode sampled|full]
+                    run the full trace-driven regression experiment;
+                    print per-kernel profiles and the R² triple as JSON
+  kernels: dgemm stream cg mg is randomaccess
+  --mode defaults to $HPCEVAL_TRACE, then to full";
+
+fn trace_usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{TRACE_USAGE}");
+    ExitCode::FAILURE
+}
+
+fn trace_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("capture") => trace_capture(&args[1..]),
+        Some("replay") => trace_replay(&args[1..]),
+        Some("stats") => trace_stats(&args[1..]),
+        Some(other) => trace_usage_error(&format!("unknown trace subcommand {other:?}")),
+        None => trace_usage_error("missing trace subcommand"),
+    }
+}
+
+/// Capture config from `--mode/--seed/--sample-one-in` flags, with the
+/// mode falling back to `HPCEVAL_TRACE` and then to `full`.
+fn trace_config(flags: &[(&str, &str)]) -> Result<hpceval::trace::CaptureConfig, String> {
+    use hpceval::trace::{CaptureConfig, TraceMode};
+    let mode = match flag(flags, "mode") {
+        Some(raw) => TraceMode::parse(raw).ok_or(format!("bad value {raw:?} for --mode"))?,
+        None => match TraceMode::from_env() {
+            TraceMode::Off => TraceMode::Full,
+            m => m,
+        },
+    };
+    if mode == TraceMode::Off {
+        return Err("--mode off captures nothing".to_string());
+    }
+    let defaults = CaptureConfig::default();
+    Ok(CaptureConfig {
+        mode,
+        seed: parse_flag(flags, "seed", defaults.seed)?,
+        sample_one_in: parse_flag(flags, "sample-one-in", defaults.sample_one_in)?,
+        ..defaults
+    })
+}
+
+/// The one positional `<kernel>` argument as a trace region.
+fn trace_region(positional: &[&str]) -> Result<hpceval::trace::Region, String> {
+    match positional {
+        [] => Err("expected a kernel name".to_string()),
+        [name] => hpceval::trace::Region::parse(name).ok_or(format!("unknown kernel {name:?}")),
+        [_, extra, ..] => Err(format!("unexpected argument {extra:?}")),
+    }
+}
+
+/// The `--server` flag as a spec (default: the Xeon-4870, the paper's
+/// regression testbed).
+fn trace_server(flags: &[(&str, &str)]) -> Result<ServerSpec, String> {
+    match flag(flags, "server") {
+        None => Ok(presets::xeon_4870()),
+        Some(name) => presets::by_name(name).ok_or(format!("unknown server {name:?}")),
+    }
+}
+
+fn json_locality(p: &hpceval::machine::workload::LocalityProfile) -> String {
+    format!(
+        "{{\"l1_hit\":{},\"l2_hit\":{},\"l3_hit\":{},\"mem\":{},\"write_fraction\":{}}}",
+        p.l1_hit, p.l2_hit, p.l3_hit, p.mem, p.write_fraction
+    )
+}
+
+fn trace_capture(args: &[String]) -> ExitCode {
+    let result = (|| -> Result<String, String> {
+        let (flags, positional) = parse_flags(args, &["mode", "seed", "sample-one-in"])?;
+        let region = trace_region(&positional)?;
+        let config = trace_config(&flags)?;
+        let trace = hpceval::core::trace_experiment::capture_kernel(region, config)
+            .ok_or("capture produced no trace")?;
+        let (reads, writes) = trace.access_split();
+        Ok(format!(
+            "{{\"kernel\":\"{}\",\"mode\":\"{}\",\"seed\":{},\"sample_one_in\":{},\
+             \"chunks\":{},\"events\":{},\"accesses\":{},\"reads\":{},\"writes\":{},\
+             \"dropped\":{},\"encoded_bytes\":{}}}",
+            region.name(),
+            trace.mode.name(),
+            trace.seed,
+            trace.sample_one_in,
+            trace.chunks.len(),
+            trace.total_events(),
+            trace.total_accesses(),
+            reads,
+            writes,
+            trace.dropped,
+            trace.encode().len(),
+        ))
+    })();
+    match result {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => trace_usage_error(&e),
+    }
+}
+
+fn trace_replay(args: &[String]) -> ExitCode {
+    use hpceval::core::trace_experiment::{analytic_locality, capture_kernel, replay_options};
+    let result = (|| -> Result<String, String> {
+        let (flags, positional) = parse_flags(args, &["server", "mode", "seed", "sample-one-in"])?;
+        let region = trace_region(&positional)?;
+        let config = trace_config(&flags)?;
+        let spec = trace_server(&flags)?;
+        let trace = capture_kernel(region, config).ok_or("capture produced no trace")?;
+        let opts = replay_options(region);
+        let counters = hpceval::trace::replay(&trace, &spec, opts);
+        let measured = counters.locality_profile(&analytic_locality(region));
+        Ok(format!(
+            "{{\"kernel\":\"{}\",\"server\":\"{}\",\"cache_scale\":{},\
+             \"accesses\":{},\"l1_hits\":{},\"l2_hits\":{},\"l3_hits\":{},\
+             \"mem_reads\":{},\"mem_writes\":{},\"hit_ratio\":{},\
+             \"measured\":{},\"analytic\":{}}}",
+            region.name(),
+            spec.name,
+            opts.cache_scale,
+            counters.accesses,
+            counters.l1_hits,
+            counters.l2_hits,
+            counters.l3_hits,
+            counters.mem_reads,
+            counters.mem_writes,
+            counters.hit_ratio(),
+            json_locality(&measured),
+            json_locality(&analytic_locality(region)),
+        ))
+    })();
+    match result {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => trace_usage_error(&e),
+    }
+}
+
+fn trace_stats(args: &[String]) -> ExitCode {
+    use hpceval::core::trace_experiment::run_trace_experiment;
+    let parsed = (|| -> Result<(ServerSpec, hpceval::trace::CaptureConfig, u64), String> {
+        let (flags, positional) = parse_flags(args, &["server", "mode", "seed"])?;
+        if let Some(extra) = positional.first() {
+            return Err(format!("unexpected argument {extra:?}"));
+        }
+        Ok((trace_server(&flags)?, trace_config(&flags)?, parse_flag(&flags, "seed", 42u64)?))
+    })();
+    let (spec, config, seed) = match parsed {
+        Ok(p) => p,
+        Err(e) => return trace_usage_error(&e),
+    };
+    let Some(exp) = run_trace_experiment(&spec, config, seed) else {
+        eprintln!("trace-driven training failed (capture off or degenerate sample set)");
+        return ExitCode::FAILURE;
+    };
+    let kernels = exp
+        .localities
+        .captures
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"kernel\":\"{}\",\"events\":{},\"accesses\":{},\"dropped\":{},\
+                 \"hit_ratio\":{},\"measured\":{}}}",
+                c.kernel,
+                c.events,
+                c.accesses,
+                c.dropped,
+                c.hit_ratio,
+                json_locality(&c.locality)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let s = exp.experiment.model.summary();
+    println!(
+        "{{\"server\":\"{}\",\"mode\":\"{}\",\"seed\":{},\"observations\":{},\
+         \"kernels\":[{kernels}],\
+         \"train_r2\":{},\"npb_b_r2\":{},\"npb_c_r2\":{}}}",
+        spec.name,
+        config.mode.name(),
+        seed,
+        exp.experiment.observations,
+        s.r_square,
+        exp.experiment.npb_b.r2,
+        exp.experiment.npb_c.r2,
+    );
+    ExitCode::SUCCESS
 }
 
 const FLEET_USAGE: &str = "\

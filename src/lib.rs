@@ -9,6 +9,8 @@
 //!   Benchmarks and the seven HPCC programs.
 //! * [`power`] — ground-truth power model, WT210 meter simulation and the
 //!   paper's trace-analysis pipeline.
+//! * [`trace`] — sampled address-trace capture hooks and trace-driven
+//!   cache replay (the measured-locality path into the regression).
 //! * [`specpower`] — a SPECpower_ssj2008-like graduated-load workload.
 //! * [`regression`] — forward-stepwise multiple linear regression.
 //! * [`core`] — the paper's contribution: the HPL+EP five-state power
@@ -40,3 +42,4 @@ pub use hpceval_power as power;
 pub use hpceval_regression as regression;
 pub use hpceval_specpower as specpower;
 pub use hpceval_telemetry as telemetry;
+pub use hpceval_trace as trace;

@@ -77,6 +77,54 @@ fn fleet_smoke_passes() {
     assert!(text.contains("smoke: OK"), "{text}");
 }
 
+#[test]
+fn malformed_trace_invocations_print_trace_usage_and_fail() {
+    let cases: &[&[&str]] = &[
+        &["trace"],                                       // missing subcommand
+        &["trace", "explode"],                            // unknown subcommand
+        &["trace", "capture"],                            // missing kernel
+        &["trace", "capture", "hpl"],                     // uninstrumented kernel
+        &["trace", "capture", "dgemm", "extra"],          // stray positional
+        &["trace", "capture", "dgemm", "--mode", "?"],    // bad mode
+        &["trace", "capture", "dgemm", "--mode", "off"],  // off captures nothing
+        &["trace", "capture", "dgemm", "--bogus", "1"],   // unknown flag
+        &["trace", "replay", "cg", "--server", "cray-1"], // unknown server
+        &["trace", "replay", "cg", "--seed", "many"],     // bad number
+        &["trace", "stats", "extra"],                     // stray positional
+    ];
+    for args in cases {
+        let out = hpceval(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains("usage: hpceval trace"),
+            "{args:?} must print trace usage, got: {}",
+            stderr(&out)
+        );
+    }
+}
+
+/// `trace capture`/`trace replay` print one line of JSON with the
+/// pinned keys; the sampled capture is reproducible run-to-run.
+#[test]
+fn trace_capture_and_replay_emit_json() {
+    let out = hpceval(&["trace", "capture", "is", "--mode", "sampled"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for key in ["\"kernel\":\"is\"", "\"mode\":\"sampled\"", "\"accesses\":", "\"encoded_bytes\":"]
+    {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    let again = hpceval(&["trace", "capture", "is", "--mode", "sampled"]);
+    assert_eq!(text, String::from_utf8_lossy(&again.stdout), "capture must be deterministic");
+
+    let out = hpceval(&["trace", "replay", "stream", "--server", "xeon-e5462"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"server\":\"Xeon-E5462\"", "\"mem_reads\":", "\"measured\":{\"l1_hit\":"] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+}
+
 /// status/drain against a daemon that isn't there must fail, not hang.
 #[test]
 fn client_commands_fail_fast_without_a_daemon() {

@@ -110,8 +110,15 @@ pub(crate) fn env_threads() -> Option<usize> {
 
 /// The pool width used when no explicit pool is installed:
 /// `HPCEVAL_THREADS` if set, else the machine's available parallelism.
+/// Cached: `available_parallelism` reads the cgroup filesystem, and
+/// paying that syscall on every parallel dispatch costs two orders of
+/// magnitude on sub-millisecond regions (the kernel-perf gate catches
+/// it when run without the env pin).
 pub(crate) fn default_threads() -> usize {
-    env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 thread_local! {
