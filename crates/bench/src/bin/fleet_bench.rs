@@ -1,0 +1,208 @@
+//! Fleet sustained-load regression harness.
+//!
+//! Drives the `hpceval-fleet` readiness front-end at scale: a bounded
+//! pool of clients issues submit/status round-trips through the fan-out
+//! router against sharded daemons (everything on single-threaded
+//! readiness loops — zero handler threads per connection) and writes
+//! `BENCH_fleet.json` at the repo root: p50/p99 round-trip latency and
+//! aggregate ops/s, plus the thread width and host parallelism the
+//! numbers were taken on.
+//!
+//! `fleet_bench --check BENCH_fleet.json [--tolerance 3.0]` re-runs the
+//! load (scaled down via `--ops` in CI) and fails (non-zero exit) on
+//! drift beyond the tolerance, exactly like the `BENCH_kernels.json`
+//! gate: latencies (`*_us`) regress *upward*, throughput
+//! (`ops_per_sec`) regresses *downward*, and metric-set drift fails
+//! both ways. On *pass* the check still prints one `trend` line per
+//! metric, so CI logs double as a perf trend record. The tolerance is
+//! generous because shared runners are slower and noisier than the
+//! baseline host; the gate is meant to catch collapses, not jitter.
+
+use std::process::ExitCode;
+
+use hpceval_bench::{heading, json_requested};
+use hpceval_fleet::bench::{baseline_metrics, check};
+use hpceval_fleet::{run_sustained_load, BenchOptions};
+
+/// Default `--tolerance` (fractional drift allowed vs baseline).
+const DEFAULT_TOLERANCE: f64 = 3.0;
+
+struct Cli {
+    /// Baseline path to check against; `None` records a new baseline.
+    check: Option<String>,
+    tolerance: f64,
+    opts: BenchOptions,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli { check: None, tolerance: DEFAULT_TOLERANCE, opts: BenchOptions::default() };
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |what: &str| -> Result<u64, String> {
+            let raw = args.get(i + 1).ok_or(format!("--{what} needs a value"))?;
+            raw.parse::<u64>().map_err(|_| format!("bad value {raw:?} for --{what}"))
+        };
+        match args[i].as_str() {
+            "--check" => {
+                cli.check = Some(args.get(i + 1).ok_or("--check needs a baseline path")?.clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let raw = args.get(i + 1).ok_or("--tolerance needs a value, e.g. 3.0")?;
+                cli.tolerance = match raw.parse::<f64>() {
+                    Ok(t) if t >= 0.0 && t.is_finite() => t,
+                    _ => return Err(format!("bad tolerance {raw:?}")),
+                };
+                i += 2;
+            }
+            "--ops" => {
+                cli.opts.ops = numeric("ops")?;
+                i += 2;
+            }
+            "--shards" => {
+                cli.opts.shards = numeric("shards")? as usize;
+                i += 2;
+            }
+            "--clients" => {
+                cli.opts.clients = numeric("clients")? as usize;
+                i += 2;
+            }
+            "--submit-every" => {
+                cli.opts.submit_every = numeric("submit-every")?;
+                i += 2;
+            }
+            "--json" => i += 1, // handled by json_requested()
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: fleet_bench [--ops N] [--shards N] [--clients N] [--submit-every N] \
+                 [--check BENCH_fleet.json] [--tolerance 3.0] [--json]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    heading("Fleet sustained load", "submit/status round-trips through the sharded router");
+
+    let report = match run_sustained_load(&cli.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: sustained load failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match &cli.check {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+            .and_then(|v| baseline_metrics(&v))
+        {
+            Ok(b) => Some(b),
+            Err(e) => {
+                eprintln!("error: cannot load baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    // Pure JSON under `--json` (matching every other bench bin); the
+    // table always shows in check mode, where it is the CI log.
+    let show_table = !json_requested() || cli.check.is_some();
+    if show_table {
+        println!(
+            "{} ops over {} client(s), {} shard(s), one submit per {} ops: {:.2}s",
+            report.ops, report.clients, report.shards, report.submit_every, report.elapsed_s
+        );
+        println!("{:>14} {:>14} {:>14}", "metric", "current", "baseline");
+        for (name, value) in &report.metrics {
+            let base = baseline.as_ref().and_then(|b| b.get(name));
+            match base {
+                Some(b) => println!("{name:>14} {value:>14.1} {b:>14.1}"),
+                None => println!("{name:>14} {value:>14.1} {:>14}", "-"),
+            }
+        }
+    }
+
+    if let Some(base) = &baseline {
+        let failures = check(base, &report, cli.tolerance);
+        if failures.is_empty() {
+            println!(
+                "\nfleet perf check passed: {} metrics within tolerance {} (threads {})",
+                report.metrics.len(),
+                cli.tolerance,
+                report.threads
+            );
+            // Perf trend record: signed delta per metric, printed on
+            // pass so CI logs accumulate a history.
+            for (name, value) in &report.metrics {
+                if let Some(&b) = base.get(name) {
+                    println!("  trend {name}: {:+.1}% vs baseline", 100.0 * (value / b - 1.0));
+                }
+            }
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("\nfleet perf check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    if json_requested() {
+        println!("{json}");
+    } else {
+        std::fs::write("BENCH_fleet.json", json + "\n").expect("write BENCH_fleet.json");
+        println!(
+            "\nwrote BENCH_fleet.json ({} ops, {} jobs completed, threads {}, host parallelism \
+             {})",
+            report.ops, report.jobs_completed, report.threads, report.available_parallelism
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Result<Cli, String> {
+        parse_cli(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn cli_defaults_to_the_acceptance_load() {
+        let c = cli(&[]).unwrap();
+        assert!(c.check.is_none());
+        assert_eq!(c.tolerance, DEFAULT_TOLERANCE);
+        assert_eq!(c.opts.ops, 1_000_000);
+        assert_eq!(c.opts.shards, 2);
+    }
+
+    #[test]
+    fn cli_parses_the_ci_invocation() {
+        let c =
+            cli(&["--ops", "4000", "--check", "BENCH_fleet.json", "--tolerance", "3.0"]).unwrap();
+        assert_eq!(c.opts.ops, 4000);
+        assert_eq!(c.check.as_deref(), Some("BENCH_fleet.json"));
+        assert_eq!(c.tolerance, 3.0);
+    }
+
+    #[test]
+    fn cli_rejects_garbage() {
+        assert!(cli(&["--ops"]).is_err());
+        assert!(cli(&["--ops", "many"]).is_err());
+        assert!(cli(&["--tolerance", "-1"]).is_err());
+        assert!(cli(&["--frobnicate"]).is_err());
+    }
+}

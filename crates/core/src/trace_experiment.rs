@@ -14,8 +14,8 @@
 //! property of the counters' information content, not of the hand-tuned
 //! presets.
 //!
-//! Six of the thirteen programs are instrumented (DGEMM, STREAM and
-//! RandomAccess on the HPCC training side; CG, MG and IS on the NPB
+//! Seven of the thirteen programs are instrumented (DGEMM, STREAM and
+//! RandomAccess on the HPCC training side; CG, MG, IS and FT on the NPB
 //! validation side) — enough to cover the dense/streaming/latency
 //! extremes of the locality plane on both sides of the split. The
 //! remaining programs keep their analytic profiles.
@@ -23,7 +23,7 @@
 use serde::{Deserialize, Serialize};
 
 use hpceval_kernels::hpcc::{dgemm, random_access, stream, HpccProgram};
-use hpceval_kernels::npb::{cg, is, mg, Class, Program};
+use hpceval_kernels::npb::{cg, ft, is, mg, Class, Program};
 use hpceval_kernels::rng::NpbRng;
 use hpceval_machine::spec::ServerSpec;
 use hpceval_machine::workload::LocalityProfile;
@@ -33,7 +33,7 @@ use crate::regression_experiment::{
     collect_training_with, train, validate_with, RegressionExperiment,
 };
 
-/// Problem sizes for the capture runs. Small enough that all six
+/// Problem sizes for the capture runs. Small enough that all seven
 /// kernels finish in well under a second, large enough that every
 /// instrumented loop produces thousands of sampled accesses and the
 /// blocked/streaming/random structure is visible to the replay.
@@ -57,6 +57,14 @@ mod sizes {
     /// — past every preset's L2, so the replay sees genuine randomness
     /// rather than an L1-resident toy table.
     pub const RA_LOG2_TABLE: u32 = 18;
+    /// FT grid extents and evolution steps. 32×32×16 complex points is
+    /// 256 KiB per buffer — the ping-ponged field + scratch pair must
+    /// overflow the miniaturized hierarchy the way the real all-to-all
+    /// transpose buffers overflow a 30 MiB L3.
+    pub const FT_NX: usize = 32;
+    pub const FT_NY: usize = 32;
+    pub const FT_NZ: usize = 16;
+    pub const FT_ITERS: u32 = 1;
 }
 
 /// Run the instrumented kernel for `region` at the standard capture
@@ -102,6 +110,9 @@ fn run_kernel(region: Region) {
         Region::RandomAccess => {
             random_access::run(sizes::RA_LOG2_TABLE, 4 << sizes::RA_LOG2_TABLE, 9);
         }
+        Region::Ft => {
+            ft::run_scaled(sizes::FT_NX, sizes::FT_NY, sizes::FT_NZ, sizes::FT_ITERS);
+        }
     }
 }
 
@@ -119,7 +130,7 @@ fn run_kernel(region: Region) {
 /// * DGEMM replays at full scale — its reuse working set is the packed
 ///   tile (tens of KiB), cache-resident at *every* problem size, so the
 ///   capture-scale replay is already faithful.
-/// * STREAM / MG / IS / RandomAccess miniaturize by 512: their bulk
+/// * STREAM / MG / IS / RandomAccess / FT miniaturize by 512: their bulk
 ///   arrays (0.25–2 MiB captured, GiB-scale real) must overflow the
 ///   scaled L3 exactly as the real arrays overflow 30 MiB.
 /// * CG miniaturizes by 2048: the gathered x-vector (6.4 KiB captured,
@@ -129,7 +140,7 @@ pub fn replay_options(region: Region) -> ReplayOptions {
     let cache_scale = match region {
         Region::Dgemm => 1.0,
         Region::Cg => 1.0 / 2048.0,
-        Region::Stream | Region::Mg | Region::Is | Region::RandomAccess => 1.0 / 512.0,
+        Region::Stream | Region::Mg | Region::Is | Region::RandomAccess | Region::Ft => 1.0 / 512.0,
     };
     ReplayOptions { cache_scale, ..ReplayOptions::default() }
 }
@@ -148,6 +159,7 @@ pub fn analytic_locality(region: Region) -> LocalityProfile {
         Region::Cg => Program::Cg.benchmark(Class::B).signature().locality,
         Region::Mg => Program::Mg.benchmark(Class::B).signature().locality,
         Region::Is => Program::Is.benchmark(Class::B).signature().locality,
+        Region::Ft => Program::Ft.benchmark(Class::B).signature().locality,
     }
 }
 
@@ -191,7 +203,7 @@ impl MeasuredLocalities {
     }
 }
 
-/// Capture all six instrumented kernels and replay them through
+/// Capture all seven instrumented kernels and replay them through
 /// `spec`'s cache hierarchy. `None` only when `config.mode` is `Off`.
 pub fn measure_localities(spec: &ServerSpec, config: CaptureConfig) -> Option<MeasuredLocalities> {
     let mut captures = Vec::with_capacity(Region::ALL.len());
@@ -229,7 +241,7 @@ pub struct TraceExperiment {
 }
 
 /// Run the §VI experiment with trace-measured localities substituted
-/// for the analytic presets of the six instrumented programs.
+/// for the analytic presets of the seven instrumented programs.
 ///
 /// `None` when capture is disabled (`config.mode == Off`) or the
 /// measured training set degenerates (it does not, for any preset).

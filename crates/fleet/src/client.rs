@@ -13,12 +13,21 @@ use crate::wire::{self, Request};
 #[derive(Debug)]
 pub struct FleetClient {
     stream: TcpStream,
+    /// Per-connection salt decorrelating retry backoff across clients.
+    jitter_salt: u64,
 }
 
 impl FleetClient {
     /// Connect to a daemon.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FleetError> {
-        Ok(Self { stream: TcpStream::connect(addr)? })
+        let stream = TcpStream::connect(addr)?;
+        // Request/response frames are small; don't let Nagle batch.
+        let _ = stream.set_nodelay(true);
+        // The ephemeral local port is unique per live connection on a
+        // host, giving each client a deterministic-but-distinct salt
+        // without consulting a clock or RNG.
+        let salt = stream.local_addr().map(|a| u64::from(a.port())).unwrap_or(0);
+        Ok(Self { stream, jitter_salt: hpceval_trace::splitmix64(salt) })
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Value, FleetError> {
@@ -44,7 +53,15 @@ impl FleetClient {
     }
 
     /// Submit a batch, retrying on backpressure with the daemon's own
-    /// backoff hint, up to `max_retries`.
+    /// backoff hint plus deterministic jitter, up to `max_retries`.
+    ///
+    /// Without jitter, N clients bounced off the same full queue all
+    /// sleep exactly `retry_after_ms` and stampede back in lockstep —
+    /// the thundering herd refills the queue instantly and they all
+    /// bounce again. The per-connection splitmix64 salt spreads the
+    /// retries over `[hint, 1.5·hint]` while staying fully
+    /// deterministic for a given connection (reproducible runs need no
+    /// clock- or RNG-seeded randomness).
     pub fn submit_with_backoff(
         &mut self,
         jobs: Vec<JobKind>,
@@ -55,7 +72,8 @@ impl FleetClient {
             match self.submit(jobs.clone()) {
                 Err(FleetError::Backlog { retry_after_ms }) if tries < max_retries => {
                     tries += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    let ms = backoff_with_jitter(self.jitter_salt, tries, retry_after_ms);
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
                 other => return other,
             }
@@ -73,10 +91,24 @@ impl FleetClient {
         decode_jobs(self.roundtrip(&Request::Drain)?)
     }
 
+    /// The §V ranking over finished Evaluate jobs, best PPW first.
+    pub fn ranking(&mut self) -> Result<Vec<RankedServer>, FleetError> {
+        decode_ranking(self.roundtrip(&Request::Ranking)?)
+    }
+
     /// Ask the daemon to stop.
     pub fn shutdown(&mut self) -> Result<(), FleetError> {
         self.roundtrip(&Request::Shutdown).map(|_| ())
     }
+}
+
+/// The jittered retry sleep: the daemon's hint, honored in full, plus
+/// a hash-derived spread of up to half the hint. Deterministic in
+/// `(salt, attempt)` so a given client's retry schedule is exactly
+/// reproducible, while distinct clients (distinct salts) decorrelate.
+pub(crate) fn backoff_with_jitter(salt: u64, attempt: u32, hint_ms: u64) -> u64 {
+    let spread = hint_ms / 2 + 1;
+    hint_ms + hpceval_trace::splitmix64(salt ^ u64::from(attempt)) % spread
 }
 
 /// A job snapshot as reported over the wire.
@@ -102,6 +134,62 @@ pub struct RemoteJob {
     pub degraded: bool,
     /// Degradation notes.
     pub notes: Vec<String>,
+}
+
+/// One row of the merged §V ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedServer {
+    /// Server name.
+    pub server: String,
+    /// Mean clean performance-per-watt score.
+    pub ppw: f64,
+    /// True when the score came from a degraded (partial) evaluation.
+    pub degraded: bool,
+}
+
+fn decode_ranking(v: Value) -> Result<Vec<RankedServer>, FleetError> {
+    v.get("ranking")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| FleetError::Protocol("response lacks ranking".to_string()))?
+        .iter()
+        .map(|r| {
+            decode_ranking_row(r)
+                .ok_or_else(|| FleetError::Protocol("unparseable ranking row".to_string()))
+        })
+        .collect()
+}
+
+fn decode_ranking_row(r: &Value) -> Option<RankedServer> {
+    Some(RankedServer {
+        server: r.get("server")?.as_str()?.to_string(),
+        ppw: r.get("ppw")?.as_f64()?,
+        degraded: r.get("degraded")?.as_bool()?,
+    })
+}
+
+/// Re-encode a decoded job snapshot as the wire's status map — the
+/// router needs this to merge per-shard snapshots (with rewritten
+/// global ids) back into one response.
+pub(crate) fn remote_job_to_value(job: &RemoteJob) -> Value {
+    let mut pairs: Vec<(String, Value)> = vec![
+        ("id".to_string(), Value::UInt(job.id)),
+        ("kind".to_string(), Value::Str(job.kind.clone())),
+        ("server".to_string(), Value::Str(job.server.clone())),
+        ("state".to_string(), Value::Str(job.state.clone())),
+        ("attempts".to_string(), Value::UInt(u64::from(job.attempts))),
+        ("rows_done".to_string(), Value::UInt(job.rows_done as u64)),
+        ("total_steps".to_string(), Value::UInt(job.total_steps as u64)),
+    ];
+    match job.score {
+        Some(s) => pairs.push(("score".to_string(), Value::Float(s))),
+        None => pairs.push(("score".to_string(), Value::Null)),
+    }
+    pairs.push(("degraded".to_string(), Value::Bool(job.degraded)));
+    pairs.push((
+        "notes".to_string(),
+        Value::Seq(job.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+    ));
+    Value::Map(pairs)
 }
 
 fn decode_jobs(v: Value) -> Result<Vec<RemoteJob>, FleetError> {
@@ -163,5 +251,39 @@ mod tests {
         assert_eq!(decoded.rows_done, 6);
         assert_eq!(decoded.score, Some(0.12));
         assert!(decoded.degraded);
+    }
+
+    #[test]
+    fn remote_job_reencodes_to_the_same_snapshot() {
+        let job = RemoteJob {
+            id: 11,
+            kind: "evaluate".into(),
+            server: "Xeon-E5462".into(),
+            state: "Done".into(),
+            attempts: 0,
+            rows_done: 10,
+            total_steps: 10,
+            score: Some(0.25),
+            degraded: false,
+            notes: Vec::new(),
+        };
+        assert_eq!(decode_job(&remote_job_to_value(&job)).unwrap(), job);
+        let unscored = RemoteJob { score: None, state: "Queued".into(), rows_done: 0, ..job };
+        assert_eq!(decode_job(&remote_job_to_value(&unscored)).unwrap(), unscored);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_decorrelated() {
+        for salt in [1u64, 42, 0x9e3779b97f4a7c15] {
+            for attempt in 1..=6 {
+                let a = backoff_with_jitter(salt, attempt, 100);
+                assert_eq!(a, backoff_with_jitter(salt, attempt, 100), "deterministic");
+                assert!((100..=150).contains(&a), "honors the hint, spreads ≤ half: {a}");
+            }
+        }
+        let schedule = |salt: u64| (1..=8).map(|t| backoff_with_jitter(salt, t, 100)).collect();
+        let a: Vec<u64> = schedule(7);
+        let b: Vec<u64> = schedule(8);
+        assert_ne!(a, b, "distinct clients must not retry in lockstep");
     }
 }

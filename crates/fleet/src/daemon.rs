@@ -19,7 +19,7 @@
 //!   never silently averaged into fleet rankings.
 
 use std::collections::BTreeMap;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -40,6 +40,7 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::job::{JobId, JobKind, JobRecord, JobResult, JobState, JobStatus};
 use crate::registry::Registry;
 use crate::runner::{run_attempt, AttemptOutcome};
+use crate::server;
 use crate::wal::{self, WalEntry, WalWriter};
 use crate::wire::{self, Request};
 
@@ -588,86 +589,34 @@ impl Fleet {
         self.events.lock().push(event);
     }
 
-    /// Serve the wire protocol on `listener` until shutdown. Each
-    /// connection gets a handler thread; the accept loop polls so a
-    /// shutdown request is honored within a few milliseconds.
+    /// Serve the wire protocol on `listener` until shutdown, on the
+    /// single-threaded readiness loop (see the [`crate::server`]
+    /// module): no handler thread per connection, and a shutdown
+    /// request is honored within one poll tick.
     pub fn serve(self: &Arc<Self>, listener: TcpListener) -> Result<(), FleetError> {
-        listener.set_nonblocking(true)?;
-        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-        while !self.is_shutting_down() {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    let fleet = Arc::clone(self);
-                    handlers.push(std::thread::spawn(move || fleet.handle_connection(stream)));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e.into()),
-            }
-            handlers.retain(|h| !h.is_finished());
-        }
-        for h in handlers {
-            let _ = h.join();
-        }
-        Ok(())
+        server::serve_readiness(&**self, listener)
     }
 
-    fn handle_connection(self: Arc<Self>, mut stream: TcpStream) {
-        loop {
-            // Poll for data without consuming it, so an idle connection
-            // observes shutdown instead of pinning the daemon in a
-            // blocking read it can never join.
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-            let mut probe = [0u8; 1];
-            match stream.peek(&mut probe) {
-                Ok(0) => return, // peer closed
-                Ok(_) => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.is_shutting_down() {
-                        return;
-                    }
-                    continue;
-                }
-                Err(_) => return,
-            }
-            // A frame is arriving; allow it a generous window.
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-            let frame = match wire::read_frame(&mut stream) {
-                Ok(Some(frame)) => frame,
-                Ok(None) | Err(FleetError::Io(_)) => return,
-                Err(e) => {
-                    let _ =
-                        wire::write_frame(&mut stream, &wire::error_response(&e.to_string(), None));
-                    return;
-                }
-            };
-            let response = match Request::from_json(&frame) {
-                Ok(req) => {
-                    let shutdown = req == Request::Shutdown;
-                    let response = self.respond(req);
-                    if shutdown {
-                        let _ = wire::write_frame(&mut stream, &response);
-                        self.request_shutdown();
-                        return;
-                    }
-                    response
-                }
-                Err(e) => wire::error_response(&e.to_string(), None),
-            };
-            if wire::write_frame(&mut stream, &response).is_err() {
-                return;
-            }
+    /// Stop accepting submits without waiting for the queue to dry —
+    /// the non-blocking half of [`Fleet::drain`], paired with
+    /// [`Fleet::drained_statuses`] for completion polling.
+    pub fn begin_drain(&self) {
+        self.inner.lock().accepting = false;
+        self.cond.notify_all();
+    }
+
+    /// Non-blocking drain-completion check: the full status report once
+    /// a requested drain has run every job to a terminal state.
+    pub fn drained_statuses(&self) -> Option<Vec<JobStatus>> {
+        let inner = self.inner.lock();
+        if !inner.accepting && inner.jobs.values().all(|j| j.state.is_terminal()) {
+            Some(inner.jobs.values().map(JobRecord::status).collect())
+        } else {
+            None
         }
     }
 
-    fn respond(&self, req: Request) -> String {
+    pub(crate) fn respond(&self, req: Request) -> String {
         match req {
             Request::Ping => wire::ok_response(vec![(
                 "pong".to_string(),
@@ -687,6 +636,7 @@ impl Fleet {
             },
             Request::Status { job } => status_response(self.status(job)),
             Request::Drain => status_response(self.drain()),
+            Request::Ranking => ranking_response(self.ranking()),
             Request::Shutdown => {
                 wire::ok_response(vec![("stopping".to_string(), Value::Bool(true))])
                     .expect("static response encodes")
@@ -695,11 +645,57 @@ impl Fleet {
     }
 }
 
-fn status_response(statuses: Vec<JobStatus>) -> String {
+impl server::Service for Fleet {
+    fn handle(&self, req: Request) -> server::Action {
+        match req {
+            // Drain completes only when the queue is dry; answering
+            // inline would stall the event loop, so defer it.
+            Request::Drain => {
+                self.begin_drain();
+                server::Action::Defer
+            }
+            Request::Shutdown => server::Action::ReplyThenShutdown(self.respond(Request::Shutdown)),
+            other => server::Action::Reply(self.respond(other)),
+        }
+    }
+
+    fn poll_deferred(&self) -> Option<String> {
+        self.drained_statuses().map(status_response)
+    }
+
+    fn begin_shutdown(&self) {
+        self.request_shutdown();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.is_shutting_down()
+    }
+}
+
+pub(crate) fn status_response(statuses: Vec<JobStatus>) -> String {
     let jobs = Value::Seq(statuses.iter().map(Serialize::to_value).collect());
     match wire::ok_response(vec![("jobs".to_string(), jobs)]) {
         Ok(s) => s,
         // A non-finite score would poison the frame; report it instead.
+        Err(e) => wire::error_response(&e.to_string(), None),
+    }
+}
+
+/// Encode `(server, ppw, degraded)` ranking rows as a wire response.
+pub(crate) fn ranking_response(rows: Vec<(String, f64, bool)>) -> String {
+    let seq = Value::Seq(
+        rows.into_iter()
+            .map(|(server, ppw, degraded)| {
+                Value::Map(vec![
+                    ("server".to_string(), Value::Str(server)),
+                    ("ppw".to_string(), Value::Float(ppw)),
+                    ("degraded".to_string(), Value::Bool(degraded)),
+                ])
+            })
+            .collect(),
+    );
+    match wire::ok_response(vec![("ranking".to_string(), seq)]) {
+        Ok(s) => s,
         Err(e) => wire::error_response(&e.to_string(), None),
     }
 }

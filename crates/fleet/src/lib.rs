@@ -19,9 +19,22 @@
 //!   results instead of silently averaging them.
 //! - **Wire protocol** ([`wire`], [`client`]): length-prefixed strict
 //!   JSON over TCP with request batching and queue-cap backpressure.
+//! - **Readiness-loop front-end** ([`server`]): a single-threaded
+//!   epoll/poll event loop with per-connection read/write state
+//!   machines — no handler thread per connection, so connection count
+//!   stops being a thread count.
+//! - **Federation** ([`router`]): N sharded daemons each owning a
+//!   splitmix64 job-key range behind a thin router that fans out
+//!   requests and merges status/ranking responses; a dead shard's WAL
+//!   replays into a replacement.
+//! - **Sustained-load gate** ([`bench`]): the `fleet_bench` harness
+//!   drives ≥1 M submit/status round-trips through the router and
+//!   records p50/p99 latency + ops/s into `BENCH_fleet.json`, drift-
+//!   checked in CI.
 //! - **Observability** ([`events`]): job lifecycle events, bridged into
 //!   the `hpceval-telemetry` stream.
 
+pub mod bench;
 pub mod client;
 pub mod codec;
 pub mod daemon;
@@ -30,14 +43,18 @@ pub mod events;
 pub mod fault;
 pub mod job;
 pub mod registry;
+pub mod router;
 pub mod runner;
+mod server;
 pub mod wal;
 pub mod wire;
 
-pub use client::{FleetClient, RemoteJob};
+pub use bench::{run_sustained_load, BenchOptions, BenchReport};
+pub use client::{FleetClient, RankedServer, RemoteJob};
 pub use daemon::{Fleet, FleetConfig};
 pub use error::FleetError;
 pub use events::{EventKind, FleetEvent};
 pub use fault::{AttemptFaults, FaultInjector, FaultPlan};
 pub use job::{JobId, JobKind, JobResult, JobState, JobStatus};
 pub use registry::{NodeInfo, Registry};
+pub use router::Router;

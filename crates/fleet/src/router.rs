@@ -1,0 +1,329 @@
+//! The fan-out router: one wire-protocol endpoint federating N sharded
+//! daemons, each owning a slice of the job-key space.
+//!
+//! # Sharding
+//!
+//! Every submitted job draws a monotonically increasing router key; the
+//! owning shard is the range partition of `splitmix64(key)` — shard
+//! `i` of `n` owns hashes in `[i·2⁶⁴/n, (i+1)·2⁶⁴/n)`. The hash whitens
+//! the sequential keys so consecutive submits spread uniformly across
+//! shards regardless of submission pattern.
+//!
+//! # Global ids
+//!
+//! Shards assign their own dense local ids, so the router interleaves:
+//! global id = `local · n + shard`. The mapping is a bijection
+//! (`shard = g mod n`, `local = g div n`), which lets `status` requests
+//! for one job route straight to the owning shard with no id table —
+//! the router holds **no job state** and can be restarted freely; all
+//! durable state lives in the shards' WALs.
+//!
+//! # Failover
+//!
+//! A shard that dies takes nothing with it: its WAL holds every
+//! accepted job and checkpoint. Kill-9-safe replay (`Fleet::open` on
+//! the same WAL path) brings up a replacement that resumes mid-job,
+//! and a router (re)connected to the replacement serves the same
+//! global ids — the merged ranking after a crash is bitwise-identical
+//! to an uninterrupted run (`tests/fleet_failover.rs` proves it).
+//!
+//! # Semantics at the edges
+//!
+//! - `submit` batches are atomic *per shard* (each shard's sub-batch
+//!   is WAL-logged all-or-nothing) but best-effort across shards: if
+//!   shard B pushes back after shard A accepted, the error propagates
+//!   and A keeps its jobs. Single-job submits — the sustained-load
+//!   pattern — are fully atomic.
+//! - `drain` fans out sequentially and blocks the router loop until
+//!   every shard is dry: it is a quiesce operation, intentionally
+//!   exclusive with serving new load.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde::Value;
+
+use hpceval_trace::splitmix64;
+
+use crate::client::{remote_job_to_value, FleetClient, RankedServer, RemoteJob};
+use crate::daemon::ranking_response;
+use crate::error::FleetError;
+use crate::job::{JobId, JobKind};
+use crate::server::{self, Action, Service};
+use crate::wire::{self, Request};
+
+/// A running router over connected shard daemons.
+pub struct Router {
+    shards: Vec<Mutex<FleetClient>>,
+    next_key: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Router {
+    /// Connect to every shard daemon. Order matters: shard index is
+    /// baked into global job ids, so a replacement daemon for shard
+    /// `i` must appear at position `i` again.
+    pub fn connect<A: AsRef<str>>(shard_addrs: &[A]) -> Result<Router, FleetError> {
+        if shard_addrs.is_empty() {
+            return Err(FleetError::Protocol("router needs at least one shard".to_string()));
+        }
+        let shards = shard_addrs
+            .iter()
+            .map(|a| FleetClient::connect(a.as_ref()).map(Mutex::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Router { shards, next_key: AtomicU64::new(0), shutdown: AtomicBool::new(false) })
+    }
+
+    /// Number of shards behind this router.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The owning shard for a router-assigned submit key.
+    fn shard_of(&self, key: u64) -> usize {
+        let n = self.shards.len() as u128;
+        ((u128::from(splitmix64(key)) * n) >> 64) as usize
+    }
+
+    fn to_global(&self, shard: usize, local: JobId) -> JobId {
+        local * self.shards.len() as u64 + shard as u64
+    }
+
+    fn split_global(&self, global: JobId) -> (usize, JobId) {
+        let n = self.shards.len() as u64;
+        ((global % n) as usize, global / n)
+    }
+
+    /// Submit a batch, fanning each job out to its owning shard;
+    /// returns global ids in submission order.
+    pub fn submit(&self, jobs: Vec<JobKind>) -> Result<Vec<JobId>, FleetError> {
+        let total = jobs.len();
+        let mut per_shard: Vec<Vec<(usize, JobKind)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, kind) in jobs.into_iter().enumerate() {
+            let key = self.next_key.fetch_add(1, Ordering::Relaxed);
+            per_shard[self.shard_of(key)].push((pos, kind));
+        }
+        let mut ids = vec![0u64; total];
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let kinds = batch.iter().map(|(_, k)| k.clone()).collect();
+            let locals = self.shards[shard].lock().submit(kinds)?;
+            if locals.len() != batch.len() {
+                return Err(FleetError::Protocol("shard returned a short id batch".to_string()));
+            }
+            for ((pos, _), local) in batch.into_iter().zip(locals) {
+                ids[pos] = self.to_global(shard, local);
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Status snapshots with global ids: one job routes to its owning
+    /// shard; a whole-fleet snapshot merges every shard's view.
+    pub fn status(&self, job: Option<JobId>) -> Result<Vec<RemoteJob>, FleetError> {
+        match job {
+            Some(global) => {
+                let (shard, local) = self.split_global(global);
+                let mut jobs = self.shards[shard].lock().status(Some(local))?;
+                self.globalize(shard, &mut jobs);
+                Ok(jobs)
+            }
+            None => self.fan_out(|shard, client| client.status(None).map(|j| (shard, j))),
+        }
+    }
+
+    /// Drain every shard (sequentially; each call blocks until that
+    /// shard's queue is dry) and merge the final statuses.
+    pub fn drain(&self) -> Result<Vec<RemoteJob>, FleetError> {
+        self.fan_out(|shard, client| client.drain().map(|j| (shard, j)))
+    }
+
+    /// The merged §V ranking: per-shard rankings concatenated and
+    /// re-sorted with the daemon's exact comparator (best mean clean
+    /// PPW first, name-tiebroken), so the merged order is identical to
+    /// what one daemon owning every job would report.
+    pub fn ranking(&self) -> Result<Vec<RankedServer>, FleetError> {
+        let mut rows: Vec<RankedServer> = Vec::new();
+        for client in &self.shards {
+            rows.extend(client.lock().ranking()?);
+        }
+        rows.sort_by(|a, b| b.ppw.total_cmp(&a.ppw).then_with(|| a.server.cmp(&b.server)));
+        Ok(rows)
+    }
+
+    /// Ask every shard daemon to stop (the router object survives).
+    pub fn shutdown_shards(&self) -> Result<(), FleetError> {
+        for client in &self.shards {
+            client.lock().shutdown()?;
+        }
+        Ok(())
+    }
+
+    /// Serve the wire protocol on `listener` via the readiness loop
+    /// until a shutdown request arrives.
+    pub fn serve(&self, listener: TcpListener) -> Result<(), FleetError> {
+        server::serve_readiness(self, listener)
+    }
+
+    /// Stop a running [`Router::serve`] loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn globalize(&self, shard: usize, jobs: &mut [RemoteJob]) {
+        for job in jobs {
+            job.id = self.to_global(shard, job.id);
+        }
+    }
+
+    fn fan_out(
+        &self,
+        mut call: impl FnMut(usize, &mut FleetClient) -> Result<(usize, Vec<RemoteJob>), FleetError>,
+    ) -> Result<Vec<RemoteJob>, FleetError> {
+        let mut merged = Vec::new();
+        for (shard, client) in self.shards.iter().enumerate() {
+            let (shard, mut jobs) = call(shard, &mut client.lock())?;
+            self.globalize(shard, &mut jobs);
+            merged.append(&mut jobs);
+        }
+        merged.sort_by_key(|j| j.id);
+        Ok(merged)
+    }
+}
+
+fn jobs_response(jobs: &[RemoteJob]) -> String {
+    let seq = Value::Seq(jobs.iter().map(remote_job_to_value).collect());
+    match wire::ok_response(vec![("jobs".to_string(), seq)]) {
+        Ok(s) => s,
+        Err(e) => wire::error_response(&e.to_string(), None),
+    }
+}
+
+fn error_to_response(e: &FleetError) -> String {
+    match e {
+        FleetError::Backlog { retry_after_ms } => {
+            wire::error_response("queue full", Some(*retry_after_ms))
+        }
+        other => wire::error_response(&other.to_string(), None),
+    }
+}
+
+impl Service for Router {
+    fn handle(&self, req: Request) -> Action {
+        match req {
+            Request::Ping => Action::Reply(
+                wire::ok_response(vec![
+                    ("pong".to_string(), Value::Str("hpceval-fleet-router".to_string())),
+                    ("shards".to_string(), Value::UInt(self.shards.len() as u64)),
+                ])
+                .expect("static response encodes"),
+            ),
+            Request::Submit { jobs } => Action::Reply(match self.submit(jobs) {
+                Ok(ids) => wire::ok_response(vec![
+                    ("accepted".to_string(), Value::UInt(ids.len() as u64)),
+                    ("ids".to_string(), Value::Seq(ids.into_iter().map(Value::UInt).collect())),
+                ])
+                .expect("ids encode"),
+                Err(e) => error_to_response(&e),
+            }),
+            Request::Status { job } => Action::Reply(match self.status(job) {
+                Ok(jobs) => jobs_response(&jobs),
+                Err(e) => error_to_response(&e),
+            }),
+            Request::Drain => Action::Reply(match self.drain() {
+                Ok(jobs) => jobs_response(&jobs),
+                Err(e) => error_to_response(&e),
+            }),
+            Request::Ranking => Action::Reply(match self.ranking() {
+                Ok(rows) => ranking_response(
+                    rows.into_iter().map(|r| (r.server, r.ppw, r.degraded)).collect(),
+                ),
+                Err(e) => error_to_response(&e),
+            }),
+            Request::Shutdown => {
+                // Stop the shards first so their final states are
+                // durable before the router acknowledges.
+                let response = match self.shutdown_shards() {
+                    Ok(()) => wire::ok_response(vec![("stopping".to_string(), Value::Bool(true))])
+                        .expect("static response encodes"),
+                    Err(e) => error_to_response(&e),
+                };
+                Action::ReplyThenShutdown(response)
+            }
+        }
+    }
+
+    fn poll_deferred(&self) -> Option<String> {
+        None
+    }
+
+    fn begin_shutdown(&self) {
+        self.request_shutdown();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router_with(n: usize) -> Router {
+        // Build the shard table without sockets: tests below only use
+        // the pure id/shard arithmetic.
+        Router {
+            shards: (0..n).map(|_| unreachable_client()).collect(),
+            next_key: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn unreachable_client() -> Mutex<FleetClient> {
+        // A listener that never accepts still completes the TCP
+        // handshake (kernel backlog), giving a real connected client.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        Mutex::new(FleetClient::connect(listener.local_addr().unwrap()).unwrap())
+    }
+
+    #[test]
+    fn global_ids_round_trip_for_any_shard_count() {
+        for n in [1usize, 2, 3, 7] {
+            let r = router_with(n);
+            for shard in 0..n {
+                for local in [0u64, 1, 5, 1000] {
+                    let g = r.to_global(shard, local);
+                    assert_eq!(r.split_global(g), (shard, local));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_covers_all_shards_roughly_uniformly() {
+        let r = router_with(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4096u64 {
+            counts[r.shard_of(key)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1350).contains(&c),
+                "shard {i} got {c} of 4096 keys — splitmix64 range partition should be near-uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_of_is_deterministic() {
+        let a = router_with(3);
+        let b = router_with(3);
+        for key in 0..256u64 {
+            assert_eq!(a.shard_of(key), b.shard_of(key));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The readiness-loop TCP front-end shared by the daemon and the
+//! router: one thread, non-blocking accept, and a per-connection
+//! read/write state machine — no handler thread per connection.
+//!
+//! # Shape
+//!
+//! A [`Poller`] (vendored epoll on Linux, portable `poll` elsewhere)
+//! watches the listener plus every live connection, each keyed by a
+//! monotonically assigned `usize`. Each [`Conn`] carries the wire
+//! state that a blocking handler kept implicitly on its stack:
+//!
+//! - an incremental [`FrameDecoder`] reassembling u32-BE
+//!   length-prefixed frames across arbitrarily torn reads, and
+//! - an outbox (`Vec<u8>` plus a flush cursor) carrying encoded
+//!   response frames across partial writes.
+//!
+//! Write interest is registered only while the outbox is non-empty, so
+//! an idle connection costs one registered fd and nothing else.
+//!
+//! # Services and deferred responses
+//!
+//! The loop is generic over a [`Service`]: the daemon and the router
+//! plug in request handling via [`Service::handle`], which returns an
+//! [`Action`]. A `drain` cannot be answered inline — it completes only
+//! when the queue runs dry, and blocking the event loop on it would
+//! starve every other connection — so a service may return
+//! [`Action::Defer`]; the loop then re-asks [`Service::poll_deferred`]
+//! each tick and releases the response when it is ready. Frames that
+//! arrive on a connection while its response is deferred stay buffered
+//! (responses are strictly ordered per connection). `shutdown` replies
+//! first and stops the loop only after the response is flushed.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::Duration;
+
+use polling::{Event, Interest, Poller};
+
+use crate::error::FleetError;
+use crate::wire::{self, FrameDecoder, Request};
+
+/// How a [`Service`] disposes of one decoded request.
+pub(crate) enum Action {
+    /// Send this response now.
+    Reply(String),
+    /// The response is not ready; poll [`Service::poll_deferred`].
+    Defer,
+    /// Send this response, then stop the serve loop once it is flushed.
+    ReplyThenShutdown(String),
+}
+
+/// A protocol endpoint served by [`serve_readiness`].
+pub(crate) trait Service: Sync {
+    /// Dispose of one request.
+    fn handle(&self, req: Request) -> Action;
+    /// Non-blocking completion check for a deferred response.
+    fn poll_deferred(&self) -> Option<String>;
+    /// A flushed shutdown response commits the stop.
+    fn begin_shutdown(&self);
+    /// True once the loop should exit.
+    fn shutting_down(&self) -> bool;
+}
+
+/// Poll tick: bounds shutdown/drain-completion latency.
+const TICK: Duration = Duration::from_millis(25);
+/// The listener's key; connection keys start above it.
+const LISTENER_KEY: usize = 0;
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbox: Vec<u8>,
+    sent: usize,
+    interest: Interest,
+    /// A response is pending in the service (drain in progress).
+    deferred: bool,
+    /// Peer half-closed; reap once the outbox flushes.
+    eof: bool,
+    /// Protocol violation: finish flushing the error frame, then drop.
+    close_after_flush: bool,
+    /// Flushed response commits daemon shutdown.
+    shutdown_after_flush: bool,
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            interest: Interest::READABLE,
+            deferred: false,
+            eof: false,
+            close_after_flush: false,
+            shutdown_after_flush: false,
+            dead: false,
+        }
+    }
+
+    /// Append one encoded response frame to the outbox.
+    fn queue_response(&mut self, json: &str) {
+        match wire::encode_frame(json) {
+            Ok(frame) => self.outbox.extend_from_slice(&frame),
+            Err(e) => {
+                // Response too large to frame: report that instead of
+                // wedging the connection, then drop it.
+                let fallback = wire::error_response(&e.to_string(), None);
+                self.outbox.extend_from_slice(
+                    &wire::encode_frame(&fallback).expect("error responses are small"),
+                );
+                self.close_after_flush = true;
+            }
+        }
+    }
+
+    /// Drain the socket's receive buffer into the decoder.
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return;
+                }
+                Ok(n) => self.decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decode and dispatch buffered frames, stopping while a response
+    /// is deferred so per-connection response order is preserved.
+    fn dispatch(&mut self, service: &impl Service) {
+        while !self.deferred && !self.close_after_flush && !self.dead {
+            match self.decoder.next_frame() {
+                Ok(Some(frame)) => match Request::from_json(&frame) {
+                    Ok(req) => match service.handle(req) {
+                        Action::Reply(r) => self.queue_response(&r),
+                        Action::Defer => self.deferred = true,
+                        Action::ReplyThenShutdown(r) => {
+                            self.queue_response(&r);
+                            self.shutdown_after_flush = true;
+                        }
+                    },
+                    // A malformed request in a well-formed frame gets an
+                    // error response; the connection survives.
+                    Err(e) => self.queue_response(&wire::error_response(&e.to_string(), None)),
+                },
+                Ok(None) => break,
+                Err(e) => {
+                    // Unframeable stream (oversize/torn prefix): reply,
+                    // then close — the byte stream cannot be resynced.
+                    self.queue_response(&wire::error_response(&e.to_string(), None));
+                    self.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    /// Push outbox bytes to the socket until done or it would block.
+    fn flush(&mut self, service: &impl Service) {
+        while self.sent < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.sent..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.outbox.clear();
+        self.sent = 0;
+        if self.shutdown_after_flush {
+            service.begin_shutdown();
+        }
+        if self.close_after_flush {
+            self.dead = true;
+        }
+    }
+
+    fn wants_write(&self) -> bool {
+        self.sent < self.outbox.len()
+    }
+}
+
+/// Serve `service` on `listener` with a single-threaded readiness loop
+/// until the service reports shutdown.
+pub(crate) fn serve_readiness<S: Service>(
+    service: &S,
+    listener: TcpListener,
+) -> Result<(), FleetError> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_key = LISTENER_KEY + 1;
+    let mut events: Vec<Event> = Vec::new();
+    while !service.shutting_down() {
+        poller.wait(&mut events, Some(TICK))?;
+        for ev in &events {
+            if ev.key == LISTENER_KEY {
+                accept_ready(&listener, &poller, &mut conns, &mut next_key)?;
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.key) else { continue };
+            if ev.readable {
+                conn.fill();
+                conn.dispatch(service);
+            }
+            if ev.writable {
+                conn.flush(service);
+            }
+        }
+        // Tick work: deferred completions, opportunistic flushes,
+        // interest updates, and reaping.
+        let deferred_response =
+            if conns.values().any(|c| c.deferred) { service.poll_deferred() } else { None };
+        for (&key, conn) in conns.iter_mut() {
+            if conn.deferred {
+                if let Some(resp) = &deferred_response {
+                    conn.deferred = false;
+                    conn.queue_response(resp);
+                    // Frames buffered behind the drain now get served.
+                    conn.dispatch(service);
+                }
+            }
+            if conn.wants_write() && !conn.dead {
+                conn.flush(service);
+            }
+            if conn.eof && !conn.wants_write() && !conn.deferred {
+                conn.dead = true;
+            }
+            if conn.dead {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+                continue;
+            }
+            let want = Interest { readable: true, writable: conn.wants_write() };
+            if want != conn.interest {
+                poller.modify(conn.stream.as_raw_fd(), key, want)?;
+                conn.interest = want;
+            }
+        }
+        conns.retain(|_, c| !c.dead);
+    }
+    Ok(())
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<usize, Conn>,
+    next_key: &mut usize,
+) -> Result<(), FleetError> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(true)?;
+                // Small request/response frames: don't let Nagle batch.
+                let _ = stream.set_nodelay(true);
+                let key = *next_key;
+                *next_key += 1;
+                poller.add(stream.as_raw_fd(), key, Interest::READABLE)?;
+                conns.insert(key, Conn::new(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}

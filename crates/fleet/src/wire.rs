@@ -13,6 +13,7 @@
 //! {"op":"status"}                               // whole-fleet snapshot
 //! {"op":"status","job":N}                       // one job
 //! {"op":"drain"}                                // finish queue, report
+//! {"op":"ranking"}                              // §V merged ranking rows
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -41,6 +42,82 @@ pub fn write_frame(w: &mut impl Write, json: &str) -> Result<(), FleetError> {
     w.write_all(json.as_bytes())?;
     w.flush()?;
     Ok(())
+}
+
+/// Encode one frame into a byte vector (prefix + payload) without
+/// touching a socket — the readiness loop's write state machine needs
+/// the bytes up front so it can flush them across partial writes.
+pub fn encode_frame(json: &str) -> Result<Vec<u8>, FleetError> {
+    if json.len() > MAX_FRAME {
+        return Err(FleetError::Protocol(format!("frame of {} bytes exceeds cap", json.len())));
+    }
+    let mut out = Vec::with_capacity(4 + json.len());
+    out.extend_from_slice(&(json.len() as u32).to_be_bytes());
+    out.extend_from_slice(json.as_bytes());
+    Ok(out)
+}
+
+/// Incremental frame decoder for non-blocking reads.
+///
+/// Bytes arrive in whatever slices the kernel hands back — possibly a
+/// single byte, possibly three frames and half a length prefix — and
+/// [`extend`](FrameDecoder::extend) just buffers them.
+/// [`next_frame`](FrameDecoder::next_frame) yields complete payloads in
+/// order. The length prefix is validated against [`MAX_FRAME`] as soon
+/// as its four bytes are present, *before* any payload is buffered, so
+/// a garbage prefix cannot make the daemon reserve gigabytes; a
+/// decoder error is sticky for the connection (the server replies and
+/// closes, mirroring the blocking `read_frame` discipline).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Buffer newly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: consumed prefix space is reused so a
+        // long-lived connection's buffer stays bounded by one frame
+        // plus one read chunk.
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, if one is fully buffered.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FleetError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let len_buf: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().expect("4-byte slice");
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(FleetError::Protocol(format!("frame length {len} exceeds cap")));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let payload = std::str::from_utf8(&self.buf[start..start + len])
+            .map_err(|_| FleetError::Protocol("frame is not UTF-8".to_string()))?
+            .to_string();
+        self.pos = start + len;
+        Ok(Some(payload))
+    }
 }
 
 /// Read one frame; `Ok(None)` on a clean EOF at a frame boundary.
@@ -80,6 +157,8 @@ pub enum Request {
     },
     /// Stop accepting submits, run the queue dry, report the outcome.
     Drain,
+    /// The §V power-preference ranking over finished Evaluate jobs.
+    Ranking,
     /// Stop the daemon.
     Shutdown,
 }
@@ -107,6 +186,7 @@ impl Request {
             }
             "status" => Ok(Request::Status { job: v.get("job").and_then(Value::as_u64) }),
             "drain" => Ok(Request::Drain),
+            "ranking" => Ok(Request::Ranking),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(FleetError::Protocol(format!("unknown op {other:?}"))),
         }
@@ -131,6 +211,7 @@ impl Request {
                 }
             }
             Request::Drain => pairs.push(("op".into(), Value::Str("drain".into()))),
+            Request::Ranking => pairs.push(("op".into(), Value::Str("ranking".into()))),
             Request::Shutdown => pairs.push(("op".into(), Value::Str("shutdown".into()))),
         }
         codec::encode_strict(&Value::Map(pairs))
@@ -191,6 +272,38 @@ mod tests {
     }
 
     #[test]
+    fn decoder_reassembles_frames_from_single_byte_slices() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, "{\"op\":\"ping\"}").unwrap();
+        write_frame(&mut stream, "{\"op\":\"ranking\"}").unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, ["{\"op\":\"ping\"}", "{\"op\":\"ranking\"}"]);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_oversize_prefix_before_payload_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(dec.next_frame(), Err(FleetError::Protocol(_))));
+    }
+
+    #[test]
+    fn decoder_waits_on_torn_length_prefix() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&[0, 0]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 2);
+    }
+
+    #[test]
     fn oversize_length_prefix_is_rejected_without_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(u32::MAX).to_be_bytes());
@@ -211,6 +324,7 @@ mod tests {
             Request::Status { job: None },
             Request::Status { job: Some(4) },
             Request::Drain,
+            Request::Ranking,
             Request::Shutdown,
         ];
         for req in reqs {

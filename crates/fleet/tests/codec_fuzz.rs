@@ -1,0 +1,181 @@
+//! Adversarial partial-I/O tests for the framed codec and the
+//! readiness-loop connection state machines.
+//!
+//! The readiness front-end sees the wire exactly as the kernel hands
+//! it over: frames torn at arbitrary byte boundaries, length prefixes
+//! split across reads, pipelined bursts arriving in one slice. These
+//! tests drive [`FrameDecoder`] through randomized tearings and the
+//! live server through a one-byte trickle, and pin the 1 MiB cap at
+//! both edges.
+
+use proptest::prelude::*;
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpceval_fleet::wire::{
+    encode_frame, read_frame, write_frame, FrameDecoder, Request, MAX_FRAME,
+};
+use hpceval_fleet::{FaultPlan, Fleet, FleetClient, FleetConfig, JobKind, Registry};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop::sample::select(vec![
+        Request::Ping,
+        Request::Status { job: None },
+        Request::Status { job: Some(7) },
+        Request::Drain,
+        Request::Ranking,
+        Request::Shutdown,
+        Request::Submit { jobs: vec![JobKind::Evaluate { server: "xeon-e5462".into(), seed: 3 }] },
+        Request::Submit {
+            jobs: vec![
+                JobKind::Green500 { server: "xeon-4870".into() },
+                JobKind::Specpower { server: "opteron-8347".into() },
+            ],
+        },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the read-slice boundaries, the decoder reproduces the
+    /// exact request sequence with nothing left pending.
+    #[test]
+    fn frames_survive_arbitrary_tearing(
+        reqs in prop::collection::vec(arb_request(), 1..12),
+        cuts in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for r in &reqs {
+            stream.extend(encode_frame(&r.to_json().unwrap()).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        let mut ci = 0;
+        while offset < stream.len() {
+            let n = cuts[ci % cuts.len()].min(stream.len() - offset);
+            ci += 1;
+            dec.extend(&stream[offset..offset + n]);
+            offset += n;
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(Request::from_json(&frame).unwrap());
+            }
+        }
+        prop_assert_eq!(out, reqs);
+        prop_assert_eq!(dec.pending(), 0);
+    }
+
+    /// A stream truncated mid-prefix or mid-payload yields exactly the
+    /// complete frames and parks the torn tail without error.
+    #[test]
+    fn truncation_parks_the_torn_tail_without_error(
+        reqs in prop::collection::vec(arb_request(), 1..6),
+        dropped in 1usize..64,
+    ) {
+        let mut frames = Vec::new();
+        let mut stream = Vec::new();
+        for r in &reqs {
+            let bytes = encode_frame(&r.to_json().unwrap()).unwrap();
+            frames.push((stream.len(), bytes.len()));
+            stream.extend(bytes);
+        }
+        let keep = stream.len().saturating_sub(dropped);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..keep]);
+        let mut decoded = 0;
+        while let Some(frame) = dec.next_frame().unwrap() {
+            prop_assert_eq!(&Request::from_json(&frame).unwrap(), &reqs[decoded]);
+            decoded += 1;
+        }
+        // Exactly the frames that fit completely inside the kept prefix.
+        let expect = frames.iter().take_while(|&&(start, len)| start + len <= keep).count();
+        prop_assert_eq!(decoded, expect);
+        let consumed: usize = frames[..decoded].iter().map(|&(_, len)| len).sum();
+        prop_assert_eq!(dec.pending(), keep - consumed);
+    }
+
+    /// A length prefix beyond the cap is rejected the moment its four
+    /// bytes are present — before any payload exists to allocate.
+    #[test]
+    fn oversize_prefix_is_rejected_at_the_fourth_byte(
+        len in (MAX_FRAME as u64 + 1)..=u64::from(u32::MAX),
+    ) {
+        let prefix = (len as u32).to_be_bytes();
+        let mut dec = FrameDecoder::new();
+        for &b in &prefix[..3] {
+            dec.extend(&[b]);
+            prop_assert!(dec.next_frame().unwrap().is_none(), "prefix still torn");
+        }
+        dec.extend(&prefix[3..]);
+        prop_assert!(dec.next_frame().is_err());
+    }
+}
+
+#[test]
+fn the_cap_is_inclusive_below_and_exclusive_above() {
+    let at_cap = "a".repeat(MAX_FRAME);
+    let mut dec = FrameDecoder::new();
+    dec.extend(&encode_frame(&at_cap).unwrap());
+    assert_eq!(dec.next_frame().unwrap().unwrap().len(), MAX_FRAME);
+
+    let over = "a".repeat(MAX_FRAME + 1);
+    assert!(encode_frame(&over).is_err(), "writer side refuses");
+    let mut dec = FrameDecoder::new();
+    dec.extend(&((MAX_FRAME + 1) as u32).to_be_bytes());
+    assert!(dec.next_frame().is_err(), "reader side refuses at the prefix");
+}
+
+/// Drive the live readiness server the nastiest way a client can:
+/// three pipelined requests delivered one byte per write, then an
+/// oversize prefix on a second connection, which must draw an error
+/// response and a close without disturbing the daemon.
+#[test]
+fn readiness_server_survives_one_byte_trickle_and_bad_prefix() {
+    let wal =
+        std::env::temp_dir().join(format!("hpceval-fleet-trickle-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    let config = FleetConfig { faults: FaultPlan::none(), ..FleetConfig::default() };
+    let fleet = Fleet::open(config, Registry::with_presets(), &wal).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let serve = {
+        let f = Arc::clone(&fleet);
+        std::thread::spawn(move || f.serve(listener))
+    };
+
+    // One byte per segment: nodelay plus a scheduling pause per byte
+    // forces the server to reassemble every frame from 1-byte reads.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut pipelined = Vec::new();
+    write_frame(&mut pipelined, &Request::Ping.to_json().unwrap()).unwrap();
+    write_frame(&mut pipelined, &Request::Status { job: None }.to_json().unwrap()).unwrap();
+    write_frame(&mut pipelined, &Request::Ranking.to_json().unwrap()).unwrap();
+    for &b in &pipelined {
+        stream.write_all(&[b]).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let pong = read_frame(&mut stream).unwrap().unwrap();
+    assert!(pong.contains("pong"), "{pong}");
+    let status = read_frame(&mut stream).unwrap().unwrap();
+    assert!(status.contains("\"jobs\""), "{status}");
+    let ranking = read_frame(&mut stream).unwrap().unwrap();
+    assert!(ranking.contains("\"ranking\""), "{ranking}");
+    drop(stream);
+
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let err = read_frame(&mut bad).unwrap().unwrap();
+    assert!(err.contains("\"ok\":false"), "{err}");
+    assert_eq!(read_frame(&mut bad).unwrap(), None, "protocol error closes the connection");
+
+    let mut client = FleetClient::connect(addr).unwrap();
+    client.ping().expect("daemon unharmed by the bad prefix");
+    client.shutdown().unwrap();
+    serve.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&wal);
+}

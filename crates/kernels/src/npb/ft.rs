@@ -12,6 +12,7 @@
 //! C = 512×512×512 / 20.
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 use rayon::prelude::*;
 
 use crate::fft::{fft_batched_with, Direction, TwiddleTable, C64};
@@ -20,6 +21,14 @@ use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 use crate::transpose::{transpose_tiles, TILE};
 
 use super::Class;
+
+// Logical trace address bases for the two transpose buffers. The
+// transposes ping-pong between the live field and the workspace scratch
+// (`mem::swap` after each one), so which physical buffer is the source
+// alternates with the transpose phase; labelling by parity makes the
+// replayed streams alias exactly like the real buffers do.
+const TRACE_FIELD: u64 = 0x10_0000_0000;
+const TRACE_SCRATCH: u64 = 0x20_0000_0000;
 
 /// The FT benchmark at a given class.
 #[derive(Debug, Clone, Copy)]
@@ -131,34 +140,77 @@ pub fn fft3(f: &mut Field3, dir: Direction) {
 /// pool width, so the result is bitwise deterministic.
 pub fn fft3_with(f: &mut Field3, dir: Direction, ws: &mut FtWorkspace) {
     assert_eq!((f.nx, f.ny, f.nz), (ws.nx, ws.ny, ws.nz), "workspace shape must match the field");
-    // Pass 1: lines along x are contiguous.
+    // Pass 1: lines along x are contiguous. Each dimension pass opens a
+    // trace epoch so the sweeps stay separated in the captured stream
+    // (one call transposes the same logical chunks four times).
+    hooks::begin_epoch(Region::Ft);
     fft_batched_with(&ws.tw_x, &mut f.data, dir);
     // Pass 2: transpose x<->y, transform the old-y lines (now
     // contiguous), transpose back.
-    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    hooks::begin_epoch(Region::Ft);
+    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch, 0);
     std::mem::swap(&mut f.data, &mut ws.scratch);
     std::mem::swap(&mut f.nx, &mut f.ny);
     fft_batched_with(&ws.tw_y, &mut f.data, dir);
-    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    transpose_xy_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch, 1);
     std::mem::swap(&mut f.data, &mut ws.scratch);
     std::mem::swap(&mut f.nx, &mut f.ny);
     // Pass 3: the same dance for x<->z.
-    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    hooks::begin_epoch(Region::Ft);
+    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch, 2);
     std::mem::swap(&mut f.data, &mut ws.scratch);
     std::mem::swap(&mut f.nx, &mut f.nz);
     fft_batched_with(&ws.tw_z, &mut f.data, dir);
-    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch);
+    transpose_xz_into(f.nx, f.ny, f.nz, &f.data, &mut ws.scratch, 3);
     std::mem::swap(&mut f.data, &mut ws.scratch);
     std::mem::swap(&mut f.nx, &mut f.nz);
+}
+
+/// Source/destination trace bases for transpose `phase` (0..4 within
+/// one [`fft3_with`]): even phases read the buffer that started as the
+/// live field, odd phases read the one that started as scratch.
+fn trace_bases(phase: u64) -> (u64, u64) {
+    if phase.is_multiple_of(2) {
+        (TRACE_FIELD, TRACE_SCRATCH)
+    } else {
+        (TRACE_SCRATCH, TRACE_FIELD)
+    }
 }
 
 /// Transpose the x and y axes: `dst[(z·nx + x)·ny + y] =
 /// src[(z·ny + y)·nx + x]`. Parallel over the destination's z-planes,
 /// each a tiled 2-D transpose of the matching source plane.
-fn transpose_xy_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64]) {
+fn transpose_xy_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64], phase: u64) {
     debug_assert_eq!(src.len(), nx * ny * nz);
     debug_assert_eq!(dst.len(), nx * ny * nz);
     dst.par_chunks_mut(nx * ny).enumerate().for_each(|(z, plane)| {
+        // Trace the plane's traffic: the matching source plane streams
+        // in, the destination plane streams out (the within-plane
+        // permutation is cache-blocked, so plane granularity is the
+        // honest level). The chunk id is a pure function of (phase, z),
+        // never of which worker ran the plane.
+        let chunk = (phase << 32) | z as u64;
+        if hooks::chunk_enabled(Region::Ft, chunk) {
+            let (src_base, dst_base) = trace_bases(phase);
+            let plane_bytes = (nx * ny * 16) as u32;
+            let off = (z as u64) * u64::from(plane_bytes);
+            hooks::record(
+                Region::Ft,
+                chunk,
+                AccessKind::Read,
+                src_base + off,
+                16,
+                plane_bytes / 16,
+            );
+            hooks::record(
+                Region::Ft,
+                chunk,
+                AccessKind::Write,
+                dst_base + off,
+                16,
+                plane_bytes / 16,
+            );
+        }
         // plane[x·ny + y] = src[z·nx·ny + y·nx + x]
         transpose_tiles(src, z * nx * ny, nx, plane, 0, ny, ny, nx, |d, s| *d = s);
     });
@@ -167,12 +219,41 @@ fn transpose_xy_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C6
 /// Transpose the x and z axes: `dst[(x·ny + y)·nz + z] =
 /// src[(z·ny + y)·nx + x]`. Parallel over x-bands of the destination;
 /// within a band, each y gives a strided 2-D transpose over (z, x).
-fn transpose_xz_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64]) {
+fn transpose_xz_into(nx: usize, ny: usize, nz: usize, src: &[C64], dst: &mut [C64], phase: u64) {
     debug_assert_eq!(src.len(), nx * ny * nz);
     debug_assert_eq!(dst.len(), nx * ny * nz);
     dst.par_chunks_mut(TILE * ny * nz).enumerate().for_each(|(band, chunk)| {
         let x0 = band * TILE;
         let band_w = chunk.len() / (ny * nz);
+        // The xz band gathers a column slab from *every* source plane —
+        // the all-to-all character the distributed FT pays for. Model
+        // the reads as one large-stride descriptor per plane (a row
+        // start per y; the band's rows are nx elements apart) and the
+        // writes as the band's contiguous destination stream.
+        let trace_chunk = (phase << 32) | band as u64;
+        if hooks::chunk_enabled(Region::Ft, trace_chunk) {
+            let (src_base, dst_base) = trace_bases(phase);
+            for z in 0..nz {
+                let off = ((z * ny * nx + x0) * 16) as u64;
+                hooks::record(
+                    Region::Ft,
+                    trace_chunk,
+                    AccessKind::Read,
+                    src_base + off,
+                    (nx * 16) as u32,
+                    ny as u32,
+                );
+            }
+            let off = (x0 * ny * nz * 16) as u64;
+            hooks::record(
+                Region::Ft,
+                trace_chunk,
+                AccessKind::Write,
+                dst_base + off,
+                16,
+                chunk.len() as u32,
+            );
+        }
         for y in 0..ny {
             // chunk[(dx·ny + y)·nz + z] = src[z·nx·ny + y·nx + x0 + dx]
             transpose_tiles(
@@ -316,7 +397,7 @@ mod tests {
         let (nx, ny, nz) = (8, 4, 2);
         let f = Field3::random(nx, ny, nz, 3);
         let mut t = vec![C64::default(); f.data.len()];
-        transpose_xy_into(nx, ny, nz, &f.data, &mut t);
+        transpose_xy_into(nx, ny, nz, &f.data, &mut t, 0);
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
@@ -325,7 +406,7 @@ mod tests {
             }
         }
         let mut back = vec![C64::default(); f.data.len()];
-        transpose_xy_into(ny, nx, nz, &t, &mut back);
+        transpose_xy_into(ny, nx, nz, &t, &mut back, 1);
         assert_eq!(f.data, back);
     }
 
@@ -336,7 +417,7 @@ mod tests {
         let (nx, ny, nz) = (8, 3, 5);
         let f = Field3::random(nx, ny, nz, 3);
         let mut t = vec![C64::default(); f.data.len()];
-        transpose_xz_into(nx, ny, nz, &f.data, &mut t);
+        transpose_xz_into(nx, ny, nz, &f.data, &mut t, 2);
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
@@ -345,7 +426,7 @@ mod tests {
             }
         }
         let mut back = vec![C64::default(); f.data.len()];
-        transpose_xz_into(nz, ny, nx, &t, &mut back);
+        transpose_xz_into(nz, ny, nx, &t, &mut back, 3);
         assert_eq!(f.data, back);
     }
 
@@ -355,7 +436,7 @@ mod tests {
         let (nx, ny, nz) = (64, 4, 8);
         let f = Field3::random(nx, ny, nz, 11);
         let mut t = vec![C64::default(); f.data.len()];
-        transpose_xz_into(nx, ny, nz, &f.data, &mut t);
+        transpose_xz_into(nx, ny, nz, &f.data, &mut t, 2);
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {

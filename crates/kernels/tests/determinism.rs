@@ -354,6 +354,9 @@ fn captured_traces_bitwise_identical_across_widths() {
             Region::RandomAccess => {
                 hpceval_kernels::hpcc::random_access::run(14, 4 << 14, 9);
             }
+            Region::Ft => {
+                ft::run_scaled(16, 16, 8, 1);
+            }
         });
         guard.finish()
     }

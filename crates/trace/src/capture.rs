@@ -114,12 +114,21 @@ pub enum Region {
     Is,
     /// HPCC RandomAccess (GUPS table updates).
     RandomAccess,
+    /// NPB FT (3-D FFT dimension passes).
+    Ft,
 }
 
 impl Region {
     /// All instrumented regions, in wire-tag order.
-    pub const ALL: [Region; 6] =
-        [Region::Dgemm, Region::Stream, Region::Cg, Region::Mg, Region::Is, Region::RandomAccess];
+    pub const ALL: [Region; 7] = [
+        Region::Dgemm,
+        Region::Stream,
+        Region::Cg,
+        Region::Mg,
+        Region::Is,
+        Region::RandomAccess,
+        Region::Ft,
+    ];
 
     /// Wire tag (stable across versions).
     pub fn tag(self) -> u8 {
@@ -130,6 +139,7 @@ impl Region {
             Region::Mg => 4,
             Region::Is => 5,
             Region::RandomAccess => 6,
+            Region::Ft => 7,
         }
     }
 
@@ -147,6 +157,7 @@ impl Region {
             Region::Mg => "mg",
             Region::Is => "is",
             Region::RandomAccess => "randomaccess",
+            Region::Ft => "ft",
         }
     }
 

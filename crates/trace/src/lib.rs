@@ -33,7 +33,8 @@ pub mod replay;
 pub mod ring;
 
 pub use capture::{
-    hooks, CaptureConfig, CaptureGuard, ChunkTrace, DecodeError, Region, Trace, TraceMode,
+    hooks, splitmix64, CaptureConfig, CaptureGuard, ChunkTrace, DecodeError, Region, Trace,
+    TraceMode,
 };
 pub use event::{AccessKind, TraceEvent};
 pub use replay::{replay, ReplayOptions, TraceCounters};

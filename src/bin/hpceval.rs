@@ -11,7 +11,7 @@
 //! hpceval monitor <server> [seed]     streaming monitor with fault injection
 //! hpceval verify                      run every kernel's verification
 //! hpceval trace capture|replay|stats  address-trace capture and replay (JSON)
-//! hpceval fleet serve|submit|status|drain|shutdown|smoke
+//! hpceval fleet serve|route|submit|status|drain|shutdown|smoke|bench
 //!                                     fault-tolerant orchestration daemon
 //! ```
 //!
@@ -223,7 +223,7 @@ usage: hpceval trace <capture|replay|stats> [flags]
   stats             [--server NAME] [--seed N] [--mode sampled|full]
                     run the full trace-driven regression experiment;
                     print per-kernel profiles and the R² triple as JSON
-  kernels: dgemm stream cg mg is randomaccess
+  kernels: dgemm stream cg mg is randomaccess ft
   --mode defaults to $HPCEVAL_TRACE, then to full";
 
 fn trace_usage_error(msg: &str) -> ExitCode {
@@ -415,18 +415,26 @@ fn trace_stats(args: &[String]) -> ExitCode {
 }
 
 const FLEET_USAGE: &str = "\
-usage: hpceval fleet <serve|submit|status|drain|shutdown|smoke> [flags]
+usage: hpceval fleet <serve|route|submit|status|drain|shutdown|smoke|bench> [flags]
   serve    --wal <path> [--addr HOST:PORT] [--workers N] [--queue-cap N]
            [--max-attempts N] [--crash-p X] [--straggler-p X]
            [--dropout-p X] [--fault-seed N]
+  route    --shards ADDR[,ADDR...] [--addr HOST:PORT]
+           fan-out router over running shard daemons (shard order is
+           baked into global job ids — keep it stable across restarts)
   submit   [--addr HOST:PORT] <kind>:<server>[:<seed>] ...
            kinds: evaluate green500 specpower train report
   status   [--addr HOST:PORT] [--job N]
   drain    [--addr HOST:PORT]
   shutdown [--addr HOST:PORT]
-  smoke    [--seed N]   self-contained daemon smoke test (CI entry point)";
+  smoke    [--seed N]   self-contained daemon smoke test (CI entry point)
+  bench    [--ops N] [--shards N] [--clients N] [--submit-every N]
+           [--check BENCH_fleet.json] [--tolerance X]
+           in-process sustained load: sharded daemons + router, p50/p99
+           latency and ops/s, optional drift check against a baseline";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7621";
+const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7620";
 
 /// `(--key, value)` pairs plus the leftover positional arguments.
 type ParsedArgs<'a> = (Vec<(&'a str, &'a str)>, Vec<&'a str>);
@@ -477,6 +485,8 @@ fn fleet_usage_error(msg: &str) -> ExitCode {
 fn fleet_cmd(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => fleet_serve(&args[1..]),
+        Some("route") => fleet_route(&args[1..]),
+        Some("bench") => fleet_bench(&args[1..]),
         Some("submit") => fleet_submit(&args[1..]),
         Some("status") => fleet_status(&args[1..]),
         Some("drain") => fleet_drain(&args[1..]),
@@ -564,6 +574,132 @@ fn fleet_serve(args: &[String]) -> ExitCode {
             eprintln!("daemon error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn fleet_route(args: &[String]) -> ExitCode {
+    use hpceval::fleet::Router;
+
+    let (flags, positional) = match parse_flags(args, &["shards", "addr"]) {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let Some(shards) = flag(&flags, "shards") else {
+        return fleet_usage_error("route requires --shards ADDR[,ADDR...]");
+    };
+    let shard_addrs: Vec<&str> = shards.split(',').filter(|s| !s.is_empty()).collect();
+    if shard_addrs.is_empty() {
+        return fleet_usage_error("--shards needs at least one daemon address");
+    }
+    let addr = flag(&flags, "addr").unwrap_or(DEFAULT_ROUTER_ADDR);
+    let router = match Router::connect(&shard_addrs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot connect to shards: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fleet router listening on {} over {} shard(s)",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string()),
+        router.shard_count()
+    );
+    match router.serve(listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("router error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Scaled-down sustained-load gate (CI runs this in every matrix leg
+/// with `--ops` small and `--check BENCH_fleet.json`; the committed
+/// baseline itself comes from the full `fleet_bench` bin run).
+fn fleet_bench(args: &[String]) -> ExitCode {
+    use hpceval::fleet::bench::{check, parse_baseline};
+    use hpceval::fleet::{run_sustained_load, BenchOptions};
+
+    let parsed =
+        parse_flags(args, &["ops", "shards", "clients", "submit-every", "check", "tolerance"]);
+    let (flags, positional) = match parsed {
+        Ok(p) => p,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let defaults = BenchOptions::default();
+    let opts = match (|| -> Result<BenchOptions, String> {
+        Ok(BenchOptions {
+            ops: parse_flag(&flags, "ops", defaults.ops)?,
+            shards: parse_flag(&flags, "shards", defaults.shards)?,
+            clients: parse_flag(&flags, "clients", defaults.clients)?,
+            submit_every: parse_flag(&flags, "submit-every", defaults.submit_every)?,
+        })
+    })() {
+        Ok(o) => o,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let tolerance = match parse_flag(&flags, "tolerance", 3.0f64) {
+        Ok(t) if t >= 0.0 && t.is_finite() => t,
+        _ => return fleet_usage_error("--tolerance takes a non-negative number"),
+    };
+
+    let report = match run_sustained_load(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} ops over {} client(s), {} shard(s): {:.2}s, {} job(s) completed",
+        report.ops, report.clients, report.shards, report.elapsed_s, report.jobs_completed
+    );
+    for (name, value) in &report.metrics {
+        println!("  {name}: {value:.1}");
+    }
+
+    let Some(path) = flag(&flags, "check") else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| parse_baseline(&s))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot load baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = check(&baseline, &report, tolerance);
+    if failures.is_empty() {
+        println!(
+            "fleet perf check passed: {} metrics within tolerance {tolerance}",
+            baseline.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fleet perf check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -38,6 +38,12 @@ fn malformed_fleet_invocations_print_fleet_usage_and_fail() {
         &["fleet", "submit", "evaluate"],                       // spec lacks server
         &["fleet", "status", "--job", "one"],                   // non-numeric id
         &["fleet", "drain", "extra"],                           // stray positional
+        &["fleet", "route"],                                    // missing required --shards
+        &["fleet", "route", "--shards", ","],                   // no addresses in list
+        &["fleet", "route", "--relay", "x"],                    // unknown flag
+        &["fleet", "bench", "--ops", "many"],                   // bad number
+        &["fleet", "bench", "--tolerance", "-1"],               // negative tolerance
+        &["fleet", "bench", "extra"],                           // stray positional
     ];
     for args in cases {
         let out = hpceval(args);

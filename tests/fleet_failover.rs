@@ -1,0 +1,157 @@
+//! Shard failover under `kill -9`: a sharded fleet loses one daemon
+//! mid-load, a replacement replays the dead shard's WAL, and the
+//! router's merged §V ranking must come out **bitwise-equal** to an
+//! uninterrupted run — crash recovery may cost time, never results.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use hpceval::fleet::{JobKind, RankedServer, Router};
+
+/// A `hpceval fleet serve` subprocess on an ephemeral port.
+struct Daemon {
+    child: Child,
+    addr: String,
+    restored: usize,
+}
+
+impl Daemon {
+    fn spawn(wal: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hpceval"))
+            .args(["fleet", "serve", "--wal"])
+            .arg(wal)
+            .args(["--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fleet serve");
+        // Banner: "fleet daemon listening on ADDR (N job(s) restored from WAL)"
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("daemon banner");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        let restored = line
+            .split('(')
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"));
+        Daemon { child, addr, restored }
+    }
+
+    /// SIGKILL — no shutdown handshake, no WAL flush courtesy.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The deterministic load: two seeded Evaluate jobs per preset server.
+/// Submitted one at a time so the router's key sequence (and thus the
+/// shard assignment) is identical in both runs.
+fn workload() -> Vec<JobKind> {
+    let mut jobs = Vec::new();
+    for (i, server) in ["xeon-e5462", "opteron-8347", "xeon-4870"].iter().enumerate() {
+        for k in 0..2u64 {
+            jobs.push(JobKind::Evaluate {
+                server: (*server).to_string(),
+                seed: 100 + 2 * i as u64 + k,
+            });
+        }
+    }
+    jobs
+}
+
+fn tmp_wal(tag: &str, shard: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("hpceval-failover-{}-{tag}-{shard}.wal", std::process::id()))
+}
+
+/// Everything that must survive a crash, bit for bit.
+fn fingerprint(rows: &[RankedServer]) -> Vec<(String, u64, bool)> {
+    rows.iter().map(|r| (r.server.clone(), r.ppw.to_bits(), r.degraded)).collect()
+}
+
+fn drain_and_rank(router: &Router) -> Vec<(String, u64, bool)> {
+    let jobs = router.drain().expect("drain");
+    assert_eq!(jobs.len(), workload().len(), "router must see every job");
+    for j in &jobs {
+        assert_eq!(j.state, "Done", "job {} must finish clean, got {}", j.id, j.state);
+    }
+    fingerprint(&router.ranking().expect("ranking"))
+}
+
+fn uninterrupted_run() -> Vec<(String, u64, bool)> {
+    let wals: Vec<_> = (0..2).map(|s| tmp_wal("base", s)).collect();
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    let shards: Vec<_> = wals.iter().map(|w| Daemon::spawn(w)).collect();
+    let router =
+        Router::connect(&shards.iter().map(|d| d.addr.clone()).collect::<Vec<_>>()).unwrap();
+    for job in workload() {
+        router.submit(vec![job]).expect("submit");
+    }
+    let rows = drain_and_rank(&router);
+    router.shutdown_shards().expect("shutdown");
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    rows
+}
+
+fn kill9_failover_run() -> Vec<(String, u64, bool)> {
+    let wals: Vec<_> = (0..2).map(|s| tmp_wal("kill", s)).collect();
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    let mut shards: Vec<_> = wals.iter().map(|w| Daemon::spawn(w)).collect();
+    let addrs: Vec<_> = shards.iter().map(|d| d.addr.clone()).collect();
+    let router = Router::connect(&addrs).unwrap();
+    for job in workload() {
+        router.submit(vec![job]).expect("submit");
+    }
+
+    // Give the shards a moment to start crunching, then murder shard 0
+    // with no warning and replay its WAL into a replacement daemon at
+    // the same shard position (global ids bake in the shard index).
+    std::thread::sleep(Duration::from_millis(25));
+    shards[0].kill9();
+    drop(router);
+    let replacement = Daemon::spawn(&wals[0]);
+    assert!(
+        replacement.restored > 0,
+        "replacement must restore the dead shard's jobs from its WAL"
+    );
+    let router = Router::connect(&[replacement.addr.clone(), shards[1].addr.clone()]).unwrap();
+    let rows = drain_and_rank(&router);
+    router.shutdown_shards().expect("shutdown");
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    rows
+}
+
+#[test]
+fn ranking_survives_kill9_of_a_shard_bitwise() {
+    let baseline = uninterrupted_run();
+    assert!(!baseline.is_empty(), "evaluate jobs must produce ranking rows");
+    let recovered = kill9_failover_run();
+    assert_eq!(
+        recovered, baseline,
+        "WAL replay into a replacement shard must reproduce the merged ranking bit for bit"
+    );
+}

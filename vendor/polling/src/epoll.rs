@@ -1,0 +1,140 @@
+//! Linux backend: raw `epoll` through `extern "C"` declarations of the
+//! libc wrappers std already links. Level-triggered (the epoll
+//! default); `EPOLLERR`/`EPOLLHUP` fold into both readiness directions
+//! so handlers observe the condition from the subsequent syscall.
+
+use std::io;
+use std::time::Duration;
+
+use crate::{timeout_ms, Event, Interest, RawFd};
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Kernel ABI for `struct epoll_event`. On x86-64 the kernel declares
+/// it packed (no padding between the u32 mask and the u64 payload);
+/// other architectures use natural alignment.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn mask(interest: Interest) -> u32 {
+    let mut m = EPOLLRDHUP;
+    if interest.readable {
+        m |= EPOLLIN;
+    }
+    if interest.writable {
+        m |= EPOLLOUT;
+    }
+    m
+}
+
+pub(crate) struct Backend {
+    epfd: RawFd,
+}
+
+impl Backend {
+    pub(crate) fn new() -> io::Result<Backend> {
+        // SAFETY: plain syscall, no pointers involved.
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Backend { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: mask(interest), data: key as u64 };
+        // SAFETY: `ev` is a valid epoll_event for the duration of the
+        // call (the kernel copies it before returning).
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+    }
+
+    pub(crate) fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+    }
+
+    pub(crate) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // A non-null event pointer keeps pre-2.6.9 kernels happy; the
+        // contents are ignored on DEL.
+        self.ctl(EPOLL_CTL_DEL, fd, 0, Interest { readable: false, writable: false })
+    }
+
+    pub(crate) fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        const CAP: usize = 256;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; CAP];
+        // SAFETY: `buf` is a properly sized, writable epoll_event array.
+        let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), CAP as i32, timeout_ms(timeout)) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            // A signal landing mid-wait is not an error; the readiness
+            // loop treats it like a timeout and re-polls.
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for raw in buf.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let m = raw.events;
+            let key = raw.data as usize;
+            let fail = m & (EPOLLERR | EPOLLHUP) != 0;
+            events.push(Event {
+                key,
+                readable: m & (EPOLLIN | EPOLLRDHUP) != 0 || fail,
+                writable: m & EPOLLOUT != 0 || fail,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        // SAFETY: epfd is owned by this backend and closed exactly once.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}

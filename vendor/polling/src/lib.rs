@@ -1,0 +1,262 @@
+//! Offline vendored stand-in for the `polling` crate: a minimal
+//! level-triggered readiness API over OS multiplexing primitives.
+//!
+//! # Scope
+//!
+//! Exactly the subset the fleet server's readiness loop needs:
+//!
+//! - [`Poller::new`] / [`Poller::add`] / [`Poller::modify`] /
+//!   [`Poller::delete`] to manage watched file descriptors, each tagged
+//!   with a caller-chosen `usize` key;
+//! - [`Poller::wait`] to block (with optional timeout) until some
+//!   watched descriptor is ready, returning [`Event`]s.
+//!
+//! Semantics are **level-triggered**: a descriptor that stays readable
+//! keeps being reported on every `wait`, so a handler that does not
+//! drain its socket is woken again rather than wedged. That is the
+//! forgiving mode (the real crate's `PollMode::Level`), and it is the
+//! only mode offered here.
+//!
+//! # Backends
+//!
+//! On Linux the backend is `epoll`, reached through direct `extern
+//! "C"` declarations of the four syscall wrappers (`epoll_create1`,
+//! `epoll_ctl`, `epoll_wait`, `close`) — std already links libc, so no
+//! external crate is needed. Everywhere else (and always compiled, so
+//! the fallback cannot rot) there is a portable `poll(2)` backend that
+//! keeps the fd registry in user space. Both expose identical
+//! behaviour through [`Poller`]; unit tests drive each explicitly.
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+mod epoll;
+// Always compiled so the fallback cannot rot; only wired into the
+// facade off-Linux, hence dead to rustc's liveness pass there.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+mod pollfd;
+
+#[cfg(target_os = "linux")]
+use epoll::Backend;
+#[cfg(not(target_os = "linux"))]
+use pollfd::Backend;
+
+/// Raw file descriptor alias, kept local so callers need no `libc`.
+pub type RawFd = std::os::fd::RawFd;
+
+/// Which readiness directions a registration cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness notification from [`Poller::wait`].
+///
+/// Error/hang-up conditions are folded into both directions (as epoll
+/// itself does): the handler discovers the actual condition from the
+/// `read`/`write` syscall result, which is where it must be handled
+/// anyway.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    pub key: usize,
+    pub readable: bool,
+    pub writable: bool,
+}
+
+/// A readiness monitor over a set of registered file descriptors.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Create a new poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { backend: Backend::new()? })
+    }
+
+    /// Start watching `fd` with the given `key` and `interest`.
+    ///
+    /// The caller keeps ownership of the descriptor and must `delete`
+    /// it before closing it. Keys need not be unique, but the readiness
+    /// loop here always uses distinct keys per connection.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.backend.add(fd, key, interest)
+    }
+
+    /// Change the interest set (and key) of an already-watched `fd`.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.backend.modify(fd, key, interest)
+    }
+
+    /// Stop watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Block until at least one watched descriptor is ready or the
+    /// timeout elapses, appending the ready set to `events` (cleared
+    /// first). `None` blocks indefinitely. Returns the number of
+    /// events delivered; zero means the timeout elapsed or the wait
+    /// was interrupted by a signal (both are benign — loop again).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)
+    }
+}
+
+/// Convert an optional timeout to the millisecond convention shared by
+/// `epoll_wait` and `poll`: `-1` blocks forever, `0` polls, and
+/// sub-millisecond timeouts round *up* so a 100µs wait cannot spin.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    // Exercise one backend through the canonical listener/stream
+    // round-trip: accept readiness, read readiness, write readiness.
+    macro_rules! backend_suite {
+        ($name:ident, $backend:ty) => {
+            mod $name {
+                use super::*;
+
+                fn wait(
+                    b: &$backend,
+                    events: &mut Vec<Event>,
+                    timeout: Duration,
+                ) -> io::Result<usize> {
+                    events.clear();
+                    b.wait(events, Some(timeout))
+                }
+
+                #[test]
+                fn listener_becomes_readable_on_connect() {
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    listener.set_nonblocking(true).unwrap();
+                    let b = <$backend>::new().unwrap();
+                    b.add(listener.as_raw_fd(), 7, Interest::READABLE).unwrap();
+
+                    let mut events = Vec::new();
+                    // Nothing pending yet: a short wait times out empty.
+                    let n = wait(&b, &mut events, Duration::from_millis(10)).unwrap();
+                    assert_eq!(n, 0, "no events expected before a client connects");
+
+                    let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let n = wait(&b, &mut events, Duration::from_millis(2000)).unwrap();
+                    assert_eq!(n, 1);
+                    assert_eq!(events[0].key, 7);
+                    assert!(events[0].readable);
+                    b.delete(listener.as_raw_fd()).unwrap();
+                }
+
+                #[test]
+                fn stream_read_write_readiness_and_modify() {
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+                    server.set_nonblocking(true).unwrap();
+
+                    let b = <$backend>::new().unwrap();
+                    b.add(server.as_raw_fd(), 1, Interest::READABLE).unwrap();
+
+                    let mut events = Vec::new();
+                    // Idle connection: not readable yet.
+                    let n = wait(&b, &mut events, Duration::from_millis(10)).unwrap();
+                    assert_eq!(n, 0);
+
+                    client.write_all(b"ping").unwrap();
+                    let n = wait(&b, &mut events, Duration::from_millis(2000)).unwrap();
+                    assert_eq!(n, 1);
+                    assert!(events[0].readable);
+                    assert!(!events[0].writable, "write interest was not registered");
+
+                    // Level-triggered: unread data keeps reporting.
+                    let n = wait(&b, &mut events, Duration::from_millis(2000)).unwrap();
+                    assert_eq!(n, 1, "level-triggered readiness must re-report unread data");
+
+                    let mut buf = [0u8; 8];
+                    let got = (&server).read(&mut buf).unwrap();
+                    assert_eq!(&buf[..got], b"ping");
+
+                    // Flip to write interest: an idle socket is writable.
+                    b.modify(server.as_raw_fd(), 2, Interest::WRITABLE).unwrap();
+                    let n = wait(&b, &mut events, Duration::from_millis(2000)).unwrap();
+                    assert_eq!(n, 1);
+                    assert_eq!(events[0].key, 2, "modify must update the key");
+                    assert!(events[0].writable);
+
+                    b.delete(server.as_raw_fd()).unwrap();
+                    let n = wait(&b, &mut events, Duration::from_millis(10)).unwrap();
+                    assert_eq!(n, 0, "deleted fd must stop reporting");
+                }
+
+                #[test]
+                fn peer_close_reports_readable() {
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+                    server.set_nonblocking(true).unwrap();
+
+                    let b = <$backend>::new().unwrap();
+                    b.add(server.as_raw_fd(), 3, Interest::READABLE).unwrap();
+                    drop(client);
+
+                    let mut events = Vec::new();
+                    let n = wait(&b, &mut events, Duration::from_millis(2000)).unwrap();
+                    assert_eq!(n, 1);
+                    // Hang-up folds into readable so the handler's read()
+                    // observes EOF.
+                    assert!(events[0].readable);
+                    b.delete(server.as_raw_fd()).unwrap();
+                }
+            }
+        };
+    }
+
+    #[cfg(target_os = "linux")]
+    backend_suite!(epoll_backend, crate::epoll::Backend);
+    backend_suite!(poll_backend, crate::pollfd::Backend);
+
+    #[test]
+    fn facade_uses_some_backend() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let p = Poller::new().unwrap();
+        p.add(listener.as_raw_fd(), 42, Interest::READABLE).unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        let n = p.wait(&mut events, Some(Duration::from_millis(2000))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 42);
+        p.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn timeout_conversion_rounds_up_and_saturates() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(25))), 25);
+        assert_eq!(timeout_ms(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+}

@@ -1,0 +1,125 @@
+//! Portable backend: `poll(2)` over a user-space registry of watched
+//! descriptors. O(n) per wait instead of epoll's O(ready), which is
+//! fine at fleet-daemon connection counts; the point is that every
+//! POSIX platform has `poll`. Compiled unconditionally so the fallback
+//! stays tested even on Linux.
+
+use std::io;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::{timeout_ms, Event, Interest, RawFd};
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+}
+
+fn mask(interest: Interest) -> i16 {
+    let mut m = 0;
+    if interest.readable {
+        m |= POLLIN;
+    }
+    if interest.writable {
+        m |= POLLOUT;
+    }
+    m
+}
+
+pub(crate) struct Backend {
+    // fd -> (key, interest); BTreeMap keeps wait() deterministic.
+    registry: Mutex<std::collections::BTreeMap<RawFd, (usize, Interest)>>,
+}
+
+impl Backend {
+    pub(crate) fn new() -> io::Result<Backend> {
+        Ok(Backend { registry: Mutex::new(std::collections::BTreeMap::new()) })
+    }
+
+    pub(crate) fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut reg = self.registry.lock().unwrap();
+        if reg.insert(fd, (key, interest)).is_some() {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        let mut reg = self.registry.lock().unwrap();
+        match reg.get_mut(&fd) {
+            Some(slot) => {
+                *slot = (key, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut reg = self.registry.lock().unwrap();
+        match reg.remove(&fd) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    pub(crate) fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let (mut fds, keys): (Vec<PollFd>, Vec<usize>) = {
+            let reg = self.registry.lock().unwrap();
+            reg.iter()
+                .map(|(&fd, &(key, interest))| {
+                    (PollFd { fd, events: mask(interest), revents: 0 }, key)
+                })
+                .unzip()
+        };
+        if fds.is_empty() {
+            // poll(NULL, 0, ms) is a valid sleep, but skip the syscall.
+            if let Some(t) = timeout {
+                std::thread::sleep(t);
+            }
+            return Ok(0);
+        }
+        // SAFETY: `fds` is a valid, writable pollfd array of this length.
+        let n =
+            unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms(timeout)) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let mut delivered = 0;
+        for (pfd, &key) in fds.iter().zip(&keys) {
+            let r = pfd.revents;
+            if r == 0 {
+                continue;
+            }
+            let fail = r & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            events.push(Event {
+                key,
+                readable: r & POLLIN != 0 || fail,
+                writable: r & POLLOUT != 0 || fail,
+            });
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+}
