@@ -14,17 +14,20 @@
 //! property of the counters' information content, not of the hand-tuned
 //! presets.
 //!
-//! Seven of the thirteen programs are instrumented (DGEMM, STREAM and
-//! RandomAccess on the HPCC training side; CG, MG, IS and FT on the NPB
-//! validation side) — enough to cover the dense/streaming/latency
-//! extremes of the locality plane on both sides of the split. The
-//! remaining programs keep their analytic profiles.
+//! Nine kernels are instrumented: DGEMM, STREAM and RandomAccess on the
+//! HPCC training side; CG, MG, IS, FT and EP on the NPB validation
+//! side; and HPL, the five-state evaluation's own kernel — enough to
+//! cover the dense/streaming/latency extremes of the locality plane on
+//! both sides of the split. The remaining programs keep their analytic
+//! profiles.
 
 use serde::{Deserialize, Serialize};
 
 use hpceval_kernels::hpcc::{dgemm, random_access, stream, HpccProgram};
-use hpceval_kernels::npb::{cg, ft, is, mg, Class, Program};
+use hpceval_kernels::hpl::{lu, HplConfig};
+use hpceval_kernels::npb::{cg, ep, ft, is, mg, Class, Program};
 use hpceval_kernels::rng::NpbRng;
+use hpceval_kernels::suite::Benchmark;
 use hpceval_machine::spec::ServerSpec;
 use hpceval_machine::workload::LocalityProfile;
 use hpceval_trace::{replay, CaptureConfig, CaptureGuard, Region, ReplayOptions, Trace};
@@ -33,8 +36,8 @@ use crate::regression_experiment::{
     collect_training_with, train, validate_with, RegressionExperiment,
 };
 
-/// Problem sizes for the capture runs. Small enough that all seven
-/// kernels finish in well under a second, large enough that every
+/// Problem sizes for the capture runs. Small enough that every
+/// kernel finishes in well under a second, large enough that every
 /// instrumented loop produces thousands of sampled accesses and the
 /// blocked/streaming/random structure is visible to the replay.
 mod sizes {
@@ -65,6 +68,14 @@ mod sizes {
     pub const FT_NY: usize = 32;
     pub const FT_NZ: usize = 16;
     pub const FT_ITERS: u32 = 1;
+    /// HPL matrix order and panel block size. 160×160 = 200 KiB — five
+    /// panel iterations, and the matrix must overflow the miniaturized
+    /// L3 while one U12 panel (nb rows) stays resident.
+    pub const HPL_N: usize = 160;
+    pub const HPL_NB: usize = 32;
+    /// EP pair count (log2). 2^16 pairs over the fixed 256 blocks keeps
+    /// every block non-trivial while the run stays instant.
+    pub const EP_LOG2_PAIRS: u32 = 16;
 }
 
 /// Run the instrumented kernel for `region` at the standard capture
@@ -113,6 +124,13 @@ fn run_kernel(region: Region) {
         Region::Ft => {
             ft::run_scaled(sizes::FT_NX, sizes::FT_NY, sizes::FT_NZ, sizes::FT_ITERS);
         }
+        Region::Hpl => {
+            let a = lu::Matrix::random(sizes::HPL_N, 2015);
+            lu::factor(a, sizes::HPL_NB, 2).expect("random matrix is nonsingular");
+        }
+        Region::Ep => {
+            ep::run(sizes::EP_LOG2_PAIRS, 2);
+        }
     }
 }
 
@@ -136,11 +154,23 @@ fn run_kernel(region: Region) {
 /// * CG miniaturizes by 2048: the gathered x-vector (6.4 KiB captured,
 ///   ~MiB real) must sit in the scaled L3 while the streamed matrix
 ///   (38 KiB captured, 100+ MiB real) spills to DRAM.
+/// * EP replays at full scale like DGEMM: its working set (LCG state +
+///   tallies, ~100 bytes per block) is register/L1-resident at *every*
+///   problem size.
+/// * HPL miniaturizes by 512 with the streaming group: the 200 KiB
+///   capture matrix must overflow the scaled L3 (matching the GiB-scale
+///   real matrix against 30 MiB) while the ~40 KiB U12 panel the
+///   trailing update re-reads every row stays cache-resident.
 pub fn replay_options(region: Region) -> ReplayOptions {
     let cache_scale = match region {
-        Region::Dgemm => 1.0,
+        Region::Dgemm | Region::Ep => 1.0,
         Region::Cg => 1.0 / 2048.0,
-        Region::Stream | Region::Mg | Region::Is | Region::RandomAccess | Region::Ft => 1.0 / 512.0,
+        Region::Stream
+        | Region::Mg
+        | Region::Is
+        | Region::RandomAccess
+        | Region::Ft
+        | Region::Hpl => 1.0 / 512.0,
     };
     ReplayOptions { cache_scale, ..ReplayOptions::default() }
 }
@@ -160,6 +190,8 @@ pub fn analytic_locality(region: Region) -> LocalityProfile {
         Region::Mg => Program::Mg.benchmark(Class::B).signature().locality,
         Region::Is => Program::Is.benchmark(Class::B).signature().locality,
         Region::Ft => Program::Ft.benchmark(Class::B).signature().locality,
+        Region::Ep => Program::Ep.benchmark(Class::B).signature().locality,
+        Region::Hpl => HplConfig::tuned(30_000, 4).signature().locality,
     }
 }
 
@@ -203,8 +235,8 @@ impl MeasuredLocalities {
     }
 }
 
-/// Capture all seven instrumented kernels and replay them through
-/// `spec`'s cache hierarchy. `None` only when `config.mode` is `Off`.
+/// Capture all instrumented kernels and replay them through `spec`'s
+/// cache hierarchy. `None` only when `config.mode` is `Off`.
 pub fn measure_localities(spec: &ServerSpec, config: CaptureConfig) -> Option<MeasuredLocalities> {
     let mut captures = Vec::with_capacity(Region::ALL.len());
     for region in Region::ALL {
@@ -241,7 +273,7 @@ pub struct TraceExperiment {
 }
 
 /// Run the §VI experiment with trace-measured localities substituted
-/// for the analytic presets of the seven instrumented programs.
+/// for the analytic presets of the instrumented programs.
 ///
 /// `None` when capture is disabled (`config.mode == Off`) or the
 /// measured training set degenerates (it does not, for any preset).

@@ -270,6 +270,14 @@ impl Fleet {
         }
     }
 
+    /// The full result of a terminal job — including the kind-specific
+    /// `output` payload, which status snapshots deliberately omit (a
+    /// merged wire drain of a big sweep would blow the frame cap).
+    /// In-process collectors (the tune sweep driver) read it directly.
+    pub fn result_of(&self, job: JobId) -> Option<JobResult> {
+        self.inner.lock().jobs.get(&job).and_then(|rec| rec.result.clone())
+    }
+
     /// Stop accepting submits and block until every job is terminal.
     /// Requires a running scheduler (see [`Fleet::start_scheduler`]).
     pub fn drain(&self) -> Vec<JobStatus> {

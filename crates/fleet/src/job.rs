@@ -47,6 +47,20 @@ pub enum JobKind {
         /// Target server.
         server: String,
     },
+    /// One DVFS-autotuner sweep cell (`hpceval-tune`): measure one
+    /// kernel at one frequency state and core count.
+    Tune {
+        /// Target server.
+        server: String,
+        /// Kernel id from the NPB/HPCC catalogs.
+        kernel: String,
+        /// Index into the server's DVFS ladder.
+        freq_state: u32,
+        /// Process count.
+        processes: u32,
+        /// Meter seed.
+        seed: u64,
+    },
 }
 
 impl JobKind {
@@ -58,6 +72,7 @@ impl JobKind {
             JobKind::Specpower { .. } => "specpower",
             JobKind::Train { .. } => "train",
             JobKind::Report { .. } => "report",
+            JobKind::Tune { .. } => "tune",
         }
     }
 
@@ -68,22 +83,27 @@ impl JobKind {
             | JobKind::Green500 { server }
             | JobKind::Specpower { server }
             | JobKind::Train { server, .. }
-            | JobKind::Report { server } => server,
+            | JobKind::Report { server }
+            | JobKind::Tune { server, .. } => server,
         }
     }
 
     /// The seed the job carries (one-shot kinds without one: 0).
     pub fn seed(&self) -> u64 {
         match *self {
-            JobKind::Evaluate { seed, .. } | JobKind::Train { seed, .. } => seed,
+            JobKind::Evaluate { seed, .. }
+            | JobKind::Train { seed, .. }
+            | JobKind::Tune { seed, .. } => seed,
             _ => 0,
         }
     }
 
-    /// The single-shot wrapper kind, or `None` for `Evaluate`.
+    /// The single-shot wrapper kind, or `None` for `Evaluate` and
+    /// `Tune` (tune cells are single-step but run through the tuner's
+    /// own measurement path, not `hpceval_core::jobs`).
     pub fn one_shot(&self) -> Option<OneShotKind> {
         match self {
-            JobKind::Evaluate { .. } => None,
+            JobKind::Evaluate { .. } | JobKind::Tune { .. } => None,
             JobKind::Green500 { .. } => Some(OneShotKind::Green500),
             JobKind::Specpower { .. } => Some(OneShotKind::Specpower),
             JobKind::Train { .. } => Some(OneShotKind::Train),
@@ -114,6 +134,15 @@ impl JobKind {
         }
         if let Some(inner) = v.get("Report") {
             return Some(JobKind::Report { server: server(inner)? });
+        }
+        if let Some(inner) = v.get("Tune") {
+            return Some(JobKind::Tune {
+                server: server(inner)?,
+                kernel: inner.get("kernel")?.as_str()?.to_string(),
+                freq_state: inner.get("freq_state")?.as_u64()? as u32,
+                processes: inner.get("processes")?.as_u64()? as u32,
+                seed: inner.get("seed")?.as_u64()?,
+            });
         }
         None
     }
@@ -278,6 +307,13 @@ mod tests {
             JobKind::Specpower { server: "xeon-4870".into() },
             JobKind::Train { server: "xeon-4870".into(), seed: 42 },
             JobKind::Report { server: "xeon-e5462".into() },
+            JobKind::Tune {
+                server: "xeon-e5462".into(),
+                kernel: "ep".into(),
+                freq_state: 1,
+                processes: 4,
+                seed: 42,
+            },
         ];
         for k in kinds {
             let v = k.to_value();

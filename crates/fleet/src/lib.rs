@@ -31,6 +31,10 @@
 //!   drives ≥1 M submit/status round-trips through the router and
 //!   records p50/p99 latency + ops/s into `BENCH_fleet.json`, drift-
 //!   checked in CI.
+//! - **DVFS sweep driver** ([`sweep`]): runs every `hpceval-tune`
+//!   autotuner cell as a WAL-backed `Tune` job through the sharded
+//!   router; a killed shard's replay reproduces the energy-delay
+//!   Pareto frontier bitwise.
 //! - **Observability** ([`events`]): job lifecycle events, bridged into
 //!   the `hpceval-telemetry` stream.
 
@@ -46,6 +50,7 @@ pub mod registry;
 pub mod router;
 pub mod runner;
 mod server;
+pub mod sweep;
 pub mod wal;
 pub mod wire;
 
@@ -58,3 +63,4 @@ pub use fault::{AttemptFaults, FaultInjector, FaultPlan};
 pub use job::{JobId, JobKind, JobResult, JobState, JobStatus};
 pub use registry::{NodeInfo, Registry};
 pub use router::Router;
+pub use sweep::{run_sweep, SweepConfig};

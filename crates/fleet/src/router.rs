@@ -90,7 +90,11 @@ impl Router {
         local * self.shards.len() as u64 + shard as u64
     }
 
-    fn split_global(&self, global: JobId) -> (usize, JobId) {
+    /// Invert the global-id bijection: the `(shard, local)` pair a
+    /// global id routes to. Public so in-process collectors (the tune
+    /// sweep driver) can read full results straight from the shard
+    /// daemons that the wire's status snapshots deliberately omit.
+    pub fn split_global(&self, global: JobId) -> (usize, JobId) {
         let n = self.shards.len() as u64;
         ((global % n) as usize, global / n)
     }

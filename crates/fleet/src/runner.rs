@@ -65,6 +65,7 @@ pub fn run_attempt(
         JobKind::Evaluate { seed, .. } => {
             run_evaluate(spec, *seed, checkpoint, suspect, faults, &mut on_row)
         }
+        JobKind::Tune { .. } => run_tune_shot(kind, faults),
         _ => run_single_shot(kind, spec, faults),
     }
 }
@@ -109,6 +110,61 @@ fn run_evaluate(
     };
     AttemptOutcome::Completed {
         result: JobResult { score, degraded, notes, rows, suspect_rows, output: None },
+    }
+}
+
+/// One autotuner sweep cell: a single state (step index 0), measured
+/// through `hpceval-tune`'s deterministic cell pipeline. The cell
+/// resolves its own preset by name — the registry pinned the node at
+/// submit, so the names agree. A crash replays bitwise: the fresh
+/// attempt rebuilds the same seeded server from the same cell.
+fn run_tune_shot(kind: &JobKind, faults: AttemptFaults) -> AttemptOutcome {
+    if faults.crash_at == Some(0) {
+        return AttemptOutcome::Crashed { at_step: 0 };
+    }
+    let JobKind::Tune { server, kernel, freq_state, processes, seed } = kind else {
+        unreachable!("caller matched Tune");
+    };
+    let cell = hpceval_tune::TuneCell {
+        server: server.clone(),
+        kernel: kernel.clone(),
+        freq_state: *freq_state,
+        processes: *processes,
+        seed: *seed,
+    };
+    let measure = match hpceval_tune::run_cell(&cell) {
+        Ok(m) => m,
+        Err(reason) => {
+            return AttemptOutcome::Completed {
+                result: JobResult {
+                    score: None,
+                    degraded: true,
+                    notes: vec![format!("tune cell rejected: {reason}")],
+                    rows: Vec::new(),
+                    suspect_rows: Vec::new(),
+                    output: None,
+                },
+            };
+        }
+    };
+    // A meter dropout flags the cell; the measurement itself is still
+    // delivered (the §V meter trims and averages, dropout only means
+    // fewer samples), so replay keeps the frontier bitwise-identical.
+    let degraded = faults.dropout_at == Some(0);
+    let notes = if degraded {
+        vec!["meter dropout during the measurement".to_string()]
+    } else {
+        Vec::new()
+    };
+    AttemptOutcome::Completed {
+        result: JobResult {
+            score: if degraded { None } else { Some(measure.ppw) },
+            degraded,
+            notes,
+            rows: Vec::new(),
+            suspect_rows: Vec::new(),
+            output: Some(measure.to_value()),
+        },
     }
 }
 
@@ -230,6 +286,70 @@ mod tests {
                 assert_eq!(result.rows.len(), 10);
                 // Score excludes the suspect row but still exists.
                 assert!(result.score.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tune_cells_complete_with_the_cell_measurement() {
+        let kind = JobKind::Tune {
+            server: "Xeon-E5462".into(),
+            kernel: "ep".into(),
+            freq_state: 0,
+            processes: 4,
+            seed: 9,
+        };
+        let spec = presets::xeon_e5462();
+        let straight = match run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |_, _, _| {})
+        {
+            AttemptOutcome::Completed { result } => result,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(!straight.degraded);
+        let output = straight.output.clone().expect("tune cells carry their measure");
+        let measure = hpceval_tune::CellMeasure::from_value(&output).unwrap();
+        assert_eq!(straight.score, Some(measure.ppw));
+
+        // A crashed attempt retries into the identical result.
+        let crash = AttemptFaults { crash_at: Some(0), preempt_at: None, dropout_at: None };
+        assert_eq!(
+            run_attempt(&kind, &spec, &[], &[], crash, |_, _, _| {}),
+            AttemptOutcome::Crashed { at_step: 0 }
+        );
+        let retried = match run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |_, _, _| {}) {
+            AttemptOutcome::Completed { result } => result,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(straight, retried, "replay must be bitwise identical");
+
+        // A dropout flags the cell but still delivers the measure.
+        let drop = AttemptFaults { crash_at: None, preempt_at: None, dropout_at: Some(0) };
+        match run_attempt(&kind, &spec, &[], &[], drop, |_, _, _| {}) {
+            AttemptOutcome::Completed { result } => {
+                assert!(result.degraded);
+                assert_eq!(result.score, None);
+                assert_eq!(result.output, Some(output));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_tune_cells_degrade_with_a_reason() {
+        let kind = JobKind::Tune {
+            server: "Xeon-E5462".into(),
+            kernel: "warp-drive".into(),
+            freq_state: 0,
+            processes: 1,
+            seed: 1,
+        };
+        let spec = presets::xeon_e5462();
+        match run_attempt(&kind, &spec, &[], &[], AttemptFaults::NONE, |_, _, _| {}) {
+            AttemptOutcome::Completed { result } => {
+                assert!(result.degraded);
+                assert!(result.notes[0].contains("rejected"), "{:?}", result.notes);
+                assert!(result.output.is_none());
             }
             other => panic!("unexpected {other:?}"),
         }

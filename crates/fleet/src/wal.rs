@@ -90,6 +90,7 @@ pub struct WalWriter {
 impl WalWriter {
     /// Open (creating or appending to) the log at `path`.
     pub fn open(path: &Path) -> Result<Self, FleetError> {
+        repair_tail(path)?;
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(Self { file, path: path.to_path_buf() })
     }
@@ -108,6 +109,37 @@ impl WalWriter {
         self.file.sync_data()?;
         Ok(())
     }
+}
+
+/// Make the log appendable after a mid-append kill. A file that does
+/// not end in a newline carries a torn tail; what to do with it must
+/// agree with what [`replay`] already decided. If the tail parses as an
+/// entry (the kill fell between the line and its newline, so replay
+/// keeps it) seal it with the missing newline; otherwise (replay drops
+/// it) truncate it — either way the next append starts on a fresh line
+/// instead of gluing onto the fragment, which would turn a harmless
+/// torn tail into a corrupt *interior* line for every later replay.
+fn repair_tail(path: &Path) -> Result<(), FleetError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(());
+    }
+    let start = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let tail = String::from_utf8_lossy(&bytes[start..]);
+    if codec::parse(&tail).ok().as_ref().and_then(decode_entry).is_some() {
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.write_all(b"\n")?;
+        file.sync_data()?;
+    } else {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(start as u64)?;
+        file.sync_data()?;
+    }
+    Ok(())
 }
 
 fn encode_entry(entry: &WalEntry) -> Result<String, FleetError> {
@@ -300,6 +332,51 @@ mod tests {
         f.write_all(b"{\"e\":\"claim\",\"jo").unwrap();
         drop(f);
         assert_eq!(replay(&path).unwrap(), sample_entries());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopening_after_a_torn_tail_appends_on_a_fresh_line() {
+        let path = tmp("torn-reopen");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for e in sample_entries() {
+                w.append(&e).unwrap();
+            }
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"e\":\"claim\",\"jo").unwrap();
+        drop(f);
+        // A replacement daemon re-opens the log and keeps appending;
+        // the fragment must not merge with the new entry.
+        let extra = WalEntry::Claim { job: 2, attempt: 1, node: 0 };
+        WalWriter::open(&path).unwrap().append(&extra).unwrap();
+        let mut want = sample_entries();
+        want.push(extra);
+        assert_eq!(replay(&path).unwrap(), want);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopening_seals_an_unsealed_final_line() {
+        let path = tmp("unsealed");
+        {
+            let mut w = WalWriter::open(&path).unwrap();
+            for e in sample_entries() {
+                w.append(&e).unwrap();
+            }
+        }
+        // Kill between the line and its newline: the entry is complete
+        // (replay keeps it), only the newline is missing.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+        let extra = WalEntry::Claim { job: 3, attempt: 1, node: 1 };
+        WalWriter::open(&path).unwrap().append(&extra).unwrap();
+        let mut want = sample_entries();
+        want.push(extra);
+        assert_eq!(replay(&path).unwrap(), want, "the sealed entry must survive");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -319,6 +319,13 @@ mod tests {
                 jobs: vec![
                     JobKind::Evaluate { server: "xeon-e5462".into(), seed: 1 },
                     JobKind::Green500 { server: "xeon-4870".into() },
+                    JobKind::Tune {
+                        server: "opteron-8347".into(),
+                        kernel: "dgemm".into(),
+                        freq_state: 2,
+                        processes: 16,
+                        seed: 42,
+                    },
                 ],
             },
             Request::Status { job: None },

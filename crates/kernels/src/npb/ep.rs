@@ -17,11 +17,20 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::Class;
+
+// Logical trace addresses. EP's entire memory life is the two-word LCG
+// state hammered in place (per block, so streams don't alias) and the
+// ten annulus tallies plus two Gaussian sums folded at block end —
+// recorded coarsely per block so the hot loop stays untouched. Chunk
+// ids are the fixed block indices, width-invariant by construction.
+const TRACE_RNG: u64 = 0x1_0000_0000;
+const TRACE_BINS: u64 = 0x2_0000_0000;
 
 /// Machine operations per generated pair (transcendental expansion,
 /// acceptance test, tallying), calibrated so the roofline model
@@ -94,6 +103,7 @@ pub fn run(m: u32, threads: usize) -> EpResult {
         .num_threads(threads.max(1))
         .build()
         .expect("failed to build rayon pool");
+    hooks::begin_epoch(Region::Ep);
     let mut partials: Vec<(u64, EpResult)> = pool.install(|| {
         (0..BLOCKS)
             .into_par_iter()
@@ -101,7 +111,18 @@ pub fn run(m: u32, threads: usize) -> EpResult {
                 let start = b * chunk;
                 let count = chunk.min(pairs.saturating_sub(start));
                 let mut rng = base.at_offset(start * 2);
-                (b, run_range(&mut rng, count))
+                let part = run_range(&mut rng, count);
+                if hooks::chunk_enabled(Region::Ep, b) {
+                    let r = Region::Ep;
+                    // Stride-0 bursts: the same state words over and over
+                    // — the register/L1 residency that makes EP the
+                    // low-power pole.
+                    hooks::record(r, b, AccessKind::Read, TRACE_RNG + b * 16, 0, 64);
+                    hooks::record(r, b, AccessKind::Write, TRACE_RNG + b * 16, 0, 64);
+                    hooks::record(r, b, AccessKind::Read, TRACE_BINS, 8, 12);
+                    hooks::record(r, b, AccessKind::Write, TRACE_BINS, 8, 12);
+                }
+                (b, part)
             })
             .collect()
     });

@@ -357,6 +357,15 @@ fn captured_traces_bitwise_identical_across_widths() {
             Region::Ft => {
                 ft::run_scaled(16, 16, 8, 1);
             }
+            Region::Hpl => {
+                // factor() builds its own pool; hand it the ambient
+                // width so the banding actually varies under test.
+                let a = lu::Matrix::random(96, 5);
+                lu::factor(a, 16, rayon::current_num_threads()).unwrap();
+            }
+            Region::Ep => {
+                ep::run(14, rayon::current_num_threads());
+            }
         });
         guard.finish()
     }

@@ -7,7 +7,17 @@
 //! 121.6 peak GFLOPS at 16 processes, which pins its low
 //! `sustained_vector_eff` and relatively high `parallel_alpha`.
 
-use crate::spec::{CacheLevel, MemoryKind, ServerSpec};
+use crate::spec::{CacheLevel, DvfsCurve, DvfsState, MemoryKind, ServerSpec};
+
+/// A DVFS ladder from `(MHz, V)` pairs in ascending clock order, with
+/// the top state nominal — the shape of every paper-era server here:
+/// the paper measured at the highest P-state.
+fn dvfs(points: &[(u32, f64)]) -> DvfsCurve {
+    DvfsCurve {
+        states: points.iter().map(|&(freq_mhz, volts)| DvfsState { freq_mhz, volts }).collect(),
+        nominal: points.len() - 1,
+    }
+}
 
 /// Server Xeon-E5462 (paper §II-A): one quad-core Xeon E5462 @ 2.8 GHz,
 /// 44.8 GFLOPS peak, 8 GiB DDR2.
@@ -39,6 +49,8 @@ pub fn xeon_e5462() -> ServerSpec {
         sustained_vector_eff: 0.95,
         parallel_alpha: 0.0975,
         scalar_ipc: 1.0,
+        // Penryn-class demand ladder (SpeedStep): 2.0/2.4/2.8 GHz.
+        dvfs: dvfs(&[(2000, 1.0000), (2400, 1.1000), (2800, 1.2125)]),
     }
 }
 
@@ -72,6 +84,8 @@ pub fn opteron_8347() -> ServerSpec {
         sustained_vector_eff: 0.52,
         parallel_alpha: 0.2376,
         scalar_ipc: 0.59,
+        // Barcelona PowerNow! ladder: 1.0/1.4/1.7/1.9 GHz.
+        dvfs: dvfs(&[(1000, 1.025), (1400, 1.075), (1700, 1.125), (1900, 1.200)]),
     }
 }
 
@@ -105,6 +119,8 @@ pub fn xeon_4870() -> ServerSpec {
         sustained_vector_eff: 0.93,
         parallel_alpha: 0.0101,
         scalar_ipc: 0.70,
+        // Westmere-EX EIST ladder: 1.2 through 2.4 GHz in five states.
+        dvfs: dvfs(&[(1200, 0.850), (1600, 0.925), (2000, 1.000), (2200, 1.050), (2400, 1.100)]),
     }
 }
 

@@ -58,6 +58,73 @@ pub enum MemoryKind {
     Ddr4,
 }
 
+/// One DVFS operating point: a core frequency and its supply voltage.
+///
+/// Dynamic CMOS power scales as `f·V²`, so each state's contribution to
+/// the power model is the ratio `(f/f_nom)·(V/V_nom)²` against the
+/// nominal state (see `hpceval-power`'s calibration scaling).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsState {
+    /// Core clock of this P-state in MHz.
+    pub freq_mhz: u32,
+    /// Supply voltage of this P-state in volts.
+    pub volts: f64,
+}
+
+/// The discrete DVFS ladder of a server: frequency states in ascending
+/// clock order with a per-state voltage table.
+///
+/// `nominal` indexes the state the paper measured at; it always equals
+/// the spec's `freq_mhz`, so every existing experiment runs at the
+/// nominal state and is bitwise-unchanged by the ladder's presence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsCurve {
+    /// P-states in strictly ascending frequency (voltage non-decreasing).
+    pub states: Vec<DvfsState>,
+    /// Index of the nominal (paper-measured) state in `states`.
+    pub nominal: usize,
+}
+
+impl DvfsCurve {
+    /// A one-state ladder pinned at `freq_mhz` — the curve of a custom
+    /// spec that never specified DVFS data.
+    pub fn single(freq_mhz: u32) -> Self {
+        Self { states: vec![DvfsState { freq_mhz, volts: 1.0 }], nominal: 0 }
+    }
+
+    /// Number of P-states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the ladder is empty (a constructed-by-hand degenerate
+    /// curve; `single` and the presets never produce this).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The nominal state.
+    pub fn nominal_state(&self) -> DvfsState {
+        self.states[self.nominal]
+    }
+
+    /// Index of the state clocked exactly at `freq_mhz`, if any.
+    pub fn state_of(&self, freq_mhz: u32) -> Option<usize> {
+        self.states.iter().position(|s| s.freq_mhz == freq_mhz)
+    }
+
+    /// Dynamic-power ratio of state `idx` against the nominal state:
+    /// `(f/f_nom)·(V/V_nom)²`. Exactly 1.0 at the nominal index.
+    pub fn power_ratio(&self, idx: usize) -> f64 {
+        if idx == self.nominal {
+            return 1.0;
+        }
+        let s = self.states[idx];
+        let nom = self.nominal_state();
+        (f64::from(s.freq_mhz) / f64::from(nom.freq_mhz)) * (s.volts / nom.volts).powi(2)
+    }
+}
+
 /// Full description of a single multi-core HPC server.
 ///
 /// The first block of fields mirrors Table I of the paper; the
@@ -117,6 +184,11 @@ pub struct ServerSpec {
     /// Sustained scalar instructions per cycle for irregular, latency-bound
     /// code (EP/RandomAccess class), as a fraction of one op/cycle.
     pub scalar_ipc: f64,
+
+    /// Discrete DVFS ladder. `freq_mhz` must equal one of its states —
+    /// the nominal one for the as-measured machine; `at_dvfs_state`
+    /// derives the downclocked variants.
+    pub dvfs: DvfsCurve,
 }
 
 impl ServerSpec {
@@ -174,6 +246,26 @@ impl ServerSpec {
     pub fn psu_total_w(&self) -> f64 {
         self.psu_rating_w * f64::from(self.power_supplies)
     }
+
+    /// The spec re-clocked to DVFS state `idx` (`None` if out of range).
+    ///
+    /// Only `freq_mhz` changes — the roofline compute ceiling follows
+    /// the clock through `peak_core_gflops`/`scalar_gops`, while memory
+    /// bandwidth is DVFS-invariant (DRAM and uncore keep their clocks).
+    /// At the nominal index this is an exact clone, so the derived spec
+    /// is bitwise-indistinguishable from the original.
+    pub fn at_dvfs_state(&self, idx: usize) -> Option<ServerSpec> {
+        let state = *self.dvfs.states.get(idx)?;
+        let mut spec = self.clone();
+        spec.freq_mhz = state.freq_mhz;
+        Some(spec)
+    }
+
+    /// The DVFS state the spec currently runs at, by exact frequency
+    /// match (`None` for a hand-built spec whose clock is off-ladder).
+    pub fn dvfs_state_index(&self) -> Option<usize> {
+        self.dvfs.state_of(self.freq_mhz)
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +322,60 @@ mod tests {
         assert_eq!(presets::xeon_e5462().total_cores(), 4);
         assert_eq!(presets::opteron_8347().total_cores(), 16);
         assert_eq!(presets::xeon_4870().total_cores(), 40);
+    }
+
+    #[test]
+    fn preset_dvfs_ladders_are_well_formed() {
+        for s in presets::all_servers() {
+            assert!(s.dvfs.len() >= 3, "{}: needs ≥3 P-states", s.name);
+            assert_eq!(s.dvfs.nominal_state().freq_mhz, s.freq_mhz, "{}", s.name);
+            assert_eq!(s.dvfs.nominal, s.dvfs.len() - 1, "{}: nominal is the top state", s.name);
+            for w in s.dvfs.states.windows(2) {
+                assert!(w[0].freq_mhz < w[1].freq_mhz, "{}: ascending clocks", s.name);
+                assert!(w[0].volts <= w[1].volts, "{}: non-decreasing voltage", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn power_ratio_is_exactly_one_at_nominal_and_monotone_below() {
+        for s in presets::all_servers() {
+            assert_eq!(s.dvfs.power_ratio(s.dvfs.nominal), 1.0, "{}", s.name);
+            let ratios: Vec<f64> = (0..s.dvfs.len()).map(|i| s.dvfs.power_ratio(i)).collect();
+            for w in ratios.windows(2) {
+                assert!(w[0] < w[1], "{}: f·V² must grow with the clock", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn at_dvfs_state_scales_the_roofline_but_not_the_memory() {
+        let s = presets::xeon_4870();
+        let lowest = s.at_dvfs_state(0).unwrap();
+        assert!(lowest.peak_gflops() < s.peak_gflops());
+        assert!(lowest.scalar_gops() < s.scalar_gops());
+        assert_eq!(lowest.mem_bw_gbs, s.mem_bw_gbs);
+        assert_eq!(lowest.per_core_bw_gbs, s.per_core_bw_gbs);
+        assert_eq!(lowest.memory_bytes(), s.memory_bytes());
+        assert!(s.at_dvfs_state(s.dvfs.len()).is_none());
+    }
+
+    #[test]
+    fn nominal_dvfs_state_is_an_exact_clone() {
+        for s in presets::all_servers() {
+            let nominal = s.at_dvfs_state(s.dvfs.nominal).unwrap();
+            assert_eq!(nominal, s, "{}: nominal re-clock must be bitwise-identical", s.name);
+            assert_eq!(s.dvfs_state_index(), Some(s.dvfs.nominal));
+        }
+    }
+
+    #[test]
+    fn single_state_curve_covers_custom_specs() {
+        let c = DvfsCurve::single(2600);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.state_of(2600), Some(0));
+        assert_eq!(c.state_of(2000), None);
+        assert_eq!(c.power_ratio(0), 1.0);
     }
 }

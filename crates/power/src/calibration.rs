@@ -97,17 +97,56 @@ impl PowerCalibration {
         }
     }
 
+    /// Fraction of idle wall power that follows the core clock (clock
+    /// trees, always-on uncore at core voltage); the rest is static
+    /// leakage plus DRAM/fans/PSU overhead, DVFS-invariant.
+    pub const IDLE_DYNAMIC_FRAC: f64 = 0.35;
+
     /// Look up the calibration for a server preset by name.
     ///
     /// Unknown servers get a generic calibration scaled from the chip
     /// count and peak performance, so user-defined [`ServerSpec`]s work
     /// out of the box.
+    ///
+    /// A spec whose `freq_mhz` sits on a non-nominal state of its DVFS
+    /// ladder gets the nominal calibration rescaled by the state's
+    /// `f·V²` ratio (see [`PowerCalibration::scaled_by_dvfs`]). At the
+    /// nominal state — every pre-existing experiment — the branch below
+    /// returns the table constants untouched, before any float math, so
+    /// results are bitwise-unchanged by the ladder's existence.
     pub fn for_server(spec: &ServerSpec) -> Self {
-        match spec.name.as_str() {
+        let lookup = |s: &ServerSpec| match s.name.as_str() {
             "Xeon-E5462" => Self::xeon_e5462(),
             "Opteron-8347" => Self::opteron_8347(),
             "Xeon-4870" => Self::xeon_4870(),
-            _ => Self::generic(spec),
+            _ => Self::generic(s),
+        };
+        match spec.dvfs_state_index() {
+            Some(idx) if idx != spec.dvfs.nominal => {
+                // Derive the base from the *nominal* spec so the generic
+                // fit never sees the downclocked peak (which would
+                // double-scale the idle term).
+                let nominal = spec.at_dvfs_state(spec.dvfs.nominal).expect("nominal state exists");
+                lookup(&nominal).scaled_by_dvfs(spec.dvfs.power_ratio(idx))
+            }
+            // Nominal state, or a hand-built spec clocked off-ladder.
+            _ => lookup(spec),
+        }
+    }
+
+    /// Rescale for a DVFS state with dynamic-power ratio `ratio`
+    /// (`f/f_nom · (V/V_nom)²`): the compute-side terms (wake, chip,
+    /// core) are fully dynamic; idle splits into a static floor and a
+    /// clock-following share ([`Self::IDLE_DYNAMIC_FRAC`]); memory
+    /// traffic/footprint, communication, noise and the pipeline blend
+    /// ride on DVFS-invariant rails and stay put.
+    pub fn scaled_by_dvfs(self, ratio: f64) -> Self {
+        Self {
+            idle_w: self.idle_w * (1.0 - Self::IDLE_DYNAMIC_FRAC + Self::IDLE_DYNAMIC_FRAC * ratio),
+            wake_w: self.wake_w * ratio,
+            chip_w: self.chip_w * ratio,
+            core_w: self.core_w * ratio,
+            ..self
         }
     }
 
@@ -162,6 +201,56 @@ mod tests {
         // the wake term carries most of it.
         let cal = PowerCalibration::opteron_8347();
         assert!(cal.wake_w > 50.0);
+    }
+
+    #[test]
+    fn nominal_state_calibration_is_bitwise_unchanged() {
+        for spec in presets::all_servers() {
+            let with_ladder = PowerCalibration::for_server(&spec);
+            let table = match spec.name.as_str() {
+                "Xeon-E5462" => PowerCalibration::xeon_e5462(),
+                "Opteron-8347" => PowerCalibration::opteron_8347(),
+                _ => PowerCalibration::xeon_4870(),
+            };
+            assert_eq!(with_ladder, table, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn downclocked_states_cut_dynamic_terms_but_not_memory() {
+        for spec in presets::all_servers() {
+            let nominal = PowerCalibration::for_server(&spec);
+            let mut last_idle = f64::NEG_INFINITY;
+            for idx in 0..spec.dvfs.len() {
+                let down = spec.at_dvfs_state(idx).unwrap();
+                let cal = PowerCalibration::for_server(&down);
+                assert!(cal.idle_w > last_idle, "{} idle monotone in state", spec.name);
+                last_idle = cal.idle_w;
+                if idx != spec.dvfs.nominal {
+                    assert!(cal.idle_w < nominal.idle_w, "{}", spec.name);
+                    assert!(cal.core_w < nominal.core_w, "{}", spec.name);
+                    // Static idle floor survives the deepest downclock.
+                    assert!(
+                        cal.idle_w
+                            > nominal.idle_w * (1.0 - PowerCalibration::IDLE_DYNAMIC_FRAC) - 1e-9,
+                        "{}",
+                        spec.name
+                    );
+                }
+                assert_eq!(cal.mem_w_per_gbs, nominal.mem_w_per_gbs);
+                assert_eq!(cal.footprint_w, nominal.footprint_w);
+                assert_eq!(cal.comm_w_per_core, nominal.comm_w_per_core);
+                assert_eq!(cal.noise_sd_w, nominal.noise_sd_w);
+                assert_eq!(cal.scalar_power_factor, nominal.scalar_power_factor);
+            }
+        }
+    }
+
+    #[test]
+    fn off_ladder_clock_keeps_the_base_calibration() {
+        let mut spec = presets::xeon_e5462();
+        spec.freq_mhz = 2601; // not a P-state
+        assert_eq!(PowerCalibration::for_server(&spec), PowerCalibration::xeon_e5462());
     }
 
     #[test]

@@ -116,11 +116,15 @@ pub enum Region {
     RandomAccess,
     /// NPB FT (3-D FFT dimension passes).
     Ft,
+    /// HPL blocked LU factorization (panel / U-row / trailing update).
+    Hpl,
+    /// NPB EP (Marsaglia polar Gaussian pairs).
+    Ep,
 }
 
 impl Region {
     /// All instrumented regions, in wire-tag order.
-    pub const ALL: [Region; 7] = [
+    pub const ALL: [Region; 9] = [
         Region::Dgemm,
         Region::Stream,
         Region::Cg,
@@ -128,6 +132,8 @@ impl Region {
         Region::Is,
         Region::RandomAccess,
         Region::Ft,
+        Region::Hpl,
+        Region::Ep,
     ];
 
     /// Wire tag (stable across versions).
@@ -140,6 +146,8 @@ impl Region {
             Region::Is => 5,
             Region::RandomAccess => 6,
             Region::Ft => 7,
+            Region::Hpl => 8,
+            Region::Ep => 9,
         }
     }
 
@@ -158,6 +166,8 @@ impl Region {
             Region::Is => "is",
             Region::RandomAccess => "randomaccess",
             Region::Ft => "ft",
+            Region::Hpl => "hpl",
+            Region::Ep => "ep",
         }
     }
 

@@ -1,0 +1,215 @@
+//! One sweep cell — a (server, kernel, freq-state, core-count)
+//! configuration — and its deterministic end-to-end measurement.
+
+use hpceval_core::server::SimulatedServer;
+use hpceval_kernels::hpcc::HpccProgram;
+use hpceval_kernels::npb::{Class, Program};
+use hpceval_kernels::suite::Benchmark;
+use hpceval_machine::presets;
+use hpceval_machine::spec::ServerSpec;
+use serde::{Serialize, Value};
+
+/// NPB problem class the sweep runs (the paper's evaluation class).
+pub const SWEEP_CLASS: Class = Class::C;
+
+/// Coordinates of one sweep cell. Cells are plain data: the same cell
+/// measured twice — in-process, through a fleet job, or re-run after a
+/// crash replay — produces the identical [`CellMeasure`] bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct TuneCell {
+    /// Server preset name, e.g. "Xeon-E5462".
+    pub server: String,
+    /// Kernel id from the NPB/HPCC catalogs, e.g. "ep", "dgemm".
+    pub kernel: String,
+    /// Index into the server's DVFS ladder.
+    pub freq_state: u32,
+    /// Process count.
+    pub processes: u32,
+    /// Meter seed (the planner stamps one per sweep).
+    pub seed: u64,
+}
+
+/// What one cell costs and delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CellMeasure {
+    /// Core clock the cell ran at, MHz.
+    pub freq_mhz: u32,
+    /// Reported performance, GFLOPS.
+    pub gflops: f64,
+    /// Modeled execution time, seconds.
+    pub time_s: f64,
+    /// Metered mean wall power, watts.
+    pub power_w: f64,
+    /// Energy to solution `power_w · time_s`, joules.
+    pub energy_j: f64,
+    /// Energy-delay product `energy_j · time_s`, J·s.
+    pub edp: f64,
+    /// The §V-style per-cell score, GFLOPS/W.
+    pub ppw: f64,
+}
+
+impl CellMeasure {
+    /// Serialize for a fleet job's `output` payload.
+    pub fn to_value(&self) -> Value {
+        Serialize::to_value(self)
+    }
+
+    /// Decode from a fleet job's `output` payload.
+    pub fn from_value(v: &Value) -> Option<CellMeasure> {
+        Some(CellMeasure {
+            freq_mhz: v.get("freq_mhz")?.as_u64()? as u32,
+            gflops: v.get("gflops")?.as_f64()?,
+            time_s: v.get("time_s")?.as_f64()?,
+            power_w: v.get("power_w")?.as_f64()?,
+            energy_j: v.get("energy_j")?.as_f64()?,
+            edp: v.get("edp")?.as_f64()?,
+            ppw: v.get("ppw")?.as_f64()?,
+        })
+    }
+}
+
+/// Every kernel id the sweep knows: the eight NPB programs at
+/// [`SWEEP_CLASS`] followed by the seven HPCC programs, in catalog
+/// order.
+pub fn all_kernel_ids() -> Vec<&'static str> {
+    Program::ALL
+        .into_iter()
+        .map(Program::id)
+        .chain(HpccProgram::ALL.into_iter().map(HpccProgram::id))
+        .collect()
+}
+
+/// Resolve a kernel id to its benchmark. NPB kernels run at
+/// [`SWEEP_CLASS`]; HPCC kernels are memory-sized for `spec` — pass the
+/// *nominal* spec so the problem size is identical at every DVFS state
+/// (memory is DVFS-invariant, so this holds by construction, but sizing
+/// off the nominal spec makes it structural).
+pub fn benchmark_by_id(kernel: &str, spec: &ServerSpec) -> Option<Box<dyn Benchmark>> {
+    if let Some(p) = Program::ALL.into_iter().find(|p| p.id() == kernel) {
+        return Some(p.benchmark(SWEEP_CLASS));
+    }
+    HpccProgram::ALL
+        .into_iter()
+        .find(|p| p.id() == kernel)
+        .map(|p| p.benchmark(spec))
+}
+
+/// Measure one cell: re-clock the preset to the cell's DVFS state,
+/// stand up a seeded simulated server, run the full §V-C2 measurement
+/// pipeline, and derive energy and EDP from the modeled time and the
+/// metered mean power.
+pub fn run_cell(cell: &TuneCell) -> Result<CellMeasure, String> {
+    let nominal = presets::by_name(&cell.server)
+        .ok_or_else(|| format!("unknown server {:?}", cell.server))?;
+    let spec = nominal
+        .at_dvfs_state(cell.freq_state as usize)
+        .ok_or_else(|| format!("{}: no DVFS state {}", nominal.name, cell.freq_state))?;
+    let bench = benchmark_by_id(&cell.kernel, &nominal)
+        .ok_or_else(|| format!("unknown kernel {:?}", cell.kernel))?;
+    if !bench.constraint().allows(cell.processes) {
+        return Err(format!(
+            "{}: {} processes violate the constraint",
+            cell.kernel, cell.processes
+        ));
+    }
+    let sig = bench.signature();
+    let freq_mhz = spec.freq_mhz;
+    let mut srv = SimulatedServer::with_seed(spec, cell.seed);
+    // Memory and core counts are DVFS-invariant, so feasibility here is
+    // the same answer the planner got on the nominal machine.
+    if !srv.can_run(&sig, cell.processes) {
+        return Err(format!(
+            "{} does not fit {} at p={}",
+            cell.kernel, cell.server, cell.processes
+        ));
+    }
+    let m = srv.measure(&sig, cell.processes);
+    let energy_j = m.power_w * m.time_s;
+    Ok(CellMeasure {
+        freq_mhz,
+        gflops: m.gflops,
+        time_s: m.time_s,
+        power_w: m.power_w,
+        energy_j,
+        edp: energy_j * m.time_s,
+        ppw: m.ppw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(server: &str, kernel: &str, state: u32, p: u32) -> TuneCell {
+        TuneCell {
+            server: server.to_string(),
+            kernel: kernel.to_string(),
+            freq_state: state,
+            processes: p,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn catalog_covers_npb_and_hpcc() {
+        let ids = all_kernel_ids();
+        assert_eq!(ids.len(), 15);
+        let spec = presets::xeon_e5462();
+        for id in ids {
+            assert!(benchmark_by_id(id, &spec).is_some(), "{id}");
+        }
+        assert!(benchmark_by_id("linpack-3000", &spec).is_none());
+    }
+
+    #[test]
+    fn cells_measure_deterministically() {
+        let c = cell("Xeon-E5462", "ep", 1, 4);
+        let a = run_cell(&c).unwrap();
+        let b = run_cell(&c).unwrap();
+        assert_eq!(a, b);
+        assert!(a.energy_j > 0.0 && a.edp > 0.0 && a.time_s > 0.0);
+        assert_eq!(a.energy_j, a.power_w * a.time_s);
+        assert_eq!(a.edp, a.energy_j * a.time_s);
+    }
+
+    #[test]
+    fn nominal_state_reproduces_the_fixed_clock_measurement() {
+        let spec = presets::opteron_8347();
+        let c = cell("Opteron-8347", "ep", spec.dvfs.nominal as u32, 8);
+        let got = run_cell(&c).unwrap();
+        let sig = benchmark_by_id("ep", &spec).unwrap().signature();
+        let mut srv = SimulatedServer::with_seed(spec, 7);
+        let want = srv.measure(&sig, 8);
+        assert_eq!(got.gflops, want.gflops, "bitwise-unchanged at nominal");
+        assert_eq!(got.power_w, want.power_w);
+        assert_eq!(got.time_s, want.time_s);
+    }
+
+    #[test]
+    fn downclocking_cuts_power_and_stretches_compute_bound_time() {
+        let spec = presets::xeon_4870();
+        let top = run_cell(&cell("Xeon-4870", "dgemm", spec.dvfs.nominal as u32, 40)).unwrap();
+        let low = run_cell(&cell("Xeon-4870", "dgemm", 0, 40)).unwrap();
+        assert!(low.power_w < top.power_w, "{} !< {}", low.power_w, top.power_w);
+        assert!(low.time_s > top.time_s, "compute-bound kernels track the clock");
+        assert!(low.gflops < top.gflops);
+    }
+
+    #[test]
+    fn invalid_cells_are_rejected() {
+        assert!(run_cell(&cell("cray-1", "ep", 0, 1)).is_err());
+        assert!(run_cell(&cell("Xeon-E5462", "warp-drive", 0, 1)).is_err());
+        assert!(run_cell(&cell("Xeon-E5462", "ep", 99, 1)).is_err());
+        // CG needs a power of two.
+        assert!(run_cell(&cell("Xeon-E5462", "cg", 0, 3)).is_err());
+        // cg.C.2 exceeds the E5462's 8 GiB (paper Fig 3).
+        assert!(run_cell(&cell("Xeon-E5462", "cg", 0, 2)).is_err());
+    }
+
+    #[test]
+    fn measure_round_trips_through_value() {
+        let m = run_cell(&cell("Xeon-E5462", "stream", 0, 2)).unwrap();
+        let back = CellMeasure::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+    }
+}

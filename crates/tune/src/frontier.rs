@@ -1,0 +1,200 @@
+//! Exact energy-delay Pareto analysis over measured sweep cells.
+//!
+//! A configuration is *on the frontier* when no other measured
+//! configuration of the same kernel is at least as good on **both**
+//! axes — energy to solution and time to solution — and strictly
+//! better on one. The filter is the exact O(n²) dominance test (cell
+//! counts per kernel are tiny: states × core-levels), not a sort-based
+//! approximation, and every output is canonically ordered so the same
+//! cell set produces the identical frontier under any input
+//! permutation — including after a crash-replay reshuffles completion
+//! order.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::cell::{CellMeasure, TuneCell};
+
+/// One measured sweep cell: the coordinates and what they cost.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellResult {
+    /// The configuration that ran.
+    pub cell: TuneCell,
+    /// What it measured.
+    pub measure: CellMeasure,
+}
+
+/// `a` Pareto-dominates `b` on (energy, time): no worse on both axes,
+/// strictly better on at least one.
+pub fn dominates(a: &CellMeasure, b: &CellMeasure) -> bool {
+    a.energy_j <= b.energy_j
+        && a.time_s <= b.time_s
+        && (a.energy_j < b.energy_j || a.time_s < b.time_s)
+}
+
+/// Canonical result order: energy, then time, then the cell's derived
+/// `Ord` — a total order (measures are finite by construction), so
+/// sorting by it erases any input permutation.
+pub fn canonical_order(a: &CellResult, b: &CellResult) -> Ordering {
+    a.measure
+        .energy_j
+        .total_cmp(&b.measure.energy_j)
+        .then(a.measure.time_s.total_cmp(&b.measure.time_s))
+        .then_with(|| a.cell.cmp(&b.cell))
+}
+
+/// The exact Pareto frontier of `results` on (energy_j, time_s), in
+/// canonical order. Ties — distinct cells with identical (energy,
+/// time) — do not dominate each other, so both survive.
+pub fn pareto_frontier(results: &[CellResult]) -> Vec<CellResult> {
+    let mut out: Vec<CellResult> = results
+        .iter()
+        .filter(|c| !results.iter().any(|o| dominates(&o.measure, &c.measure)))
+        .cloned()
+        .collect();
+    out.sort_by(canonical_order);
+    out
+}
+
+/// Per-kernel frontier plus the two headline picks the report prints
+/// next to the paper's §V score.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelFrontier {
+    /// Kernel id the cells share.
+    pub kernel: String,
+    /// The frontier, canonically ordered (first point = cheapest
+    /// energy, last = fastest).
+    pub frontier: Vec<CellResult>,
+    /// The energy-optimal configuration (least energy to solution;
+    /// ties break by time, then cell order).
+    pub energy_optimal: CellResult,
+    /// The EDP-optimal configuration (least energy·delay; ties break
+    /// by canonical order).
+    pub edp_optimal: CellResult,
+}
+
+/// Group `results` by kernel and reduce each group to its
+/// [`KernelFrontier`], sorted by kernel id. Kernels with no measured
+/// cell simply do not appear.
+pub fn kernel_frontiers(results: &[CellResult]) -> Vec<KernelFrontier> {
+    let mut by_kernel: BTreeMap<&str, Vec<CellResult>> = BTreeMap::new();
+    for r in results {
+        by_kernel.entry(&r.cell.kernel).or_default().push(r.clone());
+    }
+    by_kernel
+        .into_iter()
+        .map(|(kernel, cells)| {
+            let frontier = pareto_frontier(&cells);
+            // Canonical order sorts by energy first, so the head of the
+            // frontier *is* the energy-optimal pick.
+            let energy_optimal = frontier[0].clone();
+            // The EDP minimum is always a frontier point (dominance on
+            // positive (e, t) strictly shrinks e·t), so search there.
+            let edp_optimal = frontier
+                .iter()
+                .min_by(|a, b| {
+                    a.measure.edp.total_cmp(&b.measure.edp).then_with(|| canonical_order(a, b))
+                })
+                .expect("frontier of a non-empty group is non-empty")
+                .clone();
+            KernelFrontier { kernel: kernel.to_string(), frontier, energy_optimal, edp_optimal }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(kernel: &str, state: u32, energy_j: f64, time_s: f64) -> CellResult {
+        let power_w = energy_j / time_s;
+        CellResult {
+            cell: TuneCell {
+                server: "Xeon-E5462".to_string(),
+                kernel: kernel.to_string(),
+                freq_state: state,
+                processes: 4,
+                seed: 1,
+            },
+            measure: CellMeasure {
+                freq_mhz: 2000 + 400 * state,
+                gflops: 10.0,
+                time_s,
+                power_w,
+                energy_j,
+                edp: energy_j * time_s,
+                ppw: 10.0 * time_s / energy_j,
+            },
+        }
+    }
+
+    #[test]
+    fn dominance_needs_one_strict_axis() {
+        let a = res("ep", 0, 10.0, 5.0).measure;
+        let b = res("ep", 1, 12.0, 5.0).measure;
+        let tie = res("ep", 2, 10.0, 5.0).measure;
+        assert!(dominates(&a, &b));
+        assert!(!dominates(&b, &a));
+        assert!(!dominates(&a, &tie));
+        assert!(!dominates(&tie, &a));
+    }
+
+    #[test]
+    fn frontier_keeps_exactly_the_nondominated_points() {
+        let cells = vec![
+            res("ep", 0, 10.0, 8.0), // cheap but slow: frontier
+            res("ep", 1, 12.0, 5.0), // middle trade-off: frontier
+            res("ep", 2, 16.0, 3.0), // fast but hot: frontier
+            res("ep", 3, 16.0, 6.0), // dominated by state 1
+            res("ep", 4, 20.0, 9.0), // dominated by everything
+        ];
+        let f = pareto_frontier(&cells);
+        let states: Vec<u32> = f.iter().map(|c| c.cell.freq_state).collect();
+        assert_eq!(states, vec![0, 1, 2]);
+        // Each dropped point is dominated by some frontier point.
+        for c in &cells {
+            if !f.contains(c) {
+                assert!(f.iter().any(|k| dominates(&k.measure, &c.measure)), "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_is_permutation_invariant() {
+        let mut cells = vec![
+            res("ep", 0, 10.0, 8.0),
+            res("ep", 1, 12.0, 5.0),
+            res("ep", 2, 16.0, 3.0),
+            res("ep", 3, 16.0, 6.0),
+        ];
+        let want = pareto_frontier(&cells);
+        cells.reverse();
+        assert_eq!(pareto_frontier(&cells), want);
+        cells.swap(0, 2);
+        assert_eq!(pareto_frontier(&cells), want);
+    }
+
+    #[test]
+    fn equal_measures_both_survive() {
+        let cells = vec![res("ep", 0, 10.0, 5.0), res("ep", 1, 10.0, 5.0)];
+        assert_eq!(pareto_frontier(&cells).len(), 2);
+    }
+
+    #[test]
+    fn kernel_frontiers_group_and_pick_optima() {
+        let cells = vec![
+            res("ep", 0, 10.0, 8.0),
+            res("ep", 2, 16.0, 3.0), // edp 48 < 80: EDP pick
+            res("cg", 1, 7.0, 7.0),
+        ];
+        let fs = kernel_frontiers(&cells);
+        assert_eq!(fs.len(), 2);
+        assert_eq!(fs[0].kernel, "cg");
+        assert_eq!(fs[1].kernel, "ep");
+        assert_eq!(fs[1].energy_optimal.cell.freq_state, 0);
+        assert_eq!(fs[1].edp_optimal.cell.freq_state, 2);
+        assert_eq!(fs[0].energy_optimal, fs[0].edp_optimal);
+    }
+}

@@ -12,7 +12,7 @@
 use hpceval::core::evaluation::Evaluator;
 use hpceval::core::rankings::{compare, green500_score};
 use hpceval::machine::presets;
-use hpceval::machine::spec::{CacheLevel, MemoryKind, ServerSpec};
+use hpceval::machine::spec::{CacheLevel, DvfsCurve, MemoryKind, ServerSpec};
 
 fn main() {
     let custom = ServerSpec {
@@ -38,6 +38,7 @@ fn main() {
         sustained_vector_eff: 0.88,
         parallel_alpha: 0.04,
         scalar_ipc: 0.9,
+        dvfs: DvfsCurve::single(2600),
     };
     println!(
         "custom server: {} cores, {:.1} GFLOPS peak\n",

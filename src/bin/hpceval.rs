@@ -13,6 +13,8 @@
 //! hpceval trace capture|replay|stats  address-trace capture and replay (JSON)
 //! hpceval fleet serve|route|submit|status|drain|shutdown|smoke|bench
 //!                                     fault-tolerant orchestration daemon
+//! hpceval tune sweep|frontier|report|smoke
+//!                                     DVFS energy-optimal autotuner (JSON)
 //! ```
 //!
 //! Unknown subcommands and malformed flags print usage and exit
@@ -70,9 +72,10 @@ fn main() -> ExitCode {
         Some("verify") => verify(),
         Some("trace") => trace_cmd(&args[1..]),
         Some("fleet") => fleet_cmd(&args[1..]),
+        Some("tune") => tune_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify|trace|fleet> [server|seed]"
+                "usage: hpceval <servers|evaluate|green500|specpower|rankings|study|train|monitor|report|cluster|verify|trace|fleet|tune> [server|seed]"
             );
             eprintln!(
                 "  monitor <server> [seed]: stream three simulated copies of <server> (one clean,\n\
@@ -223,7 +226,7 @@ usage: hpceval trace <capture|replay|stats> [flags]
   stats             [--server NAME] [--seed N] [--mode sampled|full]
                     run the full trace-driven regression experiment;
                     print per-kernel profiles and the R² triple as JSON
-  kernels: dgemm stream cg mg is randomaccess ft
+  kernels: dgemm stream cg mg is randomaccess ft hpl ep
   --mode defaults to $HPCEVAL_TRACE, then to full";
 
 fn trace_usage_error(msg: &str) -> ExitCode {
@@ -972,6 +975,307 @@ fn fleet_smoke(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("smoke: FAILED (crashes={crashes}, non-terminal/failed jobs: {bad:?})");
+        ExitCode::FAILURE
+    }
+}
+
+const TUNE_USAGE: &str = "\
+usage: hpceval tune <sweep|frontier|report|smoke> [flags]
+  sweep    [--servers A,B] [--kernels a,b] [--seed N] [--max-states N]
+           [--shards N] [--crash-p X] [--straggler-p X] [--dropout-p X]
+           [--fault-seed N] [--check BENCH_tune.json] [--tolerance X]
+           run every planned DVFS cell as a WAL-backed fleet job through
+           the sharded router; print the strict-JSON report and
+           optionally drift-check it against a committed baseline
+  frontier [--servers A,B] [--kernels a,b] [--seed N] [--max-states N]
+           measure the cells in-process and print each server's §V
+           score with its per-kernel energy-delay Pareto frontiers
+  report   [--servers A,B] [--kernels a,b] [--seed N] [--max-states N]
+           [--check BENCH_tune.json] [--tolerance X]
+           measure in-process and print the full report JSON (the
+           regeneration path for BENCH_tune.json)
+  smoke    [--shards N]   tiny fault-injected sweep (two kernels, two
+           DVFS states) cross-checked bitwise against the in-process
+           measurement; the CI entry point for the tune matrix job
+  --servers/--kernels default to the three paper presets and the full
+  NPB + HPCC catalog; --max-states 0 sweeps every DVFS state";
+
+fn tune_usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{TUNE_USAGE}");
+    ExitCode::FAILURE
+}
+
+fn tune_cmd(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("sweep") => tune_sweep(&args[1..]),
+        Some("frontier") => tune_frontier(&args[1..]),
+        Some("report") => tune_report(&args[1..]),
+        Some("smoke") => tune_smoke(&args[1..]),
+        Some(other) => tune_usage_error(&format!("unknown tune subcommand {other:?}")),
+        None => tune_usage_error("missing tune subcommand"),
+    }
+}
+
+/// The `--servers/--kernels/--seed/--max-states` flags as sweep options.
+fn tune_options(flags: &[(&str, &str)]) -> Result<hpceval::tune::SweepOptions, String> {
+    let defaults = hpceval::tune::SweepOptions::default();
+    let list = |key: &str, default: Vec<String>| -> Vec<String> {
+        match flag(flags, key) {
+            None => default,
+            Some(raw) => raw.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect(),
+        }
+    };
+    let opts = hpceval::tune::SweepOptions {
+        servers: list("servers", defaults.servers),
+        kernels: list("kernels", defaults.kernels),
+        seed: parse_flag(flags, "seed", defaults.seed)?,
+        max_states: parse_flag(flags, "max-states", defaults.max_states)?,
+    };
+    if opts.servers.is_empty() {
+        return Err("--servers needs at least one preset name".to_string());
+    }
+    if opts.kernels.is_empty() {
+        return Err("--kernels needs at least one kernel id".to_string());
+    }
+    Ok(opts)
+}
+
+/// Optional `--check <baseline> [--tolerance X]` gate on a built report.
+fn tune_check(report: &hpceval::tune::TuneReport, flags: &[(&str, &str)]) -> ExitCode {
+    use hpceval::tune::{check, parse_baseline};
+    let Some(path) = flag(flags, "check") else {
+        return ExitCode::SUCCESS;
+    };
+    let tolerance = match parse_flag(flags, "tolerance", 0.001f64) {
+        Ok(t) if t >= 0.0 && t.is_finite() => t,
+        _ => return tune_usage_error("--tolerance takes a non-negative number"),
+    };
+    let baseline = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|s| parse_baseline(&s))
+    {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot load baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = check(&baseline, report, tolerance);
+    if failures.is_empty() {
+        eprintln!("tune check passed: {} metrics within tolerance {tolerance}", baseline.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tune check FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the planned cells in-process (no fleet) — the analysis path
+/// `tune frontier`/`tune report` share; the fleet path is proven
+/// bitwise-identical by `tests/tune_sweep.rs`.
+fn tune_measure_inline(
+    opts: &hpceval::tune::SweepOptions,
+) -> Result<Vec<hpceval::tune::CellResult>, String> {
+    let cells = hpceval::tune::plan_sweep(opts)?;
+    cells
+        .into_iter()
+        .map(|cell| {
+            hpceval::tune::run_cell(&cell)
+                .map(|measure| hpceval::tune::CellResult { cell, measure })
+        })
+        .collect()
+}
+
+fn tune_sweep(args: &[String]) -> ExitCode {
+    use hpceval::fleet::{run_sweep, FaultPlan, SweepConfig};
+    let parsed = parse_flags(
+        args,
+        &[
+            "servers",
+            "kernels",
+            "seed",
+            "max-states",
+            "shards",
+            "crash-p",
+            "straggler-p",
+            "dropout-p",
+            "fault-seed",
+            "check",
+            "tolerance",
+        ],
+    );
+    let (flags, positional) = match parsed {
+        Ok(p) => p,
+        Err(e) => return tune_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return tune_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let (opts, config) = match (|| -> Result<_, String> {
+        let opts = tune_options(&flags)?;
+        let config = SweepConfig {
+            shards: parse_flag(&flags, "shards", 2usize)?,
+            faults: FaultPlan {
+                crash_p: parse_flag(&flags, "crash-p", 0.0)?,
+                straggler_p: parse_flag(&flags, "straggler-p", 0.0)?,
+                dropout_p: parse_flag(&flags, "dropout-p", 0.0)?,
+                seed: parse_flag(&flags, "fault-seed", 0)?,
+            },
+            wal_dir: None,
+        };
+        Ok((opts, config))
+    })() {
+        Ok(p) => p,
+        Err(e) => return tune_usage_error(&e),
+    };
+    let cells = match hpceval::tune::plan_sweep(&opts) {
+        Ok(c) => c,
+        Err(e) => return tune_usage_error(&e),
+    };
+    let results = match run_sweep(&cells, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = hpceval::tune::build_report(&results, opts.seed);
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("cannot encode report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    tune_check(&report, &flags)
+}
+
+fn tune_frontier(args: &[String]) -> ExitCode {
+    let (flags, positional) = match parse_flags(args, &["servers", "kernels", "seed", "max-states"])
+    {
+        Ok(p) => p,
+        Err(e) => return tune_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return tune_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let report = match tune_options(&flags).and_then(|opts| {
+        tune_measure_inline(&opts).map(|r| hpceval::tune::build_report(&r, opts.seed))
+    }) {
+        Ok(r) => r,
+        Err(e) => return tune_usage_error(&e),
+    };
+    match serde_json::to_string_pretty(&report.servers) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot encode frontiers: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn tune_report(args: &[String]) -> ExitCode {
+    let parsed =
+        parse_flags(args, &["servers", "kernels", "seed", "max-states", "check", "tolerance"]);
+    let (flags, positional) = match parsed {
+        Ok(p) => p,
+        Err(e) => return tune_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return tune_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let report = match tune_options(&flags).and_then(|opts| {
+        tune_measure_inline(&opts).map(|r| hpceval::tune::build_report(&r, opts.seed))
+    }) {
+        Ok(r) => r,
+        Err(e) => return tune_usage_error(&e),
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            eprintln!("cannot encode report: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    tune_check(&report, &flags)
+}
+
+/// Self-contained tune smoke test: a tiny two-kernel, two-state sweep
+/// runs as fleet jobs with crashes and meter dropouts injected, and
+/// every measured cell must come back bitwise-identical to the direct
+/// in-process measurement. This is the CI entry point for the tune
+/// matrix job.
+fn tune_smoke(args: &[String]) -> ExitCode {
+    use hpceval::fleet::{run_sweep, FaultPlan, SweepConfig};
+    let (flags, positional) = match parse_flags(args, &["shards"]) {
+        Ok(p) => p,
+        Err(e) => return tune_usage_error(&e),
+    };
+    if !positional.is_empty() {
+        return tune_usage_error(&format!("unexpected argument {:?}", positional[0]));
+    }
+    let shards = match parse_flag(&flags, "shards", 2usize) {
+        Ok(s) if s > 0 => s,
+        _ => return tune_usage_error("--shards takes a positive integer"),
+    };
+    let opts = hpceval::tune::SweepOptions {
+        servers: vec!["Xeon-E5462".to_string()],
+        kernels: vec!["ep".to_string(), "stream".to_string()],
+        max_states: 2,
+        ..hpceval::tune::SweepOptions::default()
+    };
+    let cells = match hpceval::tune::plan_sweep(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tune smoke: planning failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = SweepConfig {
+        shards,
+        faults: FaultPlan { crash_p: 0.2, straggler_p: 0.1, dropout_p: 0.3, seed: 11 },
+        wal_dir: None,
+    };
+    let results = match run_sweep(&cells, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tune smoke: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut mismatches = 0;
+    for r in &results {
+        match hpceval::tune::run_cell(&r.cell) {
+            Ok(direct) if direct == r.measure => {}
+            other => {
+                eprintln!("tune smoke: {:?} diverged from direct measurement: {other:?}", r.cell);
+                mismatches += 1;
+            }
+        }
+    }
+    let frontiers = hpceval::tune::kernel_frontiers(&results);
+    println!(
+        "tune smoke: {} cell(s) over {} shard(s) with faults injected, {} frontier(s)",
+        results.len(),
+        shards,
+        frontiers.len()
+    );
+    if results.len() == cells.len() && mismatches == 0 && frontiers.len() == 2 {
+        println!("tune smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tune smoke: FAILED ({} of {} cells, {mismatches} mismatch(es))",
+            results.len(),
+            cells.len()
+        );
         ExitCode::FAILURE
     }
 }

@@ -21,6 +21,9 @@
 //! * [`fleet`] — fault-tolerant orchestration: a daemon with a
 //!   write-ahead-logged job queue, per-state checkpointing, fault
 //!   injection with retry/backoff, and a TCP wire protocol + client.
+//! * [`tune`] — the DVFS-aware autotuner: deterministic sweep planning
+//!   over frequency state × core count × kernel, energy-delay Pareto
+//!   frontier analysis, and the `BENCH_tune.json` drift gate.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +46,4 @@ pub use hpceval_regression as regression;
 pub use hpceval_specpower as specpower;
 pub use hpceval_telemetry as telemetry;
 pub use hpceval_trace as trace;
+pub use hpceval_tune as tune;

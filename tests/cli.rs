@@ -89,7 +89,7 @@ fn malformed_trace_invocations_print_trace_usage_and_fail() {
         &["trace"],                                       // missing subcommand
         &["trace", "explode"],                            // unknown subcommand
         &["trace", "capture"],                            // missing kernel
-        &["trace", "capture", "hpl"],                     // uninstrumented kernel
+        &["trace", "capture", "lu"],                      // unknown kernel
         &["trace", "capture", "dgemm", "extra"],          // stray positional
         &["trace", "capture", "dgemm", "--mode", "?"],    // bad mode
         &["trace", "capture", "dgemm", "--mode", "off"],  // off captures nothing
@@ -129,6 +129,72 @@ fn trace_capture_and_replay_emit_json() {
     for key in ["\"server\":\"Xeon-E5462\"", "\"mem_reads\":", "\"measured\":{\"l1_hit\":"] {
         assert!(text.contains(key), "missing {key} in {text}");
     }
+}
+
+#[test]
+fn malformed_tune_invocations_print_tune_usage_and_fail() {
+    let cases: &[&[&str]] = &[
+        &["tune"],                                  // missing subcommand
+        &["tune", "explode"],                       // unknown subcommand
+        &["tune", "report", "--servers", "cray-1"], // unknown server
+        &["tune", "report", "--kernels", "warp"],   // unknown kernel
+        &["tune", "report", "--servers", ","],      // empty list
+        &["tune", "report", "--seed", "many"],      // bad number
+        &["tune", "report", "--bogus", "1"],        // unknown flag
+        &["tune", "report", "extra"],               // stray positional
+        &["tune", "sweep", "--crash-p", "lots"],    // bad number
+        &["tune", "frontier", "--check", "x"],      // check not a frontier flag
+        &["tune", "smoke", "--shards", "0"],        // shardless sweep
+        &["tune", "smoke", "--seed", "1"],          // smoke has no --seed
+    ];
+    for args in cases {
+        let out = hpceval(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains("usage: hpceval tune"),
+            "{args:?} must print tune usage, got: {}",
+            stderr(&out)
+        );
+    }
+}
+
+/// The tune CI smoke entry point: a tiny fault-injected sweep through
+/// sharded daemons, bitwise-checked against in-process measurement.
+#[test]
+fn tune_smoke_passes() {
+    let out = hpceval(&["tune", "smoke"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {text}\nstderr: {}", stderr(&out));
+    assert!(text.contains("tune smoke: OK"), "{text}");
+}
+
+/// `tune report` prints the strict-JSON report and self-checks against
+/// its own output at zero drift.
+#[test]
+fn tune_report_emits_json_and_self_checks() {
+    let args =
+        &["tune", "report", "--servers", "Xeon-E5462", "--kernels", "ep", "--max-states", "2"];
+    let out = hpceval(args);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for key in [
+        "\"section_v_score\"",
+        "\"frontier\"",
+        "\"energy_optimal\"",
+        "\"edp_optimal\"",
+        "\"Xeon-E5462.energy_opt_j\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    let baseline = std::env::temp_dir().join(format!("tune-cli-{}.json", std::process::id()));
+    std::fs::write(&baseline, &text).unwrap();
+    let mut check = args.to_vec();
+    let path = baseline.to_str().unwrap().to_string();
+    check.extend(["--check", &path, "--tolerance", "0"]);
+    let out = hpceval(&check);
+    assert!(out.status.success(), "self-check at zero tolerance: {}", stderr(&out));
+    assert_eq!(text, String::from_utf8_lossy(&out.stdout), "report must be deterministic");
+    std::fs::remove_file(&baseline).unwrap();
 }
 
 /// status/drain against a daemon that isn't there must fail, not hang.

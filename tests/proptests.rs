@@ -7,12 +7,17 @@ use hpceval::kernels::hpl::lu;
 use hpceval::kernels::rng::NpbRng;
 use hpceval::machine::presets;
 use hpceval::machine::roofline::PerfModel;
+use hpceval::machine::spec::{DvfsCurve, DvfsState};
 use hpceval::machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
 use hpceval::power::analysis::{ProgramWindow, TraceAnalysis};
+use hpceval::power::calibration::PowerCalibration;
 use hpceval::power::meter::{PowerTrace, Wt210};
 use hpceval::power::model::PowerModel;
 use hpceval::regression::matrix::Matrix;
 use hpceval::regression::stats::r_squared;
+use hpceval::tune::{
+    dominates, kernel_frontiers, pareto_frontier, CellMeasure, CellResult, TuneCell,
+};
 
 fn arb_signature() -> impl Strategy<Value = WorkloadSignature> {
     (
@@ -36,6 +41,43 @@ fn arb_signature() -> impl Strategy<Value = WorkloadSignature> {
             kind: ComputeKind::Mixed(vf),
             locality: LocalityProfile::streaming(),
         })
+}
+
+/// Sweep-cell results with arbitrary positive (energy, time) points —
+/// the shape `tune`'s exact Pareto filter must stay correct on. The
+/// coordinates come off a coarse integer grid so exact ties (distinct
+/// cells with identical measures) arise often, exercising the
+/// both-survive rule; a few kernel ids force the grouping path.
+fn arb_cell_results() -> impl Strategy<Value = Vec<CellResult>> {
+    let point = (0usize..3, 0u32..6, 1u32..=16, 1u64..500, 1u64..200);
+    prop::collection::vec(point, 1..48).prop_map(|points| {
+        points
+            .into_iter()
+            .map(|(k, state, procs, e, t)| {
+                let energy_j = e as f64 * 0.5;
+                let time_s = t as f64 * 0.25;
+                let gflops = 100.0 / time_s;
+                CellResult {
+                    cell: TuneCell {
+                        server: "Xeon-E5462".to_string(),
+                        kernel: ["ep", "cg", "dgemm"][k].to_string(),
+                        freq_state: state,
+                        processes: procs,
+                        seed: 1,
+                    },
+                    measure: CellMeasure {
+                        freq_mhz: 2000 + 400 * state,
+                        gflops,
+                        time_s,
+                        power_w: energy_j / time_s,
+                        energy_j,
+                        edp: energy_j * time_s,
+                        ppw: gflops / (energy_j / time_s),
+                    },
+                }
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -272,5 +314,139 @@ proptest! {
         }
         // Whatever the subset, blocked DGEMM out-hits streaming STREAM.
         prop_assert!(l1[0] > l1[1], "dgemm l1 {} must beat stream l1 {}", l1[0], l1[1]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No frontier point is dominated by ANY input point — frontier
+    /// membership is exact, not a sort-based approximation.
+    #[test]
+    fn frontier_points_are_never_dominated(cells in arb_cell_results()) {
+        let f = pareto_frontier(&cells);
+        prop_assert!(!f.is_empty(), "non-empty input must yield a frontier");
+        for kept in &f {
+            for c in &cells {
+                prop_assert!(
+                    !dominates(&c.measure, &kept.measure),
+                    "frontier point {:?} dominated by {:?}",
+                    kept.cell,
+                    c.cell
+                );
+            }
+        }
+    }
+
+    /// Every dropped point is dominated by some *frontier* point:
+    /// dominance chains always terminate on the frontier, so nothing
+    /// is discarded without an on-frontier witness.
+    #[test]
+    fn dropped_points_are_dominated_by_the_frontier(cells in arb_cell_results()) {
+        let f = pareto_frontier(&cells);
+        for c in &cells {
+            if !f.contains(c) {
+                prop_assert!(
+                    f.iter().any(|k| dominates(&k.measure, &c.measure)),
+                    "dropped {:?} has no dominating frontier point",
+                    c
+                );
+            }
+        }
+    }
+
+    /// The frontier — and the per-kernel optima derived from it — is
+    /// bitwise identical under any input permutation. This is the
+    /// property the WAL crash-replay rests on: cells completing in a
+    /// reshuffled order after a kill must reproduce the report.
+    #[test]
+    fn frontier_is_invariant_under_permutation(
+        cells in arb_cell_results(),
+        seed in 0u64..(1 << 32),
+    ) {
+        let want = pareto_frontier(&cells);
+        let want_groups = kernel_frontiers(&cells);
+        let mut shuffled = cells;
+        // Deterministic Fisher–Yates driven by the generated seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(pareto_frontier(&shuffled), want);
+        prop_assert_eq!(kernel_frontiers(&shuffled), want_groups);
+    }
+
+    /// On any well-formed DVFS ladder (ascending clocks, non-decreasing
+    /// voltage) the dynamic-power ratio f·V² is strictly monotone in
+    /// the state index, exactly 1.0 at the nominal top state, and < 1.0
+    /// for every state below it: a lower frequency state never draws
+    /// more dynamic power.
+    #[test]
+    fn dvfs_power_ratio_is_monotone_on_arbitrary_ladders(
+        f0 in 600u32..1600,
+        v0 in 0.7..1.1f64,
+        steps in prop::collection::vec((50u32..500, 0.0..0.15f64), 1..5),
+    ) {
+        let mut states = vec![DvfsState { freq_mhz: f0, volts: v0 }];
+        for (df, dv) in steps {
+            let last = *states.last().unwrap();
+            states.push(DvfsState { freq_mhz: last.freq_mhz + df, volts: last.volts + dv });
+        }
+        let nominal = states.len() - 1;
+        let curve = DvfsCurve { states, nominal };
+        prop_assert_eq!(curve.power_ratio(nominal), 1.0);
+        let ratios: Vec<f64> = (0..curve.len()).map(|i| curve.power_ratio(i)).collect();
+        for w in ratios.windows(2) {
+            prop_assert!(w[0] < w[1], "f·V² must grow with the clock: {:?}", ratios);
+        }
+        for (i, r) in ratios.iter().enumerate() {
+            if i != nominal {
+                prop_assert!(*r < 1.0, "state {} below nominal must scale down, got {}", i, r);
+            }
+        }
+    }
+
+    /// Stepping down any preset's DVFS ladder never raises the
+    /// roofline or the dynamic power: the compute ceilings and the
+    /// dynamic calibration terms shrink monotonically with the state
+    /// index, the memory-side constants stay put (DRAM and uncore keep
+    /// their clocks), and the modeled execution time of an arbitrary
+    /// workload never improves from downclocking.
+    #[test]
+    fn dvfs_downclock_never_raises_roofline_or_dynamic_power(
+        sig in arb_signature(),
+        p in 1u32..=40,
+    ) {
+        for spec in presets::all_servers() {
+            let p = p.min(spec.total_cores());
+            let nominal_cal = PowerCalibration::for_server(&spec);
+            // (peak_gflops, scalar_gops, core_w, idle_w, time_s) of the
+            // previous (slower) state, walking the ladder upward.
+            let mut prev: Option<(f64, f64, f64, f64, f64)> = None;
+            for idx in 0..spec.dvfs.len() {
+                let down = spec.at_dvfs_state(idx).unwrap();
+                let cal = PowerCalibration::for_server(&down);
+                prop_assert_eq!(down.mem_bw_gbs, spec.mem_bw_gbs);
+                prop_assert_eq!(down.per_core_bw_gbs, spec.per_core_bw_gbs);
+                prop_assert_eq!(cal.mem_w_per_gbs, nominal_cal.mem_w_per_gbs);
+                prop_assert_eq!(cal.footprint_w, nominal_cal.footprint_w);
+                prop_assert_eq!(cal.comm_w_per_core, nominal_cal.comm_w_per_core);
+                let est = PerfModel::new(down.clone()).execute(&sig, p);
+                if let Some((peak, scalar, core_w, idle_w, time_s)) = prev {
+                    prop_assert!(down.peak_gflops() > peak, "{}: compute ceiling follows the clock", spec.name);
+                    prop_assert!(down.scalar_gops() > scalar, "{}: scalar ceiling follows the clock", spec.name);
+                    prop_assert!(cal.core_w > core_w, "{}: dynamic core watts follow f·V²", spec.name);
+                    prop_assert!(cal.idle_w > idle_w, "{}: the dynamic idle share follows f·V²", spec.name);
+                    prop_assert!(
+                        est.time_s <= time_s * (1.0 + 1e-9),
+                        "{}: p={} state {} at a faster clock must not run slower ({} > {})",
+                        spec.name, p, idx, est.time_s, time_s
+                    );
+                }
+                prev = Some((down.peak_gflops(), down.scalar_gops(), cal.core_w, cal.idle_w, est.time_s));
+            }
+        }
     }
 }

@@ -1,0 +1,172 @@
+//! Sweep failover under `kill -9`: a sharded fleet runs the DVFS
+//! autotuner cells, loses one daemon mid-sweep, replays the dead
+//! shard's WAL into a replacement, and the energy-delay Pareto
+//! frontier must come out **bitwise-equal** to an uninterrupted sweep
+//! — crash recovery may cost time, never results.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hpceval::fleet::sweep::{cell_to_job, result_to_cell};
+use hpceval::fleet::{run_sweep, Fleet, FleetConfig, Registry, Router, SweepConfig};
+use hpceval::tune::{kernel_frontiers, plan_sweep, CellResult, KernelFrontier, SweepOptions};
+
+const SHARDS: u64 = 2;
+
+/// A `hpceval fleet serve` subprocess on an ephemeral port.
+struct Daemon {
+    child: Child,
+    addr: String,
+    restored: usize,
+}
+
+impl Daemon {
+    fn spawn(wal: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hpceval"))
+            .args(["fleet", "serve", "--wal"])
+            .arg(wal)
+            .args(["--addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn fleet serve");
+        // Banner: "fleet daemon listening on ADDR (N job(s) restored from WAL)"
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("daemon banner");
+        let addr = line
+            .split("listening on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        let restored = line
+            .split('(')
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"));
+        Daemon { child, addr, restored }
+    }
+
+    /// SIGKILL — no shutdown handshake, no WAL flush courtesy.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Block until the daemon exits on its own (post-shutdown), so the
+    /// WAL is quiescent before anyone replays it.
+    fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The sweep under test: one server, three kernels with different
+/// process constraints, the full three-state DVFS ladder.
+fn sweep_cells() -> Vec<hpceval::tune::TuneCell> {
+    let opts = SweepOptions {
+        servers: vec!["Xeon-E5462".to_string()],
+        kernels: vec!["ep".to_string(), "stream".to_string(), "mg".to_string()],
+        ..SweepOptions::default()
+    };
+    plan_sweep(&opts).expect("plan")
+}
+
+fn tmp_wal(tag: &str, shard: u64) -> PathBuf {
+    std::env::temp_dir().join(format!("hpceval-tunekill-{}-{tag}-{shard}.wal", std::process::id()))
+}
+
+/// The uninterrupted reference sweep, via the in-process driver.
+fn baseline_frontiers() -> Vec<KernelFrontier> {
+    let cells = sweep_cells();
+    let results = run_sweep(&cells, &SweepConfig::default()).expect("clean sweep");
+    kernel_frontiers(&results)
+}
+
+/// Submit the cells through a router over subprocess shard daemons,
+/// kill one shard mid-sweep, replay its WAL into a replacement, drain,
+/// and read every cell's measurement back out of the WALs.
+fn kill9_frontiers() -> Vec<KernelFrontier> {
+    let cells = sweep_cells();
+    let wals: Vec<_> = (0..SHARDS).map(|s| tmp_wal("kill", s)).collect();
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    let mut shards: Vec<_> = wals.iter().map(|w| Daemon::spawn(w)).collect();
+    let addrs: Vec<_> = shards.iter().map(|d| d.addr.clone()).collect();
+    let router = Router::connect(&addrs).unwrap();
+    // One submit per cell keeps the router's key sequence — and thus
+    // the positional id↔cell mapping — deterministic.
+    let mut ids = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        ids.push(router.submit(vec![cell_to_job(cell)]).expect("submit")[0]);
+    }
+
+    // Give the shards a moment to start crunching, then murder shard 0
+    // with no warning and replay its WAL into a replacement daemon at
+    // the same shard position (global ids bake in the shard index).
+    std::thread::sleep(Duration::from_millis(15));
+    shards[0].kill9();
+    drop(router);
+    let mut replacement = Daemon::spawn(&wals[0]);
+    assert!(
+        replacement.restored > 0,
+        "replacement must restore the dead shard's jobs from its WAL"
+    );
+    let router = Router::connect(&[replacement.addr.clone(), shards[1].addr.clone()]).unwrap();
+    let jobs = router.drain().expect("drain");
+    assert_eq!(jobs.len(), cells.len(), "router must see every cell");
+    for j in &jobs {
+        assert_eq!(j.state, "Done", "job {} must finish clean, got {}", j.id, j.state);
+    }
+    router.shutdown_shards().expect("shutdown");
+    replacement.wait();
+    shards[1].wait();
+
+    // The wire deliberately omits per-cell outputs; read them the way
+    // the sweep driver does — replay the (now quiescent) WALs and pull
+    // each job's full result in-process.
+    let fleets: Vec<Arc<Fleet>> = wals
+        .iter()
+        .map(|w| Fleet::open(FleetConfig::default(), Registry::with_presets(), w).expect("replay"))
+        .collect();
+    let results: Vec<CellResult> = cells
+        .iter()
+        .zip(&ids)
+        .map(|(cell, &global)| {
+            // Invert the router's global-id bijection for SHARDS shards.
+            let (shard, local) = ((global % SHARDS) as usize, global / SHARDS);
+            let result = fleets[shard]
+                .result_of(local)
+                .unwrap_or_else(|| panic!("job {global} has no result after replay"));
+            result_to_cell(cell, &result)
+                .unwrap_or_else(|| panic!("job {global} lost its cell measurement"))
+        })
+        .collect();
+    for w in &wals {
+        let _ = std::fs::remove_file(w);
+    }
+    kernel_frontiers(&results)
+}
+
+#[test]
+fn pareto_frontier_survives_kill9_of_a_shard_bitwise() {
+    let baseline = baseline_frontiers();
+    assert!(!baseline.is_empty(), "sweep cells must produce frontiers");
+    let recovered = kill9_frontiers();
+    assert_eq!(
+        recovered, baseline,
+        "WAL replay into a replacement shard must reproduce the frontier bit for bit"
+    );
+}

@@ -14,6 +14,7 @@
 //! operations (`for_each` over disjoint data) are bit-identical at
 //! *any* width.
 
+use std::cell::RefCell;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -129,7 +130,10 @@ impl<P: Producer> ParIter<P> {
         if pieces <= 1 || active <= 1 {
             return vec![work(self.producer)];
         }
-        pool::run_pieces(active, split_even(self.producer, len, pieces), |_, p| work(p))
+        let producer = self.producer;
+        let parts =
+            with_takes(len, self.min_len, active, pieces, |takes| split_even(producer, takes));
+        pool::run_pieces(active, parts, |_, p| work(p))
     }
 
     /// Run `f` on every item.
@@ -221,18 +225,73 @@ fn piece_count(len: usize, min_len: usize, active: usize) -> usize {
         .max(1)
 }
 
-/// Cut `producer` (of known `len`) into `pieces` contiguous spans whose
-/// sizes differ by at most one.
-fn split_even<P: Producer>(producer: P, len: usize, pieces: usize) -> Vec<P> {
-    let mut out = Vec::with_capacity(pieces);
-    let mut rest = producer;
+/// One-entry memo of the last split plan computed on this thread. The
+/// hot kernels drive the same fan-out shape back to back (HPL's
+/// per-panel trailing update, EP's fixed block map, STREAM's repeated
+/// ops), so the take sequence — the only piece-boundary arithmetic on
+/// the dispatch path, and the remaining per-call cost after PR 7
+/// batched the scheduler's claims — is computed once and reused until
+/// `(len, min_len, active)` changes. A memo hit and a fresh computation
+/// produce identical boundaries, so bitwise width-invariance is
+/// untouched.
+struct SplitPlan {
+    len: usize,
+    min_len: usize,
+    active: usize,
+    takes: Vec<usize>,
+}
+
+thread_local! {
+    static SPLIT_PLAN: RefCell<SplitPlan> =
+        const { RefCell::new(SplitPlan { len: 0, min_len: 0, active: 0, takes: Vec::new() }) };
+}
+
+/// The even split's take sequence: piece `i` of `pieces` takes
+/// `remaining.div_ceil(pieces − i)` positions; the final piece (the
+/// remainder, not stored) absorbs what is left.
+fn plan_takes(len: usize, pieces: usize, takes: &mut Vec<usize>) {
+    takes.clear();
+    takes.reserve(pieces - 1);
     let mut remaining = len;
     for i in 0..pieces - 1 {
         let take = remaining.div_ceil(pieces - i);
+        takes.push(take);
+        remaining -= take;
+    }
+}
+
+/// Run `f` on the take sequence for this shape, recomputing the memo
+/// only when `(len, min_len, active)` differs from the last call on
+/// this thread. `pieces` must equal `piece_count(len, min_len, active)`
+/// (it is derived from the key, so a memo hit is always valid).
+fn with_takes<R>(
+    len: usize,
+    min_len: usize,
+    active: usize,
+    pieces: usize,
+    f: impl FnOnce(&[usize]) -> R,
+) -> R {
+    SPLIT_PLAN.with(|cell| {
+        let mut plan = cell.borrow_mut();
+        if plan.len != len || plan.min_len != min_len || plan.active != active {
+            plan_takes(len, pieces, &mut plan.takes);
+            plan.len = len;
+            plan.min_len = min_len;
+            plan.active = active;
+        }
+        f(&plan.takes)
+    })
+}
+
+/// Cut `producer` into contiguous spans per the planned take sequence;
+/// sizes differ by at most one.
+fn split_even<P: Producer>(producer: P, takes: &[usize]) -> Vec<P> {
+    let mut out = Vec::with_capacity(takes.len() + 1);
+    let mut rest = producer;
+    for &take in takes {
         let (head, tail) = rest.split_at(take);
         out.push(head);
         rest = tail;
-        remaining -= take;
     }
     out.push(rest);
     out
@@ -737,5 +796,56 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutP<'_, T>> {
         assert!(chunk_size > 0, "chunk size must be non-zero");
         ParIter::new(ChunksMutP { slice: self, size: chunk_size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh_takes(len: usize, pieces: usize) -> Vec<usize> {
+        let mut t = Vec::new();
+        plan_takes(len, pieces, &mut t);
+        t
+    }
+
+    #[test]
+    fn memoized_plan_matches_fresh_computation() {
+        for (len, min_len, active) in
+            [(10, 1, 4), (1000, 1, 8), (1000, 64, 8), (7, 1, 3), (4096, 16, 2), (33, 5, 16)]
+        {
+            let pieces = piece_count(len, min_len, active);
+            if pieces <= 1 {
+                continue;
+            }
+            let fresh = fresh_takes(len, pieces);
+            // First call populates the memo, second hits it; both must
+            // cut the exact same boundaries.
+            let miss = with_takes(len, min_len, active, pieces, |t| t.to_vec());
+            let hit = with_takes(len, min_len, active, pieces, |t| t.to_vec());
+            assert_eq!(miss, fresh, "memo miss diverges for {len}/{min_len}/{active}");
+            assert_eq!(hit, fresh, "memo hit diverges for {len}/{min_len}/{active}");
+            // The plan tiles len exactly into near-even spans.
+            let mut sizes = fresh.clone();
+            sizes.push(len - fresh.iter().sum::<usize>());
+            assert_eq!(sizes.len(), pieces);
+            let lo = *sizes.iter().min().unwrap();
+            let hi = *sizes.iter().max().unwrap();
+            assert!(hi - lo <= 1, "uneven split {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn memo_invalidates_when_any_key_component_changes() {
+        let shapes = [(100, 1, 4), (101, 1, 4), (101, 2, 4), (101, 2, 3), (100, 1, 4)];
+        for (len, min_len, active) in shapes {
+            let pieces = piece_count(len, min_len, active);
+            let takes = with_takes(len, min_len, active, pieces, |t| t.to_vec());
+            assert_eq!(
+                takes,
+                fresh_takes(len, pieces),
+                "stale plan served for {len}/{min_len}/{active}"
+            );
+        }
     }
 }
