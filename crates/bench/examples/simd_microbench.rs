@@ -1,13 +1,16 @@
-//! Per-op scalar-vs-AVX2 A/B microbenchmark for the SIMD layer.
+//! Per-op SIMD-tier microbenchmark for the `hpceval_kernels::simd`
+//! layer.
 //!
-//! Times each `hpceval_kernels::simd` primitive under both paths via
-//! the thread-local `with_mode` override (no env pin needed), printing
-//! best-of-5 wall times and the speedup. This is the triage tool
-//! behind the EXPERIMENTS.md sweep row: kernel-level speedups
-//! (`kernel_perf`) decompose into these per-op numbers — e.g. the dot
-//! keeps its full vector gain at any footprint while axpy/triad
-//! collapse toward 1× beyond L1, where the memory bus, not the
-//! instruction width, is the limit.
+//! Times each primitive under every tier the host can run — scalar,
+//! the bitwise vector paths (avx2, avx512, neon) and the opt-in fused
+//! tier (fma) — printing best-of-5 wall times and each tier's speedup
+//! over scalar. This is the triage tool behind the EXPERIMENTS.md
+//! sweep rows: kernel-level speedups (`kernel_perf`) decompose into
+//! these per-op numbers — e.g. the dot keeps its full vector gain at
+//! any footprint while axpy/triad collapse toward 1× beyond L1, where
+//! the memory bus, not the instruction width, is the limit; the fused
+//! tier's extra gain concentrates in the register-tile and
+//! reduction ops, where it halves the rounding chain.
 //!
 //! ```sh
 //! cargo run --release -p hpceval-bench --example simd_microbench
@@ -17,6 +20,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use hpceval_kernels::simd::{self, SimdMode};
+use hpceval_kernels::tile::TilePlan;
 
 /// Best-of-5 wall time after 3 warm-up calls.
 fn best_of(mut f: impl FnMut()) -> f64 {
@@ -32,21 +36,50 @@ fn best_of(mut f: impl FnMut()) -> f64 {
     best
 }
 
-/// Run `f` under both SIMD paths and report the scalar/avx2 ratio.
-fn ab(name: &str, mut f: impl FnMut(SimdMode)) {
-    let scalar = best_of(|| f(SimdMode::Scalar));
-    let avx2 = best_of(|| f(SimdMode::Avx2));
-    println!(
-        "{name:>14}  scalar {:8.3} ms  avx2 {:8.3} ms  {:.2}x",
-        scalar * 1e3,
-        avx2 * 1e3,
-        scalar / avx2
-    );
+/// Every tier the host can execute, scalar first.
+fn tiers() -> Vec<SimdMode> {
+    let mut out = vec![SimdMode::Scalar];
+    if simd::avx2_available() {
+        out.push(SimdMode::Avx2);
+    }
+    if simd::fma_available() {
+        out.push(SimdMode::Fma);
+    }
+    if simd::avx512_available() {
+        out.push(SimdMode::Avx512);
+    }
+    if simd::neon_available() {
+        out.push(SimdMode::Neon);
+    }
+    out
+}
+
+/// Run `f` under every runnable tier and report speedups vs scalar.
+fn sweep(name: &str, mut f: impl FnMut(SimdMode)) {
+    let mut line = format!("{name:>14}");
+    let mut scalar = f64::NAN;
+    for m in tiers() {
+        let secs = best_of(|| f(m));
+        if m == SimdMode::Scalar {
+            scalar = secs;
+            line.push_str(&format!("  scalar {:8.3} ms", secs * 1e3));
+        } else {
+            line.push_str(&format!(
+                "  {} {:8.3} ms ({:.2}x)",
+                m.label(),
+                secs * 1e3,
+                scalar / secs
+            ));
+        }
+    }
+    println!("{line}");
 }
 
 fn main() {
-    if !simd::avx2_available() {
-        println!("note: no AVX2 on this host — both columns run the scalar path");
+    let available: Vec<&str> = tiers().iter().map(|m| m.label()).collect();
+    println!("tiers: {}", available.join(", "));
+    if tiers().len() == 1 {
+        println!("note: no vector unit detected — every column runs the scalar path");
     }
     let n = 1 << 16; // 512 KiB/vector: past L1, short of L3
     let a: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
@@ -54,19 +87,19 @@ fn main() {
     let mut c = vec![0.0f64; n];
     let reps = 2000;
 
-    ab("axpy", |m| {
+    sweep("axpy", |m| {
         for _ in 0..reps {
             simd::axpy(m, &mut c, &a, 1.000_000_1);
         }
         black_box(&c);
     });
-    ab("triad", |m| {
+    sweep("triad", |m| {
         for _ in 0..reps {
             simd::triad(m, &mut c, &a, &b, 3.0);
         }
         black_box(&c);
     });
-    ab("dot", |m| {
+    sweep("dot", |m| {
         let mut s = 0.0;
         for _ in 0..reps {
             s += simd::dot(m, &a, &b);
@@ -74,13 +107,26 @@ fn main() {
         black_box(s);
     });
 
-    // The DGEMM register tile at its real shape: one 48-wide C row
-    // against a packed 48x48 B tile, L1-resident.
+    // The DGEMM register tile at the legacy 48×48 shape and at the
+    // autotuner's active KC×NC pick (48×48 again at the reference
+    // geometry; differs under an HPCEVAL_SPEC pin).
     let bt: Vec<f64> = (0..48 * 48).map(|i| (i as f64).cos()).collect();
     let mut crow = vec![0.0f64; 48];
-    ab("tile 48x48", |m| {
+    sweep("tile 48x48", |m| {
         for _ in 0..reps * 20 {
             simd::tile_row_update(m, &mut crow, &bt, &a[..48], 1.000_000_1);
+        }
+        black_box(&crow);
+    });
+    let plan = TilePlan::active();
+    let (kc, nc) = (plan.kc, plan.nc);
+    let bt: Vec<f64> = (0..kc * nc).map(|i| (i as f64).cos()).collect();
+    let mut crow = vec![0.0f64; nc];
+    // Same flop budget as the 48×48 row for comparable times.
+    let tile_reps = (reps * 20 * 48 * 48 / (kc * nc)).max(1);
+    sweep(&format!("tile {kc}x{nc}"), |m| {
+        for _ in 0..tile_reps {
+            simd::tile_row_update(m, &mut crow, &bt, &a[..kc], 1.000_000_1);
         }
         black_box(&crow);
     });

@@ -40,6 +40,7 @@ use hpceval_kernels::npb::ft::{fft3_with, Field3, FtWorkspace};
 use hpceval_kernels::npb::lu::SsorProblem;
 use hpceval_kernels::npb::{bt, cg, ep, is, mg, sp};
 use hpceval_kernels::rng::NpbRng;
+use hpceval_kernels::tile::TilePlan;
 use serde::{Serialize, Value};
 
 /// Timed runs per kernel; the minimum is reported.
@@ -53,6 +54,16 @@ struct KernelPoint {
     gflops: f64,
 }
 
+/// The DGEMM blocking the run used, straight from
+/// [`TilePlan::active`] — recorded so a baseline pins not just *how
+/// fast* but *under which plan* the numbers were taken.
+#[derive(Serialize, Clone, Copy)]
+struct TileInfo {
+    mc: usize,
+    kc: usize,
+    nc: usize,
+}
+
 #[derive(Serialize)]
 struct Report {
     /// `std::thread::available_parallelism()` on the measuring host.
@@ -61,6 +72,8 @@ struct Report {
     threads: usize,
     /// Resolved SIMD path (`HPCEVAL_SIMD` pin or auto-detect).
     simd: String,
+    /// Active DGEMM tile plan (`HPCEVAL_SPEC` pin or reference geometry).
+    tiles: TileInfo,
     best_of: u32,
     note: String,
     kernels: BTreeMap<String, KernelPoint>,
@@ -247,10 +260,12 @@ fn measure() -> Report {
         put("npb_lu", secs, 1820.0 * (n * n * n) as f64);
     }
 
+    let plan = TilePlan::active();
     Report {
         available_parallelism: std::thread::available_parallelism().map_or(1, |v| v.get()),
         threads: rayon::current_num_threads(),
         simd: hpceval_kernels::simd::mode().label().to_string(),
+        tiles: TileInfo { mc: plan.mc, kc: plan.kc, nc: plan.nc },
         best_of: BEST_OF,
         note: "best-of-N wall seconds per kernel at pinned scaled sizes; gflops is \
                nominal (Gop/s for is/random_access, GB/s for beff); the regression \
@@ -260,14 +275,22 @@ fn measure() -> Report {
     }
 }
 
-/// Extract the `kernels.*.seconds` map from a parsed baseline file.
-/// (The vendored serde_json deserializes to a dynamic [`Value`] only.)
-fn baseline_seconds(v: &Value) -> Result<BTreeMap<String, f64>, String> {
+/// What a check run needs from the committed baseline file.
+struct Baseline {
+    /// The SIMD mode the baseline was recorded under, if recorded.
+    simd: Option<String>,
+    seconds: BTreeMap<String, f64>,
+}
+
+/// Extract the `kernels.*.seconds` map (and the recorded SIMD mode)
+/// from a parsed baseline file. (The vendored serde_json deserializes
+/// to a dynamic [`Value`] only.)
+fn load_baseline(v: &Value) -> Result<Baseline, String> {
     let kernels = v.get("kernels").ok_or("baseline has no `kernels` object")?;
     let Value::Map(pairs) = kernels else {
         return Err("baseline `kernels` is not an object".to_string());
     };
-    pairs
+    let seconds = pairs
         .iter()
         .map(|(name, point)| {
             point
@@ -276,13 +299,32 @@ fn baseline_seconds(v: &Value) -> Result<BTreeMap<String, f64>, String> {
                 .map(|s| (name.clone(), s))
                 .ok_or_else(|| format!("baseline kernel {name:?} has no numeric `seconds`"))
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    let simd = match v.get("simd") {
+        Some(Value::Str(s)) => Some(s.clone()),
+        _ => None,
+    };
+    Ok(Baseline { simd, seconds })
 }
 
-/// Compare `current` against the baseline seconds; returns one message
-/// per violation (regression beyond tolerance, or kernel-set drift).
-fn check(baseline: &BTreeMap<String, f64>, current: &Report, tolerance: f64) -> Vec<String> {
+/// Compare `current` against the baseline; returns one message per
+/// violation (SIMD-mode mismatch, regression beyond tolerance, or
+/// kernel-set drift). Comparing seconds taken under different SIMD
+/// tiers is meaningless, so a mode mismatch fails outright with the
+/// remedy spelled out.
+fn check(bl: &Baseline, current: &Report, tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
+    if let Some(base_simd) = &bl.simd {
+        if *base_simd != current.simd {
+            return vec![format!(
+                "simd mode mismatch: baseline was recorded at simd={base_simd} but this run \
+                 resolved simd={} — pin HPCEVAL_SIMD={base_simd} for the check, or re-record \
+                 the baseline at the new mode",
+                current.simd
+            )];
+        }
+    }
+    let baseline = &bl.seconds;
     for (name, &base_secs) in baseline {
         match current.kernels.get(name) {
             None => failures.push(format!("{name}: in baseline but no longer measured")),
@@ -354,7 +396,7 @@ fn main() -> ExitCode {
         Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
             .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
-            .and_then(|v| baseline_seconds(&v))
+            .and_then(|v| load_baseline(&v))
         {
             Ok(b) => Some(b),
             Err(e) => {
@@ -374,7 +416,7 @@ fn main() -> ExitCode {
         );
     }
     for (name, p) in report.kernels.iter().filter(|_| show_table) {
-        let base = baseline.as_ref().and_then(|b| b.get(name));
+        let base = baseline.as_ref().and_then(|b| b.seconds.get(name));
         match base {
             Some(&b) => println!(
                 "{:>20} {:>11.4} {:>11.3} {:>11.4} {:>6.2}x",
@@ -406,7 +448,7 @@ fn main() -> ExitCode {
                 .kernels
                 .iter()
                 .filter_map(|(name, p)| {
-                    base.get(name).map(|&b| (100.0 * (p.seconds / b - 1.0), name.as_str()))
+                    base.seconds.get(name).map(|&b| (100.0 * (p.seconds / b - 1.0), name.as_str()))
                 })
                 .collect();
             deltas.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -474,6 +516,7 @@ mod tests {
             available_parallelism: 1,
             threads: 1,
             simd: "scalar".to_string(),
+            tiles: TileInfo { mc: 64, kc: 48, nc: 48 },
             best_of: BEST_OF,
             note: String::new(),
             kernels: kernels
@@ -487,9 +530,13 @@ mod tests {
         kernels.iter().map(|&(n, s)| (n.to_string(), s)).collect()
     }
 
+    fn scalar_baseline(kernels: &[(&str, f64)]) -> Baseline {
+        Baseline { simd: Some("scalar".to_string()), seconds: seconds(kernels) }
+    }
+
     #[test]
     fn check_flags_regressions_and_drift() {
-        let base = seconds(&[("a", 1.0), ("b", 1.0), ("gone", 1.0)]);
+        let base = scalar_baseline(&[("a", 1.0), ("b", 1.0), ("gone", 1.0)]);
         let cur = report(&[("a", 1.4), ("b", 1.6), ("new", 1.0)]);
         let failures = check(&base, &cur, 0.5);
         // a is within 1.5x; b regressed; `gone` vanished; `new` is unknown.
@@ -501,9 +548,25 @@ mod tests {
 
     #[test]
     fn check_passes_within_tolerance() {
-        let base = seconds(&[("a", 1.0)]);
+        let base = scalar_baseline(&[("a", 1.0)]);
         let cur = report(&[("a", 1.49)]);
         assert!(check(&base, &cur, 0.5).is_empty());
+    }
+
+    #[test]
+    fn check_fails_fast_on_simd_mode_mismatch() {
+        // Same timings, different tier: the numbers are incomparable,
+        // so the gate must fail with the remedy, not a perf verdict.
+        let base = Baseline { simd: Some("fma".to_string()), seconds: seconds(&[("a", 1.0)]) };
+        let cur = report(&[("a", 1.0)]);
+        let failures = check(&base, &cur, 0.5);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("simd mode mismatch"), "{failures:?}");
+        assert!(failures[0].contains("HPCEVAL_SIMD=fma"), "{failures:?}");
+        // A baseline without a recorded mode (pre-tier format) still
+        // compares on seconds alone.
+        let legacy = Baseline { simd: None, seconds: seconds(&[("a", 1.0)]) };
+        assert!(check(&legacy, &cur, 0.5).is_empty());
     }
 
     #[test]
@@ -511,15 +574,16 @@ mod tests {
         let rep = report(&[("npb_ft", 0.25), ("hpcc_dgemm", 0.5)]);
         let json = serde_json::to_string_pretty(&rep).unwrap();
         let parsed = serde_json::from_str(&json).unwrap();
-        let secs = baseline_seconds(&parsed).unwrap();
-        assert_eq!(secs, seconds(&[("npb_ft", 0.25), ("hpcc_dgemm", 0.5)]));
+        let bl = load_baseline(&parsed).unwrap();
+        assert_eq!(bl.seconds, seconds(&[("npb_ft", 0.25), ("hpcc_dgemm", 0.5)]));
+        assert_eq!(bl.simd.as_deref(), Some("scalar"));
     }
 
     #[test]
     fn malformed_baseline_is_rejected() {
         for bad in ["{}", "{\"kernels\": 3}", "{\"kernels\": {\"a\": {\"gflops\": 1.0}}}"] {
             let v = serde_json::from_str(bad).unwrap();
-            assert!(baseline_seconds(&v).is_err(), "{bad}");
+            assert!(load_baseline(&v).is_err(), "{bad}");
         }
     }
 }

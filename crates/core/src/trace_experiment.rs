@@ -14,18 +14,20 @@
 //! property of the counters' information content, not of the hand-tuned
 //! presets.
 //!
-//! Nine kernels are instrumented: DGEMM, STREAM and RandomAccess on the
-//! HPCC training side; CG, MG, IS, FT and EP on the NPB validation
-//! side; and HPL, the five-state evaluation's own kernel — enough to
-//! cover the dense/streaming/latency extremes of the locality plane on
-//! both sides of the split. The remaining programs keep their analytic
-//! profiles.
+//! Ten kernels are instrumented: DGEMM, STREAM and RandomAccess on the
+//! HPCC training side; CG, MG, IS, FT, EP and SP (the suite's
+//! communication-heaviest program, whose strided y/z line solves are
+//! the locality cliff the paper's §VI-C singles out) on the NPB
+//! validation side; and HPL, the five-state evaluation's own kernel —
+//! enough to cover the dense/streaming/latency extremes of the
+//! locality plane on both sides of the split. The remaining programs
+//! keep their analytic profiles.
 
 use serde::{Deserialize, Serialize};
 
 use hpceval_kernels::hpcc::{dgemm, random_access, stream, HpccProgram};
 use hpceval_kernels::hpl::{lu, HplConfig};
-use hpceval_kernels::npb::{cg, ep, ft, is, mg, Class, Program};
+use hpceval_kernels::npb::{cg, ep, ft, is, mg, sp, Class, Program};
 use hpceval_kernels::rng::NpbRng;
 use hpceval_kernels::suite::Benchmark;
 use hpceval_machine::spec::ServerSpec;
@@ -76,6 +78,12 @@ mod sizes {
     /// EP pair count (log2). 2^16 pairs over the fixed 256 blocks keeps
     /// every block non-trivial while the run stays instant.
     pub const EP_LOG2_PAIRS: u32 = 16;
+    /// SP grid edge and ADI steps. 20³×5 doubles is 320 KiB per field —
+    /// the x sweep walks unit-stride, the y/z sweeps jump 5n/5n²
+    /// doubles per point, so the capture shows the same
+    /// contiguous-vs-strided split the full-size grids show.
+    pub const SP_N: usize = 20;
+    pub const SP_STEPS: u32 = 2;
 }
 
 /// Run the instrumented kernel for `region` at the standard capture
@@ -131,6 +139,16 @@ fn run_kernel(region: Region) {
         Region::Ep => {
             ep::run(sizes::EP_LOG2_PAIRS, 2);
         }
+        Region::Sp => {
+            let n = sizes::SP_N;
+            let prob = sp::SpProblem::new(n, 2015);
+            let mut rng = NpbRng::new(16);
+            let b: Vec<f64> = (0..n * n * n * 5).map(|_| rng.next_f64() - 0.5).collect();
+            let mut u = vec![0.0; n * n * n * 5];
+            for _ in 0..sizes::SP_STEPS {
+                prob.adi_step(&mut u, &b);
+            }
+        }
     }
 }
 
@@ -161,9 +179,15 @@ fn run_kernel(region: Region) {
 ///   capture matrix must overflow the scaled L3 (matching the GiB-scale
 ///   real matrix against 30 MiB) while the ~40 KiB U12 panel the
 ///   trailing update re-reads every row stays cache-resident.
+/// * SP replays at full scale with DGEMM and EP: its reuse working set
+///   is the per-line component group — the five co-located components
+///   of a grid line span a few KiB at *any* grid size, and adjacent
+///   lanes re-read each other's cache lines — while the full fields
+///   are touched once per sweep, so capacity is a first-touch effect
+///   the profile barely sees (the analytic preset agrees: 4% mem).
 pub fn replay_options(region: Region) -> ReplayOptions {
     let cache_scale = match region {
-        Region::Dgemm | Region::Ep => 1.0,
+        Region::Dgemm | Region::Ep | Region::Sp => 1.0,
         Region::Cg => 1.0 / 2048.0,
         Region::Stream
         | Region::Mg
@@ -191,6 +215,7 @@ pub fn analytic_locality(region: Region) -> LocalityProfile {
         Region::Is => Program::Is.benchmark(Class::B).signature().locality,
         Region::Ft => Program::Ft.benchmark(Class::B).signature().locality,
         Region::Ep => Program::Ep.benchmark(Class::B).signature().locality,
+        Region::Sp => Program::Sp.benchmark(Class::B).signature().locality,
         Region::Hpl => HplConfig::tuned(30_000, 4).signature().locality,
     }
 }
@@ -336,13 +361,18 @@ mod tests {
         // The load-bearing structural claim: replayed hit rates order
         // the kernels the way the analytic presets assert they should —
         // blocked DGEMM reuses, STREAM streams, RandomAccess misses.
+        // The tile plan's residency level varies with the active cache
+        // geometry, so the plan-invariant signal is the whole-hierarchy
+        // hit ratio, not the L1 rate alone.
         let locs = measure_localities(&presets::xeon_4870(), full()).unwrap();
         let l1 = |k: &str| locs.get(k).unwrap().l1_hit;
+        let hit =
+            |k: &str| locs.captures.iter().find(|c| c.kernel == k).map(|c| c.hit_ratio).unwrap();
         assert!(
-            l1("dgemm") > l1("stream") + 0.02,
-            "dgemm L1 {} must beat stream {}",
-            l1("dgemm"),
-            l1("stream")
+            hit("dgemm") > hit("stream") + 0.02,
+            "dgemm hit ratio {} must beat stream {}",
+            hit("dgemm"),
+            hit("stream")
         );
         assert!(
             l1("stream") > l1("randomaccess") + 0.1,

@@ -13,8 +13,13 @@ use hpceval_trace::{hooks, AccessKind, Region};
 use crate::rng::NpbRng;
 use crate::simd;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
+use crate::tile::TilePlan;
 
-/// Cache block edge used by the real multiply.
+/// The pre-autotuner cache block edge. The multiply itself now blocks
+/// by a [`TilePlan`] (cache-geometry-derived MC/KC/NC); this constant
+/// survives as the analytic blocking factor in [`Dgemm::signature`],
+/// which models the paper-era machines and must stay bitwise-stable
+/// under the committed tune/trace baselines.
 pub const BLOCK: usize = 48;
 
 // Logical trace addresses. The multiply reads A and the *packed* B
@@ -28,71 +33,81 @@ const TRACE_PACKED: u64 = 0x4_0000_0000;
 const TRACE_PACK_CHUNK: u64 = 1 << 32;
 
 /// Caller-owned scratch for [`dgemm_with`]: B packed once per call into
-/// BLOCK×BLOCK tiles at a fixed stride. Owning it across calls (the
-/// `FtWorkspace` pattern) makes the multiply allocation-free after
-/// warm-up — `tests/alloc_free.rs` pins zero allocations per call at
-/// width 1 — and packing *once* replaces the old per-row-panel packing,
-/// which re-copied every tile of B for each of the `n/BLOCK` panels.
+/// KC×NC tiles at a fixed stride, blocked by a [`TilePlan`]. Owning it
+/// across calls (the `FtWorkspace` pattern) makes the multiply
+/// allocation-free after warm-up — `tests/alloc_free.rs` pins zero
+/// allocations per call at width 1 — and packing *once* replaces the
+/// old per-row-panel packing, which re-copied every tile of B for each
+/// row panel.
 #[derive(Debug, Clone)]
 pub struct DgemmWorkspace {
     n: usize,
-    /// Tiles per side (`⌈n/BLOCK⌉`).
-    tiles: usize,
-    /// Tile `(tk, tj)` starts at `(tk·tiles + tj)·BLOCK²`, holding its
+    /// The blocking plan every phase of the multiply follows.
+    plan: TilePlan,
+    /// Tile columns (`⌈n/NC⌉`); tile rows are `⌈n/KC⌉`.
+    jtiles: usize,
+    /// Tile `(tk, tj)` starts at `(tk·jtiles + tj)·KC·NC`, holding its
     /// `kw×jw` elements row-major and contiguous.
     packed: Vec<f64>,
 }
 
 impl DgemmWorkspace {
-    /// Workspace for multiplies of order `n`.
+    /// Workspace for multiplies of order `n`, blocked by the
+    /// process-wide [`TilePlan::active`] plan.
     pub fn new(n: usize) -> Self {
-        let tiles = n.div_ceil(BLOCK).max(1);
-        Self { n, tiles, packed: vec![0.0; tiles * tiles * BLOCK * BLOCK] }
+        Self::with_plan(n, TilePlan::active())
+    }
+
+    /// Workspace blocked by an explicit plan (the determinism suite
+    /// uses this to pin plan-invariance; `kc` must be a multiple of 4
+    /// for the bitwise contract, which every [`TilePlan`] constructor
+    /// guarantees).
+    pub fn with_plan(n: usize, plan: TilePlan) -> Self {
+        let ktiles = n.div_ceil(plan.kc).max(1);
+        let jtiles = n.div_ceil(plan.nc).max(1);
+        Self { n, plan, jtiles, packed: vec![0.0; ktiles * jtiles * plan.tile_elems()] }
+    }
+
+    /// The blocking plan this workspace was sized for.
+    pub fn plan(&self) -> TilePlan {
+        self.plan
     }
 
     /// Pack `b` (row-major `n×n`) into the tile layout. Parallel over
     /// tile rows — disjoint writes, so width-invariant.
     fn pack_b(&mut self, b: &[f64]) {
         let n = self.n;
-        let tiles = self.tiles;
-        self.packed
-            .par_chunks_mut(tiles * BLOCK * BLOCK)
-            .enumerate()
-            .for_each(|(tk, strip)| {
-                let chunk = TRACE_PACK_CHUNK + tk as u64;
-                let tr = hooks::chunk_enabled(Region::Dgemm, chunk);
-                let kb = tk * BLOCK;
-                let kw = BLOCK.min(n - kb);
-                for (tj, tile) in strip.chunks_mut(BLOCK * BLOCK).enumerate() {
-                    let jb = tj * BLOCK;
-                    let jw = BLOCK.min(n - jb);
-                    for (kk, trow) in tile.chunks_mut(jw).take(kw).enumerate() {
-                        let src = (kb + kk) * n + jb;
-                        trow.copy_from_slice(&b[src..src + jw]);
-                        if tr {
-                            let dst = (tk * tiles + tj) * BLOCK * BLOCK + kk * jw;
-                            let r = Region::Dgemm;
-                            let w = jw as u32;
-                            hooks::record(
-                                r,
-                                chunk,
-                                AccessKind::Read,
-                                TRACE_B + (src * 8) as u64,
-                                8,
-                                w,
-                            );
-                            let at = TRACE_PACKED + (dst * 8) as u64;
-                            hooks::record(r, chunk, AccessKind::Write, at, 8, w);
-                        }
+        let TilePlan { kc, nc, .. } = self.plan;
+        let slot = self.plan.tile_elems();
+        let jtiles = self.jtiles;
+        self.packed.par_chunks_mut(jtiles * slot).enumerate().for_each(|(tk, strip)| {
+            let chunk = TRACE_PACK_CHUNK + tk as u64;
+            let tr = hooks::chunk_enabled(Region::Dgemm, chunk);
+            let kb = tk * kc;
+            let kw = kc.min(n - kb);
+            for (tj, tile) in strip.chunks_mut(slot).enumerate() {
+                let jb = tj * nc;
+                let jw = nc.min(n - jb);
+                for (kk, trow) in tile.chunks_mut(jw).take(kw).enumerate() {
+                    let src = (kb + kk) * n + jb;
+                    trow.copy_from_slice(&b[src..src + jw]);
+                    if tr {
+                        let dst = (tk * jtiles + tj) * slot + kk * jw;
+                        let r = Region::Dgemm;
+                        let w = jw as u32;
+                        hooks::record(r, chunk, AccessKind::Read, TRACE_B + (src * 8) as u64, 8, w);
+                        let at = TRACE_PACKED + (dst * 8) as u64;
+                        hooks::record(r, chunk, AccessKind::Write, at, 8, w);
                     }
                 }
-            });
+            }
+        });
     }
 
     /// The packed `kw×jw` tile covering `B[kb.., jb..]`.
     #[inline]
     fn tile(&self, tk: usize, tj: usize, kw: usize, jw: usize) -> &[f64] {
-        let at = (tk * self.tiles + tj) * BLOCK * BLOCK;
+        let at = (tk * self.jtiles + tj) * self.plan.tile_elems();
         &self.packed[at..at + kw * jw]
     }
 }
@@ -126,14 +141,17 @@ pub fn dgemm(n: usize, alpha: f64, a: &[f64], b: &[f64], beta: f64, c: &mut [f64
 }
 
 /// [`dgemm`] against a caller-owned workspace; performs no heap
-/// allocation. B is packed once into BLOCK×BLOCK tiles (L1-resident,
-/// 18 KiB each) shared by every row panel, then each panel streams its
-/// C rows through the SIMD micro-kernel: a fused broadcast-A register
-/// tile (`simd::tile_row_update`) over unit-stride packed-B rows, with
-/// the C row held in registers across the whole k loop.
-/// Per-element arithmetic and association order are independent of
-/// both the pool width and the SIMD path, so results are bitwise
-/// deterministic across `HPCEVAL_THREADS` × `HPCEVAL_SIMD`.
+/// allocation. B is packed once into the workspace plan's KC×NC tiles
+/// (L1-resident by construction, see [`TilePlan`]) shared by every row
+/// panel, then each MC-row panel streams its C rows through the SIMD
+/// micro-kernel: a fused broadcast-A register tile
+/// (`simd::tile_row_update`) over unit-stride packed-B rows, with the
+/// C row held in registers across the whole k loop.
+/// Per-element arithmetic and association order are independent of the
+/// pool width, the bitwise SIMD path *and* the tile plan (interior KC
+/// is a multiple of 4, so the micro-kernel's quad/single k grouping is
+/// plan-invariant), so results are bitwise deterministic across
+/// `HPCEVAL_THREADS` × bitwise `HPCEVAL_SIMD` modes × `HPCEVAL_SPEC`.
 pub fn dgemm_with(
     n: usize,
     alpha: f64,
@@ -156,11 +174,12 @@ pub fn dgemm_with(
     hooks::begin_epoch(Region::Dgemm);
     ws.pack_b(b);
     let ws = &*ws;
+    let TilePlan { mc, kc, nc } = ws.plan;
     hooks::begin_epoch(Region::Dgemm);
-    c.par_chunks_mut(n * BLOCK.max(1)).enumerate().for_each(|(panel, cpanel)| {
+    c.par_chunks_mut(n * mc.max(1)).enumerate().for_each(|(panel, cpanel)| {
         let chunk = panel as u64;
         let tr = hooks::chunk_enabled(Region::Dgemm, chunk);
-        let r0 = panel * BLOCK;
+        let r0 = panel * mc;
         let rows = cpanel.len() / n;
         // Scale the C panel by beta once.
         simd::scale_in_place(m, cpanel, beta);
@@ -172,14 +191,15 @@ pub fn dgemm_with(
         let mut kb = 0;
         let mut tk = 0;
         while kb < n {
-            let kw = BLOCK.min(n - kb);
+            let kw = kc.min(n - kb);
             let mut jb = 0;
             let mut tj = 0;
             while jb < n {
-                let jw = BLOCK.min(n - jb);
+                let jw = nc.min(n - jb);
                 let bt = ws.tile(tk, tj, kw, jw);
                 if tr {
-                    let at = TRACE_PACKED + ((tk * ws.tiles + tj) * BLOCK * BLOCK * 8) as u64;
+                    let at =
+                        TRACE_PACKED + ((tk * ws.jtiles + tj) * ws.plan.tile_elems() * 8) as u64;
                     hooks::record(Region::Dgemm, chunk, AccessKind::Read, at, 8, (kw * jw) as u32);
                 }
                 for r in 0..rows {
@@ -318,6 +338,41 @@ mod tests {
         dgemm_naive(n, 1.0, &a, &b, 0.0, &mut slow);
         for (x, y) in fast.iter().zip(&slow) {
             assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tile_plan_choice_is_bitwise_neutral() {
+        // Any plan with KC ≡ 0 (mod 4) must produce the exact bits of
+        // any other: tile boundaries never change the micro-kernel's
+        // quad/single k grouping, and MC/NC only repartition work.
+        let n = 160;
+        let mut rng = NpbRng::new(2015);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let c0: Vec<f64> = (0..n * n).map(|_| rng.next_f64() - 0.5).collect();
+        let plans = [
+            TilePlan { mc: 48, kc: 48, nc: 48 }, // the legacy BLOCK shape
+            TilePlan { mc: 64, kc: 128, nc: 128 },
+            TilePlan { mc: 8, kc: 4, nc: 8 },
+            TilePlan::active(),
+        ];
+        let mut base: Option<Vec<f64>> = None;
+        for plan in plans {
+            let mut c = c0.clone();
+            let mut ws = DgemmWorkspace::with_plan(n, plan);
+            dgemm_with(n, 1.5, &a, &b, 0.5, &mut c, &mut ws);
+            match &base {
+                None => base = Some(c),
+                Some(want) => {
+                    for (i, (x, y)) in c.iter().zip(want).enumerate() {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "plan {plan:?} diverges at {i}: {x:e} vs {y:e}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -41,6 +41,7 @@ pub mod rng;
 pub mod simd;
 pub mod streams;
 pub mod suite;
+pub mod tile;
 pub mod transpose;
 
 pub use suite::{Benchmark, ProcConstraint, VerifyOutcome};

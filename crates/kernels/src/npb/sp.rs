@@ -14,11 +14,21 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::Class;
+
+// Logical trace addresses for the ADI line solves. Each direction
+// sweep is its own epoch; within a sweep the chunk id is the lane
+// (line × component) index, whose decomposition never depends on the
+// worker count.
+const TRACE_U: u64 = 0x1_0000_0000;
+const TRACE_B: u64 = 0x2_0000_0000;
+const TRACE_DIAG: u64 = 0x3_0000_0000;
+const TRACE_AU: u64 = 0x4_0000_0000;
 
 /// Reported flops per grid point per time step (official NPB counts:
 /// SP.A = 102,300 Mop over 64³ × 400 ⇒ ~975).
@@ -179,10 +189,28 @@ impl SpProblem {
 
     /// One ADI iteration: x, y, z sweeps of per-line pentadiagonal
     /// solves for each of the 5 components.
+    ///
+    /// Trace capture (`Region::Sp`): each direction sweep opens a new
+    /// epoch, so the x/y/z passes replay in execution order instead of
+    /// interleaving; the chunk id is the lane index, making the trace
+    /// bitwise width-invariant like the solve itself. Each traced lane
+    /// records its strided line reads (u, b, A·u, the diagonal) and the
+    /// strided solution write-back — the stride jumps from 5 doubles
+    /// (x lines) to `5n`/`5n²` (y/z lines), which is exactly the
+    /// locality cliff the replay driver needs to see.
     pub fn adi_step(&self, u: &mut [f64], b: &[f64]) {
         for dir in 0..3 {
+            hooks::begin_epoch(Region::Sp);
             let au = self.apply(u);
             let n = self.n;
+            // Element stride between consecutive points of a line.
+            let stride = (8
+                * 5
+                * match dir {
+                    0 => 1,
+                    1 => n,
+                    _ => n * n,
+                }) as u32;
             let solutions: Vec<(usize, Vec<f64>)> = (0..n * n * 5)
                 .into_par_iter()
                 .map(|lane| {
@@ -194,6 +222,15 @@ impl SpProblem {
                         1 => self.idx(a, k, c, comp),
                         _ => self.idx(a, c, k, comp),
                     };
+                    if hooks::chunk_enabled(Region::Sp, lane as u64) {
+                        let at = (line_idx(0) * 8) as u64;
+                        let ch = lane as u64;
+                        let w = n as u32;
+                        hooks::record(Region::Sp, ch, AccessKind::Read, TRACE_DIAG + at, stride, w);
+                        hooks::record(Region::Sp, ch, AccessKind::Read, TRACE_U + at, stride, w);
+                        hooks::record(Region::Sp, ch, AccessKind::Read, TRACE_AU + at, stride, w);
+                        hooks::record(Region::Sp, ch, AccessKind::Read, TRACE_B + at, stride, w);
+                    }
                     let diag: Vec<f64> = (0..n).map(|k| self.diag[line_idx(k)]).collect();
                     let mut rhs: Vec<f64> = (0..n)
                         .map(|k| {
@@ -221,6 +258,15 @@ impl SpProblem {
                 let comp = lane % 5;
                 let line = lane / 5;
                 let (a, c) = (line % n, line / n);
+                if hooks::chunk_enabled(Region::Sp, lane as u64) {
+                    let first = match dir {
+                        0 => self.idx(0, a, c, comp),
+                        1 => self.idx(a, 0, c, comp),
+                        _ => self.idx(a, c, 0, comp),
+                    };
+                    let at = TRACE_U + (first * 8) as u64;
+                    hooks::record(Region::Sp, lane as u64, AccessKind::Write, at, stride, n as u32);
+                }
                 for (k, v) in sol.into_iter().enumerate() {
                     let i = match dir {
                         0 => self.idx(k, a, c, comp),

@@ -366,6 +366,14 @@ fn captured_traces_bitwise_identical_across_widths() {
             Region::Ep => {
                 ep::run(14, rayon::current_num_threads());
             }
+            Region::Sp => {
+                let n = 8;
+                let prob = sp::SpProblem::new(n, 55);
+                let mut rng = NpbRng::new(3);
+                let b: Vec<f64> = (0..n * n * n * 5).map(|_| rng.next_f64() - 0.5).collect();
+                let mut u = vec![0.0; n * n * n * 5];
+                prob.adi_step(&mut u, &b);
+            }
         });
         guard.finish()
     }

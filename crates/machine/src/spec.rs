@@ -45,6 +45,13 @@ impl CacheLevel {
     pub fn size_bytes(&self) -> u64 {
         u64::from(self.size_kib) * 1024
     }
+
+    /// Bytes of this level effectively available to a single core: the
+    /// instance capacity divided by the cores sharing it. The DGEMM
+    /// tile autotuner sizes its per-core working sets against this.
+    pub fn bytes_per_core(&self) -> u64 {
+        self.size_bytes() / u64::from(self.shared_by_cores.max(1))
+    }
 }
 
 /// DRAM generation of the server's memory.

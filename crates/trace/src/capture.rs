@@ -120,11 +120,13 @@ pub enum Region {
     Hpl,
     /// NPB EP (Marsaglia polar Gaussian pairs).
     Ep,
+    /// NPB SP (scalar-pentadiagonal ADI line solves).
+    Sp,
 }
 
 impl Region {
     /// All instrumented regions, in wire-tag order.
-    pub const ALL: [Region; 9] = [
+    pub const ALL: [Region; 10] = [
         Region::Dgemm,
         Region::Stream,
         Region::Cg,
@@ -134,6 +136,7 @@ impl Region {
         Region::Ft,
         Region::Hpl,
         Region::Ep,
+        Region::Sp,
     ];
 
     /// Wire tag (stable across versions).
@@ -148,6 +151,7 @@ impl Region {
             Region::Ft => 7,
             Region::Hpl => 8,
             Region::Ep => 9,
+            Region::Sp => 10,
         }
     }
 
@@ -168,6 +172,7 @@ impl Region {
             Region::Ft => "ft",
             Region::Hpl => "hpl",
             Region::Ep => "ep",
+            Region::Sp => "sp",
         }
     }
 
