@@ -1,19 +1,27 @@
 //! Fleet sustained-load regression harness.
 //!
 //! Drives the `hpceval-fleet` readiness front-end at scale: a bounded
-//! pool of clients issues submit/status round-trips through the fan-out
-//! router against sharded daemons (everything on single-threaded
-//! readiness loops — zero handler threads per connection) and writes
-//! `BENCH_fleet.json` at the repo root: p50/p99 round-trip latency and
-//! aggregate ops/s, plus the thread width and host parallelism the
-//! numbers were taken on.
+//! pool of clients issues submit/status round-trips through the
+//! pipelined fan-out router against sharded daemons (everything on
+//! single-threaded readiness loops — zero handler threads per
+//! connection) and writes `BENCH_fleet.json` at the repo root. Since
+//! the shard-scaling sweep the file holds one entry *per
+//! configuration* (`s{shards}_c{clients}_d{depth}`): p50/p99
+//! round-trip latency and aggregate ops/s each, plus the thread width
+//! and host parallelism the numbers were taken on. The default run
+//! sweeps 2/4/8 shards; `--shards`, `--clients`, and
+//! `--pipeline-depth` take comma lists and sweep their cartesian
+//! product.
 //!
-//! `fleet_bench --check BENCH_fleet.json [--tolerance 3.0]` re-runs the
-//! load (scaled down via `--ops` in CI) and fails (non-zero exit) on
-//! drift beyond the tolerance, exactly like the `BENCH_kernels.json`
-//! gate: latencies (`*_us`) regress *upward*, throughput
-//! (`ops_per_sec`) regresses *downward*, and metric-set drift fails
-//! both ways. On *pass* the check still prints one `trend` line per
+//! `fleet_bench --check BENCH_fleet.json [--tolerance 3.0]` re-runs
+//! the load (scaled down via `--ops`, and usually narrowed to one
+//! configuration, in CI) and fails (non-zero exit) on drift beyond the
+//! tolerance, exactly like the `BENCH_kernels.json` gate: latencies
+//! (`*_us`) regress *upward*, throughput (`ops_per_sec`) regresses
+//! *downward*, and metric-set drift fails both ways. Only measured
+//! configurations are compared — baseline entries the run skipped are
+//! ignored, while a measured configuration missing from the baseline
+//! fails. On *pass* the check still prints one `trend` line per
 //! metric, so CI logs double as a perf trend record. The tolerance is
 //! generous because shared runners are slower and noisier than the
 //! baseline host; the gate is meant to catch collapses, not jitter.
@@ -21,8 +29,8 @@
 use std::process::ExitCode;
 
 use hpceval_bench::{heading, json_requested};
-use hpceval_fleet::bench::{baseline_metrics, check};
-use hpceval_fleet::{run_sustained_load, BenchOptions};
+use hpceval_fleet::bench::{check_suite, expand_configs, parse_baseline, DEFAULT_SHARD_SWEEP};
+use hpceval_fleet::{run_suite, BenchOptions};
 
 /// Default `--tolerance` (fractional drift allowed vs baseline).
 const DEFAULT_TOLERANCE: f64 = 3.0;
@@ -31,16 +39,45 @@ struct Cli {
     /// Baseline path to check against; `None` records a new baseline.
     check: Option<String>,
     tolerance: f64,
-    opts: BenchOptions,
+    /// Per-run shape shared by every swept configuration.
+    base: BenchOptions,
+    shards: Vec<usize>,
+    clients: Vec<usize>,
+    depths: Vec<usize>,
+}
+
+/// Parse a comma list of positive integers, e.g. `2,4,8`.
+fn parse_list(what: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let vals: Vec<usize> = raw
+        .split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(v) if v >= 1 => Ok(v),
+            _ => Err(format!("bad value {s:?} in --{what} (want positive integers, e.g. 2,4,8)")),
+        })
+        .collect::<Result<_, _>>()?;
+    if vals.is_empty() {
+        return Err(format!("--{what} needs at least one value"));
+    }
+    Ok(vals)
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
-    let mut cli = Cli { check: None, tolerance: DEFAULT_TOLERANCE, opts: BenchOptions::default() };
+    let mut cli = Cli {
+        check: None,
+        tolerance: DEFAULT_TOLERANCE,
+        base: BenchOptions::default(),
+        shards: DEFAULT_SHARD_SWEEP.to_vec(),
+        clients: vec![BenchOptions::default().clients],
+        depths: vec![BenchOptions::default().pipeline_depth],
+    };
     let mut i = 0;
     while i < args.len() {
         let numeric = |what: &str| -> Result<u64, String> {
             let raw = args.get(i + 1).ok_or(format!("--{what} needs a value"))?;
             raw.parse::<u64>().map_err(|_| format!("bad value {raw:?} for --{what}"))
+        };
+        let listed = |what: &str| -> Result<Vec<usize>, String> {
+            parse_list(what, args.get(i + 1).ok_or(format!("--{what} needs a value"))?)
         };
         match args[i].as_str() {
             "--check" => {
@@ -56,19 +93,23 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 i += 2;
             }
             "--ops" => {
-                cli.opts.ops = numeric("ops")?;
+                cli.base.ops = numeric("ops")?;
                 i += 2;
             }
             "--shards" => {
-                cli.opts.shards = numeric("shards")? as usize;
+                cli.shards = listed("shards")?;
                 i += 2;
             }
             "--clients" => {
-                cli.opts.clients = numeric("clients")? as usize;
+                cli.clients = listed("clients")?;
+                i += 2;
+            }
+            "--pipeline-depth" => {
+                cli.depths = listed("pipeline-depth")?;
                 i += 2;
             }
             "--submit-every" => {
-                cli.opts.submit_every = numeric("submit-every")?;
+                cli.base.submit_every = numeric("submit-every")?;
                 i += 2;
             }
             "--json" => i += 1, // handled by json_requested()
@@ -85,16 +126,21 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: fleet_bench [--ops N] [--shards N] [--clients N] [--submit-every N] \
-                 [--check BENCH_fleet.json] [--tolerance 3.0] [--json]"
+                "usage: fleet_bench [--ops N] [--shards N[,N..]] [--clients N[,N..]] \
+                 [--pipeline-depth N[,N..]] [--submit-every N] [--check BENCH_fleet.json] \
+                 [--tolerance 3.0] [--json]"
             );
             return ExitCode::FAILURE;
         }
     };
-    heading("Fleet sustained load", "submit/status round-trips through the sharded router");
+    heading(
+        "Fleet sustained load",
+        "submit/status round-trips through the pipelined sharded router",
+    );
 
-    let report = match run_sustained_load(&cli.opts) {
-        Ok(r) => r,
+    let configs = expand_configs(&cli.base, &cli.shards, &cli.clients, &cli.depths);
+    let suite = match run_suite(&configs) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("error: sustained load failed: {e}");
             return ExitCode::FAILURE;
@@ -104,8 +150,7 @@ fn main() -> ExitCode {
         None => None,
         Some(path) => match std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
-            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
-            .and_then(|v| baseline_metrics(&v))
+            .and_then(|s| parse_baseline(&s))
         {
             Ok(b) => Some(b),
             Err(e) => {
@@ -119,34 +164,47 @@ fn main() -> ExitCode {
     // table always shows in check mode, where it is the CI log.
     let show_table = !json_requested() || cli.check.is_some();
     if show_table {
-        println!(
-            "{} ops over {} client(s), {} shard(s), one submit per {} ops: {:.2}s",
-            report.ops, report.clients, report.shards, report.submit_every, report.elapsed_s
-        );
-        println!("{:>14} {:>14} {:>14}", "metric", "current", "baseline");
-        for (name, value) in &report.metrics {
-            let base = baseline.as_ref().and_then(|b| b.get(name));
-            match base {
-                Some(b) => println!("{name:>14} {value:>14.1} {b:>14.1}"),
-                None => println!("{name:>14} {value:>14.1} {:>14}", "-"),
+        for (key, report) in &suite.configs {
+            println!(
+                "[{key}] {} ops over {} client(s), {} shard(s), depth {}, one submit per {} ops: \
+                 {:.2}s",
+                report.ops,
+                report.clients,
+                report.shards,
+                report.pipeline_depth,
+                report.submit_every,
+                report.elapsed_s
+            );
+            println!("{:>14} {:>14} {:>14}", "metric", "current", "baseline");
+            for (name, value) in &report.metrics {
+                let base = baseline.as_ref().and_then(|b| b.get(key)).and_then(|m| m.get(name));
+                match base {
+                    Some(b) => println!("{name:>14} {value:>14.1} {b:>14.1}"),
+                    None => println!("{name:>14} {value:>14.1} {:>14}", "-"),
+                }
             }
         }
     }
 
     if let Some(base) = &baseline {
-        let failures = check(base, &report, cli.tolerance);
+        let failures = check_suite(base, &suite, cli.tolerance);
         if failures.is_empty() {
             println!(
-                "\nfleet perf check passed: {} metrics within tolerance {} (threads {})",
-                report.metrics.len(),
-                cli.tolerance,
-                report.threads
+                "\nfleet perf check passed: {} configuration(s) within tolerance {}",
+                suite.configs.len(),
+                cli.tolerance
             );
             // Perf trend record: signed delta per metric, printed on
             // pass so CI logs accumulate a history.
-            for (name, value) in &report.metrics {
-                if let Some(&b) = base.get(name) {
-                    println!("  trend {name}: {:+.1}% vs baseline", 100.0 * (value / b - 1.0));
+            for (key, report) in &suite.configs {
+                let Some(metrics) = base.get(key) else { continue };
+                for (name, value) in &report.metrics {
+                    if let Some(&b) = metrics.get(name) {
+                        println!(
+                            "  trend {key}/{name}: {:+.1}% vs baseline",
+                            100.0 * (value / b - 1.0)
+                        );
+                    }
                 }
             }
             return ExitCode::SUCCESS;
@@ -158,15 +216,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    let json = serde_json::to_string_pretty(&suite).expect("serializable");
     if json_requested() {
         println!("{json}");
     } else {
         std::fs::write("BENCH_fleet.json", json + "\n").expect("write BENCH_fleet.json");
+        let completed: u64 = suite.configs.values().map(|r| r.jobs_completed).sum();
         println!(
-            "\nwrote BENCH_fleet.json ({} ops, {} jobs completed, threads {}, host parallelism \
-             {})",
-            report.ops, report.jobs_completed, report.threads, report.available_parallelism
+            "\nwrote BENCH_fleet.json ({} configuration(s), {completed} jobs completed across \
+             the sweep)",
+            suite.configs.len()
         );
     }
     ExitCode::SUCCESS
@@ -175,27 +234,50 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpceval_fleet::bench::config_key;
 
     fn cli(args: &[&str]) -> Result<Cli, String> {
         parse_cli(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
-    fn cli_defaults_to_the_acceptance_load() {
+    fn cli_defaults_to_the_acceptance_sweep() {
         let c = cli(&[]).unwrap();
         assert!(c.check.is_none());
         assert_eq!(c.tolerance, DEFAULT_TOLERANCE);
-        assert_eq!(c.opts.ops, 1_000_000);
-        assert_eq!(c.opts.shards, 2);
+        assert_eq!(c.base.ops, 1_000_000);
+        assert_eq!(c.shards, vec![2, 4, 8]);
+        assert_eq!(c.clients, vec![8]);
+        assert_eq!(c.depths, vec![16]);
     }
 
     #[test]
     fn cli_parses_the_ci_invocation() {
-        let c =
-            cli(&["--ops", "4000", "--check", "BENCH_fleet.json", "--tolerance", "3.0"]).unwrap();
-        assert_eq!(c.opts.ops, 4000);
+        let c = cli(&[
+            "--shards",
+            "4",
+            "--ops",
+            "4000",
+            "--check",
+            "BENCH_fleet.json",
+            "--tolerance",
+            "3.0",
+        ])
+        .unwrap();
+        assert_eq!(c.base.ops, 4000);
+        assert_eq!(c.shards, vec![4]);
         assert_eq!(c.check.as_deref(), Some("BENCH_fleet.json"));
         assert_eq!(c.tolerance, 3.0);
+    }
+
+    #[test]
+    fn cli_sweeps_comma_lists_as_a_cartesian_product() {
+        let c = cli(&["--shards", "2,4", "--clients", "4,8", "--pipeline-depth", "1,16"]).unwrap();
+        let configs = expand_configs(&c.base, &c.shards, &c.clients, &c.depths);
+        assert_eq!(configs.len(), 8);
+        let keys: Vec<String> = configs.iter().map(config_key).collect();
+        assert_eq!(keys[0], "s2_c4_d1");
+        assert_eq!(keys[7], "s4_c8_d16");
     }
 
     #[test]
@@ -203,6 +285,10 @@ mod tests {
         assert!(cli(&["--ops"]).is_err());
         assert!(cli(&["--ops", "many"]).is_err());
         assert!(cli(&["--tolerance", "-1"]).is_err());
+        assert!(cli(&["--shards", "0"]).is_err());
+        assert!(cli(&["--shards", "2,x"]).is_err());
+        assert!(cli(&["--clients", ""]).is_err());
+        assert!(cli(&["--pipeline-depth", "0"]).is_err());
         assert!(cli(&["--frobnicate"]).is_err());
     }
 }

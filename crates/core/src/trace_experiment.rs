@@ -14,20 +14,21 @@
 //! property of the counters' information content, not of the hand-tuned
 //! presets.
 //!
-//! Ten kernels are instrumented: DGEMM, STREAM and RandomAccess on the
-//! HPCC training side; CG, MG, IS, FT, EP and SP (the suite's
+//! Twelve kernels are instrumented: DGEMM, STREAM and RandomAccess on
+//! the HPCC training side; CG, MG, IS, FT, EP, SP (the suite's
 //! communication-heaviest program, whose strided y/z line solves are
-//! the locality cliff the paper's §VI-C singles out) on the NPB
-//! validation side; and HPL, the five-state evaluation's own kernel —
-//! enough to cover the dense/streaming/latency extremes of the
-//! locality plane on both sides of the split. The remaining programs
-//! keep their analytic profiles.
+//! the locality cliff the paper's §VI-C singles out), BT (the same ADI
+//! skeleton with 5×5 block lines) and LU (the SSOR wavefront sweeps)
+//! on the NPB validation side; and HPL, the five-state evaluation's
+//! own kernel — enough to cover the dense/streaming/latency extremes
+//! of the locality plane on both sides of the split. The remaining
+//! programs keep their analytic profiles.
 
 use serde::{Deserialize, Serialize};
 
 use hpceval_kernels::hpcc::{dgemm, random_access, stream, HpccProgram};
 use hpceval_kernels::hpl::{lu, HplConfig};
-use hpceval_kernels::npb::{cg, ep, ft, is, mg, sp, Class, Program};
+use hpceval_kernels::npb::{bt, cg, ep, ft, is, lu as npb_lu, mg, sp, Class, Program};
 use hpceval_kernels::rng::NpbRng;
 use hpceval_kernels::suite::Benchmark;
 use hpceval_machine::spec::ServerSpec;
@@ -84,6 +85,18 @@ mod sizes {
     /// contiguous-vs-strided split the full-size grids show.
     pub const SP_N: usize = 20;
     pub const SP_STEPS: u32 = 2;
+    /// BT grid edge and ADI steps. 16³ five-vectors (160 KiB per field,
+    /// 800 KiB of diagonal blocks) keeps the block-Thomas line solves
+    /// instant while the x/y/z sweeps show the same unit/n/n² point
+    /// strides as SP — with 40/200-byte elements instead of scalars.
+    pub const BT_N: usize = 16;
+    pub const BT_STEPS: u32 = 2;
+    /// LU grid edge and SSOR iterations. 12³ points relax twice per
+    /// iteration (lower + upper sweep), each a 7-point gather plus a
+    /// 200-byte diagonal-inverse read — enough sampled accesses to
+    /// expose the wavefront's scattered-plane locality.
+    pub const LU_N: usize = 12;
+    pub const LU_SWEEPS: u32 = 2;
 }
 
 /// Run the instrumented kernel for `region` at the standard capture
@@ -149,6 +162,46 @@ fn run_kernel(region: Region) {
                 prob.adi_step(&mut u, &b);
             }
         }
+        Region::Bt => {
+            let n = sizes::BT_N;
+            let prob = bt::AdiProblem::new(n, 2015);
+            let mut rng = NpbRng::new(17);
+            let b: Vec<_> = (0..n * n * n)
+                .map(|_| {
+                    [
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                    ]
+                })
+                .collect();
+            let mut u = vec![[0.0f64; 5]; n * n * n];
+            for _ in 0..sizes::BT_STEPS {
+                prob.adi_step(&mut u, &b);
+            }
+        }
+        Region::Lu => {
+            let n = sizes::LU_N;
+            let prob = npb_lu::SsorProblem::new(n, 2015);
+            let mut rng = NpbRng::new(18);
+            let b: Vec<_> = (0..n * n * n)
+                .map(|_| {
+                    [
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                        rng.next_f64() - 0.5,
+                    ]
+                })
+                .collect();
+            let mut u = vec![[0.0f64; 5]; n * n * n];
+            for _ in 0..sizes::LU_SWEEPS {
+                prob.ssor_step(&mut u, &b, 1.2);
+            }
+        }
     }
 }
 
@@ -185,9 +238,14 @@ fn run_kernel(region: Region) {
 ///   lanes re-read each other's cache lines — while the full fields
 ///   are touched once per sweep, so capacity is a first-touch effect
 ///   the profile barely sees (the analytic preset agrees: 4% mem).
+/// * BT and LU join the full-scale group for the same reason: BT's
+///   reuse working set is one line of 5×5 blocks (a few KiB at any
+///   grid size, touched once per sweep otherwise), and LU's is the
+///   three wavefront-adjacent planes of the 7-point stencil — both
+///   analytic presets agree capacity is marginal (3% mem).
 pub fn replay_options(region: Region) -> ReplayOptions {
     let cache_scale = match region {
-        Region::Dgemm | Region::Ep | Region::Sp => 1.0,
+        Region::Dgemm | Region::Ep | Region::Sp | Region::Bt | Region::Lu => 1.0,
         Region::Cg => 1.0 / 2048.0,
         Region::Stream
         | Region::Mg
@@ -216,6 +274,8 @@ pub fn analytic_locality(region: Region) -> LocalityProfile {
         Region::Ft => Program::Ft.benchmark(Class::B).signature().locality,
         Region::Ep => Program::Ep.benchmark(Class::B).signature().locality,
         Region::Sp => Program::Sp.benchmark(Class::B).signature().locality,
+        Region::Bt => Program::Bt.benchmark(Class::B).signature().locality,
+        Region::Lu => Program::Lu.benchmark(Class::B).signature().locality,
         Region::Hpl => HplConfig::tuned(30_000, 4).signature().locality,
     }
 }

@@ -37,6 +37,7 @@ use crate::daemon::{Fleet, FleetConfig};
 use crate::error::FleetError;
 use crate::fault::FaultPlan;
 use crate::job::JobKind;
+use crate::pool::PoolConfig;
 use crate::registry::Registry;
 use crate::router::Router;
 
@@ -51,12 +52,14 @@ pub struct BenchOptions {
     pub ops: u64,
     /// One submit per this many operations; the rest are status probes.
     pub submit_every: u64,
+    /// Max in-flight requests per router→shard socket.
+    pub pipeline_depth: usize,
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
         // The acceptance bar: ≥1 M round-trips against ≥2 shards.
-        Self { shards: 2, clients: 8, ops: 1_000_000, submit_every: 128 }
+        Self { shards: 2, clients: 8, ops: 1_000_000, submit_every: 128, pipeline_depth: 16 }
     }
 }
 
@@ -71,6 +74,7 @@ pub struct BenchReport {
     pub clients: usize,
     pub ops: u64,
     pub submit_every: u64,
+    pub pipeline_depth: usize,
     /// Jobs admitted during the run (≈ ops / submit_every).
     pub jobs_submitted: u64,
     /// Jobs verified terminal (Done/Degraded) after the final drain.
@@ -94,8 +98,10 @@ const PRESET_SERVERS: [&str; 3] = ["xeon-e5462", "opteron-8347", "xeon-4870"];
 /// from their own readiness loop, and the temp WALs are deleted on
 /// success.
 pub fn run_sustained_load(opts: &BenchOptions) -> Result<BenchReport, FleetError> {
-    if opts.shards == 0 || opts.clients == 0 || opts.ops == 0 {
-        return Err(FleetError::Protocol("bench needs shards, clients, ops ≥ 1".to_string()));
+    if opts.shards == 0 || opts.clients == 0 || opts.ops == 0 || opts.pipeline_depth == 0 {
+        return Err(FleetError::Protocol(
+            "bench needs shards, clients, ops, pipeline depth ≥ 1".to_string(),
+        ));
     }
     let run = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
     let submit_every = opts.submit_every.max(1);
@@ -124,7 +130,8 @@ pub fn run_sustained_load(opts: &BenchOptions) -> Result<BenchReport, FleetError
     }
 
     // --- router ---------------------------------------------------
-    let router = Arc::new(Router::connect(&shard_addrs)?);
+    let pool = PoolConfig { depth: opts.pipeline_depth, ..PoolConfig::default() };
+    let router = Arc::new(Router::connect_with(&shard_addrs, pool)?);
     let router_listener = TcpListener::bind("127.0.0.1:0")?;
     let router_addr = router_listener.local_addr()?.to_string();
     {
@@ -212,6 +219,7 @@ pub fn run_sustained_load(opts: &BenchOptions) -> Result<BenchReport, FleetError
         clients: opts.clients,
         ops: opts.ops,
         submit_every,
+        pipeline_depth: opts.pipeline_depth,
         jobs_submitted,
         jobs_completed,
         elapsed_s,
@@ -233,10 +241,101 @@ fn percentile_ns(sorted: &[u64], pct: u64) -> f64 {
     sorted[idx as usize] as f64
 }
 
-/// Parse a `BENCH_fleet.json` file body down to its metrics map.
-pub fn parse_baseline(json: &str) -> Result<BTreeMap<String, f64>, String> {
-    let v = serde_json::from_str(json).map_err(|e| e.to_string())?;
-    baseline_metrics(&v)
+/// A shard-sweep measurement set: one [`BenchReport`] per swept
+/// configuration, keyed by [`config_key`]. This is the on-disk shape
+/// of `BENCH_fleet.json`.
+#[derive(Debug, Serialize)]
+pub struct BenchSuite {
+    /// Configuration key → its measurement.
+    pub configs: BTreeMap<String, BenchReport>,
+}
+
+/// The suite key for one configuration: `s{shards}_c{clients}_d{depth}`.
+pub fn config_key(opts: &BenchOptions) -> String {
+    format!("s{}_c{}_d{}", opts.shards, opts.clients, opts.pipeline_depth)
+}
+
+/// The default shard sweep measured when no explicit list is given.
+pub const DEFAULT_SHARD_SWEEP: [usize; 3] = [2, 4, 8];
+
+/// The cartesian product of swept dimensions over a base shape, in
+/// sweep order (shards outermost).
+pub fn expand_configs(
+    base: &BenchOptions,
+    shards: &[usize],
+    clients: &[usize],
+    depths: &[usize],
+) -> Vec<BenchOptions> {
+    let mut out = Vec::new();
+    for &s in shards {
+        for &c in clients {
+            for &d in depths {
+                out.push(BenchOptions { shards: s, clients: c, pipeline_depth: d, ..base.clone() });
+            }
+        }
+    }
+    out
+}
+
+/// Run every configuration in order and collect the suite. Duplicate
+/// configurations collapse onto one key (last run wins).
+pub fn run_suite(configs: &[BenchOptions]) -> Result<BenchSuite, FleetError> {
+    if configs.is_empty() {
+        return Err(FleetError::Protocol("bench suite needs at least one configuration".into()));
+    }
+    let mut suite = BTreeMap::new();
+    for opts in configs {
+        suite.insert(config_key(opts), run_sustained_load(opts)?);
+    }
+    Ok(BenchSuite { configs: suite })
+}
+
+/// Parse a suite-format `BENCH_fleet.json` body down to per-config
+/// metric maps. A legacy single-config baseline (top-level `metrics`)
+/// is rejected with a regenerate hint.
+pub fn parse_baseline(json: &str) -> Result<BTreeMap<String, BTreeMap<String, f64>>, String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let Some(configs) = v.get("configs") else {
+        if v.get("metrics").is_some() {
+            return Err("legacy single-config baseline (top-level `metrics`) — regenerate it \
+                        with `fleet bench --json` to get the per-configuration suite format"
+                .to_string());
+        }
+        return Err("baseline has no `configs` object".to_string());
+    };
+    let Value::Map(pairs) = configs else {
+        return Err("baseline `configs` is not an object".to_string());
+    };
+    pairs
+        .iter()
+        .map(|(key, entry)| {
+            baseline_metrics(entry)
+                .map(|m| (key.clone(), m))
+                .map_err(|e| format!("config {key}: {e}"))
+        })
+        .collect()
+}
+
+/// Compare every *measured* configuration against its baseline entry.
+/// A measured configuration missing from the baseline fails (the
+/// baseline is stale); baseline configurations this run did not
+/// measure are skipped, so a scaled-down CI leg (`--shards 4` only)
+/// checks against a full-sweep baseline.
+pub fn check_suite(
+    baseline: &BTreeMap<String, BTreeMap<String, f64>>,
+    suite: &BenchSuite,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, report) in &suite.configs {
+        match baseline.get(key) {
+            None => failures
+                .push(format!("config {key}: measured but missing from baseline — regenerate it")),
+            Some(base) => failures
+                .extend(check(base, report, tolerance).into_iter().map(|f| format!("{key}: {f}"))),
+        }
+    }
+    failures
 }
 
 /// Extract the `metrics` map from a parsed `BENCH_fleet.json`.
@@ -319,6 +418,7 @@ mod tests {
             clients: 2,
             ops: 100,
             submit_every: 10,
+            pipeline_depth: 16,
             jobs_submitted: 10,
             jobs_completed: 10,
             elapsed_s: 1.0,
@@ -354,31 +454,79 @@ mod tests {
     }
 
     #[test]
-    fn baseline_round_trips_through_the_report_format() {
-        let rep = report(&[("p50_us", 12.5), ("ops_per_sec", 42.0)]);
-        let json = serde_json::to_string_pretty(&rep).unwrap();
-        let parsed = serde_json::from_str(&json).unwrap();
-        assert_eq!(
-            baseline_metrics(&parsed).unwrap(),
-            metrics(&[("p50_us", 12.5), ("ops_per_sec", 42.0)])
-        );
+    fn baseline_round_trips_through_the_suite_format() {
+        let suite = BenchSuite {
+            configs: [(
+                "s2_c2_d16".to_string(),
+                report(&[("p50_us", 12.5), ("ops_per_sec", 42.0)]),
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let json = serde_json::to_string_pretty(&suite).unwrap();
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed["s2_c2_d16"], metrics(&[("p50_us", 12.5), ("ops_per_sec", 42.0)]));
     }
 
     #[test]
     fn malformed_baseline_is_rejected() {
-        for bad in ["{}", "{\"metrics\": 3}", "{\"metrics\": {\"p50_us\": \"fast\"}}"] {
-            let v = serde_json::from_str(bad).unwrap();
-            assert!(baseline_metrics(&v).is_err(), "{bad}");
+        for bad in [
+            "{}",
+            "{\"configs\": 3}",
+            "{\"configs\": {\"s2_c8_d16\": {}}}",
+            "{\"configs\": {\"s2_c8_d16\": {\"metrics\": {\"p50_us\": \"fast\"}}}}",
+        ] {
+            assert!(parse_baseline(bad).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn legacy_single_config_baseline_demands_regeneration() {
+        let legacy = "{\"metrics\": {\"p50_us\": 471.4}}";
+        let err = parse_baseline(legacy).unwrap_err();
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn check_suite_covers_measured_configs_and_skips_unmeasured_baselines() {
+        let baseline: BTreeMap<String, BTreeMap<String, f64>> = [
+            ("s2_c2_d16".to_string(), metrics(&[("ops_per_sec", 10_000.0)])),
+            ("s8_c8_d16".to_string(), metrics(&[("ops_per_sec", 50_000.0)])),
+        ]
+        .into_iter()
+        .collect();
+        // Only the 2-shard config measured, and it regressed: one
+        // failure naming the config; the unmeasured 8-shard baseline
+        // entry is skipped.
+        let suite = BenchSuite {
+            configs: [("s2_c2_d16".to_string(), report(&[("ops_per_sec", 1_000.0)]))]
+                .into_iter()
+                .collect(),
+        };
+        let failures = check_suite(&baseline, &suite, 1.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("s2_c2_d16:"), "{failures:?}");
+        // A measured config absent from the baseline fails loudly.
+        let novel = BenchSuite {
+            configs: [("s4_c8_d16".to_string(), report(&[("ops_per_sec", 99_999.0)]))]
+                .into_iter()
+                .collect(),
+        };
+        let failures = check_suite(&baseline, &novel, 1.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("missing from baseline"), "{failures:?}");
     }
 
     #[test]
     fn sustained_load_smoke_over_two_shards() {
         // A miniature end-to-end run of the full tentpole: sharded
-        // readiness-loop daemons, router fan-out, drain verification.
-        let opts = BenchOptions { shards: 2, clients: 2, ops: 300, submit_every: 50 };
+        // readiness-loop daemons, pipelined router fan-out, drain
+        // verification.
+        let opts =
+            BenchOptions { shards: 2, clients: 2, ops: 300, submit_every: 50, pipeline_depth: 8 };
         let report = run_sustained_load(&opts).unwrap();
         assert_eq!(report.ops, 300);
+        assert_eq!(report.pipeline_depth, 8);
         assert_eq!(report.jobs_submitted, report.jobs_completed);
         assert!(report.jobs_submitted >= 6, "each client submits on op 0, 50, ...");
         assert!(report.metrics["ops_per_sec"] > 0.0);

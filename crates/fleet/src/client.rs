@@ -9,10 +9,15 @@ use crate::error::FleetError;
 use crate::job::{JobId, JobKind};
 use crate::wire::{self, Request};
 
-/// A connected fleet client. One stream, requests answered in order.
+/// A connected fleet client: one stream, lock-step v2 envelopes —
+/// every request is tagged with the next request id and the reply's
+/// tag is checked against it. For many requests in flight per socket,
+/// use the router's [`crate::pool::ShardPool`] instead.
 #[derive(Debug)]
 pub struct FleetClient {
     stream: TcpStream,
+    /// The next request id (per-connection, send order).
+    next_id: u64,
     /// Per-connection salt decorrelating retry backoff across clients.
     jitter_salt: u64,
 }
@@ -27,13 +32,23 @@ impl FleetClient {
         // host, giving each client a deterministic-but-distinct salt
         // without consulting a clock or RNG.
         let salt = stream.local_addr().map(|a| u64::from(a.port())).unwrap_or(0);
-        Ok(Self { stream, jitter_salt: hpceval_trace::splitmix64(salt) })
+        Ok(Self { stream, next_id: 0, jitter_salt: hpceval_trace::splitmix64(salt) })
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Value, FleetError> {
-        wire::write_frame(&mut self.stream, &req.to_json()?)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        wire::write_frame(&mut self.stream, &wire::encode_envelope(id, req)?)?;
         match wire::read_frame(&mut self.stream)? {
-            Some(frame) => wire::decode_response(&frame),
+            Some(frame) => match wire::decode_tagged_response(&frame)? {
+                (Some(got), body) if got == id => body,
+                // Untagged replies are transport-level errors the server
+                // could not route to a request; pass the error through.
+                (None, body) => body,
+                (Some(got), _) => Err(FleetError::Protocol(format!(
+                    "response id {got} does not match request id {id}"
+                ))),
+            },
             None => Err(FleetError::Protocol("daemon closed the connection".to_string())),
         }
     }
@@ -147,7 +162,7 @@ pub struct RankedServer {
     pub degraded: bool,
 }
 
-fn decode_ranking(v: Value) -> Result<Vec<RankedServer>, FleetError> {
+pub(crate) fn decode_ranking(v: Value) -> Result<Vec<RankedServer>, FleetError> {
     v.get("ranking")
         .and_then(Value::as_seq)
         .ok_or_else(|| FleetError::Protocol("response lacks ranking".to_string()))?
@@ -192,7 +207,7 @@ pub(crate) fn remote_job_to_value(job: &RemoteJob) -> Value {
     Value::Map(pairs)
 }
 
-fn decode_jobs(v: Value) -> Result<Vec<RemoteJob>, FleetError> {
+pub(crate) fn decode_jobs(v: Value) -> Result<Vec<RemoteJob>, FleetError> {
     v.get("jobs")
         .and_then(Value::as_seq)
         .ok_or_else(|| FleetError::Protocol("response lacks jobs".to_string()))?

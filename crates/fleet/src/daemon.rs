@@ -657,17 +657,19 @@ impl server::Service for Fleet {
     fn handle(&self, req: Request) -> server::Action {
         match req {
             // Drain completes only when the queue is dry; answering
-            // inline would stall the event loop, so defer it.
+            // inline would stall the event loop, so defer it. Drain
+            // completion is a global condition (the queue is dry for
+            // everyone at once), so every drain shares ticket 0.
             Request::Drain => {
                 self.begin_drain();
-                server::Action::Defer
+                server::Action::Defer(0)
             }
             Request::Shutdown => server::Action::ReplyThenShutdown(self.respond(Request::Shutdown)),
             other => server::Action::Reply(self.respond(other)),
         }
     }
 
-    fn poll_deferred(&self) -> Option<String> {
+    fn poll_ticket(&self, _ticket: u64) -> Option<String> {
         self.drained_statuses().map(status_response)
     }
 

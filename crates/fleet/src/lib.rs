@@ -18,19 +18,25 @@
 //!   still ranks the servers it could finish and *flags* partial
 //!   results instead of silently averaging them.
 //! - **Wire protocol** ([`wire`], [`client`]): length-prefixed strict
-//!   JSON over TCP with request batching and queue-cap backpressure.
+//!   JSON over TCP, multiplexed since v2 — every request envelope
+//!   carries a u64 request id, responses are tagged with it, and mixed-
+//!   version frames are rejected with a clear error. Request batching
+//!   and queue-cap backpressure ride on top.
 //! - **Readiness-loop front-end** ([`server`]): a single-threaded
 //!   epoll/poll event loop with per-connection read/write state
 //!   machines — no handler thread per connection, so connection count
-//!   stops being a thread count.
-//! - **Federation** ([`router`]): N sharded daemons each owning a
-//!   splitmix64 job-key range behind a thin router that fans out
-//!   requests and merges status/ranking responses; a dead shard's WAL
-//!   replays into a replacement.
+//!   stops being a thread count. Handlers answer tagged frames in
+//!   *completion* order while the loop keeps interleaving connections.
+//! - **Federation** ([`router`], [`pool`]): N sharded daemons each
+//!   owning a splitmix64 job-key range behind a router that fans out
+//!   requests over pipelined connection pools — multiple sockets per
+//!   shard, many in-flight tagged requests per socket, per-socket
+//!   backpressure caps — and merges status/ranking responses; a dead
+//!   shard's WAL replays into a replacement bitwise.
 //! - **Sustained-load gate** ([`bench`]): the `fleet_bench` harness
-//!   drives ≥1 M submit/status round-trips through the router and
-//!   records p50/p99 latency + ops/s into `BENCH_fleet.json`, drift-
-//!   checked in CI.
+//!   drives ≥1 M submit/status round-trips through the router across a
+//!   shard-count sweep (2/4/8) and records p50/p99 latency + ops/s per
+//!   configuration into `BENCH_fleet.json`, drift-checked in CI.
 //! - **DVFS sweep driver** ([`sweep`]): runs every `hpceval-tune`
 //!   autotuner cell as a WAL-backed `Tune` job through the sharded
 //!   router; a killed shard's replay reproduces the energy-delay
@@ -46,6 +52,7 @@ pub mod error;
 pub mod events;
 pub mod fault;
 pub mod job;
+pub mod pool;
 pub mod registry;
 pub mod router;
 pub mod runner;
@@ -54,13 +61,14 @@ pub mod sweep;
 pub mod wal;
 pub mod wire;
 
-pub use bench::{run_sustained_load, BenchOptions, BenchReport};
+pub use bench::{run_suite, run_sustained_load, BenchOptions, BenchReport, BenchSuite};
 pub use client::{FleetClient, RankedServer, RemoteJob};
 pub use daemon::{Fleet, FleetConfig};
 pub use error::FleetError;
 pub use events::{EventKind, FleetEvent};
 pub use fault::{AttemptFaults, FaultInjector, FaultPlan};
 pub use job::{JobId, JobKind, JobResult, JobState, JobStatus};
+pub use pool::{PendingReply, PoolConfig, ShardPool};
 pub use registry::{NodeInfo, Registry};
 pub use router::Router;
 pub use sweep::{run_sweep, SweepConfig};

@@ -18,6 +18,24 @@
 //! the router holds **no job state** and can be restarted freely; all
 //! durable state lives in the shards' WALs.
 //!
+//! # Pipelined fan-out
+//!
+//! Each shard sits behind a [`ShardPool`]: a few sockets, each
+//! carrying many in-flight tagged requests. The router's readiness
+//! loop never blocks on a shard — [`Service::handle`] issues the shard
+//! requests and defers the client's response on a *ticket*; pool
+//! reader threads fill reply slots as shards answer (in completion
+//! order, reassembled by request id) and wake the loop, which
+//! assembles and releases each finished response. Requests from many
+//! client connections therefore overlap inside every shard instead of
+//! serializing on one lock-step round-trip per shard — the difference
+//! between the 2-shard and 8-shard rows of `BENCH_fleet.json`.
+//!
+//! Submit order stays deterministic: router keys are drawn on the
+//! single loop thread in request-arrival order, and the pool sends all
+//! mutating requests down one lane per shard, so WAL replay and the
+//! bitwise-merged-ranking failover contract still hold.
+//!
 //! # Failover
 //!
 //! A shard that dies takes nothing with it: its WAL holds every
@@ -34,45 +52,110 @@
 //!   shard B pushes back after shard A accepted, the error propagates
 //!   and A keeps its jobs. Single-job submits — the sustained-load
 //!   pattern — are fully atomic.
-//! - `drain` fans out sequentially and blocks the router loop until
-//!   every shard is dry: it is a quiesce operation, intentionally
-//!   exclusive with serving new load.
+//! - `drain` fans out concurrently and completes when every shard is
+//!   dry; unlike the pre-pipelining router it no longer blocks the
+//!   loop, so status probes keep being answered while a drain runs
+//!   (shards reject new submits during their own drain regardless).
 
+use std::collections::HashMap;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::Value;
 
 use hpceval_trace::splitmix64;
 
-use crate::client::{remote_job_to_value, FleetClient, RankedServer, RemoteJob};
+use crate::client::{decode_jobs, decode_ranking, remote_job_to_value, RankedServer, RemoteJob};
 use crate::daemon::ranking_response;
 use crate::error::FleetError;
 use crate::job::{JobId, JobKind};
-use crate::server::{self, Action, Service};
+use crate::pool::{PendingReply, PoolConfig, ShardPool};
+use crate::server::{self, Action, Service, Waker};
 use crate::wire::{self, Request};
 
-/// A running router over connected shard daemons.
+/// A running router over pipelined pools to the shard daemons.
 pub struct Router {
-    shards: Vec<Mutex<FleetClient>>,
+    shards: Vec<ShardPool>,
     next_key: AtomicU64,
+    next_ticket: AtomicU64,
+    /// Deferred fan-outs by ticket, polled by the readiness loop.
+    pending: Mutex<HashMap<u64, PendingOp>>,
     shutdown: AtomicBool,
 }
 
+/// One shard's share of a deferred fan-out.
+struct Part {
+    shard: usize,
+    reply: PendingReply,
+    done: Option<Result<Value, FleetError>>,
+}
+
+impl Part {
+    fn poll(&mut self) -> bool {
+        if self.done.is_none() {
+            self.done = self.reply.try_take();
+        }
+        self.done.is_some()
+    }
+}
+
+/// A deferred fan-out awaiting shard replies.
+enum PendingOp {
+    /// Per-shard sub-batches; `positions[i]` maps part `i`'s local ids
+    /// back to submission order.
+    Submit { parts: Vec<Part>, positions: Vec<Vec<usize>>, total: usize },
+    /// Merged job snapshots (whole-fleet status, one-job status, drain).
+    Jobs { parts: Vec<Part> },
+    /// The merged §V ranking.
+    Ranking { parts: Vec<Part> },
+}
+
+impl PendingOp {
+    fn parts_mut(&mut self) -> &mut Vec<Part> {
+        match self {
+            PendingOp::Submit { parts, .. }
+            | PendingOp::Jobs { parts }
+            | PendingOp::Ranking { parts } => parts,
+        }
+    }
+
+    /// True once every shard reply has arrived.
+    fn ready(&mut self) -> bool {
+        self.parts_mut().iter_mut().all(Part::poll)
+    }
+}
+
 impl Router {
-    /// Connect to every shard daemon. Order matters: shard index is
-    /// baked into global job ids, so a replacement daemon for shard
-    /// `i` must appear at position `i` again.
+    /// Connect to every shard daemon with the default pool shape.
+    /// Order matters: shard index is baked into global job ids, so a
+    /// replacement daemon for shard `i` must appear at position `i`
+    /// again.
     pub fn connect<A: AsRef<str>>(shard_addrs: &[A]) -> Result<Router, FleetError> {
+        Self::connect_with(shard_addrs, PoolConfig::default())
+    }
+
+    /// Connect with an explicit pool shape (sockets per shard,
+    /// pipeline depth).
+    pub fn connect_with<A: AsRef<str>>(
+        shard_addrs: &[A],
+        pool: PoolConfig,
+    ) -> Result<Router, FleetError> {
         if shard_addrs.is_empty() {
             return Err(FleetError::Protocol("router needs at least one shard".to_string()));
         }
         let shards = shard_addrs
             .iter()
-            .map(|a| FleetClient::connect(a.as_ref()).map(Mutex::new))
+            .map(|a| ShardPool::connect(a.as_ref(), pool))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Router { shards, next_key: AtomicU64::new(0), shutdown: AtomicBool::new(false) })
+        Ok(Router {
+            shards,
+            next_key: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        })
     }
 
     /// Number of shards behind this router.
@@ -99,50 +182,134 @@ impl Router {
         ((global % n) as usize, global / n)
     }
 
-    /// Submit a batch, fanning each job out to its owning shard;
-    /// returns global ids in submission order.
-    pub fn submit(&self, jobs: Vec<JobKind>) -> Result<Vec<JobId>, FleetError> {
+    // --- fan-out construction -------------------------------------
+
+    /// Partition a batch across shards and put every sub-batch in
+    /// flight.
+    fn start_submit(&self, jobs: Vec<JobKind>) -> Result<PendingOp, FleetError> {
         let total = jobs.len();
         let mut per_shard: Vec<Vec<(usize, JobKind)>> = vec![Vec::new(); self.shards.len()];
         for (pos, kind) in jobs.into_iter().enumerate() {
             let key = self.next_key.fetch_add(1, Ordering::Relaxed);
             per_shard[self.shard_of(key)].push((pos, kind));
         }
-        let mut ids = vec![0u64; total];
+        let mut parts = Vec::new();
+        let mut positions = Vec::new();
         for (shard, batch) in per_shard.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            let kinds = batch.iter().map(|(_, k)| k.clone()).collect();
-            let locals = self.shards[shard].lock().submit(kinds)?;
-            if locals.len() != batch.len() {
-                return Err(FleetError::Protocol("shard returned a short id batch".to_string()));
+            let (pos, kinds): (Vec<usize>, Vec<JobKind>) = batch.into_iter().unzip();
+            let reply = self.shards[shard].send(&Request::Submit { jobs: kinds })?;
+            parts.push(Part { shard, reply, done: None });
+            positions.push(pos);
+        }
+        Ok(PendingOp::Submit { parts, positions, total })
+    }
+
+    /// Put one request in flight to every shard.
+    fn start_fan(&self, req: &Request) -> Result<Vec<Part>, FleetError> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, pool)| Ok(Part { shard, reply: pool.send(req)?, done: None }))
+            .collect()
+    }
+
+    fn start_status(&self, job: Option<JobId>) -> Result<PendingOp, FleetError> {
+        let parts = match job {
+            Some(global) => {
+                let (shard, local) = self.split_global(global);
+                let reply = self.shards[shard].send(&Request::Status { job: Some(local) })?;
+                vec![Part { shard, reply, done: None }]
             }
-            for ((pos, _), local) in batch.into_iter().zip(locals) {
+            None => self.start_fan(&Request::Status { job: None })?,
+        };
+        Ok(PendingOp::Jobs { parts })
+    }
+
+    // --- assembly --------------------------------------------------
+
+    fn assemble(&self, op: PendingOp) -> AssembledOp {
+        match op {
+            PendingOp::Submit { parts, positions, total } => {
+                AssembledOp::Submit(self.assemble_submit(parts, positions, total))
+            }
+            PendingOp::Jobs { parts } => AssembledOp::Jobs(self.assemble_jobs(parts)),
+            PendingOp::Ranking { parts } => AssembledOp::Ranking(assemble_ranking(parts)),
+        }
+    }
+
+    fn assemble_submit(
+        &self,
+        parts: Vec<Part>,
+        positions: Vec<Vec<usize>>,
+        total: usize,
+    ) -> Result<Vec<JobId>, FleetError> {
+        let mut ids = vec![0u64; total];
+        for (part, positions) in parts.into_iter().zip(positions) {
+            let shard = part.shard;
+            let v = take_done(part)?;
+            let locals: Vec<JobId> = v
+                .get("ids")
+                .and_then(Value::as_seq)
+                .map(|ids| ids.iter().filter_map(Value::as_u64).collect())
+                .ok_or_else(|| {
+                    FleetError::Protocol(format!("shard {shard} submit response lacks ids"))
+                })?;
+            if locals.len() != positions.len() {
+                return Err(FleetError::Protocol(format!(
+                    "shard {shard} returned a short id batch: {} ids for {} jobs",
+                    locals.len(),
+                    positions.len()
+                )));
+            }
+            for (pos, local) in positions.into_iter().zip(locals) {
                 ids[pos] = self.to_global(shard, local);
             }
         }
         Ok(ids)
     }
 
-    /// Status snapshots with global ids: one job routes to its owning
-    /// shard; a whole-fleet snapshot merges every shard's view.
-    pub fn status(&self, job: Option<JobId>) -> Result<Vec<RemoteJob>, FleetError> {
-        match job {
-            Some(global) => {
-                let (shard, local) = self.split_global(global);
-                let mut jobs = self.shards[shard].lock().status(Some(local))?;
-                self.globalize(shard, &mut jobs);
-                Ok(jobs)
-            }
-            None => self.fan_out(|shard, client| client.status(None).map(|j| (shard, j))),
+    fn assemble_jobs(&self, parts: Vec<Part>) -> Result<Vec<RemoteJob>, FleetError> {
+        let mut merged = Vec::new();
+        for part in parts {
+            let shard = part.shard;
+            let mut jobs = decode_jobs(take_done(part)?)?;
+            self.globalize(shard, &mut jobs);
+            merged.append(&mut jobs);
+        }
+        merged.sort_by_key(|j| j.id);
+        Ok(merged)
+    }
+
+    // --- blocking front doors (in-process callers and tests) -------
+
+    /// Submit a batch, fanning each job out to its owning shard;
+    /// returns global ids in submission order.
+    pub fn submit(&self, jobs: Vec<JobKind>) -> Result<Vec<JobId>, FleetError> {
+        match self.finish(self.start_submit(jobs)?) {
+            AssembledOp::Submit(ids) => ids,
+            _ => unreachable!("submit op assembles to ids"),
         }
     }
 
-    /// Drain every shard (sequentially; each call blocks until that
-    /// shard's queue is dry) and merge the final statuses.
+    /// Status snapshots with global ids: one job routes to its owning
+    /// shard; a whole-fleet snapshot merges every shard's view.
+    pub fn status(&self, job: Option<JobId>) -> Result<Vec<RemoteJob>, FleetError> {
+        match self.finish(self.start_status(job)?) {
+            AssembledOp::Jobs(jobs) => jobs,
+            _ => unreachable!("status op assembles to jobs"),
+        }
+    }
+
+    /// Drain every shard (concurrently; completes when all queues are
+    /// dry) and merge the final statuses.
     pub fn drain(&self) -> Result<Vec<RemoteJob>, FleetError> {
-        self.fan_out(|shard, client| client.drain().map(|j| (shard, j)))
+        match self.finish(PendingOp::Jobs { parts: self.start_fan(&Request::Drain)? }) {
+            AssembledOp::Jobs(jobs) => jobs,
+            _ => unreachable!("drain op assembles to jobs"),
+        }
     }
 
     /// The merged §V ranking: per-shard rankings concatenated and
@@ -150,20 +317,30 @@ impl Router {
     /// PPW first, name-tiebroken), so the merged order is identical to
     /// what one daemon owning every job would report.
     pub fn ranking(&self) -> Result<Vec<RankedServer>, FleetError> {
-        let mut rows: Vec<RankedServer> = Vec::new();
-        for client in &self.shards {
-            rows.extend(client.lock().ranking()?);
+        match self.finish(PendingOp::Ranking { parts: self.start_fan(&Request::Ranking)? }) {
+            AssembledOp::Ranking(rows) => rows,
+            _ => unreachable!("ranking op assembles to rows"),
         }
-        rows.sort_by(|a, b| b.ppw.total_cmp(&a.ppw).then_with(|| a.server.cmp(&b.server)));
-        Ok(rows)
     }
 
     /// Ask every shard daemon to stop (the router object survives).
     pub fn shutdown_shards(&self) -> Result<(), FleetError> {
-        for client in &self.shards {
-            client.lock().shutdown()?;
+        for pool in &self.shards {
+            pool.call(&Request::Shutdown)?;
         }
         Ok(())
+    }
+
+    /// Wait out a fan-out's shard replies, then assemble.
+    fn finish(&self, op: PendingOp) -> AssembledOp {
+        let op = match op {
+            PendingOp::Submit { parts, positions, total } => {
+                PendingOp::Submit { parts: wait_parts(parts), positions, total }
+            }
+            PendingOp::Jobs { parts } => PendingOp::Jobs { parts: wait_parts(parts) },
+            PendingOp::Ranking { parts } => PendingOp::Ranking { parts: wait_parts(parts) },
+        };
+        self.assemble(op)
     }
 
     /// Serve the wire protocol on `listener` via the readiness loop
@@ -183,19 +360,65 @@ impl Router {
         }
     }
 
-    fn fan_out(
-        &self,
-        mut call: impl FnMut(usize, &mut FleetClient) -> Result<(usize, Vec<RemoteJob>), FleetError>,
-    ) -> Result<Vec<RemoteJob>, FleetError> {
-        let mut merged = Vec::new();
-        for (shard, client) in self.shards.iter().enumerate() {
-            let (shard, mut jobs) = call(shard, &mut client.lock())?;
-            self.globalize(shard, &mut jobs);
-            merged.append(&mut jobs);
+    /// Park a started fan-out under a fresh ticket for the readiness
+    /// loop to poll, or answer the start-up error inline.
+    fn defer(&self, op: Result<PendingOp, FleetError>) -> Action {
+        match op {
+            Ok(op) => {
+                let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+                self.pending.lock().insert(ticket, op);
+                Action::Defer(ticket)
+            }
+            Err(e) => Action::Reply(error_to_response(&e)),
         }
-        merged.sort_by_key(|j| j.id);
-        Ok(merged)
     }
+}
+
+/// A completed fan-out in typed form, shared by the blocking front
+/// doors and the deferred wire path.
+enum AssembledOp {
+    Submit(Result<Vec<JobId>, FleetError>),
+    Jobs(Result<Vec<RemoteJob>, FleetError>),
+    Ranking(Result<Vec<RankedServer>, FleetError>),
+}
+
+impl AssembledOp {
+    fn into_response(self) -> String {
+        match self {
+            AssembledOp::Submit(Ok(ids)) => wire::ok_response(vec![
+                ("accepted".to_string(), Value::UInt(ids.len() as u64)),
+                ("ids".to_string(), Value::Seq(ids.into_iter().map(Value::UInt).collect())),
+            ])
+            .expect("ids encode"),
+            AssembledOp::Jobs(Ok(jobs)) => jobs_response(&jobs),
+            AssembledOp::Ranking(Ok(rows)) => {
+                ranking_response(rows.into_iter().map(|r| (r.server, r.ppw, r.degraded)).collect())
+            }
+            AssembledOp::Submit(Err(e))
+            | AssembledOp::Jobs(Err(e))
+            | AssembledOp::Ranking(Err(e)) => error_to_response(&e),
+        }
+    }
+}
+
+fn take_done(part: Part) -> Result<Value, FleetError> {
+    part.done.expect("part polled or waited to completion before assembly")
+}
+
+fn wait_parts(parts: Vec<Part>) -> Vec<Part> {
+    parts
+        .into_iter()
+        .map(|p| Part { shard: p.shard, done: Some(p.reply.wait_ref()), reply: p.reply })
+        .collect()
+}
+
+fn assemble_ranking(parts: Vec<Part>) -> Result<Vec<RankedServer>, FleetError> {
+    let mut rows: Vec<RankedServer> = Vec::new();
+    for part in parts {
+        rows.extend(decode_ranking(take_done(part)?)?);
+    }
+    rows.sort_by(|a, b| b.ppw.total_cmp(&a.ppw).then_with(|| a.server.cmp(&b.server)));
+    Ok(rows)
 }
 
 fn jobs_response(jobs: &[RemoteJob]) -> String {
@@ -225,31 +448,17 @@ impl Service for Router {
                 ])
                 .expect("static response encodes"),
             ),
-            Request::Submit { jobs } => Action::Reply(match self.submit(jobs) {
-                Ok(ids) => wire::ok_response(vec![
-                    ("accepted".to_string(), Value::UInt(ids.len() as u64)),
-                    ("ids".to_string(), Value::Seq(ids.into_iter().map(Value::UInt).collect())),
-                ])
-                .expect("ids encode"),
-                Err(e) => error_to_response(&e),
-            }),
-            Request::Status { job } => Action::Reply(match self.status(job) {
-                Ok(jobs) => jobs_response(&jobs),
-                Err(e) => error_to_response(&e),
-            }),
-            Request::Drain => Action::Reply(match self.drain() {
-                Ok(jobs) => jobs_response(&jobs),
-                Err(e) => error_to_response(&e),
-            }),
-            Request::Ranking => Action::Reply(match self.ranking() {
-                Ok(rows) => ranking_response(
-                    rows.into_iter().map(|r| (r.server, r.ppw, r.degraded)).collect(),
-                ),
-                Err(e) => error_to_response(&e),
-            }),
+            Request::Submit { jobs } => self.defer(self.start_submit(jobs)),
+            Request::Status { job } => self.defer(self.start_status(job)),
+            Request::Drain => {
+                self.defer(self.start_fan(&Request::Drain).map(|parts| PendingOp::Jobs { parts }))
+            }
+            Request::Ranking => self
+                .defer(self.start_fan(&Request::Ranking).map(|parts| PendingOp::Ranking { parts })),
             Request::Shutdown => {
                 // Stop the shards first so their final states are
-                // durable before the router acknowledges.
+                // durable before the router acknowledges. Blocking the
+                // loop here is fine: this request ends it.
                 let response = match self.shutdown_shards() {
                     Ok(()) => wire::ok_response(vec![("stopping".to_string(), Value::Bool(true))])
                         .expect("static response encodes"),
@@ -260,8 +469,16 @@ impl Service for Router {
         }
     }
 
-    fn poll_deferred(&self) -> Option<String> {
-        None
+    fn poll_ticket(&self, ticket: u64) -> Option<String> {
+        let op = {
+            let mut pending = self.pending.lock();
+            let ready = pending.get_mut(&ticket).is_some_and(PendingOp::ready);
+            if !ready {
+                return None;
+            }
+            pending.remove(&ticket).expect("ready ticket is present")
+        };
+        Some(self.assemble(op).into_response())
     }
 
     fn begin_shutdown(&self) {
@@ -271,6 +488,13 @@ impl Service for Router {
     fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
+
+    fn attach_waker(&self, waker: Waker) {
+        for pool in &self.shards {
+            let waker = waker.clone();
+            pool.set_notifier(Arc::new(move || waker.wake()));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,20 +502,22 @@ mod tests {
     use super::*;
 
     fn router_with(n: usize) -> Router {
-        // Build the shard table without sockets: tests below only use
-        // the pure id/shard arithmetic.
+        // Build the shard table without live daemons: tests below only
+        // use the pure id/shard arithmetic.
         Router {
-            shards: (0..n).map(|_| unreachable_client()).collect(),
+            shards: (0..n).map(|_| unreachable_pool()).collect(),
             next_key: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
         }
     }
 
-    fn unreachable_client() -> Mutex<FleetClient> {
+    fn unreachable_pool() -> ShardPool {
         // A listener that never accepts still completes the TCP
-        // handshake (kernel backlog), giving a real connected client.
+        // handshake (kernel backlog), giving a real connected pool.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        Mutex::new(FleetClient::connect(listener.local_addr().unwrap()).unwrap())
+        ShardPool::connect(listener.local_addr().unwrap(), PoolConfig::default()).unwrap()
     }
 
     #[test]

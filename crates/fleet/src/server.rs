@@ -17,23 +17,33 @@
 //! Write interest is registered only while the outbox is non-empty, so
 //! an idle connection costs one registered fd and nothing else.
 //!
-//! # Services and deferred responses
+//! # Services, tickets, and out-of-order replies
 //!
 //! The loop is generic over a [`Service`]: the daemon and the router
 //! plug in request handling via [`Service::handle`], which returns an
-//! [`Action`]. A `drain` cannot be answered inline — it completes only
-//! when the queue runs dry, and blocking the event loop on it would
-//! starve every other connection — so a service may return
-//! [`Action::Defer`]; the loop then re-asks [`Service::poll_deferred`]
-//! each tick and releases the response when it is ready. Frames that
-//! arrive on a connection while its response is deferred stay buffered
-//! (responses are strictly ordered per connection). `shutdown` replies
-//! first and stops the loop only after the response is flushed.
+//! [`Action`]. Responses the service cannot produce inline — a `drain`
+//! that completes only when the queue runs dry, or a router fan-out
+//! waiting on shard replies — come back as [`Action::Defer`] carrying a
+//! service-chosen *ticket*; the loop re-asks
+//! [`Service::poll_ticket`] for each outstanding ticket and releases
+//! each response the moment it is ready. Since protocol v2 every
+//! request carries an id and every response is tagged with it
+//! ([`wire::attach_id`]), the loop keeps dispatching frames that arrive
+//! while earlier responses are still pending: replies go out in
+//! *completion* order, and the client's in-flight table reorders them.
+//! `shutdown` replies first and stops the loop only after the response
+//! is flushed.
+//!
+//! Services whose deferred completions land on background threads (the
+//! router's connection pool) receive a [`Waker`] via
+//! [`Service::attach_waker`] and nudge the poller when a completion
+//! lands, so deferred latency is wake latency, not the 25 ms tick.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::sync::Arc;
 use std::time::Duration;
 
 use polling::{Event, Interest, Poller};
@@ -41,14 +51,29 @@ use polling::{Event, Interest, Poller};
 use crate::error::FleetError;
 use crate::wire::{self, FrameDecoder, Request};
 
-/// How a [`Service`] disposes of one decoded request.
+/// How a [`Service`] disposes of one decoded request. Response bodies
+/// are untagged; the loop attaches the request id.
 pub(crate) enum Action {
     /// Send this response now.
     Reply(String),
-    /// The response is not ready; poll [`Service::poll_deferred`].
-    Defer,
+    /// The response is not ready; poll [`Service::poll_ticket`] with
+    /// the carried ticket until it yields the body.
+    Defer(u64),
     /// Send this response, then stop the serve loop once it is flushed.
     ReplyThenShutdown(String),
+}
+
+/// Wakes a [`serve_readiness`] loop blocked in its poller — handed to
+/// services so background completion threads can cut the poll tick
+/// short.
+#[derive(Clone)]
+pub(crate) struct Waker(Arc<Poller>);
+
+impl Waker {
+    /// Wake the loop; wakes coalesce and never fail.
+    pub(crate) fn wake(&self) {
+        let _ = self.0.notify();
+    }
 }
 
 /// A protocol endpoint served by [`serve_readiness`].
@@ -56,11 +81,14 @@ pub(crate) trait Service: Sync {
     /// Dispose of one request.
     fn handle(&self, req: Request) -> Action;
     /// Non-blocking completion check for a deferred response.
-    fn poll_deferred(&self) -> Option<String>;
+    fn poll_ticket(&self, ticket: u64) -> Option<String>;
     /// A flushed shutdown response commits the stop.
     fn begin_shutdown(&self);
     /// True once the loop should exit.
     fn shutting_down(&self) -> bool;
+    /// Offered once at serve start; services with background
+    /// completions keep it and wake the loop per completion.
+    fn attach_waker(&self, _waker: Waker) {}
 }
 
 /// Poll tick: bounds shutdown/drain-completion latency.
@@ -74,8 +102,10 @@ struct Conn {
     outbox: Vec<u8>,
     sent: usize,
     interest: Interest,
-    /// A response is pending in the service (drain in progress).
-    deferred: bool,
+    /// Outstanding deferred responses: `(service ticket, request id)`.
+    /// Completions queue in whatever order [`Service::poll_ticket`]
+    /// yields them — the id tag is what lets the client reassemble.
+    pending: Vec<(u64, u64)>,
     /// Peer half-closed; reap once the outbox flushes.
     eof: bool,
     /// Protocol violation: finish flushing the error frame, then drop.
@@ -93,7 +123,7 @@ impl Conn {
             outbox: Vec::new(),
             sent: 0,
             interest: Interest::READABLE,
-            deferred: false,
+            pending: Vec::new(),
             eof: false,
             close_after_flush: false,
             shutdown_after_flush: false,
@@ -137,22 +167,31 @@ impl Conn {
         }
     }
 
-    /// Decode and dispatch buffered frames, stopping while a response
-    /// is deferred so per-connection response order is preserved.
+    /// Decode and dispatch buffered frames. Deferred responses do not
+    /// stall the stream: later frames keep dispatching, and each reply
+    /// goes out tagged with its request id when it completes.
     fn dispatch(&mut self, service: &impl Service) {
-        while !self.deferred && !self.close_after_flush && !self.dead {
+        while !self.close_after_flush && !self.dead {
             match self.decoder.next_frame() {
-                Ok(Some(frame)) => match Request::from_json(&frame) {
-                    Ok(req) => match service.handle(req) {
-                        Action::Reply(r) => self.queue_response(&r),
-                        Action::Defer => self.deferred = true,
+                Ok(Some(frame)) => match wire::decode_envelope(&frame) {
+                    Ok((id, Ok(req))) => match service.handle(req) {
+                        Action::Reply(r) => self.queue_response(&wire::attach_id(id, &r)),
+                        Action::Defer(ticket) => self.pending.push((ticket, id)),
                         Action::ReplyThenShutdown(r) => {
-                            self.queue_response(&r);
+                            self.queue_response(&wire::attach_id(id, &r));
                             self.shutdown_after_flush = true;
                         }
                     },
-                    // A malformed request in a well-formed frame gets an
-                    // error response; the connection survives.
+                    // A malformed op in a well-formed envelope gets a
+                    // tagged error response; the connection survives.
+                    Ok((id, Err(e))) => self.queue_response(&wire::attach_id(
+                        id,
+                        &wire::error_response(&e.to_string(), None),
+                    )),
+                    // Unroutable frame (bad JSON, version mismatch, no
+                    // id): no id to tag, so answer untagged; the
+                    // connection survives — the stream itself is still
+                    // framed correctly.
                     Err(e) => self.queue_response(&wire::error_response(&e.to_string(), None)),
                 },
                 Ok(None) => break,
@@ -162,6 +201,21 @@ impl Conn {
                     self.queue_response(&wire::error_response(&e.to_string(), None));
                     self.close_after_flush = true;
                 }
+            }
+        }
+    }
+
+    /// Queue every deferred response whose ticket has completed.
+    fn release_completions(&mut self, service: &impl Service) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (ticket, id) = self.pending[i];
+            match service.poll_ticket(ticket) {
+                Some(body) => {
+                    self.queue_response(&wire::attach_id(id, &body));
+                    self.pending.swap_remove(i);
+                }
+                None => i += 1,
             }
         }
     }
@@ -205,7 +259,8 @@ pub(crate) fn serve_readiness<S: Service>(
     listener: TcpListener,
 ) -> Result<(), FleetError> {
     listener.set_nonblocking(true)?;
-    let poller = Poller::new()?;
+    let poller = Arc::new(Poller::new()?);
+    service.attach_waker(Waker(Arc::clone(&poller)));
     poller.add(listener.as_raw_fd(), LISTENER_KEY, Interest::READABLE)?;
     let mut conns: HashMap<usize, Conn> = HashMap::new();
     let mut next_key = LISTENER_KEY + 1;
@@ -226,23 +281,16 @@ pub(crate) fn serve_readiness<S: Service>(
                 conn.flush(service);
             }
         }
-        // Tick work: deferred completions, opportunistic flushes,
+        // Wake/tick work: deferred completions, opportunistic flushes,
         // interest updates, and reaping.
-        let deferred_response =
-            if conns.values().any(|c| c.deferred) { service.poll_deferred() } else { None };
         for (&key, conn) in conns.iter_mut() {
-            if conn.deferred {
-                if let Some(resp) = &deferred_response {
-                    conn.deferred = false;
-                    conn.queue_response(resp);
-                    // Frames buffered behind the drain now get served.
-                    conn.dispatch(service);
-                }
+            if !conn.pending.is_empty() {
+                conn.release_completions(service);
             }
             if conn.wants_write() && !conn.dead {
                 conn.flush(service);
             }
-            if conn.eof && !conn.wants_write() && !conn.deferred {
+            if conn.eof && !conn.wants_write() && conn.pending.is_empty() {
                 conn.dead = true;
             }
             if conn.dead {

@@ -5,10 +5,21 @@
 //! above [`MAX_FRAME`] are rejected before allocation — a garbage
 //! length prefix must not make the daemon reserve gigabytes.
 //!
-//! Requests (`"op"` selects the kind):
+//! # Multiplexing (protocol v2)
+//!
+//! Every request frame is an *envelope*: the op fields plus a protocol
+//! version `"v"` and a caller-assigned `u64` request id `"id"`. The id
+//! tags the response, so many requests can ride one socket
+//! concurrently and replies may come back in whatever order the server
+//! completes them — the client's in-flight table reassembles them.
+//! Endpoints reject frames that carry a different version (or none,
+//! i.e. a pre-multiplexing v1 client) with a clear error instead of
+//! answering out of a mixed-version conversation.
+//!
+//! Requests (`"op"` selects the kind; `"v"`/`"id"` shown once):
 //!
 //! ```text
-//! {"op":"ping"}
+//! {"v":2,"id":7,"op":"ping"}
 //! {"op":"submit","jobs":[{<JobKind>}, ...]}     // batched submit
 //! {"op":"status"}                               // whole-fleet snapshot
 //! {"op":"status","job":N}                       // one job
@@ -17,10 +28,12 @@
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Responses: `{"ok":true, ...}` or
-//! `{"ok":false,"error":"...","retry_after_ms":N?}` — the optional
-//! backoff hint is the backpressure signal a client must honor when the
-//! daemon's queue is full.
+//! Responses echo the request id: `{"id":N,"ok":true, ...}` or
+//! `{"id":N,"ok":false,"error":"...","retry_after_ms":M?}` — the
+//! optional backoff hint is the backpressure signal a client must honor
+//! when the daemon's queue is full. A response with no id is only ever
+//! an unroutable transport-level error (torn/oversize/mixed-version
+//! frame, where no id could be recovered).
 
 use std::io::{Read, Write};
 
@@ -32,6 +45,10 @@ use crate::job::JobKind;
 
 /// Frame-size ceiling (1 MiB): larger payloads are protocol errors.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Wire protocol version: v2 added request-id multiplexing. Endpoints
+/// reject any frame not carrying exactly this version.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Write one frame: 4-byte big-endian length, then the JSON payload.
 pub fn write_frame(w: &mut impl Write, json: &str) -> Result<(), FleetError> {
@@ -166,7 +183,11 @@ pub enum Request {
 impl Request {
     /// Decode a request frame.
     pub fn from_json(json: &str) -> Result<Request, FleetError> {
-        let v = codec::parse(json)?;
+        Self::from_value(&codec::parse(json)?)
+    }
+
+    /// Decode a request from an already-parsed frame value.
+    fn from_value(v: &Value) -> Result<Request, FleetError> {
         let op = v
             .get("op")
             .and_then(Value::as_str)
@@ -192,8 +213,14 @@ impl Request {
         }
     }
 
-    /// Encode as a request frame payload.
+    /// Encode as a bare (unversioned, untagged) request payload — the
+    /// op fields only. The wire always carries [`encode_envelope`]d
+    /// frames; this stays public for tests and tooling.
     pub fn to_json(&self) -> Result<String, FleetError> {
+        codec::encode_strict(&Value::Map(self.to_pairs()))
+    }
+
+    fn to_pairs(&self) -> Vec<(String, Value)> {
         let mut pairs: Vec<(String, Value)> = Vec::new();
         match self {
             Request::Ping => pairs.push(("op".into(), Value::Str("ping".into()))),
@@ -214,8 +241,56 @@ impl Request {
             Request::Ranking => pairs.push(("op".into(), Value::Str("ranking".into()))),
             Request::Shutdown => pairs.push(("op".into(), Value::Str("shutdown".into()))),
         }
-        codec::encode_strict(&Value::Map(pairs))
+        pairs
     }
+}
+
+/// Encode a v2 request envelope: protocol version, request id, op.
+pub fn encode_envelope(id: u64, req: &Request) -> Result<String, FleetError> {
+    let mut pairs =
+        vec![("v".to_string(), Value::UInt(PROTOCOL_VERSION)), ("id".to_string(), Value::UInt(id))];
+    pairs.extend(req.to_pairs());
+    codec::encode_strict(&Value::Map(pairs))
+}
+
+/// Decode a v2 request envelope.
+///
+/// The outer `Err` is *unroutable*: the frame failed before an id could
+/// be recovered (not JSON, wrong or missing protocol version, no id) —
+/// the server can only answer with an untagged error. The inner
+/// `Result` is an op-level failure on a well-formed envelope: the
+/// server answers it tagged with the recovered id.
+#[allow(clippy::type_complexity)]
+pub fn decode_envelope(json: &str) -> Result<(u64, Result<Request, FleetError>), FleetError> {
+    let v = codec::parse(json)?;
+    match v.get("v").and_then(Value::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(other) => {
+            return Err(FleetError::Protocol(format!(
+                "protocol version mismatch: frame carries v={other}, this endpoint speaks \
+                 v={PROTOCOL_VERSION}"
+            )))
+        }
+        None => {
+            return Err(FleetError::Protocol(format!(
+                "protocol version mismatch: frame carries no \"v\" (pre-multiplexing v1 \
+                 client?), this endpoint speaks v={PROTOCOL_VERSION}"
+            )))
+        }
+    }
+    let id = v.get("id").and_then(Value::as_u64).ok_or_else(|| {
+        FleetError::Protocol("versioned frame lacks a \"id\" request id".to_string())
+    })?;
+    Ok((id, Request::from_value(&v)))
+}
+
+/// Tag a response body with the request id it answers. Bodies are
+/// always `encode_strict` maps with at least the `"ok"` field, so the
+/// id is spliced in as the first pair without a re-parse — this runs
+/// once per response on the server's hot path.
+pub fn attach_id(id: u64, body: &str) -> String {
+    debug_assert!(body.starts_with('{') && body.len() > 2, "response bodies are non-empty maps");
+    format!("{{\"id\":{id},{}", &body[1..])
 }
 
 /// Build a success response with extra fields.
@@ -241,8 +316,22 @@ pub fn error_response(message: &str, retry_after_ms: Option<u64>) -> String {
 /// Interpret a response payload: `Ok(value)` for `{"ok":true,...}`,
 /// the typed error otherwise.
 pub fn decode_response(json: &str) -> Result<Value, FleetError> {
+    decode_tagged_response(json)?.1
+}
+
+/// Interpret a response payload and recover the request id it answers.
+///
+/// The outer `Err` means the frame itself is unusable (not JSON, no
+/// `"ok"`). The id is `None` only on unroutable transport-level errors
+/// where the server could not recover one; the inner `Result` is the
+/// response body or its typed error.
+#[allow(clippy::type_complexity)]
+pub fn decode_tagged_response(
+    json: &str,
+) -> Result<(Option<u64>, Result<Value, FleetError>), FleetError> {
     let v = codec::parse(json)?;
-    match v.get("ok").and_then(Value::as_bool) {
+    let id = v.get("id").and_then(Value::as_u64);
+    let body = match v.get("ok").and_then(Value::as_bool) {
         Some(true) => Ok(v),
         Some(false) => {
             let msg = v.get("error").and_then(Value::as_str).unwrap_or("unspecified").to_string();
@@ -251,8 +340,9 @@ pub fn decode_response(json: &str) -> Result<Value, FleetError> {
                 None => Err(FleetError::Remote(msg)),
             }
         }
-        None => Err(FleetError::Protocol("response lacks \"ok\"".to_string())),
-    }
+        None => return Err(FleetError::Protocol("response lacks \"ok\"".to_string())),
+    };
+    Ok((id, body))
 }
 
 #[cfg(test)]
@@ -338,6 +428,60 @@ mod tests {
             let json = req.to_json().unwrap();
             assert_eq!(Request::from_json(&json).unwrap(), req, "{json}");
         }
+    }
+
+    #[test]
+    fn envelopes_round_trip_with_their_ids() {
+        for (id, req) in [
+            (0u64, Request::Ping),
+            (7, Request::Status { job: Some(3) }),
+            (u64::MAX, Request::Drain),
+        ] {
+            let json = encode_envelope(id, &req).unwrap();
+            let (got_id, got) = decode_envelope(&json).unwrap();
+            assert_eq!(got_id, id, "{json}");
+            assert_eq!(got.unwrap(), req, "{json}");
+        }
+    }
+
+    #[test]
+    fn mixed_version_frames_are_rejected_with_a_clear_error() {
+        // v1 (unversioned) frame: rejected before the op is looked at.
+        let err = decode_envelope("{\"op\":\"ping\"}").unwrap_err();
+        assert!(err.to_string().contains("protocol version mismatch"), "{err}");
+        assert!(err.to_string().contains("v1"), "names the suspected culprit: {err}");
+        // A future/other version is named explicitly.
+        let err = decode_envelope("{\"v\":3,\"id\":1,\"op\":\"ping\"}").unwrap_err();
+        assert!(err.to_string().contains("v=3"), "{err}");
+        assert!(err.to_string().contains("v=2"), "{err}");
+        // Right version, no id: also unroutable.
+        let err = decode_envelope("{\"v\":2,\"op\":\"ping\"}").unwrap_err();
+        assert!(err.to_string().contains("request id"), "{err}");
+    }
+
+    #[test]
+    fn op_errors_on_valid_envelopes_keep_the_id() {
+        let (id, req) = decode_envelope("{\"v\":2,\"id\":9,\"op\":\"fly\"}").unwrap();
+        assert_eq!(id, 9);
+        assert!(matches!(req, Err(FleetError::Protocol(_))));
+    }
+
+    #[test]
+    fn attach_id_tags_any_encoded_body() {
+        let ok = ok_response(vec![("accepted".into(), Value::UInt(3))]).unwrap();
+        let (id, body) = decode_tagged_response(&attach_id(42, &ok)).unwrap();
+        assert_eq!(id, Some(42));
+        assert_eq!(body.unwrap().get("accepted").unwrap().as_u64(), Some(3));
+
+        let backlog = attach_id(7, &error_response("queue full", Some(25)));
+        let (id, body) = decode_tagged_response(&backlog).unwrap();
+        assert_eq!(id, Some(7));
+        assert!(matches!(body, Err(FleetError::Backlog { retry_after_ms: 25 })));
+
+        // Untagged errors (unroutable frames) decode with no id.
+        let (id, body) = decode_tagged_response(&error_response("torn", None)).unwrap();
+        assert_eq!(id, None);
+        assert!(matches!(body, Err(FleetError::Remote(_))));
     }
 
     #[test]

@@ -16,9 +16,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use hpceval_fleet::wire::{
-    encode_frame, read_frame, write_frame, FrameDecoder, Request, MAX_FRAME,
+    self, decode_envelope, encode_envelope, encode_frame, read_frame, write_frame, FrameDecoder,
+    Request, MAX_FRAME,
 };
-use hpceval_fleet::{FaultPlan, Fleet, FleetClient, FleetConfig, JobKind, Registry};
+use hpceval_fleet::{
+    FaultPlan, Fleet, FleetClient, FleetConfig, JobKind, PoolConfig, Registry, ShardPool,
+};
 
 fn arb_request() -> impl Strategy<Value = Request> {
     prop::sample::select(vec![
@@ -113,6 +116,39 @@ proptest! {
         dec.extend(&prefix[3..]);
         prop_assert!(dec.next_frame().is_err());
     }
+
+    /// Tagged v2 envelopes survive the same arbitrary read tearing as
+    /// bare frames: whatever the slice boundaries, every `(id, request)`
+    /// pair comes back intact and in order.
+    #[test]
+    fn tagged_envelopes_survive_arbitrary_tearing(
+        reqs in prop::collection::vec(arb_request(), 1..12),
+        ids in prop::collection::vec(0u64..=u64::MAX, 12),
+        cuts in prop::collection::vec(1usize..9, 1..64),
+    ) {
+        let tagged: Vec<(u64, Request)> =
+            ids.iter().copied().zip(reqs).collect();
+        let mut stream = Vec::new();
+        for (id, r) in &tagged {
+            stream.extend(encode_frame(&encode_envelope(*id, r).unwrap()).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        let mut offset = 0;
+        let mut ci = 0;
+        while offset < stream.len() {
+            let n = cuts[ci % cuts.len()].min(stream.len() - offset);
+            ci += 1;
+            dec.extend(&stream[offset..offset + n]);
+            offset += n;
+            while let Some(frame) = dec.next_frame().unwrap() {
+                let (id, req) = decode_envelope(&frame).unwrap();
+                out.push((id, req.unwrap()));
+            }
+        }
+        prop_assert_eq!(out, tagged);
+        prop_assert_eq!(dec.pending(), 0);
+    }
 }
 
 #[test]
@@ -152,20 +188,32 @@ fn readiness_server_survives_one_byte_trickle_and_bad_prefix() {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_nodelay(true).unwrap();
     let mut pipelined = Vec::new();
-    write_frame(&mut pipelined, &Request::Ping.to_json().unwrap()).unwrap();
-    write_frame(&mut pipelined, &Request::Status { job: None }.to_json().unwrap()).unwrap();
-    write_frame(&mut pipelined, &Request::Ranking.to_json().unwrap()).unwrap();
+    write_frame(&mut pipelined, &encode_envelope(10, &Request::Ping).unwrap()).unwrap();
+    write_frame(&mut pipelined, &encode_envelope(11, &Request::Status { job: None }).unwrap())
+        .unwrap();
+    write_frame(&mut pipelined, &encode_envelope(12, &Request::Ranking).unwrap()).unwrap();
     for &b in &pipelined {
         stream.write_all(&[b]).unwrap();
         std::thread::sleep(Duration::from_millis(1));
     }
     let pong = read_frame(&mut stream).unwrap().unwrap();
-    assert!(pong.contains("pong"), "{pong}");
+    assert!(pong.contains("pong") && pong.contains("\"id\":10"), "{pong}");
     let status = read_frame(&mut stream).unwrap().unwrap();
-    assert!(status.contains("\"jobs\""), "{status}");
+    assert!(status.contains("\"jobs\"") && status.contains("\"id\":11"), "{status}");
     let ranking = read_frame(&mut stream).unwrap().unwrap();
-    assert!(ranking.contains("\"ranking\""), "{ranking}");
+    assert!(ranking.contains("\"ranking\"") && ranking.contains("\"id\":12"), "{ranking}");
     drop(stream);
+
+    // An untagged v1 frame draws a version-mismatch error but does NOT
+    // kill the connection — the stream itself is still framed.
+    let mut v1 = TcpStream::connect(addr).unwrap();
+    write_frame(&mut v1, &Request::Ping.to_json().unwrap()).unwrap();
+    let err = read_frame(&mut v1).unwrap().unwrap();
+    assert!(err.contains("\"ok\":false") && err.contains("v1"), "{err}");
+    write_frame(&mut v1, &encode_envelope(0, &Request::Ping).unwrap()).unwrap();
+    let pong = read_frame(&mut v1).unwrap().unwrap();
+    assert!(pong.contains("pong"), "a proper envelope still works after the v1 slip: {pong}");
+    drop(v1);
 
     let mut bad = TcpStream::connect(addr).unwrap();
     bad.write_all(&u32::MAX.to_be_bytes()).unwrap();
@@ -178,4 +226,95 @@ fn readiness_server_survives_one_byte_trickle_and_bad_prefix() {
     client.shutdown().unwrap();
     serve.join().unwrap().unwrap();
     let _ = std::fs::remove_file(&wal);
+}
+
+/// The pool reassembles replies delivered out of submission order:
+/// request ids, not arrival order, route each response to its caller.
+#[test]
+fn pool_reassembles_out_of_order_replies_by_id() {
+    const N: usize = 6;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut ids = Vec::new();
+        while ids.len() < N {
+            let frame = read_frame(&mut conn).unwrap().unwrap();
+            let (id, req) = decode_envelope(&frame).unwrap();
+            assert!(matches!(req.unwrap(), Request::Status { .. }));
+            ids.push(id);
+        }
+        for &id in ids.iter().rev() {
+            let body =
+                wire::ok_response(vec![("echo".to_string(), serde::Value::UInt(id))]).unwrap();
+            write_frame(&mut conn, &wire::attach_id(id, &body)).unwrap();
+        }
+        // Hold the socket open until the client hangs up.
+        let _ = read_frame(&mut conn);
+    });
+    let pool = ShardPool::connect(addr, PoolConfig { sockets: 1, depth: N }).unwrap();
+    let replies: Vec<_> = (0..N)
+        .map(|i| pool.send(&Request::Status { job: Some(i as u64) }).unwrap())
+        .collect();
+    for (i, reply) in replies.into_iter().enumerate() {
+        let v = reply.wait().unwrap();
+        assert_eq!(
+            v.get("echo").and_then(serde::Value::as_u64),
+            Some(i as u64),
+            "reply {i} must reach the caller that sent request id {i}"
+        );
+    }
+    drop(pool);
+    server.join().unwrap();
+}
+
+/// A reply carrying an id nothing waits on — a stray id or a duplicate
+/// delivery — poisons the socket: every in-flight request fails with
+/// the reason and later sends are refused.
+#[test]
+fn unknown_and_duplicate_reply_ids_kill_the_socket() {
+    // Stray id: the in-flight request fails with the stray id named.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let frame = read_frame(&mut conn).unwrap().unwrap();
+        let (id, _) = decode_envelope(&frame).unwrap();
+        assert_eq!(id, 0, "lane ids start at zero");
+        let body = wire::ok_response(Vec::new()).unwrap();
+        write_frame(&mut conn, &wire::attach_id(999, &body)).unwrap();
+        let _ = read_frame(&mut conn);
+    });
+    let pool = ShardPool::connect(addr, PoolConfig { sockets: 1, depth: 4 }).unwrap();
+    let err = pool.call(&Request::Ping).unwrap_err();
+    assert!(err.to_string().contains("unknown or duplicate request id 999"), "{err}");
+    let refused = match pool.send(&Request::Ping) {
+        Err(e) => e,
+        Ok(_) => panic!("dead lane must refuse further sends"),
+    };
+    assert!(refused.to_string().contains("unknown or duplicate"), "dead lane refuses: {refused}");
+    drop(pool);
+    server.join().unwrap();
+
+    // Duplicate id: the first delivery answers its caller; the replay
+    // kills the socket, failing the other in-flight request.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let first = decode_envelope(&read_frame(&mut conn).unwrap().unwrap()).unwrap().0;
+        let _second = decode_envelope(&read_frame(&mut conn).unwrap().unwrap()).unwrap().0;
+        let body = wire::ok_response(Vec::new()).unwrap();
+        write_frame(&mut conn, &wire::attach_id(first, &body)).unwrap();
+        write_frame(&mut conn, &wire::attach_id(first, &body)).unwrap();
+        let _ = read_frame(&mut conn);
+    });
+    let pool = ShardPool::connect(addr, PoolConfig { sockets: 1, depth: 4 }).unwrap();
+    let a = pool.send(&Request::Ping).unwrap();
+    let b = pool.send(&Request::Ping).unwrap();
+    a.wait().expect("first delivery answers its caller normally");
+    let err = b.wait().unwrap_err();
+    assert!(err.to_string().contains("unknown or duplicate request id 0"), "{err}");
+    drop(pool);
+    server.join().unwrap();
 }

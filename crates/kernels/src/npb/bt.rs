@@ -17,12 +17,27 @@
 use rayon::prelude::*;
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 
 use crate::rng::NpbRng;
 use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::block5::{block_thomas, vnorm, vsub, Mat5, Vec5};
 use super::Class;
+
+// Logical trace addresses for the ADI line solves. Each direction
+// sweep is its own epoch; within a sweep the chunk id is the line
+// index, whose decomposition never depends on the worker count. The
+// 5-vector fields stride 40 bytes per point, the 5×5 diagonal blocks
+// 200 — both scaled by 1/n/n² across the x/y/z sweeps.
+const TRACE_U: u64 = 0x1_0000_0000;
+const TRACE_B: u64 = 0x2_0000_0000;
+const TRACE_DIAG: u64 = 0x3_0000_0000;
+const TRACE_AU: u64 = 0x4_0000_0000;
+/// Bytes per grid point of a [`Vec5`] field.
+const VEC5_BYTES: usize = 40;
+/// Bytes per grid point of a [`Mat5`] field.
+const MAT5_BYTES: usize = 200;
 
 /// Reported flops per grid point per time step (official NPB counts:
 /// BT.A = 168,300 Mop over 64³ × 200).
@@ -120,6 +135,14 @@ impl AdiProblem {
     /// sweep solves, for every grid line, the block-tridiagonal system
     /// formed by the diagonal blocks and the couplings along that line,
     /// with the residual of the other directions on the right-hand side.
+    ///
+    /// Trace capture (`Region::Bt`): each direction sweep opens a new
+    /// epoch and the chunk id is the line index, so the trace is
+    /// bitwise width-invariant like the solve itself. A traced line
+    /// records its strided reads (the 5×5 diagonal blocks plus the u,
+    /// A·u, and b 5-vectors) and the solution write-back; the point
+    /// stride jumps from unit (x lines) to `n`/`n²` (y/z lines) —
+    /// the locality cliff the replay driver needs to see.
     pub fn adi_step(&self, u: &mut [Vec5], b: &[Vec5]) {
         let n = self.n;
         // The sub/super bands are the same constant −c·I along every
@@ -127,6 +150,7 @@ impl AdiProblem {
         // twice per line.
         let off_band: Vec<Mat5> = (0..n).map(|_| Mat5::scaled_identity(-self.coupling)).collect();
         for dir in 0..3 {
+            hooks::begin_epoch(Region::Bt);
             let au = self.apply(u);
             // Lines: iterate over the two non-swept coordinates.
             let new_u: Vec<Vec<Vec5>> = (0..n * n)
@@ -138,6 +162,30 @@ impl AdiProblem {
                         1 => self.idx(a, k, c),
                         _ => self.idx(a, c, k),
                     };
+                    if hooks::chunk_enabled(Region::Bt, line as u64) {
+                        let ch = line as u64;
+                        // Per point: the dense 5×5 diagonal block (25
+                        // contiguous doubles) and the three 5-vectors.
+                        // The across-point jump — unit blocks in the x
+                        // sweep, n/n² apart in y/z — shows up in the
+                        // successive record bases.
+                        for k in 0..n {
+                            let i = line_idx(k);
+                            let diag_at = TRACE_DIAG + (i * MAT5_BYTES) as u64;
+                            let vec_at = (i * VEC5_BYTES) as u64;
+                            hooks::record(Region::Bt, ch, AccessKind::Read, diag_at, 8, 25);
+                            hooks::record(Region::Bt, ch, AccessKind::Read, TRACE_U + vec_at, 8, 5);
+                            hooks::record(
+                                Region::Bt,
+                                ch,
+                                AccessKind::Read,
+                                TRACE_AU + vec_at,
+                                8,
+                                5,
+                            );
+                            hooks::record(Region::Bt, ch, AccessKind::Read, TRACE_B + vec_at, 8, 5);
+                        }
+                    }
                     let diag: Vec<Mat5> = (0..n).map(|k| self.diag[line_idx(k)]).collect();
                     // rhs = b − A·u + (line part of A·u): move the line's
                     // own contribution back to the left-hand side.
@@ -172,12 +220,17 @@ impl AdiProblem {
             // Scatter the line solutions back.
             for (line, sol) in new_u.into_iter().enumerate() {
                 let (a, c) = (line % n, line / n);
+                let traced = hooks::chunk_enabled(Region::Bt, line as u64);
                 for (k, v) in sol.into_iter().enumerate() {
                     let i = match dir {
                         0 => self.idx(k, a, c),
                         1 => self.idx(a, k, c),
                         _ => self.idx(a, c, k),
                     };
+                    if traced {
+                        let at = TRACE_U + (i * VEC5_BYTES) as u64;
+                        hooks::record(Region::Bt, line as u64, AccessKind::Write, at, 8, 5);
+                    }
                     u[i] = v;
                 }
             }

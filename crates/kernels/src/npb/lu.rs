@@ -11,6 +11,7 @@
 //! (official op counts: LU.A = 119,280 Mop ⇒ ~1820 flop/point/iter).
 
 use hpceval_machine::workload::{ComputeKind, LocalityProfile, WorkloadSignature};
+use hpceval_trace::{hooks, AccessKind, Region};
 use rayon::prelude::*;
 
 use crate::rng::NpbRng;
@@ -18,6 +19,19 @@ use crate::suite::{Benchmark, ProcConstraint, VerifyOutcome};
 
 use super::block5::{vnorm, vsub, Mat5, Vec5};
 use super::Class;
+
+// Logical trace addresses for the SSOR sweeps. Each triangular sweep
+// (lower, then upper) is its own epoch; the chunk id is the grid point
+// index, which the wavefront decomposition fixes independently of the
+// worker count. The 5-vector fields stride 40 bytes per point, the
+// cached 5×5 diagonal inverses 200.
+const TRACE_U: u64 = 0x1_0000_0000;
+const TRACE_B: u64 = 0x2_0000_0000;
+const TRACE_DINV: u64 = 0x3_0000_0000;
+/// Bytes per grid point of a [`Vec5`] field.
+const VEC5_BYTES: usize = 40;
+/// Bytes per grid point of a [`Mat5`] field.
+const MAT5_BYTES: usize = 200;
 
 /// Reported flops per grid point per SSOR iteration.
 pub const FLOPS_PER_POINT_ITER: f64 = 1820.0;
@@ -142,12 +156,35 @@ impl SsorProblem {
         let mut val: Vec<Vec5> = vec![[0.0; 5]; n * n];
         let kmax = 3 * (n - 1);
         // Lower-triangular sweep (Gauss-Seidel with fresh lower points).
+        hooks::begin_epoch(Region::Lu);
         for k in 0..=kmax {
             self.relax_plane(u, b, k, omega, &mut idx, &mut val);
         }
         // Upper-triangular sweep.
+        hooks::begin_epoch(Region::Lu);
         for k in (0..=kmax).rev() {
             self.relax_plane(u, b, k, omega, &mut idx, &mut val);
+        }
+    }
+
+    /// Record the memory traffic of relaxing point `i`: the 7-point
+    /// `u` stencil (one strided read per axis covering the present
+    /// neighbours), the right-hand side, and the cached diagonal
+    /// inverse. Reads only — the scatter loop records the write.
+    fn trace_point(&self, i: usize) {
+        let n = self.n;
+        let (x, y, z) = (i % n, (i / n) % n, i / (n * n));
+        let ch = i as u64;
+        let dinv_at = TRACE_DINV + (i * MAT5_BYTES) as u64;
+        hooks::record(Region::Lu, ch, AccessKind::Read, dinv_at, 8, 25);
+        let b_at = TRACE_B + (i * VEC5_BYTES) as u64;
+        hooks::record(Region::Lu, ch, AccessKind::Read, b_at, 8, 5);
+        for (coord, step) in [(x, 1), (y, n), (z, n * n)] {
+            let lo = if coord > 0 { i - step } else { i };
+            let hi = if coord + 1 < n { i + step } else { i };
+            let count = ((hi - lo) / step + 1) as u32;
+            let at = TRACE_U + (lo * VEC5_BYTES) as u64;
+            hooks::record(Region::Lu, ch, AccessKind::Read, at, (step * VEC5_BYTES) as u32, count);
         }
     }
 
@@ -176,10 +213,17 @@ impl SsorProblem {
         {
             let u_read: &[Vec5] = u;
             val[..m].par_iter_mut().zip(&idx[..m]).for_each(|(slot, &i)| {
+                if hooks::chunk_enabled(Region::Lu, i as u64) {
+                    self.trace_point(i);
+                }
                 *slot = self.relaxed_value(u_read, b, i, omega);
             });
         }
         for (&i, v) in idx.iter().zip(&val[..m]) {
+            if hooks::chunk_enabled(Region::Lu, i as u64) {
+                let at = TRACE_U + (i * VEC5_BYTES) as u64;
+                hooks::record(Region::Lu, i as u64, AccessKind::Write, at, VEC5_BYTES as u32, 1);
+            }
             u[i] = *v;
         }
     }

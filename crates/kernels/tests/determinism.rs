@@ -374,6 +374,42 @@ fn captured_traces_bitwise_identical_across_widths() {
                 let mut u = vec![0.0; n * n * n * 5];
                 prob.adi_step(&mut u, &b);
             }
+            Region::Bt => {
+                let n = 8;
+                let prob = bt::AdiProblem::new(n, 55);
+                let mut rng = NpbRng::new(3);
+                let b: Vec<_> = (0..n * n * n)
+                    .map(|_| {
+                        [
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                        ]
+                    })
+                    .collect();
+                let mut u = vec![[0.0f64; 5]; n * n * n];
+                prob.adi_step(&mut u, &b);
+            }
+            Region::Lu => {
+                let n = 8;
+                let prob = npb_lu::SsorProblem::new(n, 55);
+                let mut rng = NpbRng::new(3);
+                let b: Vec<_> = (0..n * n * n)
+                    .map(|_| {
+                        [
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                            rng.next_f64() - 0.5,
+                        ]
+                    })
+                    .collect();
+                let mut u = vec![[0.0f64; 5]; n * n * n];
+                prob.ssor_step(&mut u, &b, 1.2);
+            }
         });
         guard.finish()
     }

@@ -122,11 +122,15 @@ pub enum Region {
     Ep,
     /// NPB SP (scalar-pentadiagonal ADI line solves).
     Sp,
+    /// NPB BT (block-tridiagonal ADI line solves).
+    Bt,
+    /// NPB LU (SSOR lower/upper triangular sweeps).
+    Lu,
 }
 
 impl Region {
     /// All instrumented regions, in wire-tag order.
-    pub const ALL: [Region; 10] = [
+    pub const ALL: [Region; 12] = [
         Region::Dgemm,
         Region::Stream,
         Region::Cg,
@@ -137,6 +141,8 @@ impl Region {
         Region::Hpl,
         Region::Ep,
         Region::Sp,
+        Region::Bt,
+        Region::Lu,
     ];
 
     /// Wire tag (stable across versions).
@@ -152,6 +158,8 @@ impl Region {
             Region::Hpl => 8,
             Region::Ep => 9,
             Region::Sp => 10,
+            Region::Bt => 11,
+            Region::Lu => 12,
         }
     }
 
@@ -173,6 +181,8 @@ impl Region {
             Region::Hpl => "hpl",
             Region::Ep => "ep",
             Region::Sp => "sp",
+            Region::Bt => "bt",
+            Region::Lu => "lu",
         }
     }
 
@@ -737,6 +747,6 @@ mod tests {
             assert_eq!(Region::parse(r.name()), Some(r));
             assert_eq!(Region::from_tag(r.tag()), Some(r));
         }
-        assert_eq!(Region::parse("lu"), None);
+        assert_eq!(Region::parse("ua"), None, "uninstrumented kernels stay unparseable");
     }
 }

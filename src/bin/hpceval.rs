@@ -226,7 +226,7 @@ usage: hpceval trace <capture|replay|stats> [flags]
   stats             [--server NAME] [--seed N] [--mode sampled|full]
                     run the full trace-driven regression experiment;
                     print per-kernel profiles and the R² triple as JSON
-  kernels: dgemm stream cg mg is randomaccess ft hpl ep
+  kernels: dgemm stream cg mg is randomaccess ft hpl ep sp bt lu
   --mode defaults to $HPCEVAL_TRACE, then to full";
 
 fn trace_usage_error(msg: &str) -> ExitCode {
@@ -431,10 +431,13 @@ usage: hpceval fleet <serve|route|submit|status|drain|shutdown|smoke|bench> [fla
   drain    [--addr HOST:PORT]
   shutdown [--addr HOST:PORT]
   smoke    [--seed N]   self-contained daemon smoke test (CI entry point)
-  bench    [--ops N] [--shards N] [--clients N] [--submit-every N]
+  bench    [--ops N] [--shards N[,N..]] [--clients N[,N..]]
+           [--pipeline-depth N[,N..]] [--submit-every N]
            [--check BENCH_fleet.json] [--tolerance X]
-           in-process sustained load: sharded daemons + router, p50/p99
-           latency and ops/s, optional drift check against a baseline";
+           in-process sustained load through the pipelined router;
+           comma lists sweep their cartesian product (default sweeps
+           2,4,8 shards) into per-configuration p50/p99 latency and
+           ops/s, optional drift check against a suite baseline";
 
 const DEFAULT_ADDR: &str = "127.0.0.1:7621";
 const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7620";
@@ -629,15 +632,33 @@ fn fleet_route(args: &[String]) -> ExitCode {
     }
 }
 
-/// Scaled-down sustained-load gate (CI runs this in every matrix leg
-/// with `--ops` small and `--check BENCH_fleet.json`; the committed
-/// baseline itself comes from the full `fleet_bench` bin run).
-fn fleet_bench(args: &[String]) -> ExitCode {
-    use hpceval::fleet::bench::{check, parse_baseline};
-    use hpceval::fleet::{run_sustained_load, BenchOptions};
+/// Parse a comma list of positive integers for sweep flags.
+fn parse_usize_list(key: &str, raw: &str) -> Result<Vec<usize>, String> {
+    let vals: Vec<usize> = raw
+        .split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(v) if v >= 1 => Ok(v),
+            _ => Err(format!("bad value {s:?} for --{key} (want positive integers, e.g. 2,4,8)")),
+        })
+        .collect::<Result<_, _>>()?;
+    if vals.is_empty() {
+        return Err(format!("--{key} needs at least one value"));
+    }
+    Ok(vals)
+}
 
-    let parsed =
-        parse_flags(args, &["ops", "shards", "clients", "submit-every", "check", "tolerance"]);
+/// Scaled-down sustained-load gate (CI runs this in every matrix leg
+/// with `--ops` small, one swept configuration, and `--check
+/// BENCH_fleet.json`; the committed baseline itself comes from the
+/// full `fleet_bench` bin sweep).
+fn fleet_bench(args: &[String]) -> ExitCode {
+    use hpceval::fleet::bench::{check_suite, expand_configs, parse_baseline, DEFAULT_SHARD_SWEEP};
+    use hpceval::fleet::{run_suite, BenchOptions};
+
+    let parsed = parse_flags(
+        args,
+        &["ops", "shards", "clients", "pipeline-depth", "submit-every", "check", "tolerance"],
+    );
     let (flags, positional) = match parsed {
         Ok(p) => p,
         Err(e) => return fleet_usage_error(&e),
@@ -646,15 +667,32 @@ fn fleet_bench(args: &[String]) -> ExitCode {
         return fleet_usage_error(&format!("unexpected argument {:?}", positional[0]));
     }
     let defaults = BenchOptions::default();
-    let opts = match (|| -> Result<BenchOptions, String> {
+    let base = match (|| -> Result<BenchOptions, String> {
         Ok(BenchOptions {
             ops: parse_flag(&flags, "ops", defaults.ops)?,
-            shards: parse_flag(&flags, "shards", defaults.shards)?,
-            clients: parse_flag(&flags, "clients", defaults.clients)?,
             submit_every: parse_flag(&flags, "submit-every", defaults.submit_every)?,
+            ..defaults.clone()
         })
     })() {
         Ok(o) => o,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let swept = |key: &str, default: Vec<usize>| -> Result<Vec<usize>, String> {
+        match flag(&flags, key) {
+            None => Ok(default),
+            Some(raw) => parse_usize_list(key, raw),
+        }
+    };
+    let shards = match swept("shards", DEFAULT_SHARD_SWEEP.to_vec()) {
+        Ok(v) => v,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let clients = match swept("clients", vec![defaults.clients]) {
+        Ok(v) => v,
+        Err(e) => return fleet_usage_error(&e),
+    };
+    let depths = match swept("pipeline-depth", vec![defaults.pipeline_depth]) {
+        Ok(v) => v,
         Err(e) => return fleet_usage_error(&e),
     };
     let tolerance = match parse_flag(&flags, "tolerance", 3.0f64) {
@@ -662,19 +700,27 @@ fn fleet_bench(args: &[String]) -> ExitCode {
         _ => return fleet_usage_error("--tolerance takes a non-negative number"),
     };
 
-    let report = match run_sustained_load(&opts) {
-        Ok(r) => r,
+    let configs = expand_configs(&base, &shards, &clients, &depths);
+    let suite = match run_suite(&configs) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("fleet bench failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "{} ops over {} client(s), {} shard(s): {:.2}s, {} job(s) completed",
-        report.ops, report.clients, report.shards, report.elapsed_s, report.jobs_completed
-    );
-    for (name, value) in &report.metrics {
-        println!("  {name}: {value:.1}");
+    for (key, report) in &suite.configs {
+        println!(
+            "[{key}] {} ops over {} client(s), {} shard(s), depth {}: {:.2}s, {} job(s) completed",
+            report.ops,
+            report.clients,
+            report.shards,
+            report.pipeline_depth,
+            report.elapsed_s,
+            report.jobs_completed
+        );
+        for (name, value) in &report.metrics {
+            println!("  {name}: {value:.1}");
+        }
     }
 
     let Some(path) = flag(&flags, "check") else {
@@ -690,11 +736,11 @@ fn fleet_bench(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let failures = check(&baseline, &report, tolerance);
+    let failures = check_suite(&baseline, &suite, tolerance);
     if failures.is_empty() {
         println!(
-            "fleet perf check passed: {} metrics within tolerance {tolerance}",
-            baseline.len()
+            "fleet perf check passed: {} configuration(s) within tolerance {tolerance}",
+            suite.configs.len()
         );
         ExitCode::SUCCESS
     } else {

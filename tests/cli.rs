@@ -44,6 +44,11 @@ fn malformed_fleet_invocations_print_fleet_usage_and_fail() {
         &["fleet", "bench", "--ops", "many"],                   // bad number
         &["fleet", "bench", "--tolerance", "-1"],               // negative tolerance
         &["fleet", "bench", "extra"],                           // stray positional
+        &["fleet", "bench", "--shards", "0"],                   // zero shard count
+        &["fleet", "bench", "--shards", "2,x"],                 // junk in the list
+        &["fleet", "bench", "--clients", ""],                   // empty list
+        &["fleet", "bench", "--pipeline-depth", "x"],           // non-numeric depth
+        &["fleet", "bench", "--pipeline-depth", "0"],           // zero depth
     ];
     for args in cases {
         let out = hpceval(args);
@@ -89,7 +94,7 @@ fn malformed_trace_invocations_print_trace_usage_and_fail() {
         &["trace"],                                       // missing subcommand
         &["trace", "explode"],                            // unknown subcommand
         &["trace", "capture"],                            // missing kernel
-        &["trace", "capture", "lu"],                      // unknown kernel
+        &["trace", "capture", "ua"],                      // unknown kernel
         &["trace", "capture", "dgemm", "extra"],          // stray positional
         &["trace", "capture", "dgemm", "--mode", "?"],    // bad mode
         &["trace", "capture", "dgemm", "--mode", "off"],  // off captures nothing

@@ -9,7 +9,10 @@
 //!   [`Poller::delete`] to manage watched file descriptors, each tagged
 //!   with a caller-chosen `usize` key;
 //! - [`Poller::wait`] to block (with optional timeout) until some
-//!   watched descriptor is ready, returning [`Event`]s.
+//!   watched descriptor is ready, returning [`Event`]s;
+//! - [`Poller::notify`] to wake a concurrent `wait` from another
+//!   thread (self-pipe; the wake is absorbed internally and never
+//!   surfaces as an event).
 //!
 //! Semantics are **level-triggered**: a descriptor that stays readable
 //! keeps being reported on every `wait`, so a handler that does not
@@ -28,6 +31,9 @@
 //! behaviour through [`Poller`]; unit tests drive each explicitly.
 
 use std::io;
+use std::io::{Read, Write};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 #[cfg(target_os = "linux")]
@@ -71,15 +77,39 @@ pub struct Event {
     pub writable: bool,
 }
 
+/// The internal self-pipe's key: absorbed by `wait`, never delivered.
+/// Callers must not register descriptors under this key.
+const NOTIFY_KEY: usize = usize::MAX;
+
 /// A readiness monitor over a set of registered file descriptors.
 pub struct Poller {
     backend: Backend,
+    /// Self-pipe read end, registered under [`NOTIFY_KEY`].
+    wake_rx: UnixStream,
+    /// Self-pipe write end; [`Poller::notify`] writes one byte here.
+    wake_tx: UnixStream,
 }
 
 impl Poller {
     /// Create a new poller.
     pub fn new() -> io::Result<Poller> {
-        Ok(Poller { backend: Backend::new()? })
+        let backend = Backend::new()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        backend.add(wake_rx.as_raw_fd(), NOTIFY_KEY, Interest::READABLE)?;
+        Ok(Poller { backend, wake_rx, wake_tx })
+    }
+
+    /// Wake a concurrent [`Poller::wait`] from another thread. Wakes
+    /// coalesce: a full pipe already guarantees a pending wake, so a
+    /// blocked write is success, not an error.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.wake_tx).write(&[1]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
     }
 
     /// Start watching `fd` with the given `key` and `interest`.
@@ -108,7 +138,16 @@ impl Poller {
     /// was interrupted by a signal (both are benign — loop again).
     pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
         events.clear();
-        self.backend.wait(events, timeout)
+        self.backend.wait(events, timeout)?;
+        let raw = events.len();
+        events.retain(|e| e.key != NOTIFY_KEY);
+        if events.len() != raw {
+            // Drain the coalesced wake bytes so the level-triggered
+            // backend stops reporting the pipe.
+            let mut sink = [0u8; 64];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        Ok(events.len())
     }
 }
 
@@ -249,6 +288,32 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(events[0].key, 42);
         p.delete(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait_without_surfacing_an_event() {
+        let p = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&p);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let started = std::time::Instant::now();
+        // Without the wake this would sleep the full 5 s.
+        let n = p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(started.elapsed() < Duration::from_secs(4), "notify must cut the wait short");
+        assert_eq!(n, 0, "the self-pipe wake is absorbed, not delivered");
+        assert!(events.is_empty());
+        t.join().unwrap();
+
+        // Coalesced notifies are drained: the next wait times out clean.
+        p.notify().unwrap();
+        p.notify().unwrap();
+        let n = p.wait(&mut events, Some(Duration::from_millis(200))).unwrap();
+        assert_eq!(n, 0);
+        let n = p.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0, "wake bytes must not linger");
     }
 
     #[test]
